@@ -1,0 +1,83 @@
+//! End-to-end framework throughput: how fast the simulation itself runs.
+//!
+//! The headline ablation: one simulated second of a loaded 500-client
+//! node (the unit every experiment is built from), request dispatch
+//! through the full interceptor/transaction/session path, and the Taw
+//! accounting hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::{Sim, SimConfig};
+use simcore::stats::SecondSeries;
+use simcore::{SimDuration, SimTime};
+use workload::taw::{ActionId, TawTracker};
+use workload::catalog::FunctionalGroup;
+
+fn bench_simulated_second(c: &mut Criterion) {
+    c.bench_function("simulate_10s_500_clients", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(SimConfig::default());
+            sim.run_until(SimTime::from_secs(10));
+            let world = sim.finish();
+            world.pool.taw_ref().summary().good_ops
+        })
+    });
+}
+
+fn bench_request_path(c: &mut Criterion) {
+    use ebid::{DatasetSpec, EBid};
+    use statestore::FastS;
+    use urb_core::backend::{share_db, SessionBackend};
+    use urb_core::server::make_request;
+    use urb_core::{AppServer, ServerConfig, SubmitOutcome};
+
+    let spec = DatasetSpec::tiny();
+    let db = share_db(spec.generate(7));
+    let mut server = AppServer::new(
+        EBid::new(spec),
+        ServerConfig::default(),
+        db,
+        SessionBackend::FastS(FastS::new()),
+    );
+    let mut now = SimTime::from_secs(1);
+    let mut id = 0u64;
+    c.bench_function("dispatch_view_item_request", |b| {
+        b.iter(|| {
+            id += 1;
+            now += SimDuration::from_millis(100);
+            let req = make_request(id, ebid::ops::codes::VIEW_ITEM, None, true, 5, now);
+            match server.submit(req, now) {
+                SubmitOutcome::Admitted => {
+                    let started = server.pump(now)[0];
+                    server.complete(started.req, started.cpu_done_at)
+                }
+                SubmitOutcome::Rejected(r) => Some(r),
+            }
+        })
+    });
+}
+
+fn bench_taw_accounting(c: &mut Criterion) {
+    c.bench_function("taw_record_and_close_action", |b| {
+        let mut taw = TawTracker::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let a = ActionId(i);
+            let t = SimTime::from_millis(i);
+            taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
+            taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
+            taw.close_action(a);
+        })
+    });
+    c.bench_function("second_series_incr", |b| {
+        let mut s = SecondSeries::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            s.incr(SimTime::from_millis(i % 600_000), "good");
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulated_second, bench_request_path, bench_taw_accounting);
+criterion_main!(benches);

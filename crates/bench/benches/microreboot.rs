@@ -1,0 +1,91 @@
+//! Wall-clock cost of the microreboot machinery itself.
+//!
+//! The simulated recovery *times* come from Table 3's calibration; these
+//! benches measure the real cost of the framework primitives — what a
+//! production implementation of the control plane would pay per recovery
+//! action. An EJB microreboot's bookkeeping (group closure, sentinel
+//! binding, container teardown/reinit) should be microseconds: the
+//! machinery must never dominate the recovery it models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebid::{DatasetSpec, EBid};
+use simcore::SimTime;
+use statestore::FastS;
+use urb_core::backend::{share_db, SessionBackend};
+use urb_core::{AppServer, ServerConfig};
+
+fn build_server() -> AppServer<EBid> {
+    let spec = DatasetSpec::tiny();
+    let db = share_db(spec.generate(7));
+    AppServer::new(
+        EBid::new(spec),
+        ServerConfig::default(),
+        db,
+        SessionBackend::FastS(FastS::new()),
+    )
+}
+
+fn bench_microreboot_cycle(c: &mut Criterion) {
+    let mut server = build_server();
+    let mut t = SimTime::from_secs(1);
+    c.bench_function("microreboot_single_ejb_cycle", |b| {
+        b.iter(|| {
+            let ticket = server
+                .begin_microreboot(&["ViewItem"], t, None)
+                .expect("server up");
+            server.microreboot_crash(ticket.id, ticket.crash_at);
+            server.microreboot_complete(ticket.id, ticket.done_at);
+            t = ticket.done_at;
+        })
+    });
+}
+
+fn bench_microreboot_group(c: &mut Criterion) {
+    let mut server = build_server();
+    let mut t = SimTime::from_secs(1);
+    c.bench_function("microreboot_entity_group_cycle", |b| {
+        b.iter(|| {
+            let ticket = server
+                .begin_microreboot(&["Item"], t, None)
+                .expect("server up");
+            server.microreboot_crash(ticket.id, ticket.crash_at);
+            server.microreboot_complete(ticket.id, ticket.done_at);
+            t = ticket.done_at;
+        })
+    });
+}
+
+fn bench_process_restart(c: &mut Criterion) {
+    let mut server = build_server();
+    let mut t = SimTime::from_secs(1);
+    c.bench_function("process_restart_cycle", |b| {
+        b.iter(|| {
+            let (until, _) = server.begin_process_restart(t);
+            server.process_restart_complete(until);
+            t = until;
+        })
+    });
+}
+
+fn bench_recovery_group_closure(c: &mut Criterion) {
+    let graph =
+        components::graph::DependencyGraph::build(&ebid::components::descriptors()).unwrap();
+    let item = graph.id_of("Item").unwrap();
+    c.bench_function("recovery_group_lookup", |b| {
+        b.iter(|| graph.recovery_group(item).len())
+    });
+    c.bench_function("dependency_graph_build", |b| {
+        b.iter(|| {
+            components::graph::DependencyGraph::build(&ebid::components::descriptors()).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_microreboot_cycle,
+    bench_microreboot_group,
+    bench_process_restart,
+    bench_recovery_group_closure
+);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Throughput of the segregated state stores.
+//!
+//! State segregation only pays if the stores are fast: these benches
+//! measure real insert/read/commit cycles on the transactional table
+//! store and read/write cycles on FastS and SSM, including SSM's
+//! marshalling and checksumming.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use statestore::db::TableDef;
+use statestore::session::{SessionId, SessionObject, SessionStore};
+use statestore::{Database, FastS, Ssm, Value};
+
+fn bench_db(c: &mut Criterion) {
+    let mut db = Database::new(vec![TableDef {
+        name: "items",
+        columns: &["id", "name", "value"],
+    }]);
+    let conn = db.open_conn();
+    let mut next = 1i64;
+    c.bench_function("db_insert_commit", |b| {
+        b.iter(|| {
+            let txn = db.begin(conn).unwrap();
+            db.insert(
+                txn,
+                "items",
+                vec![Value::Int(next), Value::from("x"), Value::Int(0)],
+            )
+            .unwrap();
+            db.commit(txn).unwrap();
+            next += 1;
+        })
+    });
+    c.bench_function("db_read_committed", |b| {
+        b.iter(|| db.read_committed("items", 1).unwrap())
+    });
+    c.bench_function("db_update_rollback", |b| {
+        b.iter(|| {
+            let txn = db.begin(conn).unwrap();
+            db.update(txn, "items", 1, &[(2, Value::Int(9))]).unwrap();
+            db.rollback(txn).unwrap();
+        })
+    });
+    c.bench_function("db_scan_100", |b| {
+        b.iter(|| {
+            db.scan("items", |r| r[2].as_int() == Some(0), 100)
+                .unwrap()
+                .len()
+        })
+    });
+}
+
+fn session_obj() -> SessionObject {
+    let mut o = SessionObject::new();
+    o.set("user_id", 42i64);
+    o.set("bid_item", 7i64);
+    o.set("bid_amount", 110.5f64);
+    o
+}
+
+fn bench_fasts(c: &mut Criterion) {
+    let mut fasts = FastS::new();
+    fasts.write(SessionId(1), session_obj()).unwrap();
+    c.bench_function("fasts_write", |b| {
+        b.iter(|| fasts.write(SessionId(1), session_obj()).unwrap())
+    });
+    c.bench_function("fasts_read", |b| {
+        b.iter(|| fasts.read(SessionId(1)).unwrap())
+    });
+}
+
+fn bench_ssm(c: &mut Criterion) {
+    let mut ssm = Ssm::new(3);
+    ssm.write(SessionId(1), session_obj()).unwrap();
+    c.bench_function("ssm_write_3_replicas", |b| {
+        b.iter(|| ssm.write(SessionId(1), session_obj()).unwrap())
+    });
+    c.bench_function("ssm_read_checksummed", |b| {
+        b.iter(|| ssm.read(SessionId(1)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_db, bench_fasts, bench_ssm);
+criterion_main!(benches);

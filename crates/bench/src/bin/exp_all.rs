@@ -1,0 +1,53 @@
+//! Runs every experiment binary in sequence (the whole evaluation).
+//!
+//! `cargo run --release -p bench --bin exp_all`
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "exp_table1",
+    "exp_table2",
+    "exp_table3",
+    "exp_fig1",
+    "exp_fig2",
+    "exp_fig3",
+    "exp_fig4",
+    "exp_table5",
+    "exp_table6",
+    "exp_fig5",
+    "exp_fig6",
+    "exp_sixnines",
+    "exp_ablation_drain",
+    "exp_ablation_groups",
+];
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("binary directory");
+    let mut failures = Vec::new();
+    for exp in EXPERIMENTS {
+        let bin = dir.join(exp);
+        eprintln!(">>> {exp}");
+        let status = Command::new(&bin).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{exp} exited with {s}");
+                failures.push(*exp);
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not run {exp} ({e}); build it first with \
+                     `cargo build --release -p bench`"
+                );
+                failures.push(*exp);
+            }
+        }
+    }
+    if failures.is_empty() {
+        eprintln!("\nall {} experiments completed", EXPERIMENTS.len());
+    } else {
+        eprintln!("\nfailed: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Figure 3 — failover under normal load, clusters of 2/4/6/8 nodes.
+//!
+//! A µRB-recoverable fault (a persistent transient exception in
+//! `BrowseCategories`, the most frequently called component) is injected
+//! into one node; the load balancer fails traffic over to the good nodes
+//! during recovery. The experiment reports, per cluster size, the number
+//! of failed requests and failed-over sessions for JVM-restart recovery
+//! vs EJB microreboot, over a 10-minute interval with 500 clients/node —
+//! plus the relative failure percentages (Figure 3's right graph).
+//!
+//! Paper: with JVM restarts failed requests are dominated by the sessions
+//! on the failed node (avg 2,280); with microreboots they stay roughly
+//! constant (~162) regardless of cluster size.
+
+use bench::report::banner;
+use bench::Table;
+use cluster::{Sim, SimConfig, StoreChoice};
+use faults::Fault;
+use recovery::{PolicyLevel, RmConfig};
+use simcore::SimTime;
+
+struct RunResult {
+    failed_requests: u64,
+    total_requests: u64,
+    sessions_failed_over: usize,
+    over_8s: u64,
+    peak_rt_ms: f64,
+}
+
+fn run(nodes: usize, start_level: PolicyLevel) -> RunResult {
+    run_with_store(nodes, start_level, StoreChoice::FastS)
+}
+
+fn run_with_store(nodes: usize, start_level: PolicyLevel, store: StoreChoice) -> RunResult {
+    let mut sim = Sim::new(SimConfig {
+        nodes,
+        store,
+        failover: true,
+        rm: Some(RmConfig {
+            start_level,
+            ..RmConfig::default()
+        }),
+        ..SimConfig::default()
+    });
+    sim.schedule_fault(
+        SimTime::from_mins(3),
+        0,
+        Fault::TransientException {
+            component: "BrowseCategories",
+            calls: u32::MAX,
+        },
+    );
+    sim.run_until(SimTime::from_mins(10));
+    let mut world = sim.finish();
+    let s = world.pool.taw_ref().summary();
+    let over_8s = world.pool.taw_ref().over_8s();
+    let peak_rt_ms = world.pool.taw().response_ms().percentile(1.0);
+    RunResult {
+        failed_requests: s.bad_ops,
+        total_requests: s.bad_ops + s.good_ops,
+        sessions_failed_over: world.lb.failed_over(),
+        over_8s,
+        peak_rt_ms,
+    }
+}
+
+fn main() {
+    banner("Figure 3: failover under normal load (500 clients/node, FastS)");
+    let mut t = Table::new(&[
+        "nodes",
+        "restart: failed",
+        "restart: sessions",
+        "restart: % of total",
+        "uRB: failed",
+        "uRB: sessions",
+        "uRB: % of total",
+    ]);
+    let mut restart_failed = Vec::new();
+    let mut urb_failed = Vec::new();
+    for nodes in [2usize, 4, 6, 8] {
+        let restart = run(nodes, PolicyLevel::Process);
+        let urb = run(nodes, PolicyLevel::Ejb);
+        restart_failed.push(restart.failed_requests);
+        urb_failed.push(urb.failed_requests);
+        t.row_owned(vec![
+            format!("{nodes}"),
+            format!("{}", restart.failed_requests),
+            format!("{}", restart.sessions_failed_over),
+            format!(
+                "{:.2}%",
+                100.0 * restart.failed_requests as f64 / restart.total_requests as f64
+            ),
+            format!("{}", urb.failed_requests),
+            format!("{}", urb.sessions_failed_over),
+            format!(
+                "{:.2}%",
+                100.0 * urb.failed_requests as f64 / urb.total_requests as f64
+            ),
+        ]);
+    }
+    t.print();
+    let avg = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+    println!(
+        "\naverages: restart {:.0} failed requests, uRB {:.0} (paper: 2,280 vs 162)",
+        avg(&restart_failed),
+        avg(&urb_failed)
+    );
+    println!("shape: restart failures scale with the failed node's sessions; uRB");
+    println!("failures stay roughly constant with cluster size, so the relative");
+    println!("benefit shrinks as the cluster grows but never disappears.");
+
+    // Section 5.3's SSM repeat: session state survives failover, but the
+    // good nodes absorb the failed node's load *and* repopulate their
+    // session caches — the paper saw response times exceed 8 s with JVM
+    // restarts, while microreboots were too fast for the effect to be
+    // observable.
+    banner("Figure 3 (repeat with SSM): failover without session loss");
+    let mut t2 = Table::new(&[
+        "nodes",
+        "restart: failed",
+        "restart: >8s",
+        "restart: peak rt",
+        "uRB: failed",
+        "uRB: >8s",
+    ]);
+    for nodes in [2usize, 4] {
+        let restart = run_with_store(nodes, PolicyLevel::Process, StoreChoice::Ssm);
+        let urb = run_with_store(nodes, PolicyLevel::Ejb, StoreChoice::Ssm);
+        t2.row_owned(vec![
+            format!("{nodes}"),
+            format!("{}", restart.failed_requests),
+            format!("{}", restart.over_8s),
+            format!("{:.0} ms", restart.peak_rt_ms),
+            format!("{}", urb.failed_requests),
+            format!("{}", urb.over_8s),
+        ]);
+    }
+    t2.print();
+    println!("\nwith SSM the restart no longer strands sessions (failed counts drop)");
+    println!("but the redirected load + cache repopulation still hurts; the uRB is");
+    println!("over before the cluster notices (paper: >8 s responses vs unobservable).");
+}

@@ -1,0 +1,120 @@
+//! Figure 4 + Table 4 — failover under doubled load.
+//!
+//! 1,000 clients per node (double the normal population), clusters of
+//! 2/4/6/8 nodes, FastS. After the system stabilizes, a µRB-recoverable
+//! fault hits one node and the LB fails its traffic over during recovery.
+//! With a JVM restart the redirected load overwhelms the good nodes for
+//! ~19 s (the 2-node case spikes to many seconds of queueing delay); a
+//! microreboot is over too quickly to disturb the load dynamics.
+//!
+//! Table 4 counts requests exceeding the 8-second Web-abandonment
+//! threshold during failover (paper: 3,227/530/55/9 for restarts on
+//! 2/4/6/8 nodes vs 3/0/0/0 for microreboots).
+
+use bench::report::banner;
+use bench::Table;
+use cluster::{Sim, SimConfig};
+use faults::Fault;
+use recovery::{PolicyLevel, RmConfig};
+use simcore::SimTime;
+
+struct RunResult {
+    over_8s: u64,
+    peak_rt_ms: f64,
+    series: Vec<(u64, Option<f64>)>,
+}
+
+fn run(nodes: usize, start_level: PolicyLevel) -> RunResult {
+    let mut sim = Sim::new(SimConfig {
+        nodes,
+        clients_per_node: 1000,
+        failover: true,
+        rm: Some(RmConfig {
+            start_level,
+            ..RmConfig::default()
+        }),
+        ..SimConfig::default()
+    });
+    // Let the doubled load stabilize before injecting (paper: the 13-min
+    // interval exists for exactly this).
+    sim.schedule_fault(
+        SimTime::from_secs(400),
+        0,
+        Fault::TransientException {
+            component: "BrowseCategories",
+            calls: u32::MAX,
+        },
+    );
+    sim.run_until(SimTime::from_secs(780));
+    let world = sim.finish();
+    let taw = world.pool.taw_ref();
+    let mut series = Vec::new();
+    let mut peak: f64 = 0.0;
+    for s in 100..780 {
+        let rt = taw.mean_rt_in_second(s);
+        if let Some(v) = rt {
+            peak = peak.max(v);
+        }
+        if s % 20 == 0 {
+            series.push((s, rt));
+        }
+    }
+    RunResult {
+        over_8s: taw.over_8s(),
+        peak_rt_ms: peak,
+        series,
+    }
+}
+
+fn main() {
+    banner("Figure 4 + Table 4: failover under doubled load (1000 clients/node)");
+
+    let mut t4 = Table::new(&[
+        "nodes",
+        "paper restart >8s",
+        "measured restart >8s",
+        "paper uRB >8s",
+        "measured uRB >8s",
+        "restart peak rt",
+        "uRB peak rt",
+    ]);
+    let paper = [(2usize, 3227u64, 3u64), (4, 530, 0), (6, 55, 0), (8, 9, 0)];
+    let mut two_node_series = None;
+    for (nodes, p_restart, p_urb) in paper {
+        let restart = run(nodes, PolicyLevel::Process);
+        let urb = run(nodes, PolicyLevel::Ejb);
+        t4.row_owned(vec![
+            format!("{nodes}"),
+            format!("{p_restart}"),
+            format!("{}", restart.over_8s),
+            format!("{p_urb}"),
+            format!("{}", urb.over_8s),
+            format!("{:.0} ms", restart.peak_rt_ms),
+            format!("{:.0} ms", urb.peak_rt_ms),
+        ]);
+        if nodes == 2 {
+            two_node_series = Some((restart.series, urb.series));
+        }
+    }
+    t4.print();
+
+    if let Some((restart_series, urb_series)) = two_node_series {
+        println!("\n2-node response-time timeline (mean ms in 20 s samples; fault at t=400):");
+        let mut ts = Table::new(&["t (s)", "restart rt (ms)", "uRB rt (ms)"]);
+        for (i, (s, r)) in restart_series.iter().enumerate() {
+            let u = urb_series[i].1;
+            let in_window = (380..=560).contains(s);
+            if in_window {
+                ts.row_owned(vec![
+                    format!("{s}"),
+                    r.map(|v| format!("{v:.0}")).unwrap_or("-".into()),
+                    u.map(|v| format!("{v:.0}")).unwrap_or("-".into()),
+                ]);
+            }
+        }
+        ts.print();
+    }
+    println!("\npaper shape: the restart's 19 s outage dumps a whole node's load on the");
+    println!("survivors — on 2 nodes response times blow past the 8 s abandonment");
+    println!("threshold; microreboots leave response time flat at every cluster size.");
+}

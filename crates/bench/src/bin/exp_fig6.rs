@@ -1,0 +1,156 @@
+//! Figure 6 — averting failure with microrejuvenation.
+//!
+//! Injects the paper's leaks — a slow per-invocation leak in the `Item`
+//! entity bean and a fast one in `ViewItem` — and runs the Section 6.4
+//! rejuvenation service: when free heap drops below `M_alarm` (350 MB of
+//! the 1 GB heap), components are microrebooted in a rolling fashion until
+//! free memory exceeds `M_sufficient` (800 MB), learning which components
+//! release the most memory. The baseline run rejuvenates with whole JVM
+//! restarts instead.
+//!
+//! Paper: over 30 minutes, whole-JVM rejuvenation failed 11,915 requests;
+//! microrejuvenation failed 1,383 — an order of magnitude — and good Taw
+//! never dropped to zero.
+
+use bench::report::{banner, ratio};
+use bench::Table;
+use cluster::{LogEvent, Sim, SimConfig};
+use faults::Fault;
+use simcore::{SimDuration, SimTime};
+
+const MALARM: u64 = 350 << 20;
+const MSUFFICIENT: u64 = 800 << 20;
+const RUN: u64 = 30; // minutes
+
+fn inject_leaks(sim: &mut Sim) {
+    // The paper leaks 2 KB/invocation in Item and 250 KB/invocation in
+    // ViewItem; our scaled call rates need proportionally larger leaks to
+    // reproduce the ~7-minute first alarm on a 1 GB heap.
+    sim.schedule_fault(
+        SimTime::from_secs(5),
+        0,
+        Fault::AppMemoryLeak {
+            component: "Item",
+            bytes_per_call: 16 << 10,
+            persistent: true,
+        },
+    );
+    sim.schedule_fault(
+        SimTime::from_secs(5),
+        0,
+        Fault::AppMemoryLeak {
+            component: "ViewItem",
+            bytes_per_call: 300 << 10,
+            persistent: true,
+        },
+    );
+}
+
+fn microrejuvenation() -> (u64, Vec<(u64, f64)>, usize, bool) {
+    let mut sim = Sim::new(SimConfig::default());
+    inject_leaks(&mut sim);
+    sim.enable_rejuvenation(0, MALARM, MSUFFICIENT, SimDuration::from_secs(5));
+    let mut memory = Vec::new();
+    for minute in 0..RUN {
+        for tick in 0..6 {
+            sim.run_until(SimTime::from_secs(minute * 60 + tick * 10));
+            let free = sim.world().nodes[0].available_memory();
+            memory.push((minute * 60 + tick * 10, free as f64 / (1 << 20) as f64));
+        }
+    }
+    sim.run_until(SimTime::from_mins(RUN));
+    let world = sim.finish();
+    let rejuvs = world
+        .log
+        .iter()
+        .filter(|e| {
+            matches!(e, LogEvent::RecoveryFinished { action, .. } if action.contains("rejuvenation"))
+        })
+        .count();
+    let taw = world.pool.taw_ref();
+    // "Good Taw never dropped to zero": check every 10 s window has some
+    // goodput.
+    let mut never_zero = true;
+    for w in 1..(RUN * 6 - 1) {
+        if taw.good_in(w * 10, w * 10 + 9) == 0.0 {
+            never_zero = false;
+        }
+    }
+    (taw.summary().bad_ops, memory, rejuvs, never_zero)
+}
+
+fn jvm_rejuvenation() -> (u64, usize, bool) {
+    let mut sim = Sim::new(SimConfig::default());
+    inject_leaks(&mut sim);
+    // Whole-JVM rejuvenation: poll free memory, restart when it drops
+    // below the alarm.
+    fn poll(w: &mut cluster::World, q: &mut simcore::EventQueue<cluster::World>) {
+        let now = q.now();
+        if w.nodes[0].is_up() && w.nodes[0].available_memory() < MALARM {
+            w.execute_action(0, recovery::RecoveryAction::RestartProcess, q);
+        }
+        let _ = now;
+        q.schedule_in(SimDuration::from_secs(5), "jvm-rejuv-poll", poll);
+    }
+    sim.schedule_fn(SimTime::from_secs(5), poll);
+    sim.run_until(SimTime::from_mins(RUN));
+    let world = sim.finish();
+    let restarts = world.nodes[0].stats().process_restarts as usize;
+    let taw = world.pool.taw_ref();
+    let mut never_zero = true;
+    for w in 1..(RUN * 6 - 1) {
+        if taw.good_in(w * 10, w * 10 + 9) == 0.0 {
+            never_zero = false;
+        }
+    }
+    (taw.summary().bad_ops, restarts, never_zero)
+}
+
+fn main() {
+    banner("Figure 6: available memory under microrejuvenation (30-minute run)");
+    let (urb_bad, memory, rejuv_events, urb_never_zero) = microrejuvenation();
+    let (jvm_bad, jvm_restarts, jvm_never_zero) = jvm_rejuvenation();
+
+    println!("free-heap timeline (MB, sampled every 10 s; alarm 350 MB, target 800 MB):");
+    let mut spark = String::new();
+    for (t, mb) in &memory {
+        if t % 60 == 0 {
+            spark.push_str(&format!("\n  min {:>2}: ", t / 60));
+        }
+        let c = match *mb as u64 {
+            0..=349 => '!',
+            350..=549 => '-',
+            550..=749 => '+',
+            _ => '#',
+        };
+        spark.push(c);
+    }
+    println!("{spark}");
+    println!("\n  legend: '#' >750 MB free, '+' >550, '-' >350, '!' below alarm\n");
+
+    let mut t = Table::new(&["metric", "JVM rejuvenation", "microrejuvenation", "paper"]);
+    t.row_owned(vec![
+        "failed requests (30 min)".into(),
+        format!("{jvm_bad}"),
+        format!("{urb_bad}"),
+        "11,915 vs 1,383".into(),
+    ]);
+    t.row_owned(vec![
+        "rejuvenation events".into(),
+        format!("{jvm_restarts} restarts"),
+        format!("{rejuv_events} microreboots"),
+        "-".into(),
+    ]);
+    t.row_owned(vec![
+        "good Taw ever zero?".into(),
+        format!("{}", if jvm_never_zero { "no" } else { "yes" }),
+        format!("{}", if urb_never_zero { "no" } else { "yes" }),
+        "yes vs no".into(),
+    ]);
+    t.print();
+    println!(
+        "\nmicrorejuvenation reduces rejuvenation downtime cost {} (paper: ~8.6x),",
+        ratio(jvm_bad as f64, urb_bad.max(1) as f64)
+    );
+    println!("turning planned total downtime into planned partial downtime.");
+}

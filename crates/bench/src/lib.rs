@@ -1,0 +1,15 @@
+//! Experiment harness for the microreboot reproduction.
+//!
+//! One binary per table/figure of the paper (see `src/bin/exp_*.rs`), each
+//! printing the same rows/series the paper reports, side by side with the
+//! paper's numbers where the paper gives them. Criterion micro-benchmarks
+//! of the framework primitives live in `benches/`.
+//!
+//! Run a single experiment with e.g.
+//! `cargo run --release -p bench --bin exp_table3`.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+
+pub use report::Table;

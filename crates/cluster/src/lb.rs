@@ -1,0 +1,195 @@
+//! The client-side load balancer (Section 5.3).
+//!
+//! "Under failure-free operation, LB distributes new incoming login
+//! requests evenly between the nodes and, for established sessions, LB
+//! implements session affinity. [...] When RM decides to perform a
+//! recovery, it first notifies LB, which redirects requests bound for
+//! Nbad uniformly to the good nodes; once Nbad has recovered, RM notifies
+//! LB, and requests are again distributed as before the failure."
+
+use std::collections::HashMap;
+
+use statestore::SessionId;
+use urb_core::Request;
+
+/// The load balancer.
+#[derive(Debug)]
+pub struct LoadBalancer {
+    nodes: usize,
+    affinity: HashMap<SessionId, usize>,
+    redirecting: Vec<bool>,
+    rr: usize,
+    /// Sessions whose affinity target was under redirection at routing
+    /// time, i.e. requests actually failed over (Figure 3's metric).
+    failed_over_sessions: Vec<SessionId>,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over `nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn new(nodes: usize) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        LoadBalancer {
+            nodes,
+            affinity: HashMap::new(),
+            redirecting: vec![false; nodes],
+            rr: 0,
+            failed_over_sessions: Vec::new(),
+        }
+    }
+
+    /// Returns the number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn next_good(&mut self) -> usize {
+        for _ in 0..self.nodes {
+            let n = self.rr % self.nodes;
+            self.rr += 1;
+            if !self.redirecting[n] {
+                return n;
+            }
+        }
+        // Everything is redirecting (e.g., a one-node cluster mid-
+        // recovery): requests still have to go somewhere.
+        let n = self.rr % self.nodes;
+        self.rr += 1;
+        n
+    }
+
+    /// Routes a request to a node.
+    pub fn route(&mut self, req: &Request) -> usize {
+        if let Some(sid) = req.session {
+            if let Some(&home) = self.affinity.get(&sid) {
+                if self.redirecting[home] && self.nodes > 1 {
+                    if !self.failed_over_sessions.contains(&sid) {
+                        self.failed_over_sessions.push(sid);
+                    }
+                    return self.next_good();
+                }
+                return home;
+            }
+        }
+        self.next_good()
+    }
+
+    /// Registers session affinity (the node that issued the cookie).
+    pub fn assign(&mut self, sid: SessionId, node: usize) {
+        self.affinity.insert(sid, node);
+    }
+
+    /// Drops a session binding (logout).
+    pub fn unassign(&mut self, sid: SessionId) {
+        self.affinity.remove(&sid);
+    }
+
+    /// Starts (or stops) redirecting traffic away from `node`.
+    pub fn set_redirect(&mut self, node: usize, on: bool) {
+        if node < self.nodes {
+            self.redirecting[node] = on;
+        }
+    }
+
+    /// Returns true if `node` is being drained.
+    pub fn is_redirecting(&self, node: usize) -> bool {
+        self.redirecting.get(node).copied().unwrap_or(false)
+    }
+
+    /// Number of sessions currently homed on `node`.
+    pub fn sessions_on(&self, node: usize) -> usize {
+        self.affinity.values().filter(|n| **n == node).count()
+    }
+
+    /// Total sessions that were actually failed over so far.
+    pub fn failed_over(&self) -> usize {
+        self.failed_over_sessions.len()
+    }
+
+    /// Clears the failed-over tally (between experiment phases).
+    pub fn reset_failed_over(&mut self) {
+        self.failed_over_sessions.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use urb_core::{OpCode, ReqId};
+
+    fn req(id: u64, session: Option<u64>) -> Request {
+        Request {
+            id: ReqId(id),
+            op: OpCode(0),
+            session: session.map(SessionId),
+            idempotent: true,
+            arg: 0,
+            submitted_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn cookieless_requests_round_robin() {
+        let mut lb = LoadBalancer::new(3);
+        let nodes: Vec<usize> = (0..6).map(|i| lb.route(&req(i, None))).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn session_affinity_sticks() {
+        let mut lb = LoadBalancer::new(3);
+        lb.assign(SessionId(7), 2);
+        for i in 0..5 {
+            assert_eq!(lb.route(&req(i, Some(7))), 2);
+        }
+    }
+
+    #[test]
+    fn redirection_sends_sessions_elsewhere_and_counts_them() {
+        let mut lb = LoadBalancer::new(3);
+        lb.assign(SessionId(7), 1);
+        lb.set_redirect(1, true);
+        let n = lb.route(&req(1, Some(7)));
+        assert_ne!(n, 1);
+        assert_eq!(lb.failed_over(), 1);
+        // The same session counts once.
+        lb.route(&req(2, Some(7)));
+        assert_eq!(lb.failed_over(), 1);
+        // Recovery done: traffic returns home.
+        lb.set_redirect(1, false);
+        assert_eq!(lb.route(&req(3, Some(7))), 1);
+    }
+
+    #[test]
+    fn new_logins_avoid_redirecting_nodes() {
+        let mut lb = LoadBalancer::new(2);
+        lb.set_redirect(0, true);
+        for i in 0..4 {
+            assert_eq!(lb.route(&req(i, None)), 1);
+        }
+    }
+
+    #[test]
+    fn single_node_cluster_still_routes_during_recovery() {
+        let mut lb = LoadBalancer::new(1);
+        lb.assign(SessionId(1), 0);
+        lb.set_redirect(0, true);
+        assert_eq!(lb.route(&req(1, Some(1))), 0, "nowhere else to go");
+        assert_eq!(lb.failed_over(), 0, "no failover in a 1-node cluster");
+    }
+
+    #[test]
+    fn sessions_on_counts_affinity() {
+        let mut lb = LoadBalancer::new(2);
+        lb.assign(SessionId(1), 0);
+        lb.assign(SessionId(2), 0);
+        lb.assign(SessionId(3), 1);
+        assert_eq!(lb.sessions_on(0), 2);
+        lb.unassign(SessionId(1));
+        assert_eq!(lb.sessions_on(0), 1);
+    }
+}

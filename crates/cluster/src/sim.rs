@@ -1,0 +1,600 @@
+//! The cluster simulation: event-loop glue binding servers, the load
+//! balancer, the client population and the recovery manager.
+//!
+//! One [`Sim`] is one experiment run: a deterministic discrete-event
+//! simulation of the paper's testbed — N application-server nodes over a
+//! shared database (and optionally a shared SSM), a client-side load
+//! balancer with session affinity, 500 (or 1000) emulated clients per
+//! node, client-side failure detectors reporting to the recovery manager,
+//! and hooks to inject any Table 2 fault or command any recovery action
+//! at a chosen instant.
+
+use ebid::{catalog, DatasetSpec, EBid};
+use faults::Fault;
+use recovery::{RecoveryAction, RecoveryManager, RmConfig};
+use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
+use simcore::{EventQueue, SimDuration, SimTime};
+use statestore::Ssm;
+use urb_core::backend::{share_db, share_ssm, SessionBackend};
+use urb_core::server::RebootId;
+use urb_core::{AppServer, ReqId, Response, ServerConfig, SubmitOutcome};
+use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind};
+
+use crate::lb::LoadBalancer;
+
+/// How long an emulated client waits for a response before giving up.
+///
+/// Long enough that overload-induced queueing (Figure 4 sees 12-second
+/// responses in the paper) completes rather than failing — the 8-second
+/// mark is a user-experience threshold, not a failure detector. Hung
+/// requests (deadlocks, infinite loops) are purged earlier by the
+/// server's own 30-second request TTL, whose `TimedOut` response is what
+/// the monitors attribute to the stuck URL.
+pub const CLIENT_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+/// Where nodes keep session state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StoreChoice {
+    /// Node-private in-process store (lost on JVM restart).
+    FastS,
+    /// Shared external store (survives restarts; slower).
+    Ssm,
+}
+
+/// Experiment configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Emulated clients per node (paper: 500; 1000 for Figure 4).
+    pub clients_per_node: usize,
+    /// Session store placement.
+    pub store: StoreChoice,
+    /// Whether sentinel hits answer `Retry-After` (Section 6.2).
+    pub retry_enabled: bool,
+    /// Drain delay before microreboot crash phases (Table 6's 200 ms).
+    pub drain: Option<SimDuration>,
+    /// Which detector the monitors run.
+    pub detector: DetectorKind,
+    /// Recovery-manager configuration; `None` disables automatic recovery
+    /// (experiments then command recovery directly).
+    pub rm: Option<RmConfig>,
+    /// Whether the LB fails traffic over during recovery (Section 5.3) —
+    /// meaningless in a 1-node cluster.
+    pub failover: bool,
+    /// Dataset shape.
+    pub dataset: DatasetSpec,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            nodes: 1,
+            clients_per_node: 500,
+            store: StoreChoice::FastS,
+            retry_enabled: false,
+            drain: None,
+            detector: DetectorKind::Comparison,
+            rm: None,
+            failover: false,
+            dataset: DatasetSpec::default(),
+            seed: 0xeb1d,
+        }
+    }
+}
+
+/// A notable event, for experiment reports.
+#[derive(Clone, Debug)]
+pub enum LogEvent {
+    /// A fault was injected.
+    FaultInjected {
+        /// When.
+        at: SimTime,
+        /// Into which node.
+        node: usize,
+        /// Catalogue description.
+        label: String,
+    },
+    /// A recovery action began.
+    RecoveryStarted {
+        /// When.
+        at: SimTime,
+        /// On which node.
+        node: usize,
+        /// Action description.
+        action: String,
+    },
+    /// A recovery action finished.
+    RecoveryFinished {
+        /// When.
+        at: SimTime,
+        /// On which node.
+        node: usize,
+        /// Action description.
+        action: String,
+        /// When it began.
+        started: SimTime,
+    },
+    /// The recovery manager paged a human.
+    HumanNotified {
+        /// When.
+        at: SimTime,
+        /// About which node.
+        node: usize,
+    },
+}
+
+/// The simulation world (servers + LB + clients + RM + bookkeeping).
+pub struct World {
+    /// The application-server nodes.
+    pub nodes: Vec<AppServer<EBid>>,
+    /// The load balancer.
+    pub lb: LoadBalancer,
+    /// The emulated clients.
+    pub pool: ClientPool,
+    /// The recovery manager, when automatic recovery is on.
+    pub rm: Option<RecoveryManager>,
+    /// Event log for reports.
+    pub log: Vec<LogEvent>,
+    /// Per-node rejuvenation services (Section 6.4), when enabled.
+    pub rejuv: Vec<Option<RejuvenationService>>,
+    failover: bool,
+    drain: Option<SimDuration>,
+}
+
+impl World {
+    fn pump_node(&mut self, node: usize, q: &mut EventQueue<World>) {
+        let now = q.now();
+        for started in self.nodes[node].pump(now) {
+            let rid = started.req;
+            q.schedule_at(started.cpu_done_at, "complete", move |w, q| {
+                w.on_complete(node, rid, q);
+            });
+        }
+    }
+
+    fn schedule_deliveries(
+        &mut self,
+        node: usize,
+        responses: Vec<Response>,
+        q: &mut EventQueue<World>,
+    ) {
+        for resp in responses {
+            q.schedule_at(resp.finished_at, "deliver", move |w, q| {
+                w.on_deliver(node, resp, q);
+            });
+        }
+    }
+
+    fn on_wake(&mut self, client: usize, q: &mut EventQueue<World>) {
+        let now = q.now();
+        let Some(out) = self.pool.wake(client, now) else {
+            return;
+        };
+        let node = self.lb.route(&out.req);
+        // Browsers give up eventually: if no response arrived by then, the
+        // client observes a timeout (the server may still hold the stuck
+        // thread until its TTL lease expires).
+        let rid = out.req.id;
+        let op = out.req.op;
+        q.schedule_at(now + CLIENT_TIMEOUT, "client-timeout", move |w, q| {
+            if w.pool.owner_of(rid).is_none() {
+                return; // Answered in time.
+            }
+            let timeout_resp = Response {
+                req: rid,
+                op,
+                status: urb_core::Status::TimedOut,
+                markers: urb_core::BodyMarkers::default(),
+                tainted: false,
+                finished_at: q.now(),
+                failed_component: None,
+                set_cookie: None,
+                clear_cookie: false,
+            };
+            w.on_deliver(node, timeout_resp, q);
+        });
+        match self.nodes[node].submit(out.req, now) {
+            SubmitOutcome::Rejected(resp) => self.schedule_deliveries(node, vec![resp], q),
+            SubmitOutcome::Admitted => self.pump_node(node, q),
+        }
+    }
+
+    fn on_complete(&mut self, node: usize, rid: ReqId, q: &mut EventQueue<World>) {
+        let now = q.now();
+        if let Some(resp) = self.nodes[node].complete(rid, now) {
+            self.schedule_deliveries(node, vec![resp], q);
+        }
+        self.pump_node(node, q);
+    }
+
+    fn on_deliver(&mut self, node: usize, resp: Response, q: &mut EventQueue<World>) {
+        let now = q.now();
+        if let Some(sid) = resp.set_cookie {
+            self.lb.assign(sid, node);
+        }
+        match self.pool.deliver(&resp, node, now) {
+            Some((client, DeliverOutcome::ThinkUntil(t)))
+            | Some((client, DeliverOutcome::RetryAt(t))) => {
+                q.schedule_at(t, "wake", move |w, q| w.on_wake(client, q));
+            }
+            None => {}
+        }
+        if let Some(rm) = &mut self.rm {
+            for r in self.pool.drain_reports() {
+                rm.report(&r);
+            }
+        }
+    }
+
+    fn on_maintenance(&mut self, q: &mut EventQueue<World>) {
+        let now = q.now();
+        for node in 0..self.nodes.len() {
+            let killed = self.nodes[node].maintenance(now);
+            self.schedule_deliveries(node, killed, q);
+            self.pump_node(node, q);
+        }
+        q.schedule_in(SimDuration::from_secs(1), "maintenance", |w, q| {
+            w.on_maintenance(q);
+        });
+    }
+
+    fn on_rejuv_poll(&mut self, node: usize, period: SimDuration, q: &mut EventQueue<World>) {
+        let now = q.now();
+        if let Some(Some(service)) = self.rejuv.get_mut(node) {
+            // Record the outcome of a finished rejuvenation microreboot
+            // (free memory was sampled after the reboot completed).
+            let action = {
+                let server = &mut self.nodes[node];
+                service.check(server, now)
+            };
+            match action {
+                RejuvenationAction::Idle => {}
+                RejuvenationAction::Microreboot { component, ticket } => {
+                    self.log.push(LogEvent::RecoveryStarted {
+                        at: now,
+                        node,
+                        action: format!("rejuvenation microreboot {component}"),
+                    });
+                    let id = ticket.id;
+                    q.schedule_at(ticket.crash_at, "rejuv-crash", move |w, q| {
+                        w.on_urb_crash(node, id, q);
+                    });
+                    q.schedule_at(ticket.done_at, "rejuv-done", move |w, q| {
+                        let t = q.now();
+                        let members = w.nodes[node].microreboot_complete(id, t);
+                        let free = w.nodes[node].available_memory();
+                        if let Some(Some(service)) = w.rejuv.get_mut(node) {
+                            service.record_completion(free);
+                        }
+                        w.log.push(LogEvent::RecoveryFinished {
+                            at: t,
+                            node,
+                            action: format!("rejuvenation microreboot {members:?}"),
+                            started: now,
+                        });
+                        w.pump_node(node, q);
+                        // Re-check immediately: one component may not have
+                        // released enough.
+                        w.on_rejuv_poll(node, period, q);
+                    });
+                    return; // The done handler reschedules the poll.
+                }
+                RejuvenationAction::NeedsProcessRestart => {
+                    self.execute_action(node, RecoveryAction::RestartProcess, q);
+                }
+            }
+        }
+        q.schedule_in(period, "rejuv-poll", move |w, q| {
+            w.on_rejuv_poll(node, period, q);
+        });
+    }
+
+    fn on_rm_poll(&mut self, q: &mut EventQueue<World>) {
+        let now = q.now();
+        if self.rm.is_some() {
+            for node in 0..self.nodes.len() {
+                let action = self
+                    .rm
+                    .as_mut()
+                    .and_then(|rm| rm.decide(node, now));
+                if let Some(action) = action {
+                    self.execute_action(node, action, q);
+                }
+            }
+        }
+        q.schedule_in(SimDuration::from_millis(300), "rm-poll", |w, q| {
+            w.on_rm_poll(q);
+        });
+    }
+
+    fn redirect(&mut self, node: usize, on: bool) {
+        if self.failover && self.lb.nodes() > 1 {
+            self.lb.set_redirect(node, on);
+        }
+    }
+
+    fn recovery_finished(&mut self, node: usize, now: SimTime) {
+        if let Some(rm) = &mut self.rm {
+            rm.recovery_finished(node, now);
+        }
+    }
+
+    fn on_urb_crash(&mut self, node: usize, id: RebootId, q: &mut EventQueue<World>) {
+        let now = q.now();
+        let killed = self.nodes[node].microreboot_crash(id, now);
+        self.schedule_deliveries(node, killed, q);
+        self.pump_node(node, q);
+    }
+
+    fn on_urb_done(
+        &mut self,
+        node: usize,
+        id: RebootId,
+        started: SimTime,
+        q: &mut EventQueue<World>,
+    ) {
+        let now = q.now();
+        let members = self.nodes[node].microreboot_complete(id, now);
+        self.log.push(LogEvent::RecoveryFinished {
+            at: now,
+            node,
+            action: format!("microreboot {members:?}"),
+            started,
+        });
+        self.recovery_finished(node, now);
+        self.redirect(node, false);
+        self.pump_node(node, q);
+    }
+
+    /// Executes a recovery action on a node (from the RM or an experiment).
+    pub fn execute_action(
+        &mut self,
+        node: usize,
+        action: RecoveryAction,
+        q: &mut EventQueue<World>,
+    ) {
+        let now = q.now();
+        self.log.push(LogEvent::RecoveryStarted {
+            at: now,
+            node,
+            action: format!("{action:?}"),
+        });
+        match action {
+            RecoveryAction::Microreboot { components } => {
+                match self.nodes[node].begin_microreboot(&components, now, self.drain) {
+                    Ok(ticket) => {
+                        self.redirect(node, true);
+                        let id = ticket.id;
+                        q.schedule_at(ticket.crash_at, "urb-crash", move |w, q| {
+                            w.on_urb_crash(node, id, q);
+                        });
+                        q.schedule_at(ticket.done_at, "urb-done", move |w, q| {
+                            w.on_urb_done(node, id, now, q);
+                        });
+                    }
+                    Err(_) => {
+                        // Nothing to do (already rebooting, or process
+                        // down); unblock the manager so it can escalate.
+                        self.recovery_finished(node, now);
+                    }
+                }
+            }
+            RecoveryAction::RestartApp => {
+                let Ok((until, killed)) = self.nodes[node].begin_app_restart(now) else {
+                    // The JVM itself is down: nothing to redeploy. Unblock
+                    // the manager so it escalates.
+                    self.recovery_finished(node, now);
+                    return;
+                };
+                self.schedule_deliveries(node, killed, q);
+                self.redirect(node, true);
+                q.schedule_at(until, "app-restart-done", move |w, q| {
+                    let t = q.now();
+                    w.nodes[node].app_restart_complete(t);
+                    w.log.push(LogEvent::RecoveryFinished {
+                        at: t,
+                        node,
+                        action: "app restart".into(),
+                        started: now,
+                    });
+                    w.recovery_finished(node, t);
+                    w.redirect(node, false);
+                    w.pump_node(node, q);
+                });
+            }
+            RecoveryAction::RestartProcess => {
+                let (until, killed) = self.nodes[node].begin_process_restart(now);
+                self.schedule_deliveries(node, killed, q);
+                self.redirect(node, true);
+                q.schedule_at(until, "jvm-restart-done", move |w, q| {
+                    let t = q.now();
+                    w.nodes[node].process_restart_complete(t);
+                    w.log.push(LogEvent::RecoveryFinished {
+                        at: t,
+                        node,
+                        action: "process restart".into(),
+                        started: now,
+                    });
+                    w.recovery_finished(node, t);
+                    w.redirect(node, false);
+                    w.pump_node(node, q);
+                });
+            }
+            RecoveryAction::RebootOs => {
+                let (until, killed) = self.nodes[node].begin_os_reboot(now);
+                self.schedule_deliveries(node, killed, q);
+                self.redirect(node, true);
+                q.schedule_at(until, "os-reboot-done", move |w, q| {
+                    let t = q.now();
+                    w.nodes[node].os_reboot_complete(t);
+                    w.log.push(LogEvent::RecoveryFinished {
+                        at: t,
+                        node,
+                        action: "OS reboot".into(),
+                        started: now,
+                    });
+                    w.recovery_finished(node, t);
+                    w.redirect(node, false);
+                    w.pump_node(node, q);
+                });
+            }
+            RecoveryAction::NotifyHuman => {
+                self.log.push(LogEvent::HumanNotified { at: now, node });
+                self.recovery_finished(node, now);
+            }
+        }
+    }
+}
+
+/// One experiment run.
+pub struct Sim {
+    world: World,
+    queue: EventQueue<World>,
+}
+
+impl Sim {
+    /// Builds a simulation per `config` and arms the client population.
+    pub fn new(config: SimConfig) -> Self {
+        let db = share_db(config.dataset.generate(config.seed));
+        let shared_ssm = match config.store {
+            StoreChoice::Ssm => Some(share_ssm(Ssm::new(3))),
+            StoreChoice::FastS => None,
+        };
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for n in 0..config.nodes {
+            let session = match (&config.store, &shared_ssm) {
+                (StoreChoice::Ssm, Some(ssm)) => SessionBackend::Ssm(ssm.clone()),
+                _ => SessionBackend::FastS(statestore::FastS::new()),
+            };
+            let server = AppServer::new(
+                EBid::new(config.dataset),
+                ServerConfig {
+                    node: n,
+                    retry_enabled: config.retry_enabled,
+                    seed: config.seed ^ (0x9e3779b9 * (n as u64 + 1)),
+                    ..ServerConfig::default()
+                },
+                db.clone(),
+                session,
+            );
+            nodes.push(server);
+        }
+        let pool = ClientPool::new(
+            catalog(&config.dataset),
+            ClientPoolConfig {
+                clients: config.nodes * config.clients_per_node,
+                detector: config.detector,
+                seed: config.seed ^ 0x00c1_1e17,
+                ..ClientPoolConfig::default()
+            },
+        );
+        let rm = config.rm.map(|rm_config| {
+            RecoveryManager::new(config.nodes, rm_config, ebid::ops::call_path, "WAR")
+        });
+        let rejuv = (0..config.nodes).map(|_| None).collect();
+        let mut world = World {
+            nodes,
+            lb: LoadBalancer::new(config.nodes),
+            pool,
+            rm,
+            log: Vec::new(),
+            rejuv,
+            failover: config.failover,
+            drain: config.drain,
+        };
+        let mut queue = EventQueue::new();
+        for (client, at) in world.pool.initial_wakes(SimTime::ZERO) {
+            queue.schedule_at(at, "wake", move |w: &mut World, q| w.on_wake(client, q));
+        }
+        queue.schedule_at(SimTime::from_secs(1), "maintenance", |w: &mut World, q| {
+            w.on_maintenance(q);
+        });
+        queue.schedule_at(
+            SimTime::from_millis(300),
+            "rm-poll",
+            |w: &mut World, q| w.on_rm_poll(q),
+        );
+        Sim { world, queue }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Read access to the world.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the world (between events).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Schedules a Table 2 fault injection.
+    pub fn schedule_fault(&mut self, at: SimTime, node: usize, fault: Fault) {
+        self.queue.schedule_at(at, "inject-fault", move |w, q| {
+            let now = q.now();
+            w.log.push(LogEvent::FaultInjected {
+                at: now,
+                node,
+                label: format!("{fault:?}"),
+            });
+            let killed = faults::inject(&mut w.nodes[node], &fault, now);
+            w.schedule_deliveries(node, killed, q);
+        });
+    }
+
+    /// Schedules a recovery action (for runs without an RM, and for the
+    /// false-positive experiments that command "useless" recoveries).
+    pub fn schedule_recovery(&mut self, at: SimTime, node: usize, action: RecoveryAction) {
+        self.queue.schedule_at(at, "command-recovery", move |w, q| {
+            w.execute_action(node, action, q);
+        });
+    }
+
+    /// Enables the Section 6.4 rejuvenation service on a node, checking
+    /// free memory every `period`.
+    pub fn enable_rejuvenation(
+        &mut self,
+        node: usize,
+        malarm: u64,
+        msufficient: u64,
+        period: SimDuration,
+    ) {
+        let components: Vec<&'static str> = self.world.nodes[node]
+            .graph()
+            .all_ids()
+            .map(|id| self.world.nodes[node].graph().name_of(id))
+            .collect();
+        self.world.rejuv[node] = Some(RejuvenationService::new(components, malarm, msufficient));
+        self.queue
+            .schedule_in(period, "rejuv-poll", move |w: &mut World, q| {
+                w.on_rejuv_poll(node, period, q);
+            });
+    }
+
+    /// Schedules an arbitrary closure (experiment escape hatch).
+    pub fn schedule_fn(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut World, &mut EventQueue<World>) + 'static,
+    ) {
+        self.queue.schedule_at(at, "custom", f);
+    }
+
+    /// Runs the simulation up to (and including) `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.queue.run_until(&mut self.world, deadline);
+    }
+
+    /// Ends the run: closes all open user actions and returns the world.
+    pub fn finish(mut self) -> World {
+        self.world.pool.taw().close_all();
+        self.world
+    }
+}

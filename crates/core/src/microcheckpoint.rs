@@ -1,0 +1,220 @@
+//! Microcheckpointing for long-running operations (Section 8, "Workload").
+//!
+//! Microreboots thrive on short, self-contained requests. For long-running
+//! work the paper suggests that "individual components could be
+//! periodically microcheckpointed to keep the cost of µRBs low, keeping in
+//! mind the associated risk of persistent faults". This module implements
+//! that idea in the crash-only spirit: progress tokens live in a dedicated
+//! store *outside* the component (so the microreboot cannot corrupt the
+//! record of how far the work got), and a fresh instance resumes from the
+//! last checkpoint instead of restarting from zero.
+//!
+//! The "risk of persistent faults" is real: if the fault that killed the
+//! instance is deterministic at a given step, resuming replays it forever.
+//! The store therefore counts resumptions per task and refuses to hand out
+//! a checkpoint that has already been resumed too often — forcing a clean
+//! restart (or escalation), the checkpoint-era analogue of the recursive
+//! policy.
+
+use std::collections::HashMap;
+
+use simcore::SimTime;
+
+/// Identifier of a long-running task.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TaskId(pub u64);
+
+/// A stored progress token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Application-defined progress marker (e.g., last row exported).
+    pub progress: u64,
+    /// When it was taken.
+    pub at: SimTime,
+}
+
+/// Why a checkpoint could not be resumed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResumeError {
+    /// No checkpoint recorded for this task.
+    NoCheckpoint,
+    /// The task was already resumed `limit` times without completing —
+    /// the fault is likely persistent; restart cleanly or escalate.
+    SuspectedPersistentFault {
+        /// The configured resume limit.
+        limit: u32,
+    },
+}
+
+/// The external microcheckpoint store.
+///
+/// Like FastS and SSM, it lives outside the components; unlike them it
+/// stores *progress*, not session data, and enforces a resume budget.
+#[derive(Clone, Debug)]
+pub struct MicrocheckpointStore {
+    max_resumes: u32,
+    entries: HashMap<TaskId, (Checkpoint, u32)>,
+    /// Checkpoints written over the store's lifetime.
+    writes: u64,
+}
+
+impl MicrocheckpointStore {
+    /// Creates a store allowing `max_resumes` resumptions per task.
+    pub fn new(max_resumes: u32) -> Self {
+        MicrocheckpointStore {
+            max_resumes,
+            entries: HashMap::new(),
+            writes: 0,
+        }
+    }
+
+    /// Records (or advances) a task's progress.
+    pub fn checkpoint(&mut self, task: TaskId, progress: u64, now: SimTime) {
+        self.writes += 1;
+        let resumes = self.entries.get(&task).map(|(_, r)| *r).unwrap_or(0);
+        self.entries
+            .insert(task, (Checkpoint { progress, at: now }, resumes));
+    }
+
+    /// Fetches the task's checkpoint for resumption after a microreboot.
+    ///
+    /// Each successful call consumes one unit of the resume budget.
+    pub fn resume(&mut self, task: TaskId) -> Result<Checkpoint, ResumeError> {
+        let Some((cp, resumes)) = self.entries.get_mut(&task) else {
+            return Err(ResumeError::NoCheckpoint);
+        };
+        if *resumes >= self.max_resumes {
+            return Err(ResumeError::SuspectedPersistentFault {
+                limit: self.max_resumes,
+            });
+        }
+        *resumes += 1;
+        Ok(cp.clone())
+    }
+
+    /// Completes a task, discarding its checkpoint.
+    pub fn complete(&mut self, task: TaskId) {
+        self.entries.remove(&task);
+    }
+
+    /// Abandons a task entirely (clean restart): the progress is dropped
+    /// and the resume budget resets.
+    pub fn abandon(&mut self, task: TaskId) {
+        self.entries.remove(&task);
+    }
+
+    /// Returns the number of live (incomplete) checkpointed tasks.
+    pub fn live_tasks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns checkpoints written over the store's lifetime.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy long-running job: process `total` units, checkpoint every
+    /// `interval`, and crash (simulated) at `crash_at` if given.
+    fn run_job(
+        store: &mut MicrocheckpointStore,
+        task: TaskId,
+        start: u64,
+        total: u64,
+        interval: u64,
+        crash_at: Option<u64>,
+    ) -> Result<(), u64> {
+        let mut done = start;
+        while done < total {
+            if let Some(c) = crash_at {
+                if done >= c {
+                    return Err(done);
+                }
+            }
+            done += 1;
+            if done % interval == 0 {
+                store.checkpoint(task, done, SimTime::from_secs(done));
+            }
+        }
+        store.complete(task);
+        Ok(())
+    }
+
+    #[test]
+    fn resume_skips_completed_work() {
+        let mut store = MicrocheckpointStore::new(3);
+        let task = TaskId(1);
+        // The job crashes at unit 70 of 100, having checkpointed at 60.
+        let crashed = run_job(&mut store, task, 0, 100, 20, Some(70));
+        assert_eq!(crashed, Err(70));
+        let cp = store.resume(task).expect("checkpoint exists");
+        assert_eq!(cp.progress, 60, "resume from the last checkpoint");
+        // A fresh instance finishes the remaining 40 units.
+        run_job(&mut store, task, cp.progress, 100, 20, None).expect("finishes");
+        assert_eq!(store.live_tasks(), 0);
+    }
+
+    #[test]
+    fn without_checkpointing_work_restarts_from_zero() {
+        let mut store = MicrocheckpointStore::new(3);
+        let task = TaskId(2);
+        let crashed = run_job(&mut store, task, 0, 100, u64::MAX, Some(70));
+        assert_eq!(crashed, Err(70));
+        assert_eq!(
+            store.resume(task),
+            Err(ResumeError::NoCheckpoint),
+            "no checkpoints were ever taken: all 70 units are lost"
+        );
+    }
+
+    #[test]
+    fn persistent_faults_exhaust_the_resume_budget() {
+        let mut store = MicrocheckpointStore::new(2);
+        let task = TaskId(3);
+        // A deterministic fault at unit 50: every resume replays it.
+        let mut start = 0;
+        for _ in 0..2 {
+            let crashed = run_job(&mut store, task, start, 100, 10, Some(50));
+            assert!(crashed.is_err());
+            start = store.resume(task).expect("within budget").progress;
+            assert_eq!(start, 50, "stuck at the faulty step");
+        }
+        let crashed = run_job(&mut store, task, start, 100, 10, Some(50));
+        assert!(crashed.is_err());
+        assert_eq!(
+            store.resume(task),
+            Err(ResumeError::SuspectedPersistentFault { limit: 2 }),
+            "the store refuses to replay a suspected persistent fault"
+        );
+        // The recursive-policy response: abandon and start clean.
+        store.abandon(task);
+        assert_eq!(store.resume(task), Err(ResumeError::NoCheckpoint));
+    }
+
+    #[test]
+    fn completion_clears_state_and_budget() {
+        let mut store = MicrocheckpointStore::new(1);
+        let task = TaskId(4);
+        store.checkpoint(task, 10, SimTime::ZERO);
+        assert_eq!(store.resume(task).unwrap().progress, 10);
+        store.complete(task);
+        assert_eq!(store.live_tasks(), 0);
+        // A new incarnation of the task starts with a fresh budget.
+        store.checkpoint(task, 5, SimTime::ZERO);
+        assert!(store.resume(task).is_ok());
+    }
+
+    #[test]
+    fn checkpoints_advance_monotonically_per_write() {
+        let mut store = MicrocheckpointStore::new(3);
+        let task = TaskId(5);
+        store.checkpoint(task, 10, SimTime::from_secs(1));
+        store.checkpoint(task, 20, SimTime::from_secs(2));
+        assert_eq!(store.resume(task).unwrap().progress, 20);
+        assert_eq!(store.writes(), 2);
+    }
+}

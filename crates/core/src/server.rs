@@ -1,0 +1,1400 @@
+//! The microreboot-enabled application server.
+//!
+//! [`AppServer`] hosts one crash-only [`Application`] on one simulated
+//! node. It owns the containers, the naming registry, the worker pool, the
+//! heap model and the request lifecycle, and implements the paper's
+//! recovery actions:
+//!
+//! * **Microreboot** (Section 3.2) — destroy all instances of the target
+//!   component(s) and their recovery-group closure, kill their shepherding
+//!   threads, abort their transactions, release their resources, discard
+//!   their container metadata, then reinstantiate and reinitialize —
+//!   binding a sentinel in the naming service meanwhile so callers can be
+//!   told `Retry-After` (Section 6.2). The classloader is preserved.
+//! * **Application restart** — stop and redeploy every component.
+//! * **Process (JVM) restart** — `kill -9` plus full server
+//!   reinitialization; in-process session state (FastS) is lost.
+//! * **OS reboot** — the recursive policy's last resort.
+//!
+//! The server is a *passive* state machine over simulated time: every
+//! method takes `now`, and methods that start timed work return the instant
+//! it finishes so the caller (the cluster simulation) can schedule the
+//! follow-up call. This keeps the server synchronously testable.
+
+use std::collections::HashMap;
+
+use components::container::Container;
+use components::descriptor::ComponentId;
+use components::graph::DependencyGraph;
+use components::registry::{Binding, NamingRegistry};
+use simcore::{SimDuration, SimRng, SimTime};
+use statestore::db::ConnId;
+use statestore::session::{CorruptKind, SessionId};
+use statestore::TxnId;
+
+use crate::app::{Application, CallError};
+use crate::backend::{SessionBackend, SharedDb};
+use crate::calib;
+use crate::context::{CallContext, HangKind};
+use crate::heap::HeapModel;
+use crate::request::{BodyMarkers, OpCode, ReqId, Request, Response, Status};
+use crate::workers::WorkerPool;
+
+/// How deep a reboot reaches (the recursive recovery policy's levels).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RebootLevel {
+    /// Microreboot of one or more components (EJBs or the WAR).
+    Component,
+    /// Restart of the whole application inside the running server.
+    Application,
+    /// Restart of the JVM process (and the server in it).
+    Process,
+    /// Reboot of the operating system.
+    OperatingSystem,
+}
+
+impl RebootLevel {
+    /// Returns the next-coarser level, or `None` after OS reboot.
+    pub fn escalate(self) -> Option<RebootLevel> {
+        match self {
+            RebootLevel::Component => Some(RebootLevel::Application),
+            RebootLevel::Application => Some(RebootLevel::Process),
+            RebootLevel::Process => Some(RebootLevel::OperatingSystem),
+            RebootLevel::OperatingSystem => None,
+        }
+    }
+}
+
+/// Identifier of an in-flight microreboot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RebootId(u64);
+
+/// Whole-process availability state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProcState {
+    /// Serving requests.
+    Up,
+    /// The application is restarting inside the live server.
+    AppRestarting {
+        /// When the restart completes.
+        until: SimTime,
+    },
+    /// The JVM process is restarting.
+    JvmRestarting {
+        /// When the restart completes.
+        until: SimTime,
+    },
+    /// The node's operating system is rebooting.
+    OsRebooting {
+        /// When the reboot (including JVM start) completes.
+        until: SimTime,
+    },
+    /// The JVM died of heap exhaustion; waiting for a restart.
+    DownOom,
+    /// The JVM crashed (e.g., register bit flip); waiting for a restart.
+    Crashed,
+}
+
+/// Low-level faults injected underneath the application (the FIG /
+/// FAUmachine layer of Section 5.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LowLevelFault {
+    /// Bit flips in process memory: requests randomly fail or go wrong.
+    BitFlipMemory,
+    /// Bad system call return values: requests randomly fail.
+    BadSyscalls,
+}
+
+/// Faults injectable through the server's hooks (Section 5.1's catalogue;
+/// the data-store corruptions are injected directly on the stores).
+#[derive(Clone, Copy, Debug)]
+pub enum ServerFault {
+    /// Deadlock new calls into a component.
+    Deadlock {
+        /// Target component.
+        component: &'static str,
+    },
+    /// Spin new calls into a component forever.
+    InfiniteLoop {
+        /// Target component.
+        component: &'static str,
+    },
+    /// Leak application memory on every invocation of a component.
+    AppLeak {
+        /// Target component.
+        component: &'static str,
+        /// Bytes leaked per invocation.
+        bytes_per_call: u64,
+        /// Whether the leak is a code bug that resumes after a reboot
+        /// (Section 6.4's rejuvenation premise) or a one-shot injection a
+        /// reboot cures (Table 2's leak row).
+        persistent: bool,
+    },
+    /// Throw a transient exception on the next `calls` invocations.
+    TransientExceptions {
+        /// Target component.
+        component: &'static str,
+        /// How many invocations fail.
+        calls: u32,
+    },
+    /// Corrupt the component's JNDI entry.
+    CorruptJndi {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt the component's transaction method map.
+    CorruptTxnMap {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt the attributes of the component's pooled instances.
+    CorruptBeanAttrs {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Leak memory inside the JVM but outside the application.
+    IntraJvmLeak {
+        /// Bytes leaked per second.
+        bytes_per_sec: u64,
+    },
+    /// Leak memory outside the JVM (native/kernel).
+    ExtraJvmLeak {
+        /// Bytes leaked per second.
+        bytes_per_sec: u64,
+    },
+    /// Flip bits in process memory.
+    BitFlipMemory,
+    /// Flip bits in process registers (crashes the JVM immediately).
+    BitFlipRegisters,
+    /// Return bad values from system calls.
+    BadSyscalls,
+}
+
+/// An error starting a recovery action.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RebootError {
+    /// Unknown component name.
+    UnknownComponent(String),
+    /// Every requested component is already being microrebooted.
+    AlreadyRebooting,
+    /// The process is not up, so component-level actions are meaningless.
+    ProcessNotUp,
+}
+
+impl std::fmt::Display for RebootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebootError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            RebootError::AlreadyRebooting => write!(f, "target already microrebooting"),
+            RebootError::ProcessNotUp => write!(f, "process is not up"),
+        }
+    }
+}
+
+impl std::error::Error for RebootError {}
+
+/// Lifetime counters of one server.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests submitted to this node.
+    pub submitted: u64,
+    /// Responses with 2xx status.
+    pub ok: u64,
+    /// Responses with 4xx/5xx status.
+    pub http_errors: u64,
+    /// Connection-level failures returned.
+    pub network_errors: u64,
+    /// `Retry-After` responses sent while components microrebooted.
+    pub retries_sent: u64,
+    /// Requests killed by a microreboot's thread kill.
+    pub killed_by_microreboot: u64,
+    /// Requests killed by app/process/OS restart.
+    pub killed_by_restart: u64,
+    /// Hung requests purged by TTL expiry.
+    pub ttl_kills: u64,
+    /// Microreboots performed (component groups).
+    pub microreboots: u64,
+    /// Whole-application restarts.
+    pub app_restarts: u64,
+    /// JVM process restarts.
+    pub process_restarts: u64,
+    /// Operating-system reboots.
+    pub os_reboots: u64,
+}
+
+/// A request in service: handler already executed, completion scheduled.
+struct RunningReq {
+    req: Request,
+    response: Response,
+    touched: Vec<ComponentId>,
+    txn: Option<TxnId>,
+}
+
+/// A hung request: thread stuck inside a component.
+struct HungReq {
+    req: Request,
+    component: ComponentId,
+    since: SimTime,
+    txn: Option<TxnId>,
+}
+
+struct ActiveReboot {
+    id: RebootId,
+    members: Vec<ComponentId>,
+    crash_at: SimTime,
+    crashed: bool,
+    done_at: SimTime,
+}
+
+/// A request admitted and started; the caller schedules
+/// [`AppServer::complete`] at `cpu_done_at`.
+#[derive(Clone, Copy, Debug)]
+pub struct Started {
+    /// The request that started executing.
+    pub req: ReqId,
+    /// When its CPU service finishes.
+    pub cpu_done_at: SimTime,
+}
+
+/// Result of submitting a request.
+pub enum SubmitOutcome {
+    /// The node rejected it immediately (down or overloaded).
+    Rejected(Response),
+    /// Admitted; call [`AppServer::pump`] to start queued work.
+    Admitted,
+}
+
+/// A scheduled recovery action with its phase instants.
+#[derive(Clone, Copy, Debug)]
+pub struct RebootTicket {
+    /// Identifier for the crash/complete calls.
+    pub id: RebootId,
+    /// When the crash phase runs (now, or now+drain).
+    pub crash_at: SimTime,
+    /// When reinitialization completes.
+    pub done_at: SimTime,
+}
+
+/// Server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Node index (for reports).
+    pub node: usize,
+    /// CPU workers.
+    pub cpus: usize,
+    /// Request threads.
+    pub threads: usize,
+    /// Whether sentinel hits on idempotent requests answer `Retry-After`
+    /// instead of failing (Section 6.2).
+    pub retry_enabled: bool,
+    /// RNG seed for this node's jitter.
+    pub seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            node: 0,
+            cpus: calib::NODE_CPUS,
+            threads: calib::NODE_THREADS,
+            retry_enabled: false,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Server internals shared with [`CallContext`].
+pub struct ServerInner {
+    pub(crate) graph: DependencyGraph,
+    pub(crate) containers: Vec<Container>,
+    pub(crate) registry: NamingRegistry,
+    pub(crate) web_id: ComponentId,
+    pub(crate) db: SharedDb,
+    db_conn: Option<ConnId>,
+    pub(crate) session: SessionBackend,
+    workers: WorkerPool,
+    heap: HeapModel,
+    rng: SimRng,
+    lowlevel: Option<LowLevelFault>,
+    state: ProcState,
+    running: HashMap<ReqId, RunningReq>,
+    hung: HashMap<ReqId, HungReq>,
+    reboots: Vec<ActiveReboot>,
+    next_session: u64,
+    next_reboot: u64,
+    retry_enabled: bool,
+    intra_leak_rate: u64,
+    extra_leak_rate: u64,
+    /// Per-invocation leak rates that survive reboots: the leak is a bug
+    /// in the component's *code*, so a reboot reclaims the leaked memory
+    /// but the fresh instances leak again (the premise of Section 6.4's
+    /// rejuvenation experiments).
+    persistent_leaks: Vec<(&'static str, u64)>,
+    last_maintenance: SimTime,
+    stats: ServerStats,
+}
+
+impl ServerInner {
+    /// Returns (opening if needed) the server's pooled DB connection.
+    pub(crate) fn db_conn(&mut self) -> ConnId {
+        match self.db_conn {
+            Some(c) if self.db.borrow().conn_open(c) => c,
+            _ => {
+                let c = self.db.borrow_mut().open_conn();
+                self.db_conn = Some(c);
+                c
+            }
+        }
+    }
+
+    fn reapply_persistent_leaks(&mut self) {
+        for (name, bytes) in &self.persistent_leaks {
+            if let Some(id) = self.graph.id_of(name) {
+                self.containers[id.0].faults.leak_per_call = *bytes;
+            }
+        }
+    }
+
+    pub(crate) fn alloc_session_id(&mut self) -> SessionId {
+        self.next_session += 1;
+        SessionId(self.next_session)
+    }
+
+    fn component_heap_bytes(&self) -> u64 {
+        self.containers.iter().map(|c| c.heap_bytes()).sum()
+    }
+
+    fn is_up(&self) -> bool {
+        self.state == ProcState::Up
+    }
+}
+
+/// A microreboot-enabled application server hosting application `A`.
+pub struct AppServer<A: Application> {
+    app: A,
+    inner: ServerInner,
+}
+
+impl<A: Application> AppServer<A> {
+    /// Builds and warm-starts a server for `app`.
+    ///
+    /// All components are deployed and active at construction; experiments
+    /// begin against a warm node, as the paper's do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the application's descriptors are inconsistent (duplicate
+    /// names, unknown references, missing web component) — deployment-time
+    /// configuration errors.
+    pub fn new(app: A, config: ServerConfig, db: SharedDb, session: SessionBackend) -> Self {
+        let descriptors = app.descriptors();
+        let graph = DependencyGraph::build(&descriptors).expect("valid deployment descriptors");
+        let web_id = graph
+            .id_of(app.web_component())
+            .expect("web component must be declared");
+        let mut containers = Vec::with_capacity(descriptors.len());
+        let mut registry = NamingRegistry::new();
+        for d in &descriptors {
+            let id = graph.id_of(d.name).expect("descriptor is in graph");
+            let mut c = Container::new(d.clone(), app.methods_of(d.name));
+            c.begin_start();
+            c.complete_start(SimTime::ZERO);
+            registry.bind(d.name, Binding::Active(id));
+            containers.push(c);
+        }
+        AppServer {
+            app,
+            inner: ServerInner {
+                graph,
+                containers,
+                registry,
+                web_id,
+                db,
+                db_conn: None,
+                session,
+                workers: WorkerPool::new(config.cpus, config.threads),
+                heap: HeapModel::new(calib::HEAP_CAPACITY, calib::SERVER_BASE_BYTES),
+                rng: SimRng::seed_from(config.seed),
+                lowlevel: None,
+                state: ProcState::Up,
+                running: HashMap::new(),
+                hung: HashMap::new(),
+                reboots: Vec::new(),
+                next_session: u64::from(config.node as u32) << 32,
+                next_reboot: 0,
+                retry_enabled: config.retry_enabled,
+                intra_leak_rate: 0,
+                extra_leak_rate: 0,
+                persistent_leaks: Vec::new(),
+                last_maintenance: SimTime::ZERO,
+                stats: ServerStats::default(),
+            },
+        }
+    }
+
+    // ---- queries ---------------------------------------------------------
+
+    /// Returns the hosted application.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Returns the hosted application mutably (fault-injection hooks).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Returns lifetime counters.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats
+    }
+
+    /// Returns the process availability state.
+    pub fn state(&self) -> ProcState {
+        self.inner.state
+    }
+
+    /// Returns true if the process is up and serving.
+    pub fn is_up(&self) -> bool {
+        self.inner.is_up()
+    }
+
+    /// Returns the dependency graph.
+    pub fn graph(&self) -> &DependencyGraph {
+        &self.inner.graph
+    }
+
+    /// Returns free heap bytes (the rejuvenation service's gauge).
+    pub fn available_memory(&self) -> u64 {
+        self.inner.heap.free(
+            self.inner.component_heap_bytes(),
+            self.inner.session.in_process_bytes() as u64,
+        )
+    }
+
+    /// Returns each component's current heap footprint.
+    pub fn component_heap(&self) -> Vec<(&'static str, u64)> {
+        self.inner
+            .containers
+            .iter()
+            .map(|c| (c.descriptor.name, c.heap_bytes()))
+            .collect()
+    }
+
+    /// Returns the container for `name` (tests and experiments).
+    pub fn container(&self, name: &str) -> Option<&Container> {
+        let id = self.inner.graph.id_of(name)?;
+        Some(&self.inner.containers[id.0])
+    }
+
+    /// Returns the session backend (read access).
+    pub fn session(&self) -> &SessionBackend {
+        &self.inner.session
+    }
+
+    /// Returns the session backend mutably (fault injection).
+    pub fn session_mut(&mut self) -> &mut SessionBackend {
+        &mut self.inner.session
+    }
+
+    /// Returns the shared database handle.
+    pub fn db(&self) -> SharedDb {
+        self.inner.db.clone()
+    }
+
+    /// Returns the number of requests currently queued for a CPU.
+    pub fn queued(&self) -> usize {
+        self.inner.workers.queued()
+    }
+
+    /// Returns the number of hung requests.
+    pub fn hung(&self) -> usize {
+        self.inner.hung.len()
+    }
+
+    /// Returns the in-flight microreboots as `(members, crash_at, done_at)`.
+    pub fn active_microreboots(&self) -> Vec<(Vec<&'static str>, SimTime, SimTime)> {
+        self.inner
+            .reboots
+            .iter()
+            .map(|r| {
+                (
+                    r.members
+                        .iter()
+                        .map(|m| self.inner.graph.name_of(*m))
+                        .collect(),
+                    r.crash_at,
+                    r.done_at,
+                )
+            })
+            .collect()
+    }
+
+    // ---- request lifecycle -------------------------------------------
+
+    fn instant_response(
+        &mut self,
+        req: &Request,
+        now: SimTime,
+        status: Status,
+        exception: bool,
+    ) -> Response {
+        match status {
+            Status::NetworkError | Status::TimedOut => self.inner.stats.network_errors += 1,
+            Status::ServerError(_) | Status::ClientError(_) => self.inner.stats.http_errors += 1,
+            _ => {}
+        }
+        Response {
+            req: req.id,
+            op: req.op,
+            status,
+            markers: BodyMarkers {
+                exception_text: exception,
+                ..BodyMarkers::default()
+            },
+            tainted: false,
+            finished_at: now + SimDuration::from_millis(1),
+            failed_component: None,
+            set_cookie: None,
+            clear_cookie: false,
+        }
+    }
+
+    /// Submits a request to the node.
+    pub fn submit(&mut self, req: Request, now: SimTime) -> SubmitOutcome {
+        self.inner.stats.submitted += 1;
+        match self.inner.state {
+            ProcState::Up => {}
+            ProcState::AppRestarting { .. } => {
+                // JBoss is alive but the application is gone: plain 503.
+                let r = self.instant_response(&req, now, Status::ServerError(503), false);
+                return SubmitOutcome::Rejected(r);
+            }
+            _ => {
+                let r = self.instant_response(&req, now, Status::NetworkError, false);
+                return SubmitOutcome::Rejected(r);
+            }
+        }
+        match self.inner.workers.admit(req.clone()) {
+            Ok(()) => SubmitOutcome::Admitted,
+            Err(_) => {
+                let r = self.instant_response(&req, now, Status::ServerError(503), false);
+                SubmitOutcome::Rejected(r)
+            }
+        }
+    }
+
+    /// Starts queued requests on free CPUs, executing their handlers.
+    ///
+    /// The caller schedules [`AppServer::complete`] at each
+    /// [`Started::cpu_done_at`].
+    pub fn pump(&mut self, now: SimTime) -> Vec<Started> {
+        if !self.inner.is_up() {
+            return Vec::new();
+        }
+        let mut started = Vec::new();
+        loop {
+            let batch = self.inner.workers.start_ready();
+            if batch.is_empty() {
+                break;
+            }
+            for req in batch {
+                if let Some(s) = self.execute(req, now) {
+                    started.push(s);
+                }
+            }
+        }
+        started
+    }
+
+    /// Runs one request's handler, deciding its fate.
+    fn execute(&mut self, req: Request, now: SimTime) -> Option<Started> {
+        let web_id = self.inner.web_id;
+        // The web tier itself may be microrebooting.
+        let web_active = self.inner.containers[web_id.0].is_active();
+        // A nearly-full heap throws allocation failures before the JVM
+        // dies outright: requests start failing with OutOfMemoryError
+        // well before total exhaustion, which is how leak faults become
+        // visible (and curable) while the process is still up.
+        let free = self.inner.heap.free(
+            self.inner.component_heap_bytes(),
+            self.inner.session.in_process_bytes() as u64,
+        );
+        let pressure = calib::HEAP_PRESSURE_BYTES;
+        let oom_prob = if free < pressure {
+            0.8 * (pressure - free) as f64 / pressure as f64
+        } else {
+            0.0
+        };
+        if oom_prob > 0.0 && self.inner.rng.chance(oom_prob) {
+            let resp = self.instant_response(&req, now, Status::ServerError(500), true);
+            let id = req.id;
+            self.inner.running.insert(
+                id,
+                RunningReq {
+                    req,
+                    response: resp,
+                    touched: Vec::new(),
+                    txn: None,
+                },
+            );
+            return Some(Started {
+                req: id,
+                cpu_done_at: now + SimDuration::from_millis(2),
+            });
+        }
+        // Congestion degradation: a deeply backed-up node burns extra CPU
+        // per request (GC pressure, context switching), which is what makes
+        // overload collapse super-linear in real servers.
+        let congestion = 1.0
+            + calib::CONGESTION_MAX_FACTOR
+                .min(self.inner.workers.queued() as f64 / calib::CONGESTION_QUEUE_SCALE);
+        let base = self.app.base_cost(req.op);
+        let AppServer { app, inner } = self;
+        let mut ctx = CallContext::new(inner, now, req.session, req.arg);
+        ctx.charge(base);
+        let result = if web_active {
+            ctx.inner.containers[web_id.0].call_enter();
+            ctx.touched.push(web_id);
+            let r = app.handle(&mut ctx, &req);
+            ctx.finalize_session();
+            if !matches!(r, Err(CallError::Hang)) {
+                ctx.inner.containers[web_id.0].call_exit();
+            }
+            r
+        } else {
+            Err(CallError::Retry(calib::RETRY_AFTER))
+        };
+        let parts = ctx_into_parts(ctx);
+        self.finish_execution(req, now, parts, result, congestion)
+    }
+
+    fn finish_execution(
+        &mut self,
+        req: Request,
+        now: SimTime,
+        parts: CtxParts,
+        result: Result<(), CallError>,
+        congestion: f64,
+    ) -> Option<Started> {
+        let CtxParts {
+            cpu,
+            latency,
+            tainted,
+            mut markers,
+            failed_component,
+            txn,
+            touched,
+            hang,
+            set_cookie,
+            clear_cookie,
+            autocommitted,
+        } = parts;
+        // Low-level faults perturb requests underneath the application.
+        let (result, tainted) = match (self.inner.lowlevel, &result) {
+            (Some(LowLevelFault::BitFlipMemory), Ok(())) => {
+                if self.inner.rng.chance(0.25) {
+                    markers.exception_text = true;
+                    (Err(CallError::Exception), tainted)
+                } else if self.inner.rng.chance(0.10) {
+                    (result, true)
+                } else {
+                    (result, tainted)
+                }
+            }
+            (Some(LowLevelFault::BadSyscalls), Ok(())) => {
+                if self.inner.rng.chance(0.35) {
+                    markers.exception_text = true;
+                    (Err(CallError::Exception), tainted)
+                } else {
+                    (result, tainted)
+                }
+            }
+            _ => (result, tainted),
+        };
+        match result {
+            Err(CallError::Hang) => {
+                let (component, kind) = hang.expect("hang error carries its component");
+                match kind {
+                    HangKind::Park => self.inner.workers.park(req.id),
+                    HangKind::Hog => self.inner.workers.hog(req.id),
+                }
+                self.inner.hung.insert(
+                    req.id,
+                    HungReq {
+                        req,
+                        component,
+                        since: now,
+                        txn,
+                    },
+                );
+                None
+            }
+            other => {
+                let (status, keep_txn) = match other {
+                    Ok(()) => (Status::Ok, true),
+                    Err(CallError::Exception) => {
+                        markers.exception_text = true;
+                        (Status::ServerError(500), false)
+                    }
+                    Err(CallError::Retry(d)) => {
+                        if self.inner.retry_enabled && req.idempotent {
+                            self.inner.stats.retries_sent += 1;
+                            (Status::RetryAfter(d), false)
+                        } else {
+                            (Status::ServerError(503), false)
+                        }
+                    }
+                    Err(CallError::Hang) => unreachable!("handled above"),
+                };
+                let txn = if keep_txn {
+                    txn
+                } else {
+                    if let Some(t) = txn {
+                        let _ = self.inner.db.borrow_mut().rollback(t);
+                    }
+                    // Any autocommitted writes (corrupt transaction
+                    // metadata made them non-transactional) are now
+                    // orphaned: the fault-free twin rolled everything
+                    // back, so these rows diverge (the ≈ damage of
+                    // Table 2's wrong-txn-map row).
+                    if !autocommitted.is_empty() {
+                        let mut db = self.inner.db.borrow_mut();
+                        for (table, pk) in &autocommitted {
+                            let _ = db.taint_row(table, *pk);
+                        }
+                    }
+                    None
+                };
+                let cpu = SimDuration::from_secs_f64(cpu.as_secs_f64() * congestion);
+                let cpu_done_at = now + cpu.max(SimDuration::from_micros(500));
+                let response = Response {
+                    req: req.id,
+                    op: req.op,
+                    status,
+                    markers,
+                    tainted,
+                    finished_at: cpu_done_at + latency,
+                    failed_component,
+                    set_cookie,
+                    clear_cookie,
+                };
+                let id = req.id;
+                self.inner.running.insert(
+                    id,
+                    RunningReq {
+                        req,
+                        response,
+                        touched,
+                        txn,
+                    },
+                );
+                Some(Started {
+                    req: id,
+                    cpu_done_at,
+                })
+            }
+        }
+    }
+
+    /// Completes a running request at its CPU-done instant.
+    ///
+    /// Returns `None` if the request was killed in the meantime (its
+    /// failure response was already produced by the killer).
+    pub fn complete(&mut self, id: ReqId, _now: SimTime) -> Option<Response> {
+        let rr = self.inner.running.remove(&id)?;
+        self.inner.workers.complete(id);
+        if let Some(t) = rr.txn {
+            let mut db = self.inner.db.borrow_mut();
+            if db.txn_active(t) {
+                let _ = db.commit(t);
+            }
+        }
+        match rr.response.status {
+            Status::Ok | Status::RetryAfter(_) => self.inner.stats.ok += 1,
+            Status::ServerError(_) | Status::ClientError(_) => self.inner.stats.http_errors += 1,
+            Status::NetworkError | Status::TimedOut => self.inner.stats.network_errors += 1,
+        }
+        Some(rr.response)
+    }
+
+    // ---- microreboot machinery ---------------------------------------
+
+    fn killed_response(req: &Request, now: SimTime, during: &'static str) -> Response {
+        Response {
+            req: req.id,
+            op: req.op,
+            status: Status::ServerError(500),
+            markers: BodyMarkers {
+                exception_text: true,
+                ..BodyMarkers::default()
+            },
+            tainted: false,
+            finished_at: now + SimDuration::from_millis(1),
+            failed_component: Some(during),
+            set_cookie: None,
+            clear_cookie: false,
+        }
+    }
+
+    /// Begins a microreboot of `targets` (component names), expanded to
+    /// their recovery groups.
+    ///
+    /// Sentinels are bound immediately; the crash phase runs at
+    /// `now + drain` (the caller invokes [`AppServer::microreboot_crash`]
+    /// there) and reinitialization completes at the ticket's `done_at`
+    /// (the caller invokes [`AppServer::microreboot_complete`]).
+    pub fn begin_microreboot(
+        &mut self,
+        targets: &[&str],
+        now: SimTime,
+        drain: Option<SimDuration>,
+    ) -> Result<RebootTicket, RebootError> {
+        if !self.inner.is_up() {
+            return Err(RebootError::ProcessNotUp);
+        }
+        let mut members: Vec<ComponentId> = Vec::new();
+        for t in targets {
+            let id = self
+                .inner
+                .graph
+                .id_of(t)
+                .ok_or_else(|| RebootError::UnknownComponent(t.to_string()))?;
+            for m in self.inner.graph.recovery_group(id) {
+                if !members.contains(m) {
+                    members.push(*m);
+                }
+            }
+        }
+        // Skip components already mid-microreboot.
+        members.retain(|m| {
+            !self
+                .inner
+                .reboots
+                .iter()
+                .any(|r| r.members.contains(m))
+        });
+        if members.is_empty() {
+            return Err(RebootError::AlreadyRebooting);
+        }
+        members.sort_unstable();
+        // Group cost: the slowest member plus a per-extra-member increment
+        // (Table 3's EntityGroup amortization), with trial jitter.
+        let n = members.len() as u64;
+        let crash = members
+            .iter()
+            .map(|m| self.inner.containers[m.0].descriptor.crash_cost)
+            .fold(SimDuration::ZERO, SimDuration::max)
+            + calib::GROUP_EXTRA_CRASH * (n - 1);
+        let reinit_base = members
+            .iter()
+            .map(|m| self.inner.containers[m.0].descriptor.reinit_cost)
+            .fold(SimDuration::ZERO, SimDuration::max)
+            + calib::GROUP_EXTRA_REINIT * (n - 1);
+        let reinit = self.inner.rng.jittered(reinit_base, calib::REINIT_JITTER);
+        let crash_at = now + drain.unwrap_or(SimDuration::ZERO);
+        let done_at = crash_at + crash + reinit;
+        // Bind sentinels now: new callers see Retry-After for the whole
+        // window (Section 6.2 binds the sentinel before the reboot).
+        for m in &members {
+            let name = self.inner.graph.name_of(*m);
+            self.inner.registry.bind(
+                name,
+                Binding::Sentinel {
+                    retry_after: calib::RETRY_AFTER,
+                },
+            );
+        }
+        self.inner.next_reboot += 1;
+        let id = RebootId(self.inner.next_reboot);
+        self.inner.reboots.push(ActiveReboot {
+            id,
+            members,
+            crash_at,
+            crashed: false,
+            done_at,
+        });
+        self.inner.stats.microreboots += 1;
+        Ok(RebootTicket {
+            id,
+            crash_at,
+            done_at,
+        })
+    }
+
+    /// Runs the crash phase of a microreboot: destroys the member
+    /// containers and kills the threads shepherding requests inside them.
+    ///
+    /// Returns the failure responses of the killed requests (the caller
+    /// delivers them to the clients).
+    pub fn microreboot_crash(&mut self, id: RebootId, now: SimTime) -> Vec<Response> {
+        let Some(pos) = self.inner.reboots.iter().position(|r| r.id == id) else {
+            return Vec::new();
+        };
+        if self.inner.reboots[pos].crashed {
+            return Vec::new();
+        }
+        self.inner.reboots[pos].crashed = true;
+        let members = self.inner.reboots[pos].members.clone();
+        let mut killed = Vec::new();
+        // Kill running requests that touched a member and have not yet
+        // completed.
+        let victim_ids: Vec<ReqId> = self
+            .inner
+            .running
+            .iter()
+            .filter(|(_, rr)| rr.touched.iter().any(|t| members.contains(t)))
+            .map(|(id, _)| *id)
+            .collect();
+        for rid in sorted(victim_ids) {
+            let rr = self.inner.running.remove(&rid).expect("victim exists");
+            self.inner.workers.kill(rid);
+            if let Some(t) = rr.txn {
+                let mut db = self.inner.db.borrow_mut();
+                if db.txn_active(t) {
+                    let _ = db.rollback(t);
+                }
+            }
+            let during = self.inner.graph.name_of(members[0]);
+            killed.push(Self::killed_response(&rr.req, now, during));
+            self.inner.stats.killed_by_microreboot += 1;
+        }
+        // Kill hung requests stuck inside a member.
+        let hung_ids: Vec<ReqId> = self
+            .inner
+            .hung
+            .iter()
+            .filter(|(_, h)| members.contains(&h.component))
+            .map(|(id, _)| *id)
+            .collect();
+        for rid in sorted(hung_ids) {
+            let h = self.inner.hung.remove(&rid).expect("victim exists");
+            self.inner.workers.kill(rid);
+            if let Some(t) = h.txn {
+                let mut db = self.inner.db.borrow_mut();
+                if db.txn_active(t) {
+                    let _ = db.rollback(t);
+                }
+            }
+            let during = self.inner.graph.name_of(h.component);
+            killed.push(Self::killed_response(&h.req, now, during));
+            self.inner.stats.killed_by_microreboot += 1;
+        }
+        // Destroy the containers (reclaims leaks, discards metadata).
+        for m in &members {
+            self.inner.containers[m.0].crash();
+            self.inner.containers[m.0].begin_start();
+        }
+        killed
+    }
+
+    /// Completes a microreboot: reinitializes the member containers and
+    /// rebinds their names. Returns the member names.
+    pub fn microreboot_complete(&mut self, id: RebootId, now: SimTime) -> Vec<&'static str> {
+        let Some(pos) = self.inner.reboots.iter().position(|r| r.id == id) else {
+            return Vec::new();
+        };
+        let reboot = self.inner.reboots.remove(pos);
+        debug_assert!(reboot.crashed, "crash phase must run before complete");
+        let mut names = Vec::with_capacity(reboot.members.len());
+        for m in &reboot.members {
+            let name = self.inner.graph.name_of(*m);
+            self.inner.containers[m.0].complete_start(now);
+            self.inner.registry.bind(name, Binding::Active(*m));
+            self.app.on_component_reinit(name);
+            names.push(name);
+        }
+        if reboot.members.contains(&self.inner.web_id) {
+            // The web tier revalidates in-process session state as it
+            // reinitializes, evicting objects that fail application checks.
+            let AppServer { app, inner } = self;
+            inner.session.revalidate(|obj| app.session_valid(obj));
+        }
+        // A leak that is a code bug resumes in the fresh instances.
+        self.inner.reapply_persistent_leaks();
+        names
+    }
+
+    // ---- coarser reboots -----------------------------------------------
+
+    fn kill_everything(&mut self, now: SimTime, network_level: bool) -> Vec<Response> {
+        let mut killed = Vec::new();
+        let ids = self.inner.workers.kill_all();
+        for rid in ids {
+            let (req, txn) = if let Some(rr) = self.inner.running.remove(&rid) {
+                (rr.req, rr.txn)
+            } else if let Some(h) = self.inner.hung.remove(&rid) {
+                (h.req, h.txn)
+            } else {
+                // Queued, never started: synthesize from the worker's copy
+                // being gone — the kill_all drained it, so skip txn work.
+                continue;
+            };
+            if let Some(t) = txn {
+                let mut db = self.inner.db.borrow_mut();
+                if db.txn_active(t) {
+                    let _ = db.rollback(t);
+                }
+            }
+            let resp = if network_level {
+                self.instant_response(&req, now, Status::NetworkError, false)
+            } else {
+                Self::killed_response(&req, now, "restart")
+            };
+            killed.push(resp);
+            self.inner.stats.killed_by_restart += 1;
+        }
+        // Anything left in running/hung (queued copies already drained).
+        let leftover: Vec<ReqId> = self
+            .inner
+            .running
+            .keys()
+            .chain(self.inner.hung.keys())
+            .copied()
+            .collect();
+        for rid in sorted(leftover) {
+            let (req, txn) = if let Some(rr) = self.inner.running.remove(&rid) {
+                (rr.req, rr.txn)
+            } else {
+                let h = self.inner.hung.remove(&rid).expect("key came from hung");
+                (h.req, h.txn)
+            };
+            if let Some(t) = txn {
+                let mut db = self.inner.db.borrow_mut();
+                if db.txn_active(t) {
+                    let _ = db.rollback(t);
+                }
+            }
+            let resp = if network_level {
+                self.instant_response(&req, now, Status::NetworkError, false)
+            } else {
+                Self::killed_response(&req, now, "restart")
+            };
+            killed.push(resp);
+            self.inner.stats.killed_by_restart += 1;
+        }
+        killed
+    }
+
+    /// Restarts the whole application in place (level 3 of the recursive
+    /// policy). Returns the completion instant and the killed requests'
+    /// responses.
+    ///
+    /// Fails when the JVM itself is down — a dead process cannot redeploy
+    /// an application; the caller must escalate to a process restart.
+    pub fn begin_app_restart(
+        &mut self,
+        now: SimTime,
+    ) -> Result<(SimTime, Vec<Response>), RebootError> {
+        if !matches!(self.inner.state, ProcState::Up) {
+            return Err(RebootError::ProcessNotUp);
+        }
+        let killed = self.kill_everything(now, false);
+        self.inner.reboots.clear();
+        for c in &mut self.inner.containers {
+            c.full_stop();
+        }
+        for id in self.inner.graph.all_ids() {
+            self.inner.registry.unbind(self.inner.graph.name_of(id));
+        }
+        let until = now + calib::APP_RESTART_CRASH + calib::APP_RESTART_REINIT;
+        self.inner.state = ProcState::AppRestarting { until };
+        self.inner.stats.app_restarts += 1;
+        Ok((until, killed))
+    }
+
+    /// Completes an application restart.
+    pub fn app_restart_complete(&mut self, now: SimTime) {
+        for id in self.inner.graph.all_ids() {
+            let c = &mut self.inner.containers[id.0];
+            c.begin_start();
+            c.complete_start(now);
+            self.inner
+                .registry
+                .bind(self.inner.graph.name_of(id), Binding::Active(id));
+            self.app.on_component_reinit(self.inner.graph.name_of(id));
+        }
+        let AppServer { app, inner } = self;
+        inner.session.revalidate(|obj| app.session_valid(obj));
+        self.inner.reapply_persistent_leaks();
+        self.inner.state = ProcState::Up;
+    }
+
+    /// `kill -9`s the JVM and begins a process restart.
+    ///
+    /// In-process session state (FastS) is lost; the OS tears down the
+    /// database connections, releasing any locks (Section 7).
+    pub fn begin_process_restart(&mut self, now: SimTime) -> (SimTime, Vec<Response>) {
+        let killed = self.kill_everything(now, true);
+        self.inner.reboots.clear();
+        for c in &mut self.inner.containers {
+            c.full_stop();
+        }
+        for id in self.inner.graph.all_ids() {
+            self.inner.registry.unbind(self.inner.graph.name_of(id));
+        }
+        if let Some(conn) = self.inner.db_conn.take() {
+            let _ = self.inner.db.borrow_mut().close_conn(conn);
+        }
+        self.inner.session.on_process_restart();
+        self.inner.heap.on_process_restart();
+        self.inner.lowlevel = None;
+        self.inner.intra_leak_rate = 0;
+        let until = now + calib::JVM_CRASH + calib::JVM_SERVICES_INIT + calib::JVM_APP_DEPLOY;
+        self.inner.state = ProcState::JvmRestarting { until };
+        self.inner.stats.process_restarts += 1;
+        (until, killed)
+    }
+
+    /// Completes a process restart.
+    pub fn process_restart_complete(&mut self, now: SimTime) {
+        for id in self.inner.graph.all_ids() {
+            let c = &mut self.inner.containers[id.0];
+            c.begin_start();
+            c.complete_start(now);
+            self.inner
+                .registry
+                .bind(self.inner.graph.name_of(id), Binding::Active(id));
+        }
+        self.app.on_process_restart();
+        self.inner.reapply_persistent_leaks();
+        self.inner.state = ProcState::Up;
+    }
+
+    /// Reboots the node's operating system (the recursive policy's last
+    /// resort). Clears even extra-JVM leaks.
+    pub fn begin_os_reboot(&mut self, now: SimTime) -> (SimTime, Vec<Response>) {
+        let (_, killed) = self.begin_process_restart(now);
+        self.inner.heap.on_os_reboot();
+        self.inner.extra_leak_rate = 0;
+        let until =
+            now + calib::OS_REBOOT + calib::JVM_SERVICES_INIT + calib::JVM_APP_DEPLOY;
+        self.inner.state = ProcState::OsRebooting { until };
+        self.inner.stats.os_reboots += 1;
+        // begin_process_restart counted one restart; attribute it to the
+        // OS reboot instead.
+        self.inner.stats.process_restarts -= 1;
+        (until, killed)
+    }
+
+    /// Completes an OS reboot.
+    pub fn os_reboot_complete(&mut self, now: SimTime) {
+        self.process_restart_complete(now);
+    }
+
+    // ---- maintenance ---------------------------------------------------
+
+    /// Periodic housekeeping: leak accrual, TTL expiry of hung requests,
+    /// out-of-memory detection, session-store clock advancement.
+    ///
+    /// Returns responses for requests the sweep killed.
+    pub fn maintenance(&mut self, now: SimTime) -> Vec<Response> {
+        let elapsed = now - self.inner.last_maintenance;
+        self.inner.last_maintenance = now;
+        self.inner.session.advance_to(now);
+        let secs = elapsed.as_secs_f64();
+        if self.inner.intra_leak_rate > 0 {
+            self.inner
+                .heap
+                .leak_intra_jvm((self.inner.intra_leak_rate as f64 * secs) as u64);
+        }
+        if self.inner.extra_leak_rate > 0 {
+            self.inner
+                .heap
+                .leak_extra_jvm((self.inner.extra_leak_rate as f64 * secs) as u64);
+        }
+        let mut out = Vec::new();
+        if !self.inner.is_up() {
+            return out;
+        }
+        // TTL purge of stuck requests (Section 2's leased execution time).
+        let expired: Vec<ReqId> = self
+            .inner
+            .hung
+            .iter()
+            .filter(|(_, h)| now - h.since >= calib::REQUEST_TTL)
+            .map(|(id, _)| *id)
+            .collect();
+        for rid in sorted(expired) {
+            let h = self.inner.hung.remove(&rid).expect("victim exists");
+            self.inner.workers.kill(rid);
+            if let Some(t) = h.txn {
+                let mut db = self.inner.db.borrow_mut();
+                if db.txn_active(t) {
+                    let _ = db.rollback(t);
+                }
+            }
+            let mut resp = Self::killed_response(&h.req, now, "ttl");
+            resp.status = Status::TimedOut;
+            resp.markers.exception_text = false;
+            out.push(resp);
+            self.inner.stats.ttl_kills += 1;
+        }
+        // Heap exhaustion kills the JVM; native/kernel exhaustion kills
+        // the host (only an OS reboot recovers the latter).
+        if self.inner.heap.host_oom()
+            || self.inner.heap.is_oom(
+                self.inner.component_heap_bytes(),
+                self.inner.session.in_process_bytes() as u64,
+            )
+        {
+            out.extend(self.kill_everything(now, true));
+            self.inner.state = ProcState::DownOom;
+        }
+        out
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Injects a server-level fault (Section 5.1's hooks).
+    ///
+    /// Returns responses for requests killed as an immediate consequence
+    /// (only `BitFlipRegisters` kills anything).
+    pub fn inject(&mut self, fault: ServerFault, now: SimTime) -> Vec<Response> {
+        let comp_mut = |inner: &mut ServerInner, name: &'static str| -> Option<usize> {
+            inner.graph.id_of(name).map(|id| id.0)
+        };
+        match fault {
+            ServerFault::Deadlock { component } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].faults.deadlocked = true;
+                }
+            }
+            ServerFault::InfiniteLoop { component } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].faults.infinite_loop = true;
+                }
+            }
+            ServerFault::AppLeak {
+                component,
+                bytes_per_call,
+                persistent,
+            } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].faults.leak_per_call = bytes_per_call;
+                    if persistent {
+                        // A code bug: fresh instances leak too.
+                        self.inner
+                            .persistent_leaks
+                            .retain(|(n, _)| *n != component);
+                        self.inner
+                            .persistent_leaks
+                            .push((component, bytes_per_call));
+                    }
+                }
+            }
+            ServerFault::TransientExceptions { component, calls } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].faults.transient_exceptions = calls;
+                }
+            }
+            ServerFault::CorruptJndi { component, kind } => {
+                let binding = match kind {
+                    CorruptKind::SetNull => Binding::Null,
+                    CorruptKind::SetInvalid => Binding::Dangling,
+                    CorruptKind::SetWrong => {
+                        // Point the name at some other live component.
+                        let victim = self.inner.graph.id_of(component);
+                        let wrong = self
+                            .inner
+                            .graph
+                            .all_ids()
+                            .find(|id| Some(*id) != victim && *id != self.inner.web_id)
+                            .unwrap_or(self.inner.web_id);
+                        Binding::Wrong(wrong)
+                    }
+                };
+                self.inner.registry.corrupt(component, binding);
+            }
+            ServerFault::CorruptTxnMap { component, kind } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].txn_map.corrupt(kind);
+                }
+            }
+            ServerFault::CorruptBeanAttrs { component, kind } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    self.inner.containers[i].pool.corrupt_all(kind);
+                }
+            }
+            ServerFault::IntraJvmLeak { bytes_per_sec } => {
+                self.inner.intra_leak_rate = bytes_per_sec;
+            }
+            ServerFault::ExtraJvmLeak { bytes_per_sec } => {
+                self.inner.extra_leak_rate = bytes_per_sec;
+            }
+            ServerFault::BitFlipMemory => {
+                self.inner.lowlevel = Some(LowLevelFault::BitFlipMemory);
+            }
+            ServerFault::BadSyscalls => {
+                self.inner.lowlevel = Some(LowLevelFault::BadSyscalls);
+            }
+            ServerFault::BitFlipRegisters => {
+                // The process dies on the spot.
+                let killed = self.kill_everything(now, true);
+                self.inner.state = ProcState::Crashed;
+                return killed;
+            }
+        }
+        Vec::new()
+    }
+}
+
+struct CtxParts {
+    cpu: SimDuration,
+    latency: SimDuration,
+    tainted: bool,
+    markers: BodyMarkers,
+    failed_component: Option<&'static str>,
+    txn: Option<TxnId>,
+    touched: Vec<ComponentId>,
+    hang: Option<(ComponentId, HangKind)>,
+    set_cookie: Option<SessionId>,
+    clear_cookie: bool,
+    autocommitted: Vec<(&'static str, i64)>,
+}
+
+fn ctx_into_parts(ctx: CallContext<'_>) -> CtxParts {
+    CtxParts {
+        cpu: ctx.cpu,
+        latency: ctx.latency,
+        tainted: ctx.tainted,
+        markers: ctx.markers,
+        failed_component: ctx.failed_component,
+        txn: ctx.txn,
+        touched: ctx.touched,
+        hang: ctx.hang,
+        set_cookie: ctx.set_cookie,
+        clear_cookie: ctx.clear_cookie,
+        autocommitted: ctx.autocommitted,
+    }
+}
+
+fn sorted(mut v: Vec<ReqId>) -> Vec<ReqId> {
+    v.sort_unstable();
+    v
+}
+
+/// Builds a request with defaults for tests and simple callers.
+pub fn make_request(
+    id: u64,
+    op: OpCode,
+    session: Option<SessionId>,
+    idempotent: bool,
+    arg: i64,
+    now: SimTime,
+) -> Request {
+    Request {
+        id: ReqId(id),
+        op,
+        session,
+        idempotent,
+        arg,
+        submitted_at: now,
+    }
+}

@@ -1,0 +1,567 @@
+//! End-to-end behaviour of the microreboot-enabled server on the toy
+//! application: request lifecycle, microreboot semantics, sentinels and
+//! retries, coarser reboots, hangs and TTLs, heap and rejuvenation.
+
+use simcore::{SimDuration, SimTime};
+use statestore::session::CorruptKind;
+use statestore::{FastS, Ssm, Value};
+use urb_core::server::{make_request, ProcState, ServerFault};
+use urb_core::testkit::{ops, ToyApp};
+use urb_core::{
+    share_db, share_ssm, AppServer, RejuvenationAction, RejuvenationService, ServerConfig,
+    SessionBackend, Started, Status, SubmitOutcome,
+};
+
+fn server(retry: bool) -> AppServer<ToyApp> {
+    let db = share_db(ToyApp::seeded_db(100));
+    AppServer::new(
+        ToyApp::new(),
+        ServerConfig {
+            retry_enabled: retry,
+            ..ServerConfig::default()
+        },
+        db,
+        SessionBackend::FastS(FastS::new()),
+    )
+}
+
+/// Runs one request synchronously: submit, pump, complete.
+fn run_one(
+    srv: &mut AppServer<ToyApp>,
+    id: u64,
+    op: urb_core::OpCode,
+    session: Option<statestore::SessionId>,
+    arg: i64,
+    now: SimTime,
+) -> urb_core::Response {
+    let req = make_request(id, op, session, op == ops::GET, arg, now);
+    match srv.submit(req, now) {
+        SubmitOutcome::Rejected(r) => r,
+        SubmitOutcome::Admitted => {
+            let started = srv.pump(now);
+            assert_eq!(started.len(), 1, "one request should start");
+            let Started { req, cpu_done_at } = started[0];
+            srv.complete(req, cpu_done_at).expect("request completes")
+        }
+    }
+}
+
+#[test]
+fn get_and_put_roundtrip() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::Ok);
+    assert!(!r.simple_detector_flags());
+
+    let r = run_one(&mut srv, 2, ops::PUT, None, 5, t);
+    assert_eq!(r.status, Status::Ok);
+    let db = srv.db();
+    let row = db.borrow().read_committed("items", 5).unwrap().unwrap();
+    assert_eq!(row[1], Value::Int(1), "PUT committed");
+}
+
+#[test]
+fn request_costs_are_charged() {
+    let mut srv = server(false);
+    let now = SimTime::from_secs(1);
+    let req = make_request(1, ops::GET, None, true, 5, now);
+    srv.submit(req, now);
+    let started = srv.pump(now);
+    let cpu = started[0].cpu_done_at - now;
+    // 8 ms base + call overheads + one DB read.
+    assert!(cpu >= SimDuration::from_millis(8));
+    assert!(cpu < SimDuration::from_millis(20));
+}
+
+#[test]
+fn login_session_and_cart() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let r = run_one(&mut srv, 1, ops::LOGIN, None, 42, t);
+    assert_eq!(r.status, Status::Ok);
+    let sid = r.set_cookie.expect("login sets a cookie");
+
+    let r = run_one(&mut srv, 2, ops::CART_ADD, Some(sid), 7, t);
+    assert_eq!(r.status, Status::Ok);
+    assert!(!r.markers.login_prompt);
+
+    // Without a cookie the cart prompts for login.
+    let r = run_one(&mut srv, 3, ops::CART_ADD, None, 7, t);
+    assert!(r.markers.login_prompt);
+
+    let r = run_one(&mut srv, 4, ops::LOGOUT, Some(sid), 0, t);
+    assert!(r.clear_cookie);
+    assert_eq!(srv.session().live_sessions(), 0);
+}
+
+#[test]
+fn microreboot_cures_jndi_corruption() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::CorruptJndi {
+            component: "Store",
+            kind: CorruptKind::SetNull,
+        },
+        t,
+    );
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::ServerError(500));
+    assert!(r.markers.exception_text);
+    assert_eq!(r.failed_component, Some("Store"));
+
+    // Microreboot Store: its recovery group includes Ledger.
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    let killed = srv.microreboot_crash(ticket.id, ticket.crash_at);
+    assert!(killed.is_empty(), "no requests in flight");
+    let names = srv.microreboot_complete(ticket.id, ticket.done_at);
+    assert_eq!(names, vec!["Store", "Ledger"], "whole group rebooted");
+
+    let r = run_one(&mut srv, 2, ops::GET, None, 5, ticket.done_at);
+    assert_eq!(r.status, Status::Ok, "rebind cured the lookup");
+}
+
+#[test]
+fn microreboot_duration_matches_calibration() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Front"], t, None).unwrap();
+    let dur = ticket.done_at - t;
+    // Front: 10 ms crash + 450±35 ms reinit.
+    assert!(dur >= SimDuration::from_millis(425), "got {dur}");
+    assert!(dur <= SimDuration::from_millis(495), "got {dur}");
+
+    // Group reboot costs roughly the slowest member plus increments, far
+    // less than the sum.
+    let ticket2 = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    let dur2 = ticket2.done_at - t;
+    assert!(dur2 < SimDuration::from_millis(750), "got {dur2}");
+}
+
+#[test]
+fn sentinel_gives_retry_for_idempotent_when_enabled() {
+    let mut srv = server(true);
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+
+    // Idempotent GET → Retry-After.
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::RetryAfter(urb_core::calib::RETRY_AFTER));
+    assert!(!r.simple_detector_flags(), "retry is not a failure");
+
+    // Non-idempotent PUT → 503 failure.
+    let r = run_one(&mut srv, 2, ops::PUT, None, 5, t);
+    assert_eq!(r.status, Status::ServerError(503));
+}
+
+#[test]
+fn sentinel_fails_everything_when_retry_disabled() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::ServerError(503));
+}
+
+#[test]
+fn microreboot_kills_overlapping_inflight_and_rolls_back() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    // Start a PUT but do not complete it.
+    let req = make_request(1, ops::PUT, None, false, 5, t);
+    srv.submit(req, t);
+    let started = srv.pump(t);
+    assert_eq!(started.len(), 1);
+
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    let killed = srv.microreboot_crash(ticket.id, t);
+    assert_eq!(killed.len(), 1, "in-flight PUT killed");
+    assert_eq!(killed[0].status, Status::ServerError(500));
+
+    // The kill aborted the transaction: no update is visible.
+    let db = srv.db();
+    let row = db.borrow().read_committed("items", 5).unwrap().unwrap();
+    assert_eq!(row[1], Value::Int(0), "write rolled back");
+
+    // Completing the killed request later returns nothing.
+    assert!(srv.complete(started[0].req, started[0].cpu_done_at).is_none());
+}
+
+#[test]
+fn drain_delay_lets_inflight_finish() {
+    let mut srv = server(true);
+    let t = SimTime::from_secs(1);
+    let req = make_request(1, ops::GET, None, true, 5, t);
+    srv.submit(req, t);
+    let started = srv.pump(t);
+    let ticket = srv
+        .begin_microreboot(&["Store"], t, Some(urb_core::calib::DRAIN_DELAY))
+        .unwrap();
+    assert_eq!(ticket.crash_at, t + urb_core::calib::DRAIN_DELAY);
+
+    // The GET completes (~10 ms) before the 200 ms drain ends.
+    let r = srv
+        .complete(started[0].req, started[0].cpu_done_at)
+        .expect("completes during drain");
+    assert_eq!(r.status, Status::Ok);
+
+    let killed = srv.microreboot_crash(ticket.id, ticket.crash_at);
+    assert!(killed.is_empty(), "nothing left to kill after the drain");
+}
+
+#[test]
+fn deadlock_hangs_until_microreboot() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(ServerFault::Deadlock { component: "Store" }, t);
+    let req = make_request(1, ops::GET, None, true, 5, t);
+    srv.submit(req, t);
+    let started = srv.pump(t);
+    assert!(started.is_empty(), "hung request never schedules completion");
+    assert_eq!(srv.hung(), 1);
+
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    let killed = srv.microreboot_crash(ticket.id, t);
+    assert_eq!(killed.len(), 1, "hung thread killed by microreboot");
+    srv.microreboot_complete(ticket.id, ticket.done_at);
+    assert_eq!(srv.hung(), 0);
+
+    // After the microreboot the deadlock fault is gone.
+    let r = run_one(&mut srv, 2, ops::GET, None, 5, ticket.done_at);
+    assert_eq!(r.status, Status::Ok);
+}
+
+#[test]
+fn hung_request_expires_by_ttl() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(ServerFault::Deadlock { component: "Store" }, t);
+    let req = make_request(1, ops::GET, None, true, 5, t);
+    srv.submit(req, t);
+    srv.pump(t);
+    assert_eq!(srv.hung(), 1);
+
+    let later = t + urb_core::calib::REQUEST_TTL;
+    let killed = srv.maintenance(later);
+    assert_eq!(killed.len(), 1);
+    assert_eq!(killed[0].status, Status::TimedOut);
+    assert_eq!(srv.hung(), 0);
+    assert_eq!(srv.stats().ttl_kills, 1);
+}
+
+#[test]
+fn transient_exception_fails_n_calls_then_clears() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::TransientExceptions {
+            component: "Front",
+            calls: 2,
+        },
+        t,
+    );
+    assert_eq!(
+        run_one(&mut srv, 1, ops::GET, None, 5, t).status,
+        Status::ServerError(500)
+    );
+    assert_eq!(
+        run_one(&mut srv, 2, ops::GET, None, 5, t).status,
+        Status::ServerError(500)
+    );
+    assert_eq!(run_one(&mut srv, 3, ops::GET, None, 5, t).status, Status::Ok);
+}
+
+#[test]
+fn corrupt_bean_attrs_null_naturally_expunged() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::CorruptBeanAttrs {
+            component: "Front",
+            kind: CorruptKind::SetNull,
+        },
+        t,
+    );
+    // Eight pooled instances fail one by one as they are hit, each being
+    // discarded; afterwards service recovers with no reboot at all.
+    let mut failures = 0;
+    for i in 0..10 {
+        let r = run_one(&mut srv, i, ops::GET, None, 5, t);
+        if r.status.is_error() {
+            failures += 1;
+        }
+    }
+    assert!(failures > 0 && failures <= 8);
+    let r = run_one(&mut srv, 99, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::Ok, "bad instances all expunged");
+}
+
+#[test]
+fn corrupt_bean_attrs_wrong_taints_silently() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::CorruptBeanAttrs {
+            component: "Front",
+            kind: CorruptKind::SetWrong,
+        },
+        t,
+    );
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::Ok);
+    assert!(!r.simple_detector_flags(), "simple detector blind");
+    assert!(r.comparison_detector_flags(), "oracle sees the taint");
+}
+
+#[test]
+fn wrong_txn_map_makes_writes_unrollbackable() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::CorruptTxnMap {
+            component: "Store",
+            kind: CorruptKind::SetWrong,
+        },
+        t,
+    );
+    // Start a PUT; its write autocommits because the corrupted map says
+    // NotSupported.
+    let req = make_request(1, ops::PUT, None, false, 5, t);
+    srv.submit(req, t);
+    srv.pump(t);
+    // Kill it mid-flight via microreboot: the write should PERSIST (this
+    // is the ≈ "manual repair" row of Table 2).
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    let db = srv.db();
+    let row = db.borrow().read_committed("items", 5).unwrap().unwrap();
+    assert_eq!(row[1], Value::Int(1), "autocommitted write survived abort");
+}
+
+#[test]
+fn process_restart_loses_fasts_sessions() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let r = run_one(&mut srv, 1, ops::LOGIN, None, 42, t);
+    let sid = r.set_cookie.unwrap();
+
+    let (ready, killed) = srv.begin_process_restart(t);
+    assert!(killed.is_empty());
+    assert!(ready - t >= SimDuration::from_secs(19), "~19 s restart");
+    assert_eq!(srv.state(), ProcState::JvmRestarting { until: ready });
+
+    // Down: requests fail at the connection level.
+    let r = run_one(&mut srv, 2, ops::GET, None, 5, t + SimDuration::from_secs(5));
+    assert_eq!(r.status, Status::NetworkError);
+
+    srv.process_restart_complete(ready);
+    assert!(srv.is_up());
+    assert_eq!(srv.app().restarts, 1);
+
+    // Session cookie is stale: cart prompts for login again.
+    let r = run_one(&mut srv, 3, ops::CART_ADD, Some(sid), 7, ready);
+    assert!(r.markers.login_prompt, "FastS content lost in restart");
+}
+
+#[test]
+fn ssm_sessions_survive_process_restart() {
+    let db = share_db(ToyApp::seeded_db(10));
+    let ssm = share_ssm(Ssm::new(3));
+    let mut srv = AppServer::new(
+        ToyApp::new(),
+        ServerConfig::default(),
+        db,
+        SessionBackend::Ssm(ssm),
+    );
+    let t = SimTime::from_secs(1);
+    let r = run_one(&mut srv, 1, ops::LOGIN, None, 42, t);
+    let sid = r.set_cookie.unwrap();
+    let (ready, _) = srv.begin_process_restart(t);
+    srv.process_restart_complete(ready);
+    let r = run_one(&mut srv, 2, ops::CART_ADD, Some(sid), 7, ready);
+    assert!(!r.markers.login_prompt, "SSM session survived the restart");
+    assert_eq!(r.status, Status::Ok);
+}
+
+#[test]
+fn app_restart_is_cheaper_than_process_restart_and_keeps_fasts() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let r = run_one(&mut srv, 1, ops::LOGIN, None, 42, t);
+    let sid = r.set_cookie.unwrap();
+
+    let (ready, _) = srv.begin_app_restart(t).unwrap();
+    let dur = ready - t;
+    assert!(dur > SimDuration::from_secs(7) && dur < SimDuration::from_secs(9));
+
+    // While the app restarts, JBoss answers 503.
+    let r = run_one(&mut srv, 2, ops::GET, None, 5, t + SimDuration::from_secs(1));
+    assert_eq!(r.status, Status::ServerError(503));
+
+    srv.app_restart_complete(ready);
+    // FastS lives in the server, outside the application: it survived.
+    let r = run_one(&mut srv, 3, ops::CART_ADD, Some(sid), 7, ready);
+    assert!(!r.markers.login_prompt);
+}
+
+#[test]
+fn session_revalidation_after_war_microreboot() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let sid1 = run_one(&mut srv, 1, ops::LOGIN, None, 42, t)
+        .set_cookie
+        .unwrap();
+    let sid2 = run_one(&mut srv, 2, ops::LOGIN, None, 43, t)
+        .set_cookie
+        .unwrap();
+    // Corrupt one session with null, one with wrong.
+    {
+        let fasts = srv.session_mut().fasts_mut().unwrap();
+        fasts.corrupt(sid1, CorruptKind::SetNull);
+        fasts.corrupt(sid2, CorruptKind::SetWrong);
+    }
+    let ticket = srv.begin_microreboot(&["Web"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    srv.microreboot_complete(ticket.id, ticket.done_at);
+
+    // The nulled session failed validation and was evicted; wrong passed.
+    let r = run_one(&mut srv, 3, ops::CART_ADD, Some(sid1), 7, ticket.done_at);
+    assert!(r.markers.login_prompt, "nulled session evicted");
+    let r = run_one(&mut srv, 4, ops::CART_ADD, Some(sid2), 7, ticket.done_at);
+    assert_eq!(r.status, Status::Ok);
+    assert!(r.tainted, "wrong session survives, silently wrong");
+}
+
+#[test]
+fn bit_flip_registers_crashes_the_process() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(ServerFault::BitFlipRegisters, t);
+    assert_eq!(srv.state(), ProcState::Crashed);
+    let r = run_one(&mut srv, 1, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::NetworkError);
+    let (ready, _) = srv.begin_process_restart(t);
+    srv.process_restart_complete(ready);
+    assert!(srv.is_up());
+}
+
+#[test]
+fn memory_leak_and_rejuvenation() {
+    let mut srv = server(false);
+    let t0 = SimTime::from_secs(1);
+    let free0 = srv.available_memory();
+    srv.inject(
+        ServerFault::AppLeak {
+            component: "Front",
+            bytes_per_call: 8 << 20,
+            persistent: false,
+        },
+        t0,
+    );
+    for i in 0..20 {
+        run_one(&mut srv, i, ops::GET, None, 5, t0);
+    }
+    let free1 = srv.available_memory();
+    assert!(free0 - free1 >= 150 << 20, "leak visible in the heap gauge");
+
+    // A rejuvenation service with a high alarm reboots Front and learns.
+    let comps = vec!["Front", "Store", "Ledger", "Web"];
+    let mut rejuv = RejuvenationService::new(comps, free0, free0 + (1 << 20));
+    let action = rejuv.check(&mut srv, t0);
+    let (component, ticket) = match action {
+        RejuvenationAction::Microreboot { component, ticket } => (component, ticket),
+        other => panic!("expected a microreboot, got {other:?}"),
+    };
+    assert_eq!(component, "Front", "first in deployment order");
+    srv.microreboot_crash(ticket.id, ticket.crash_at);
+    srv.microreboot_complete(ticket.id, ticket.done_at);
+    rejuv.record_completion(srv.available_memory());
+    assert!(
+        *rejuv.released_table().get("Front").unwrap() >= 150 << 20,
+        "service learned Front released the memory"
+    );
+    assert!(srv.available_memory() > free1, "memory reclaimed");
+}
+
+#[test]
+fn oom_without_rejuvenation_kills_the_jvm() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    srv.inject(
+        ServerFault::IntraJvmLeak {
+            bytes_per_sec: 200 << 20,
+        },
+        t,
+    );
+    // Ten seconds of 200 MB/s exhausts the 1 GB heap.
+    let mut killed = Vec::new();
+    for s in 1..=10 {
+        killed.extend(srv.maintenance(t + SimDuration::from_secs(s)));
+    }
+    assert_eq!(srv.state(), ProcState::DownOom);
+    // JVM restart reclaims the intra-JVM leak.
+    let (ready, _) = srv.begin_process_restart(t + SimDuration::from_secs(11));
+    srv.process_restart_complete(ready);
+    assert!(srv.available_memory() > 800 << 20);
+}
+
+#[test]
+fn thread_pool_exhaustion_returns_503() {
+    let db = share_db(ToyApp::seeded_db(10));
+    let mut srv = AppServer::new(
+        ToyApp::new(),
+        ServerConfig {
+            cpus: 1,
+            threads: 2,
+            ..ServerConfig::default()
+        },
+        db,
+        SessionBackend::FastS(FastS::new()),
+    );
+    let t = SimTime::from_secs(1);
+    srv.inject(ServerFault::Deadlock { component: "Store" }, t);
+    for i in 0..2 {
+        let req = make_request(i, ops::GET, None, true, 5, t);
+        srv.submit(req, t);
+        srv.pump(t);
+    }
+    // Both threads are parked in the deadlock; the next request bounces.
+    let r = run_one(&mut srv, 99, ops::GET, None, 5, t);
+    assert_eq!(r.status, Status::ServerError(503));
+}
+
+#[test]
+fn microreboot_rejected_while_down_and_double_targets_coalesce() {
+    let mut srv = server(false);
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    // Ledger is already covered by Store's recovery group.
+    let err = srv.begin_microreboot(&["Ledger"], t, None).unwrap_err();
+    assert_eq!(err, urb_core::RebootError::AlreadyRebooting);
+    srv.microreboot_crash(ticket.id, t);
+    srv.microreboot_complete(ticket.id, ticket.done_at);
+
+    srv.begin_process_restart(ticket.done_at);
+    let err = srv
+        .begin_microreboot(&["Store"], ticket.done_at, None)
+        .unwrap_err();
+    assert_eq!(err, urb_core::RebootError::ProcessNotUp);
+}
+
+#[test]
+fn stats_count_the_things_that_happened() {
+    let mut srv = server(true);
+    let t = SimTime::from_secs(1);
+    run_one(&mut srv, 1, ops::GET, None, 5, t);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    run_one(&mut srv, 2, ops::GET, None, 5, t); // retry sent
+    srv.microreboot_complete(ticket.id, ticket.done_at);
+    let s = srv.stats();
+    assert_eq!(s.submitted, 2);
+    assert_eq!(s.microreboots, 1);
+    assert_eq!(s.retries_sent, 1);
+}

@@ -1,0 +1,244 @@
+//! eBid's workload catalog: the 25-state Markov chain of Section 4.
+//!
+//! Transition probabilities were chosen (as in the paper) so that the
+//! resulting operation mix matches the real workload of a major Internet
+//! auction site — Table 1: 32% read-only DB access, 23% session
+//! init/delete, 12% static content, 12% search, 11% session updates, 10%
+//! database updates. The `table1` experiment drives a client population
+//! against a live server and reports the observed mix next to the paper's.
+
+use urb_core::OpCode;
+use workload::catalog::{ArgKind, Catalog, FunctionalGroup, MixClass, OpSpec};
+
+use crate::ops::{codes, NAMES, OP_COUNT};
+use crate::schema::DatasetSpec;
+
+/// Base visit weights per operation, tuned so the *observed* mix (with
+/// runtime login redirects and structural chains) reproduces Table 1.
+const POPULARITY: [f64; OP_COUNT] = [
+    3.3, // Home
+    0.7, // Help
+    2.5, // SellItemForm
+    2.0, // RegisterUserForm
+    8.0, // BrowseCategories
+    1.8, // BrowseRegions
+    7.2, // BrowseItemsInCategory
+    1.8, // BrowseItemsInRegion
+    5.6, // ViewItem
+    1.8, // ViewUserInfo
+    1.4, // ViewBidHistory
+    0.5, // ViewPastAuction
+    1.0, // AboutMe
+    7.2, // SearchItemsByCategory
+    3.6, // SearchItemsByRegion
+    5.0, // Login (the rest arrives via needs-session redirects)
+    7.5, // Logout
+    1.0, // RegisterNewUser (the rest arrives via the register form)
+    7.0, // MakeBid
+    2.4, // DoBuyNow
+    3.6, // LeaveUserFeedback
+    0.8, // CommitBid (mass arrives from MakeBid)
+    0.3, // CommitBuyNow
+    0.5, // CommitUserFeedback
+    0.3, // RegisterNewItem
+];
+
+/// Structural chains: `(from, to, probability)` — a user who selected an
+/// item to bid on usually commits the bid next, and so on.
+const CHAINS: [(u16, u16, f64); 5] = [
+    (18, 21, 0.70), // MakeBid → CommitBid
+    (19, 22, 0.65), // DoBuyNow → CommitBuyNow
+    (20, 23, 0.70), // LeaveUserFeedback → CommitUserFeedback
+    (2, 24, 0.35),  // SellItemForm → RegisterNewItem
+    (3, 17, 0.60),  // RegisterUserForm → RegisterNewUser
+];
+
+/// Per-state weight of abandoning the site without logging out.
+const ABANDON: f64 = 3.5;
+
+fn spec_for(idx: usize, dataset: &DatasetSpec) -> OpSpec {
+    use FunctionalGroup as G;
+    use MixClass as M;
+    let op = OpCode(idx as u16);
+    let (group, mix) = match op {
+        codes::HOME | codes::HELP => (G::BrowseView, M::StaticContent),
+        codes::SELL_ITEM_FORM => (G::BidBuySell, M::StaticContent),
+        codes::REGISTER_USER_FORM => (G::UserAccount, M::StaticContent),
+        codes::BROWSE_CATEGORIES
+        | codes::BROWSE_REGIONS
+        | codes::BROWSE_ITEMS_IN_CATEGORY
+        | codes::BROWSE_ITEMS_IN_REGION
+        | codes::VIEW_ITEM
+        | codes::VIEW_BID_HISTORY
+        | codes::VIEW_PAST_AUCTION => (G::BrowseView, M::ReadOnlyDb),
+        codes::VIEW_USER_INFO | codes::ABOUT_ME => (G::UserAccount, M::ReadOnlyDb),
+        codes::SEARCH_BY_CATEGORY | codes::SEARCH_BY_REGION => (G::Search, M::Search),
+        codes::LOGIN | codes::LOGOUT | codes::REGISTER_NEW_USER => {
+            (G::UserAccount, M::SessionInitDel)
+        }
+        codes::MAKE_BID | codes::DO_BUY_NOW => (G::BidBuySell, M::SessionUpdate),
+        codes::LEAVE_USER_FEEDBACK => (G::UserAccount, M::SessionUpdate),
+        codes::COMMIT_BID | codes::COMMIT_BUY_NOW => (G::BidBuySell, M::DbUpdate),
+        codes::COMMIT_USER_FEEDBACK => (G::UserAccount, M::DbUpdate),
+        codes::REGISTER_NEW_ITEM => (G::BidBuySell, M::DbUpdate),
+        _ => (G::BrowseView, M::StaticContent),
+    };
+    let needs_session = matches!(
+        op,
+        codes::SELL_ITEM_FORM
+            | codes::ABOUT_ME
+            | codes::LOGOUT
+            | codes::MAKE_BID
+            | codes::DO_BUY_NOW
+            | codes::LEAVE_USER_FEEDBACK
+            | codes::COMMIT_BID
+            | codes::COMMIT_BUY_NOW
+            | codes::COMMIT_USER_FEEDBACK
+            | codes::REGISTER_NEW_ITEM
+    );
+    let commit_point = matches!(
+        op,
+        codes::VIEW_ITEM
+            | codes::LOGOUT
+            | codes::REGISTER_NEW_USER
+            | codes::COMMIT_BID
+            | codes::COMMIT_BUY_NOW
+            | codes::COMMIT_USER_FEEDBACK
+            | codes::REGISTER_NEW_ITEM
+    );
+    let idempotent = !matches!(
+        op,
+        codes::REGISTER_NEW_USER
+            | codes::COMMIT_BID
+            | codes::COMMIT_BUY_NOW
+            | codes::COMMIT_USER_FEEDBACK
+            | codes::REGISTER_NEW_ITEM
+    );
+    let arg = match op {
+        codes::BROWSE_ITEMS_IN_CATEGORY | codes::SEARCH_BY_CATEGORY => {
+            ArgKind::Range(1, dataset.categories)
+        }
+        codes::BROWSE_REGIONS => ArgKind::None,
+        codes::BROWSE_ITEMS_IN_REGION | codes::SEARCH_BY_REGION => {
+            ArgKind::Range(1, dataset.regions)
+        }
+        codes::VIEW_ITEM
+        | codes::VIEW_BID_HISTORY
+        | codes::MAKE_BID
+        | codes::DO_BUY_NOW
+        | codes::COMMIT_BID
+        | codes::COMMIT_BUY_NOW => ArgKind::Range(1, dataset.items),
+        codes::VIEW_PAST_AUCTION => ArgKind::Range(1, dataset.old_items),
+        codes::VIEW_USER_INFO
+        | codes::LOGIN
+        | codes::LEAVE_USER_FEEDBACK
+        | codes::COMMIT_USER_FEEDBACK => ArgKind::Range(1, dataset.users),
+        _ => ArgKind::None,
+    };
+    OpSpec {
+        op,
+        name: NAMES[idx],
+        group,
+        mix,
+        idempotent,
+        commit_point,
+        needs_session,
+        is_login: op == codes::LOGIN,
+        is_logout: op == codes::LOGOUT,
+        arg,
+    }
+}
+
+/// Builds eBid's workload catalog for a dataset shape.
+pub fn catalog(dataset: &DatasetSpec) -> Catalog {
+    let ops: Vec<OpSpec> = (0..OP_COUNT).map(|i| spec_for(i, dataset)).collect();
+    let mut transitions = Vec::with_capacity(OP_COUNT);
+    for from in 0..OP_COUNT {
+        let chain = CHAINS.iter().find(|(f, _, _)| *f as usize == from);
+        let chain_share = chain.map(|(_, _, p)| *p).unwrap_or(0.0);
+        let pop_total: f64 = POPULARITY.iter().sum();
+        let mut row: Vec<(usize, f64)> = POPULARITY
+            .iter()
+            .enumerate()
+            .filter(|(to, w)| *to != from && **w > 0.0)
+            .map(|(to, w)| (to, w * (1.0 - chain_share)))
+            .collect();
+        if let Some((_, to, p)) = chain {
+            let extra = pop_total * p;
+            match row.iter_mut().find(|(t, _)| *t == *to as usize) {
+                Some(slot) => slot.1 += extra,
+                None => row.push((*to as usize, extra)),
+            }
+        }
+        transitions.push(row);
+    }
+    Catalog {
+        ops,
+        transitions,
+        abandon_weight: vec![ABANDON; OP_COUNT],
+        entry_state: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_validates() {
+        let c = catalog(&DatasetSpec::default());
+        c.validate().unwrap();
+        assert_eq!(c.ops.len(), 25, "25 Markov states, as in the paper");
+    }
+
+    #[test]
+    fn exactly_one_login_and_logout() {
+        let c = catalog(&DatasetSpec::default());
+        assert_eq!(c.ops.iter().filter(|o| o.is_login).count(), 1);
+        assert_eq!(c.ops.iter().filter(|o| o.is_logout).count(), 1);
+    }
+
+    #[test]
+    fn db_updates_are_non_idempotent() {
+        let c = catalog(&DatasetSpec::default());
+        for o in &c.ops {
+            if o.mix == MixClass::DbUpdate {
+                assert!(!o.idempotent, "{} must not be retried", o.name);
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_mix_is_in_the_right_ballpark() {
+        // The *driven* mix (with login redirects) is verified end-to-end in
+        // the integration tests; the raw chain should already be close.
+        let c = catalog(&DatasetSpec::default());
+        for (class, pct) in c.mix_by_class(300) {
+            let paper = class.paper_percent();
+            // SessionInitDel is deliberately under-weighted in the raw
+            // chain: most logins arrive via runtime needs-session
+            // redirects, which only the driven run exhibits.
+            let tolerance = if class == MixClass::SessionInitDel {
+                12.0
+            } else {
+                8.0
+            };
+            assert!(
+                (pct - paper).abs() < tolerance,
+                "{class:?}: chain gives {pct:.1}%, paper says {paper}%"
+            );
+        }
+    }
+
+    #[test]
+    fn args_stay_in_dataset_ranges() {
+        let spec = DatasetSpec::default();
+        let c = catalog(&spec);
+        for o in &c.ops {
+            if let ArgKind::Range(lo, hi) = o.arg {
+                assert!(lo >= 1 && hi >= lo, "{}: bad range", o.name);
+                assert!(hi <= spec.bids.max(spec.items), "{}: range too wide", o.name);
+            }
+        }
+    }
+}

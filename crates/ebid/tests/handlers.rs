@@ -1,0 +1,232 @@
+//! Direct tests of every eBid request handler against a live server.
+
+use ebid::ops::codes;
+use ebid::{build_server, DatasetSpec, EBid};
+use simcore::SimTime;
+use statestore::session::CorruptKind;
+use statestore::{SessionId, Value};
+use urb_core::server::make_request;
+use urb_core::{AppServer, OpCode, Response, ServerConfig, SessionBackend, Status, SubmitOutcome};
+
+struct Driver {
+    srv: AppServer<EBid>,
+    now: SimTime,
+    next_id: u64,
+}
+
+impl Driver {
+    fn new() -> Driver {
+        let (srv, _) = build_server(
+            DatasetSpec::tiny(),
+            ServerConfig::default(),
+            SessionBackend::FastS(statestore::FastS::new()),
+            42,
+        );
+        Driver {
+            srv,
+            now: SimTime::from_secs(1),
+            next_id: 0,
+        }
+    }
+
+    fn run(&mut self, op: OpCode, session: Option<SessionId>, arg: i64) -> Response {
+        self.next_id += 1;
+        self.now = self.now + simcore::SimDuration::from_millis(100);
+        let req = make_request(self.next_id, op, session, true, arg, self.now);
+        match self.srv.submit(req, self.now) {
+            SubmitOutcome::Rejected(r) => r,
+            SubmitOutcome::Admitted => {
+                let started = self.srv.pump(self.now)[0];
+                self.srv
+                    .complete(started.req, started.cpu_done_at)
+                    .expect("completes")
+            }
+        }
+    }
+
+    fn login(&mut self, user: i64) -> SessionId {
+        let r = self.run(codes::LOGIN, None, user);
+        assert_eq!(r.status, Status::Ok);
+        r.set_cookie.expect("login sets cookie")
+    }
+}
+
+#[test]
+fn every_operation_succeeds_on_a_healthy_server() {
+    let mut d = Driver::new();
+    let mut sid = d.login(3);
+    let spec = DatasetSpec::tiny();
+    // Logout last: it tears the session down.
+    let mut order: Vec<_> = ebid::ops::all_ops().filter(|o| *o != codes::LOGOUT).collect();
+    order.push(codes::LOGOUT);
+    for op in order {
+        let arg = match op {
+            codes::BROWSE_ITEMS_IN_CATEGORY | codes::SEARCH_BY_CATEGORY => spec.categories,
+            codes::BROWSE_ITEMS_IN_REGION | codes::SEARCH_BY_REGION => spec.regions,
+            codes::VIEW_PAST_AUCTION => spec.old_items,
+            codes::VIEW_USER_INFO
+            | codes::LOGIN
+            | codes::LEAVE_USER_FEEDBACK
+            | codes::COMMIT_USER_FEEDBACK => spec.users,
+            _ => spec.items,
+        };
+        // Fresh-session operations carry no cookie.
+        let session = match op {
+            codes::LOGIN | codes::REGISTER_NEW_USER => None,
+            _ => Some(sid),
+        };
+        let r = d.run(op, session, arg);
+        assert_eq!(
+            r.status,
+            Status::Ok,
+            "{} should succeed",
+            ebid::ops::name_of(op)
+        );
+        assert!(
+            !r.simple_detector_flags(),
+            "{} flagged: {:?}",
+            ebid::ops::name_of(op),
+            r.markers
+        );
+        if op == codes::REGISTER_NEW_USER {
+            // Registration replaced our session; keep using the new one.
+            sid = r.set_cookie.expect("registration sets a cookie");
+        }
+    }
+}
+
+#[test]
+fn bid_flow_updates_the_database() {
+    let mut d = Driver::new();
+    let sid = d.login(2);
+    let db = d.srv.db();
+    let item = 7i64;
+    let before = db.borrow().read_committed("items", item).unwrap().unwrap();
+    let bids_before = before[7].as_int().unwrap();
+    let max_bid_count = db.borrow().max_pk("bids").unwrap().unwrap();
+
+    let r = d.run(codes::MAKE_BID, Some(sid), item);
+    assert_eq!(r.status, Status::Ok);
+    let r = d.run(codes::COMMIT_BID, Some(sid), item);
+    assert_eq!(r.status, Status::Ok);
+
+    let after = db.borrow().read_committed("items", item).unwrap().unwrap();
+    assert_eq!(after[7].as_int().unwrap(), bids_before + 1, "nb_bids bumped");
+    let new_bid = db.borrow().max_pk("bids").unwrap().unwrap();
+    assert_eq!(new_bid, max_bid_count + 1, "one bid row inserted");
+    let bid = db.borrow().read_committed("bids", new_bid).unwrap().unwrap();
+    assert_eq!(bid[1], Value::Int(2), "bid belongs to the logged-in user");
+    assert_eq!(bid[2], Value::Int(item), "bid names the selected item");
+}
+
+#[test]
+fn registration_creates_user_and_session() {
+    let mut d = Driver::new();
+    let db = d.srv.db();
+    let users_before = db.borrow().table_len("users").unwrap();
+    let r = d.run(codes::REGISTER_NEW_USER, None, 0);
+    assert_eq!(r.status, Status::Ok);
+    assert!(r.set_cookie.is_some(), "registration logs the user in");
+    assert_eq!(db.borrow().table_len("users").unwrap(), users_before + 1);
+}
+
+#[test]
+fn feedback_flow_bumps_target_rating() {
+    let mut d = Driver::new();
+    let sid = d.login(1);
+    let db = d.srv.db();
+    let target = 4i64;
+    let before = db.borrow().read_committed("users", target).unwrap().unwrap()[2]
+        .as_int()
+        .unwrap();
+    let r = d.run(codes::LEAVE_USER_FEEDBACK, Some(sid), target);
+    assert_eq!(r.status, Status::Ok);
+    let r = d.run(codes::COMMIT_USER_FEEDBACK, Some(sid), target);
+    assert_eq!(r.status, Status::Ok);
+    let after = db.borrow().read_committed("users", target).unwrap().unwrap()[2]
+        .as_int()
+        .unwrap();
+    assert_eq!(after, before + 1);
+}
+
+#[test]
+fn needs_session_ops_prompt_without_cookie() {
+    let mut d = Driver::new();
+    for op in [
+        codes::ABOUT_ME,
+        codes::MAKE_BID,
+        codes::COMMIT_BID,
+        codes::SELL_ITEM_FORM,
+        codes::REGISTER_NEW_ITEM,
+    ] {
+        let r = d.run(op, None, 1);
+        assert!(
+            r.markers.login_prompt,
+            "{} should prompt for login",
+            ebid::ops::name_of(op)
+        );
+    }
+}
+
+#[test]
+fn stale_cookie_prompts_login_once() {
+    let mut d = Driver::new();
+    let sid = d.login(1);
+    // The session vanishes (e.g., a restart elsewhere wiped FastS).
+    d.srv
+        .session_mut()
+        .fasts_mut()
+        .unwrap()
+        .remove_all_for_test();
+    let r = d.run(codes::BROWSE_CATEGORIES, Some(sid), 1);
+    assert!(r.markers.login_prompt, "stale cookie detected immediately");
+}
+
+#[test]
+fn corrupt_keygen_null_fails_all_writes() {
+    let mut d = Driver::new();
+    let sid = d.login(1);
+    d.srv.app_mut().corrupt_keygen(CorruptKind::SetNull);
+    for op in [codes::COMMIT_BID, codes::REGISTER_NEW_ITEM, codes::REGISTER_NEW_USER] {
+        let session = if op == codes::REGISTER_NEW_USER { None } else { Some(sid) };
+        let r = d.run(op, session, 3);
+        assert_eq!(r.status, Status::ServerError(500), "{}", ebid::ops::name_of(op));
+    }
+    // Reads are unaffected.
+    let r = d.run(codes::VIEW_ITEM, Some(sid), 3);
+    assert_eq!(r.status, Status::Ok);
+}
+
+#[test]
+fn corrupt_keygen_wrong_silently_overwrites_and_taints() {
+    let mut d = Driver::new();
+    let sid = d.login(1);
+    d.srv.app_mut().corrupt_keygen(CorruptKind::SetWrong);
+    let db = d.srv.db();
+    assert!(db.borrow().is_consistent());
+    let r = d.run(codes::COMMIT_BID, Some(sid), 3);
+    // The write "succeeds" — onto an existing row.
+    assert_eq!(r.status, Status::Ok);
+    assert!(r.tainted, "comparison oracle sees the divergence");
+    assert!(!db.borrow().is_consistent(), "database now needs repair");
+    // IdentityManager's reinit callback resets the generator.
+    use urb_core::app::Application as _;
+    d.srv.app_mut().on_component_reinit("IdentityManager");
+    assert!(!d.srv.app().keygen_corrupt());
+}
+
+#[test]
+fn corrupted_db_rows_taint_reads_until_repair() {
+    let mut d = Driver::new();
+    let db = d.srv.db();
+    db.borrow_mut()
+        .corrupt_cell("items", 3, 6, Value::Float(-10.0))
+        .unwrap();
+    let r = d.run(codes::VIEW_ITEM, None, 3);
+    assert!(r.markers.invalid_data, "negative bid visible to the user");
+    assert!(r.tainted);
+    db.borrow_mut().repair();
+    let r = d.run(codes::VIEW_ITEM, None, 3);
+    assert_eq!(r.status, Status::Ok);
+    assert!(!r.tainted);
+}

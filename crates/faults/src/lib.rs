@@ -1,0 +1,477 @@
+//! The fault-injection catalogue of Section 5.1 / Table 2.
+//!
+//! The paper's industry contacts identified the failure modes that plague
+//! production J2EE systems — deadlocked threads, leak-induced resource
+//! exhaustion, corruption of volatile metadata, mishandled exceptions —
+//! and the authors added hooks for injecting each, plus data corruption in
+//! the session stores and the database, and low-level faults underneath
+//! the JVM (FIG / FAUmachine). This crate enumerates that catalogue as
+//! [`Fault`], drives injection against an eBid server, and records the
+//! paper's observed worst-case recovery level per row so the Table 2
+//! experiment can print paper-vs-measured.
+
+#![forbid(unsafe_code)]
+
+use ebid::EBid;
+use simcore::SimTime;
+use statestore::session::CorruptKind;
+use statestore::Value;
+use urb_core::server::ServerFault;
+use urb_core::{AppServer, Response};
+
+/// Every fault class Table 2 injects.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// Deadlock calls into a component.
+    Deadlock {
+        /// Target component.
+        component: &'static str,
+    },
+    /// Spin calls into a component forever.
+    InfiniteLoop {
+        /// Target component.
+        component: &'static str,
+    },
+    /// Leak application memory on each invocation.
+    AppMemoryLeak {
+        /// Target component.
+        component: &'static str,
+        /// Bytes per invocation.
+        bytes_per_call: u64,
+        /// Whether the leak resumes after reboots (a code bug, as in the
+        /// rejuvenation experiments) or is a one-shot injection.
+        persistent: bool,
+    },
+    /// Transient Java exceptions stressing the handling code.
+    TransientException {
+        /// Target component.
+        component: &'static str,
+        /// Number of failing calls.
+        calls: u32,
+    },
+    /// Corrupt the application's primary-key generation code.
+    CorruptPrimaryKeys {
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt a component's JNDI entry.
+    CorruptJndi {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt a container's transaction method map.
+    CorruptTxnMap {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt a stateless session bean's instance attributes.
+    CorruptBeanAttrs {
+        /// Target component.
+        component: &'static str,
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Corrupt a session object inside FastS.
+    CorruptFastS {
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Flip bits in a session object inside SSM.
+    CorruptSsm,
+    /// Manually alter database table contents.
+    CorruptDb {
+        /// Null / invalid / wrong.
+        kind: CorruptKind,
+    },
+    /// Leak memory inside the JVM, outside the application.
+    MemLeakIntraJvm {
+        /// Bytes per second.
+        bytes_per_sec: u64,
+    },
+    /// Leak memory outside the JVM.
+    MemLeakExtraJvm {
+        /// Bytes per second.
+        bytes_per_sec: u64,
+    },
+    /// Bit flips in process memory.
+    BitFlipMemory,
+    /// Bit flips in process registers.
+    BitFlipRegisters,
+    /// Bad system-call return values.
+    BadSyscalls,
+}
+
+/// The recovery level Table 2 reports as sufficient (worst case).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExpectedLevel {
+    /// No reboot needed: the fault is naturally expunged.
+    Unnecessary,
+    /// EJB-level microreboot.
+    Ejb,
+    /// EJB plus WAR microreboot.
+    EjbWar,
+    /// WAR microreboot.
+    War,
+    /// Detected via checksum; bad object automatically discarded.
+    ChecksumDiscard,
+    /// Database table repair needed (manual).
+    TableRepair,
+    /// JVM/JBoss process restart.
+    Jvm,
+    /// OS/kernel reboot.
+    OsKernel,
+}
+
+impl ExpectedLevel {
+    /// Table 2's text for this level.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExpectedLevel::Unnecessary => "unnecessary",
+            ExpectedLevel::Ejb => "EJB",
+            ExpectedLevel::EjbWar => "EJB+WAR",
+            ExpectedLevel::War => "WAR",
+            ExpectedLevel::ChecksumDiscard => "checksum discard",
+            ExpectedLevel::TableRepair => "table repair",
+            ExpectedLevel::Jvm => "JVM/JBoss",
+            ExpectedLevel::OsKernel => "OS kernel",
+        }
+    }
+}
+
+/// One Table 2 row: a fault, the paper's worst-case level, and whether
+/// the paper marks it ≈ (additional manual repair for full correctness).
+#[derive(Clone, Copy, Debug)]
+pub struct CatalogueRow {
+    /// Display label (Table 2's left column).
+    pub label: &'static str,
+    /// The fault to inject.
+    pub fault: Fault,
+    /// The paper's worst-case recovery level.
+    pub expected: ExpectedLevel,
+    /// Paper's ≈ mark: manual data repair needed for 100% correctness.
+    pub manual_repair: bool,
+}
+
+/// Returns Table 2's 26 rows, with concrete injection targets.
+pub fn table2_catalogue() -> Vec<CatalogueRow> {
+    use CorruptKind::*;
+    use ExpectedLevel::*;
+    let row = |label, fault, expected, manual_repair| CatalogueRow {
+        label,
+        fault,
+        expected,
+        manual_repair,
+    };
+    vec![
+        row("Deadlock", Fault::Deadlock { component: "MakeBid" }, Ejb, false),
+        row(
+            "Infinite loop",
+            Fault::InfiniteLoop {
+                component: "SearchItemsByCategory",
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Application memory leak",
+            Fault::AppMemoryLeak {
+                component: "ViewItem",
+                // Fast enough to pressure a 1 GB heap within a couple of
+                // minutes, slow enough that the recursive policy can act
+                // before the JVM dies outright.
+                bytes_per_call: 1 << 20,
+                persistent: false,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Transient exception",
+            Fault::TransientException {
+                component: "BrowseCategories",
+                // Keeps recurring until the component's state is rebuilt.
+                calls: u32::MAX,
+            },
+            Ejb,
+            false,
+        ),
+        row("Corrupt primary keys (null)", Fault::CorruptPrimaryKeys { kind: SetNull }, Ejb, false),
+        row(
+            "Corrupt primary keys (invalid)",
+            Fault::CorruptPrimaryKeys { kind: SetInvalid },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt primary keys (wrong)",
+            Fault::CorruptPrimaryKeys { kind: SetWrong },
+            Ejb,
+            true,
+        ),
+        row(
+            "Corrupt JNDI entry (null)",
+            Fault::CorruptJndi {
+                component: "RegisterNewUser",
+                kind: SetNull,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt JNDI entry (invalid)",
+            Fault::CorruptJndi {
+                component: "RegisterNewUser",
+                kind: SetInvalid,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt JNDI entry (wrong)",
+            Fault::CorruptJndi {
+                component: "RegisterNewUser",
+                kind: SetWrong,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt txn method map (null)",
+            Fault::CorruptTxnMap {
+                component: "CommitBid",
+                kind: SetNull,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt txn method map (invalid)",
+            Fault::CorruptTxnMap {
+                component: "CommitBid",
+                kind: SetInvalid,
+            },
+            Ejb,
+            false,
+        ),
+        row(
+            "Corrupt txn method map (wrong)",
+            Fault::CorruptTxnMap {
+                component: "Item",
+                kind: SetWrong,
+            },
+            Ejb,
+            true,
+        ),
+        row(
+            "Corrupt session EJB attrs (null)",
+            Fault::CorruptBeanAttrs {
+                component: "ViewItem",
+                kind: SetNull,
+            },
+            Unnecessary,
+            false,
+        ),
+        row(
+            "Corrupt session EJB attrs (invalid)",
+            Fault::CorruptBeanAttrs {
+                component: "ViewItem",
+                kind: SetInvalid,
+            },
+            Unnecessary,
+            false,
+        ),
+        row(
+            "Corrupt session EJB attrs (wrong)",
+            Fault::CorruptBeanAttrs {
+                // A *writing* bean: its wrong attributes end up in the
+                // database (the ≈ of this row).
+                component: "CommitBid",
+                kind: SetWrong,
+            },
+            EjbWar,
+            true,
+        ),
+        row("Corrupt FastS data (null)", Fault::CorruptFastS { kind: SetNull }, War, false),
+        row(
+            "Corrupt FastS data (invalid)",
+            Fault::CorruptFastS { kind: SetInvalid },
+            War,
+            false,
+        ),
+        row("Corrupt FastS data (wrong)", Fault::CorruptFastS { kind: SetWrong }, War, true),
+        row("Corrupt SSM data (bit flips)", Fault::CorruptSsm, ChecksumDiscard, false),
+        row("Corrupt MySQL data", Fault::CorruptDb { kind: SetWrong }, TableRepair, true),
+        row(
+            "Memory leak outside app (intra-JVM)",
+            Fault::MemLeakIntraJvm {
+                bytes_per_sec: 40 << 20,
+            },
+            Jvm,
+            false,
+        ),
+        row(
+            "Memory leak outside app (extra-JVM)",
+            Fault::MemLeakExtraJvm {
+                bytes_per_sec: 40 << 20,
+            },
+            OsKernel,
+            false,
+        ),
+        row("Bit flips in process memory", Fault::BitFlipMemory, Jvm, true),
+        row("Bit flips in process registers", Fault::BitFlipRegisters, Jvm, true),
+        row("Bad system call return values", Fault::BadSyscalls, Jvm, false),
+    ]
+}
+
+/// Injects `fault` into a running eBid server.
+///
+/// Returns responses for requests killed as an immediate consequence
+/// (only register bit flips kill anything on the spot).
+pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<Response> {
+    match *fault {
+        Fault::Deadlock { component } => server.inject(ServerFault::Deadlock { component }, now),
+        Fault::InfiniteLoop { component } => {
+            server.inject(ServerFault::InfiniteLoop { component }, now)
+        }
+        Fault::AppMemoryLeak {
+            component,
+            bytes_per_call,
+            persistent,
+        } => server.inject(
+            ServerFault::AppLeak {
+                component,
+                bytes_per_call,
+                persistent,
+            },
+            now,
+        ),
+        Fault::TransientException { component, calls } => {
+            server.inject(ServerFault::TransientExceptions { component, calls }, now)
+        }
+        Fault::CorruptPrimaryKeys { kind } => {
+            server.app_mut().corrupt_keygen(kind);
+            Vec::new()
+        }
+        Fault::CorruptJndi { component, kind } => {
+            server.inject(ServerFault::CorruptJndi { component, kind }, now)
+        }
+        Fault::CorruptTxnMap { component, kind } => {
+            server.inject(ServerFault::CorruptTxnMap { component, kind }, now)
+        }
+        Fault::CorruptBeanAttrs { component, kind } => {
+            server.inject(ServerFault::CorruptBeanAttrs { component, kind }, now)
+        }
+        Fault::CorruptFastS { kind } => {
+            // Bit flips hit a swath of stored objects. Target the most
+            // recently created sessions: abandoned sessions linger in the
+            // store until they time out, and corrupting those would be
+            // invisible.
+            if let Some(fasts) = server.session_mut().fasts_mut() {
+                let victims: Vec<_> =
+                    fasts.session_ids().into_iter().rev().take(25).collect();
+                for id in victims {
+                    fasts.corrupt(id, kind);
+                }
+            }
+            Vec::new()
+        }
+        Fault::CorruptSsm => {
+            if let Some(ssm) = server.session().ssm_handle() {
+                ssm.borrow_mut().corrupt_any();
+            }
+            Vec::new()
+        }
+        Fault::CorruptDb { kind } => {
+            let db = server.db();
+            let mut db = db.borrow_mut();
+            match kind {
+                CorruptKind::SetNull => {
+                    let _ = db.corrupt_cell("items", 1, 1, Value::Null);
+                }
+                CorruptKind::SetInvalid => {
+                    let _ = db.corrupt_cell("items", 1, 6, Value::Float(-500.0));
+                }
+                CorruptKind::SetWrong => {
+                    let _ = db.corrupt_swap_rows("items", 1, 2);
+                }
+            }
+            Vec::new()
+        }
+        Fault::MemLeakIntraJvm { bytes_per_sec } => {
+            server.inject(ServerFault::IntraJvmLeak { bytes_per_sec }, now)
+        }
+        Fault::MemLeakExtraJvm { bytes_per_sec } => {
+            server.inject(ServerFault::ExtraJvmLeak { bytes_per_sec }, now)
+        }
+        Fault::BitFlipMemory => server.inject(ServerFault::BitFlipMemory, now),
+        Fault::BitFlipRegisters => server.inject(ServerFault::BitFlipRegisters, now),
+        Fault::BadSyscalls => server.inject(ServerFault::BadSyscalls, now),
+    }
+}
+
+/// Returns true if the paper classifies this row as curable by a
+/// microreboot (EJB or WAR level) — the first 19 rows of Table 2.
+pub fn microreboot_curable(row: &CatalogueRow) -> bool {
+    matches!(
+        row.expected,
+        ExpectedLevel::Unnecessary | ExpectedLevel::Ejb | ExpectedLevel::EjbWar | ExpectedLevel::War
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_26_rows_19_curable() {
+        let rows = table2_catalogue();
+        assert_eq!(rows.len(), 26);
+        let curable = rows.iter().filter(|r| microreboot_curable(r)).count();
+        assert_eq!(curable, 19, "Table 2: first 19 rows are µRB-curable");
+    }
+
+    #[test]
+    fn approx_rows_match_the_paper() {
+        // ≈ rows: wrong keys, wrong txn map, wrong bean attrs, wrong FastS
+        // data, MySQL corruption, both bit-flip rows.
+        let rows = table2_catalogue();
+        let approx = rows.iter().filter(|r| r.manual_repair).count();
+        assert_eq!(approx, 7);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let rows = table2_catalogue();
+        let mut labels: Vec<&str> = rows.iter().map(|r| r.label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), rows.len());
+    }
+
+    #[test]
+    fn injection_targets_exist_in_ebid() {
+        let names: Vec<&str> = ebid::components::descriptors()
+            .iter()
+            .map(|d| d.name)
+            .collect();
+        for row in table2_catalogue() {
+            let target = match row.fault {
+                Fault::Deadlock { component }
+                | Fault::InfiniteLoop { component }
+                | Fault::AppMemoryLeak { component, .. }
+                | Fault::TransientException { component, .. }
+                | Fault::CorruptJndi { component, .. }
+                | Fault::CorruptTxnMap { component, .. }
+                | Fault::CorruptBeanAttrs { component, .. } => Some(component),
+                _ => None,
+            };
+            if let Some(t) = target {
+                assert!(names.contains(&t), "unknown target {t}");
+            }
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! The recovery manager: scoring diagnosis plus the recursive policy.
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimTime};
+use urb_core::OpCode;
+use workload::detect::{FailureKind, FailureReport};
+
+use crate::policy::PolicyLevel;
+
+/// A recovery action the manager wants executed on a node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// Microreboot these components (the server expands recovery groups).
+    Microreboot {
+        /// Component names to reboot.
+        components: Vec<&'static str>,
+    },
+    /// Restart the whole application.
+    RestartApp,
+    /// Restart the JVM process.
+    RestartProcess,
+    /// Reboot the operating system.
+    RebootOs,
+    /// Automated recovery is exhausted or failures recur endlessly.
+    NotifyHuman,
+}
+
+/// Manager configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct RmConfig {
+    /// Failure reports needed before the manager acts (the hand-tuned
+    /// threshold of Section 4).
+    pub score_threshold: f64,
+    /// Reports older than this are forgotten — scores are computed over a
+    /// sliding window so background noise never accumulates into a
+    /// spurious recovery.
+    pub score_window: SimDuration,
+    /// Extra detection delay before acting on the first report (the
+    /// `Tdet` knob swept in Figure 5).
+    pub detection_delay: SimDuration,
+    /// Aftershock suppression: reports arriving within this long of a
+    /// completed recovery are ignored — they are the recovery's own damage
+    /// (killed requests, 503s during the reboot), not evidence that the
+    /// fault persists.
+    pub settle: SimDuration,
+    /// How long after a recovery completes (past the settle window) new
+    /// failures count as "the same problem" and escalate the ladder.
+    pub observation: SimDuration,
+    /// The rung recovery starts at. `Ejb` is the paper's policy; setting
+    /// `Process` reproduces the "recover by JVM restart" baseline runs.
+    pub start_level: PolicyLevel,
+    /// How many completed recovery episodes within `recurrence_window`
+    /// trigger a human notification for a recurring failure pattern.
+    pub recurrence_limit: u32,
+    /// Window for recurrence detection.
+    pub recurrence_window: SimDuration,
+}
+
+impl Default for RmConfig {
+    fn default() -> Self {
+        RmConfig {
+            score_threshold: 6.0,
+            score_window: SimDuration::from_secs(10),
+            detection_delay: SimDuration::ZERO,
+            settle: SimDuration::from_secs(3),
+            observation: SimDuration::from_secs(30),
+            start_level: PolicyLevel::Ejb,
+            recurrence_limit: 8,
+            recurrence_window: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// Lifetime counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RmStats {
+    /// Reports received.
+    pub reports: u64,
+    /// EJB microreboots commanded.
+    pub ejb_microreboots: u64,
+    /// WAR microreboots commanded.
+    pub war_microreboots: u64,
+    /// Application restarts commanded.
+    pub app_restarts: u64,
+    /// Process restarts commanded.
+    pub process_restarts: u64,
+    /// OS reboots commanded.
+    pub os_reboots: u64,
+    /// Human notifications raised.
+    pub human_notifications: u64,
+}
+
+#[derive(Debug)]
+struct NodeDiag {
+    /// Recent reports: (time, op for path scoring, was-network).
+    recent: Vec<(SimTime, Option<OpCode>)>,
+    first_report_at: Option<SimTime>,
+    level: PolicyLevel,
+    recovering: bool,
+    last_recovery_end: Option<SimTime>,
+    episode_ends: Vec<SimTime>,
+}
+
+impl NodeDiag {
+    fn new(start: PolicyLevel) -> Self {
+        NodeDiag {
+            recent: Vec::new(),
+            first_report_at: None,
+            level: start,
+            recovering: false,
+            last_recovery_end: None,
+            episode_ends: Vec::new(),
+        }
+    }
+
+    fn clear_scores(&mut self) {
+        self.recent.clear();
+        self.first_report_at = None;
+    }
+
+    fn prune(&mut self, now: SimTime, window: SimDuration) {
+        self.recent.retain(|(t, _)| now - *t <= window);
+        if self.recent.is_empty() {
+            self.first_report_at = None;
+        } else {
+            self.first_report_at = Some(self.recent[0].0);
+        }
+    }
+}
+
+/// The recovery manager.
+///
+/// One manager oversees a whole cluster; diagnosis state is per node. The
+/// simulation forwards monitor reports via [`RecoveryManager::report`],
+/// polls [`RecoveryManager::decide`], and acknowledges completed actions
+/// via [`RecoveryManager::recovery_finished`].
+pub struct RecoveryManager {
+    config: RmConfig,
+    /// URL-prefix → component-path mapping (from static analysis).
+    path_of: fn(OpCode) -> &'static [&'static str],
+    /// Name of the web component, scored down (it is on every path).
+    web: &'static str,
+    nodes: Vec<NodeDiag>,
+    stats: RmStats,
+}
+
+impl RecoveryManager {
+    /// Creates a manager for `nodes` nodes.
+    pub fn new(
+        nodes: usize,
+        config: RmConfig,
+        path_of: fn(OpCode) -> &'static [&'static str],
+        web: &'static str,
+    ) -> Self {
+        RecoveryManager {
+            config,
+            path_of,
+            web,
+            nodes: (0..nodes).map(|_| NodeDiag::new(config.start_level)).collect(),
+            stats: RmStats::default(),
+        }
+    }
+
+    /// Returns lifetime counters.
+    pub fn stats(&self) -> RmStats {
+        self.stats
+    }
+
+    /// Returns the node's current ladder rung.
+    pub fn level_of(&self, node: usize) -> PolicyLevel {
+        self.nodes[node].level
+    }
+
+    /// Ingests one failure report from a monitor.
+    pub fn report(&mut self, r: &FailureReport) {
+        self.stats.reports += 1;
+        let Some(diag) = self.nodes.get_mut(r.node) else {
+            return;
+        };
+        // Session loss (a login prompt served to a logged-in user) means
+        // state was lost — by a restart here, a failover away from a
+        // recovering node, or an eviction. No reboot cures it, and acting
+        // on it cascades: the recovery would destroy yet more sessions.
+        if r.kind == FailureKind::SessionLoss {
+            return;
+        }
+        if let Some(end) = diag.last_recovery_end {
+            // Aftershock suppression: the recovery's own collateral damage
+            // is not evidence that the fault persists.
+            if r.at <= end + self.config.settle {
+                return;
+            }
+        }
+        diag.first_report_at.get_or_insert(r.at);
+        match r.kind {
+            FailureKind::Network => diag.recent.push((r.at, None)),
+            _ => diag.recent.push((r.at, Some(r.op))),
+        }
+    }
+
+    /// Marks a commanded recovery as finished, closing the episode.
+    pub fn recovery_finished(&mut self, node: usize, now: SimTime) {
+        let Some(diag) = self.nodes.get_mut(node) else {
+            return;
+        };
+        diag.recovering = false;
+        diag.last_recovery_end = Some(now);
+        diag.episode_ends.push(now);
+        diag.clear_scores();
+    }
+
+    /// Picks the most suspicious non-web component from the failure
+    /// evidence.
+    ///
+    /// Strategy (static analysis over the URL → path map):
+    /// 1. Components common to *every* failing URL's path are the prime
+    ///    suspects — the fault must lie where all failing flows meet.
+    /// 2. Ties break toward the component that appears on the *fewest*
+    ///    paths overall: a component shared by many URLs (IdentityManager,
+    ///    User, ...) would be making other URLs fail too, and they are not
+    ///    failing.
+    /// 3. If the intersection is empty (noisy evidence), fall back to the
+    ///    rarity-weighted score maximum.
+    fn pick_suspect(
+        failing_ops: &[OpCode],
+        scores: &HashMap<&'static str, f64>,
+        path_of: fn(OpCode) -> &'static [&'static str],
+        web: &'static str,
+    ) -> Option<&'static str> {
+        // How many distinct URLs each component serves (IDF weight).
+        let paths_containing = |comp: &str| -> usize {
+            (0u16..64)
+                .map(OpCode)
+                .filter(|op| (path_of)(*op).contains(&comp))
+                .count()
+        };
+        if !failing_ops.is_empty() {
+            let mut common: Vec<&'static str> = (path_of)(failing_ops[0])
+                .iter()
+                .copied()
+                .filter(|c| *c != web)
+                .collect();
+            for op in &failing_ops[1..] {
+                let path = (path_of)(*op);
+                common.retain(|c| path.contains(c));
+            }
+            common.sort_by_key(|c| (paths_containing(c), *c));
+            if let Some(best) = common.first() {
+                return Some(best);
+            }
+        }
+        // Fallback: rarity-weighted maximum score.
+        let mut best: Option<(&'static str, f64)> = None;
+        for (c, s) in scores {
+            if *c == web {
+                continue;
+            }
+            let weighted = *s / paths_containing(c).max(1) as f64;
+            let better = match best {
+                Some((bc, bs)) => weighted > bs || (weighted == bs && *c < bc),
+                None => true,
+            };
+            if better {
+                best = Some((c, weighted));
+            }
+        }
+        best.map(|(c, _)| c)
+    }
+
+    /// Decides whether (and how) to recover `node` right now.
+    ///
+    /// Returns `None` while evidence is insufficient, detection is still
+    /// within `Tdet`, or a recovery is already in flight.
+    pub fn decide(&mut self, node: usize, now: SimTime) -> Option<RecoveryAction> {
+        let config = self.config;
+        let web = self.web;
+        let path_of = self.path_of;
+        let diag = self.nodes.get_mut(node)?;
+        if diag.recovering {
+            return None;
+        }
+        // Reports must survive at least the configured detection delay,
+        // or a large Tdet (Figure 5's sweep) would forget the evidence
+        // before it may be acted on.
+        diag.prune(now, config.score_window + config.detection_delay);
+        let first = diag.first_report_at?;
+        if now - first < config.detection_delay {
+            return None;
+        }
+        // Score components along the failed URLs' static call paths. The
+        // web component is on every path, so hits on it carry little
+        // information.
+        let mut scores: HashMap<&'static str, f64> = HashMap::new();
+        let mut failing_ops: Vec<OpCode> = Vec::new();
+        let mut network_reports = 0u64;
+        let mut other_reports = 0u64;
+        for (_, op) in &diag.recent {
+            match op {
+                None => network_reports += 1,
+                Some(op) => {
+                    other_reports += 1;
+                    if !failing_ops.contains(op) {
+                        failing_ops.push(*op);
+                    }
+                    for comp in (path_of)(*op) {
+                        let w = if *comp == web { 0.2 } else { 1.0 };
+                        *scores.entry(comp).or_insert(0.0) += w;
+                    }
+                }
+            }
+        }
+        // The evidence must implicate *some single component* strongly
+        // enough (or show enough connection-level failures); summing over
+        // a whole path would let one failed request trip the threshold.
+        let max_score = scores.values().copied().fold(0.0, f64::max);
+        let enough = max_score >= config.score_threshold
+            || network_reports as f64 >= config.score_threshold;
+        if !enough {
+            return None;
+        }
+        // Level bookkeeping: failures shortly after a completed recovery
+        // escalate; failures after a quiet period restart the ladder.
+        if let Some(end) = diag.last_recovery_end {
+            if first <= end + config.settle + config.observation {
+                diag.level = diag.level.escalate();
+            } else {
+                diag.level = config.start_level;
+            }
+        }
+        // Recurring failure patterns page a human (Section 4).
+        diag.episode_ends
+            .retain(|e| now - *e <= config.recurrence_window);
+        if diag.episode_ends.len() as u32 >= config.recurrence_limit {
+            self.stats.human_notifications += 1;
+            diag.recovering = true;
+            return Some(RecoveryAction::NotifyHuman);
+        }
+        // Connection-level failures mean the process (or node) is gone:
+        // component recovery is pointless.
+        if network_reports > other_reports && diag.level < PolicyLevel::Process {
+            diag.level = PolicyLevel::Process;
+        }
+        let action = match diag.level {
+            PolicyLevel::Ejb => {
+                match Self::pick_suspect(&failing_ops, &scores, path_of, web) {
+                    Some(comp) => {
+                        self.stats.ejb_microreboots += 1;
+                        RecoveryAction::Microreboot {
+                            components: vec![comp],
+                        }
+                    }
+                    None => {
+                        self.stats.war_microreboots += 1;
+                        RecoveryAction::Microreboot {
+                            components: vec![web],
+                        }
+                    }
+                }
+            }
+            PolicyLevel::War => {
+                self.stats.war_microreboots += 1;
+                RecoveryAction::Microreboot {
+                    components: vec![web],
+                }
+            }
+            PolicyLevel::App => {
+                self.stats.app_restarts += 1;
+                RecoveryAction::RestartApp
+            }
+            PolicyLevel::Process => {
+                self.stats.process_restarts += 1;
+                RecoveryAction::RestartProcess
+            }
+            PolicyLevel::Os => {
+                self.stats.os_reboots += 1;
+                RecoveryAction::RebootOs
+            }
+            PolicyLevel::Human => {
+                self.stats.human_notifications += 1;
+                RecoveryAction::NotifyHuman
+            }
+        };
+        diag.recovering = true;
+        Some(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(op: OpCode) -> &'static [&'static str] {
+        match op.0 {
+            0 => &["WAR", "Browse", "Item"],
+            1 => &["WAR", "Bid", "Item"],
+            2 => &["WAR", "Account"],
+            _ => &["WAR"],
+        }
+    }
+
+    fn rm(config: RmConfig) -> RecoveryManager {
+        // Tests drive single-digit report volumes; pin a low threshold
+        // (production default is tuned for 70 req/s noise floors).
+        let config = RmConfig {
+            score_threshold: 3.0,
+            ..config
+        };
+        RecoveryManager::new(2, config, path, "WAR")
+    }
+
+    fn rep(op: u16, node: usize, at: u64, kind: FailureKind) -> FailureReport {
+        FailureReport {
+            at: SimTime::from_secs(at),
+            op: OpCode(op),
+            kind,
+            node,
+        }
+    }
+
+    #[test]
+    fn no_action_below_threshold() {
+        let mut m = rm(RmConfig::default());
+        m.report(&rep(0, 0, 1, FailureKind::Http));
+        assert_eq!(m.decide(0, SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn scores_pick_the_common_component() {
+        let mut m = rm(RmConfig::default());
+        // Ops 0 and 1 both traverse Item; it should outscore Browse/Bid.
+        m.report(&rep(0, 0, 1, FailureKind::Http));
+        m.report(&rep(1, 0, 1, FailureKind::Http));
+        m.report(&rep(0, 0, 2, FailureKind::Keyword));
+        let action = m.decide(0, SimTime::from_secs(2)).unwrap();
+        assert_eq!(
+            action,
+            RecoveryAction::Microreboot {
+                components: vec!["Item"]
+            }
+        );
+        assert_eq!(m.stats().ejb_microreboots, 1);
+    }
+
+    #[test]
+    fn busy_recovering_defers_new_actions() {
+        let mut m = rm(RmConfig::default());
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+        }
+        assert!(m.decide(0, SimTime::from_secs(1)).is_some());
+        m.report(&rep(0, 0, 2, FailureKind::Http));
+        assert_eq!(m.decide(0, SimTime::from_secs(2)), None, "in flight");
+    }
+
+    #[test]
+    fn persistent_failures_escalate_the_ladder() {
+        let mut m = rm(RmConfig::default());
+        let mut t = 1;
+        let mut labels = Vec::new();
+        for _ in 0..5 {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            let action = m.decide(0, SimTime::from_secs(t)).unwrap();
+            labels.push(format!("{action:?}"));
+            m.recovery_finished(0, SimTime::from_secs(t + 1));
+            // New failures after the settle window but inside the
+            // observation window.
+            t += 6;
+        }
+        assert!(labels[0].contains("Microreboot"));
+        assert!(labels[1].contains("WAR") || labels[1].contains("Microreboot"));
+        assert!(labels[2].contains("RestartApp"));
+        assert!(labels[3].contains("RestartProcess"));
+        assert!(labels[4].contains("RebootOs"));
+    }
+
+    #[test]
+    fn quiet_period_resets_the_ladder() {
+        let mut m = rm(RmConfig::default());
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+        }
+        m.decide(0, SimTime::from_secs(1)).unwrap();
+        m.recovery_finished(0, SimTime::from_secs(2));
+        // A long quiet spell, then a fresh failure burst.
+        for _ in 0..3 {
+            m.report(&rep(1, 0, 500, FailureKind::Http));
+        }
+        let action = m.decide(0, SimTime::from_secs(500)).unwrap();
+        assert!(
+            matches!(action, RecoveryAction::Microreboot { .. }),
+            "ladder restarted at the cheapest rung"
+        );
+    }
+
+    #[test]
+    fn network_failures_jump_to_process_restart() {
+        let mut m = rm(RmConfig::default());
+        for _ in 0..4 {
+            m.report(&rep(0, 0, 1, FailureKind::Network));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(1)),
+            Some(RecoveryAction::RestartProcess)
+        );
+    }
+
+    #[test]
+    fn detection_delay_postpones_action() {
+        let mut m = rm(RmConfig {
+            detection_delay: SimDuration::from_secs(10),
+            ..RmConfig::default()
+        });
+        for _ in 0..5 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+        }
+        assert_eq!(m.decide(0, SimTime::from_secs(5)), None, "within Tdet");
+        assert!(m.decide(0, SimTime::from_secs(11)).is_some());
+    }
+
+    #[test]
+    fn start_level_process_models_the_jvm_restart_baseline() {
+        let mut m = rm(RmConfig {
+            start_level: PolicyLevel::Process,
+            ..RmConfig::default()
+        });
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(1)),
+            Some(RecoveryAction::RestartProcess)
+        );
+    }
+
+    #[test]
+    fn recurring_episodes_notify_a_human() {
+        let mut m = rm(RmConfig {
+            recurrence_limit: 3,
+            ..RmConfig::default()
+        });
+        let mut t = 1;
+        let mut saw_human = false;
+        for _ in 0..6 {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            if m.decide(0, SimTime::from_secs(t)) == Some(RecoveryAction::NotifyHuman) {
+                saw_human = true;
+                break;
+            }
+            m.recovery_finished(0, SimTime::from_secs(t + 1));
+            t += 6;
+        }
+        assert!(saw_human);
+    }
+
+    #[test]
+    fn nodes_are_diagnosed_independently() {
+        let mut m = rm(RmConfig::default());
+        for _ in 0..3 {
+            m.report(&rep(0, 1, 1, FailureKind::Http));
+        }
+        assert_eq!(m.decide(0, SimTime::from_secs(1)), None);
+        assert!(m.decide(1, SimTime::from_secs(1)).is_some());
+    }
+}

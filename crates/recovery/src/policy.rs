@@ -1,0 +1,77 @@
+//! The recursive recovery policy ladder.
+//!
+//! "RM first microreboots EJBs, then eBid's WAR, then the entire eBid
+//! application, then the JVM running the JBoss application server, and
+//! finally reboots the OS; if none of these actions cure the failure
+//! symptoms, RM notifies a human administrator." (Section 4)
+
+/// One rung of the recursive recovery ladder.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PolicyLevel {
+    /// Microreboot the suspected EJB (and its recovery group).
+    Ejb,
+    /// Microreboot the web component.
+    War,
+    /// Restart the whole application.
+    App,
+    /// Restart the JVM process.
+    Process,
+    /// Reboot the operating system.
+    Os,
+    /// Out of automated options: page a human.
+    Human,
+}
+
+impl PolicyLevel {
+    /// Returns the next-coarser rung.
+    pub fn escalate(self) -> PolicyLevel {
+        match self {
+            PolicyLevel::Ejb => PolicyLevel::War,
+            PolicyLevel::War => PolicyLevel::App,
+            PolicyLevel::App => PolicyLevel::Process,
+            PolicyLevel::Process => PolicyLevel::Os,
+            PolicyLevel::Os | PolicyLevel::Human => PolicyLevel::Human,
+        }
+    }
+
+    /// Returns a display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyLevel::Ejb => "EJB microreboot",
+            PolicyLevel::War => "WAR microreboot",
+            PolicyLevel::App => "application restart",
+            PolicyLevel::Process => "JVM restart",
+            PolicyLevel::Os => "OS reboot",
+            PolicyLevel::Human => "notify human",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_order_matches_the_paper() {
+        let mut level = PolicyLevel::Ejb;
+        let expected = [
+            PolicyLevel::War,
+            PolicyLevel::App,
+            PolicyLevel::Process,
+            PolicyLevel::Os,
+            PolicyLevel::Human,
+        ];
+        for e in expected {
+            level = level.escalate();
+            assert_eq!(level, e);
+        }
+        assert_eq!(PolicyLevel::Human.escalate(), PolicyLevel::Human);
+    }
+
+    #[test]
+    fn levels_are_ordered_cheapest_first() {
+        assert!(PolicyLevel::Ejb < PolicyLevel::War);
+        assert!(PolicyLevel::War < PolicyLevel::Process);
+        assert!(PolicyLevel::Os < PolicyLevel::Human);
+    }
+}

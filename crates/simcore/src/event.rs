@@ -1,0 +1,312 @@
+//! The future-event list.
+//!
+//! An [`EventQueue`] owns a priority queue of `(time, sequence)`-ordered
+//! events, each carrying a boxed closure over a caller-supplied world type
+//! `W`. The run loop pops the earliest event, advances the clock, and invokes
+//! the closure with mutable access to both the world and the queue so that
+//! handlers can schedule follow-on events.
+//!
+//! Ties in time are broken by insertion order, which — together with the
+//! seeded [`SimRng`](crate::SimRng) — makes entire simulation runs
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifier of a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventId(u64);
+
+/// Handler invoked when an event fires.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    label: &'static str,
+    f: EventFn<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<W> Eq for Entry<W> {}
+
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list over a world type `W`.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{EventQueue, SimDuration, SimTime};
+///
+/// let mut q: EventQueue<u32> = EventQueue::new();
+/// let mut world = 0u32;
+/// q.schedule_at(SimTime::from_secs(5), "bump", |w, _| *w += 1);
+/// q.run_to_completion(&mut world);
+/// assert_eq!(world, 1);
+/// assert_eq!(q.now(), SimTime::from_secs(5));
+/// ```
+pub struct EventQueue<W> {
+    heap: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<u64>,
+    now: SimTime,
+    next_seq: u64,
+    fired: u64,
+}
+
+impl<W> Default for EventQueue<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            fired: 0,
+        }
+    }
+
+    /// Returns the current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Returns the number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Returns the number of events currently pending (including any that
+    /// were cancelled but not yet popped).
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event fires at the
+    /// current time, after any already-queued events for this instant.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        label: &'static str,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            label,
+            f: Box::new(f),
+        });
+        EventId(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        label: &'static str,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, label, f)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns true if the event had not yet fired (or been cancelled).
+    /// Cancellation is lazy: the entry stays in the heap and is discarded
+    /// when popped.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(id.0)
+    }
+
+    /// Fires the single earliest pending event, if any.
+    ///
+    /// Returns the label of the fired event, or `None` if the queue was
+    /// empty or contained only cancelled events.
+    pub fn step(&mut self, world: &mut W) -> Option<&'static str> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "time must be monotone");
+            self.now = entry.at;
+            self.fired += 1;
+            let label = entry.label;
+            (entry.f)(world, self);
+            return Some(label);
+        }
+        None
+    }
+
+    /// Runs events until the queue is empty.
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        while self.step(world).is_some() {}
+    }
+
+    /// Runs events with firing time `<= deadline`, then advances the clock
+    /// to `deadline`.
+    ///
+    /// Events scheduled after `deadline` remain pending.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            let next_at = loop {
+                match self.heap.peek() {
+                    Some(e) if self.cancelled.contains(&e.seq) => {
+                        let e = self.heap.pop().expect("peeked entry exists");
+                        self.cancelled.remove(&e.seq);
+                    }
+                    Some(e) => break Some(e.at),
+                    None => break None,
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut world = Vec::new();
+        q.schedule_at(SimTime::from_secs(3), "c", |w: &mut Vec<u32>, _| {
+            w.push(3)
+        });
+        q.schedule_at(SimTime::from_secs(1), "a", |w: &mut Vec<u32>, _| {
+            w.push(1)
+        });
+        q.schedule_at(SimTime::from_secs(2), "b", |w: &mut Vec<u32>, _| {
+            w.push(2)
+        });
+        q.run_to_completion(&mut world);
+        assert_eq!(world, vec![1, 2, 3]);
+        assert_eq!(q.events_fired(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut world = Vec::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..10u32 {
+            q.schedule_at(t, "tie", move |w: &mut Vec<u32>, _| w.push(i));
+        }
+        q.run_to_completion(&mut world);
+        assert_eq!(world, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        struct W {
+            count: u32,
+        }
+        fn tick(w: &mut W, q: &mut EventQueue<W>) {
+            w.count += 1;
+            if w.count < 5 {
+                q.schedule_in(SimDuration::from_secs(1), "tick", tick);
+            }
+        }
+        let mut q = EventQueue::new();
+        let mut w = W { count: 0 };
+        q.schedule_in(SimDuration::from_secs(1), "tick", tick);
+        q.run_to_completion(&mut w);
+        assert_eq!(w.count, 5);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut w = 0u32;
+        let id = q.schedule_at(SimTime::from_secs(1), "x", |w, _| *w += 1);
+        q.schedule_at(SimTime::from_secs(2), "y", |w, _| *w += 10);
+        assert!(q.cancel(id));
+        assert!(!q.cancel(id), "double cancel reports false");
+        q.run_to_completion(&mut w);
+        assert_eq!(w, 10);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut w = 0u32;
+        q.schedule_at(SimTime::from_secs(1), "early", |w, _| *w += 1);
+        q.schedule_at(SimTime::from_secs(10), "late", |w, _| *w += 100);
+        q.run_until(&mut w, SimTime::from_secs(5));
+        assert_eq!(w, 1);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        assert_eq!(q.pending(), 1);
+        q.run_to_completion(&mut w);
+        assert_eq!(w, 101);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut q: EventQueue<Vec<u32>> = EventQueue::new();
+        let mut w = Vec::new();
+        q.schedule_at(SimTime::from_secs(5), "first", |w: &mut Vec<u32>, q| {
+            w.push(1);
+            // Scheduling "in the past" fires at the current instant.
+            q.schedule_at(SimTime::from_secs(1), "clamped", |w, _| w.push(2));
+        });
+        q.run_to_completion(&mut w);
+        assert_eq!(w, vec![1, 2]);
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut w = 0u32;
+        let id = q.schedule_at(SimTime::from_secs(1), "x", |w, _| *w += 1);
+        q.cancel(id);
+        q.run_until(&mut w, SimTime::from_secs(2));
+        assert_eq!(w, 0);
+        assert_eq!(q.pending(), 0);
+    }
+}

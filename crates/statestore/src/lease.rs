@@ -1,0 +1,199 @@
+//! Lease-based resource bookkeeping.
+//!
+//! Section 2 prescribes leases for everything a frequently-microrebooting
+//! system allocates: memory, file descriptors, persistent state, even CPU
+//! time. A lease grants a resource until an expiry; holders renew it while
+//! alive, and a periodic sweep reclaims anything whose holder stopped
+//! renewing — typically because it was microrebooted away. SSM's
+//! garbage collection of orphaned session state and the request
+//! time-to-live mechanism are both built on this table.
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimTime};
+
+/// Identifier of a granted lease.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LeaseId(u64);
+
+#[derive(Clone, Debug)]
+struct Lease<T> {
+    payload: T,
+    expires: SimTime,
+}
+
+/// A table of leases over payloads of type `T`.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{SimDuration, SimTime};
+/// use statestore::lease::LeaseTable;
+///
+/// let mut leases: LeaseTable<&str> = LeaseTable::new(SimDuration::from_secs(30));
+/// let id = leases.grant(SimTime::ZERO, "session-7");
+/// assert!(leases.is_live(SimTime::from_secs(29), id));
+/// let expired = leases.sweep(SimTime::from_secs(31));
+/// assert_eq!(expired, vec!["session-7"]);
+/// assert!(!leases.is_live(SimTime::from_secs(31), id));
+/// ```
+#[derive(Clone, Debug)]
+pub struct LeaseTable<T> {
+    term: SimDuration,
+    leases: HashMap<u64, Lease<T>>,
+    next_id: u64,
+}
+
+impl<T> LeaseTable<T> {
+    /// Creates a table whose leases last `term` from grant or renewal.
+    pub fn new(term: SimDuration) -> Self {
+        LeaseTable {
+            term,
+            leases: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Returns the lease term.
+    pub fn term(&self) -> SimDuration {
+        self.term
+    }
+
+    /// Grants a lease on `payload` starting at `now`.
+    pub fn grant(&mut self, now: SimTime, payload: T) -> LeaseId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leases.insert(
+            id,
+            Lease {
+                payload,
+                expires: now + self.term,
+            },
+        );
+        LeaseId(id)
+    }
+
+    /// Renews a lease to last `term` from `now`.
+    ///
+    /// Returns false if the lease does not exist (expired and swept, or
+    /// released).
+    pub fn renew(&mut self, now: SimTime, id: LeaseId) -> bool {
+        match self.leases.get_mut(&id.0) {
+            Some(l) => {
+                l.expires = now + self.term;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases a lease early, returning its payload.
+    pub fn release(&mut self, id: LeaseId) -> Option<T> {
+        self.leases.remove(&id.0).map(|l| l.payload)
+    }
+
+    /// Returns true if the lease exists and has not expired at `now`.
+    pub fn is_live(&self, now: SimTime, id: LeaseId) -> bool {
+        self.leases
+            .get(&id.0)
+            .map(|l| l.expires > now)
+            .unwrap_or(false)
+    }
+
+    /// Returns the payload of a live lease.
+    pub fn payload(&self, now: SimTime, id: LeaseId) -> Option<&T> {
+        self.leases
+            .get(&id.0)
+            .filter(|l| l.expires > now)
+            .map(|l| &l.payload)
+    }
+
+    /// Removes every lease expired at `now`, returning their payloads.
+    pub fn sweep(&mut self, now: SimTime) -> Vec<T> {
+        let expired: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.expires <= now)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut out = Vec::with_capacity(expired.len());
+        // Deterministic order for reproducible simulations.
+        let mut ids = expired;
+        ids.sort_unstable();
+        for id in ids {
+            if let Some(l) = self.leases.remove(&id) {
+                out.push(l.payload);
+            }
+        }
+        out
+    }
+
+    /// Returns the number of leases held (live or expired-but-unswept).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Returns true if no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> LeaseTable<u32> {
+        LeaseTable::new(SimDuration::from_secs(10))
+    }
+
+    #[test]
+    fn grant_and_query() {
+        let mut t = table();
+        let id = t.grant(SimTime::ZERO, 5);
+        assert!(t.is_live(SimTime::from_secs(9), id));
+        assert_eq!(t.payload(SimTime::from_secs(9), id), Some(&5));
+        assert!(!t.is_live(SimTime::from_secs(10), id), "expiry is exclusive");
+        assert_eq!(t.payload(SimTime::from_secs(10), id), None);
+    }
+
+    #[test]
+    fn renewal_extends_life() {
+        let mut t = table();
+        let id = t.grant(SimTime::ZERO, 1);
+        assert!(t.renew(SimTime::from_secs(8), id));
+        assert!(t.is_live(SimTime::from_secs(15), id));
+        assert!(!t.is_live(SimTime::from_secs(18), id));
+    }
+
+    #[test]
+    fn sweep_collects_only_expired() {
+        let mut t = table();
+        let _a = t.grant(SimTime::ZERO, 1);
+        let b = t.grant(SimTime::from_secs(5), 2);
+        let expired = t.sweep(SimTime::from_secs(12));
+        assert_eq!(expired, vec![1]);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_live(SimTime::from_secs(12), b));
+    }
+
+    #[test]
+    fn release_returns_payload_and_prevents_renewal() {
+        let mut t = table();
+        let id = t.grant(SimTime::ZERO, 9);
+        assert_eq!(t.release(id), Some(9));
+        assert_eq!(t.release(id), None);
+        assert!(!t.renew(SimTime::ZERO, id));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sweep_order_is_deterministic() {
+        let mut t = table();
+        for i in 0..100u32 {
+            t.grant(SimTime::ZERO, i);
+        }
+        let expired = t.sweep(SimTime::from_secs(20));
+        assert_eq!(expired, (0..100).collect::<Vec<_>>());
+    }
+}

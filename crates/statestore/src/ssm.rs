@@ -1,0 +1,471 @@
+//! SSM — the external, replicated session state store.
+//!
+//! SSM (Ling, Kiciman & Fox, NSDI 2004; modified in Section 3.3 of the
+//! microreboot paper) keeps session state on machines separate from the
+//! application server. Isolation by physical barriers means it survives
+//! microreboots, JVM restarts and node reboots; the price is marshalling
+//! and a network round trip on every access (Table 5's ~13 ms latency gap).
+//! Its storage model is lease-based, so orphaned session state is
+//! garbage-collected automatically, and every stored object carries a
+//! checksum: corruption is detected on read and the bad object is
+//! discarded rather than served (Table 2).
+
+use std::collections::BTreeMap;
+
+use simcore::{SimDuration, SimTime};
+
+use crate::session::{SessionId, SessionObject, SessionStore, StoreError};
+
+/// Number of replica bricks a default SSM deployment writes to.
+pub const DEFAULT_REPLICAS: usize = 3;
+
+/// Default session lease term (idle sessions expire after this).
+pub const DEFAULT_LEASE: SimDuration = SimDuration::from_mins(30);
+
+#[derive(Clone, Debug)]
+struct StoredObject {
+    bytes: Vec<u8>,
+    checksum: u64,
+    /// Decoded object kept alongside its marshalled form; reads verify the
+    /// checksum over `bytes` before handing this out.
+    object: SessionObject,
+    expires: SimTime,
+}
+
+#[derive(Clone, Debug, Default)]
+struct Brick {
+    objects: BTreeMap<SessionId, StoredObject>,
+    up: bool,
+}
+
+/// Counters describing an SSM's lifetime activity.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SsmStats {
+    /// Objects written (across all replicas counts once).
+    pub writes: u64,
+    /// Reads served from a healthy replica.
+    pub reads: u64,
+    /// Objects discarded because their checksum failed.
+    pub checksum_discards: u64,
+    /// Objects expired by lease garbage collection.
+    pub lease_expirations: u64,
+}
+
+/// FNV-1a over the marshalled object; any single-byte corruption flips it.
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The external replicated session store.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::SimTime;
+/// use statestore::{SessionId, SessionObject, SessionStore, Ssm};
+///
+/// let mut ssm = Ssm::new(3);
+/// let mut obj = SessionObject::new();
+/// obj.set("user_id", 7i64);
+/// ssm.write(SessionId(1), obj).unwrap();
+/// ssm.on_process_restart();
+/// assert!(ssm.read(SessionId(1)).unwrap().is_some(), "SSM survives restarts");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Ssm {
+    bricks: Vec<Brick>,
+    lease: SimDuration,
+    /// The store's notion of current time, advanced by the hosting
+    /// simulation so leases can expire.
+    now: SimTime,
+    stats: SsmStats,
+}
+
+impl Ssm {
+    /// Creates an SSM with `replicas` bricks and the default lease term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn new(replicas: usize) -> Self {
+        Self::with_lease(replicas, DEFAULT_LEASE)
+    }
+
+    /// Creates an SSM with an explicit lease term.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    pub fn with_lease(replicas: usize, lease: SimDuration) -> Self {
+        assert!(replicas > 0, "SSM needs at least one brick");
+        Ssm {
+            bricks: vec![
+                Brick {
+                    objects: BTreeMap::new(),
+                    up: true,
+                };
+                replicas
+            ],
+            lease,
+            now: SimTime::ZERO,
+            stats: SsmStats::default(),
+        }
+    }
+
+    /// Advances the store's clock (the hosting simulation calls this).
+    pub fn advance_to(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    /// Returns activity counters.
+    pub fn stats(&self) -> SsmStats {
+        self.stats
+    }
+
+    /// Takes one brick down (models a storage-node failure).
+    ///
+    /// Returns false if the index is out of range.
+    pub fn fail_brick(&mut self, idx: usize) -> bool {
+        match self.bricks.get_mut(idx) {
+            Some(b) => {
+                b.up = false;
+                b.objects.clear();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Brings a failed brick back (empty; it repopulates on writes).
+    pub fn restore_brick(&mut self, idx: usize) -> bool {
+        match self.bricks.get_mut(idx) {
+            Some(b) => {
+                b.up = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Returns how many bricks are up.
+    pub fn bricks_up(&self) -> usize {
+        self.bricks.iter().filter(|b| b.up).count()
+    }
+
+    /// Flips a byte of the stored object for `id` on every brick
+    /// (fault-injection surface: "corrupt data inside SSM via bit flips").
+    ///
+    /// Returns false if no brick holds the session.
+    pub fn corrupt_bits(&mut self, id: SessionId) -> bool {
+        let mut hit = false;
+        for brick in &mut self.bricks {
+            if let Some(stored) = brick.objects.get_mut(&id) {
+                if let Some(byte) = stored.bytes.first_mut() {
+                    *byte ^= 0xff;
+                } else {
+                    // Empty marshalled form: corrupt the checksum instead.
+                    stored.checksum ^= 0xdead_beef;
+                }
+                stored.object.mark_tainted();
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Corrupts an arbitrary live session (the most recently created, so
+    /// the victim is likely active), returning its id.
+    pub fn corrupt_any(&mut self) -> Option<SessionId> {
+        let id = self
+            .bricks
+            .iter()
+            .filter(|b| b.up)
+            .flat_map(|b| b.objects.keys())
+            .max()
+            .copied()?;
+        self.corrupt_bits(id);
+        Some(id)
+    }
+
+    /// Expires sessions whose lease lapsed; returns how many were removed.
+    pub fn gc(&mut self) -> usize {
+        let now = self.now;
+        let mut seen = std::collections::BTreeSet::new();
+        for brick in &mut self.bricks {
+            let expired: Vec<SessionId> = brick
+                .objects
+                .iter()
+                .filter(|(_, o)| o.expires <= now)
+                .map(|(id, _)| *id)
+                .collect();
+            for id in expired {
+                brick.objects.remove(&id);
+                seen.insert(id);
+            }
+        }
+        self.stats.lease_expirations += seen.len() as u64;
+        seen.len()
+    }
+
+    /// Returns the number of injection-tainted sessions still stored on
+    /// any live brick.
+    pub fn tainted_sessions(&self) -> usize {
+        let mut ids = std::collections::BTreeSet::new();
+        for brick in self.bricks.iter().filter(|b| b.up) {
+            for (id, o) in &brick.objects {
+                if o.object.is_tainted() {
+                    ids.insert(*id);
+                }
+            }
+        }
+        ids.len()
+    }
+
+    /// Returns true if the stored object for `id` is injection-tainted on
+    /// any brick (the comparison detector's oracle).
+    pub fn is_tainted(&self, id: SessionId) -> bool {
+        self.bricks
+            .iter()
+            .any(|b| b.objects.get(&id).map(|o| o.object.is_tainted()).unwrap_or(false))
+    }
+}
+
+impl SessionStore for Ssm {
+    fn name(&self) -> &'static str {
+        "SSM"
+    }
+
+    fn write(&mut self, id: SessionId, obj: SessionObject) -> Result<(), StoreError> {
+        if self.bricks_up() == 0 {
+            return Err(StoreError::Unavailable);
+        }
+        let bytes = obj.encode();
+        let sum = checksum(&bytes);
+        let stored = StoredObject {
+            bytes,
+            checksum: sum,
+            object: obj,
+            expires: self.now + self.lease,
+        };
+        for brick in self.bricks.iter_mut().filter(|b| b.up) {
+            brick.objects.insert(id, stored.clone());
+        }
+        self.stats.writes += 1;
+        Ok(())
+    }
+
+    fn read(&mut self, id: SessionId) -> Result<Option<SessionObject>, StoreError> {
+        if self.bricks_up() == 0 {
+            return Err(StoreError::Unavailable);
+        }
+        let now = self.now;
+        let mut found_any = false;
+        let mut discarded_any = false;
+        let mut result: Option<(SessionObject, SimTime)> = None;
+        for brick in self.bricks.iter_mut().filter(|b| b.up) {
+            let Some(stored) = brick.objects.get(&id) else {
+                continue;
+            };
+            if stored.expires <= now {
+                brick.objects.remove(&id);
+                continue;
+            }
+            found_any = true;
+            if checksum(&stored.bytes) != stored.checksum {
+                // Integrity violation: discard the bad object rather than
+                // serve it.
+                brick.objects.remove(&id);
+                discarded_any = true;
+                self.stats.checksum_discards += 1;
+                continue;
+            }
+            if result.is_none() {
+                result = Some((stored.object.clone(), stored.expires));
+            }
+        }
+        match result {
+            Some((obj, _)) => {
+                // Lease renewal on access.
+                let expires = now + self.lease;
+                for brick in self.bricks.iter_mut().filter(|b| b.up) {
+                    if let Some(s) = brick.objects.get_mut(&id) {
+                        s.expires = expires;
+                    }
+                }
+                self.stats.reads += 1;
+                Ok(Some(obj))
+            }
+            None if found_any && discarded_any => Err(StoreError::CorruptDiscarded(id)),
+            None => Ok(None),
+        }
+    }
+
+    fn remove(&mut self, id: SessionId) -> Result<(), StoreError> {
+        for brick in self.bricks.iter_mut().filter(|b| b.up) {
+            brick.objects.remove(&id);
+        }
+        Ok(())
+    }
+
+    fn live_sessions(&self) -> usize {
+        let mut ids = std::collections::BTreeSet::new();
+        for brick in self.bricks.iter().filter(|b| b.up) {
+            for (id, o) in &brick.objects {
+                if o.expires > self.now {
+                    ids.insert(*id);
+                }
+            }
+        }
+        ids.len()
+    }
+
+    fn survives_process_restart(&self) -> bool {
+        true
+    }
+
+    fn on_process_restart(&mut self) {
+        // Physically separate machines: a server restart is invisible here.
+    }
+
+    fn read_cost(&self) -> SimDuration {
+        // Marshal + network round trip + unmarshal (Table 5: latency rises
+        // from ~15 ms to ~28 ms when eBid switches FastS → SSM).
+        SimDuration::from_micros(6_500)
+    }
+
+    fn write_cost(&self) -> SimDuration {
+        SimDuration::from_micros(6_500)
+    }
+
+    fn in_process_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(user: i64) -> SessionObject {
+        let mut o = SessionObject::new();
+        o.set("user_id", user);
+        o
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        let got = ssm.read(SessionId(1)).unwrap().unwrap();
+        assert_eq!(got.get("user_id").unwrap().as_int(), Some(7));
+        assert_eq!(ssm.live_sessions(), 1);
+    }
+
+    #[test]
+    fn survives_process_restart() {
+        let mut ssm = Ssm::new(2);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.on_process_restart();
+        assert!(ssm.read(SessionId(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn checksum_detects_corruption_and_discards() {
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        assert!(ssm.corrupt_bits(SessionId(1)));
+        let err = ssm.read(SessionId(1)).unwrap_err();
+        assert_eq!(err, StoreError::CorruptDiscarded(SessionId(1)));
+        assert_eq!(ssm.stats().checksum_discards, 3);
+        // The bad object is gone: the next read is a clean miss.
+        assert_eq!(ssm.read(SessionId(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn replica_failure_does_not_lose_sessions() {
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        assert!(ssm.fail_brick(0));
+        assert_eq!(ssm.bricks_up(), 2);
+        assert!(ssm.read(SessionId(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn all_bricks_down_is_unavailable() {
+        let mut ssm = Ssm::new(2);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.fail_brick(0);
+        ssm.fail_brick(1);
+        assert_eq!(ssm.read(SessionId(1)).unwrap_err(), StoreError::Unavailable);
+        assert_eq!(
+            ssm.write(SessionId(2), obj(8)).unwrap_err(),
+            StoreError::Unavailable
+        );
+        ssm.restore_brick(0);
+        ssm.write(SessionId(2), obj(8)).unwrap();
+        assert!(ssm.read(SessionId(2)).unwrap().is_some());
+    }
+
+    #[test]
+    fn leases_expire_without_renewal() {
+        let mut ssm = Ssm::with_lease(2, SimDuration::from_secs(60));
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.advance_to(SimTime::from_secs(61));
+        assert_eq!(ssm.read(SessionId(1)).unwrap(), None, "expired on read");
+        assert_eq!(ssm.live_sessions(), 0);
+    }
+
+    #[test]
+    fn reads_renew_leases() {
+        let mut ssm = Ssm::with_lease(2, SimDuration::from_secs(60));
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.advance_to(SimTime::from_secs(50));
+        assert!(ssm.read(SessionId(1)).unwrap().is_some());
+        ssm.advance_to(SimTime::from_secs(100));
+        assert!(
+            ssm.read(SessionId(1)).unwrap().is_some(),
+            "renewed at t=50, lives until t=110"
+        );
+    }
+
+    #[test]
+    fn gc_collects_orphans() {
+        let mut ssm = Ssm::with_lease(3, SimDuration::from_secs(10));
+        ssm.write(SessionId(1), obj(1)).unwrap();
+        ssm.write(SessionId(2), obj(2)).unwrap();
+        ssm.advance_to(SimTime::from_secs(11));
+        assert_eq!(ssm.gc(), 2);
+        assert_eq!(ssm.stats().lease_expirations, 2);
+        assert_eq!(ssm.live_sessions(), 0);
+    }
+
+    #[test]
+    fn remove_deletes_everywhere() {
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.remove(SessionId(1)).unwrap();
+        assert_eq!(ssm.read(SessionId(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn access_costs_dominate_fasts() {
+        let ssm = Ssm::new(3);
+        let fasts = crate::fasts::FastS::new();
+        use crate::session::SessionStore as _;
+        assert!(ssm.read_cost() > fasts.read_cost() * 50);
+    }
+
+    #[test]
+    fn corrupt_any_picks_a_live_session() {
+        let mut ssm = Ssm::new(2);
+        assert_eq!(ssm.corrupt_any(), None);
+        ssm.write(SessionId(5), obj(1)).unwrap();
+        assert_eq!(ssm.corrupt_any(), Some(SessionId(5)));
+        assert!(ssm.is_tainted(SessionId(5)));
+    }
+}

@@ -1,0 +1,673 @@
+//! The emulated client population.
+//!
+//! Each client walks the application's Markov chain (Section 4), thinking
+//! for an exponentially distributed time between "URL clicks" (mean 7 s,
+//! capped at 70 s). Clients hold their session cookie, know whether they
+//! believe themselves logged in (the basis of the "prompted to log in when
+//! already logged in" detection), transparently honour `Retry-After`
+//! responses (Section 6.2), and re-login when their session is lost.
+//!
+//! The pool is passive over simulated time: the hosting simulation calls
+//! [`ClientPool::wake`] when a client's think time ends and
+//! [`ClientPool::deliver`] when a response arrives, and schedules whatever
+//! instant the returned [`DeliverOutcome`] names.
+
+use std::collections::HashMap;
+
+use simcore::{SimDuration, SimRng, SimTime};
+use statestore::SessionId;
+use urb_core::{OpCode, ReqId, Request, Response};
+
+use crate::catalog::{ArgKind, Catalog, MixClass};
+use crate::detect::{classify, DetectorKind, FailureKind, FailureReport};
+use crate::taw::{ActionId, TawTracker};
+
+/// Pool configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClientPoolConfig {
+    /// Number of concurrent emulated clients.
+    pub clients: usize,
+    /// Mean think time (paper: 7 s).
+    pub think_mean: SimDuration,
+    /// Think-time cap (paper: 70 s).
+    pub think_cap: SimDuration,
+    /// Which failure detector the monitors run.
+    pub detector: DetectorKind,
+    /// How many `Retry-After` rounds a client honours before giving up.
+    pub max_retries: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ClientPoolConfig {
+    fn default() -> Self {
+        ClientPoolConfig {
+            clients: 500,
+            think_mean: SimDuration::from_secs(7),
+            think_cap: SimDuration::from_secs(70),
+            detector: DetectorKind::Simple,
+            max_retries: 3,
+            seed: 0xc11e,
+        }
+    }
+}
+
+/// A request a client wants to send; the simulation routes it to a node.
+#[derive(Clone, Debug)]
+pub struct OutgoingRequest {
+    /// Which client sent it.
+    pub client: usize,
+    /// The request (unique id, cookie attached).
+    pub req: Request,
+}
+
+/// What the pool wants scheduled after a delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliverOutcome {
+    /// The client thinks; wake it at this instant.
+    ThinkUntil(SimTime),
+    /// The client honours `Retry-After`; wake it at this instant and it
+    /// will re-issue the same operation.
+    RetryAt(SimTime),
+}
+
+struct Pending {
+    /// Operation of the pending request (kept for debugging/asserts).
+    #[allow(dead_code)]
+    op: OpCode,
+    state: usize,
+    first_sent_at: SimTime,
+    attempts: u32,
+    was_logged_in: bool,
+}
+
+struct Client {
+    state: usize,
+    session: Option<SessionId>,
+    logged_in: bool,
+    action: ActionId,
+    rng: SimRng,
+    pending: Option<Pending>,
+    force_login: bool,
+    retry_pending: bool,
+}
+
+/// Counters of what the pool issued, by Table 1 class.
+#[derive(Clone, Debug, Default)]
+pub struct MixCounts {
+    counts: HashMap<MixClass, u64>,
+    total: u64,
+}
+
+impl MixCounts {
+    /// Returns the observed percentage for a class.
+    pub fn percent(&self, class: MixClass) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(&class).unwrap_or(&0) as f64 * 100.0 / self.total as f64
+    }
+
+    /// Total requests issued.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The emulated client population.
+pub struct ClientPool {
+    catalog: Catalog,
+    config: ClientPoolConfig,
+    clients: Vec<Client>,
+    next_req: u64,
+    next_action: u64,
+    req_owner: HashMap<ReqId, usize>,
+    taw: TawTracker,
+    reports: Vec<FailureReport>,
+    mix: MixCounts,
+    login_state: usize,
+}
+
+impl ClientPool {
+    /// Creates a pool over `catalog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the catalog fails validation or has no login operation —
+    /// configuration errors, not runtime conditions.
+    pub fn new(catalog: Catalog, config: ClientPoolConfig) -> Self {
+        catalog.validate().expect("catalog must be consistent");
+        let login_state = catalog
+            .ops
+            .iter()
+            .position(|o| o.is_login)
+            .expect("catalog needs a login operation");
+        let mut root = SimRng::seed_from(config.seed);
+        let mut clients = Vec::with_capacity(config.clients);
+        let mut next_action = 0;
+        for _ in 0..config.clients {
+            next_action += 1;
+            clients.push(Client {
+                state: catalog.entry_state,
+                session: None,
+                logged_in: false,
+                action: ActionId(next_action),
+                rng: root.fork(),
+                pending: None,
+                force_login: false,
+                retry_pending: false,
+            });
+        }
+        ClientPool {
+            catalog,
+            config,
+            clients,
+            next_req: 0,
+            next_action,
+            req_owner: HashMap::new(),
+            taw: TawTracker::new(),
+            reports: Vec::new(),
+            mix: MixCounts::default(),
+            login_state,
+        }
+    }
+
+    /// Returns the number of clients.
+    pub fn len(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Returns true if the pool has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.clients.is_empty()
+    }
+
+    /// Returns the Taw tracker.
+    pub fn taw(&mut self) -> &mut TawTracker {
+        &mut self.taw
+    }
+
+    /// Returns the Taw tracker read-only.
+    pub fn taw_ref(&self) -> &TawTracker {
+        &self.taw
+    }
+
+    /// Returns and clears the accumulated failure reports.
+    pub fn drain_reports(&mut self) -> Vec<FailureReport> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Returns the observed request mix (Table 1 verification).
+    pub fn mix(&self) -> &MixCounts {
+        &self.mix
+    }
+
+    /// Returns how many clients currently hold a session cookie.
+    pub fn with_session(&self) -> usize {
+        self.clients.iter().filter(|c| c.session.is_some()).count()
+    }
+
+    /// Returns the owner client of a request id.
+    pub fn owner_of(&self, req: ReqId) -> Option<usize> {
+        self.req_owner.get(&req).copied()
+    }
+
+    /// Staggered initial wake times, de-synchronizing the population.
+    pub fn initial_wakes(&mut self, now: SimTime) -> Vec<(usize, SimTime)> {
+        let mean = self.config.think_mean;
+        (0..self.clients.len())
+            .map(|i| {
+                let jitter = self.clients[i]
+                    .rng
+                    .exponential_capped(mean, self.config.think_cap);
+                (i, now + jitter)
+            })
+            .collect()
+    }
+
+    fn think(&mut self, client: usize, now: SimTime) -> SimTime {
+        let c = &mut self.clients[client];
+        now + c
+            .rng
+            .exponential_capped(self.config.think_mean, self.config.think_cap)
+    }
+
+    fn new_action(&mut self, client: usize) {
+        self.next_action += 1;
+        self.clients[client].action = ActionId(self.next_action);
+    }
+
+    /// Picks the client's next Markov state, handling abandonment.
+    ///
+    /// Returns `None` when the client abandons the site (session reset; it
+    /// will re-enter at the entry state on this same wake).
+    fn next_state(&mut self, client: usize) -> Option<usize> {
+        let c = &mut self.clients[client];
+        let row = &self.catalog.transitions[c.state];
+        let abandon = self.catalog.abandon_weight[c.state];
+        let mut weights: Vec<f64> = row.iter().map(|(_, w)| *w).collect();
+        weights.push(abandon);
+        let idx = c.rng.weighted_index(&weights)?;
+        if idx == row.len() {
+            None
+        } else {
+            Some(row[idx].0)
+        }
+    }
+
+    /// Wakes a client whose think (or retry wait) ended; returns the
+    /// request it issues, if any.
+    pub fn wake(&mut self, client: usize, now: SimTime) -> Option<OutgoingRequest> {
+        let retrying = self.clients[client].retry_pending;
+        let state = if retrying {
+            self.clients[client].retry_pending = false;
+            self.clients[client]
+                .pending
+                .as_ref()
+                .map(|p| p.state)
+                .unwrap_or(self.catalog.entry_state)
+        } else if self.clients[client].force_login {
+            self.clients[client].force_login = false;
+            self.login_state
+        } else {
+            match self.next_state(client) {
+                Some(s) => {
+                    // A session is required but the user is not logged in:
+                    // the site routes them through login first.
+                    if self.catalog.ops[s].needs_session && !self.clients[client].logged_in {
+                        self.login_state
+                    } else {
+                        s
+                    }
+                }
+                None => {
+                    // Abandonment: the session ends without logout; a fresh
+                    // user takes this slot at the entry page.
+                    let action = self.clients[client].action;
+                    self.taw.close_action(action);
+                    self.new_action(client);
+                    let c = &mut self.clients[client];
+                    c.session = None;
+                    c.logged_in = false;
+                    self.catalog.entry_state
+                }
+            }
+        };
+        let spec = &self.catalog.ops[state];
+        let arg = match spec.arg {
+            ArgKind::None => 0,
+            ArgKind::Range(lo, hi) => {
+                lo + self.clients[client].rng.uniform_u64((hi - lo + 1) as u64) as i64
+            }
+        };
+        self.next_req += 1;
+        let id = ReqId(self.next_req);
+        let op = spec.op;
+        let idempotent = spec.idempotent;
+        self.mix.total += 1;
+        *self.mix.counts.entry(spec.mix).or_insert(0) += 1;
+        let c = &mut self.clients[client];
+        c.state = state;
+        let first_sent_at = match (&c.pending, retrying) {
+            (Some(p), true) => p.first_sent_at,
+            _ => now,
+        };
+        let attempts = match (&c.pending, retrying) {
+            (Some(p), true) => p.attempts + 1,
+            _ => 0,
+        };
+        c.pending = Some(Pending {
+            op,
+            state,
+            first_sent_at,
+            attempts,
+            was_logged_in: c.logged_in,
+        });
+        self.req_owner.insert(id, client);
+        Some(OutgoingRequest {
+            client,
+            req: Request {
+                id,
+                op,
+                session: self.clients[client].session,
+                idempotent,
+                arg,
+                submitted_at: now,
+            },
+        })
+    }
+
+    /// Delivers a response to its client.
+    ///
+    /// `node` is the node that served (or failed to serve) the request,
+    /// for the failure report. Returns the client and what to schedule for
+    /// it, or `None` for a stale response (e.g., a TTL purge arriving
+    /// after the client's slot already moved on).
+    pub fn deliver(
+        &mut self,
+        response: &Response,
+        node: usize,
+        now: SimTime,
+    ) -> Option<(usize, DeliverOutcome)> {
+        let client = self.req_owner.remove(&response.req)?;
+        let pending = self.clients[client]
+            .pending
+            .take()
+            .expect("a delivered response matches a pending request");
+
+        // Transparent Retry-After handling (Section 6.2).
+        if let Some(d) = response.wants_retry() {
+            if pending.attempts < self.config.max_retries {
+                let c = &mut self.clients[client];
+                c.retry_pending = true;
+                c.pending = Some(pending);
+                return Some((client, DeliverOutcome::RetryAt(now + d)));
+            }
+        }
+
+        let spec = self
+            .catalog
+            .spec(response.op)
+            .expect("response op is in the catalog");
+        let group = spec.group;
+        let commit_point = spec.commit_point;
+        let is_login = spec.is_login;
+        let is_logout = spec.is_logout;
+
+        // Detection.
+        let gave_up_retry = response.wants_retry().is_some();
+        let failure = if gave_up_retry {
+            Some(FailureKind::Http)
+        } else {
+            classify(self.config.detector, response, pending.was_logged_in)
+        };
+
+        // Taw accounting.
+        let action = self.clients[client].action;
+        self.taw.record_op(
+            action,
+            group,
+            pending.first_sent_at,
+            response.finished_at.max(now),
+            failure.is_none(),
+        );
+
+        if let Some(kind) = failure {
+            self.reports.push(FailureReport {
+                at: now,
+                op: response.op,
+                kind,
+                node,
+            });
+            // A failed operation fails its whole action, atomically.
+            self.taw.close_action(action);
+            self.new_action(client);
+        } else if commit_point || is_logout {
+            self.taw.close_action(action);
+            self.new_action(client);
+        }
+
+        // Session bookkeeping.
+        {
+            let c = &mut self.clients[client];
+            if let Some(sid) = response.set_cookie {
+                c.session = Some(sid);
+                if is_login && failure.is_none() {
+                    c.logged_in = true;
+                }
+            }
+            if response.clear_cookie {
+                c.session = None;
+                c.logged_in = false;
+            }
+            if response.markers.login_prompt && pending.was_logged_in {
+                // The server no longer knows this session: drop the stale
+                // cookie and re-login on the next click.
+                c.session = None;
+                c.logged_in = false;
+                c.force_login = true;
+            }
+            if failure.is_some() && matches!(failure, Some(FailureKind::Network)) && c.logged_in {
+                // Connection-level failures leave the cookie; the session
+                // may still exist when the node comes back.
+            }
+        }
+        Some((client, DeliverOutcome::ThinkUntil(self.think(client, now))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{FunctionalGroup, OpSpec};
+    use urb_core::{BodyMarkers, Status};
+
+    fn catalog() -> Catalog {
+        let op = |op, name, needs_session, is_login, is_logout, commit| OpSpec {
+            op: OpCode(op),
+            name,
+            group: FunctionalGroup::BrowseView,
+            mix: MixClass::ReadOnlyDb,
+            idempotent: true,
+            commit_point: commit,
+            needs_session,
+            is_login,
+            is_logout,
+            arg: ArgKind::Range(1, 100),
+        };
+        Catalog {
+            ops: vec![
+                op(0, "Home", false, false, false, false),
+                op(1, "Login", false, true, false, false),
+                op(2, "Browse", false, false, false, true),
+                op(3, "Bid", true, false, false, true),
+                op(4, "Logout", true, false, true, false),
+            ],
+            transitions: vec![
+                vec![(1, 1.0), (2, 1.0)],
+                vec![(2, 1.0), (3, 1.0)],
+                vec![(2, 1.0), (3, 1.0), (4, 0.5)],
+                vec![(2, 1.0), (4, 0.5)],
+                vec![(0, 1.0)],
+            ],
+            abandon_weight: vec![0.0, 0.0, 0.2, 0.2, 0.0],
+            entry_state: 0,
+        }
+    }
+
+    fn pool(n: usize) -> ClientPool {
+        ClientPool::new(
+            catalog(),
+            ClientPoolConfig {
+                clients: n,
+                seed: 7,
+                ..ClientPoolConfig::default()
+            },
+        )
+    }
+
+    fn ok_response(req: &Request, now: SimTime) -> Response {
+        Response {
+            req: req.id,
+            op: req.op,
+            status: Status::Ok,
+            markers: BodyMarkers::default(),
+            tainted: false,
+            finished_at: now + SimDuration::from_millis(15),
+            failed_component: None,
+            set_cookie: None,
+            clear_cookie: false,
+        }
+    }
+
+    #[test]
+    fn initial_wakes_are_staggered() {
+        let mut p = pool(100);
+        let wakes = p.initial_wakes(SimTime::ZERO);
+        assert_eq!(wakes.len(), 100);
+        let distinct: std::collections::BTreeSet<u64> =
+            wakes.iter().map(|(_, t)| t.as_micros()).collect();
+        assert!(distinct.len() > 90, "think times should differ");
+    }
+
+    #[test]
+    fn wake_issues_requests_and_walks_the_chain() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        let out = p.wake(0, now).unwrap();
+        assert_eq!(out.client, 0);
+        // From Home, the chain goes to Login or Browse.
+        assert!(out.req.op == OpCode(1) || out.req.op == OpCode(2));
+        assert!(p.owner_of(out.req.id).is_some());
+    }
+
+    #[test]
+    fn needs_session_routes_through_login() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        // Force the client into the Browse state whose next hop may be Bid
+        // (needs session); walk until a Bid-or-login decision occurs.
+        let mut saw_login_first = false;
+        for _ in 0..200 {
+            let out = p.wake(0, now).unwrap();
+            if out.req.op == OpCode(3) {
+                panic!("Bid issued without login");
+            }
+            if out.req.op == OpCode(1) {
+                saw_login_first = true;
+                break;
+            }
+            let resp = ok_response(&out.req, now);
+            p.deliver(&resp, 0, now);
+        }
+        assert!(saw_login_first, "login interposed before Bid");
+    }
+
+    #[test]
+    fn login_response_sets_session_state() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        // Drive until the login op is issued.
+        let mut out = p.wake(0, now).unwrap();
+        while out.req.op != OpCode(1) {
+            let resp = ok_response(&out.req, now);
+            p.deliver(&resp, 0, now);
+            out = p.wake(0, now).unwrap();
+        }
+        let mut resp = ok_response(&out.req, now);
+        resp.set_cookie = Some(SessionId(99));
+        let outcome = p.deliver(&resp, 0, now);
+        assert!(matches!(outcome, Some((0, DeliverOutcome::ThinkUntil(_)))));
+        assert_eq!(p.with_session(), 1);
+    }
+
+    #[test]
+    fn retry_after_is_honoured_then_gives_up() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        let out = p.wake(0, now).unwrap();
+        let mut resp = ok_response(&out.req, now);
+        resp.status = Status::RetryAfter(SimDuration::from_secs(2));
+        // First three deliveries: retry.
+        let mut current = out;
+        for round in 0..3 {
+            let outcome = p.deliver(
+                &Response {
+                    req: current.req.id,
+                    ..resp.clone()
+                },
+                0,
+                now,
+            );
+            assert_eq!(
+                outcome,
+                Some((0, DeliverOutcome::RetryAt(now + SimDuration::from_secs(2)))),
+                "round {round} retries"
+            );
+            current = p.wake(0, now + SimDuration::from_secs(2)).unwrap();
+            assert_eq!(current.req.op, resp.op, "same operation re-issued");
+        }
+        // Fourth: gives up, counted as failure.
+        let outcome = p.deliver(
+            &Response {
+                req: current.req.id,
+                ..resp.clone()
+            },
+            0,
+            now,
+        );
+        assert!(matches!(outcome, Some((0, DeliverOutcome::ThinkUntil(_)))));
+        let reports = p.drain_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].kind, FailureKind::Http);
+    }
+
+    #[test]
+    fn failure_reports_carry_node_and_op() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        let out = p.wake(0, now).unwrap();
+        let mut resp = ok_response(&out.req, now);
+        resp.status = Status::ServerError(500);
+        p.deliver(&resp, 3, now);
+        let reports = p.drain_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].node, 3);
+        assert_eq!(reports[0].op, out.req.op);
+        assert!(p.drain_reports().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn login_prompt_when_logged_in_forces_relogin() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        // Log the client in.
+        let mut out = p.wake(0, now).unwrap();
+        while out.req.op != OpCode(1) {
+            p.deliver(&ok_response(&out.req, now), 0, now);
+            out = p.wake(0, now).unwrap();
+        }
+        let mut resp = ok_response(&out.req, now);
+        resp.set_cookie = Some(SessionId(5));
+        p.deliver(&resp, 0, now);
+
+        // Next op comes back with a login prompt (session lost).
+        let out = p.wake(0, now).unwrap();
+        let mut resp = ok_response(&out.req, now);
+        resp.markers.login_prompt = true;
+        p.deliver(&resp, 0, now);
+        assert_eq!(p.drain_reports().len(), 1, "app-specific failure");
+        assert_eq!(p.with_session(), 0, "stale cookie dropped");
+
+        // The next wake re-issues login.
+        let out = p.wake(0, now).unwrap();
+        assert_eq!(out.req.op, OpCode(1), "forced re-login");
+    }
+
+    #[test]
+    fn taw_counts_good_ops_via_commit_points() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(1);
+        for _ in 0..50 {
+            let out = p.wake(0, now).unwrap();
+            let resp = ok_response(&out.req, now);
+            p.deliver(&resp, 0, now);
+        }
+        p.taw().close_all();
+        let s = p.taw_ref().summary();
+        assert!(s.good_ops > 0);
+        assert_eq!(s.bad_ops, 0);
+    }
+
+    #[test]
+    fn mix_counts_accumulate() {
+        let mut p = pool(4);
+        let now = SimTime::from_secs(1);
+        for c in 0..4 {
+            let out = p.wake(c, now).unwrap();
+            p.deliver(&ok_response(&out.req, now), 0, now);
+        }
+        assert_eq!(p.mix().total(), 4);
+        assert!(p.mix().percent(MixClass::ReadOnlyDb) > 0.0);
+    }
+}

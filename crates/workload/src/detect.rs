@@ -1,0 +1,174 @@
+//! Failure detectors (Section 4).
+//!
+//! The paper deploys detection at the client side, mimicking WAN
+//! end-to-end monitors:
+//!
+//! * the **simple** detector flags network-level errors, HTTP 4xx/5xx,
+//!   failure keywords in the HTML ("exception", "failed", "error"), and
+//!   application-specific anomalies (a login prompt when already logged
+//!   in, negative item ids);
+//! * the **comparison** detector additionally submits each request to a
+//!   known-good instance and flags any difference — the only detector that
+//!   catches *silently wrong* output, such as a corrupted dollar amount.
+//!
+//! In this reproduction the known-good comparison is implemented as taint
+//! tracking: injected corruption marks the state it touches, responses
+//! computed from tainted state carry the taint, and the comparison
+//! detector flags exactly those responses. This is semantically the
+//! comparison against a fault-free twin, without simulating the twin.
+
+use simcore::SimTime;
+use urb_core::{OpCode, Response};
+
+/// Which detector a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DetectorKind {
+    /// Network/HTTP/keyword/app-specific checks only.
+    Simple,
+    /// Simple checks plus the known-good comparison.
+    Comparison,
+}
+
+/// What kind of failure a detector observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FailureKind {
+    /// Could not connect / connection died.
+    Network,
+    /// The request was accepted but never answered in time.
+    Timeout,
+    /// HTTP 4xx or 5xx.
+    Http,
+    /// Failure keyword in the response body.
+    Keyword,
+    /// The user was prompted to log in while already logged in — the
+    /// session was lost (restart, eviction, expiry, checksum discard).
+    SessionLoss,
+    /// Application-specific anomaly (invalid ids in the page, ...).
+    AppSpecific,
+    /// Output differed from the known-good instance.
+    Comparison,
+}
+
+/// A failure report sent to the recovery manager (the UDP datagram of
+/// Section 4: failed URL plus failure type).
+#[derive(Clone, Copy, Debug)]
+pub struct FailureReport {
+    /// When the failure was observed.
+    pub at: SimTime,
+    /// The operation whose response failed (the URL prefix).
+    pub op: OpCode,
+    /// The kind of failure observed.
+    pub kind: FailureKind,
+    /// Which node served (or failed to serve) the request.
+    pub node: usize,
+}
+
+/// Classifies a response, given whether the client believed itself logged
+/// in when it made the request.
+///
+/// Returns `None` for responses the detector does not flag.
+pub fn classify(
+    kind: DetectorKind,
+    response: &Response,
+    was_logged_in: bool,
+) -> Option<FailureKind> {
+    use urb_core::Status;
+    match response.status {
+        Status::NetworkError => return Some(FailureKind::Network),
+        Status::TimedOut => return Some(FailureKind::Timeout),
+        Status::ClientError(_) | Status::ServerError(_) => return Some(FailureKind::Http),
+        Status::Ok | Status::RetryAfter(_) => {}
+    }
+    if response.markers.exception_text {
+        return Some(FailureKind::Keyword);
+    }
+    if response.markers.invalid_data {
+        return Some(FailureKind::AppSpecific);
+    }
+    if response.markers.login_prompt && was_logged_in {
+        return Some(FailureKind::SessionLoss);
+    }
+    if kind == DetectorKind::Comparison && response.tainted {
+        return Some(FailureKind::Comparison);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::SimTime;
+    use urb_core::{BodyMarkers, ReqId, Status};
+
+    fn resp(status: Status) -> Response {
+        Response {
+            req: ReqId(1),
+            op: OpCode(3),
+            status,
+            markers: BodyMarkers::default(),
+            tainted: false,
+            finished_at: SimTime::ZERO,
+            failed_component: None,
+            set_cookie: None,
+            clear_cookie: false,
+        }
+    }
+
+    #[test]
+    fn network_and_http_always_flagged() {
+        for kind in [DetectorKind::Simple, DetectorKind::Comparison] {
+            assert_eq!(
+                classify(kind, &resp(Status::NetworkError), false),
+                Some(FailureKind::Network)
+            );
+            assert_eq!(
+                classify(kind, &resp(Status::ServerError(500)), false),
+                Some(FailureKind::Http)
+            );
+        }
+    }
+
+    #[test]
+    fn keyword_beats_app_specific() {
+        let mut r = resp(Status::Ok);
+        r.markers.exception_text = true;
+        r.markers.invalid_data = true;
+        assert_eq!(
+            classify(DetectorKind::Simple, &r, false),
+            Some(FailureKind::Keyword)
+        );
+    }
+
+    #[test]
+    fn login_prompt_only_fails_when_logged_in() {
+        let mut r = resp(Status::Ok);
+        r.markers.login_prompt = true;
+        assert_eq!(classify(DetectorKind::Simple, &r, false), None);
+        assert_eq!(
+            classify(DetectorKind::Simple, &r, true),
+            Some(FailureKind::SessionLoss)
+        );
+    }
+
+    #[test]
+    fn taint_only_visible_to_comparison() {
+        let mut r = resp(Status::Ok);
+        r.tainted = true;
+        assert_eq!(classify(DetectorKind::Simple, &r, false), None);
+        assert_eq!(
+            classify(DetectorKind::Comparison, &r, false),
+            Some(FailureKind::Comparison)
+        );
+    }
+
+    #[test]
+    fn retry_after_is_never_a_failure() {
+        let r = resp(Status::RetryAfter(simcore::SimDuration::from_secs(2)));
+        assert_eq!(classify(DetectorKind::Comparison, &r, true), None);
+    }
+
+    #[test]
+    fn clean_ok_is_clean() {
+        assert_eq!(classify(DetectorKind::Comparison, &resp(Status::Ok), true), None);
+    }
+}

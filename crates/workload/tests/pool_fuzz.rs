@@ -1,0 +1,178 @@
+//! Fuzz-style property tests of the client pool's state machine: any
+//! sequence of response outcomes must leave the pool consistent.
+
+use proptest::prelude::*;
+use simcore::{SimDuration, SimTime};
+use statestore::SessionId;
+use urb_core::{BodyMarkers, OpCode, Response, Status};
+use workload::catalog::{ArgKind, Catalog, FunctionalGroup, MixClass, OpSpec};
+use workload::{ClientPool, ClientPoolConfig, DeliverOutcome};
+
+fn catalog() -> Catalog {
+    let op = |code: u16, name, is_login: bool, is_logout: bool, needs: bool| OpSpec {
+        op: OpCode(code),
+        name,
+        group: FunctionalGroup::BrowseView,
+        mix: MixClass::ReadOnlyDb,
+        idempotent: true,
+        commit_point: code % 3 == 0,
+        needs_session: needs,
+        is_login,
+        is_logout,
+        arg: ArgKind::Range(1, 50),
+    };
+    Catalog {
+        ops: vec![
+            op(0, "Home", false, false, false),
+            op(1, "Login", true, false, false),
+            op(2, "Browse", false, false, false),
+            op(3, "Bid", false, false, true),
+            op(4, "Logout", false, true, true),
+        ],
+        transitions: vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(2, 1.0), (3, 1.0)],
+            vec![(1, 0.5), (2, 1.0), (3, 1.0), (4, 0.3)],
+            vec![(2, 1.0), (4, 0.5)],
+            vec![(0, 1.0)],
+        ],
+        abandon_weight: vec![0.2; 5],
+        entry_state: 0,
+    }
+}
+
+/// The outcome classes we can hand a client.
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    Ok,
+    OkWithCookie,
+    ServerError,
+    NetworkError,
+    TimedOut,
+    RetryAfter,
+    LoginPrompt,
+    Tainted,
+}
+
+fn outcome_strategy() -> impl Strategy<Value = Outcome> {
+    prop_oneof![
+        5 => Just(Outcome::Ok),
+        2 => Just(Outcome::OkWithCookie),
+        1 => Just(Outcome::ServerError),
+        1 => Just(Outcome::NetworkError),
+        1 => Just(Outcome::TimedOut),
+        1 => Just(Outcome::RetryAfter),
+        1 => Just(Outcome::LoginPrompt),
+        1 => Just(Outcome::Tainted),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever the server answers, the pool stays consistent: every
+    /// request gets exactly one accounting entry, Taw totals add up, and
+    /// the pool neither leaks pending requests nor double-counts.
+    #[test]
+    fn pool_survives_arbitrary_response_sequences(
+        outcomes in proptest::collection::vec(outcome_strategy(), 1..300),
+        seed in 0u64..1000,
+    ) {
+        let mut pool = ClientPool::new(catalog(), ClientPoolConfig {
+            clients: 8,
+            detector: workload::DetectorKind::Comparison,
+            seed,
+            ..ClientPoolConfig::default()
+        });
+        let mut now = SimTime::from_secs(1);
+        let mut next_cookie = 100u64;
+        let mut issued = 0u64;
+        let mut client = 0usize;
+        for outcome in &outcomes {
+            now = now + SimDuration::from_millis(500);
+            let Some(out) = pool.wake(client, now) else {
+                continue;
+            };
+            issued += 1;
+            let mut resp = Response {
+                req: out.req.id,
+                op: out.req.op,
+                status: Status::Ok,
+                markers: BodyMarkers::default(),
+                tainted: false,
+                finished_at: now + SimDuration::from_millis(20),
+                failed_component: None,
+                set_cookie: None,
+                clear_cookie: false,
+            };
+            match outcome {
+                Outcome::Ok => {}
+                Outcome::OkWithCookie => {
+                    next_cookie += 1;
+                    resp.set_cookie = Some(SessionId(next_cookie));
+                }
+                Outcome::ServerError => resp.status = Status::ServerError(500),
+                Outcome::NetworkError => resp.status = Status::NetworkError,
+                Outcome::TimedOut => resp.status = Status::TimedOut,
+                Outcome::RetryAfter => {
+                    resp.status = Status::RetryAfter(SimDuration::from_secs(2))
+                }
+                Outcome::LoginPrompt => resp.markers.login_prompt = true,
+                Outcome::Tainted => resp.tainted = true,
+            }
+            let delivered = pool.deliver(&resp, 0, now);
+            prop_assert!(delivered.is_some(), "fresh response must belong to someone");
+            let (who, what) = delivered.unwrap();
+            prop_assert_eq!(who, client);
+            if let DeliverOutcome::RetryAt(t) = what {
+                prop_assert!(t > now, "retry is in the future");
+            }
+            client = (client + 1) % 8;
+        }
+        // No request is still owned unless it is an unanswered wake (we
+        // answered every one we issued).
+        prop_assert!(issued <= outcomes.len() as u64);
+        pool.taw().close_all();
+        let s = pool.taw_ref().summary();
+        // Retries are re-issues of the same logical operation, so
+        // accounted ops never exceed issued requests.
+        prop_assert!(s.good_ops + s.bad_ops <= issued);
+        // Every failure report corresponds to a bad op of some action.
+        let reports = pool.drain_reports().len() as u64;
+        prop_assert!(reports <= s.bad_ops + 8, "reports {} vs bad {}", reports, s.bad_ops);
+    }
+
+    /// Same seed, same behaviour: the pool is deterministic.
+    #[test]
+    fn pool_is_deterministic(seed in 0u64..1000) {
+        let run = || {
+            let mut pool = ClientPool::new(catalog(), ClientPoolConfig {
+                clients: 4,
+                seed,
+                ..ClientPoolConfig::default()
+            });
+            let mut ops = Vec::new();
+            let now = SimTime::from_secs(1);
+            for i in 0..40 {
+                let client = i % 4;
+                if let Some(out) = pool.wake(client, now) {
+                    ops.push((out.req.op, out.req.arg));
+                    let resp = Response {
+                        req: out.req.id,
+                        op: out.req.op,
+                        status: Status::Ok,
+                        markers: BodyMarkers::default(),
+                        tainted: false,
+                        finished_at: now,
+                        failed_component: None,
+                        set_cookie: None,
+                        clear_cookie: false,
+                    };
+                    pool.deliver(&resp, 0, now);
+                }
+            }
+            ops
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

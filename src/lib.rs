@@ -1,0 +1,18 @@
+//! Facade crate for the microreboot reproduction.
+//!
+//! Re-exports the public APIs of every workspace crate so examples and
+//! downstream users can depend on a single `microreboot` package. See the
+//! repository README for the architecture overview and DESIGN.md for the
+//! paper-to-module mapping.
+
+#![forbid(unsafe_code)]
+
+pub use cluster;
+pub use components;
+pub use ebid;
+pub use faults;
+pub use recovery;
+pub use simcore;
+pub use statestore;
+pub use urb_core as core;
+pub use workload;

@@ -1,0 +1,210 @@
+//! Property-based tests on the core data structures and invariants.
+
+use microreboot::simcore::{EventQueue, SimDuration, SimTime};
+use microreboot::statestore::db::TableDef;
+use microreboot::statestore::lease::LeaseTable;
+use microreboot::statestore::session::{SessionId, SessionObject, SessionStore};
+use microreboot::statestore::{Database, FastS, Ssm, Value};
+use proptest::prelude::*;
+
+/// A random operation against the database.
+#[derive(Clone, Debug)]
+enum DbOp {
+    Insert(i64, i64),
+    Update(i64, i64),
+    Delete(i64),
+}
+
+fn db_ops() -> impl Strategy<Value = Vec<(Vec<DbOp>, bool)>> {
+    // A sequence of transactions; each is a list of ops plus commit/abort.
+    let op = prop_oneof![
+        (0i64..50, any::<i64>()).prop_map(|(pk, v)| DbOp::Insert(pk, v)),
+        (0i64..50, any::<i64>()).prop_map(|(pk, v)| DbOp::Update(pk, v)),
+        (0i64..50).prop_map(DbOp::Delete),
+    ];
+    proptest::collection::vec((proptest::collection::vec(op, 0..8), any::<bool>()), 0..12)
+}
+
+fn fresh_db() -> Database {
+    Database::new(vec![TableDef {
+        name: "t",
+        columns: &["id", "v"],
+    }])
+}
+
+proptest! {
+    /// Aborted transactions leave no trace: the table contents equal the
+    /// result of applying only the committed transactions.
+    #[test]
+    fn db_aborted_txns_leave_no_trace(txns in db_ops()) {
+        let mut real = fresh_db();
+        let mut model = fresh_db();
+        let rc = real.open_conn();
+        let mc = model.open_conn();
+        for (ops, commit) in &txns {
+            let rt = real.begin(rc).unwrap();
+            let mt = model.begin(mc).unwrap();
+            for op in ops {
+                // Apply to the real db always; to the model only if this
+                // txn will commit. Ignore individual op errors (dup keys,
+                // missing rows) — both sides get the same ones.
+                match op {
+                    DbOp::Insert(pk, v) => {
+                        let row = vec![Value::Int(*pk), Value::Int(*v)];
+                        let r = real.insert(rt, "t", row.clone());
+                        if *commit {
+                            let m = model.insert(mt, "t", row);
+                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                        }
+                    }
+                    DbOp::Update(pk, v) => {
+                        let r = real.update(rt, "t", *pk, &[(1, Value::Int(*v))]);
+                        if *commit {
+                            let m = model.update(mt, "t", *pk, &[(1, Value::Int(*v))]);
+                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                        }
+                    }
+                    DbOp::Delete(pk) => {
+                        let r = real.delete(rt, "t", *pk);
+                        if *commit {
+                            let m = model.delete(mt, "t", *pk);
+                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                        }
+                    }
+                }
+            }
+            if *commit {
+                real.commit(rt).unwrap();
+                model.commit(mt).unwrap();
+            } else {
+                real.rollback(rt).unwrap();
+                model.rollback(mt).unwrap();
+            }
+        }
+        // Compare full table contents.
+        let rows_real = real.scan("t", |_| true, usize::MAX).unwrap();
+        let rows_model = model.scan("t", |_| true, usize::MAX).unwrap();
+        prop_assert_eq!(rows_real, rows_model);
+    }
+
+    /// A crash mid-transaction preserves exactly the committed state.
+    #[test]
+    fn db_crash_preserves_committed_state(
+        committed in proptest::collection::vec((0i64..40, any::<i64>()), 1..20),
+        uncommitted in proptest::collection::vec((0i64..40, any::<i64>()), 1..20),
+    ) {
+        let mut db = fresh_db();
+        let conn = db.open_conn();
+        let txn = db.begin(conn).unwrap();
+        for (pk, v) in &committed {
+            let _ = db.insert(txn, "t", vec![Value::Int(*pk), Value::Int(*v)]);
+        }
+        db.commit(txn).unwrap();
+        let snapshot = db.scan("t", |_| true, usize::MAX).unwrap();
+
+        let conn2 = db.open_conn();
+        let txn2 = db.begin(conn2).unwrap();
+        for (pk, v) in &uncommitted {
+            let _ = db.insert(txn2, "t", vec![Value::Int(*pk), Value::Int(*v)]);
+            let _ = db.update(txn2, "t", *pk, &[(1, Value::Int(v ^ 1))]);
+        }
+        db.crash();
+        prop_assert_eq!(db.scan("t", |_| true, usize::MAX).unwrap(), snapshot);
+        prop_assert_eq!(db.active_txns(), 0);
+    }
+
+    /// Corruption followed by repair restores the exact pre-corruption
+    /// image, regardless of interleaved corruption order.
+    #[test]
+    fn db_repair_is_exact(
+        rows in proptest::collection::btree_map(0i64..30, any::<i64>(), 1..20),
+        victims in proptest::collection::vec(0i64..30, 1..10),
+    ) {
+        let mut db = fresh_db();
+        let conn = db.open_conn();
+        let txn = db.begin(conn).unwrap();
+        for (pk, v) in &rows {
+            db.insert(txn, "t", vec![Value::Int(*pk), Value::Int(*v)]).unwrap();
+        }
+        db.commit(txn).unwrap();
+        let before = db.scan("t", |_| true, usize::MAX).unwrap();
+        for pk in &victims {
+            let _ = db.corrupt_cell("t", *pk, 1, Value::Null);
+        }
+        db.repair();
+        prop_assert!(db.is_consistent());
+        prop_assert_eq!(db.scan("t", |_| true, usize::MAX).unwrap(), before);
+    }
+
+    /// The event queue fires events in nondecreasing time order, with
+    /// FIFO order among equal timestamps.
+    #[test]
+    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1000, 1..100)) {
+        let mut q: EventQueue<Vec<(u64, usize)>> = EventQueue::new();
+        let mut world = Vec::new();
+        for (i, t) in times.iter().enumerate() {
+            let t = *t;
+            q.schedule_at(SimTime::from_millis(t), "e", move |w: &mut Vec<(u64, usize)>, _| {
+                w.push((t, i));
+            });
+        }
+        q.run_to_completion(&mut world);
+        prop_assert_eq!(world.len(), times.len());
+        for pair in world.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0, "time order");
+            if pair[0].0 == pair[1].0 {
+                prop_assert!(pair[0].1 < pair[1].1, "FIFO among ties");
+            }
+        }
+    }
+
+    /// Leases: an entry is live iff granted-or-renewed within the term;
+    /// sweep returns each expired payload exactly once.
+    #[test]
+    fn lease_sweep_exactly_once(grants in proptest::collection::vec(0u64..100, 1..50)) {
+        let mut lt: LeaseTable<usize> = LeaseTable::new(SimDuration::from_secs(10));
+        let ids: Vec<_> = grants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (lt.grant(SimTime::from_secs(*t), i), *t))
+            .collect();
+        let sweep_at = SimTime::from_secs(60);
+        let expired = lt.sweep(sweep_at);
+        let should_expire = ids.iter().filter(|(_, t)| *t + 10 <= 60).count();
+        prop_assert_eq!(expired.len(), should_expire);
+        // Second sweep finds nothing new.
+        prop_assert_eq!(lt.sweep(sweep_at).len(), 0);
+    }
+
+    /// Session objects survive an SSM write/read round trip unchanged
+    /// (marshalling + checksum verification are lossless).
+    #[test]
+    fn ssm_roundtrip_is_lossless(attrs in proptest::collection::btree_map("[a-z]{1,8}", any::<i64>(), 0..10)) {
+        let mut obj = SessionObject::new();
+        for (k, v) in &attrs {
+            obj.set(k, *v);
+        }
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj.clone()).unwrap();
+        let got = ssm.read(SessionId(1)).unwrap().unwrap();
+        prop_assert_eq!(got, obj);
+    }
+
+    /// FastS revalidation never discards objects the validator accepts
+    /// and never keeps objects it rejects.
+    #[test]
+    fn fasts_revalidation_is_exact(user_ids in proptest::collection::vec(any::<i64>(), 1..30)) {
+        let mut fasts = FastS::new();
+        for (i, uid) in user_ids.iter().enumerate() {
+            let mut obj = SessionObject::new();
+            obj.set("user_id", *uid);
+            fasts.write(SessionId(i as u64), obj).unwrap();
+        }
+        let valid = |o: &SessionObject| {
+            o.get("user_id").and_then(Value::as_int).map(|v| v > 0).unwrap_or(false)
+        };
+        fasts.revalidate(valid);
+        let expected = user_ids.iter().filter(|v| **v > 0).count();
+        prop_assert_eq!(fasts.live_sessions(), expected);
+    }
+}
