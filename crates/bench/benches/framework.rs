@@ -5,25 +5,23 @@
 //! through the full interceptor/transaction/session path, and the Taw
 //! accounting hot path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use cluster::{Sim, SimConfig};
 use simcore::stats::SecondSeries;
 use simcore::{SimDuration, SimTime};
-use workload::taw::{ActionId, TawTracker};
 use workload::catalog::FunctionalGroup;
+use workload::taw::{ActionId, TawTracker};
 
-fn bench_simulated_second(c: &mut Criterion) {
-    c.bench_function("simulate_10s_500_clients", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(SimConfig::default());
-            sim.run_until(SimTime::from_secs(10));
-            let world = sim.finish();
-            world.pool.taw_ref().summary().good_ops
-        })
+fn bench_simulated_second(h: &mut Harness) {
+    h.bench("simulate_10s_500_clients", || {
+        let mut sim = Sim::new(SimConfig::default());
+        sim.run_until(SimTime::from_secs(10));
+        let world = sim.finish();
+        world.pool.taw_ref().summary().good_ops
     });
 }
 
-fn bench_request_path(c: &mut Criterion) {
+fn bench_request_path(h: &mut Harness) {
     use ebid::{DatasetSpec, EBid};
     use statestore::FastS;
     use urb_core::backend::{share_db, SessionBackend};
@@ -40,44 +38,43 @@ fn bench_request_path(c: &mut Criterion) {
     );
     let mut now = SimTime::from_secs(1);
     let mut id = 0u64;
-    c.bench_function("dispatch_view_item_request", |b| {
-        b.iter(|| {
-            id += 1;
-            now += SimDuration::from_millis(100);
-            let req = make_request(id, ebid::ops::codes::VIEW_ITEM, None, true, 5, now);
-            match server.submit(req, now) {
-                SubmitOutcome::Admitted => {
-                    let started = server.pump(now)[0];
-                    server.complete(started.req, started.cpu_done_at)
-                }
-                SubmitOutcome::Rejected(r) => Some(r),
+    h.bench("dispatch_view_item_request", || {
+        id += 1;
+        now += SimDuration::from_millis(100);
+        let req = make_request(id, ebid::ops::codes::VIEW_ITEM, None, true, 5, now);
+        match server.submit(req, now) {
+            SubmitOutcome::Admitted => {
+                let started = server.pump(now)[0];
+                server.complete(started.req, started.cpu_done_at)
             }
-        })
+            SubmitOutcome::Rejected(r) => Some(r),
+        }
     });
 }
 
-fn bench_taw_accounting(c: &mut Criterion) {
-    c.bench_function("taw_record_and_close_action", |b| {
-        let mut taw = TawTracker::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let a = ActionId(i);
-            let t = SimTime::from_millis(i);
-            taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
-            taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
-            taw.close_action(a);
-        })
+fn bench_taw_accounting(h: &mut Harness) {
+    let mut taw = TawTracker::new();
+    let mut i = 0u64;
+    h.bench("taw_record_and_close_action", || {
+        i += 1;
+        let a = ActionId(i);
+        let t = SimTime::from_millis(i);
+        taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
+        taw.record_op(a, FunctionalGroup::BrowseView, t, t, true);
+        taw.close_action(a);
     });
-    c.bench_function("second_series_incr", |b| {
-        let mut s = SecondSeries::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            s.incr(SimTime::from_millis(i % 600_000), "good");
-        })
+    let mut s = SecondSeries::new();
+    let mut j = 0u64;
+    h.bench("second_series_incr", || {
+        j += 1;
+        s.incr(SimTime::from_millis(j % 600_000), "good");
     });
 }
 
-criterion_group!(benches, bench_simulated_second, bench_request_path, bench_taw_accounting);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("framework");
+    bench_simulated_second(&mut h);
+    bench_request_path(&mut h);
+    bench_taw_accounting(&mut h);
+    h.finish();
+}

@@ -7,7 +7,7 @@
 //! binding, container teardown/reinit) should be microseconds: the
 //! machinery must never dominate the recovery it models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use ebid::{DatasetSpec, EBid};
 use simcore::SimTime;
 use statestore::FastS;
@@ -25,67 +25,57 @@ fn build_server() -> AppServer<EBid> {
     )
 }
 
-fn bench_microreboot_cycle(c: &mut Criterion) {
+fn bench_microreboot_cycle(h: &mut Harness) {
     let mut server = build_server();
     let mut t = SimTime::from_secs(1);
-    c.bench_function("microreboot_single_ejb_cycle", |b| {
-        b.iter(|| {
-            let ticket = server
-                .begin_microreboot(&["ViewItem"], t, None)
-                .expect("server up");
-            server.microreboot_crash(ticket.id, ticket.crash_at);
-            server.microreboot_complete(ticket.id, ticket.done_at);
-            t = ticket.done_at;
-        })
+    h.bench("microreboot_single_ejb_cycle", || {
+        let ticket = server
+            .begin_microreboot(&["ViewItem"], t, None)
+            .expect("server up");
+        server.microreboot_crash(ticket.id, ticket.crash_at);
+        server.microreboot_complete(ticket.id, ticket.done_at);
+        t = ticket.done_at;
     });
 }
 
-fn bench_microreboot_group(c: &mut Criterion) {
+fn bench_microreboot_group(h: &mut Harness) {
     let mut server = build_server();
     let mut t = SimTime::from_secs(1);
-    c.bench_function("microreboot_entity_group_cycle", |b| {
-        b.iter(|| {
-            let ticket = server
-                .begin_microreboot(&["Item"], t, None)
-                .expect("server up");
-            server.microreboot_crash(ticket.id, ticket.crash_at);
-            server.microreboot_complete(ticket.id, ticket.done_at);
-            t = ticket.done_at;
-        })
+    h.bench("microreboot_entity_group_cycle", || {
+        let ticket = server
+            .begin_microreboot(&["Item"], t, None)
+            .expect("server up");
+        server.microreboot_crash(ticket.id, ticket.crash_at);
+        server.microreboot_complete(ticket.id, ticket.done_at);
+        t = ticket.done_at;
     });
 }
 
-fn bench_process_restart(c: &mut Criterion) {
+fn bench_process_restart(h: &mut Harness) {
     let mut server = build_server();
     let mut t = SimTime::from_secs(1);
-    c.bench_function("process_restart_cycle", |b| {
-        b.iter(|| {
-            let (until, _) = server.begin_process_restart(t);
-            server.process_restart_complete(until);
-            t = until;
-        })
+    h.bench("process_restart_cycle", || {
+        let (until, _) = server.begin_process_restart(t);
+        server.process_restart_complete(until);
+        t = until;
     });
 }
 
-fn bench_recovery_group_closure(c: &mut Criterion) {
+fn bench_recovery_group_closure(h: &mut Harness) {
     let graph =
         components::graph::DependencyGraph::build(&ebid::components::descriptors()).unwrap();
     let item = graph.id_of("Item").unwrap();
-    c.bench_function("recovery_group_lookup", |b| {
-        b.iter(|| graph.recovery_group(item).len())
-    });
-    c.bench_function("dependency_graph_build", |b| {
-        b.iter(|| {
-            components::graph::DependencyGraph::build(&ebid::components::descriptors()).unwrap()
-        })
+    h.bench("recovery_group_lookup", || graph.recovery_group(item).len());
+    h.bench("dependency_graph_build", || {
+        components::graph::DependencyGraph::build(&ebid::components::descriptors()).unwrap()
     });
 }
 
-criterion_group!(
-    benches,
-    bench_microreboot_cycle,
-    bench_microreboot_group,
-    bench_process_restart,
-    bench_recovery_group_closure
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("microreboot");
+    bench_microreboot_cycle(&mut h);
+    bench_microreboot_group(&mut h);
+    bench_process_restart(&mut h);
+    bench_recovery_group_closure(&mut h);
+    h.finish();
+}

@@ -5,47 +5,41 @@
 //! store and read/write cycles on FastS and SSM, including SSM's
 //! marshalling and checksumming.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
 use statestore::db::TableDef;
 use statestore::session::{SessionId, SessionObject, SessionStore};
 use statestore::{Database, FastS, Ssm, Value};
 
-fn bench_db(c: &mut Criterion) {
+fn bench_db(h: &mut Harness) {
     let mut db = Database::new(vec![TableDef {
         name: "items",
         columns: &["id", "name", "value"],
     }]);
     let conn = db.open_conn();
     let mut next = 1i64;
-    c.bench_function("db_insert_commit", |b| {
-        b.iter(|| {
-            let txn = db.begin(conn).unwrap();
-            db.insert(
-                txn,
-                "items",
-                vec![Value::Int(next), Value::from("x"), Value::Int(0)],
-            )
-            .unwrap();
-            db.commit(txn).unwrap();
-            next += 1;
-        })
+    h.bench("db_insert_commit", || {
+        let txn = db.begin(conn).unwrap();
+        db.insert(
+            txn,
+            "items",
+            vec![Value::Int(next), Value::from("x"), Value::Int(0)],
+        )
+        .unwrap();
+        db.commit(txn).unwrap();
+        next += 1;
     });
-    c.bench_function("db_read_committed", |b| {
-        b.iter(|| db.read_committed("items", 1).unwrap())
+    h.bench("db_read_committed", || {
+        db.read_committed("items", 1).unwrap()
     });
-    c.bench_function("db_update_rollback", |b| {
-        b.iter(|| {
-            let txn = db.begin(conn).unwrap();
-            db.update(txn, "items", 1, &[(2, Value::Int(9))]).unwrap();
-            db.rollback(txn).unwrap();
-        })
+    h.bench("db_update_rollback", || {
+        let txn = db.begin(conn).unwrap();
+        db.update(txn, "items", 1, &[(2, Value::Int(9))]).unwrap();
+        db.rollback(txn).unwrap();
     });
-    c.bench_function("db_scan_100", |b| {
-        b.iter(|| {
-            db.scan("items", |r| r[2].as_int() == Some(0), 100)
-                .unwrap()
-                .len()
-        })
+    h.bench("db_scan_100", || {
+        db.scan("items", |r| r[2].as_int() == Some(0), 100)
+            .unwrap()
+            .len()
     });
 }
 
@@ -57,27 +51,28 @@ fn session_obj() -> SessionObject {
     o
 }
 
-fn bench_fasts(c: &mut Criterion) {
+fn bench_fasts(h: &mut Harness) {
     let mut fasts = FastS::new();
     fasts.write(SessionId(1), session_obj()).unwrap();
-    c.bench_function("fasts_write", |b| {
-        b.iter(|| fasts.write(SessionId(1), session_obj()).unwrap())
+    h.bench("fasts_write", || {
+        fasts.write(SessionId(1), session_obj()).unwrap()
     });
-    c.bench_function("fasts_read", |b| {
-        b.iter(|| fasts.read(SessionId(1)).unwrap())
-    });
+    h.bench("fasts_read", || fasts.read(SessionId(1)).unwrap());
 }
 
-fn bench_ssm(c: &mut Criterion) {
+fn bench_ssm(h: &mut Harness) {
     let mut ssm = Ssm::new(3);
     ssm.write(SessionId(1), session_obj()).unwrap();
-    c.bench_function("ssm_write_3_replicas", |b| {
-        b.iter(|| ssm.write(SessionId(1), session_obj()).unwrap())
+    h.bench("ssm_write_3_replicas", || {
+        ssm.write(SessionId(1), session_obj()).unwrap()
     });
-    c.bench_function("ssm_read_checksummed", |b| {
-        b.iter(|| ssm.read(SessionId(1)).unwrap())
-    });
+    h.bench("ssm_read_checksummed", || ssm.read(SessionId(1)).unwrap());
 }
 
-criterion_group!(benches, bench_db, bench_fasts, bench_ssm);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("statestore");
+    bench_db(&mut h);
+    bench_fasts(&mut h);
+    bench_ssm(&mut h);
+    h.finish();
+}

@@ -31,8 +31,8 @@ const N: usize = 16;
 fn bean_names() -> Vec<&'static str> {
     // Static names for the 16 beans.
     vec![
-        "B00", "B01", "B02", "B03", "B04", "B05", "B06", "B07", "B08", "B09", "B10", "B11",
-        "B12", "B13", "B14", "B15",
+        "B00", "B01", "B02", "B03", "B04", "B05", "B06", "B07", "B08", "B09", "B10", "B11", "B12",
+        "B13", "B14", "B15",
     ]
 }
 
@@ -41,8 +41,8 @@ fn bean_names() -> Vec<&'static str> {
 /// the recovery groups are exactly the blocks.
 fn refs_for(i: usize, block_size: usize) -> &'static [&'static str] {
     static NAMES: [&str; 16] = [
-        "B00", "B01", "B02", "B03", "B04", "B05", "B06", "B07", "B08", "B09", "B10", "B11",
-        "B12", "B13", "B14", "B15",
+        "B00", "B01", "B02", "B03", "B04", "B05", "B06", "B07", "B08", "B09", "B10", "B11", "B12",
+        "B13", "B14", "B15",
     ];
     if block_size <= 1 || (i % block_size) == block_size - 1 || i + 1 >= NAMES.len() {
         &[]
@@ -100,7 +100,12 @@ fn measure(block_size: usize) -> (usize, SimDuration, u64, usize) {
     let group_size = graph.recovery_group(b0).len();
 
     let db = share_db(ToyApp::seeded_db(10));
-    let mut srv = AppServer::new(app, ServerConfig::default(), db, SessionBackend::FastS(FastS::new()));
+    let mut srv = AppServer::new(
+        app,
+        ServerConfig::default(),
+        db,
+        SessionBackend::FastS(FastS::new()),
+    );
     // Saturate with in-flight requests touching every bean, then µRB B00.
     let t = SimTime::from_secs(1);
     for i in 0..N as u64 {

@@ -17,17 +17,22 @@
 //! ~3,917 failed requests per restart vs ~78 per microreboot, a 98%
 //! reduction.
 
-use bench::report::{banner, ratio};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bench::report::{banner, ratio, TelemetrySummary};
 use bench::Table;
 use cluster::{Sim, SimConfig};
 use faults::Fault;
 use recovery::{PolicyLevel, RmConfig};
+use simcore::telemetry::shared_bus;
 use simcore::SimTime;
 use statestore::session::CorruptKind;
 use workload::TawSummary;
 
-/// Runs the 40-minute scenario; returns (summary, per-10s bad series).
-fn run(start_level: PolicyLevel) -> (TawSummary, Vec<(u64, f64, f64)>, usize) {
+/// Runs the 40-minute scenario; returns (summary, per-10s bad series,
+/// recovery count, telemetry fold).
+fn run(start_level: PolicyLevel) -> (TawSummary, Vec<(u64, f64, f64)>, usize, TelemetrySummary) {
     let mut sim = Sim::new(SimConfig {
         rm: Some(RmConfig {
             start_level,
@@ -35,6 +40,10 @@ fn run(start_level: PolicyLevel) -> (TawSummary, Vec<(u64, f64, f64)>, usize) {
         }),
         ..SimConfig::default()
     });
+    let bus = shared_bus();
+    let telemetry = Rc::new(RefCell::new(TelemetrySummary::default()));
+    bus.borrow_mut().add_sink(Box::new(telemetry.clone()));
+    sim.attach_telemetry(bus);
     sim.schedule_fault(
         SimTime::from_mins(10),
         0,
@@ -73,41 +82,34 @@ fn run(start_level: PolicyLevel) -> (TawSummary, Vec<(u64, f64, f64)>, usize) {
         .iter()
         .filter(|e| matches!(e, cluster::LogEvent::RecoveryFinished { .. }))
         .count();
-    (taw.summary(), series, recoveries)
+    let summary = taw.summary();
+    let fold = telemetry.borrow().clone();
+    (summary, series, recoveries, fold)
 }
 
 fn main() {
     banner("Figure 1: Taw comparison — JVM process restart vs EJB microreboot");
     println!("(three faults at t=10/20/30 min; 500 clients, 1 node, FastS)\n");
 
-    let (restart, restart_series, restart_events) = run(PolicyLevel::Process);
-    let (urb, urb_series, urb_events) = run(PolicyLevel::Ejb);
+    let (restart, restart_series, restart_events, restart_telemetry) = run(PolicyLevel::Process);
+    let (urb, urb_series, urb_events, urb_telemetry) = run(PolicyLevel::Ejb);
 
-    // Full per-10s series as JSON, for plotting.
-    #[derive(serde::Serialize)]
-    struct Row {
-        t: u64,
-        restart_good: f64,
-        restart_bad: f64,
-        urb_good: f64,
-        urb_bad: f64,
-    }
-    let rows: Vec<Row> = restart_series
-        .iter()
-        .zip(&urb_series)
-        .map(|((t, rg, rb), (_, ug, ub))| Row {
-            t: *t,
-            restart_good: *rg,
-            restart_bad: *rb,
-            urb_good: *ug,
-            urb_bad: *ub,
-        })
-        .collect();
-    let path = "target/fig1_series.json";
-    if let Ok(json) = serde_json::to_string_pretty(&rows) {
-        if std::fs::write(path, json).is_ok() {
-            println!("(full per-10s Taw series written to {path})\n");
+    // Full per-10s series as JSON, for plotting. Hand-rolled writer: the
+    // rows are flat numbers, so a serializer dependency isn't warranted.
+    let mut json = String::from("[\n");
+    for (i, ((t, rg, rb), (_, ug, ub))) in restart_series.iter().zip(&urb_series).enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
         }
+        json.push_str(&format!(
+            "  {{ \"t\": {t}, \"restart_good\": {rg}, \"restart_bad\": {rb}, \
+             \"urb_good\": {ug}, \"urb_bad\": {ub} }}"
+        ));
+    }
+    json.push_str("\n]\n");
+    let path = "target/fig1_series.json";
+    if std::fs::write(path, json).is_ok() {
+        println!("(full per-10s Taw series written to {path})\n");
     }
 
     let mut t = Table::new(&["metric", "process restart", "microreboot", "paper"]);
@@ -131,7 +133,10 @@ fn main() {
     ]);
     t.row_owned(vec![
         "failed requests / recovery".into(),
-        format!("{:.0}", restart.bad_ops as f64 / restart_events.max(1) as f64),
+        format!(
+            "{:.0}",
+            restart.bad_ops as f64 / restart_events.max(1) as f64
+        ),
         format!("{:.0}", urb.bad_ops as f64 / urb_events.max(1) as f64),
         "3,917 vs 78".into(),
     ]);
@@ -143,8 +148,7 @@ fn main() {
     ]);
     t.print();
 
-    let reduction =
-        100.0 * (1.0 - urb.bad_ops as f64 / restart.bad_ops.max(1) as f64);
+    let reduction = 100.0 * (1.0 - urb.bad_ops as f64 / restart.bad_ops.max(1) as f64);
     println!(
         "\nmicroreboots reduce failed requests by {reduction:.1}% (paper: 98%), a {} improvement",
         ratio(restart.bad_ops as f64, urb.bad_ops.max(1) as f64)
@@ -161,8 +165,10 @@ fn main() {
     for (i, (from, rg, rb)) in restart_series.iter().enumerate() {
         let (_, ug, ub) = urb_series[i];
         // Print only the interesting windows around the fault times.
-        let interesting = [590, 600, 610, 620, 630, 1190, 1200, 1210, 1220, 1230, 1790, 1800, 1810, 1820, 1830]
-            .contains(from);
+        let interesting = [
+            590, 600, 610, 620, 630, 1190, 1200, 1210, 1220, 1230, 1790, 1800, 1810, 1820, 1830,
+        ]
+        .contains(from);
         if interesting {
             series_t.row_owned(vec![
                 format!("{from}"),
@@ -174,4 +180,7 @@ fn main() {
         }
     }
     series_t.print();
+
+    restart_telemetry.print("Telemetry fold — process-restart run:");
+    urb_telemetry.print("Telemetry fold — microreboot run:");
 }

@@ -52,10 +52,7 @@ fn run(regime: &Regime, events: u32) -> (f64, u64) {
     sim.run_until(SimTime::from_secs(120 + 90 * events as u64 + 120));
     let world = sim.finish();
     let s = world.pool.taw_ref().summary();
-    (
-        s.bad_ops as f64 / events as f64,
-        s.good_ops + s.bad_ops,
-    )
+    (s.bad_ops as f64 / events as f64, s.good_ops + s.bad_ops)
 }
 
 fn main() {
@@ -92,7 +89,12 @@ fn main() {
         let (avg_failed, served) = run(regime, 4);
         total_served = total_served.max(served);
         per_event.push(avg_failed);
-        t.row_owned(vec![regime.label.to_string(), format!("{avg_failed:.0}"), String::new(), String::new()]);
+        t.row_owned(vec![
+            regime.label.to_string(),
+            format!("{avg_failed:.0}"),
+            String::new(),
+            String::new(),
+        ]);
     }
     // Six-nines arithmetic, following the paper: extrapolate the 8-node
     // cluster's request volume to 24 nodes over a year; the budget is

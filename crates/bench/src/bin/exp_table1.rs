@@ -16,7 +16,11 @@ fn main() {
     sim.run_until(SimTime::from_mins(20));
     let world = sim.finish();
 
-    let mut t = Table::new(&["user operation results mostly in...", "paper %", "measured %"]);
+    let mut t = Table::new(&[
+        "user operation results mostly in...",
+        "paper %",
+        "measured %",
+    ]);
     for class in MixClass::ALL {
         t.row_owned(vec![
             class.label().to_string(),

@@ -95,9 +95,7 @@ fn observe(sim: &mut Sim, until: SimTime, ignore_session_loss: bool) -> usize {
             if ignore_session_loss && r.kind == workload::detect::FailureKind::SessionLoss {
                 return false;
             }
-            r.kind != workload::detect::FailureKind::Comparison
-                || db_damage_grew
-                || after.0 == 0
+            r.kind != workload::detect::FailureKind::Comparison || db_damage_grew || after.0 == 0
         })
         .count()
 }
@@ -240,10 +238,8 @@ fn main() {
     let rows = table2_catalogue();
     for row in &rows {
         let outcome = run_row(row);
-        let measured_curable = matches!(
-            outcome.level.as_str(),
-            "unnecessary" | "EJB" | "WAR"
-        ) && outcome.resuscitated;
+        let measured_curable =
+            matches!(outcome.level.as_str(), "unnecessary" | "EJB" | "WAR") && outcome.resuscitated;
         if measured_curable {
             curable_measured += 1;
         }

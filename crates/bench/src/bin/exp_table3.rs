@@ -55,7 +55,13 @@ fn measure_microreboots(component: &'static str, trials: u32) -> (f64, f64, f64)
     let mut total_ms = 0.0;
     let mut n = 0u32;
     for e in &world.log {
-        if let LogEvent::RecoveryFinished { at, started, action, .. } = e {
+        if let LogEvent::RecoveryFinished {
+            at,
+            started,
+            action,
+            ..
+        } = e
+        {
             if action.starts_with("microreboot") {
                 total_ms += (*at - *started).as_millis_f64();
                 n += 1;
@@ -88,18 +94,20 @@ fn measure_microreboots(component: &'static str, trials: u32) -> (f64, f64, f64)
 fn measure_restart(action: RecoveryAction, label: &str, trials: u32) -> f64 {
     let mut sim = Sim::new(SimConfig::default());
     for i in 0..trials {
-        sim.schedule_recovery(
-            SimTime::from_secs(60 + 60 * i as u64),
-            0,
-            action.clone(),
-        );
+        sim.schedule_recovery(SimTime::from_secs(60 + 60 * i as u64), 0, action.clone());
     }
     sim.run_until(SimTime::from_secs(60 + 60 * trials as u64));
     let world = sim.finish();
     let mut total_ms = 0.0;
     let mut n = 0u32;
     for e in &world.log {
-        if let LogEvent::RecoveryFinished { at, started, action, .. } = e {
+        if let LogEvent::RecoveryFinished {
+            at,
+            started,
+            action,
+            ..
+        } = e
+        {
             if action.contains(label) {
                 total_ms += (*at - *started).as_millis_f64();
                 n += 1;

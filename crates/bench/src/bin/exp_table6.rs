@@ -89,9 +89,12 @@ fn main() {
         ]);
     }
     t.print();
-    println!("\n(the 200 ms delay adds {} to each microreboot; the paper did not", {
-        let d: SimDuration = urb_core::calib::DRAIN_DELAY;
-        format!("{d}")
-    });
+    println!(
+        "\n(the 200 ms delay adds {} to each microreboot; the paper did not",
+        {
+            let d: SimDuration = urb_core::calib::DRAIN_DELAY;
+            format!("{d}")
+        }
+    );
     println!("analyze that trade-off further — exp_ablation_drain does)");
 }

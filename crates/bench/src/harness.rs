@@ -1,0 +1,90 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The container has no benchmarking framework, and the benches here only
+//! need honest per-iteration timings, so this is a deliberately small
+//! warmup + timed-batch loop over [`std::time::Instant`]. Use it from a
+//! `harness = false` bench target:
+//!
+//! ```no_run
+//! use bench::harness::Harness;
+//!
+//! let mut h = Harness::new("my-suite");
+//! let mut i = 0u64;
+//! h.bench("increment", || {
+//!     i += 1;
+//!     i
+//! });
+//! h.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Wall-clock time spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Runs named closures repeatedly and prints per-iteration timings.
+pub struct Harness {
+    suite: String,
+    results: Vec<(String, f64, u64)>,
+}
+
+impl Harness {
+    /// Creates a harness for a named suite.
+    pub fn new(suite: &str) -> Self {
+        println!("suite: {suite}");
+        Harness {
+            suite: suite.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Benchmarks `f`, printing mean ns/iter over a ~300 ms measured window
+    /// after a short warmup. The closure's result is passed through
+    /// [`black_box`] so the work cannot be optimized away.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Warmup: also sizes the batch so each timed batch is ~1 ms.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP_TARGET.as_nanos() as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000);
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_TARGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        let total = start.elapsed();
+        let ns = total.as_nanos() as f64 / iters as f64;
+        println!("  {name:<40} {:>12} ns/iter   ({iters} iters)", fmt_ns(ns));
+        self.results.push((name.to_string(), ns, iters));
+    }
+
+    /// Prints a closing line; call at the end of `main`.
+    pub fn finish(self) {
+        println!(
+            "suite {} done: {} benchmarks",
+            self.suite,
+            self.results.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1_000_000_000.0 {
+        format!("{:.3}e9", ns / 1_000_000_000.0)
+    } else if ns >= 10_000.0 {
+        format!("{:.0}", ns)
+    } else {
+        format!("{:.1}", ns)
+    }
+}

@@ -2,14 +2,16 @@
 //!
 //! One binary per table/figure of the paper (see `src/bin/exp_*.rs`), each
 //! printing the same rows/series the paper reports, side by side with the
-//! paper's numbers where the paper gives them. Criterion micro-benchmarks
-//! of the framework primitives live in `benches/`.
+//! paper's numbers where the paper gives them. Micro-benchmarks of the
+//! framework primitives live in `benches/`, driven by the in-repo
+//! [`harness::Harness`].
 //!
 //! Run a single experiment with e.g.
 //! `cargo run --release -p bench --bin exp_table3`.
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
 pub mod report;
 
 pub use report::Table;

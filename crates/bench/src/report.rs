@@ -1,4 +1,8 @@
-//! Plain-text table formatting for experiment reports.
+//! Plain-text table formatting for experiment reports, plus a
+//! [`TelemetrySummary`] sink that folds the cross-crate telemetry stream
+//! into per-kind counters for the experiment printouts.
+
+use simcore::telemetry::{RebootLevel, TelemetryEvent, TelemetrySink};
 
 /// A simple aligned-column table printer.
 ///
@@ -33,7 +37,8 @@ impl Table {
     /// Panics on column-count mismatch — a bug in the experiment code.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -77,6 +82,133 @@ impl Table {
     /// Prints the table to stdout.
     pub fn print(&self) {
         print!("{}", self.render());
+    }
+}
+
+/// Folds the telemetry stream into per-kind counters.
+///
+/// Attach one (behind `Rc<RefCell<..>>`) to a [`simcore::telemetry::TelemetryBus`]
+/// to get an experiment-wide view of what every layer emitted — requests,
+/// kills, reboots by level, detector fires and recovery decisions — without
+/// reaching into any component's private stats.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySummary {
+    /// Requests submitted across all nodes.
+    pub submitted: u64,
+    /// Requests completed (any disposition).
+    pub completed: u64,
+    /// Transparent retries sent (Retry-After).
+    pub retries: u64,
+    /// Requests killed by any reboot or TTL purge.
+    pub killed: u64,
+    /// Reboots begun, indexed by [`RebootLevel`] depth
+    /// (component, application, process, OS).
+    pub reboots_begun: [u64; 4],
+    /// Reboots finished, same indexing.
+    pub reboots_finished: [u64; 4],
+    /// End-to-end failure reports that reached the recovery manager.
+    pub detector_fires: u64,
+    /// Recovery decisions taken by the manager.
+    pub decisions: u64,
+    /// Rejuvenation service polls observed.
+    pub rejuvenation_ticks: u64,
+    /// Client operations recorded (Taw stream).
+    pub client_ops: u64,
+    /// User actions closed (Taw stream).
+    pub actions_closed: u64,
+}
+
+fn level_index(level: RebootLevel) -> usize {
+    match level {
+        RebootLevel::Component => 0,
+        RebootLevel::Application => 1,
+        RebootLevel::Process => 2,
+        RebootLevel::OperatingSystem => 3,
+    }
+}
+
+impl TelemetrySummary {
+    /// Total reboots begun at any level.
+    pub fn total_reboots(&self) -> u64 {
+        self.reboots_begun.iter().sum()
+    }
+
+    /// Appends the summary's rows to a two-column table.
+    pub fn rows(&self, table: &mut Table) {
+        table.row_owned(vec![
+            "requests submitted".into(),
+            self.submitted.to_string(),
+        ]);
+        table.row_owned(vec![
+            "requests completed".into(),
+            self.completed.to_string(),
+        ]);
+        table.row_owned(vec!["retries sent".into(), self.retries.to_string()]);
+        table.row_owned(vec!["requests killed".into(), self.killed.to_string()]);
+        for (i, label) in [
+            "microreboots",
+            "app restarts",
+            "process restarts",
+            "OS reboots",
+        ]
+        .iter()
+        .enumerate()
+        {
+            table.row_owned(vec![
+                (*label).into(),
+                format!(
+                    "{} begun / {} finished",
+                    self.reboots_begun[i], self.reboots_finished[i]
+                ),
+            ]);
+        }
+        table.row_owned(vec![
+            "detector reports".into(),
+            self.detector_fires.to_string(),
+        ]);
+        table.row_owned(vec![
+            "recovery decisions".into(),
+            self.decisions.to_string(),
+        ]);
+        table.row_owned(vec![
+            "rejuvenation ticks".into(),
+            self.rejuvenation_ticks.to_string(),
+        ]);
+        table.row_owned(vec!["client ops".into(), self.client_ops.to_string()]);
+        table.row_owned(vec![
+            "actions closed".into(),
+            self.actions_closed.to_string(),
+        ]);
+    }
+
+    /// Prints the summary as a titled table.
+    pub fn print(&self, title: &str) {
+        println!("\n{title}");
+        let mut t = Table::new(&["telemetry", "count"]);
+        self.rows(&mut t);
+        t.print();
+    }
+}
+
+impl TelemetrySink for TelemetrySummary {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::RequestSubmitted { .. } => self.submitted += 1,
+            TelemetryEvent::RequestCompleted { .. } => self.completed += 1,
+            TelemetryEvent::RetrySent { .. } => self.retries += 1,
+            TelemetryEvent::RequestKilled { .. } => self.killed += 1,
+            TelemetryEvent::RebootBegun { level, .. } => {
+                self.reboots_begun[level_index(level)] += 1;
+            }
+            TelemetryEvent::RebootFinished { level, .. } => {
+                self.reboots_finished[level_index(level)] += 1;
+            }
+            TelemetryEvent::DetectorFired { .. } => self.detector_fires += 1,
+            TelemetryEvent::RecoveryDecision { .. } => self.decisions += 1,
+            TelemetryEvent::RejuvenationTick { .. } => self.rejuvenation_ticks += 1,
+            TelemetryEvent::ClientOp { .. } => self.client_ops += 1,
+            TelemetryEvent::ActionClosed { .. } => self.actions_closed += 1,
+        }
     }
 }
 

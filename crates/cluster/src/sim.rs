@@ -12,11 +12,12 @@
 use ebid::{catalog, DatasetSpec, EBid};
 use faults::Fault;
 use recovery::{RecoveryAction, RecoveryManager, RmConfig};
-use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
+use simcore::telemetry::{SharedBus, TelemetryEvent};
 use simcore::{EventQueue, SimDuration, SimTime};
 use statestore::Ssm;
 use urb_core::backend::{share_db, share_ssm, SessionBackend};
-use urb_core::server::RebootId;
+use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
+use urb_core::server::{RebootId, RebootLevel};
 use urb_core::{AppServer, ReqId, Response, ServerConfig, SubmitOutcome};
 use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind};
 
@@ -142,6 +143,7 @@ pub struct World {
     pub rejuv: Vec<Option<RejuvenationService>>,
     failover: bool,
     drain: Option<SimDuration>,
+    bus: Option<SharedBus>,
 }
 
 impl World {
@@ -243,6 +245,16 @@ impl World {
 
     fn on_rejuv_poll(&mut self, node: usize, period: SimDuration, q: &mut EventQueue<World>) {
         let now = q.now();
+        if matches!(self.rejuv.get(node), Some(Some(_))) {
+            let free = self.nodes[node].available_memory();
+            if let Some(bus) = &self.bus {
+                bus.borrow_mut().emit(&TelemetryEvent::RejuvenationTick {
+                    node,
+                    free_bytes: free,
+                    at: now,
+                });
+            }
+        }
         if let Some(Some(service)) = self.rejuv.get_mut(node) {
             // Record the outcome of a finished rejuvenation microreboot
             // (free memory was sampled after the reboot completed).
@@ -260,11 +272,11 @@ impl World {
                     });
                     let id = ticket.id;
                     q.schedule_at(ticket.crash_at, "rejuv-crash", move |w, q| {
-                        w.on_urb_crash(node, id, q);
+                        w.on_recovery_crash(node, id, q);
                     });
                     q.schedule_at(ticket.done_at, "rejuv-done", move |w, q| {
                         let t = q.now();
-                        let members = w.nodes[node].microreboot_complete(id, t);
+                        let members = w.nodes[node].recovery_complete(id, t);
                         let free = w.nodes[node].available_memory();
                         if let Some(Some(service)) = w.rejuv.get_mut(node) {
                             service.record_completion(free);
@@ -296,10 +308,7 @@ impl World {
         let now = q.now();
         if self.rm.is_some() {
             for node in 0..self.nodes.len() {
-                let action = self
-                    .rm
-                    .as_mut()
-                    .and_then(|rm| rm.decide(node, now));
+                let action = self.rm.as_mut().and_then(|rm| rm.decide(node, now));
                 if let Some(action) = action {
                     self.execute_action(node, action, q);
                 }
@@ -322,26 +331,33 @@ impl World {
         }
     }
 
-    fn on_urb_crash(&mut self, node: usize, id: RebootId, q: &mut EventQueue<World>) {
+    fn on_recovery_crash(&mut self, node: usize, id: RebootId, q: &mut EventQueue<World>) {
         let now = q.now();
-        let killed = self.nodes[node].microreboot_crash(id, now);
+        let killed = self.nodes[node].recovery_crash(id, now);
         self.schedule_deliveries(node, killed, q);
         self.pump_node(node, q);
     }
 
-    fn on_urb_done(
+    fn on_recovery_done(
         &mut self,
         node: usize,
         id: RebootId,
+        level: RebootLevel,
         started: SimTime,
         q: &mut EventQueue<World>,
     ) {
         let now = q.now();
-        let members = self.nodes[node].microreboot_complete(id, now);
+        let members = self.nodes[node].recovery_complete(id, now);
+        let action = match level {
+            RebootLevel::Component => format!("microreboot {members:?}"),
+            RebootLevel::Application => "app restart".into(),
+            RebootLevel::Process => "process restart".into(),
+            RebootLevel::OperatingSystem => "OS reboot".into(),
+        };
         self.log.push(LogEvent::RecoveryFinished {
             at: now,
             node,
-            action: format!("microreboot {members:?}"),
+            action,
             started,
         });
         self.recovery_finished(node, now);
@@ -350,6 +366,10 @@ impl World {
     }
 
     /// Executes a recovery action on a node (from the RM or an experiment).
+    ///
+    /// One path for every depth: map the action to its [`RebootLevel`],
+    /// begin the recovery through the server's lifecycle API, run (or
+    /// schedule) the crash phase, and schedule the completion.
     pub fn execute_action(
         &mut self,
         node: usize,
@@ -362,90 +382,46 @@ impl World {
             node,
             action: format!("{action:?}"),
         });
-        match action {
-            RecoveryAction::Microreboot { components } => {
-                match self.nodes[node].begin_microreboot(&components, now, self.drain) {
-                    Ok(ticket) => {
-                        self.redirect(node, true);
-                        let id = ticket.id;
-                        q.schedule_at(ticket.crash_at, "urb-crash", move |w, q| {
-                            w.on_urb_crash(node, id, q);
-                        });
-                        q.schedule_at(ticket.done_at, "urb-done", move |w, q| {
-                            w.on_urb_done(node, id, now, q);
-                        });
-                    }
-                    Err(_) => {
-                        // Nothing to do (already rebooting, or process
-                        // down); unblock the manager so it can escalate.
-                        self.recovery_finished(node, now);
-                    }
-                }
-            }
-            RecoveryAction::RestartApp => {
-                let Ok((until, killed)) = self.nodes[node].begin_app_restart(now) else {
-                    // The JVM itself is down: nothing to redeploy. Unblock
-                    // the manager so it escalates.
-                    self.recovery_finished(node, now);
-                    return;
-                };
-                self.schedule_deliveries(node, killed, q);
-                self.redirect(node, true);
-                q.schedule_at(until, "app-restart-done", move |w, q| {
-                    let t = q.now();
-                    w.nodes[node].app_restart_complete(t);
-                    w.log.push(LogEvent::RecoveryFinished {
-                        at: t,
-                        node,
-                        action: "app restart".into(),
-                        started: now,
-                    });
-                    w.recovery_finished(node, t);
-                    w.redirect(node, false);
-                    w.pump_node(node, q);
-                });
-            }
-            RecoveryAction::RestartProcess => {
-                let (until, killed) = self.nodes[node].begin_process_restart(now);
-                self.schedule_deliveries(node, killed, q);
-                self.redirect(node, true);
-                q.schedule_at(until, "jvm-restart-done", move |w, q| {
-                    let t = q.now();
-                    w.nodes[node].process_restart_complete(t);
-                    w.log.push(LogEvent::RecoveryFinished {
-                        at: t,
-                        node,
-                        action: "process restart".into(),
-                        started: now,
-                    });
-                    w.recovery_finished(node, t);
-                    w.redirect(node, false);
-                    w.pump_node(node, q);
-                });
-            }
-            RecoveryAction::RebootOs => {
-                let (until, killed) = self.nodes[node].begin_os_reboot(now);
-                self.schedule_deliveries(node, killed, q);
-                self.redirect(node, true);
-                q.schedule_at(until, "os-reboot-done", move |w, q| {
-                    let t = q.now();
-                    w.nodes[node].os_reboot_complete(t);
-                    w.log.push(LogEvent::RecoveryFinished {
-                        at: t,
-                        node,
-                        action: "OS reboot".into(),
-                        started: now,
-                    });
-                    w.recovery_finished(node, t);
-                    w.redirect(node, false);
-                    w.pump_node(node, q);
-                });
-            }
+        let (level, components) = match action {
+            RecoveryAction::Microreboot { components } => (RebootLevel::Component, components),
+            RecoveryAction::RestartApp => (RebootLevel::Application, Vec::new()),
+            RecoveryAction::RestartProcess => (RebootLevel::Process, Vec::new()),
+            RecoveryAction::RebootOs => (RebootLevel::OperatingSystem, Vec::new()),
             RecoveryAction::NotifyHuman => {
                 self.log.push(LogEvent::HumanNotified { at: now, node });
                 self.recovery_finished(node, now);
+                return;
             }
+        };
+        // The drain window (Table 6) only applies to microreboots; coarse
+        // restarts kill unconditionally.
+        let drain = match level {
+            RebootLevel::Component => self.drain,
+            _ => None,
+        };
+        let ticket = match self.nodes[node].begin_recovery(level, &components, now, drain) {
+            Ok(t) => t,
+            Err(_) => {
+                // Nothing to do (already rebooting, or the process is
+                // down); unblock the manager so it can escalate.
+                self.recovery_finished(node, now);
+                return;
+            }
+        };
+        self.redirect(node, true);
+        let id = ticket.id;
+        if level == RebootLevel::Component {
+            // The crash phase waits out the drain window.
+            q.schedule_at(ticket.crash_at, "recovery-crash", move |w, q| {
+                w.on_recovery_crash(node, id, q);
+            });
+        } else {
+            let killed = self.nodes[node].recovery_crash(id, now);
+            self.schedule_deliveries(node, killed, q);
         }
+        q.schedule_at(ticket.done_at, "recovery-done", move |w, q| {
+            w.on_recovery_done(node, id, level, now, q);
+        });
     }
 }
 
@@ -504,6 +480,7 @@ impl Sim {
             rejuv,
             failover: config.failover,
             drain: config.drain,
+            bus: None,
         };
         let mut queue = EventQueue::new();
         for (client, at) in world.pool.initial_wakes(SimTime::ZERO) {
@@ -512,12 +489,24 @@ impl Sim {
         queue.schedule_at(SimTime::from_secs(1), "maintenance", |w: &mut World, q| {
             w.on_maintenance(q);
         });
-        queue.schedule_at(
-            SimTime::from_millis(300),
-            "rm-poll",
-            |w: &mut World, q| w.on_rm_poll(q),
-        );
+        queue.schedule_at(SimTime::from_millis(300), "rm-poll", |w: &mut World, q| {
+            w.on_rm_poll(q)
+        });
         Sim { world, queue }
+    }
+
+    /// Attaches a telemetry bus to every layer of the simulation: all
+    /// server nodes, the recovery manager, the client pool, and the
+    /// world's own rejuvenation ticks all emit into `bus`.
+    pub fn attach_telemetry(&mut self, bus: SharedBus) {
+        for node in &mut self.world.nodes {
+            node.attach_telemetry(bus.clone());
+        }
+        if let Some(rm) = &mut self.world.rm {
+            rm.attach_telemetry(bus.clone());
+        }
+        self.world.pool.attach_telemetry(bus.clone());
+        self.world.bus = Some(bus);
     }
 
     /// Returns the current simulated time.

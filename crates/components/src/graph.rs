@@ -270,12 +270,9 @@ mod tests {
 
     #[test]
     fn group_membership_is_symmetric_and_transitive() {
-        let graph = DependencyGraph::build(&[
-            d("A", &[], &["B"]),
-            d("B", &[], &["C"]),
-            d("C", &[], &[]),
-        ])
-        .unwrap();
+        let graph =
+            DependencyGraph::build(&[d("A", &[], &["B"]), d("B", &[], &["C"]), d("C", &[], &[])])
+                .unwrap();
         let a = graph.id_of("A").unwrap();
         let c = graph.id_of("C").unwrap();
         assert_eq!(graph.recovery_group(a), graph.recovery_group(c));
@@ -321,8 +318,7 @@ mod tests {
 
     #[test]
     fn deploy_order_handles_cycles() {
-        let graph =
-            DependencyGraph::build(&[d("A", &["B"], &[]), d("B", &["A"], &[])]).unwrap();
+        let graph = DependencyGraph::build(&[d("A", &["B"], &[]), d("B", &["A"], &[])]).unwrap();
         let order = graph.deploy_order();
         assert_eq!(order.len(), 2, "cycle still deploys every component");
     }

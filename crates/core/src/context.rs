@@ -458,11 +458,7 @@ impl<'a> CallContext<'a> {
         let _ = self.inner.db.borrow_mut().taint_row(table, pk);
         self.tainted = true;
         self.taint_propagates = true;
-        let updates: Vec<(usize, Value)> = row
-            .into_iter()
-            .enumerate()
-            .skip(1)
-            .collect();
+        let updates: Vec<(usize, Value)> = row.into_iter().enumerate().skip(1).collect();
         self.db_update(table, pk, &updates)?;
         Ok(true)
     }

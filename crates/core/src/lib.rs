@@ -8,9 +8,14 @@
 //! without disturbing the rest of the application — plus the machinery the
 //! paper's evaluation exercises:
 //!
-//! * [`server::AppServer`] — containers, naming, worker pool, request
-//!   lifecycle, the microreboot / app-restart / process-restart / OS-reboot
-//!   recovery actions, and the fault-injection hooks of Section 5.1,
+//! * [`server::AppServer`] — the composition root: containers, naming,
+//!   the request execution path and the fault-injection hooks of
+//!   Section 5.1,
+//! * [`pipeline::RequestPipeline`] — admission, execution bookkeeping and
+//!   the kill paths,
+//! * [`lifecycle::RecoveryLifecycle`] — one state machine over every
+//!   recovery depth (microreboot / app restart / process restart / OS
+//!   reboot), driven by [`RebootLevel`](server::RebootLevel),
 //! * [`context::CallContext`] — the capability handle application code
 //!   runs against (component calls, transactions, session state),
 //! * [`rejuvenation::RejuvenationService`] — rolling microrejuvenation
@@ -27,7 +32,9 @@ pub mod backend;
 pub mod calib;
 pub mod context;
 pub mod heap;
+pub mod lifecycle;
 pub mod microcheckpoint;
+pub mod pipeline;
 pub mod rejuvenation;
 pub mod request;
 pub mod server;

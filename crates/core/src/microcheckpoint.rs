@@ -136,7 +136,7 @@ mod tests {
                 }
             }
             done += 1;
-            if done % interval == 0 {
+            if done.is_multiple_of(interval) {
                 store.checkpoint(task, done, SimTime::from_secs(done));
             }
         }

@@ -1,32 +1,32 @@
 //! The microreboot-enabled application server.
 //!
 //! [`AppServer`] hosts one crash-only [`Application`] on one simulated
-//! node. It owns the containers, the naming registry, the worker pool, the
-//! heap model and the request lifecycle, and implements the paper's
-//! recovery actions:
+//! node. Since the layered decomposition it is a thin composition of three
+//! collaborating layers plus the shared internals:
 //!
-//! * **Microreboot** (Section 3.2) — destroy all instances of the target
-//!   component(s) and their recovery-group closure, kill their shepherding
-//!   threads, abort their transactions, release their resources, discard
-//!   their container metadata, then reinstantiate and reinitialize —
-//!   binding a sentinel in the naming service meanwhile so callers can be
-//!   told `Retry-After` (Section 6.2). The classloader is preserved.
-//! * **Application restart** — stop and redeploy every component.
-//! * **Process (JVM) restart** — `kill -9` plus full server
-//!   reinitialization; in-process session state (FastS) is lost.
-//! * **OS reboot** — the recursive policy's last resort.
+//! * [`RequestPipeline`](crate::pipeline::RequestPipeline) — admission,
+//!   execution bookkeeping and the kill paths (`crate::pipeline`);
+//! * [`RecoveryLifecycle`](crate::lifecycle::RecoveryLifecycle) — one
+//!   state machine over every recovery depth, from microreboot to OS
+//!   reboot (`crate::lifecycle`);
+//! * the telemetry bus (`simcore::telemetry`) — every observable fact is
+//!   emitted as a [`TelemetryEvent`]; [`ServerStats`] is just a
+//!   [`TelemetrySink`] folding events into counters.
+//!
+//! This module keeps the request *execution* path (submit → pump →
+//! execute → complete), fault injection, maintenance, and the shared
+//! [`ServerInner`] that `CallContext` works against.
 //!
 //! The server is a *passive* state machine over simulated time: every
 //! method takes `now`, and methods that start timed work return the instant
 //! it finishes so the caller (the cluster simulation) can schedule the
 //! follow-up call. This keeps the server synchronously testable.
 
-use std::collections::HashMap;
-
 use components::container::Container;
 use components::descriptor::ComponentId;
 use components::graph::DependencyGraph;
 use components::registry::{Binding, NamingRegistry};
+use simcore::telemetry::{Disposition, KillCause, SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimRng, SimTime};
 use statestore::db::ConnId;
 use statestore::session::{CorruptKind, SessionId};
@@ -37,63 +37,11 @@ use crate::backend::{SessionBackend, SharedDb};
 use crate::calib;
 use crate::context::{CallContext, HangKind};
 use crate::heap::HeapModel;
+use crate::pipeline::{HungReq, RequestPipeline, RunningReq};
 use crate::request::{BodyMarkers, OpCode, ReqId, Request, Response, Status};
-use crate::workers::WorkerPool;
 
-/// How deep a reboot reaches (the recursive recovery policy's levels).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub enum RebootLevel {
-    /// Microreboot of one or more components (EJBs or the WAR).
-    Component,
-    /// Restart of the whole application inside the running server.
-    Application,
-    /// Restart of the JVM process (and the server in it).
-    Process,
-    /// Reboot of the operating system.
-    OperatingSystem,
-}
-
-impl RebootLevel {
-    /// Returns the next-coarser level, or `None` after OS reboot.
-    pub fn escalate(self) -> Option<RebootLevel> {
-        match self {
-            RebootLevel::Component => Some(RebootLevel::Application),
-            RebootLevel::Application => Some(RebootLevel::Process),
-            RebootLevel::Process => Some(RebootLevel::OperatingSystem),
-            RebootLevel::OperatingSystem => None,
-        }
-    }
-}
-
-/// Identifier of an in-flight microreboot.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-pub struct RebootId(u64);
-
-/// Whole-process availability state.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ProcState {
-    /// Serving requests.
-    Up,
-    /// The application is restarting inside the live server.
-    AppRestarting {
-        /// When the restart completes.
-        until: SimTime,
-    },
-    /// The JVM process is restarting.
-    JvmRestarting {
-        /// When the restart completes.
-        until: SimTime,
-    },
-    /// The node's operating system is rebooting.
-    OsRebooting {
-        /// When the reboot (including JVM start) completes.
-        until: SimTime,
-    },
-    /// The JVM died of heap exhaustion; waiting for a restart.
-    DownOom,
-    /// The JVM crashed (e.g., register bit flip); waiting for a restart.
-    Crashed,
-}
+pub use crate::lifecycle::{ProcState, RebootId, RebootTicket, RecoveryLifecycle};
+pub use simcore::telemetry::RebootLevel;
 
 /// Low-level faults injected underneath the application (the FIG /
 /// FAUmachine layer of Section 5.1).
@@ -200,6 +148,10 @@ impl std::fmt::Display for RebootError {
 impl std::error::Error for RebootError {}
 
 /// Lifetime counters of one server.
+///
+/// Since the telemetry refactor this is a pure [`TelemetrySink`]: nothing
+/// mutates these fields directly; the server emits [`TelemetryEvent`]s and
+/// this fold turns them into counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerStats {
     /// Requests submitted to this node.
@@ -228,28 +180,30 @@ pub struct ServerStats {
     pub os_reboots: u64,
 }
 
-/// A request in service: handler already executed, completion scheduled.
-struct RunningReq {
-    req: Request,
-    response: Response,
-    touched: Vec<ComponentId>,
-    txn: Option<TxnId>,
-}
-
-/// A hung request: thread stuck inside a component.
-struct HungReq {
-    req: Request,
-    component: ComponentId,
-    since: SimTime,
-    txn: Option<TxnId>,
-}
-
-struct ActiveReboot {
-    id: RebootId,
-    members: Vec<ComponentId>,
-    crash_at: SimTime,
-    crashed: bool,
-    done_at: SimTime,
+impl TelemetrySink for ServerStats {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::RequestSubmitted { .. } => self.submitted += 1,
+            TelemetryEvent::RequestCompleted { disposition, .. } => match disposition {
+                Disposition::Ok => self.ok += 1,
+                Disposition::HttpError => self.http_errors += 1,
+                Disposition::NetworkError => self.network_errors += 1,
+            },
+            TelemetryEvent::RetrySent { .. } => self.retries_sent += 1,
+            TelemetryEvent::RequestKilled { cause, .. } => match cause {
+                KillCause::Microreboot => self.killed_by_microreboot += 1,
+                KillCause::Restart => self.killed_by_restart += 1,
+                KillCause::Ttl => self.ttl_kills += 1,
+            },
+            TelemetryEvent::RebootBegun { level, .. } => match level {
+                RebootLevel::Component => self.microreboots += 1,
+                RebootLevel::Application => self.app_restarts += 1,
+                RebootLevel::Process => self.process_restarts += 1,
+                RebootLevel::OperatingSystem => self.os_reboots += 1,
+            },
+            _ => {}
+        }
+    }
 }
 
 /// A request admitted and started; the caller schedules
@@ -268,17 +222,6 @@ pub enum SubmitOutcome {
     Rejected(Response),
     /// Admitted; call [`AppServer::pump`] to start queued work.
     Admitted,
-}
-
-/// A scheduled recovery action with its phase instants.
-#[derive(Clone, Copy, Debug)]
-pub struct RebootTicket {
-    /// Identifier for the crash/complete calls.
-    pub id: RebootId,
-    /// When the crash phase runs (now, or now+drain).
-    pub crash_at: SimTime,
-    /// When reinitialization completes.
-    pub done_at: SimTime,
 }
 
 /// Server configuration.
@@ -309,35 +252,31 @@ impl Default for ServerConfig {
     }
 }
 
-/// Server internals shared with [`CallContext`].
+/// Server internals shared with [`CallContext`] and the lifecycle layer.
 pub struct ServerInner {
     pub(crate) graph: DependencyGraph,
     pub(crate) containers: Vec<Container>,
     pub(crate) registry: NamingRegistry,
     pub(crate) web_id: ComponentId,
     pub(crate) db: SharedDb,
-    db_conn: Option<ConnId>,
+    pub(crate) db_conn: Option<ConnId>,
     pub(crate) session: SessionBackend,
-    workers: WorkerPool,
-    heap: HeapModel,
-    rng: SimRng,
-    lowlevel: Option<LowLevelFault>,
-    state: ProcState,
-    running: HashMap<ReqId, RunningReq>,
-    hung: HashMap<ReqId, HungReq>,
-    reboots: Vec<ActiveReboot>,
+    pub(crate) heap: HeapModel,
+    pub(crate) rng: SimRng,
+    pub(crate) lowlevel: Option<LowLevelFault>,
+    pub(crate) node: usize,
     next_session: u64,
-    next_reboot: u64,
-    retry_enabled: bool,
-    intra_leak_rate: u64,
-    extra_leak_rate: u64,
+    pub(crate) retry_enabled: bool,
+    pub(crate) intra_leak_rate: u64,
+    pub(crate) extra_leak_rate: u64,
     /// Per-invocation leak rates that survive reboots: the leak is a bug
     /// in the component's *code*, so a reboot reclaims the leaked memory
     /// but the fresh instances leak again (the premise of Section 6.4's
     /// rejuvenation experiments).
-    persistent_leaks: Vec<(&'static str, u64)>,
+    pub(crate) persistent_leaks: Vec<(&'static str, u64)>,
     last_maintenance: SimTime,
     stats: ServerStats,
+    bus: Option<SharedBus>,
 }
 
 impl ServerInner {
@@ -353,7 +292,7 @@ impl ServerInner {
         }
     }
 
-    fn reapply_persistent_leaks(&mut self) {
+    pub(crate) fn reapply_persistent_leaks(&mut self) {
         for (name, bytes) in &self.persistent_leaks {
             if let Some(id) = self.graph.id_of(name) {
                 self.containers[id.0].faults.leak_per_call = *bytes;
@@ -366,19 +305,26 @@ impl ServerInner {
         SessionId(self.next_session)
     }
 
-    fn component_heap_bytes(&self) -> u64 {
+    pub(crate) fn component_heap_bytes(&self) -> u64 {
         self.containers.iter().map(|c| c.heap_bytes()).sum()
     }
 
-    fn is_up(&self) -> bool {
-        self.state == ProcState::Up
+    /// Folds `ev` into this node's counters and forwards it to the
+    /// attached bus, if any. The single exit point for server telemetry.
+    pub(crate) fn emit(&mut self, ev: TelemetryEvent) {
+        self.stats.on_event(&ev);
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut().emit(&ev);
+        }
     }
 }
 
 /// A microreboot-enabled application server hosting application `A`.
 pub struct AppServer<A: Application> {
-    app: A,
-    inner: ServerInner,
+    pub(crate) app: A,
+    pub(crate) inner: ServerInner,
+    pub(crate) pipeline: RequestPipeline,
+    pub(crate) lifecycle: RecoveryLifecycle,
 }
 
 impl<A: Application> AppServer<A> {
@@ -418,24 +364,28 @@ impl<A: Application> AppServer<A> {
                 db,
                 db_conn: None,
                 session,
-                workers: WorkerPool::new(config.cpus, config.threads),
                 heap: HeapModel::new(calib::HEAP_CAPACITY, calib::SERVER_BASE_BYTES),
                 rng: SimRng::seed_from(config.seed),
                 lowlevel: None,
-                state: ProcState::Up,
-                running: HashMap::new(),
-                hung: HashMap::new(),
-                reboots: Vec::new(),
+                node: config.node,
                 next_session: u64::from(config.node as u32) << 32,
-                next_reboot: 0,
                 retry_enabled: config.retry_enabled,
                 intra_leak_rate: 0,
                 extra_leak_rate: 0,
                 persistent_leaks: Vec::new(),
                 last_maintenance: SimTime::ZERO,
                 stats: ServerStats::default(),
+                bus: None,
             },
+            pipeline: RequestPipeline::new(config.cpus, config.threads),
+            lifecycle: RecoveryLifecycle::new(),
         }
+    }
+
+    /// Attaches a telemetry bus: every event this server emits is
+    /// forwarded to it (in addition to updating the local counters).
+    pub fn attach_telemetry(&mut self, bus: SharedBus) {
+        self.inner.bus = Some(bus);
     }
 
     // ---- queries ---------------------------------------------------------
@@ -457,12 +407,12 @@ impl<A: Application> AppServer<A> {
 
     /// Returns the process availability state.
     pub fn state(&self) -> ProcState {
-        self.inner.state
+        self.lifecycle.state()
     }
 
     /// Returns true if the process is up and serving.
     pub fn is_up(&self) -> bool {
-        self.inner.is_up()
+        self.lifecycle.is_up()
     }
 
     /// Returns the dependency graph.
@@ -510,27 +460,26 @@ impl<A: Application> AppServer<A> {
 
     /// Returns the number of requests currently queued for a CPU.
     pub fn queued(&self) -> usize {
-        self.inner.workers.queued()
+        self.pipeline.queued()
     }
 
     /// Returns the number of hung requests.
     pub fn hung(&self) -> usize {
-        self.inner.hung.len()
+        self.pipeline.hung_count()
     }
 
     /// Returns the in-flight microreboots as `(members, crash_at, done_at)`.
     pub fn active_microreboots(&self) -> Vec<(Vec<&'static str>, SimTime, SimTime)> {
-        self.inner
-            .reboots
-            .iter()
-            .map(|r| {
+        self.lifecycle
+            .component_reboots()
+            .map(|(members, crash_at, done_at)| {
                 (
-                    r.members
+                    members
                         .iter()
                         .map(|m| self.inner.graph.name_of(*m))
                         .collect(),
-                    r.crash_at,
-                    r.done_at,
+                    crash_at,
+                    done_at,
                 )
             })
             .collect()
@@ -538,17 +487,25 @@ impl<A: Application> AppServer<A> {
 
     // ---- request lifecycle -------------------------------------------
 
-    fn instant_response(
+    pub(crate) fn instant_response(
         &mut self,
         req: &Request,
         now: SimTime,
         status: Status,
         exception: bool,
     ) -> Response {
-        match status {
-            Status::NetworkError | Status::TimedOut => self.inner.stats.network_errors += 1,
-            Status::ServerError(_) | Status::ClientError(_) => self.inner.stats.http_errors += 1,
-            _ => {}
+        let disposition = match status {
+            Status::NetworkError | Status::TimedOut => Some(Disposition::NetworkError),
+            Status::ServerError(_) | Status::ClientError(_) => Some(Disposition::HttpError),
+            _ => None,
+        };
+        if let Some(disposition) = disposition {
+            self.inner.emit(TelemetryEvent::RequestCompleted {
+                node: self.inner.node,
+                req: req.id.0,
+                disposition,
+                at: now,
+            });
         }
         Response {
             req: req.id,
@@ -568,8 +525,12 @@ impl<A: Application> AppServer<A> {
 
     /// Submits a request to the node.
     pub fn submit(&mut self, req: Request, now: SimTime) -> SubmitOutcome {
-        self.inner.stats.submitted += 1;
-        match self.inner.state {
+        self.inner.emit(TelemetryEvent::RequestSubmitted {
+            node: self.inner.node,
+            req: req.id.0,
+            at: now,
+        });
+        match self.lifecycle.state() {
             ProcState::Up => {}
             ProcState::AppRestarting { .. } => {
                 // JBoss is alive but the application is gone: plain 503.
@@ -581,7 +542,7 @@ impl<A: Application> AppServer<A> {
                 return SubmitOutcome::Rejected(r);
             }
         }
-        match self.inner.workers.admit(req.clone()) {
+        match self.pipeline.admit(req.clone()) {
             Ok(()) => SubmitOutcome::Admitted,
             Err(_) => {
                 let r = self.instant_response(&req, now, Status::ServerError(503), false);
@@ -595,12 +556,12 @@ impl<A: Application> AppServer<A> {
     /// The caller schedules [`AppServer::complete`] at each
     /// [`Started::cpu_done_at`].
     pub fn pump(&mut self, now: SimTime) -> Vec<Started> {
-        if !self.inner.is_up() {
+        if !self.lifecycle.is_up() {
             return Vec::new();
         }
         let mut started = Vec::new();
         loop {
-            let batch = self.inner.workers.start_ready();
+            let batch = self.pipeline.start_ready();
             if batch.is_empty() {
                 break;
             }
@@ -635,7 +596,7 @@ impl<A: Application> AppServer<A> {
         if oom_prob > 0.0 && self.inner.rng.chance(oom_prob) {
             let resp = self.instant_response(&req, now, Status::ServerError(500), true);
             let id = req.id;
-            self.inner.running.insert(
+            self.pipeline.record_running(
                 id,
                 RunningReq {
                     req,
@@ -654,9 +615,9 @@ impl<A: Application> AppServer<A> {
         // overload collapse super-linear in real servers.
         let congestion = 1.0
             + calib::CONGESTION_MAX_FACTOR
-                .min(self.inner.workers.queued() as f64 / calib::CONGESTION_QUEUE_SCALE);
+                .min(self.pipeline.queued() as f64 / calib::CONGESTION_QUEUE_SCALE);
         let base = self.app.base_cost(req.op);
-        let AppServer { app, inner } = self;
+        let AppServer { app, inner, .. } = self;
         let mut ctx = CallContext::new(inner, now, req.session, req.arg);
         ctx.charge(base);
         let result = if web_active {
@@ -721,12 +682,9 @@ impl<A: Application> AppServer<A> {
         match result {
             Err(CallError::Hang) => {
                 let (component, kind) = hang.expect("hang error carries its component");
-                match kind {
-                    HangKind::Park => self.inner.workers.park(req.id),
-                    HangKind::Hog => self.inner.workers.hog(req.id),
-                }
-                self.inner.hung.insert(
+                self.pipeline.record_hung(
                     req.id,
+                    kind,
                     HungReq {
                         req,
                         component,
@@ -745,7 +703,11 @@ impl<A: Application> AppServer<A> {
                     }
                     Err(CallError::Retry(d)) => {
                         if self.inner.retry_enabled && req.idempotent {
-                            self.inner.stats.retries_sent += 1;
+                            self.inner.emit(TelemetryEvent::RetrySent {
+                                node: self.inner.node,
+                                req: req.id.0,
+                                at: now,
+                            });
                             (Status::RetryAfter(d), false)
                         } else {
                             (Status::ServerError(503), false)
@@ -786,7 +748,7 @@ impl<A: Application> AppServer<A> {
                     clear_cookie,
                 };
                 let id = req.id;
-                self.inner.running.insert(
+                self.pipeline.record_running(
                     id,
                     RunningReq {
                         req,
@@ -807,26 +769,29 @@ impl<A: Application> AppServer<A> {
     ///
     /// Returns `None` if the request was killed in the meantime (its
     /// failure response was already produced by the killer).
-    pub fn complete(&mut self, id: ReqId, _now: SimTime) -> Option<Response> {
-        let rr = self.inner.running.remove(&id)?;
-        self.inner.workers.complete(id);
+    pub fn complete(&mut self, id: ReqId, now: SimTime) -> Option<Response> {
+        let rr = self.pipeline.finish(id)?;
         if let Some(t) = rr.txn {
             let mut db = self.inner.db.borrow_mut();
             if db.txn_active(t) {
                 let _ = db.commit(t);
             }
         }
-        match rr.response.status {
-            Status::Ok | Status::RetryAfter(_) => self.inner.stats.ok += 1,
-            Status::ServerError(_) | Status::ClientError(_) => self.inner.stats.http_errors += 1,
-            Status::NetworkError | Status::TimedOut => self.inner.stats.network_errors += 1,
-        }
+        let disposition = match rr.response.status {
+            Status::Ok | Status::RetryAfter(_) => Disposition::Ok,
+            Status::ServerError(_) | Status::ClientError(_) => Disposition::HttpError,
+            Status::NetworkError | Status::TimedOut => Disposition::NetworkError,
+        };
+        self.inner.emit(TelemetryEvent::RequestCompleted {
+            node: self.inner.node,
+            req: id.0,
+            disposition,
+            at: now,
+        });
         Some(rr.response)
     }
 
-    // ---- microreboot machinery ---------------------------------------
-
-    fn killed_response(req: &Request, now: SimTime, during: &'static str) -> Response {
+    pub(crate) fn killed_response(req: &Request, now: SimTime, during: &'static str) -> Response {
         Response {
             req: req.id,
             op: req.op,
@@ -841,351 +806,6 @@ impl<A: Application> AppServer<A> {
             set_cookie: None,
             clear_cookie: false,
         }
-    }
-
-    /// Begins a microreboot of `targets` (component names), expanded to
-    /// their recovery groups.
-    ///
-    /// Sentinels are bound immediately; the crash phase runs at
-    /// `now + drain` (the caller invokes [`AppServer::microreboot_crash`]
-    /// there) and reinitialization completes at the ticket's `done_at`
-    /// (the caller invokes [`AppServer::microreboot_complete`]).
-    pub fn begin_microreboot(
-        &mut self,
-        targets: &[&str],
-        now: SimTime,
-        drain: Option<SimDuration>,
-    ) -> Result<RebootTicket, RebootError> {
-        if !self.inner.is_up() {
-            return Err(RebootError::ProcessNotUp);
-        }
-        let mut members: Vec<ComponentId> = Vec::new();
-        for t in targets {
-            let id = self
-                .inner
-                .graph
-                .id_of(t)
-                .ok_or_else(|| RebootError::UnknownComponent(t.to_string()))?;
-            for m in self.inner.graph.recovery_group(id) {
-                if !members.contains(m) {
-                    members.push(*m);
-                }
-            }
-        }
-        // Skip components already mid-microreboot.
-        members.retain(|m| {
-            !self
-                .inner
-                .reboots
-                .iter()
-                .any(|r| r.members.contains(m))
-        });
-        if members.is_empty() {
-            return Err(RebootError::AlreadyRebooting);
-        }
-        members.sort_unstable();
-        // Group cost: the slowest member plus a per-extra-member increment
-        // (Table 3's EntityGroup amortization), with trial jitter.
-        let n = members.len() as u64;
-        let crash = members
-            .iter()
-            .map(|m| self.inner.containers[m.0].descriptor.crash_cost)
-            .fold(SimDuration::ZERO, SimDuration::max)
-            + calib::GROUP_EXTRA_CRASH * (n - 1);
-        let reinit_base = members
-            .iter()
-            .map(|m| self.inner.containers[m.0].descriptor.reinit_cost)
-            .fold(SimDuration::ZERO, SimDuration::max)
-            + calib::GROUP_EXTRA_REINIT * (n - 1);
-        let reinit = self.inner.rng.jittered(reinit_base, calib::REINIT_JITTER);
-        let crash_at = now + drain.unwrap_or(SimDuration::ZERO);
-        let done_at = crash_at + crash + reinit;
-        // Bind sentinels now: new callers see Retry-After for the whole
-        // window (Section 6.2 binds the sentinel before the reboot).
-        for m in &members {
-            let name = self.inner.graph.name_of(*m);
-            self.inner.registry.bind(
-                name,
-                Binding::Sentinel {
-                    retry_after: calib::RETRY_AFTER,
-                },
-            );
-        }
-        self.inner.next_reboot += 1;
-        let id = RebootId(self.inner.next_reboot);
-        self.inner.reboots.push(ActiveReboot {
-            id,
-            members,
-            crash_at,
-            crashed: false,
-            done_at,
-        });
-        self.inner.stats.microreboots += 1;
-        Ok(RebootTicket {
-            id,
-            crash_at,
-            done_at,
-        })
-    }
-
-    /// Runs the crash phase of a microreboot: destroys the member
-    /// containers and kills the threads shepherding requests inside them.
-    ///
-    /// Returns the failure responses of the killed requests (the caller
-    /// delivers them to the clients).
-    pub fn microreboot_crash(&mut self, id: RebootId, now: SimTime) -> Vec<Response> {
-        let Some(pos) = self.inner.reboots.iter().position(|r| r.id == id) else {
-            return Vec::new();
-        };
-        if self.inner.reboots[pos].crashed {
-            return Vec::new();
-        }
-        self.inner.reboots[pos].crashed = true;
-        let members = self.inner.reboots[pos].members.clone();
-        let mut killed = Vec::new();
-        // Kill running requests that touched a member and have not yet
-        // completed.
-        let victim_ids: Vec<ReqId> = self
-            .inner
-            .running
-            .iter()
-            .filter(|(_, rr)| rr.touched.iter().any(|t| members.contains(t)))
-            .map(|(id, _)| *id)
-            .collect();
-        for rid in sorted(victim_ids) {
-            let rr = self.inner.running.remove(&rid).expect("victim exists");
-            self.inner.workers.kill(rid);
-            if let Some(t) = rr.txn {
-                let mut db = self.inner.db.borrow_mut();
-                if db.txn_active(t) {
-                    let _ = db.rollback(t);
-                }
-            }
-            let during = self.inner.graph.name_of(members[0]);
-            killed.push(Self::killed_response(&rr.req, now, during));
-            self.inner.stats.killed_by_microreboot += 1;
-        }
-        // Kill hung requests stuck inside a member.
-        let hung_ids: Vec<ReqId> = self
-            .inner
-            .hung
-            .iter()
-            .filter(|(_, h)| members.contains(&h.component))
-            .map(|(id, _)| *id)
-            .collect();
-        for rid in sorted(hung_ids) {
-            let h = self.inner.hung.remove(&rid).expect("victim exists");
-            self.inner.workers.kill(rid);
-            if let Some(t) = h.txn {
-                let mut db = self.inner.db.borrow_mut();
-                if db.txn_active(t) {
-                    let _ = db.rollback(t);
-                }
-            }
-            let during = self.inner.graph.name_of(h.component);
-            killed.push(Self::killed_response(&h.req, now, during));
-            self.inner.stats.killed_by_microreboot += 1;
-        }
-        // Destroy the containers (reclaims leaks, discards metadata).
-        for m in &members {
-            self.inner.containers[m.0].crash();
-            self.inner.containers[m.0].begin_start();
-        }
-        killed
-    }
-
-    /// Completes a microreboot: reinitializes the member containers and
-    /// rebinds their names. Returns the member names.
-    pub fn microreboot_complete(&mut self, id: RebootId, now: SimTime) -> Vec<&'static str> {
-        let Some(pos) = self.inner.reboots.iter().position(|r| r.id == id) else {
-            return Vec::new();
-        };
-        let reboot = self.inner.reboots.remove(pos);
-        debug_assert!(reboot.crashed, "crash phase must run before complete");
-        let mut names = Vec::with_capacity(reboot.members.len());
-        for m in &reboot.members {
-            let name = self.inner.graph.name_of(*m);
-            self.inner.containers[m.0].complete_start(now);
-            self.inner.registry.bind(name, Binding::Active(*m));
-            self.app.on_component_reinit(name);
-            names.push(name);
-        }
-        if reboot.members.contains(&self.inner.web_id) {
-            // The web tier revalidates in-process session state as it
-            // reinitializes, evicting objects that fail application checks.
-            let AppServer { app, inner } = self;
-            inner.session.revalidate(|obj| app.session_valid(obj));
-        }
-        // A leak that is a code bug resumes in the fresh instances.
-        self.inner.reapply_persistent_leaks();
-        names
-    }
-
-    // ---- coarser reboots -----------------------------------------------
-
-    fn kill_everything(&mut self, now: SimTime, network_level: bool) -> Vec<Response> {
-        let mut killed = Vec::new();
-        let ids = self.inner.workers.kill_all();
-        for rid in ids {
-            let (req, txn) = if let Some(rr) = self.inner.running.remove(&rid) {
-                (rr.req, rr.txn)
-            } else if let Some(h) = self.inner.hung.remove(&rid) {
-                (h.req, h.txn)
-            } else {
-                // Queued, never started: synthesize from the worker's copy
-                // being gone — the kill_all drained it, so skip txn work.
-                continue;
-            };
-            if let Some(t) = txn {
-                let mut db = self.inner.db.borrow_mut();
-                if db.txn_active(t) {
-                    let _ = db.rollback(t);
-                }
-            }
-            let resp = if network_level {
-                self.instant_response(&req, now, Status::NetworkError, false)
-            } else {
-                Self::killed_response(&req, now, "restart")
-            };
-            killed.push(resp);
-            self.inner.stats.killed_by_restart += 1;
-        }
-        // Anything left in running/hung (queued copies already drained).
-        let leftover: Vec<ReqId> = self
-            .inner
-            .running
-            .keys()
-            .chain(self.inner.hung.keys())
-            .copied()
-            .collect();
-        for rid in sorted(leftover) {
-            let (req, txn) = if let Some(rr) = self.inner.running.remove(&rid) {
-                (rr.req, rr.txn)
-            } else {
-                let h = self.inner.hung.remove(&rid).expect("key came from hung");
-                (h.req, h.txn)
-            };
-            if let Some(t) = txn {
-                let mut db = self.inner.db.borrow_mut();
-                if db.txn_active(t) {
-                    let _ = db.rollback(t);
-                }
-            }
-            let resp = if network_level {
-                self.instant_response(&req, now, Status::NetworkError, false)
-            } else {
-                Self::killed_response(&req, now, "restart")
-            };
-            killed.push(resp);
-            self.inner.stats.killed_by_restart += 1;
-        }
-        killed
-    }
-
-    /// Restarts the whole application in place (level 3 of the recursive
-    /// policy). Returns the completion instant and the killed requests'
-    /// responses.
-    ///
-    /// Fails when the JVM itself is down — a dead process cannot redeploy
-    /// an application; the caller must escalate to a process restart.
-    pub fn begin_app_restart(
-        &mut self,
-        now: SimTime,
-    ) -> Result<(SimTime, Vec<Response>), RebootError> {
-        if !matches!(self.inner.state, ProcState::Up) {
-            return Err(RebootError::ProcessNotUp);
-        }
-        let killed = self.kill_everything(now, false);
-        self.inner.reboots.clear();
-        for c in &mut self.inner.containers {
-            c.full_stop();
-        }
-        for id in self.inner.graph.all_ids() {
-            self.inner.registry.unbind(self.inner.graph.name_of(id));
-        }
-        let until = now + calib::APP_RESTART_CRASH + calib::APP_RESTART_REINIT;
-        self.inner.state = ProcState::AppRestarting { until };
-        self.inner.stats.app_restarts += 1;
-        Ok((until, killed))
-    }
-
-    /// Completes an application restart.
-    pub fn app_restart_complete(&mut self, now: SimTime) {
-        for id in self.inner.graph.all_ids() {
-            let c = &mut self.inner.containers[id.0];
-            c.begin_start();
-            c.complete_start(now);
-            self.inner
-                .registry
-                .bind(self.inner.graph.name_of(id), Binding::Active(id));
-            self.app.on_component_reinit(self.inner.graph.name_of(id));
-        }
-        let AppServer { app, inner } = self;
-        inner.session.revalidate(|obj| app.session_valid(obj));
-        self.inner.reapply_persistent_leaks();
-        self.inner.state = ProcState::Up;
-    }
-
-    /// `kill -9`s the JVM and begins a process restart.
-    ///
-    /// In-process session state (FastS) is lost; the OS tears down the
-    /// database connections, releasing any locks (Section 7).
-    pub fn begin_process_restart(&mut self, now: SimTime) -> (SimTime, Vec<Response>) {
-        let killed = self.kill_everything(now, true);
-        self.inner.reboots.clear();
-        for c in &mut self.inner.containers {
-            c.full_stop();
-        }
-        for id in self.inner.graph.all_ids() {
-            self.inner.registry.unbind(self.inner.graph.name_of(id));
-        }
-        if let Some(conn) = self.inner.db_conn.take() {
-            let _ = self.inner.db.borrow_mut().close_conn(conn);
-        }
-        self.inner.session.on_process_restart();
-        self.inner.heap.on_process_restart();
-        self.inner.lowlevel = None;
-        self.inner.intra_leak_rate = 0;
-        let until = now + calib::JVM_CRASH + calib::JVM_SERVICES_INIT + calib::JVM_APP_DEPLOY;
-        self.inner.state = ProcState::JvmRestarting { until };
-        self.inner.stats.process_restarts += 1;
-        (until, killed)
-    }
-
-    /// Completes a process restart.
-    pub fn process_restart_complete(&mut self, now: SimTime) {
-        for id in self.inner.graph.all_ids() {
-            let c = &mut self.inner.containers[id.0];
-            c.begin_start();
-            c.complete_start(now);
-            self.inner
-                .registry
-                .bind(self.inner.graph.name_of(id), Binding::Active(id));
-        }
-        self.app.on_process_restart();
-        self.inner.reapply_persistent_leaks();
-        self.inner.state = ProcState::Up;
-    }
-
-    /// Reboots the node's operating system (the recursive policy's last
-    /// resort). Clears even extra-JVM leaks.
-    pub fn begin_os_reboot(&mut self, now: SimTime) -> (SimTime, Vec<Response>) {
-        let (_, killed) = self.begin_process_restart(now);
-        self.inner.heap.on_os_reboot();
-        self.inner.extra_leak_rate = 0;
-        let until =
-            now + calib::OS_REBOOT + calib::JVM_SERVICES_INIT + calib::JVM_APP_DEPLOY;
-        self.inner.state = ProcState::OsRebooting { until };
-        self.inner.stats.os_reboots += 1;
-        // begin_process_restart counted one restart; attribute it to the
-        // OS reboot instead.
-        self.inner.stats.process_restarts -= 1;
-        (until, killed)
-    }
-
-    /// Completes an OS reboot.
-    pub fn os_reboot_complete(&mut self, now: SimTime) {
-        self.process_restart_complete(now);
     }
 
     // ---- maintenance ---------------------------------------------------
@@ -1210,31 +830,27 @@ impl<A: Application> AppServer<A> {
                 .leak_extra_jvm((self.inner.extra_leak_rate as f64 * secs) as u64);
         }
         let mut out = Vec::new();
-        if !self.inner.is_up() {
+        if !self.lifecycle.is_up() {
             return out;
         }
         // TTL purge of stuck requests (Section 2's leased execution time).
-        let expired: Vec<ReqId> = self
-            .inner
-            .hung
-            .iter()
-            .filter(|(_, h)| now - h.since >= calib::REQUEST_TTL)
-            .map(|(id, _)| *id)
-            .collect();
-        for rid in sorted(expired) {
-            let h = self.inner.hung.remove(&rid).expect("victim exists");
-            self.inner.workers.kill(rid);
-            if let Some(t) = h.txn {
+        for v in self.pipeline.take_expired_hung(now, calib::REQUEST_TTL) {
+            if let Some(t) = v.txn {
                 let mut db = self.inner.db.borrow_mut();
                 if db.txn_active(t) {
                     let _ = db.rollback(t);
                 }
             }
-            let mut resp = Self::killed_response(&h.req, now, "ttl");
+            let mut resp = Self::killed_response(&v.req, now, "ttl");
             resp.status = Status::TimedOut;
             resp.markers.exception_text = false;
             out.push(resp);
-            self.inner.stats.ttl_kills += 1;
+            self.inner.emit(TelemetryEvent::RequestKilled {
+                node: self.inner.node,
+                req: v.req.id.0,
+                cause: KillCause::Ttl,
+                at: now,
+            });
         }
         // Heap exhaustion kills the JVM; native/kernel exhaustion kills
         // the host (only an OS reboot recovers the latter).
@@ -1245,7 +861,7 @@ impl<A: Application> AppServer<A> {
             )
         {
             out.extend(self.kill_everything(now, true));
-            self.inner.state = ProcState::DownOom;
+            self.lifecycle.force_state(ProcState::DownOom);
         }
         out
     }
@@ -1280,9 +896,7 @@ impl<A: Application> AppServer<A> {
                     self.inner.containers[i].faults.leak_per_call = bytes_per_call;
                     if persistent {
                         // A code bug: fresh instances leak too.
-                        self.inner
-                            .persistent_leaks
-                            .retain(|(n, _)| *n != component);
+                        self.inner.persistent_leaks.retain(|(n, _)| *n != component);
                         self.inner
                             .persistent_leaks
                             .push((component, bytes_per_call));
@@ -1337,7 +951,7 @@ impl<A: Application> AppServer<A> {
             ServerFault::BitFlipRegisters => {
                 // The process dies on the spot.
                 let killed = self.kill_everything(now, true);
-                self.inner.state = ProcState::Crashed;
+                self.lifecycle.force_state(ProcState::Crashed);
                 return killed;
             }
         }
@@ -1373,11 +987,6 @@ fn ctx_into_parts(ctx: CallContext<'_>) -> CtxParts {
         clear_cookie: ctx.clear_cookie,
         autocommitted: ctx.autocommitted,
     }
-}
-
-fn sorted(mut v: Vec<ReqId>) -> Vec<ReqId> {
-    v.sort_unstable();
-    v
 }
 
 /// Builds a request with defaults for tests and simple callers.

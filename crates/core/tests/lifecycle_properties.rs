@@ -1,0 +1,181 @@
+//! Property-style tests of the recovery lifecycle state machine: the
+//! escalation ladder, coarse-supersedes-finer cancellation, and the
+//! guarantee that no in-flight request survives a microreboot crash.
+
+use simcore::rng::SimRng;
+use simcore::SimTime;
+use statestore::FastS;
+use urb_core::server::{make_request, ProcState, RebootLevel, ServerFault};
+use urb_core::testkit::{ops, ToyApp};
+use urb_core::{share_db, AppServer, ServerConfig, SessionBackend, SubmitOutcome};
+
+fn server() -> AppServer<ToyApp> {
+    let db = share_db(ToyApp::seeded_db(100));
+    AppServer::new(
+        ToyApp::new(),
+        ServerConfig::default(),
+        db,
+        SessionBackend::FastS(FastS::new()),
+    )
+}
+
+/// The recursive recovery ladder is exactly µRB → app restart → process
+/// restart → OS reboot, with no cycles, skips or repeats.
+#[test]
+fn escalation_ladder_matches_paper() {
+    let mut chain = vec![RebootLevel::Component];
+    while let Some(next) = chain.last().unwrap().escalate() {
+        chain.push(next);
+    }
+    assert_eq!(
+        chain,
+        [
+            RebootLevel::Component,
+            RebootLevel::Application,
+            RebootLevel::Process,
+            RebootLevel::OperatingSystem,
+        ],
+        "escalation visits every level once, finest to coarsest"
+    );
+}
+
+/// `supersedes` is the strict order induced by the escalation chain: a
+/// coarser level subsumes every strictly finer one and nothing else.
+#[test]
+fn supersedes_is_strictly_coarser() {
+    let levels = [
+        RebootLevel::Component,
+        RebootLevel::Application,
+        RebootLevel::Process,
+        RebootLevel::OperatingSystem,
+    ];
+    for (i, a) in levels.iter().enumerate() {
+        for (j, b) in levels.iter().enumerate() {
+            assert_eq!(
+                a.supersedes(*b),
+                i > j,
+                "{a:?}.supersedes({b:?}) must mirror ladder depth"
+            );
+        }
+    }
+}
+
+/// Beginning a coarser recovery cancels any active finer one: the
+/// cancelled microreboot's scheduled completion becomes a no-op instead
+/// of resurrecting component state mid-JVM-restart.
+#[test]
+fn coarse_recovery_cancels_active_microreboot() {
+    let mut srv = server();
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    assert_eq!(srv.active_microreboots().len(), 1);
+
+    let (ready, _) = srv.begin_process_restart(t);
+    assert_eq!(
+        srv.active_microreboots().len(),
+        0,
+        "process restart supersedes the in-flight microreboot"
+    );
+
+    // The stale completion fires after the cancel: it must not touch
+    // anything (in particular it must not flip components to Active
+    // while the JVM is still down).
+    let revived = srv.microreboot_complete(ticket.id, ticket.done_at);
+    assert!(revived.is_empty(), "cancelled reboot completes nothing");
+    assert!(matches!(srv.state(), ProcState::JvmRestarting { .. }));
+
+    srv.process_restart_complete(ready);
+    assert!(srv.is_up());
+}
+
+/// Across random interleavings of completed / in-flight / queued
+/// requests, `microreboot_crash` of the Web tier (which every ToyApp
+/// request touches) kills exactly the in-flight set: nothing that was
+/// running or parked survives, and the queue is untouched.
+#[test]
+fn no_inflight_request_survives_web_microreboot_crash() {
+    for seed in 0..12u64 {
+        let mut rng = SimRng::seed_from(0xdead_0000 + seed);
+        let mut srv = server();
+        let t = SimTime::from_secs(1);
+
+        // Half the seeds park some requests via a deadlock in Store.
+        if seed % 2 == 0 {
+            srv.inject(ServerFault::Deadlock { component: "Store" }, t);
+        }
+
+        let mut admitted = Vec::new();
+        for id in 0..30u64 {
+            let op = [ops::GET, ops::PUT, ops::CART_ADD][rng.uniform_usize(3)];
+            let req = make_request(id, op, None, op == ops::GET, 1 + id as i64 % 50, t);
+            match srv.submit(req, t) {
+                SubmitOutcome::Admitted => admitted.push(id),
+                SubmitOutcome::Rejected(_) => {}
+            }
+        }
+        let started = srv.pump(t);
+
+        // Complete a random subset of what started running.
+        let mut completed = Vec::new();
+        for s in &started {
+            if rng.chance(0.5) {
+                srv.complete(s.req, s.cpu_done_at)
+                    .expect("request completes");
+                completed.push(s.req);
+            }
+        }
+
+        let queued_before = srv.queued();
+        let in_flight = admitted.len() - completed.len() - queued_before;
+
+        // Crash Web's recovery group. Running requests all touched Web,
+        // so they die; requests parked in Store's group are *not* cured
+        // by a Web microreboot (a deadlocked Store thread needs a Store
+        // reboot) and must stay accounted for as hung.
+        let ticket = srv.begin_microreboot(&["Web"], t, None).unwrap();
+        let mut killed = srv.microreboot_crash(ticket.id, t);
+        assert_eq!(
+            killed.len() + srv.hung(),
+            in_flight,
+            "seed {seed}: the Web crash kills every running request and \
+             leaves only Store-parked ones"
+        );
+        assert_eq!(
+            srv.queued(),
+            queued_before,
+            "seed {seed}: queued requests never entered a component, so \
+             the crash leaves them alone"
+        );
+
+        // Now crash Store's group (disjoint, so it can run concurrently):
+        // between the two crashes no in-flight request may survive.
+        if srv.hung() > 0 {
+            let t2 = srv.begin_microreboot(&["Store"], t, None).unwrap();
+            killed.extend(srv.microreboot_crash(t2.id, t));
+            srv.microreboot_complete(t2.id, t2.done_at);
+        }
+        assert_eq!(
+            killed.len(),
+            in_flight,
+            "seed {seed}: every running or parked request is killed, \
+             no more, no fewer"
+        );
+        assert_eq!(srv.hung(), 0, "seed {seed}: no parked request survives");
+        for r in &killed {
+            assert!(
+                !completed.contains(&r.req),
+                "seed {seed}: a completed request cannot be killed again"
+            );
+            // The kill already delivered the response; a later complete
+            // for the same id must find nothing.
+            assert!(
+                srv.complete(r.req, ticket.done_at).is_none(),
+                "seed {seed}: killed request {:?} still in the pipeline",
+                r.req
+            );
+        }
+        srv.microreboot_complete(ticket.id, ticket.done_at);
+        assert!(srv.is_up());
+    }
+}

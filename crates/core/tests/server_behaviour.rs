@@ -187,7 +187,9 @@ fn microreboot_kills_overlapping_inflight_and_rolls_back() {
     assert_eq!(row[1], Value::Int(0), "write rolled back");
 
     // Completing the killed request later returns nothing.
-    assert!(srv.complete(started[0].req, started[0].cpu_done_at).is_none());
+    assert!(srv
+        .complete(started[0].req, started[0].cpu_done_at)
+        .is_none());
 }
 
 #[test]
@@ -220,7 +222,10 @@ fn deadlock_hangs_until_microreboot() {
     let req = make_request(1, ops::GET, None, true, 5, t);
     srv.submit(req, t);
     let started = srv.pump(t);
-    assert!(started.is_empty(), "hung request never schedules completion");
+    assert!(
+        started.is_empty(),
+        "hung request never schedules completion"
+    );
     assert_eq!(srv.hung(), 1);
 
     let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
@@ -271,7 +276,10 @@ fn transient_exception_fails_n_calls_then_clears() {
         run_one(&mut srv, 2, ops::GET, None, 5, t).status,
         Status::ServerError(500)
     );
-    assert_eq!(run_one(&mut srv, 3, ops::GET, None, 5, t).status, Status::Ok);
+    assert_eq!(
+        run_one(&mut srv, 3, ops::GET, None, 5, t).status,
+        Status::Ok
+    );
 }
 
 #[test]
@@ -354,7 +362,14 @@ fn process_restart_loses_fasts_sessions() {
     assert_eq!(srv.state(), ProcState::JvmRestarting { until: ready });
 
     // Down: requests fail at the connection level.
-    let r = run_one(&mut srv, 2, ops::GET, None, 5, t + SimDuration::from_secs(5));
+    let r = run_one(
+        &mut srv,
+        2,
+        ops::GET,
+        None,
+        5,
+        t + SimDuration::from_secs(5),
+    );
     assert_eq!(r.status, Status::NetworkError);
 
     srv.process_restart_complete(ready);
@@ -398,7 +413,14 @@ fn app_restart_is_cheaper_than_process_restart_and_keeps_fasts() {
     assert!(dur > SimDuration::from_secs(7) && dur < SimDuration::from_secs(9));
 
     // While the app restarts, JBoss answers 503.
-    let r = run_one(&mut srv, 2, ops::GET, None, 5, t + SimDuration::from_secs(1));
+    let r = run_one(
+        &mut srv,
+        2,
+        ops::GET,
+        None,
+        5,
+        t + SimDuration::from_secs(1),
+    );
     assert_eq!(r.status, Status::ServerError(503));
 
     srv.app_restart_complete(ready);

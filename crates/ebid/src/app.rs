@@ -238,25 +238,19 @@ impl Application for EBid {
                     Ok(())
                 })
             }),
-            codes::BROWSE_ITEMS_IN_CATEGORY => {
-                ctx.call("BrowseCategories", "items_in", |ctx| {
-                    ctx.call("Category", "load", |ctx| {
-                        let cat = ctx.db_read("categories", arg)?;
-                        if cat.is_none() {
-                            ctx.mark_invalid_data();
-                        }
-                        Ok(())
-                    })?;
-                    ctx.call("Item", "load", |ctx| {
-                        ctx.db_scan(
-                            "items",
-                            |r| r[3].as_int() == Some(arg),
-                            25,
-                        )?;
-                        Ok(())
-                    })
+            codes::BROWSE_ITEMS_IN_CATEGORY => ctx.call("BrowseCategories", "items_in", |ctx| {
+                ctx.call("Category", "load", |ctx| {
+                    let cat = ctx.db_read("categories", arg)?;
+                    if cat.is_none() {
+                        ctx.mark_invalid_data();
+                    }
+                    Ok(())
+                })?;
+                ctx.call("Item", "load", |ctx| {
+                    ctx.db_scan("items", |r| r[3].as_int() == Some(arg), 25)?;
+                    Ok(())
                 })
-            }
+            }),
             codes::BROWSE_ITEMS_IN_REGION => ctx.call("BrowseRegions", "items_in", |ctx| {
                 ctx.call("Region", "load", |ctx| {
                     let region = ctx.db_read("regions", arg)?;

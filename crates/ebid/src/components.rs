@@ -71,12 +71,22 @@ pub fn descriptors() -> Vec<ComponentDescriptor> {
         entity("OldItem", &[], 10, 519),
         entity("UserFeedback", &[], 11, 472),
         // --- stateless session beans (Table 3 rows) ---
-        session("AboutMe", &["User", "Item", "Bid", "BuyNow", "UserFeedback"], 9, 542),
+        session(
+            "AboutMe",
+            &["User", "Item", "Bid", "BuyNow", "UserFeedback"],
+            9,
+            542,
+        ),
         session("Authenticate", &["User"], 12, 479),
         session("BrowseCategories", &["Category", "Item"], 11, 400),
         session("BrowseRegions", &["Region", "Item"], 15, 401),
         session("CommitBid", &["IdentityManager", "Bid", "Item"], 8, 525),
-        session("CommitBuyNow", &["IdentityManager", "BuyNow", "Item"], 9, 462),
+        session(
+            "CommitBuyNow",
+            &["IdentityManager", "BuyNow", "Item"],
+            9,
+            462,
+        ),
         session(
             "CommitUserFeedback",
             &["IdentityManager", "UserFeedback", "User"],
@@ -100,8 +110,9 @@ pub fn descriptors() -> Vec<ComponentDescriptor> {
 pub fn methods_of(component: &str) -> &'static [&'static str] {
     match component {
         WAR => &["dispatch"],
-        "Category" | "Region" | "User" | "Item" | "Bid" | "BuyNow" | "OldItem"
-        | "UserFeedback" => &["load", "store"],
+        "Category" | "Region" | "User" | "Item" | "Bid" | "BuyNow" | "OldItem" | "UserFeedback" => {
+            &["load", "store"]
+        }
         "IdentityManager" => &["next_id"],
         "AboutMe" => &["summary"],
         "Authenticate" => &["login", "logout"],
@@ -137,7 +148,10 @@ mod tests {
             .iter()
             .filter(|x| x.kind == ComponentKind::StatelessSessionBean)
             .count();
-        let entities = d.iter().filter(|x| x.kind == ComponentKind::EntityBean).count();
+        let entities = d
+            .iter()
+            .filter(|x| x.kind == ComponentKind::EntityBean)
+            .count();
         assert_eq!(sessions, 17);
         assert_eq!(entities, 9);
     }
@@ -177,11 +191,7 @@ mod tests {
     #[test]
     fn every_component_declares_methods() {
         for d in descriptors() {
-            assert!(
-                !methods_of(d.name).is_empty(),
-                "{} has no methods",
-                d.name
-            );
+            assert!(!methods_of(d.name).is_empty(), "{} has no methods", d.name);
         }
     }
 

@@ -237,7 +237,11 @@ mod tests {
         for o in &c.ops {
             if let ArgKind::Range(lo, hi) = o.arg {
                 assert!(lo >= 1 && hi >= lo, "{}: bad range", o.name);
-                assert!(hi <= spec.bids.max(spec.items), "{}: range too wide", o.name);
+                assert!(
+                    hi <= spec.bids.max(spec.items),
+                    "{}: range too wide",
+                    o.name
+                );
             }
         }
     }

@@ -106,7 +106,11 @@ mod tests {
     fn fresh_keys_are_sequential_from_db_max() {
         let mut k = KeyGen::new();
         assert_eq!(k.next("bids", Some(100)), KeyResult::Fresh(101));
-        assert_eq!(k.next("bids", Some(100)), KeyResult::Fresh(102), "cache warm");
+        assert_eq!(
+            k.next("bids", Some(100)),
+            KeyResult::Fresh(102),
+            "cache warm"
+        );
         // Another node advanced the table: the floor wins over the cache.
         assert_eq!(k.next("bids", Some(999)), KeyResult::Fresh(1000));
         assert_eq!(k.next("items", Some(10)), KeyResult::Fresh(11));

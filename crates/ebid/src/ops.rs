@@ -111,7 +111,15 @@ pub fn call_path(op: OpCode) -> &'static [&'static str] {
         9 => &["WAR", "ViewUserInfo", "User", "UserFeedback"],
         10 => &["WAR", "ViewBidHistory", "Bid", "Item", "User"],
         11 => &["WAR", "ViewItem", "OldItem"],
-        12 => &["WAR", "AboutMe", "User", "Item", "Bid", "BuyNow", "UserFeedback"],
+        12 => &[
+            "WAR",
+            "AboutMe",
+            "User",
+            "Item",
+            "Bid",
+            "BuyNow",
+            "UserFeedback",
+        ],
         13 => &["WAR", "SearchItemsByCategory", "Item"],
         14 => &["WAR", "SearchItemsByRegion", "Item"],
         15 => &["WAR", "Authenticate", "User"],
@@ -122,7 +130,13 @@ pub fn call_path(op: OpCode) -> &'static [&'static str] {
         20 => &["WAR", "LeaveUserFeedback", "User"],
         21 => &["WAR", "CommitBid", "IdentityManager", "Bid", "Item"],
         22 => &["WAR", "CommitBuyNow", "IdentityManager", "BuyNow", "Item"],
-        23 => &["WAR", "CommitUserFeedback", "IdentityManager", "UserFeedback", "User"],
+        23 => &[
+            "WAR",
+            "CommitUserFeedback",
+            "IdentityManager",
+            "UserFeedback",
+            "User",
+        ],
         24 => &["WAR", "RegisterNewItem", "IdentityManager", "Item"],
         _ => &[],
     }

@@ -31,7 +31,7 @@ impl Driver {
 
     fn run(&mut self, op: OpCode, session: Option<SessionId>, arg: i64) -> Response {
         self.next_id += 1;
-        self.now = self.now + simcore::SimDuration::from_millis(100);
+        self.now += simcore::SimDuration::from_millis(100);
         let req = make_request(self.next_id, op, session, true, arg, self.now);
         match self.srv.submit(req, self.now) {
             SubmitOutcome::Rejected(r) => r,
@@ -57,7 +57,9 @@ fn every_operation_succeeds_on_a_healthy_server() {
     let mut sid = d.login(3);
     let spec = DatasetSpec::tiny();
     // Logout last: it tears the session down.
-    let mut order: Vec<_> = ebid::ops::all_ops().filter(|o| *o != codes::LOGOUT).collect();
+    let mut order: Vec<_> = ebid::ops::all_ops()
+        .filter(|o| *o != codes::LOGOUT)
+        .collect();
     order.push(codes::LOGOUT);
     for op in order {
         let arg = match op {
@@ -111,10 +113,18 @@ fn bid_flow_updates_the_database() {
     assert_eq!(r.status, Status::Ok);
 
     let after = db.borrow().read_committed("items", item).unwrap().unwrap();
-    assert_eq!(after[7].as_int().unwrap(), bids_before + 1, "nb_bids bumped");
+    assert_eq!(
+        after[7].as_int().unwrap(),
+        bids_before + 1,
+        "nb_bids bumped"
+    );
     let new_bid = db.borrow().max_pk("bids").unwrap().unwrap();
     assert_eq!(new_bid, max_bid_count + 1, "one bid row inserted");
-    let bid = db.borrow().read_committed("bids", new_bid).unwrap().unwrap();
+    let bid = db
+        .borrow()
+        .read_committed("bids", new_bid)
+        .unwrap()
+        .unwrap();
     assert_eq!(bid[1], Value::Int(2), "bid belongs to the logged-in user");
     assert_eq!(bid[2], Value::Int(item), "bid names the selected item");
 }
@@ -136,14 +146,22 @@ fn feedback_flow_bumps_target_rating() {
     let sid = d.login(1);
     let db = d.srv.db();
     let target = 4i64;
-    let before = db.borrow().read_committed("users", target).unwrap().unwrap()[2]
+    let before = db
+        .borrow()
+        .read_committed("users", target)
+        .unwrap()
+        .unwrap()[2]
         .as_int()
         .unwrap();
     let r = d.run(codes::LEAVE_USER_FEEDBACK, Some(sid), target);
     assert_eq!(r.status, Status::Ok);
     let r = d.run(codes::COMMIT_USER_FEEDBACK, Some(sid), target);
     assert_eq!(r.status, Status::Ok);
-    let after = db.borrow().read_committed("users", target).unwrap().unwrap()[2]
+    let after = db
+        .borrow()
+        .read_committed("users", target)
+        .unwrap()
+        .unwrap()[2]
         .as_int()
         .unwrap();
     assert_eq!(after, before + 1);
@@ -187,10 +205,23 @@ fn corrupt_keygen_null_fails_all_writes() {
     let mut d = Driver::new();
     let sid = d.login(1);
     d.srv.app_mut().corrupt_keygen(CorruptKind::SetNull);
-    for op in [codes::COMMIT_BID, codes::REGISTER_NEW_ITEM, codes::REGISTER_NEW_USER] {
-        let session = if op == codes::REGISTER_NEW_USER { None } else { Some(sid) };
+    for op in [
+        codes::COMMIT_BID,
+        codes::REGISTER_NEW_ITEM,
+        codes::REGISTER_NEW_USER,
+    ] {
+        let session = if op == codes::REGISTER_NEW_USER {
+            None
+        } else {
+            Some(sid)
+        };
         let r = d.run(op, session, 3);
-        assert_eq!(r.status, Status::ServerError(500), "{}", ebid::ops::name_of(op));
+        assert_eq!(
+            r.status,
+            Status::ServerError(500),
+            "{}",
+            ebid::ops::name_of(op)
+        );
     }
     // Reads are unaffected.
     let r = d.run(codes::VIEW_ITEM, Some(sid), 3);

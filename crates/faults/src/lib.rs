@@ -167,7 +167,14 @@ pub fn table2_catalogue() -> Vec<CatalogueRow> {
         manual_repair,
     };
     vec![
-        row("Deadlock", Fault::Deadlock { component: "MakeBid" }, Ejb, false),
+        row(
+            "Deadlock",
+            Fault::Deadlock {
+                component: "MakeBid",
+            },
+            Ejb,
+            false,
+        ),
         row(
             "Infinite loop",
             Fault::InfiniteLoop {
@@ -199,7 +206,12 @@ pub fn table2_catalogue() -> Vec<CatalogueRow> {
             Ejb,
             false,
         ),
-        row("Corrupt primary keys (null)", Fault::CorruptPrimaryKeys { kind: SetNull }, Ejb, false),
+        row(
+            "Corrupt primary keys (null)",
+            Fault::CorruptPrimaryKeys { kind: SetNull },
+            Ejb,
+            false,
+        ),
         row(
             "Corrupt primary keys (invalid)",
             Fault::CorruptPrimaryKeys { kind: SetInvalid },
@@ -295,16 +307,36 @@ pub fn table2_catalogue() -> Vec<CatalogueRow> {
             EjbWar,
             true,
         ),
-        row("Corrupt FastS data (null)", Fault::CorruptFastS { kind: SetNull }, War, false),
+        row(
+            "Corrupt FastS data (null)",
+            Fault::CorruptFastS { kind: SetNull },
+            War,
+            false,
+        ),
         row(
             "Corrupt FastS data (invalid)",
             Fault::CorruptFastS { kind: SetInvalid },
             War,
             false,
         ),
-        row("Corrupt FastS data (wrong)", Fault::CorruptFastS { kind: SetWrong }, War, true),
-        row("Corrupt SSM data (bit flips)", Fault::CorruptSsm, ChecksumDiscard, false),
-        row("Corrupt MySQL data", Fault::CorruptDb { kind: SetWrong }, TableRepair, true),
+        row(
+            "Corrupt FastS data (wrong)",
+            Fault::CorruptFastS { kind: SetWrong },
+            War,
+            true,
+        ),
+        row(
+            "Corrupt SSM data (bit flips)",
+            Fault::CorruptSsm,
+            ChecksumDiscard,
+            false,
+        ),
+        row(
+            "Corrupt MySQL data",
+            Fault::CorruptDb { kind: SetWrong },
+            TableRepair,
+            true,
+        ),
         row(
             "Memory leak outside app (intra-JVM)",
             Fault::MemLeakIntraJvm {
@@ -321,9 +353,24 @@ pub fn table2_catalogue() -> Vec<CatalogueRow> {
             OsKernel,
             false,
         ),
-        row("Bit flips in process memory", Fault::BitFlipMemory, Jvm, true),
-        row("Bit flips in process registers", Fault::BitFlipRegisters, Jvm, true),
-        row("Bad system call return values", Fault::BadSyscalls, Jvm, false),
+        row(
+            "Bit flips in process memory",
+            Fault::BitFlipMemory,
+            Jvm,
+            true,
+        ),
+        row(
+            "Bit flips in process registers",
+            Fault::BitFlipRegisters,
+            Jvm,
+            true,
+        ),
+        row(
+            "Bad system call return values",
+            Fault::BadSyscalls,
+            Jvm,
+            false,
+        ),
     ]
 }
 
@@ -371,8 +418,7 @@ pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<
             // store until they time out, and corrupting those would be
             // invisible.
             if let Some(fasts) = server.session_mut().fasts_mut() {
-                let victims: Vec<_> =
-                    fasts.session_ids().into_iter().rev().take(25).collect();
+                let victims: Vec<_> = fasts.session_ids().into_iter().rev().take(25).collect();
                 for id in victims {
                     fasts.corrupt(id, kind);
                 }
@@ -418,7 +464,10 @@ pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<
 pub fn microreboot_curable(row: &CatalogueRow) -> bool {
     matches!(
         row.expected,
-        ExpectedLevel::Unnecessary | ExpectedLevel::Ejb | ExpectedLevel::EjbWar | ExpectedLevel::War
+        ExpectedLevel::Unnecessary
+            | ExpectedLevel::Ejb
+            | ExpectedLevel::EjbWar
+            | ExpectedLevel::War
     )
 }
 

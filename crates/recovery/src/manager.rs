@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use simcore::telemetry::{DecisionKind, SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimTime};
 use urb_core::OpCode;
 use workload::detect::{FailureKind, FailureReport};
@@ -73,6 +74,9 @@ impl Default for RmConfig {
 }
 
 /// Lifetime counters.
+///
+/// A pure [`TelemetrySink`]: the manager emits [`TelemetryEvent`]s and
+/// this fold turns them into counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RmStats {
     /// Reports received.
@@ -89,6 +93,23 @@ pub struct RmStats {
     pub os_reboots: u64,
     /// Human notifications raised.
     pub human_notifications: u64,
+}
+
+impl TelemetrySink for RmStats {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match event {
+            TelemetryEvent::DetectorFired { .. } => self.reports += 1,
+            TelemetryEvent::RecoveryDecision { decision, .. } => match decision {
+                DecisionKind::EjbMicroreboot => self.ejb_microreboots += 1,
+                DecisionKind::WarMicroreboot => self.war_microreboots += 1,
+                DecisionKind::AppRestart => self.app_restarts += 1,
+                DecisionKind::ProcessRestart => self.process_restarts += 1,
+                DecisionKind::OsReboot => self.os_reboots += 1,
+                DecisionKind::NotifyHuman => self.human_notifications += 1,
+            },
+            _ => {}
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -143,6 +164,7 @@ pub struct RecoveryManager {
     web: &'static str,
     nodes: Vec<NodeDiag>,
     stats: RmStats,
+    bus: Option<SharedBus>,
 }
 
 impl RecoveryManager {
@@ -157,14 +179,34 @@ impl RecoveryManager {
             config,
             path_of,
             web,
-            nodes: (0..nodes).map(|_| NodeDiag::new(config.start_level)).collect(),
+            nodes: (0..nodes)
+                .map(|_| NodeDiag::new(config.start_level))
+                .collect(),
             stats: RmStats::default(),
+            bus: None,
         }
+    }
+
+    /// Attaches a telemetry bus: every event the manager emits is
+    /// forwarded to it (in addition to updating the local counters).
+    pub fn attach_telemetry(&mut self, bus: SharedBus) {
+        self.bus = Some(bus);
     }
 
     /// Returns lifetime counters.
     pub fn stats(&self) -> RmStats {
         self.stats
+    }
+
+    /// Folds `ev` into the counters and forwards it to the bus.
+    ///
+    /// An associated function over the split fields so it composes with a
+    /// live `&mut self.nodes[..]` borrow in [`RecoveryManager::decide`].
+    fn emit(stats: &mut RmStats, bus: &Option<SharedBus>, ev: TelemetryEvent) {
+        stats.on_event(&ev);
+        if let Some(bus) = bus {
+            bus.borrow_mut().emit(&ev);
+        }
     }
 
     /// Returns the node's current ladder rung.
@@ -174,7 +216,15 @@ impl RecoveryManager {
 
     /// Ingests one failure report from a monitor.
     pub fn report(&mut self, r: &FailureReport) {
-        self.stats.reports += 1;
+        Self::emit(
+            &mut self.stats,
+            &self.bus,
+            TelemetryEvent::DetectorFired {
+                node: r.node,
+                op: r.op.0,
+                at: r.at,
+            },
+        );
         let Some(diag) = self.nodes.get_mut(r.node) else {
             return;
         };
@@ -314,8 +364,8 @@ impl RecoveryManager {
         // enough (or show enough connection-level failures); summing over
         // a whole path would let one failed request trip the threshold.
         let max_score = scores.values().copied().fold(0.0, f64::max);
-        let enough = max_score >= config.score_threshold
-            || network_reports as f64 >= config.score_threshold;
+        let enough =
+            max_score >= config.score_threshold || network_reports as f64 >= config.score_threshold;
         if !enough {
             return None;
         }
@@ -332,7 +382,15 @@ impl RecoveryManager {
         diag.episode_ends
             .retain(|e| now - *e <= config.recurrence_window);
         if diag.episode_ends.len() as u32 >= config.recurrence_limit {
-            self.stats.human_notifications += 1;
+            Self::emit(
+                &mut self.stats,
+                &self.bus,
+                TelemetryEvent::RecoveryDecision {
+                    node,
+                    decision: DecisionKind::NotifyHuman,
+                    at: now,
+                },
+            );
             diag.recovering = true;
             return Some(RecoveryAction::NotifyHuman);
         }
@@ -341,46 +399,41 @@ impl RecoveryManager {
         if network_reports > other_reports && diag.level < PolicyLevel::Process {
             diag.level = PolicyLevel::Process;
         }
-        let action = match diag.level {
-            PolicyLevel::Ejb => {
-                match Self::pick_suspect(&failing_ops, &scores, path_of, web) {
-                    Some(comp) => {
-                        self.stats.ejb_microreboots += 1;
-                        RecoveryAction::Microreboot {
-                            components: vec![comp],
-                        }
-                    }
-                    None => {
-                        self.stats.war_microreboots += 1;
-                        RecoveryAction::Microreboot {
-                            components: vec![web],
-                        }
-                    }
-                }
-            }
-            PolicyLevel::War => {
-                self.stats.war_microreboots += 1;
+        let (action, decision) = match diag.level {
+            PolicyLevel::Ejb => match Self::pick_suspect(&failing_ops, &scores, path_of, web) {
+                Some(comp) => (
+                    RecoveryAction::Microreboot {
+                        components: vec![comp],
+                    },
+                    DecisionKind::EjbMicroreboot,
+                ),
+                None => (
+                    RecoveryAction::Microreboot {
+                        components: vec![web],
+                    },
+                    DecisionKind::WarMicroreboot,
+                ),
+            },
+            PolicyLevel::War => (
                 RecoveryAction::Microreboot {
                     components: vec![web],
-                }
-            }
-            PolicyLevel::App => {
-                self.stats.app_restarts += 1;
-                RecoveryAction::RestartApp
-            }
-            PolicyLevel::Process => {
-                self.stats.process_restarts += 1;
-                RecoveryAction::RestartProcess
-            }
-            PolicyLevel::Os => {
-                self.stats.os_reboots += 1;
-                RecoveryAction::RebootOs
-            }
-            PolicyLevel::Human => {
-                self.stats.human_notifications += 1;
-                RecoveryAction::NotifyHuman
-            }
+                },
+                DecisionKind::WarMicroreboot,
+            ),
+            PolicyLevel::App => (RecoveryAction::RestartApp, DecisionKind::AppRestart),
+            PolicyLevel::Process => (RecoveryAction::RestartProcess, DecisionKind::ProcessRestart),
+            PolicyLevel::Os => (RecoveryAction::RebootOs, DecisionKind::OsReboot),
+            PolicyLevel::Human => (RecoveryAction::NotifyHuman, DecisionKind::NotifyHuman),
         };
+        Self::emit(
+            &mut self.stats,
+            &self.bus,
+            TelemetryEvent::RecoveryDecision {
+                node,
+                decision,
+                at: now,
+            },
+        );
         diag.recovering = true;
         Some(action)
     }

@@ -214,15 +214,9 @@ mod tests {
     fn events_fire_in_time_order() {
         let mut q: EventQueue<Vec<u32>> = EventQueue::new();
         let mut world = Vec::new();
-        q.schedule_at(SimTime::from_secs(3), "c", |w: &mut Vec<u32>, _| {
-            w.push(3)
-        });
-        q.schedule_at(SimTime::from_secs(1), "a", |w: &mut Vec<u32>, _| {
-            w.push(1)
-        });
-        q.schedule_at(SimTime::from_secs(2), "b", |w: &mut Vec<u32>, _| {
-            w.push(2)
-        });
+        q.schedule_at(SimTime::from_secs(3), "c", |w: &mut Vec<u32>, _| w.push(3));
+        q.schedule_at(SimTime::from_secs(1), "a", |w: &mut Vec<u32>, _| w.push(1));
+        q.schedule_at(SimTime::from_secs(2), "b", |w: &mut Vec<u32>, _| w.push(2));
         q.run_to_completion(&mut world);
         assert_eq!(world, vec![1, 2, 3]);
         assert_eq!(q.events_fired(), 3);

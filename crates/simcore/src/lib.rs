@@ -8,7 +8,10 @@
 //! * [`SimRng`] — a seeded random source with the distributions the paper's
 //!   workload needs (capped exponential think times, weighted choices),
 //! * [`stats`] — histograms, per-second time series and summary statistics
-//!   used to regenerate the paper's tables and figures.
+//!   used to regenerate the paper's tables and figures,
+//! * [`telemetry`] — the cross-crate structured-event bus: every layer of
+//!   the stack emits [`TelemetryEvent`]s and counters are
+//!   [`TelemetrySink`] implementations over them.
 //!
 //! Everything is single-threaded and fully deterministic: a simulation run is
 //! a pure function of its seed and parameters, which is what lets the
@@ -39,8 +42,13 @@
 pub mod event;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
+pub use telemetry::{
+    shared_bus, DecisionKind, Disposition, KillCause, RebootLevel, SharedBus, TelemetryBus,
+    TelemetryEvent, TelemetrySink, TraceHashSink,
+};
 pub use time::{SimDuration, SimTime};

@@ -6,12 +6,13 @@
 //! seconds capped at 70 seconds (after TPC-W), and Markov-chain transitions
 //! with hand-chosen weights; both are provided here.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::time::SimDuration;
 
 /// A deterministic random source for simulation runs.
+///
+/// The generator is a self-contained xoshiro256++ (public-domain algorithm
+/// by Blackman & Vigna) seeded through SplitMix64, so the simulation has no
+/// external randomness dependency and a run is a pure function of its seed.
 ///
 /// # Examples
 ///
@@ -23,15 +24,43 @@ use crate::time::SimDuration;
 /// assert_eq!(a.uniform_u64(100), b.uniform_u64(100));
 /// ```
 pub struct SimRng {
-    inner: StdRng,
+    state: [u64; 4],
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
+        let mut x = seed;
         SimRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+                splitmix64(&mut x),
+            ],
         }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Derives an independent child generator.
@@ -39,7 +68,7 @@ impl SimRng {
     /// Useful for giving each simulated client or node its own stream so
     /// that adding one entity does not perturb every other entity's draws.
     pub fn fork(&mut self) -> SimRng {
-        SimRng::seed_from(self.inner.gen())
+        SimRng::seed_from(self.next_u64())
     }
 
     /// Returns a uniformly distributed value in `[0, bound)`.
@@ -49,7 +78,9 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn uniform_u64(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_u64 bound must be positive");
-        self.inner.gen_range(0..bound)
+        // Lemire's multiply-shift reduction; the bias is at most 2^-64 per
+        // draw, far below anything a simulation statistic can observe.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
     }
 
     /// Returns a uniformly distributed `usize` in `[0, bound)`.
@@ -58,13 +89,13 @@ impl SimRng {
     ///
     /// Panics if `bound` is zero.
     pub fn uniform_usize(&mut self, bound: usize) -> usize {
-        assert!(bound > 0, "uniform_usize bound must be positive");
-        self.inner.gen_range(0..bound)
+        self.uniform_u64(bound as u64) as usize
     }
 
     /// Returns a uniformly distributed `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // The top 53 bits give a uniform dyadic rational in [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns true with probability `p` (clamped to `[0, 1]`).
@@ -172,9 +203,7 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         let mean = SimDuration::from_secs(7);
         let n = 20_000;
-        let total: f64 = (0..n)
-            .map(|_| rng.exponential(mean).as_secs_f64())
-            .sum();
+        let total: f64 = (0..n).map(|_| rng.exponential(mean).as_secs_f64()).sum();
         let observed = total / n as f64;
         assert!(
             (observed - 7.0).abs() < 0.2,

@@ -8,8 +8,6 @@
 
 use std::collections::BTreeMap;
 
-use serde::Serialize;
-
 use crate::time::{SimDuration, SimTime};
 
 /// Streaming summary statistics over `f64` samples.
@@ -206,7 +204,7 @@ pub struct SecondSeries {
 }
 
 /// One dense row of a [`SecondSeries`].
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct SeriesRow {
     /// The second index this row covers.
     pub second: u64,
@@ -309,7 +307,11 @@ mod tests {
 
     #[test]
     fn histogram_buckets_and_threshold() {
-        let mut h = Histogram::new(SimDuration::from_millis(10), 10, SimDuration::from_millis(50));
+        let mut h = Histogram::new(
+            SimDuration::from_millis(10),
+            10,
+            SimDuration::from_millis(50),
+        );
         h.record(SimDuration::from_millis(5)); // bucket 0
         h.record(SimDuration::from_millis(15)); // bucket 1
         h.record(SimDuration::from_millis(95)); // bucket 9, over threshold

@@ -1,0 +1,546 @@
+//! Cross-crate telemetry: structured events and pluggable sinks.
+//!
+//! Every layer of the reproduction — the application server's request
+//! pipeline, the reboot lifecycle, the recovery manager, the rejuvenation
+//! service and the client emulator — describes what happened as a
+//! [`TelemetryEvent`] and hands it to a [`TelemetrySink`]. Counters
+//! (`ServerStats`, `RmStats`, Taw accounting) are sink *implementations*
+//! downstream of the events rather than ad-hoc `+= 1` sites, so a run's
+//! event stream is the single source of truth for everything the
+//! experiment harness reports.
+//!
+//! A [`TelemetryBus`] fans events out to any number of boxed sinks; the
+//! simulation shares one bus per run via [`SharedBus`]. Because
+//! `Rc<RefCell<S>>` itself implements [`TelemetrySink`], a test or
+//! experiment can keep a handle to a sink (say a [`TraceHashSink`]) while
+//! a clone of the handle lives inside the bus.
+//!
+//! Events carry only plain scalar fields and have a canonical byte
+//! encoding ([`TelemetryEvent::encode_into`]), which makes a run's trace
+//! hashable: two runs are behaviourally identical iff their
+//! [`TraceHashSink`] digests match.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// How deep a reboot reaches (the recursive recovery policy's levels).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum RebootLevel {
+    /// Microreboot of one or more components (EJBs or the WAR).
+    Component,
+    /// Restart of the whole application inside the running server.
+    Application,
+    /// Restart of the JVM process (and the server in it).
+    Process,
+    /// Reboot of the operating system.
+    OperatingSystem,
+}
+
+impl RebootLevel {
+    /// Returns the next-coarser level, or `None` after OS reboot.
+    pub fn escalate(self) -> Option<RebootLevel> {
+        match self {
+            RebootLevel::Component => Some(RebootLevel::Application),
+            RebootLevel::Application => Some(RebootLevel::Process),
+            RebootLevel::Process => Some(RebootLevel::OperatingSystem),
+            RebootLevel::OperatingSystem => None,
+        }
+    }
+
+    /// Returns true if a recovery at `self` subsumes one at `finer` —
+    /// i.e. `finer` reaches `self` by repeated [`RebootLevel::escalate`].
+    pub fn supersedes(self, finer: RebootLevel) -> bool {
+        let mut level = finer;
+        while let Some(next) = level.escalate() {
+            if next == self {
+                return true;
+            }
+            level = next;
+        }
+        false
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            RebootLevel::Component => 0,
+            RebootLevel::Application => 1,
+            RebootLevel::Process => 2,
+            RebootLevel::OperatingSystem => 3,
+        }
+    }
+}
+
+/// How an accounted response left the server.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Disposition {
+    /// 2xx (or an honoured `Retry-After`).
+    Ok,
+    /// 4xx/5xx.
+    HttpError,
+    /// Connection-level failure or timeout.
+    NetworkError,
+}
+
+impl Disposition {
+    fn code(self) -> u8 {
+        match self {
+            Disposition::Ok => 0,
+            Disposition::HttpError => 1,
+            Disposition::NetworkError => 2,
+        }
+    }
+}
+
+/// What killed an in-flight request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum KillCause {
+    /// A microreboot's thread kill.
+    Microreboot,
+    /// An app/process/OS restart's kill-everything.
+    Restart,
+    /// The server's request-TTL lease sweep.
+    Ttl,
+}
+
+impl KillCause {
+    fn code(self) -> u8 {
+        match self {
+            KillCause::Microreboot => 0,
+            KillCause::Restart => 1,
+            KillCause::Ttl => 2,
+        }
+    }
+}
+
+/// Which rung of the recursive policy the recovery manager chose.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecisionKind {
+    /// Microreboot of a diagnosed EJB.
+    EjbMicroreboot,
+    /// Microreboot of the web component.
+    WarMicroreboot,
+    /// Whole-application restart.
+    AppRestart,
+    /// JVM process restart.
+    ProcessRestart,
+    /// Operating-system reboot.
+    OsReboot,
+    /// Automated recovery exhausted; page a human.
+    NotifyHuman,
+}
+
+impl DecisionKind {
+    fn code(self) -> u8 {
+        match self {
+            DecisionKind::EjbMicroreboot => 0,
+            DecisionKind::WarMicroreboot => 1,
+            DecisionKind::AppRestart => 2,
+            DecisionKind::ProcessRestart => 3,
+            DecisionKind::OsReboot => 4,
+            DecisionKind::NotifyHuman => 5,
+        }
+    }
+}
+
+/// One structured event from anywhere in the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TelemetryEvent {
+    /// A request arrived at a node.
+    RequestSubmitted {
+        /// Node it arrived at.
+        node: usize,
+        /// Request id.
+        req: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// A response was accounted (at rejection, or at delivery).
+    RequestCompleted {
+        /// Serving node.
+        node: usize,
+        /// Request id.
+        req: u64,
+        /// Outcome class.
+        disposition: Disposition,
+        /// When.
+        at: SimTime,
+    },
+    /// A `Retry-After` was answered from a sentinel binding.
+    RetrySent {
+        /// Serving node.
+        node: usize,
+        /// Request id.
+        req: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// An in-flight request was killed.
+    RequestKilled {
+        /// Node it died on.
+        node: usize,
+        /// Request id.
+        req: u64,
+        /// Who killed it.
+        cause: KillCause,
+        /// When.
+        at: SimTime,
+    },
+    /// A recovery action's destructive phase was scheduled/begun.
+    RebootBegun {
+        /// Target node.
+        node: usize,
+        /// Reboot depth.
+        level: RebootLevel,
+        /// Component-group size (0 for coarse levels).
+        members: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// A recovery action finished reinitializing.
+    RebootFinished {
+        /// Target node.
+        node: usize,
+        /// Reboot depth.
+        level: RebootLevel,
+        /// Wall-clock (simulated) begin-to-done span.
+        duration: SimDuration,
+        /// When.
+        at: SimTime,
+    },
+    /// A client-side failure detector reported to the recovery manager.
+    DetectorFired {
+        /// Implicated node.
+        node: usize,
+        /// Failing operation code.
+        op: u16,
+        /// When.
+        at: SimTime,
+    },
+    /// The recovery manager committed to an action.
+    RecoveryDecision {
+        /// Target node.
+        node: usize,
+        /// Chosen rung.
+        decision: DecisionKind,
+        /// When.
+        at: SimTime,
+    },
+    /// The rejuvenation service polled a node's free memory.
+    RejuvenationTick {
+        /// Polled node.
+        node: usize,
+        /// Free heap observed.
+        free_bytes: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// The client emulator recorded one operation under an open action.
+    ClientOp {
+        /// Owning user action.
+        action: u64,
+        /// Functional group code (see `workload::catalog`).
+        group: u8,
+        /// When the operation was first sent.
+        started_at: SimTime,
+        /// When its response arrived.
+        finished_at: SimTime,
+        /// Whether the detectors saw it succeed.
+        ok: bool,
+    },
+    /// The client emulator closed a user action (Taw attribution point).
+    ActionClosed {
+        /// The closed action.
+        action: u64,
+    },
+}
+
+impl TelemetryEvent {
+    /// Appends the event's canonical byte encoding (tag byte, then each
+    /// field little-endian, times as microseconds) to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        fn put_u64(buf: &mut Vec<u8>, v: u64) {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        fn put_time(buf: &mut Vec<u8>, t: SimTime) {
+            put_u64(buf, t.as_micros());
+        }
+        match *self {
+            TelemetryEvent::RequestSubmitted { node, req, at } => {
+                buf.push(0);
+                put_u64(buf, node as u64);
+                put_u64(buf, req);
+                put_time(buf, at);
+            }
+            TelemetryEvent::RequestCompleted {
+                node,
+                req,
+                disposition,
+                at,
+            } => {
+                buf.push(1);
+                put_u64(buf, node as u64);
+                put_u64(buf, req);
+                buf.push(disposition.code());
+                put_time(buf, at);
+            }
+            TelemetryEvent::RetrySent { node, req, at } => {
+                buf.push(2);
+                put_u64(buf, node as u64);
+                put_u64(buf, req);
+                put_time(buf, at);
+            }
+            TelemetryEvent::RequestKilled {
+                node,
+                req,
+                cause,
+                at,
+            } => {
+                buf.push(3);
+                put_u64(buf, node as u64);
+                put_u64(buf, req);
+                buf.push(cause.code());
+                put_time(buf, at);
+            }
+            TelemetryEvent::RebootBegun {
+                node,
+                level,
+                members,
+                at,
+            } => {
+                buf.push(4);
+                put_u64(buf, node as u64);
+                buf.push(level.code());
+                put_u64(buf, u64::from(members));
+                put_time(buf, at);
+            }
+            TelemetryEvent::RebootFinished {
+                node,
+                level,
+                duration,
+                at,
+            } => {
+                buf.push(5);
+                put_u64(buf, node as u64);
+                buf.push(level.code());
+                put_u64(buf, duration.as_micros());
+                put_time(buf, at);
+            }
+            TelemetryEvent::DetectorFired { node, op, at } => {
+                buf.push(6);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(op));
+                put_time(buf, at);
+            }
+            TelemetryEvent::RecoveryDecision { node, decision, at } => {
+                buf.push(7);
+                put_u64(buf, node as u64);
+                buf.push(decision.code());
+                put_time(buf, at);
+            }
+            TelemetryEvent::RejuvenationTick {
+                node,
+                free_bytes,
+                at,
+            } => {
+                buf.push(8);
+                put_u64(buf, node as u64);
+                put_u64(buf, free_bytes);
+                put_time(buf, at);
+            }
+            TelemetryEvent::ClientOp {
+                action,
+                group,
+                started_at,
+                finished_at,
+                ok,
+            } => {
+                buf.push(9);
+                put_u64(buf, action);
+                buf.push(group);
+                put_time(buf, started_at);
+                put_time(buf, finished_at);
+                buf.push(u8::from(ok));
+            }
+            TelemetryEvent::ActionClosed { action } => {
+                buf.push(10);
+                put_u64(buf, action);
+            }
+        }
+    }
+}
+
+/// A consumer of telemetry events.
+pub trait TelemetrySink {
+    /// Handles one event. Sinks ignore event kinds they do not care about.
+    fn on_event(&mut self, event: &TelemetryEvent);
+}
+
+/// A shared handle to a sink is itself a sink, so a clone can sit in the
+/// bus while the owner keeps reading it.
+impl<S: TelemetrySink> TelemetrySink for Rc<RefCell<S>> {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        self.borrow_mut().on_event(event);
+    }
+}
+
+/// Fans events out to any number of sinks.
+#[derive(Default)]
+pub struct TelemetryBus {
+    sinks: Vec<Box<dyn TelemetrySink>>,
+}
+
+impl TelemetryBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        TelemetryBus::default()
+    }
+
+    /// Adds a sink; it receives every subsequent event.
+    pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Delivers one event to every sink, in registration order.
+    pub fn emit(&mut self, event: &TelemetryEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(event);
+        }
+    }
+}
+
+/// The bus handle the simulation layers share.
+pub type SharedBus = Rc<RefCell<TelemetryBus>>;
+
+/// Creates an empty shared bus.
+pub fn shared_bus() -> SharedBus {
+    Rc::new(RefCell::new(TelemetryBus::new()))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds every event's canonical encoding into one FNV-1a 64 digest.
+///
+/// Two runs with the same seed and configuration must produce the same
+/// digest; any behavioural divergence changes it.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceHashSink {
+    hash: u64,
+    count: u64,
+}
+
+impl Default for TraceHashSink {
+    fn default() -> Self {
+        TraceHashSink::new()
+    }
+}
+
+impl TraceHashSink {
+    /// Creates an empty digest.
+    pub fn new() -> Self {
+        TraceHashSink {
+            hash: FNV_OFFSET,
+            count: 0,
+        }
+    }
+
+    /// Returns the digest over all events seen so far.
+    pub fn value(&self) -> u64 {
+        self.hash
+    }
+
+    /// Returns how many events were folded in.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl TelemetrySink for TraceHashSink {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        let mut buf = Vec::with_capacity(32);
+        event.encode_into(&mut buf);
+        for b in buf {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(req: u64) -> TelemetryEvent {
+        TelemetryEvent::RequestSubmitted {
+            node: 0,
+            req,
+            at: SimTime::from_secs(req),
+        }
+    }
+
+    #[test]
+    fn escalation_ladder_terminates_at_os() {
+        assert_eq!(
+            RebootLevel::Component.escalate(),
+            Some(RebootLevel::Application)
+        );
+        assert_eq!(
+            RebootLevel::Application.escalate(),
+            Some(RebootLevel::Process)
+        );
+        assert_eq!(
+            RebootLevel::Process.escalate(),
+            Some(RebootLevel::OperatingSystem)
+        );
+        assert_eq!(RebootLevel::OperatingSystem.escalate(), None);
+    }
+
+    #[test]
+    fn supersedes_is_strict_and_transitive() {
+        assert!(RebootLevel::Process.supersedes(RebootLevel::Component));
+        assert!(RebootLevel::OperatingSystem.supersedes(RebootLevel::Component));
+        assert!(!RebootLevel::Component.supersedes(RebootLevel::Component));
+        assert!(!RebootLevel::Component.supersedes(RebootLevel::Process));
+    }
+
+    #[test]
+    fn encoding_distinguishes_fields() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        ev(1).encode_into(&mut a);
+        ev(2).encode_into(&mut b);
+        assert_ne!(a, b);
+        let mut a2 = Vec::new();
+        ev(1).encode_into(&mut a2);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn trace_hash_is_order_sensitive_and_deterministic() {
+        let mut h1 = TraceHashSink::new();
+        let mut h2 = TraceHashSink::new();
+        let mut h3 = TraceHashSink::new();
+        h1.on_event(&ev(1));
+        h1.on_event(&ev(2));
+        h2.on_event(&ev(1));
+        h2.on_event(&ev(2));
+        h3.on_event(&ev(2));
+        h3.on_event(&ev(1));
+        assert_eq!(h1.value(), h2.value());
+        assert_ne!(h1.value(), h3.value());
+        assert_eq!(h1.count(), 2);
+    }
+
+    #[test]
+    fn bus_fans_out_and_shared_handles_stay_readable() {
+        let bus = shared_bus();
+        let hash = Rc::new(RefCell::new(TraceHashSink::new()));
+        bus.borrow_mut().add_sink(Box::new(hash.clone()));
+        bus.borrow_mut().add_sink(Box::new(TraceHashSink::new()));
+        bus.borrow_mut().emit(&ev(7));
+        assert_eq!(hash.borrow().count(), 1);
+    }
+}

@@ -38,7 +38,11 @@ pub enum DbError {
     /// A row with this primary key already exists.
     DuplicateKey { table: String, pk: i64 },
     /// The row has the wrong number of columns for the table.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// Column index out of range for the table.
     NoSuchColumn { table: String, column: usize },
     /// The transaction id is unknown or no longer active.
@@ -60,7 +64,11 @@ impl fmt::Display for DbError {
             DbError::DuplicateKey { table, pk } => {
                 write!(f, "duplicate key {pk} in {table}")
             }
-            DbError::ArityMismatch { table, expected, got } => {
+            DbError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
                 write!(f, "table {table} expects {expected} columns, got {got}")
             }
             DbError::NoSuchColumn { table, column } => {
@@ -740,7 +748,9 @@ mod tests {
         let t1 = db.begin(conn).unwrap();
         let t2 = db.begin(conn).unwrap();
         db.update(t1, "users", 1, &[(2, Value::Int(1))]).unwrap();
-        let err = db.update(t2, "users", 1, &[(2, Value::Int(2))]).unwrap_err();
+        let err = db
+            .update(t2, "users", 1, &[(2, Value::Int(2))])
+            .unwrap_err();
         assert!(matches!(err, DbError::LockConflict { .. }));
         db.commit(t1).unwrap();
         // Lock released; t2 can now proceed.
@@ -915,7 +925,8 @@ mod tests {
             DbError::NoSuchTable(_)
         ));
         assert!(matches!(
-            db.update(txn, "users", 99, &[(1, Value::Null)]).unwrap_err(),
+            db.update(txn, "users", 99, &[(1, Value::Null)])
+                .unwrap_err(),
             DbError::NoSuchRow { .. }
         ));
         assert!(matches!(
@@ -923,7 +934,8 @@ mod tests {
             DbError::NoSuchRow { .. }
         ));
         assert!(matches!(
-            db.update(txn, "users", 1, &[(0, Value::Int(9))]).unwrap_err(),
+            db.update(txn, "users", 1, &[(0, Value::Int(9))])
+                .unwrap_err(),
             DbError::NoSuchColumn { .. },
         ));
     }

@@ -16,7 +16,9 @@ use std::collections::BTreeMap;
 
 use simcore::SimDuration;
 
-use crate::session::{corrupt_object, CorruptKind, SessionId, SessionObject, SessionStore, StoreError};
+use crate::session::{
+    corrupt_object, CorruptKind, SessionId, SessionObject, SessionStore, StoreError,
+};
 
 /// The in-process session store.
 ///
@@ -238,9 +240,8 @@ mod tests {
         s.corrupt(SessionId(1), CorruptKind::SetNull);
         s.corrupt(SessionId(2), CorruptKind::SetWrong);
 
-        let discarded = s.revalidate(|obj| {
-            obj.get("user_id").map(|v| !v.is_null()).unwrap_or(false)
-        });
+        let discarded =
+            s.revalidate(|obj| obj.get("user_id").map(|v| !v.is_null()).unwrap_or(false));
         assert_eq!(discarded, 1, "null object evicted");
         assert!(s.read(SessionId(1)).unwrap().is_none());
         // The wrong-valued object passes validation and persists.

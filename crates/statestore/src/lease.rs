@@ -153,7 +153,10 @@ mod tests {
         let id = t.grant(SimTime::ZERO, 5);
         assert!(t.is_live(SimTime::from_secs(9), id));
         assert_eq!(t.payload(SimTime::from_secs(9), id), Some(&5));
-        assert!(!t.is_live(SimTime::from_secs(10), id), "expiry is exclusive");
+        assert!(
+            !t.is_live(SimTime::from_secs(10), id),
+            "expiry is exclusive"
+        );
         assert_eq!(t.payload(SimTime::from_secs(10), id), None);
     }
 

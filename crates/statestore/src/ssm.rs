@@ -229,9 +229,12 @@ impl Ssm {
     /// Returns true if the stored object for `id` is injection-tainted on
     /// any brick (the comparison detector's oracle).
     pub fn is_tainted(&self, id: SessionId) -> bool {
-        self.bricks
-            .iter()
-            .any(|b| b.objects.get(&id).map(|o| o.object.is_tainted()).unwrap_or(false))
+        self.bricks.iter().any(|b| {
+            b.objects
+                .get(&id)
+                .map(|o| o.object.is_tainted())
+                .unwrap_or(false)
+        })
     }
 }
 

@@ -2,15 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A value stored in a database cell or session attribute.
 ///
 /// `Value` is deliberately small: the eBid schema needs identifiers,
 /// strings, money amounts, booleans and timestamps (stored as integer
 /// microseconds). [`Value::Null`] doubles as the injection target for the
 /// paper's "set a value to null" corruption mode.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Value {
     /// The absent value; reading a field that must be present from a `Null`
     /// cell raises the `NullPointerException` analogue.

@@ -40,6 +40,27 @@ impl FunctionalGroup {
             FunctionalGroup::UserAccount => "User Account",
         }
     }
+
+    /// Returns the group's wire code for telemetry events.
+    pub fn code(self) -> u8 {
+        match self {
+            FunctionalGroup::BidBuySell => 0,
+            FunctionalGroup::BrowseView => 1,
+            FunctionalGroup::Search => 2,
+            FunctionalGroup::UserAccount => 3,
+        }
+    }
+
+    /// Decodes a telemetry wire code.
+    pub fn from_code(code: u8) -> Option<FunctionalGroup> {
+        match code {
+            0 => Some(FunctionalGroup::BidBuySell),
+            1 => Some(FunctionalGroup::BrowseView),
+            2 => Some(FunctionalGroup::Search),
+            3 => Some(FunctionalGroup::UserAccount),
+            _ => None,
+        }
+    }
 }
 
 /// Table 1's workload-mix classes.
@@ -161,8 +182,7 @@ impl Catalog {
             return Err("entry state out of range".into());
         }
         for (i, row) in self.transitions.iter().enumerate() {
-            let total: f64 =
-                row.iter().map(|(_, w)| *w).sum::<f64>() + self.abandon_weight[i];
+            let total: f64 = row.iter().map(|(_, w)| *w).sum::<f64>() + self.abandon_weight[i];
             if total <= 0.0 && !self.ops[i].is_logout {
                 return Err(format!("state {i} ({}) is absorbing", self.ops[i].name));
             }

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use simcore::telemetry::{SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimRng, SimTime};
 use statestore::SessionId;
 use urb_core::{OpCode, ReqId, Request, Response};
@@ -126,6 +127,7 @@ pub struct ClientPool {
     reports: Vec<FailureReport>,
     mix: MixCounts,
     login_state: usize,
+    bus: Option<SharedBus>,
 }
 
 impl ClientPool {
@@ -169,6 +171,22 @@ impl ClientPool {
             reports: Vec::new(),
             mix: MixCounts::default(),
             login_state,
+            bus: None,
+        }
+    }
+
+    /// Attaches a telemetry bus: every Taw event the pool emits is
+    /// forwarded to it (in addition to feeding the internal tracker).
+    pub fn attach_telemetry(&mut self, bus: SharedBus) {
+        self.bus = Some(bus);
+    }
+
+    /// Feeds `ev` to the internal Taw tracker (a [`TelemetrySink`]) and
+    /// forwards it to the attached bus, if any.
+    fn emit(&mut self, ev: TelemetryEvent) {
+        self.taw.on_event(&ev);
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut().emit(&ev);
         }
     }
 
@@ -284,7 +302,7 @@ impl ClientPool {
                     // Abandonment: the session ends without logout; a fresh
                     // user takes this slot at the entry page.
                     let action = self.clients[client].action;
-                    self.taw.close_action(action);
+                    self.emit(TelemetryEvent::ActionClosed { action: action.0 });
                     self.new_action(client);
                     let c = &mut self.clients[client];
                     c.session = None;
@@ -382,15 +400,15 @@ impl ClientPool {
             classify(self.config.detector, response, pending.was_logged_in)
         };
 
-        // Taw accounting.
+        // Taw accounting (via the telemetry event path).
         let action = self.clients[client].action;
-        self.taw.record_op(
-            action,
-            group,
-            pending.first_sent_at,
-            response.finished_at.max(now),
-            failure.is_none(),
-        );
+        self.emit(TelemetryEvent::ClientOp {
+            action: action.0,
+            group: group.code(),
+            started_at: pending.first_sent_at,
+            finished_at: response.finished_at.max(now),
+            ok: failure.is_none(),
+        });
 
         if let Some(kind) = failure {
             self.reports.push(FailureReport {
@@ -400,10 +418,10 @@ impl ClientPool {
                 node,
             });
             // A failed operation fails its whole action, atomically.
-            self.taw.close_action(action);
+            self.emit(TelemetryEvent::ActionClosed { action: action.0 });
             self.new_action(client);
         } else if commit_point || is_logout {
-            self.taw.close_action(action);
+            self.emit(TelemetryEvent::ActionClosed { action: action.0 });
             self.new_action(client);
         }
 

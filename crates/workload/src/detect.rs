@@ -169,6 +169,9 @@ mod tests {
 
     #[test]
     fn clean_ok_is_clean() {
-        assert_eq!(classify(DetectorKind::Comparison, &resp(Status::Ok), true), None);
+        assert_eq!(
+            classify(DetectorKind::Comparison, &resp(Status::Ok), true),
+            None
+        );
     }
 }

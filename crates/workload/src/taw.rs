@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use simcore::stats::{SecondSeries, Summary};
+use simcore::telemetry::{TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimTime};
 
 use crate::catalog::FunctionalGroup;
@@ -78,7 +79,8 @@ impl TawTracker {
     ) {
         let rt = finished_at - started_at;
         self.response_ms.record(rt.as_millis_f64());
-        self.rt_series.add(finished_at, "rt_ms_sum", rt.as_millis_f64());
+        self.rt_series
+            .add(finished_at, "rt_ms_sum", rt.as_millis_f64());
         self.rt_series.incr(finished_at, "rt_n");
         if rt > EIGHT_SECONDS {
             self.over_8s += 1;
@@ -186,6 +188,29 @@ impl TawTracker {
         self.gaps
             .iter()
             .any(|(g, s, e)| *g == group && *s <= t2 && *e >= t1)
+    }
+}
+
+/// Taw accounting as a telemetry fold: [`TelemetryEvent::ClientOp`] and
+/// [`TelemetryEvent::ActionClosed`] drive the same buffering and
+/// retroactive attribution as the direct method calls.
+impl TelemetrySink for TawTracker {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::ClientOp {
+                action,
+                group,
+                started_at,
+                finished_at,
+                ok,
+            } => {
+                let group =
+                    FunctionalGroup::from_code(group).unwrap_or(FunctionalGroup::BrowseView);
+                self.record_op(ActionId(action), group, started_at, finished_at, ok);
+            }
+            TelemetryEvent::ActionClosed { action } => self.close_action(ActionId(action)),
+            _ => {}
+        }
     }
 }
 

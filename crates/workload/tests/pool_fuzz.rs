@@ -1,8 +1,10 @@
 //! Fuzz-style property tests of the client pool's state machine: any
 //! sequence of response outcomes must leave the pool consistent.
+//!
+//! Sequences are generated with the deterministic [`SimRng`], so every run
+//! covers the same cases and failures reproduce without a shrink step.
 
-use proptest::prelude::*;
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimRng, SimTime};
 use statestore::SessionId;
 use urb_core::{BodyMarkers, OpCode, Response, Status};
 use workload::catalog::{ArgKind, Catalog, FunctionalGroup, MixClass, OpSpec};
@@ -15,7 +17,7 @@ fn catalog() -> Catalog {
         group: FunctionalGroup::BrowseView,
         mix: MixClass::ReadOnlyDb,
         idempotent: true,
-        commit_point: code % 3 == 0,
+        commit_point: code.is_multiple_of(3),
         needs_session: needs,
         is_login,
         is_logout,
@@ -54,42 +56,49 @@ enum Outcome {
     Tainted,
 }
 
-fn outcome_strategy() -> impl Strategy<Value = Outcome> {
-    prop_oneof![
-        5 => Just(Outcome::Ok),
-        2 => Just(Outcome::OkWithCookie),
-        1 => Just(Outcome::ServerError),
-        1 => Just(Outcome::NetworkError),
-        1 => Just(Outcome::TimedOut),
-        1 => Just(Outcome::RetryAfter),
-        1 => Just(Outcome::LoginPrompt),
-        1 => Just(Outcome::Tainted),
-    ]
+/// Draws an outcome with the same weights the proptest version used
+/// (Ok 5, OkWithCookie 2, everything else 1).
+fn draw_outcome(rng: &mut SimRng) -> Outcome {
+    const CHOICES: &[(Outcome, f64)] = &[
+        (Outcome::Ok, 5.0),
+        (Outcome::OkWithCookie, 2.0),
+        (Outcome::ServerError, 1.0),
+        (Outcome::NetworkError, 1.0),
+        (Outcome::TimedOut, 1.0),
+        (Outcome::RetryAfter, 1.0),
+        (Outcome::LoginPrompt, 1.0),
+        (Outcome::Tainted, 1.0),
+    ];
+    let weights: Vec<f64> = CHOICES.iter().map(|(_, w)| *w).collect();
+    CHOICES[rng.weighted_index(&weights).unwrap()].0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Whatever the server answers, the pool stays consistent: every
+/// request gets exactly one accounting entry, Taw totals add up, and
+/// the pool neither leaks pending requests nor double-counts.
+#[test]
+fn pool_survives_arbitrary_response_sequences() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::seed_from(0xF00D + case);
+        let seed = rng.uniform_u64(1000);
+        let len = 1 + rng.uniform_usize(299);
+        let outcomes: Vec<Outcome> = (0..len).map(|_| draw_outcome(&mut rng)).collect();
 
-    /// Whatever the server answers, the pool stays consistent: every
-    /// request gets exactly one accounting entry, Taw totals add up, and
-    /// the pool neither leaks pending requests nor double-counts.
-    #[test]
-    fn pool_survives_arbitrary_response_sequences(
-        outcomes in proptest::collection::vec(outcome_strategy(), 1..300),
-        seed in 0u64..1000,
-    ) {
-        let mut pool = ClientPool::new(catalog(), ClientPoolConfig {
-            clients: 8,
-            detector: workload::DetectorKind::Comparison,
-            seed,
-            ..ClientPoolConfig::default()
-        });
+        let mut pool = ClientPool::new(
+            catalog(),
+            ClientPoolConfig {
+                clients: 8,
+                detector: workload::DetectorKind::Comparison,
+                seed,
+                ..ClientPoolConfig::default()
+            },
+        );
         let mut now = SimTime::from_secs(1);
         let mut next_cookie = 100u64;
         let mut issued = 0u64;
         let mut client = 0usize;
         for outcome in &outcomes {
-            now = now + SimDuration::from_millis(500);
+            now += SimDuration::from_millis(500);
             let Some(out) = pool.wake(client, now) else {
                 continue;
             };
@@ -114,43 +123,54 @@ proptest! {
                 Outcome::ServerError => resp.status = Status::ServerError(500),
                 Outcome::NetworkError => resp.status = Status::NetworkError,
                 Outcome::TimedOut => resp.status = Status::TimedOut,
-                Outcome::RetryAfter => {
-                    resp.status = Status::RetryAfter(SimDuration::from_secs(2))
-                }
+                Outcome::RetryAfter => resp.status = Status::RetryAfter(SimDuration::from_secs(2)),
                 Outcome::LoginPrompt => resp.markers.login_prompt = true,
                 Outcome::Tainted => resp.tainted = true,
             }
             let delivered = pool.deliver(&resp, 0, now);
-            prop_assert!(delivered.is_some(), "fresh response must belong to someone");
+            assert!(
+                delivered.is_some(),
+                "fresh response must belong to someone (case {case})"
+            );
             let (who, what) = delivered.unwrap();
-            prop_assert_eq!(who, client);
+            assert_eq!(who, client);
             if let DeliverOutcome::RetryAt(t) = what {
-                prop_assert!(t > now, "retry is in the future");
+                assert!(t > now, "retry is in the future");
             }
             client = (client + 1) % 8;
         }
         // No request is still owned unless it is an unanswered wake (we
         // answered every one we issued).
-        prop_assert!(issued <= outcomes.len() as u64);
+        assert!(issued <= outcomes.len() as u64);
         pool.taw().close_all();
         let s = pool.taw_ref().summary();
         // Retries are re-issues of the same logical operation, so
         // accounted ops never exceed issued requests.
-        prop_assert!(s.good_ops + s.bad_ops <= issued);
+        assert!(s.good_ops + s.bad_ops <= issued);
         // Every failure report corresponds to a bad op of some action.
         let reports = pool.drain_reports().len() as u64;
-        prop_assert!(reports <= s.bad_ops + 8, "reports {} vs bad {}", reports, s.bad_ops);
+        assert!(
+            reports <= s.bad_ops + 8,
+            "reports {} vs bad {} (case {case})",
+            reports,
+            s.bad_ops
+        );
     }
+}
 
-    /// Same seed, same behaviour: the pool is deterministic.
-    #[test]
-    fn pool_is_deterministic(seed in 0u64..1000) {
+/// Same seed, same behaviour: the pool is deterministic.
+#[test]
+fn pool_is_deterministic() {
+    for seed in (0..1000u64).step_by(17) {
         let run = || {
-            let mut pool = ClientPool::new(catalog(), ClientPoolConfig {
-                clients: 4,
-                seed,
-                ..ClientPoolConfig::default()
-            });
+            let mut pool = ClientPool::new(
+                catalog(),
+                ClientPoolConfig {
+                    clients: 4,
+                    seed,
+                    ..ClientPoolConfig::default()
+                },
+            );
             let mut ops = Vec::new();
             let now = SimTime::from_secs(1);
             for i in 0..40 {
@@ -173,6 +193,6 @@ proptest! {
             }
             ops
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "seed {seed}");
     }
 }

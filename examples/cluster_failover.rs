@@ -49,12 +49,7 @@ fn main() {
         true,
         false,
     );
-    run(
-        "microreboot + node failover",
-        PolicyLevel::Ejb,
-        true,
-        false,
-    );
+    run("microreboot + node failover", PolicyLevel::Ejb, true, false);
     run(
         "microreboot, no failover, call retries",
         PolicyLevel::Ejb,

@@ -6,9 +6,7 @@
 
 use microreboot::core::server::{make_request, ServerFault};
 use microreboot::core::testkit::{ops, ToyApp};
-use microreboot::core::{
-    share_db, AppServer, ServerConfig, SessionBackend, Status, SubmitOutcome,
-};
+use microreboot::core::{share_db, AppServer, ServerConfig, SessionBackend, Status, SubmitOutcome};
 use microreboot::simcore::SimTime;
 use microreboot::statestore::session::CorruptKind;
 use microreboot::statestore::FastS;
@@ -68,11 +66,7 @@ fn main() {
         .expect("component exists and the server is up");
     server.microreboot_crash(ticket.id, ticket.crash_at);
     let members = server.microreboot_complete(ticket.id, ticket.done_at);
-    println!(
-        "microrebooted {:?} in {}",
-        members,
-        ticket.done_at - t0
-    );
+    println!("microrebooted {:?} in {}", members, ticket.done_at - t0);
 
     let healed = run_one(&mut server, 3, ops::GET, 5, ticket.done_at);
     println!("recovered GET    -> {:?}", healed.status);

@@ -44,9 +44,7 @@ fn main() {
         let new_events: Vec<String> = sim.world().log[events..]
             .iter()
             .filter_map(|e| match e {
-                LogEvent::RecoveryFinished { action, at, .. } => {
-                    Some(format!("{at}: {action}"))
-                }
+                LogEvent::RecoveryFinished { action, at, .. } => Some(format!("{at}: {action}")),
                 _ => None,
             })
             .collect();

@@ -1,11 +1,16 @@
-//! Property-based tests on the core data structures and invariants.
+//! Randomized property tests on the core data structures and invariants.
+//!
+//! Cases are generated with the repo's own deterministic [`SimRng`] rather
+//! than an external property-testing framework: every run explores the same
+//! seeds, so a failure here is always reproducible with no shrink step.
 
-use microreboot::simcore::{EventQueue, SimDuration, SimTime};
+use microreboot::simcore::{EventQueue, SimDuration, SimRng, SimTime};
 use microreboot::statestore::db::TableDef;
 use microreboot::statestore::lease::LeaseTable;
 use microreboot::statestore::session::{SessionId, SessionObject, SessionStore};
 use microreboot::statestore::{Database, FastS, Ssm, Value};
-use proptest::prelude::*;
+
+const CASES: u64 = 64;
 
 /// A random operation against the database.
 #[derive(Clone, Debug)]
@@ -15,14 +20,24 @@ enum DbOp {
     Delete(i64),
 }
 
-fn db_ops() -> impl Strategy<Value = Vec<(Vec<DbOp>, bool)>> {
-    // A sequence of transactions; each is a list of ops plus commit/abort.
-    let op = prop_oneof![
-        (0i64..50, any::<i64>()).prop_map(|(pk, v)| DbOp::Insert(pk, v)),
-        (0i64..50, any::<i64>()).prop_map(|(pk, v)| DbOp::Update(pk, v)),
-        (0i64..50).prop_map(DbOp::Delete),
-    ];
-    proptest::collection::vec((proptest::collection::vec(op, 0..8), any::<bool>()), 0..12)
+fn gen_db_op(rng: &mut SimRng) -> DbOp {
+    let pk = rng.uniform_u64(50) as i64;
+    let v = rng.next_u64() as i64;
+    match rng.uniform_u64(3) {
+        0 => DbOp::Insert(pk, v),
+        1 => DbOp::Update(pk, v),
+        _ => DbOp::Delete(pk),
+    }
+}
+
+/// A sequence of transactions; each is a list of ops plus commit/abort.
+fn gen_txns(rng: &mut SimRng) -> Vec<(Vec<DbOp>, bool)> {
+    (0..rng.uniform_u64(12))
+        .map(|_| {
+            let ops = (0..rng.uniform_u64(8)).map(|_| gen_db_op(rng)).collect();
+            (ops, rng.chance(0.5))
+        })
+        .collect()
 }
 
 fn fresh_db() -> Database {
@@ -32,11 +47,13 @@ fn fresh_db() -> Database {
     }])
 }
 
-proptest! {
-    /// Aborted transactions leave no trace: the table contents equal the
-    /// result of applying only the committed transactions.
-    #[test]
-    fn db_aborted_txns_leave_no_trace(txns in db_ops()) {
+/// Aborted transactions leave no trace: the table contents equal the
+/// result of applying only the committed transactions.
+#[test]
+fn db_aborted_txns_leave_no_trace() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x1000 + case);
+        let txns = gen_txns(&mut rng);
         let mut real = fresh_db();
         let mut model = fresh_db();
         let rc = real.open_conn();
@@ -54,21 +71,21 @@ proptest! {
                         let r = real.insert(rt, "t", row.clone());
                         if *commit {
                             let m = model.insert(mt, "t", row);
-                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                            assert_eq!(r.is_ok(), m.is_ok());
                         }
                     }
                     DbOp::Update(pk, v) => {
                         let r = real.update(rt, "t", *pk, &[(1, Value::Int(*v))]);
                         if *commit {
                             let m = model.update(mt, "t", *pk, &[(1, Value::Int(*v))]);
-                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                            assert_eq!(r.is_ok(), m.is_ok());
                         }
                     }
                     DbOp::Delete(pk) => {
                         let r = real.delete(rt, "t", *pk);
                         if *commit {
                             let m = model.delete(mt, "t", *pk);
-                            prop_assert_eq!(r.is_ok(), m.is_ok());
+                            assert_eq!(r.is_ok(), m.is_ok());
                         }
                     }
                 }
@@ -84,15 +101,22 @@ proptest! {
         // Compare full table contents.
         let rows_real = real.scan("t", |_| true, usize::MAX).unwrap();
         let rows_model = model.scan("t", |_| true, usize::MAX).unwrap();
-        prop_assert_eq!(rows_real, rows_model);
+        assert_eq!(rows_real, rows_model, "case {case}");
     }
+}
 
-    /// A crash mid-transaction preserves exactly the committed state.
-    #[test]
-    fn db_crash_preserves_committed_state(
-        committed in proptest::collection::vec((0i64..40, any::<i64>()), 1..20),
-        uncommitted in proptest::collection::vec((0i64..40, any::<i64>()), 1..20),
-    ) {
+/// A crash mid-transaction preserves exactly the committed state.
+#[test]
+fn db_crash_preserves_committed_state() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x2000 + case);
+        let committed: Vec<(i64, i64)> = (0..1 + rng.uniform_u64(19))
+            .map(|_| (rng.uniform_u64(40) as i64, rng.next_u64() as i64))
+            .collect();
+        let uncommitted: Vec<(i64, i64)> = (0..1 + rng.uniform_u64(19))
+            .map(|_| (rng.uniform_u64(40) as i64, rng.next_u64() as i64))
+            .collect();
+
         let mut db = fresh_db();
         let conn = db.open_conn();
         let txn = db.begin(conn).unwrap();
@@ -109,22 +133,35 @@ proptest! {
             let _ = db.update(txn2, "t", *pk, &[(1, Value::Int(v ^ 1))]);
         }
         db.crash();
-        prop_assert_eq!(db.scan("t", |_| true, usize::MAX).unwrap(), snapshot);
-        prop_assert_eq!(db.active_txns(), 0);
+        assert_eq!(
+            db.scan("t", |_| true, usize::MAX).unwrap(),
+            snapshot,
+            "case {case}"
+        );
+        assert_eq!(db.active_txns(), 0);
     }
+}
 
-    /// Corruption followed by repair restores the exact pre-corruption
-    /// image, regardless of interleaved corruption order.
-    #[test]
-    fn db_repair_is_exact(
-        rows in proptest::collection::btree_map(0i64..30, any::<i64>(), 1..20),
-        victims in proptest::collection::vec(0i64..30, 1..10),
-    ) {
+/// Corruption followed by repair restores the exact pre-corruption
+/// image, regardless of interleaved corruption order.
+#[test]
+fn db_repair_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x3000 + case);
+        let mut rows = std::collections::BTreeMap::new();
+        for _ in 0..1 + rng.uniform_u64(19) {
+            rows.insert(rng.uniform_u64(30) as i64, rng.next_u64() as i64);
+        }
+        let victims: Vec<i64> = (0..1 + rng.uniform_u64(9))
+            .map(|_| rng.uniform_u64(30) as i64)
+            .collect();
+
         let mut db = fresh_db();
         let conn = db.open_conn();
         let txn = db.begin(conn).unwrap();
         for (pk, v) in &rows {
-            db.insert(txn, "t", vec![Value::Int(*pk), Value::Int(*v)]).unwrap();
+            db.insert(txn, "t", vec![Value::Int(*pk), Value::Int(*v)])
+                .unwrap();
         }
         db.commit(txn).unwrap();
         let before = db.scan("t", |_| true, usize::MAX).unwrap();
@@ -132,36 +169,52 @@ proptest! {
             let _ = db.corrupt_cell("t", *pk, 1, Value::Null);
         }
         db.repair();
-        prop_assert!(db.is_consistent());
-        prop_assert_eq!(db.scan("t", |_| true, usize::MAX).unwrap(), before);
+        assert!(db.is_consistent(), "case {case}");
+        assert_eq!(db.scan("t", |_| true, usize::MAX).unwrap(), before);
     }
+}
 
-    /// The event queue fires events in nondecreasing time order, with
-    /// FIFO order among equal timestamps.
-    #[test]
-    fn event_queue_is_time_ordered(times in proptest::collection::vec(0u64..1000, 1..100)) {
+/// The event queue fires events in nondecreasing time order, with
+/// FIFO order among equal timestamps.
+#[test]
+fn event_queue_is_time_ordered() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x4000 + case);
+        let times: Vec<u64> = (0..1 + rng.uniform_u64(99))
+            .map(|_| rng.uniform_u64(1000))
+            .collect();
         let mut q: EventQueue<Vec<(u64, usize)>> = EventQueue::new();
         let mut world = Vec::new();
         for (i, t) in times.iter().enumerate() {
             let t = *t;
-            q.schedule_at(SimTime::from_millis(t), "e", move |w: &mut Vec<(u64, usize)>, _| {
-                w.push((t, i));
-            });
+            q.schedule_at(
+                SimTime::from_millis(t),
+                "e",
+                move |w: &mut Vec<(u64, usize)>, _| {
+                    w.push((t, i));
+                },
+            );
         }
         q.run_to_completion(&mut world);
-        prop_assert_eq!(world.len(), times.len());
+        assert_eq!(world.len(), times.len());
         for pair in world.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time order");
+            assert!(pair[0].0 <= pair[1].0, "time order, case {case}");
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1, "FIFO among ties");
+                assert!(pair[0].1 < pair[1].1, "FIFO among ties, case {case}");
             }
         }
     }
+}
 
-    /// Leases: an entry is live iff granted-or-renewed within the term;
-    /// sweep returns each expired payload exactly once.
-    #[test]
-    fn lease_sweep_exactly_once(grants in proptest::collection::vec(0u64..100, 1..50)) {
+/// Leases: an entry is live iff granted-or-renewed within the term;
+/// sweep returns each expired payload exactly once.
+#[test]
+fn lease_sweep_exactly_once() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x5000 + case);
+        let grants: Vec<u64> = (0..1 + rng.uniform_u64(49))
+            .map(|_| rng.uniform_u64(100))
+            .collect();
         let mut lt: LeaseTable<usize> = LeaseTable::new(SimDuration::from_secs(10));
         let ids: Vec<_> = grants
             .iter()
@@ -171,29 +224,39 @@ proptest! {
         let sweep_at = SimTime::from_secs(60);
         let expired = lt.sweep(sweep_at);
         let should_expire = ids.iter().filter(|(_, t)| *t + 10 <= 60).count();
-        prop_assert_eq!(expired.len(), should_expire);
+        assert_eq!(expired.len(), should_expire, "case {case}");
         // Second sweep finds nothing new.
-        prop_assert_eq!(lt.sweep(sweep_at).len(), 0);
+        assert_eq!(lt.sweep(sweep_at).len(), 0);
     }
+}
 
-    /// Session objects survive an SSM write/read round trip unchanged
-    /// (marshalling + checksum verification are lossless).
-    #[test]
-    fn ssm_roundtrip_is_lossless(attrs in proptest::collection::btree_map("[a-z]{1,8}", any::<i64>(), 0..10)) {
+/// Session objects survive an SSM write/read round trip unchanged
+/// (marshalling + checksum verification are lossless).
+#[test]
+fn ssm_roundtrip_is_lossless() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x6000 + case);
         let mut obj = SessionObject::new();
-        for (k, v) in &attrs {
-            obj.set(k, *v);
+        let keys = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+        for key in &keys[..rng.uniform_usize(keys.len() + 1)] {
+            obj.set(key, rng.next_u64() as i64);
         }
         let mut ssm = Ssm::new(3);
         ssm.write(SessionId(1), obj.clone()).unwrap();
         let got = ssm.read(SessionId(1)).unwrap().unwrap();
-        prop_assert_eq!(got, obj);
+        assert_eq!(got, obj, "case {case}");
     }
+}
 
-    /// FastS revalidation never discards objects the validator accepts
-    /// and never keeps objects it rejects.
-    #[test]
-    fn fasts_revalidation_is_exact(user_ids in proptest::collection::vec(any::<i64>(), 1..30)) {
+/// FastS revalidation never discards objects the validator accepts
+/// and never keeps objects it rejects.
+#[test]
+fn fasts_revalidation_is_exact() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x7000 + case);
+        let user_ids: Vec<i64> = (0..1 + rng.uniform_u64(29))
+            .map(|_| rng.next_u64() as i64)
+            .collect();
         let mut fasts = FastS::new();
         for (i, uid) in user_ids.iter().enumerate() {
             let mut obj = SessionObject::new();
@@ -201,10 +264,13 @@ proptest! {
             fasts.write(SessionId(i as u64), obj).unwrap();
         }
         let valid = |o: &SessionObject| {
-            o.get("user_id").and_then(Value::as_int).map(|v| v > 0).unwrap_or(false)
+            o.get("user_id")
+                .and_then(Value::as_int)
+                .map(|v| v > 0)
+                .unwrap_or(false)
         };
         fasts.revalidate(valid);
         let expected = user_ids.iter().filter(|v| **v > 0).count();
-        prop_assert_eq!(fasts.live_sessions(), expected);
+        assert_eq!(fasts.live_sessions(), expected, "case {case}");
     }
 }
