@@ -1,0 +1,100 @@
+//! Conductor hot paths: group expansion, pairwise conflict detection and
+//! the full submit/finish scheduling cycle over the real eBid roster.
+//!
+//! Conflict detection runs on every manager decision while recoveries are
+//! in flight, so it must stay trivially cheap next to the ~400 ms
+//! microreboots it schedules around.
+
+use bench::harness::Harness;
+use components::graph::DependencyGraph;
+use components::CompName;
+use recovery::conductor::{Conductor, ConductorConfig, Submission};
+use recovery::RecoveryAction;
+use simcore::SimTime;
+
+fn conductor() -> Conductor {
+    let graph = DependencyGraph::build(&ebid::components::descriptors()).unwrap();
+    Conductor::new(
+        1,
+        ConductorConfig {
+            max_concurrent_per_node: 4,
+            quarantine: true,
+        },
+        &graph,
+        ebid::ops::call_path,
+    )
+}
+
+/// Session beans whose expanded groups and call paths collide in every
+/// combination: disjoint pairs, path-sharing pairs and group-sharing
+/// pairs (everything touching an `EntityGroup` member).
+const PROBES: [&str; 6] = [
+    "BrowseCategories",
+    "BrowseRegions",
+    "SearchItemsByCategory",
+    "ViewItem",
+    "Item",
+    "WAR",
+];
+
+fn bench_expand(h: &mut Harness) {
+    let c = conductor();
+    let mut i = 0usize;
+    h.bench("expand_recovery_group", || {
+        i += 1;
+        c.expand(&[CompName::intern(PROBES[i % PROBES.len()])])
+            .len()
+    });
+}
+
+fn bench_conflict(h: &mut Harness) {
+    let c = conductor();
+    let blasts: Vec<Vec<CompName>> = PROBES
+        .iter()
+        .map(|p| c.expand(&[CompName::intern(p)]))
+        .collect();
+    let mut i = 0usize;
+    h.bench("conflict_between_all_pairs", || {
+        i += 1;
+        let mut conflicts = 0u32;
+        for (k, a) in blasts.iter().enumerate() {
+            for b in &blasts[k + 1..] {
+                if c.conflict_between(a, b) {
+                    conflicts += 1;
+                }
+            }
+        }
+        conflicts + i as u32
+    });
+}
+
+fn bench_submit_cycle(h: &mut Harness) {
+    let mut c = conductor();
+    let now = SimTime::from_secs(1);
+    let mut i = 0usize;
+    h.bench("submit_and_drain_three_disjoint", || {
+        i += 1;
+        let mut running = Vec::new();
+        for p in ["BrowseCategories", "BrowseRegions", "SearchItemsByCategory"] {
+            match c.submit(0, RecoveryAction::microreboot(&[p]), now) {
+                Submission::Started(cmd) => running.push(cmd.ticket),
+                Submission::Queued(id) | Submission::Coalesced(id) => running.push(id),
+            }
+        }
+        let mut acks = 0u32;
+        while let Some(id) = running.pop() {
+            let fin = c.on_finished(0, id, now);
+            acks += fin.acks;
+            running.extend(fin.start.into_iter().map(|cmd| cmd.ticket));
+        }
+        acks + i as u32
+    });
+}
+
+fn main() {
+    let mut h = Harness::new("conductor");
+    bench_expand(&mut h);
+    bench_conflict(&mut h);
+    bench_submit_cycle(&mut h);
+    h.finish();
+}

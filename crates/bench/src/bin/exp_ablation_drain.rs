@@ -30,9 +30,7 @@ fn run(drain_ms: u64, retry: bool) -> f64 {
         sim.schedule_recovery(
             SimTime::from_secs(60 + 20 * i as u64),
             0,
-            RecoveryAction::Microreboot {
-                components: vec!["ViewItem"],
-            },
+            RecoveryAction::microreboot(&["ViewItem"]),
         );
     }
     sim.run_until(SimTime::from_secs(60 + 20 * TRIALS as u64 + 60));

@@ -97,12 +97,7 @@ fn main() {
     banner("Figure 5 (right): failed requests vs false-positive rate");
     println!("(n useless recoveries between correct ones; FP rate = n/(n+1))\n");
     let per_restart = useless_recoveries(1, RecoveryAction::RestartProcess);
-    let per_urb_burst = useless_recoveries(
-        10,
-        RecoveryAction::Microreboot {
-            components: vec!["BrowseCategories"],
-        },
-    );
+    let per_urb_burst = useless_recoveries(10, RecoveryAction::microreboot(&["BrowseCategories"]));
     let per_urb = per_urb_burst as f64 / 10.0;
     let mut t = Table::new(&["n (false positives)", "FP rate", "restart f(n)", "uRB f(n)"]);
     for n in [0u64, 1, 4, 9, 19, 49, 99] {

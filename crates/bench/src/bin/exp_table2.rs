@@ -37,19 +37,9 @@ fn ejb_target(fault: &Fault) -> Option<&'static str> {
 fn ladder(fault: &Fault) -> Vec<(&'static str, RecoveryAction)> {
     let mut steps = Vec::new();
     if let Some(target) = ejb_target(fault) {
-        steps.push((
-            "EJB",
-            RecoveryAction::Microreboot {
-                components: vec![target],
-            },
-        ));
+        steps.push(("EJB", RecoveryAction::microreboot(&[target])));
     }
-    steps.push((
-        "WAR",
-        RecoveryAction::Microreboot {
-            components: vec!["WAR"],
-        },
-    ));
+    steps.push(("WAR", RecoveryAction::microreboot(&["WAR"])));
     steps.push(("eBid", RecoveryAction::RestartApp));
     steps.push(("JVM/JBoss", RecoveryAction::RestartProcess));
     steps.push(("OS kernel", RecoveryAction::RebootOs));

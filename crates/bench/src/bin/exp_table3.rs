@@ -45,9 +45,7 @@ fn measure_microreboots(component: &'static str, trials: u32) -> (f64, f64, f64)
         sim.schedule_recovery(
             SimTime::from_secs(60 + 20 * i as u64),
             0,
-            RecoveryAction::Microreboot {
-                components: vec![component],
-            },
+            RecoveryAction::microreboot(&[component]),
         );
     }
     sim.run_until(SimTime::from_secs(60 + 20 * trials as u64));

@@ -40,9 +40,7 @@ fn run(component: &'static str, retry: bool, drain: bool) -> f64 {
         sim.schedule_recovery(
             SimTime::from_secs(60 + 30 * i as u64),
             0,
-            RecoveryAction::Microreboot {
-                components: vec![component],
-            },
+            RecoveryAction::microreboot(&[component]),
         );
     }
     let end = SimTime::from_secs(60 + 30 * TRIALS as u64 + 60);

@@ -116,6 +116,12 @@ pub struct TelemetrySummary {
     pub client_ops: u64,
     /// User actions closed (Taw stream).
     pub actions_closed: u64,
+    /// Recovery actions the conductor deferred behind a conflict.
+    pub recoveries_queued: u64,
+    /// Recovery actions the conductor merged into an existing ticket.
+    pub recoveries_coalesced: u64,
+    /// Quarantine activations (blast-radius changes count again).
+    pub quarantines: u64,
 }
 
 fn level_index(level: RebootLevel) -> usize {
@@ -179,6 +185,15 @@ impl TelemetrySummary {
             "actions closed".into(),
             self.actions_closed.to_string(),
         ]);
+        table.row_owned(vec![
+            "recoveries queued".into(),
+            self.recoveries_queued.to_string(),
+        ]);
+        table.row_owned(vec![
+            "recoveries coalesced".into(),
+            self.recoveries_coalesced.to_string(),
+        ]);
+        table.row_owned(vec!["quarantines".into(), self.quarantines.to_string()]);
     }
 
     /// Prints the summary as a titled table.
@@ -208,6 +223,10 @@ impl TelemetrySink for TelemetrySummary {
             TelemetryEvent::RejuvenationTick { .. } => self.rejuvenation_ticks += 1,
             TelemetryEvent::ClientOp { .. } => self.client_ops += 1,
             TelemetryEvent::ActionClosed { .. } => self.actions_closed += 1,
+            TelemetryEvent::RecoveryQueued { .. } => self.recoveries_queued += 1,
+            TelemetryEvent::RecoveryCoalesced { .. } => self.recoveries_coalesced += 1,
+            TelemetryEvent::QuarantineOn { .. } => self.quarantines += 1,
+            TelemetryEvent::QuarantineOff { .. } => {}
         }
     }
 }

@@ -6,11 +6,18 @@
 //! recovery, it first notifies LB, which redirects requests bound for
 //! Nbad uniformly to the good nodes; once Nbad has recovered, RM notifies
 //! LB, and requests are again distributed as before the failure."
+//!
+//! When the recovery conductor runs with quarantine enabled, the balancer
+//! additionally sheds *selectively*: each node publishes the set of
+//! components currently mid-microreboot, and only requests whose static
+//! call path touches that blast radius avoid the node — everything else
+//! keeps flowing to it.
 
 use std::collections::HashMap;
 
+use components::CompName;
 use statestore::SessionId;
-use urb_core::Request;
+use urb_core::{OpCode, Request};
 
 /// The load balancer.
 #[derive(Debug)]
@@ -18,6 +25,10 @@ pub struct LoadBalancer {
     nodes: usize,
     affinity: HashMap<SessionId, usize>,
     redirecting: Vec<bool>,
+    /// Per-node quarantine set: components mid-microreboot there.
+    quarantine: Vec<Vec<CompName>>,
+    /// URL-prefix → component-path map for quarantine routing.
+    path_of: Option<fn(OpCode) -> &'static [&'static str]>,
     rr: usize,
     /// Sessions whose affinity target was under redirection at routing
     /// time, i.e. requests actually failed over (Figure 3's metric).
@@ -36,6 +47,8 @@ impl LoadBalancer {
             nodes,
             affinity: HashMap::new(),
             redirecting: vec![false; nodes],
+            quarantine: vec![Vec::new(); nodes],
+            path_of: None,
             rr: 0,
             failed_over_sessions: Vec::new(),
         }
@@ -46,7 +59,30 @@ impl LoadBalancer {
         self.nodes
     }
 
-    fn next_good(&mut self) -> usize {
+    /// Whether `op`'s call path touches `node`'s quarantine set.
+    fn shed_by_quarantine(&self, node: usize, op: OpCode) -> bool {
+        if self.quarantine[node].is_empty() {
+            return false;
+        }
+        let Some(path_of) = self.path_of else {
+            return false;
+        };
+        (path_of)(op)
+            .iter()
+            .any(|c| CompName::lookup(c).is_some_and(|c| self.quarantine[node].contains(&c)))
+    }
+
+    fn next_good(&mut self, op: OpCode) -> usize {
+        for _ in 0..self.nodes {
+            let n = self.rr % self.nodes;
+            self.rr += 1;
+            if !self.redirecting[n] && !self.shed_by_quarantine(n, op) {
+                return n;
+            }
+        }
+        // Every node is quarantined for this path or redirecting: prefer a
+        // merely-quarantined node (the server's admission check answers
+        // with `Retry-After` rather than a drained drop).
         for _ in 0..self.nodes {
             let n = self.rr % self.nodes;
             self.rr += 1;
@@ -65,16 +101,17 @@ impl LoadBalancer {
     pub fn route(&mut self, req: &Request) -> usize {
         if let Some(sid) = req.session {
             if let Some(&home) = self.affinity.get(&sid) {
-                if self.redirecting[home] && self.nodes > 1 {
+                let avoid = self.redirecting[home] || self.shed_by_quarantine(home, req.op);
+                if avoid && self.nodes > 1 {
                     if !self.failed_over_sessions.contains(&sid) {
                         self.failed_over_sessions.push(sid);
                     }
-                    return self.next_good();
+                    return self.next_good(req.op);
                 }
                 return home;
             }
         }
-        self.next_good()
+        self.next_good(req.op)
     }
 
     /// Registers session affinity (the node that issued the cookie).
@@ -97,6 +134,20 @@ impl LoadBalancer {
     /// Returns true if `node` is being drained.
     pub fn is_redirecting(&self, node: usize) -> bool {
         self.redirecting.get(node).copied().unwrap_or(false)
+    }
+
+    /// Installs the URL-prefix → component-path map used for quarantine
+    /// routing (without it, quarantine sets are ignored).
+    pub fn set_path_map(&mut self, path_of: fn(OpCode) -> &'static [&'static str]) {
+        self.path_of = Some(path_of);
+    }
+
+    /// Publishes `node`'s quarantine set (components mid-microreboot).
+    /// An empty set lifts the quarantine.
+    pub fn set_quarantine(&mut self, node: usize, members: Vec<CompName>) {
+        if node < self.nodes {
+            self.quarantine[node] = members;
+        }
     }
 
     /// Number of sessions currently homed on `node`.

@@ -11,6 +11,7 @@
 
 use ebid::{catalog, DatasetSpec, EBid};
 use faults::Fault;
+use recovery::conductor::{Conductor, ConductorConfig, StartCmd, Submission, TicketId};
 use recovery::{RecoveryAction, RecoveryManager, RmConfig};
 use simcore::telemetry::{SharedBus, TelemetryEvent};
 use simcore::{EventQueue, SimDuration, SimTime};
@@ -60,6 +61,11 @@ pub struct SimConfig {
     /// Recovery-manager configuration; `None` disables automatic recovery
     /// (experiments then command recovery directly).
     pub rm: Option<RmConfig>,
+    /// Recovery-conductor configuration; `None` keeps the baseline serial
+    /// execution of manager decisions. With a conductor, decisions are
+    /// expanded to recovery groups, coalesced, scheduled concurrently when
+    /// conflict-free, and (optionally) guarded by quarantine admission.
+    pub conductor: Option<ConductorConfig>,
     /// Whether the LB fails traffic over during recovery (Section 5.3) —
     /// meaningless in a 1-node cluster.
     pub failover: bool,
@@ -79,6 +85,7 @@ impl Default for SimConfig {
             drain: None,
             detector: DetectorKind::Comparison,
             rm: None,
+            conductor: None,
             failover: false,
             dataset: DatasetSpec::default(),
             seed: 0xeb1d,
@@ -137,6 +144,8 @@ pub struct World {
     pub pool: ClientPool,
     /// The recovery manager, when automatic recovery is on.
     pub rm: Option<RecoveryManager>,
+    /// The recovery conductor, when parallel recovery is on.
+    pub conductor: Option<Conductor>,
     /// Event log for reports.
     pub log: Vec<LogEvent>,
     /// Per-node rejuvenation services (Section 6.4), when enabled.
@@ -308,9 +317,18 @@ impl World {
         let now = q.now();
         if self.rm.is_some() {
             for node in 0..self.nodes.len() {
-                let action = self.rm.as_mut().and_then(|rm| rm.decide(node, now));
-                if let Some(action) = action {
-                    self.execute_action(node, action, q);
+                // With a conductor the manager may issue several decisions
+                // per poll (up to its concurrency budget); the baseline
+                // keeps the historical one-decision-per-poll cadence.
+                loop {
+                    let action = self.rm.as_mut().and_then(|rm| rm.decide(node, now));
+                    let Some(action) = action else { break };
+                    if self.conductor.is_some() {
+                        self.conduct(node, action, q);
+                    } else {
+                        self.execute_action(node, action, q);
+                        break;
+                    }
                 }
             }
         }
@@ -399,7 +417,8 @@ impl World {
             RebootLevel::Component => self.drain,
             _ => None,
         };
-        let ticket = match self.nodes[node].begin_recovery(level, &components, now, drain) {
+        let names: Vec<&str> = components.iter().map(|c| c.as_str()).collect();
+        let ticket = match self.nodes[node].begin_recovery(level, &names, now, drain) {
             Ok(t) => t,
             Err(_) => {
                 // Nothing to do (already rebooting, or the process is
@@ -422,6 +441,137 @@ impl World {
         q.schedule_at(ticket.done_at, "recovery-done", move |w, q| {
             w.on_recovery_done(node, id, level, now, q);
         });
+    }
+
+    /// Routes a manager decision through the conductor: expansion to the
+    /// recovery group, coalescing, conflict scheduling and quarantine.
+    fn conduct(&mut self, node: usize, action: RecoveryAction, q: &mut EventQueue<World>) {
+        // A human page is not a reboot — nothing to schedule around.
+        if matches!(action, RecoveryAction::NotifyHuman) {
+            self.execute_action(node, action, q);
+            return;
+        }
+        let now = q.now();
+        let conductor = self
+            .conductor
+            .as_mut()
+            .expect("conduct requires a conductor");
+        match conductor.submit(node, action, now) {
+            Submission::Started(cmd) => self.start_conducted(node, cmd, q),
+            // Queued and coalesced decisions are settled (acknowledged to
+            // the manager) when their carrying ticket finishes.
+            Submission::Queued(_) | Submission::Coalesced(_) => {}
+        }
+        self.sync_routing(node);
+    }
+
+    /// Begins executing a conductor ticket on a node.
+    fn start_conducted(&mut self, node: usize, cmd: StartCmd, q: &mut EventQueue<World>) {
+        let now = q.now();
+        self.log.push(LogEvent::RecoveryStarted {
+            at: now,
+            node,
+            action: format!("{:?}", cmd.action),
+        });
+        let (level, components) = match cmd.action {
+            RecoveryAction::Microreboot { components } => (RebootLevel::Component, components),
+            RecoveryAction::RestartApp => (RebootLevel::Application, Vec::new()),
+            RecoveryAction::RestartProcess => (RebootLevel::Process, Vec::new()),
+            RecoveryAction::RebootOs => (RebootLevel::OperatingSystem, Vec::new()),
+            RecoveryAction::NotifyHuman => unreachable!("NotifyHuman bypasses the conductor"),
+        };
+        let drain = match level {
+            RebootLevel::Component => self.drain,
+            _ => None,
+        };
+        let names: Vec<&str> = components.iter().map(|c| c.as_str()).collect();
+        let ticket = match self.nodes[node].begin_recovery(level, &names, now, drain) {
+            Ok(t) => t,
+            Err(_) => {
+                // The node cannot take this reboot (process down, or a
+                // racing non-conducted reboot holds a member): settle the
+                // ticket so the manager can escalate.
+                self.finish_conducted(node, cmd.ticket, q);
+                return;
+            }
+        };
+        self.sync_routing(node);
+        let id = ticket.id;
+        if level == RebootLevel::Component {
+            q.schedule_at(ticket.crash_at, "recovery-crash", move |w, q| {
+                w.on_recovery_crash(node, id, q);
+            });
+        } else {
+            let killed = self.nodes[node].recovery_crash(id, now);
+            self.schedule_deliveries(node, killed, q);
+        }
+        let tid = cmd.ticket;
+        q.schedule_at(ticket.done_at, "recovery-done", move |w, q| {
+            w.on_conducted_done(node, id, tid, level, now, q);
+        });
+    }
+
+    fn on_conducted_done(
+        &mut self,
+        node: usize,
+        id: RebootId,
+        ticket: TicketId,
+        level: RebootLevel,
+        started: SimTime,
+        q: &mut EventQueue<World>,
+    ) {
+        let now = q.now();
+        let members = self.nodes[node].recovery_complete(id, now);
+        let action = match level {
+            RebootLevel::Component => format!("microreboot {members:?}"),
+            RebootLevel::Application => "app restart".into(),
+            RebootLevel::Process => "process restart".into(),
+            RebootLevel::OperatingSystem => "OS reboot".into(),
+        };
+        self.log.push(LogEvent::RecoveryFinished {
+            at: now,
+            node,
+            action,
+            started,
+        });
+        self.pump_node(node, q);
+        self.finish_conducted(node, ticket, q);
+    }
+
+    /// Settles a finished (or unexecutable) ticket: acknowledges every
+    /// decision it carried to the manager, refreshes routing, and starts
+    /// whatever the conductor promoted from the queue.
+    fn finish_conducted(&mut self, node: usize, ticket: TicketId, q: &mut EventQueue<World>) {
+        let now = q.now();
+        let fin = self
+            .conductor
+            .as_mut()
+            .expect("conducted tickets require a conductor")
+            .on_finished(node, ticket, now);
+        for _ in 0..fin.acks {
+            self.recovery_finished(node, now);
+        }
+        self.sync_routing(node);
+        for cmd in fin.start {
+            self.start_conducted(node, cmd, q);
+        }
+    }
+
+    /// Reconciles LB routing with the conductor's view of the node: coarse
+    /// recoveries drain the whole node, component recoveries quarantine
+    /// only their blast radius (or drain the node when quarantine is off).
+    fn sync_routing(&mut self, node: usize) {
+        let Some(conductor) = &self.conductor else {
+            return;
+        };
+        let coarse = conductor.has_coarse_active(node);
+        let component = conductor.has_component_active(node);
+        let quarantine_on = conductor.config().quarantine;
+        let members = quarantine_on.then(|| conductor.quarantined(node));
+        self.redirect(node, coarse || (component && !quarantine_on));
+        if let Some(members) = members {
+            self.lb.set_quarantine(node, members);
+        }
     }
 }
 
@@ -450,6 +600,7 @@ impl Sim {
                 ServerConfig {
                     node: n,
                     retry_enabled: config.retry_enabled,
+                    quarantine_enabled: config.conductor.is_some_and(|c| c.quarantine),
                     seed: config.seed ^ (0x9e3779b9 * (n as u64 + 1)),
                     ..ServerConfig::default()
                 },
@@ -470,12 +621,20 @@ impl Sim {
         let rm = config.rm.map(|rm_config| {
             RecoveryManager::new(config.nodes, rm_config, ebid::ops::call_path, "WAR")
         });
+        let conductor = config
+            .conductor
+            .map(|cc| Conductor::new(config.nodes, cc, nodes[0].graph(), ebid::ops::call_path));
+        let mut lb = LoadBalancer::new(config.nodes);
+        if config.conductor.is_some_and(|c| c.quarantine) {
+            lb.set_path_map(ebid::ops::call_path);
+        }
         let rejuv = (0..config.nodes).map(|_| None).collect();
         let mut world = World {
             nodes,
-            lb: LoadBalancer::new(config.nodes),
+            lb,
             pool,
             rm,
+            conductor,
             log: Vec::new(),
             rejuv,
             failover: config.failover,
@@ -504,6 +663,9 @@ impl Sim {
         }
         if let Some(rm) = &mut self.world.rm {
             rm.attach_telemetry(bus.clone());
+        }
+        if let Some(conductor) = &mut self.world.conductor {
+            conductor.attach_telemetry(bus.clone());
         }
         self.world.pool.attach_telemetry(bus.clone());
         self.world.bus = Some(bus);

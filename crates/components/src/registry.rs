@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use simcore::SimDuration;
 
 use crate::descriptor::ComponentId;
+use crate::intern::CompName;
 
 /// What a name resolves to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -85,7 +86,7 @@ pub enum Resolved {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct NamingRegistry {
-    bindings: HashMap<&'static str, Binding>,
+    bindings: HashMap<CompName, Binding>,
     lookups: u64,
 }
 
@@ -95,19 +96,19 @@ impl NamingRegistry {
         NamingRegistry::default()
     }
 
-    /// Binds (or rebinds) `name`.
+    /// Binds (or rebinds) `name`, interning it.
     pub fn bind(&mut self, name: &'static str, binding: Binding) {
-        self.bindings.insert(name, binding);
+        self.bindings.insert(CompName::intern(name), binding);
     }
 
     /// Removes the binding for `name`, returning it.
     pub fn unbind(&mut self, name: &str) -> Option<Binding> {
-        self.bindings.remove(name)
+        self.bindings.remove(&CompName::lookup(name)?)
     }
 
     /// Returns the raw binding without resolving it.
     pub fn get(&self, name: &str) -> Option<Binding> {
-        self.bindings.get(name).copied()
+        self.bindings.get(&CompName::lookup(name)?).copied()
     }
 
     /// Resolves `name` to a callable target.
@@ -118,7 +119,8 @@ impl NamingRegistry {
     /// invocation reaches a foreign interface and fails.
     pub fn resolve(&mut self, name: &str) -> Result<Resolved, RegistryError> {
         self.lookups += 1;
-        match self.bindings.get(name) {
+        // A name that was never interned was never deployed: NotBound.
+        match CompName::lookup(name).and_then(|n| self.bindings.get(&n)) {
             None | Some(Binding::Null) => Err(RegistryError::NotBound),
             Some(Binding::Dangling) => Err(RegistryError::Dangling),
             Some(Binding::Active(id)) => Ok(Resolved::Component(*id)),
@@ -130,7 +132,10 @@ impl NamingRegistry {
     /// Returns true if `name` currently resolves to the wrong component —
     /// the comparison detector's oracle for JNDI corruption.
     pub fn is_wrong(&self, name: &str) -> bool {
-        matches!(self.bindings.get(name), Some(Binding::Wrong(_)))
+        matches!(
+            CompName::lookup(name).and_then(|n| self.bindings.get(&n)),
+            Some(Binding::Wrong(_))
+        )
     }
 
     /// Returns the number of lookups served.
@@ -152,7 +157,7 @@ impl NamingRegistry {
     ///
     /// Returns false if the name was never bound (nothing to corrupt).
     pub fn corrupt(&mut self, name: &str, binding: Binding) -> bool {
-        match self.bindings.get_mut(name) {
+        match CompName::lookup(name).and_then(|n| self.bindings.get_mut(&n)) {
             Some(slot) => {
                 *slot = binding;
                 true

@@ -57,6 +57,16 @@ pub trait Application {
     /// microreboot. Detects null/invalid corruption; *wrong* values pass.
     fn session_valid(&self, obj: &SessionObject) -> bool;
 
+    /// The static component call path of an operation (the URL-prefix →
+    /// component map from static analysis), web component first. Drives
+    /// quarantine admission: while a recovery group microreboots, requests
+    /// whose path touches it can be shed at the door with `Retry-After`
+    /// instead of being admitted only to hit a sentinel mid-flight. The
+    /// default (no path information) disables that optimization.
+    fn call_path(&self, _op: OpCode) -> &'static [&'static str] {
+        &[]
+    }
+
     /// Called when a component finishes reinitializing after a microreboot,
     /// so the application can reset that component's volatile caches (e.g.,
     /// eBid's primary-key generator cache).

@@ -329,9 +329,19 @@ impl<A: Application> AppServer<A> {
                 }
             }
         }
-        // Skip components already mid-microreboot.
-        members.retain(|m| !self.lifecycle.is_member_rebooting(*m));
-        if members.is_empty() {
+        // Any overlap with an in-flight microreboot rejects the whole
+        // action. Rebooting only the non-overlapping remainder would split
+        // a recovery group (members reboot together or not at all), and
+        // re-crashing an already-crashed container would double-kill its
+        // requests mid-reinit. The rejection is deterministic: the
+        // conductor coalesces overlapping actions before they reach this
+        // API, so a caller that sees `AlreadyRebooting` bypassed it and
+        // must retry after the in-flight microreboot completes.
+        if members.is_empty()
+            || members
+                .iter()
+                .any(|m| self.lifecycle.is_member_rebooting(*m))
+        {
             return Err(RebootError::AlreadyRebooting);
         }
         members.sort_unstable();

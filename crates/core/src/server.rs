@@ -236,6 +236,12 @@ pub struct ServerConfig {
     /// Whether sentinel hits on idempotent requests answer `Retry-After`
     /// instead of failing (Section 6.2).
     pub retry_enabled: bool,
+    /// Quarantine admission (the conductor's front door): requests whose
+    /// static call path touches a microrebooting recovery group are shed
+    /// at submit — `Retry-After` when retries are on and the request is
+    /// idempotent, 503 otherwise — instead of being admitted only to hit
+    /// a sentinel (or a mid-crash container) deep in the pipeline.
+    pub quarantine_enabled: bool,
     /// RNG seed for this node's jitter.
     pub seed: u64,
 }
@@ -247,6 +253,7 @@ impl Default for ServerConfig {
             cpus: calib::NODE_CPUS,
             threads: calib::NODE_THREADS,
             retry_enabled: false,
+            quarantine_enabled: false,
             seed: 0x5eed,
         }
     }
@@ -267,6 +274,7 @@ pub struct ServerInner {
     pub(crate) node: usize,
     next_session: u64,
     pub(crate) retry_enabled: bool,
+    pub(crate) quarantine_enabled: bool,
     pub(crate) intra_leak_rate: u64,
     pub(crate) extra_leak_rate: u64,
     /// Per-invocation leak rates that survive reboots: the leak is a bug
@@ -370,6 +378,7 @@ impl<A: Application> AppServer<A> {
                 node: config.node,
                 next_session: u64::from(config.node as u32) << 32,
                 retry_enabled: config.retry_enabled,
+                quarantine_enabled: config.quarantine_enabled,
                 intra_leak_rate: 0,
                 extra_leak_rate: 0,
                 persistent_leaks: Vec::new(),
@@ -468,6 +477,30 @@ impl<A: Application> AppServer<A> {
         self.pipeline.hung_count()
     }
 
+    /// Enables or disables quarantine admission at runtime (the cluster
+    /// simulation flips this per its conductor configuration).
+    pub fn set_quarantine(&mut self, on: bool) {
+        self.inner.quarantine_enabled = on;
+    }
+
+    /// If `op`'s static call path touches a microrebooting recovery group,
+    /// returns when the last such microreboot completes.
+    pub fn quarantine_until(&self, op: OpCode) -> Option<SimTime> {
+        let path = self.app.call_path(op);
+        if path.is_empty() {
+            return None;
+        }
+        self.lifecycle
+            .component_reboots()
+            .filter(|(members, _, _)| {
+                members
+                    .iter()
+                    .any(|m| path.contains(&self.inner.graph.name_of(*m)))
+            })
+            .map(|(_, _, done_at)| done_at)
+            .max()
+    }
+
     /// Returns the in-flight microreboots as `(members, crash_at, done_at)`.
     pub fn active_microreboots(&self) -> Vec<(Vec<&'static str>, SimTime, SimTime)> {
         self.lifecycle
@@ -539,6 +572,25 @@ impl<A: Application> AppServer<A> {
             }
             _ => {
                 let r = self.instant_response(&req, now, Status::NetworkError, false);
+                return SubmitOutcome::Rejected(r);
+            }
+        }
+        // Quarantine admission: shed requests bound for the blast radius
+        // at the door, so they neither queue behind the reboot nor burn a
+        // thread to discover a sentinel mid-flight.
+        if self.inner.quarantine_enabled {
+            if let Some(done_at) = self.quarantine_until(req.op) {
+                let r = if self.inner.retry_enabled && req.idempotent {
+                    self.inner.emit(TelemetryEvent::RetrySent {
+                        node: self.inner.node,
+                        req: req.id.0,
+                        at: now,
+                    });
+                    let wait = (done_at - now).max(SimDuration::from_millis(1));
+                    self.instant_response(&req, now, Status::RetryAfter(wait), false)
+                } else {
+                    self.instant_response(&req, now, Status::ServerError(503), false)
+                };
                 return SubmitOutcome::Rejected(r);
             }
         }

@@ -104,6 +104,15 @@ impl Application for ToyApp {
         SimDuration::from_millis(8)
     }
 
+    fn call_path(&self, op: OpCode) -> &'static [&'static str] {
+        match op {
+            ops::GET => &["Web", "Front", "Store"],
+            ops::PUT => &["Web", "Front", "Store", "Ledger"],
+            ops::LOGIN | ops::LOGOUT | ops::CART_ADD => &["Web", "Front"],
+            _ => &["Web"],
+        }
+    }
+
     fn handle(&mut self, ctx: &mut CallContext<'_>, req: &Request) -> Result<(), CallError> {
         match req.op {
             ops::GET => ctx.call("Front", "get", |ctx| {

@@ -179,3 +179,103 @@ fn no_inflight_request_survives_web_microreboot_crash() {
         assert!(srv.is_up());
     }
 }
+
+/// Regression for the conductor's no-double-kill contract: a microreboot
+/// that overlaps an in-flight one — even partially — deterministically
+/// rejects the *whole* action with `AlreadyRebooting`. Rebooting only the
+/// non-overlapping remainder would split a recovery group (members reboot
+/// together or not at all), and re-crashing an already-crashed container
+/// would kill its requests mid-reinit. The conductor coalesces overlapping
+/// actions before they reach this API; a caller that sees the rejection
+/// bypassed it and must retry after the in-flight reboot completes.
+#[test]
+fn partial_overlap_with_in_flight_microreboot_rejects_whole_action() {
+    let mut srv = server();
+    let t = SimTime::from_secs(1);
+    // Store expands to its recovery group {Store, Ledger}.
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    // Front is free, but Ledger is mid-reboot: the whole action must be
+    // rejected, not trimmed down to a Front-only reboot.
+    let err = srv
+        .begin_microreboot(&["Front", "Ledger"], t, None)
+        .unwrap_err();
+    assert_eq!(err, urb_core::RebootError::AlreadyRebooting);
+    // The rejection did not disturb the in-flight reboot...
+    srv.microreboot_crash(ticket.id, t);
+    let members = srv.microreboot_complete(ticket.id, ticket.done_at);
+    assert_eq!(members, vec!["Store", "Ledger"]);
+    // ...and Front itself was never touched: it is immediately rebootable.
+    let t2 = ticket.done_at;
+    let front = srv.begin_microreboot(&["Front"], t2, None).unwrap();
+    srv.microreboot_crash(front.id, t2);
+    assert_eq!(
+        srv.microreboot_complete(front.id, front.done_at),
+        vec!["Front"]
+    );
+}
+
+/// An overlapping action arriving *after* the crash phase must also
+/// reject rather than re-crash the container mid-reinit.
+#[test]
+fn overlap_after_crash_phase_cannot_double_kill() {
+    let mut srv = server();
+    let t = SimTime::from_secs(1);
+    let ticket = srv.begin_microreboot(&["Store"], t, None).unwrap();
+    srv.microreboot_crash(ticket.id, t);
+    let err = srv.begin_microreboot(&["Ledger"], t, None).unwrap_err();
+    assert_eq!(err, urb_core::RebootError::AlreadyRebooting);
+    // No new ticket exists and the crash is idempotent per ticket, so no
+    // further kills can happen before reinit completes.
+    assert!(srv.microreboot_crash(ticket.id, t).is_empty());
+    assert_eq!(
+        srv.microreboot_complete(ticket.id, ticket.done_at),
+        vec!["Store", "Ledger"]
+    );
+}
+
+/// Property: disjoint same-level reboots never cancel each other. Across
+/// randomized begin and completion orders, every reboot of a disjoint
+/// unit completes with exactly its own members.
+#[test]
+fn disjoint_microreboots_never_cancel_each_other() {
+    // ToyApp's disjoint component units (Store's group covers Ledger).
+    const UNITS: [(&str, &[&str]); 3] = [
+        ("Web", &["Web"]),
+        ("Front", &["Front"]),
+        ("Store", &["Store", "Ledger"]),
+    ];
+    let mut rng = SimRng::seed_from(0x5eed_d15);
+    for round in 0..50 {
+        let mut srv = server();
+        let t = SimTime::from_secs(1);
+        let mut order: Vec<usize> = (0..UNITS.len()).collect();
+        shuffle(&mut order, &mut rng);
+        let mut tickets = Vec::new();
+        for &u in &order {
+            let (target, expected) = UNITS[u];
+            let ticket = srv
+                .begin_microreboot(&[target], t, None)
+                .expect("disjoint reboots must all be admitted");
+            tickets.push((ticket, expected));
+        }
+        for (ticket, _) in &tickets {
+            srv.microreboot_crash(ticket.id, t);
+        }
+        shuffle(&mut tickets, &mut rng);
+        for (ticket, expected) in tickets {
+            let members = srv.microreboot_complete(ticket.id, ticket.done_at);
+            assert_eq!(
+                members, expected,
+                "round {round}: a disjoint reboot was cancelled or reshaped"
+            );
+        }
+        assert!(srv.is_up());
+    }
+}
+
+fn shuffle<T>(v: &mut [T], rng: &mut SimRng) {
+    for i in (1..v.len()).rev() {
+        let j = rng.uniform_usize(i + 1);
+        v.swap(i, j);
+    }
+}

@@ -172,6 +172,10 @@ impl Application for EBid {
         crate::components::WAR
     }
 
+    fn call_path(&self, op: OpCode) -> &'static [&'static str] {
+        crate::ops::call_path(op)
+    }
+
     fn base_cost(&self, op: OpCode) -> SimDuration {
         // Servlet + JSP rendering CPU per operation class, calibrated so
         // steady-state latency lands near Table 5's 15 ms with FastS.

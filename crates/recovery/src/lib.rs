@@ -14,11 +14,18 @@
 //! failure persists — EJB microreboot, then the WAR, then the whole
 //! application, then the JVM process, then the operating system, then a
 //! human (Section 4). Recurring failure patterns also notify a human.
+//!
+//! The [`conductor`] module schedules the manager's decisions: it expands
+//! actions to recovery groups, coalesces overlapping microreboots, runs
+//! non-conflicting ones concurrently, and publishes quarantine sets for
+//! admission-level shedding during recovery.
 
 #![forbid(unsafe_code)]
 
+pub mod conductor;
 pub mod manager;
 pub mod policy;
 
+pub use conductor::{Conductor, ConductorConfig, Finished, StartCmd, Submission, TicketId};
 pub use manager::{RecoveryAction, RecoveryManager, RmConfig, RmStats};
 pub use policy::PolicyLevel;

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use components::CompName;
 use simcore::telemetry::{DecisionKind, SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimTime};
 use urb_core::OpCode;
@@ -14,8 +15,10 @@ use crate::policy::PolicyLevel;
 pub enum RecoveryAction {
     /// Microreboot these components (the server expands recovery groups).
     Microreboot {
-        /// Component names to reboot.
-        components: Vec<&'static str>,
+        /// Interned component names to reboot — the same symbols the
+        /// naming registry keys on, so the conductor's conflict sets and
+        /// the server's group expansion agree by identity, not by string.
+        components: Vec<CompName>,
     },
     /// Restart the whole application.
     RestartApp,
@@ -25,6 +28,15 @@ pub enum RecoveryAction {
     RebootOs,
     /// Automated recovery is exhausted or failures recur endlessly.
     NotifyHuman,
+}
+
+impl RecoveryAction {
+    /// Builds a microreboot action from string names, interning them.
+    pub fn microreboot(names: &[&'static str]) -> RecoveryAction {
+        RecoveryAction::Microreboot {
+            components: names.iter().map(|n| CompName::intern(n)).collect(),
+        }
+    }
 }
 
 /// Manager configuration.
@@ -56,6 +68,15 @@ pub struct RmConfig {
     pub recurrence_limit: u32,
     /// Window for recurrence detection.
     pub recurrence_window: SimDuration,
+    /// How many component microreboots may be in flight per node at once.
+    ///
+    /// At the default of 1 the manager behaves exactly as the serial
+    /// baseline (one decision, then silence until it is acknowledged).
+    /// Above 1 — which only makes sense with the conductor executing the
+    /// actions — each issued microreboot *consumes* the evidence that
+    /// implicated its suspect, so the next `decide` call in the same poll
+    /// can diagnose a different concurrent fault from what remains.
+    pub max_concurrent: usize,
 }
 
 impl Default for RmConfig {
@@ -69,6 +90,7 @@ impl Default for RmConfig {
             start_level: PolicyLevel::Ejb,
             recurrence_limit: 8,
             recurrence_window: SimDuration::from_secs(120),
+            max_concurrent: 1,
         }
     }
 }
@@ -114,11 +136,22 @@ impl TelemetrySink for RmStats {
 
 #[derive(Debug)]
 struct NodeDiag {
-    /// Recent reports: (time, op for path scoring, was-network).
-    recent: Vec<(SimTime, Option<OpCode>)>,
+    /// Recent reports: (time, op for path scoring — `None` for network
+    /// failures — and the error page's component hint, if any).
+    recent: Vec<(SimTime, Option<OpCode>, Option<CompName>)>,
     first_report_at: Option<SimTime>,
+    /// When the current failure *episode* started: like `first_report_at`
+    /// but not advanced when issued actions consume their evidence, so
+    /// under `max_concurrent > 1` the detection-delay gate measures how
+    /// long the node has been failing, not the age of the oldest report
+    /// that happens to survive consumption.
+    episode_first: Option<SimTime>,
     level: PolicyLevel,
-    recovering: bool,
+    /// How many issued actions are awaiting `recovery_finished`.
+    in_flight: usize,
+    /// A coarse action (restart/reboot/human) is in flight: no further
+    /// decisions until it is acknowledged, whatever `max_concurrent` says.
+    exclusive: bool,
     last_recovery_end: Option<SimTime>,
     episode_ends: Vec<SimTime>,
 }
@@ -128,8 +161,10 @@ impl NodeDiag {
         NodeDiag {
             recent: Vec::new(),
             first_report_at: None,
+            episode_first: None,
             level: start,
-            recovering: false,
+            in_flight: 0,
+            exclusive: false,
             last_recovery_end: None,
             episode_ends: Vec::new(),
         }
@@ -138,15 +173,37 @@ impl NodeDiag {
     fn clear_scores(&mut self) {
         self.recent.clear();
         self.first_report_at = None;
+        self.episode_first = None;
     }
 
     fn prune(&mut self, now: SimTime, window: SimDuration) {
-        self.recent.retain(|(t, _)| now - *t <= window);
+        self.recent.retain(|(t, _, _)| now - *t <= window);
         if self.recent.is_empty() {
             self.first_report_at = None;
+            self.episode_first = None;
         } else {
             self.first_report_at = Some(self.recent[0].0);
         }
+    }
+
+    /// Drops the evidence that implicated `components` — each report whose
+    /// URL path traverses (or whose hint names) one of them. Called when a
+    /// microreboot of `components` is issued under `max_concurrent > 1`,
+    /// so the remaining evidence can implicate a *different* concurrent
+    /// fault instead of re-diagnosing the one already being cured.
+    fn consume(&mut self, components: &[CompName], path_of: fn(OpCode) -> &'static [&'static str]) {
+        self.recent.retain(|(_, op, hint)| {
+            if hint.is_some_and(|h| components.contains(&h)) {
+                return false;
+            }
+            match op {
+                None => true,
+                Some(op) => !(path_of)(*op)
+                    .iter()
+                    .any(|c| CompName::lookup(c).is_some_and(|c| components.contains(&c))),
+            }
+        });
+        self.first_report_at = self.recent.first().map(|(t, _, _)| *t);
     }
 }
 
@@ -243,18 +300,28 @@ impl RecoveryManager {
             }
         }
         diag.first_report_at.get_or_insert(r.at);
+        diag.episode_first.get_or_insert(r.at);
         match r.kind {
-            FailureKind::Network => diag.recent.push((r.at, None)),
-            _ => diag.recent.push((r.at, Some(r.op))),
+            FailureKind::Network => diag.recent.push((r.at, None, None)),
+            _ => diag.recent.push((r.at, Some(r.op), r.hint)),
         }
     }
 
     /// Marks a commanded recovery as finished, closing the episode.
+    ///
+    /// With several actions in flight each acknowledgement decrements the
+    /// count; the episode bookkeeping (settle window, recurrence history,
+    /// score reset) runs per acknowledgement exactly as in the serial
+    /// case, so a `max_concurrent = 1` run is indistinguishable from the
+    /// pre-conductor manager.
     pub fn recovery_finished(&mut self, node: usize, now: SimTime) {
         let Some(diag) = self.nodes.get_mut(node) else {
             return;
         };
-        diag.recovering = false;
+        diag.in_flight = diag.in_flight.saturating_sub(1);
+        if diag.in_flight == 0 {
+            diag.exclusive = false;
+        }
         diag.last_recovery_end = Some(now);
         diag.episode_ends.push(now);
         diag.clear_scores();
@@ -327,14 +394,22 @@ impl RecoveryManager {
         let web = self.web;
         let path_of = self.path_of;
         let diag = self.nodes.get_mut(node)?;
-        if diag.recovering {
+        if diag.exclusive || diag.in_flight >= config.max_concurrent.max(1) {
             return None;
         }
         // Reports must survive at least the configured detection delay,
         // or a large Tdet (Figure 5's sweep) would forget the evidence
         // before it may be acted on.
         diag.prune(now, config.score_window + config.detection_delay);
-        let first = diag.first_report_at?;
+        // Under the conductor several decisions may be issued per episode,
+        // each consuming its suspect's reports; gate on when the episode
+        // began, or the surviving (younger) evidence would re-arm Tdet and
+        // stagger concurrent diagnoses. Serial runs gate exactly as before.
+        let first = if config.max_concurrent > 1 {
+            diag.episode_first?
+        } else {
+            diag.first_report_at?
+        };
         if now - first < config.detection_delay {
             return None;
         }
@@ -345,7 +420,7 @@ impl RecoveryManager {
         let mut failing_ops: Vec<OpCode> = Vec::new();
         let mut network_reports = 0u64;
         let mut other_reports = 0u64;
-        for (_, op) in &diag.recent {
+        for (_, op, hint) in &diag.recent {
             match op {
                 None => network_reports += 1,
                 Some(op) => {
@@ -356,6 +431,15 @@ impl RecoveryManager {
                     for comp in (path_of)(*op) {
                         let w = if *comp == web { 0.2 } else { 1.0 };
                         *scores.entry(comp).or_insert(0.0) += w;
+                    }
+                    // An error page naming the failing bean is far stronger
+                    // evidence than path membership. Only weighed in when
+                    // running under the conductor (`max_concurrent > 1`):
+                    // the serial baseline must keep its exact decisions.
+                    if config.max_concurrent > 1 {
+                        if let Some(h) = hint {
+                            *scores.entry(h.as_str()).or_insert(0.0) += 2.0;
+                        }
                     }
                 }
             }
@@ -391,7 +475,8 @@ impl RecoveryManager {
                     at: now,
                 },
             );
-            diag.recovering = true;
+            diag.in_flight += 1;
+            diag.exclusive = true;
             return Some(RecoveryAction::NotifyHuman);
         }
         // Connection-level failures mean the process (or node) is gone:
@@ -399,25 +484,41 @@ impl RecoveryManager {
         if network_reports > other_reports && diag.level < PolicyLevel::Process {
             diag.level = PolicyLevel::Process;
         }
+        // Under the conductor, error-page hints name the failing bean
+        // outright; trusting the most frequent hint separates overlapping
+        // failure streams that path intersection (which sees the union of
+        // all failing URLs) cannot. Serial runs never take this shortcut.
+        let hinted: Option<&'static str> = if config.max_concurrent > 1 {
+            let mut counts: HashMap<CompName, u64> = HashMap::new();
+            for (_, _, hint) in &diag.recent {
+                if let Some(h) = hint {
+                    if h.as_str() != web {
+                        *counts.entry(*h).or_insert(0) += 1;
+                    }
+                }
+            }
+            counts
+                .into_iter()
+                .max_by_key(|(c, n)| (*n, std::cmp::Reverse(c.as_str())))
+                .map(|(c, _)| c.as_str())
+        } else {
+            None
+        };
         let (action, decision) = match diag.level {
-            PolicyLevel::Ejb => match Self::pick_suspect(&failing_ops, &scores, path_of, web) {
-                Some(comp) => (
-                    RecoveryAction::Microreboot {
-                        components: vec![comp],
-                    },
-                    DecisionKind::EjbMicroreboot,
-                ),
-                None => (
-                    RecoveryAction::Microreboot {
-                        components: vec![web],
-                    },
-                    DecisionKind::WarMicroreboot,
-                ),
-            },
+            PolicyLevel::Ejb => {
+                match hinted.or_else(|| Self::pick_suspect(&failing_ops, &scores, path_of, web)) {
+                    Some(comp) => (
+                        RecoveryAction::microreboot(&[comp]),
+                        DecisionKind::EjbMicroreboot,
+                    ),
+                    None => (
+                        RecoveryAction::microreboot(&[web]),
+                        DecisionKind::WarMicroreboot,
+                    ),
+                }
+            }
             PolicyLevel::War => (
-                RecoveryAction::Microreboot {
-                    components: vec![web],
-                },
+                RecoveryAction::microreboot(&[web]),
                 DecisionKind::WarMicroreboot,
             ),
             PolicyLevel::App => (RecoveryAction::RestartApp, DecisionKind::AppRestart),
@@ -434,7 +535,15 @@ impl RecoveryManager {
                 at: now,
             },
         );
-        diag.recovering = true;
+        diag.in_flight += 1;
+        match &action {
+            RecoveryAction::Microreboot { components } => {
+                if config.max_concurrent > 1 {
+                    diag.consume(components, path_of);
+                }
+            }
+            _ => diag.exclusive = true,
+        }
         Some(action)
     }
 }
@@ -468,6 +577,7 @@ mod tests {
             op: OpCode(op),
             kind,
             node,
+            hint: None,
         }
     }
 
@@ -486,12 +596,7 @@ mod tests {
         m.report(&rep(1, 0, 1, FailureKind::Http));
         m.report(&rep(0, 0, 2, FailureKind::Keyword));
         let action = m.decide(0, SimTime::from_secs(2)).unwrap();
-        assert_eq!(
-            action,
-            RecoveryAction::Microreboot {
-                components: vec!["Item"]
-            }
-        );
+        assert_eq!(action, RecoveryAction::microreboot(&["Item"]));
         assert_eq!(m.stats().ejb_microreboots, 1);
     }
 
@@ -608,6 +713,67 @@ mod tests {
             t += 6;
         }
         assert!(saw_human);
+    }
+
+    #[test]
+    fn parallel_mode_diagnoses_concurrent_faults_in_one_poll() {
+        let mut m = rm(RmConfig {
+            max_concurrent: 4,
+            ..RmConfig::default()
+        });
+        // Two concurrent faults with disjoint evidence: op 0 (Browse/Item)
+        // and op 2 (Account).
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+            m.report(&rep(2, 0, 1, FailureKind::Http));
+        }
+        let first = m.decide(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(first, RecoveryAction::microreboot(&["Account"]));
+        // Issuing the first action consumed the Account evidence; the next
+        // call in the same poll diagnoses the other stream.
+        let second = m.decide(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(second, RecoveryAction::microreboot(&["Browse"]));
+        assert_eq!(m.decide(0, SimTime::from_secs(1)), None, "evidence spent");
+        // Both stay in flight until acknowledged.
+        m.recovery_finished(0, SimTime::from_secs(2));
+        m.recovery_finished(0, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn hints_separate_overlapping_failure_streams() {
+        let hrep = |op: u16, at: u64, hint: &'static str| FailureReport {
+            hint: Some(components::CompName::intern(hint)),
+            ..rep(op, 0, at, FailureKind::Keyword)
+        };
+        let mut m = rm(RmConfig {
+            max_concurrent: 4,
+            ..RmConfig::default()
+        });
+        // Ops 0 and 1 share Item, so path intersection alone would blame
+        // Item; the error pages name the true culprits.
+        for _ in 0..3 {
+            m.report(&hrep(0, 1, "Browse"));
+            m.report(&hrep(1, 1, "Bid"));
+        }
+        let first = m.decide(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(first, RecoveryAction::microreboot(&["Bid"]));
+        let second = m.decide(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(second, RecoveryAction::microreboot(&["Browse"]));
+    }
+
+    #[test]
+    fn serial_mode_ignores_hints() {
+        let mut m = rm(RmConfig::default());
+        for _ in 0..3 {
+            m.report(&FailureReport {
+                hint: Some(components::CompName::intern("Browse")),
+                ..rep(1, 0, 1, FailureKind::Keyword)
+            });
+        }
+        // max_concurrent = 1: the pre-conductor intersection diagnosis
+        // must be reproduced exactly (Bid is on fewer paths than Item).
+        let action = m.decide(0, SimTime::from_secs(1)).unwrap();
+        assert_eq!(action, RecoveryAction::microreboot(&["Bid"]));
     }
 
     #[test]

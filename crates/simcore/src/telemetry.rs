@@ -254,6 +254,42 @@ pub enum TelemetryEvent {
         /// The closed action.
         action: u64,
     },
+    /// The recovery conductor deferred an action behind a conflicting
+    /// in-flight recovery.
+    RecoveryQueued {
+        /// Target node.
+        node: usize,
+        /// Reboot depth of the deferred action.
+        level: RebootLevel,
+        /// When.
+        at: SimTime,
+    },
+    /// The recovery conductor merged an action into an overlapping
+    /// in-flight or queued recovery instead of running it twice.
+    RecoveryCoalesced {
+        /// Target node.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// Quarantine admission engaged (or its blast radius changed) on a
+    /// node: requests whose call path touches the rebooting groups are
+    /// shed at the door.
+    QuarantineOn {
+        /// Quarantining node.
+        node: usize,
+        /// Components currently in the blast radius.
+        members: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// Quarantine admission disengaged on a node (no group rebooting).
+    QuarantineOff {
+        /// Node back to full admission.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TelemetryEvent {
@@ -366,6 +402,28 @@ impl TelemetryEvent {
             TelemetryEvent::ActionClosed { action } => {
                 buf.push(10);
                 put_u64(buf, action);
+            }
+            TelemetryEvent::RecoveryQueued { node, level, at } => {
+                buf.push(11);
+                put_u64(buf, node as u64);
+                buf.push(level.code());
+                put_time(buf, at);
+            }
+            TelemetryEvent::RecoveryCoalesced { node, at } => {
+                buf.push(12);
+                put_u64(buf, node as u64);
+                put_time(buf, at);
+            }
+            TelemetryEvent::QuarantineOn { node, members, at } => {
+                buf.push(13);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(members));
+                put_time(buf, at);
+            }
+            TelemetryEvent::QuarantineOff { node, at } => {
+                buf.push(14);
+                put_u64(buf, node as u64);
+                put_time(buf, at);
             }
         }
     }

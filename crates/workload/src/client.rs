@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use components::CompName;
 use simcore::telemetry::{SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimRng, SimTime};
 use statestore::SessionId;
@@ -411,11 +412,19 @@ impl ClientPool {
         });
 
         if let Some(kind) = failure {
+            // Error pages name the failing bean (JBoss prints the class in
+            // the stack trace); only bodies with exception text carry it.
+            let hint = if response.markers.exception_text {
+                response.failed_component.map(CompName::intern)
+            } else {
+                None
+            };
             self.reports.push(FailureReport {
                 at: now,
                 op: response.op,
                 kind,
                 node,
+                hint,
             });
             // A failed operation fails its whole action, atomically.
             self.emit(TelemetryEvent::ActionClosed { action: action.0 });

@@ -17,6 +17,7 @@
 //! detector flags exactly those responses. This is semantically the
 //! comparison against a fault-free twin, without simulating the twin.
 
+use components::CompName;
 use simcore::SimTime;
 use urb_core::{OpCode, Response};
 
@@ -61,6 +62,12 @@ pub struct FailureReport {
     pub kind: FailureKind,
     /// Which node served (or failed to serve) the request.
     pub node: usize,
+    /// The component a server-rendered error page named, when the body
+    /// carried exception text (JBoss error pages print the failing bean's
+    /// class). Under concurrent faults this is what lets the recovery
+    /// manager separate overlapping failure streams; plain HTTP/network
+    /// failures carry no hint.
+    pub hint: Option<CompName>,
 }
 
 /// Classifies a response, given whether the client believed itself logged

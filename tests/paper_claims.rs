@@ -58,9 +58,7 @@ fn retries_mask_microreboots() {
             sim.schedule_recovery(
                 SimTime::from_secs(60 + 30 * i),
                 0,
-                RecoveryAction::Microreboot {
-                    components: vec!["BrowseCategories"],
-                },
+                RecoveryAction::microreboot(&["BrowseCategories"]),
             );
         }
         sim.run_until(SimTime::from_secs(240));
@@ -123,9 +121,7 @@ fn false_positive_microreboots_are_cheap() {
         sim.schedule_recovery(
             SimTime::from_secs(60 + 20 * i),
             0,
-            RecoveryAction::Microreboot {
-                components: vec!["ViewItem"],
-            },
+            RecoveryAction::microreboot(&["ViewItem"]),
         );
     }
     sim.run_until(SimTime::from_secs(240));
@@ -185,9 +181,7 @@ fn microreboot_durations_match_table3() {
     sim.schedule_recovery(
         mins(1),
         0,
-        RecoveryAction::Microreboot {
-            components: vec!["BrowseCategories"],
-        },
+        RecoveryAction::microreboot(&["BrowseCategories"]),
     );
     sim.run_until(mins(2));
     let world = sim.finish();
