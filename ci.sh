@@ -12,7 +12,14 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> urb-trace smoke: record + verify + summary + same-seed diff"
+cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_a.jsonl --seed 7
+cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_b.jsonl --seed 7
+cargo run --release -q -p bench --bin urb-trace -- verify target/ci_trace_a.jsonl
+cargo run --release -q -p bench --bin urb-trace -- summary target/ci_trace_a.jsonl
+cargo run --release -q -p bench --bin urb-trace -- diff target/ci_trace_a.jsonl target/ci_trace_b.jsonl
 
 echo "CI OK"

@@ -20,14 +20,15 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use bench::report::{banner, ratio, TelemetrySummary};
+use bench::report::{banner, ratio, JsonReport, TelemetrySummary};
 use bench::Table;
 use cluster::{LogEvent, Sim, SimConfig};
 use faults::Fault;
 use recovery::conductor::ConductorConfig;
 use recovery::RmConfig;
 use simcore::telemetry::shared_bus;
-use simcore::{SimDuration, SimTime};
+use simcore::trace::{Trace, TraceRecorder};
+use simcore::{MetricsRegistry, SimDuration, SimTime};
 use workload::TawSummary;
 
 const FAULTED: [&str; 3] = ["BrowseCategories", "BrowseRegions", "SearchItemsByCategory"];
@@ -37,6 +38,10 @@ struct Arm {
     telemetry: TelemetrySummary,
     /// Per-recovery (started, finished) intervals.
     intervals: Vec<(SimTime, SimTime)>,
+    /// The arm's full telemetry trace (written to `target/TRACE_*.jsonl`).
+    trace: Trace,
+    /// DES-kernel health gauges for the machine-readable report.
+    kernel: MetricsRegistry,
 }
 
 fn run(conducted: bool) -> Arm {
@@ -51,7 +56,7 @@ fn run(conducted: bool) -> Arm {
     let mut sim = Sim::new(SimConfig {
         retry_enabled: true,
         rm: Some(rm),
-        conductor: conducted.then(|| ConductorConfig {
+        conductor: conducted.then_some(ConductorConfig {
             max_concurrent_per_node: 4,
             quarantine: true,
         }),
@@ -60,6 +65,8 @@ fn run(conducted: bool) -> Arm {
     let bus = shared_bus();
     let telemetry = Rc::new(RefCell::new(TelemetrySummary::default()));
     bus.borrow_mut().add_sink(Box::new(telemetry.clone()));
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+    bus.borrow_mut().add_sink(Box::new(recorder.clone()));
     sim.attach_telemetry(bus);
     for component in FAULTED {
         sim.schedule_fault(
@@ -71,7 +78,10 @@ fn run(conducted: bool) -> Arm {
             },
         );
     }
+    let wall_start = std::time::Instant::now();
     sim.run_until(SimTime::from_mins(4));
+    let mut kernel = MetricsRegistry::new();
+    sim.record_kernel_gauges(&mut kernel, Some(wall_start.elapsed().as_secs_f64()));
     let world = sim.finish();
     let intervals = world
         .log
@@ -82,10 +92,13 @@ fn run(conducted: bool) -> Arm {
         })
         .collect();
     let fold = telemetry.borrow().clone();
+    let trace = Trace::from_events(recorder.borrow().events().to_vec());
     Arm {
         taw: world.pool.taw_ref().summary(),
         telemetry: fold,
         intervals,
+        trace,
+        kernel,
     }
 }
 
@@ -104,14 +117,14 @@ fn union_of(intervals: &[(SimTime, SimTime)]) -> SimDuration {
             }
             _ => {
                 if let Some((cs, ce)) = cursor {
-                    union = union + (ce - cs);
+                    union += ce - cs;
                 }
                 cursor = Some((s, e));
             }
         }
     }
     if let Some((cs, ce)) = cursor {
-        union = union + (ce - cs);
+        union += ce - cs;
     }
     union
 }
@@ -204,6 +217,50 @@ fn main() {
 
     serial.telemetry.print("serialized telemetry");
     conducted.telemetry.print("conducted telemetry");
+
+    // Full JSONL traces for `urb-trace` inspection, plus the
+    // machine-readable BENCH report accumulating the perf trajectory.
+    let _ = std::fs::create_dir_all("target");
+    for (name, arm) in [
+        ("parallel_recovery_serialized", &serial),
+        ("parallel_recovery_conducted", &conducted),
+    ] {
+        let path = format!("target/TRACE_{name}.jsonl");
+        match arm.trace.write_to(std::path::Path::new(&path)) {
+            Ok(()) => println!(
+                "\ntrace: {} events, digest {:016x} -> {path}",
+                arm.trace.events.len(),
+                arm.trace.digest
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    let mut json = JsonReport::new("parallel_recovery");
+    json.metric_f64("serialized_downtime_union_ms", s_union.as_millis_f64());
+    json.metric_f64("conducted_downtime_union_ms", c_union.as_millis_f64());
+    json.metric_f64("conducted_slowest_single_ms", c_max.as_millis_f64());
+    json.metric("serialized_failed_requests", serial.taw.bad_ops);
+    json.metric("conducted_failed_requests", conducted.taw.bad_ops);
+    json.metric("serialized_recoveries", serial.intervals.len() as u64);
+    json.metric("conducted_recoveries", conducted.intervals.len() as u64);
+    json.text(
+        "serialized_digest",
+        &format!("{:016x}", serial.trace.digest),
+    );
+    json.digest(conducted.trace.digest);
+    json.metric_f64(
+        "conducted_des_events_per_wall_second",
+        conducted.kernel.gauge("des_events_per_wall_second"),
+    );
+    json.metric_f64(
+        "conducted_sim_seconds_per_wall_second",
+        conducted.kernel.gauge("sim_seconds_per_wall_second"),
+    );
+    json.telemetry(&conducted.telemetry);
+    match json.write() {
+        Ok(path) => println!("machine-readable report -> {path}"),
+        Err(e) => eprintln!("could not write BENCH report: {e}"),
+    }
 
     // Machine-checkable acceptance criteria.
     let within_25 = c_union.as_millis_f64() <= 1.25 * c_max.as_millis_f64();

@@ -1,0 +1,332 @@
+//! `urb-trace` — inspect deterministic JSONL telemetry traces.
+//!
+//! Turns the opaque FNV trace digest into an actionable view of what a
+//! run's recovery actually looked like, per episode and per second:
+//!
+//! * `urb-trace record <out.jsonl> [--seed N]` — run the standard seeded
+//!   fault scenario (two simulated minutes, a transient exception in
+//!   `BrowseCategories` at t=60 s, automatic recovery) and write its
+//!   full trace, so CI and the other subcommands have a cheap input;
+//! * `urb-trace summary <trace.jsonl>` — one row per recovery episode:
+//!   trigger, rung, duration, lost work, paper-style Taw dip;
+//! * `urb-trace timeline <trace.jsonl>` — per-second availability in the
+//!   style of the paper's Figures 1/2/4/6;
+//! * `urb-trace diff <a.jsonl> <b.jsonl>` — first diverging event plus
+//!   per-kind count deltas (exit 1 when the traces diverge);
+//! * `urb-trace verify <trace.jsonl>` — recompute the FNV digest and
+//!   check it against the `meta` line (exit 1 on mismatch).
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::process::ExitCode;
+use std::rc::Rc;
+
+use bench::Table;
+use cluster::{Sim, SimConfig};
+use faults::Fault;
+use recovery::RmConfig;
+use simcore::metrics::level_suffix;
+use simcore::telemetry::shared_bus;
+use simcore::trace::{
+    assemble_episodes, availability_timeline, event_kind, event_to_json, taw_dip, Trace,
+    TraceRecorder,
+};
+use simcore::SimTime;
+
+fn usage() {
+    eprintln!(
+        "usage:\n  \
+         urb-trace record <out.jsonl> [--seed N]\n  \
+         urb-trace summary <trace.jsonl>\n  \
+         urb-trace timeline <trace.jsonl>\n  \
+         urb-trace diff <a.jsonl> <b.jsonl>\n  \
+         urb-trace verify <trace.jsonl>"
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("summary") => cmd_summary(&args[1..]),
+        Some("timeline") => cmd_timeline(&args[1..]),
+        Some("diff") => cmd_diff(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        _ => {
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("urb-trace: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    Trace::read_from(Path::new(path))
+}
+
+// ---------------------------------------------------------------------------
+// record
+// ---------------------------------------------------------------------------
+
+/// The standard seeded scenario (mirrors the `telemetry_trace` digest-pin
+/// test): two simulated minutes, 500 clients on one node, a transient
+/// exception injected into `BrowseCategories` at t=60 s, recovery via the
+/// default recovery-manager policy.
+fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
+    let out = args.first().ok_or("record needs an output path")?;
+    let mut seed = 7;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            other => return Err(format!("unknown record flag {other}")),
+        }
+    }
+
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        rm: Some(RmConfig::default()),
+        ..SimConfig::default()
+    });
+    let bus = shared_bus();
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+    bus.borrow_mut().add_sink(Box::new(recorder.clone()));
+    sim.attach_telemetry(bus);
+    sim.schedule_fault(
+        SimTime::from_mins(1),
+        0,
+        Fault::TransientException {
+            component: "BrowseCategories",
+            calls: 30,
+        },
+    );
+    sim.run_until(SimTime::from_mins(2));
+    sim.finish();
+
+    let trace = Trace::from_events(recorder.borrow().events().to_vec());
+    trace
+        .write_to(Path::new(out))
+        .map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "recorded {} events (seed {seed}, digest {:016x}, {} episodes) to {out}",
+        trace.events.len(),
+        trace.digest,
+        assemble_episodes(&trace.events).len()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// summary
+// ---------------------------------------------------------------------------
+
+fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("summary needs a trace path")?;
+    let trace = load(path)?;
+    let episodes = assemble_episodes(&trace.events);
+    let timeline = availability_timeline(&trace.events);
+
+    println!(
+        "{path}: {} events, digest {:016x}, {} recovery episode(s)\n",
+        trace.events.len(),
+        trace.digest,
+        episodes.len()
+    );
+    if episodes.is_empty() {
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let mut t = Table::new(&[
+        "#",
+        "node",
+        "trigger",
+        "rung",
+        "begun (s)",
+        "reboot (ms)",
+        "detect->ok (ms)",
+        "killed",
+        "failed",
+        "retried",
+        "lost",
+        "Taw dip",
+    ]);
+    for (i, ep) in episodes.iter().enumerate() {
+        t.row_owned(vec![
+            i.to_string(),
+            ep.node.to_string(),
+            ep.trigger(),
+            level_suffix(ep.level).to_string(),
+            format!("{:.3}", ep.begun_at.as_secs_f64()),
+            format!("{:.1}", ep.duration.as_millis_f64()),
+            ep.detection_to_recovery()
+                .map(|d| format!("{:.1}", d.as_millis_f64()))
+                .unwrap_or_else(|| "-".into()),
+            ep.killed.to_string(),
+            ep.failed.to_string(),
+            ep.retried.to_string(),
+            ep.lost_work().to_string(),
+            format!("{:.1}%", 100.0 * taw_dip(&timeline, ep)),
+        ]);
+    }
+    t.print();
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// timeline
+// ---------------------------------------------------------------------------
+
+fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("timeline needs a trace path")?;
+    let trace = load(path)?;
+    let timeline = availability_timeline(&trace.events);
+    if timeline.is_empty() {
+        println!("{path}: no client operations in trace");
+        return Ok(ExitCode::SUCCESS);
+    }
+    let reboots: Vec<(u64, u64)> = trace
+        .events
+        .iter()
+        .filter_map(|ev| match *ev {
+            simcore::TelemetryEvent::RebootBegun { at, .. } => Some((at.second_index(), 0)),
+            simcore::TelemetryEvent::RebootFinished { at, .. } => Some((at.second_index(), 1)),
+            _ => None,
+        })
+        .collect();
+    println!("{path}: per-second client-observed availability (idle seconds omitted)\n");
+    println!(
+        "{:>5}  {:>5}  {:>5}  {:>6}  {:<40}",
+        "sec", "ok", "fail", "avail", ""
+    );
+    for cell in timeline.iter().filter(|c| c.ok + c.fail > 0) {
+        let avail = cell.availability();
+        let bar = "#".repeat((avail * 40.0).round() as usize);
+        let marks: String = reboots
+            .iter()
+            .filter(|(s, _)| *s == cell.second)
+            .map(|(_, kind)| {
+                if *kind == 0 {
+                    " <reboot begun"
+                } else {
+                    " <reboot done"
+                }
+            })
+            .collect();
+        println!(
+            "{:>5}  {:>5}  {:>5}  {:>5.1}%  {bar}{marks}",
+            cell.second,
+            cell.ok,
+            cell.fail,
+            avail * 100.0
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------------
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
+    let [a_path, b_path] = args else {
+        return Err("diff needs exactly two trace paths".into());
+    };
+    let a = load(a_path)?;
+    let b = load(b_path)?;
+
+    println!(
+        "a: {a_path} ({} events, digest {:016x})",
+        a.events.len(),
+        a.digest
+    );
+    println!(
+        "b: {b_path} ({} events, digest {:016x})",
+        b.events.len(),
+        b.digest
+    );
+
+    if a.digest == b.digest && a.events == b.events {
+        println!("\ntraces are identical: zero divergence");
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // First diverging event, by position in emission order.
+    let first = a
+        .events
+        .iter()
+        .zip(&b.events)
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.events.len().min(b.events.len()));
+    println!("\nfirst divergence at event index {first}:");
+    match (a.events.get(first), b.events.get(first)) {
+        (Some(x), Some(y)) => {
+            println!("  a: {}", event_to_json(x));
+            println!("  b: {}", event_to_json(y));
+        }
+        (Some(x), None) => println!("  a: {}\n  b: <end of trace>", event_to_json(x)),
+        (None, Some(y)) => println!("  a: <end of trace>\n  b: {}", event_to_json(y)),
+        (None, None) => println!("  (event streams equal; digests differ in meta only)"),
+    }
+
+    // Per-kind count deltas.
+    let mut kinds: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+    for ev in &a.events {
+        kinds.entry(event_kind(ev)).or_insert((0, 0)).0 += 1;
+    }
+    for ev in &b.events {
+        kinds.entry(event_kind(ev)).or_insert((0, 0)).1 += 1;
+    }
+    println!("\nper-kind event counts:");
+    let mut t = Table::new(&["kind", "a", "b", "delta"]);
+    for (kind, (na, nb)) in &kinds {
+        t.row_owned(vec![
+            (*kind).to_string(),
+            na.to_string(),
+            nb.to_string(),
+            if na == nb {
+                "=".into()
+            } else {
+                format!("{:+}", *nb as i64 - *na as i64)
+            },
+        ]);
+    }
+    t.print();
+    Ok(ExitCode::FAILURE)
+}
+
+// ---------------------------------------------------------------------------
+// verify
+// ---------------------------------------------------------------------------
+
+fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.first().ok_or("verify needs a trace path")?;
+    let trace = load(path)?;
+    let recomputed = trace.recomputed_digest();
+    if recomputed == trace.digest {
+        println!(
+            "{path}: OK — {} events, digest {:016x} matches",
+            trace.events.len(),
+            trace.digest
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        eprintln!(
+            "{path}: DIGEST MISMATCH — meta declares {:016x}, events hash to {recomputed:016x}",
+            trace.digest
+        );
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,8 +1,12 @@
 //! Plain-text table formatting for experiment reports, plus a
-//! [`TelemetrySummary`] sink that folds the cross-crate telemetry stream
-//! into per-kind counters for the experiment printouts.
+//! [`TelemetrySummary`] sink — a thin view over a
+//! [`simcore::metrics::MetricsRegistry`] — that folds the cross-crate
+//! telemetry stream into per-kind counters for the experiment printouts,
+//! and a [`JsonReport`] writer that emits machine-readable
+//! `BENCH_<exp>.json` files next to the text tables.
 
-use simcore::telemetry::{RebootLevel, TelemetryEvent, TelemetrySink};
+use simcore::telemetry::{TelemetryEvent, TelemetrySink};
+use simcore::MetricsRegistry;
 
 /// A simple aligned-column table printer.
 ///
@@ -90,67 +94,84 @@ impl Table {
 /// Attach one (behind `Rc<RefCell<..>>`) to a [`simcore::telemetry::TelemetryBus`]
 /// to get an experiment-wide view of what every layer emitted — requests,
 /// kills, reboots by level, detector fires and recovery decisions — without
-/// reaching into any component's private stats.
+/// reaching into any component's private stats. Since the registry refactor
+/// this is a *view* over the canonical [`MetricsRegistry`] fold: the sink
+/// delegates to the registry and the accessors are named-counter reads.
 #[derive(Clone, Debug, Default)]
 pub struct TelemetrySummary {
-    /// Requests submitted across all nodes.
-    pub submitted: u64,
-    /// Requests completed (any disposition).
-    pub completed: u64,
-    /// Transparent retries sent (Retry-After).
-    pub retries: u64,
-    /// Requests killed by any reboot or TTL purge.
-    pub killed: u64,
-    /// Reboots begun, indexed by [`RebootLevel`] depth
-    /// (component, application, process, OS).
-    pub reboots_begun: [u64; 4],
-    /// Reboots finished, same indexing.
-    pub reboots_finished: [u64; 4],
-    /// End-to-end failure reports that reached the recovery manager.
-    pub detector_fires: u64,
-    /// Recovery decisions taken by the manager.
-    pub decisions: u64,
-    /// Rejuvenation service polls observed.
-    pub rejuvenation_ticks: u64,
-    /// Client operations recorded (Taw stream).
-    pub client_ops: u64,
-    /// User actions closed (Taw stream).
-    pub actions_closed: u64,
-    /// Recovery actions the conductor deferred behind a conflict.
-    pub recoveries_queued: u64,
-    /// Recovery actions the conductor merged into an existing ticket.
-    pub recoveries_coalesced: u64,
-    /// Quarantine activations (blast-radius changes count again).
-    pub quarantines: u64,
+    registry: MetricsRegistry,
 }
 
-fn level_index(level: RebootLevel) -> usize {
-    match level {
-        RebootLevel::Component => 0,
-        RebootLevel::Application => 1,
-        RebootLevel::Process => 2,
-        RebootLevel::OperatingSystem => 3,
-    }
-}
+const LEVEL_SUFFIXES: [&str; 4] = ["component", "application", "process", "os"];
 
 impl TelemetrySummary {
+    /// The backing registry (histograms, gauges and series included).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Requests submitted across all nodes.
+    pub fn submitted(&self) -> u64 {
+        self.registry.counter("requests_submitted")
+    }
+
+    /// Requests completed (any disposition).
+    pub fn completed(&self) -> u64 {
+        self.registry.counter("requests_completed")
+    }
+
+    /// Transparent retries sent (Retry-After).
+    pub fn retries(&self) -> u64 {
+        self.registry.counter("retries_sent")
+    }
+
+    /// Requests killed by any reboot or TTL purge.
+    pub fn killed(&self) -> u64 {
+        self.registry.counter("requests_killed")
+    }
+
+    /// Reboots begun, indexed by [`simcore::telemetry::RebootLevel`] depth
+    /// (component, application, process, OS).
+    pub fn reboots_begun(&self) -> [u64; 4] {
+        LEVEL_SUFFIXES.map(|s| self.registry.counter(&format!("reboots_begun_{s}")))
+    }
+
+    /// Reboots finished, same indexing.
+    pub fn reboots_finished(&self) -> [u64; 4] {
+        LEVEL_SUFFIXES.map(|s| self.registry.counter(&format!("reboots_finished_{s}")))
+    }
+
+    /// End-to-end failure reports that reached the recovery manager.
+    pub fn detector_fires(&self) -> u64 {
+        self.registry.counter("detector_fires")
+    }
+
+    /// Recovery decisions taken by the manager.
+    pub fn decisions(&self) -> u64 {
+        self.registry.counter("recovery_decisions")
+    }
+
     /// Total reboots begun at any level.
     pub fn total_reboots(&self) -> u64 {
-        self.reboots_begun.iter().sum()
+        self.registry.counter("reboots_begun")
     }
 
     /// Appends the summary's rows to a two-column table.
     pub fn rows(&self, table: &mut Table) {
+        let reg = &self.registry;
+        let count = |name: &str| reg.counter(name).to_string();
         table.row_owned(vec![
             "requests submitted".into(),
-            self.submitted.to_string(),
+            count("requests_submitted"),
         ]);
         table.row_owned(vec![
             "requests completed".into(),
-            self.completed.to_string(),
+            count("requests_completed"),
         ]);
-        table.row_owned(vec!["retries sent".into(), self.retries.to_string()]);
-        table.row_owned(vec!["requests killed".into(), self.killed.to_string()]);
+        table.row_owned(vec!["retries sent".into(), count("retries_sent")]);
+        table.row_owned(vec!["requests killed".into(), count("requests_killed")]);
+        let begun = self.reboots_begun();
+        let finished = self.reboots_finished();
         for (i, label) in [
             "microreboots",
             "app restarts",
@@ -162,38 +183,28 @@ impl TelemetrySummary {
         {
             table.row_owned(vec![
                 (*label).into(),
-                format!(
-                    "{} begun / {} finished",
-                    self.reboots_begun[i], self.reboots_finished[i]
-                ),
+                format!("{} begun / {} finished", begun[i], finished[i]),
             ]);
         }
-        table.row_owned(vec![
-            "detector reports".into(),
-            self.detector_fires.to_string(),
-        ]);
+        table.row_owned(vec!["detector reports".into(), count("detector_fires")]);
         table.row_owned(vec![
             "recovery decisions".into(),
-            self.decisions.to_string(),
+            count("recovery_decisions"),
         ]);
         table.row_owned(vec![
             "rejuvenation ticks".into(),
-            self.rejuvenation_ticks.to_string(),
+            count("rejuvenation_ticks"),
         ]);
-        table.row_owned(vec!["client ops".into(), self.client_ops.to_string()]);
-        table.row_owned(vec![
-            "actions closed".into(),
-            self.actions_closed.to_string(),
-        ]);
-        table.row_owned(vec![
-            "recoveries queued".into(),
-            self.recoveries_queued.to_string(),
-        ]);
+        table.row_owned(vec!["client ops".into(), count("client_ops")]);
+        table.row_owned(vec!["actions closed".into(), count("actions_closed")]);
+        table.row_owned(vec!["recoveries queued".into(), count("recoveries_queued")]);
         table.row_owned(vec![
             "recoveries coalesced".into(),
-            self.recoveries_coalesced.to_string(),
+            count("recoveries_coalesced"),
         ]);
-        table.row_owned(vec!["quarantines".into(), self.quarantines.to_string()]);
+        table.row_owned(vec!["quarantines".into(), count("quarantine_on")]);
+        table.row_owned(vec!["LB failovers".into(), count("lb_failovers")]);
+        table.row_owned(vec!["TTL sweeps".into(), count("ttl_sweeps")]);
     }
 
     /// Prints the summary as a titled table.
@@ -207,27 +218,90 @@ impl TelemetrySummary {
 
 impl TelemetrySink for TelemetrySummary {
     fn on_event(&mut self, event: &TelemetryEvent) {
-        match *event {
-            TelemetryEvent::RequestSubmitted { .. } => self.submitted += 1,
-            TelemetryEvent::RequestCompleted { .. } => self.completed += 1,
-            TelemetryEvent::RetrySent { .. } => self.retries += 1,
-            TelemetryEvent::RequestKilled { .. } => self.killed += 1,
-            TelemetryEvent::RebootBegun { level, .. } => {
-                self.reboots_begun[level_index(level)] += 1;
-            }
-            TelemetryEvent::RebootFinished { level, .. } => {
-                self.reboots_finished[level_index(level)] += 1;
-            }
-            TelemetryEvent::DetectorFired { .. } => self.detector_fires += 1,
-            TelemetryEvent::RecoveryDecision { .. } => self.decisions += 1,
-            TelemetryEvent::RejuvenationTick { .. } => self.rejuvenation_ticks += 1,
-            TelemetryEvent::ClientOp { .. } => self.client_ops += 1,
-            TelemetryEvent::ActionClosed { .. } => self.actions_closed += 1,
-            TelemetryEvent::RecoveryQueued { .. } => self.recoveries_queued += 1,
-            TelemetryEvent::RecoveryCoalesced { .. } => self.recoveries_coalesced += 1,
-            TelemetryEvent::QuarantineOn { .. } => self.quarantines += 1,
-            TelemetryEvent::QuarantineOff { .. } => {}
+        self.registry.on_event(event);
+    }
+}
+
+/// A machine-readable experiment report: flat key → value JSON written to
+/// `target/BENCH_<exp>.json` next to the text tables, so the perf
+/// trajectory accumulates across runs. Values are numbers or strings; the
+/// trace digest slots in as a hex string (`"digest": "a1b2..."`).
+///
+/// # Examples
+///
+/// ```no_run
+/// use bench::report::JsonReport;
+///
+/// let mut r = JsonReport::new("fig1");
+/// r.metric("failed_requests", 233);
+/// r.metric_f64("downtime_ms", 812.5);
+/// r.digest(0xdead_beef);
+/// r.write().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct JsonReport {
+    exp: String,
+    entries: Vec<(String, String)>,
+}
+
+impl JsonReport {
+    /// Starts a report for experiment `exp` (the `BENCH_<exp>.json` stem).
+    pub fn new(exp: &str) -> Self {
+        JsonReport {
+            exp: exp.to_string(),
+            entries: Vec::new(),
         }
+    }
+
+    /// Records an integer metric.
+    pub fn metric(&mut self, key: &str, value: u64) {
+        self.entries.push((key.to_string(), value.to_string()));
+    }
+
+    /// Records a float metric.
+    pub fn metric_f64(&mut self, key: &str, value: f64) {
+        self.entries.push((key.to_string(), format!("{value:.3}")));
+    }
+
+    /// Records a string value (JSON-escaped minimally: quotes/backslashes).
+    pub fn text(&mut self, key: &str, value: &str) {
+        let escaped = value.replace('\\', "\\\\").replace('"', "\\\"");
+        self.entries
+            .push((key.to_string(), format!("\"{escaped}\"")));
+    }
+
+    /// Records the run's FNV trace digest as hex.
+    pub fn digest(&mut self, digest: u64) {
+        self.entries
+            .push(("digest".to_string(), format!("\"{digest:016x}\"")));
+    }
+
+    /// Copies every counter of a [`TelemetrySummary`]'s registry under a
+    /// `telemetry.` prefix.
+    pub fn telemetry(&mut self, summary: &TelemetrySummary) {
+        for (name, value) in summary.registry().counters() {
+            self.entries
+                .push((format!("telemetry.{name}"), value.to_string()));
+        }
+    }
+
+    /// Renders the report as a JSON object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"experiment\": \"{}\"", self.exp));
+        for (k, v) in &self.entries {
+            out.push_str(&format!(",\n  \"{k}\": {v}"));
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes `target/BENCH_<exp>.json`; returns the path written.
+    pub fn write(&self) -> std::io::Result<String> {
+        let path = format!("target/BENCH_{}.json", self.exp);
+        std::fs::create_dir_all("target")?;
+        std::fs::write(&path, self.render())?;
+        Ok(path)
     }
 }
 

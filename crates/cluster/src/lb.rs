@@ -16,11 +16,12 @@
 use std::collections::HashMap;
 
 use components::CompName;
+use simcore::telemetry::{SharedBus, TelemetryEvent};
+use simcore::SimTime;
 use statestore::SessionId;
 use urb_core::{OpCode, Request};
 
 /// The load balancer.
-#[derive(Debug)]
 pub struct LoadBalancer {
     nodes: usize,
     affinity: HashMap<SessionId, usize>,
@@ -33,6 +34,7 @@ pub struct LoadBalancer {
     /// Sessions whose affinity target was under redirection at routing
     /// time, i.e. requests actually failed over (Figure 3's metric).
     failed_over_sessions: Vec<SessionId>,
+    bus: Option<SharedBus>,
 }
 
 impl LoadBalancer {
@@ -51,7 +53,14 @@ impl LoadBalancer {
             path_of: None,
             rr: 0,
             failed_over_sessions: Vec::new(),
+            bus: None,
         }
+    }
+
+    /// Attaches a telemetry bus: failover redirections are emitted as
+    /// [`TelemetryEvent::LbFailover`] events.
+    pub fn attach_telemetry(&mut self, bus: SharedBus) {
+        self.bus = Some(bus);
     }
 
     /// Returns the number of nodes.
@@ -97,8 +106,8 @@ impl LoadBalancer {
         n
     }
 
-    /// Routes a request to a node.
-    pub fn route(&mut self, req: &Request) -> usize {
+    /// Routes a request to a node at `now`.
+    pub fn route(&mut self, req: &Request, now: SimTime) -> usize {
         if let Some(sid) = req.session {
             if let Some(&home) = self.affinity.get(&sid) {
                 let avoid = self.redirecting[home] || self.shed_by_quarantine(home, req.op);
@@ -106,7 +115,17 @@ impl LoadBalancer {
                     if !self.failed_over_sessions.contains(&sid) {
                         self.failed_over_sessions.push(sid);
                     }
-                    return self.next_good(req.op);
+                    let to = self.next_good(req.op);
+                    if let Some(bus) = &self.bus {
+                        bus.borrow_mut().emit(&TelemetryEvent::LbFailover {
+                            from: home,
+                            to,
+                            req: req.id.0,
+                            session: sid.0,
+                            at: now,
+                        });
+                    }
+                    return to;
                 }
                 return home;
             }
@@ -186,7 +205,9 @@ mod tests {
     #[test]
     fn cookieless_requests_round_robin() {
         let mut lb = LoadBalancer::new(3);
-        let nodes: Vec<usize> = (0..6).map(|i| lb.route(&req(i, None))).collect();
+        let nodes: Vec<usize> = (0..6)
+            .map(|i| lb.route(&req(i, None), SimTime::ZERO))
+            .collect();
         assert_eq!(nodes, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -195,7 +216,7 @@ mod tests {
         let mut lb = LoadBalancer::new(3);
         lb.assign(SessionId(7), 2);
         for i in 0..5 {
-            assert_eq!(lb.route(&req(i, Some(7))), 2);
+            assert_eq!(lb.route(&req(i, Some(7)), SimTime::ZERO), 2);
         }
     }
 
@@ -204,15 +225,15 @@ mod tests {
         let mut lb = LoadBalancer::new(3);
         lb.assign(SessionId(7), 1);
         lb.set_redirect(1, true);
-        let n = lb.route(&req(1, Some(7)));
+        let n = lb.route(&req(1, Some(7)), SimTime::ZERO);
         assert_ne!(n, 1);
         assert_eq!(lb.failed_over(), 1);
         // The same session counts once.
-        lb.route(&req(2, Some(7)));
+        lb.route(&req(2, Some(7)), SimTime::ZERO);
         assert_eq!(lb.failed_over(), 1);
         // Recovery done: traffic returns home.
         lb.set_redirect(1, false);
-        assert_eq!(lb.route(&req(3, Some(7))), 1);
+        assert_eq!(lb.route(&req(3, Some(7)), SimTime::ZERO), 1);
     }
 
     #[test]
@@ -220,7 +241,7 @@ mod tests {
         let mut lb = LoadBalancer::new(2);
         lb.set_redirect(0, true);
         for i in 0..4 {
-            assert_eq!(lb.route(&req(i, None)), 1);
+            assert_eq!(lb.route(&req(i, None), SimTime::ZERO), 1);
         }
     }
 
@@ -229,8 +250,58 @@ mod tests {
         let mut lb = LoadBalancer::new(1);
         lb.assign(SessionId(1), 0);
         lb.set_redirect(0, true);
-        assert_eq!(lb.route(&req(1, Some(1))), 0, "nowhere else to go");
+        assert_eq!(
+            lb.route(&req(1, Some(1)), SimTime::ZERO),
+            0,
+            "nowhere else to go"
+        );
         assert_eq!(lb.failed_over(), 0, "no failover in a 1-node cluster");
+    }
+
+    #[test]
+    fn failover_emits_telemetry_event() {
+        use simcore::telemetry::{shared_bus, TelemetrySink, TraceHashSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Capture(Vec<TelemetryEvent>);
+        impl TelemetrySink for Capture {
+            fn on_event(&mut self, event: &TelemetryEvent) {
+                self.0.push(*event);
+            }
+        }
+
+        let bus = shared_bus();
+        let cap = Rc::new(RefCell::new(Capture(Vec::new())));
+        bus.borrow_mut().add_sink(Box::new(cap.clone()));
+        let mut lb = LoadBalancer::new(2);
+        lb.attach_telemetry(bus);
+        lb.assign(SessionId(9), 0);
+        lb.set_redirect(0, true);
+        let now = SimTime::from_secs(3);
+        let to = lb.route(&req(5, Some(9)), now);
+        {
+            let events = &cap.borrow().0;
+            assert_eq!(events.len(), 1);
+            assert_eq!(
+                events[0],
+                TelemetryEvent::LbFailover {
+                    from: 0,
+                    to,
+                    req: 5,
+                    session: 9,
+                    at: now,
+                }
+            );
+        }
+        // Affinity routing without redirection emits nothing.
+        lb.set_redirect(0, false);
+        lb.route(&req(6, Some(9)), now);
+        assert_eq!(cap.borrow().0.len(), 1);
+        // And the digest machinery accepts the new variant.
+        let mut h = TraceHashSink::new();
+        h.on_event(&cap.borrow().0[0]);
+        assert_eq!(h.count(), 1);
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl World {
         let Some(out) = self.pool.wake(client, now) else {
             return;
         };
-        let node = self.lb.route(&out.req);
+        let node = self.lb.route(&out.req, now);
         // Browsers give up eventually: if no response arrived by then, the
         // client observes a timeout (the server may still hold the stuck
         // thread until its TTL lease expires).
@@ -655,8 +655,9 @@ impl Sim {
     }
 
     /// Attaches a telemetry bus to every layer of the simulation: all
-    /// server nodes, the recovery manager, the client pool, and the
-    /// world's own rejuvenation ticks all emit into `bus`.
+    /// server nodes, the load balancer, the recovery manager, the
+    /// conductor, the client pool, and the world's own rejuvenation ticks
+    /// all emit into `bus`.
     pub fn attach_telemetry(&mut self, bus: SharedBus) {
         for node in &mut self.world.nodes {
             node.attach_telemetry(bus.clone());
@@ -667,8 +668,28 @@ impl Sim {
         if let Some(conductor) = &mut self.world.conductor {
             conductor.attach_telemetry(bus.clone());
         }
+        self.world.lb.attach_telemetry(bus.clone());
         self.world.pool.attach_telemetry(bus.clone());
         self.world.bus = Some(bus);
+    }
+
+    /// Records the DES kernel's end-of-run gauges — events processed,
+    /// queue depth, simulated seconds, and (when `wall_seconds` is given)
+    /// simulated time advanced per wall-second — into `reg`. Gauges are
+    /// read out of the kernel, never fed back in, so this cannot perturb
+    /// the run.
+    pub fn record_kernel_gauges(
+        &self,
+        reg: &mut simcore::MetricsRegistry,
+        wall_seconds: Option<f64>,
+    ) {
+        simcore::metrics::record_kernel_gauges(
+            reg,
+            self.queue.events_fired(),
+            self.queue.pending(),
+            self.queue.now(),
+            wall_seconds,
+        );
     }
 
     /// Returns the current simulated time.

@@ -1,0 +1,113 @@
+//! Golden-trace test for the observability layer: a small seeded
+//! fault-injection run must produce a JSONL trace that survives a
+//! write/reload round trip, assembles into exactly one correctly-shaped
+//! recovery episode, and is digest-stable across identical runs —
+//! attaching the tracer and registry sinks must not perturb behaviour.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cluster::{Sim, SimConfig};
+use faults::Fault;
+use recovery::RmConfig;
+use simcore::telemetry::{shared_bus, DecisionKind, RebootLevel};
+use simcore::trace::{assemble_episodes, availability_timeline, taw_dip};
+use simcore::{MetricsRegistry, SimTime, Trace, TraceRecorder};
+
+/// Two simulated minutes with a transient exception in `BrowseCategories`
+/// at t=60 s, recovered by the default manager policy; every observability
+/// sink attached at once.
+fn run(seed: u64) -> (Trace, MetricsRegistry) {
+    let mut sim = Sim::new(SimConfig {
+        seed,
+        rm: Some(RmConfig::default()),
+        ..SimConfig::default()
+    });
+    let bus = shared_bus();
+    let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
+    bus.borrow_mut().add_sink(Box::new(recorder.clone()));
+    let registry = Rc::new(RefCell::new(MetricsRegistry::new()));
+    bus.borrow_mut().add_sink(Box::new(registry.clone()));
+    sim.attach_telemetry(bus);
+    sim.schedule_fault(
+        SimTime::from_mins(1),
+        0,
+        Fault::TransientException {
+            component: "BrowseCategories",
+            calls: 30,
+        },
+    );
+    sim.run_until(SimTime::from_mins(2));
+    sim.finish();
+    let trace = Trace::from_events(recorder.borrow().events().to_vec());
+    let reg = registry.borrow().clone();
+    (trace, reg)
+}
+
+#[test]
+fn golden_trace_round_trips_and_assembles_one_episode() {
+    let (trace, registry) = run(7);
+    assert!(trace.events.len() > 1000, "the run emitted telemetry");
+
+    // Write/reload round trip preserves the event stream bit-for-bit.
+    let path = std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join("episode_trace_golden.jsonl");
+    trace.write_to(&path).expect("trace written");
+    let reloaded = Trace::read_from(&path).expect("trace reloaded");
+    assert_eq!(reloaded.digest, trace.digest, "declared digest survives");
+    assert_eq!(
+        reloaded.recomputed_digest(),
+        trace.digest,
+        "events re-hash to the declared digest after the round trip"
+    );
+    assert_eq!(reloaded.events, trace.events);
+
+    // Exactly one episode with the expected shape.
+    let episodes = assemble_episodes(&reloaded.events);
+    assert_eq!(episodes.len(), 1, "one fault, one recovery episode");
+    let ep = &episodes[0];
+    assert_eq!(ep.node, 0);
+    assert_eq!(ep.decision, Some(DecisionKind::EjbMicroreboot));
+    assert_eq!(ep.level, RebootLevel::Component, "EJB rung microreboot");
+    assert!(ep.detector_fires > 0, "detector reports were attributed");
+
+    // Causal ordering: detection -> decision -> reboot begun -> recovered.
+    let detected = ep.first_detector_at.expect("episode has a detector span");
+    let decided = ep.decided_at.expect("episode has a decision");
+    assert!(detected <= decided);
+    assert!(decided <= ep.begun_at);
+    assert!(ep.begun_at < ep.finished_at);
+    assert_eq!(ep.duration, ep.finished_at - ep.begun_at);
+
+    // The episode cost work, and the dip is visible in the timeline.
+    assert!(ep.lost_work() > 0, "recovery kills or fails some requests");
+    let timeline = availability_timeline(&reloaded.events);
+    assert!(taw_dip(&timeline, ep) > 0.0, "Taw dips during the episode");
+
+    // The registry fold agrees with the trace it rode along with.
+    assert_eq!(registry.counter("reboots_begun_component"), 1);
+    assert_eq!(registry.counter("decisions_ejb_microreboot"), 1);
+    assert_eq!(
+        registry.counter("requests_submitted"),
+        reloaded
+            .events
+            .iter()
+            .filter(|e| matches!(e, simcore::TelemetryEvent::RequestSubmitted { .. }))
+            .count() as u64
+    );
+}
+
+#[test]
+fn trace_digest_is_stable_across_identical_runs() {
+    let (a, _) = run(7);
+    let (b, _) = run(7);
+    assert_eq!(
+        a.events.len(),
+        b.events.len(),
+        "same seed, same event count"
+    );
+    assert_eq!(a.digest, b.digest, "same seed, identical digest");
+    assert_eq!(a.events, b.events, "same seed, identical event stream");
+
+    let (c, _) = run(8);
+    assert_ne!(a.digest, c.digest, "a different seed diverges");
+}

@@ -153,14 +153,14 @@ fn three_disjoint_faults_recover_in_parallel_under_quarantine() {
             }
             _ => {
                 if let Some((cs, ce)) = cursor {
-                    union = union + (ce - cs);
+                    union += ce - cs;
                 }
                 cursor = Some((s, e));
             }
         }
     }
     if let Some((cs, ce)) = cursor {
-        union = union + (ce - cs);
+        union += ce - cs;
     }
     let sum: SimDuration = intervals
         .iter()

@@ -27,7 +27,7 @@ use components::descriptor::ComponentId;
 use components::graph::DependencyGraph;
 use components::registry::{Binding, NamingRegistry};
 use simcore::telemetry::{Disposition, KillCause, SharedBus, TelemetryEvent, TelemetrySink};
-use simcore::{SimDuration, SimRng, SimTime};
+use simcore::{MetricsRegistry, SimDuration, SimRng, SimTime};
 use statestore::db::ConnId;
 use statestore::session::{CorruptKind, SessionId};
 use statestore::TxnId;
@@ -149,9 +149,11 @@ impl std::error::Error for RebootError {}
 
 /// Lifetime counters of one server.
 ///
-/// Since the telemetry refactor this is a pure [`TelemetrySink`]: nothing
-/// mutates these fields directly; the server emits [`TelemetryEvent`]s and
-/// this fold turns them into counters.
+/// Since the metrics-registry refactor this is a *view*: the server folds
+/// every emitted [`TelemetryEvent`] into its node-local
+/// [`MetricsRegistry`], and [`ServerStats::from_registry`] materialises
+/// the classic counter struct from registry reads. Nothing increments
+/// these fields directly.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerStats {
     /// Requests submitted to this node.
@@ -180,28 +182,22 @@ pub struct ServerStats {
     pub os_reboots: u64,
 }
 
-impl TelemetrySink for ServerStats {
-    fn on_event(&mut self, event: &TelemetryEvent) {
-        match event {
-            TelemetryEvent::RequestSubmitted { .. } => self.submitted += 1,
-            TelemetryEvent::RequestCompleted { disposition, .. } => match disposition {
-                Disposition::Ok => self.ok += 1,
-                Disposition::HttpError => self.http_errors += 1,
-                Disposition::NetworkError => self.network_errors += 1,
-            },
-            TelemetryEvent::RetrySent { .. } => self.retries_sent += 1,
-            TelemetryEvent::RequestKilled { cause, .. } => match cause {
-                KillCause::Microreboot => self.killed_by_microreboot += 1,
-                KillCause::Restart => self.killed_by_restart += 1,
-                KillCause::Ttl => self.ttl_kills += 1,
-            },
-            TelemetryEvent::RebootBegun { level, .. } => match level {
-                RebootLevel::Component => self.microreboots += 1,
-                RebootLevel::Application => self.app_restarts += 1,
-                RebootLevel::Process => self.process_restarts += 1,
-                RebootLevel::OperatingSystem => self.os_reboots += 1,
-            },
-            _ => {}
+impl ServerStats {
+    /// Reads the classic counter struct out of a node's metrics registry.
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        ServerStats {
+            submitted: reg.counter("requests_submitted"),
+            ok: reg.counter("requests_ok"),
+            http_errors: reg.counter("requests_http_error"),
+            network_errors: reg.counter("requests_network_error"),
+            retries_sent: reg.counter("retries_sent"),
+            killed_by_microreboot: reg.counter("killed_microreboot"),
+            killed_by_restart: reg.counter("killed_restart"),
+            ttl_kills: reg.counter("killed_ttl"),
+            microreboots: reg.counter("reboots_begun_component"),
+            app_restarts: reg.counter("reboots_begun_application"),
+            process_restarts: reg.counter("reboots_begun_process"),
+            os_reboots: reg.counter("reboots_begun_os"),
         }
     }
 }
@@ -283,7 +279,7 @@ pub struct ServerInner {
     /// rejuvenation experiments).
     pub(crate) persistent_leaks: Vec<(&'static str, u64)>,
     last_maintenance: SimTime,
-    stats: ServerStats,
+    metrics: MetricsRegistry,
     bus: Option<SharedBus>,
 }
 
@@ -317,10 +313,11 @@ impl ServerInner {
         self.containers.iter().map(|c| c.heap_bytes()).sum()
     }
 
-    /// Folds `ev` into this node's counters and forwards it to the
-    /// attached bus, if any. The single exit point for server telemetry.
+    /// Folds `ev` into this node's metrics registry and forwards it to
+    /// the attached bus, if any. The single exit point for server
+    /// telemetry.
     pub(crate) fn emit(&mut self, ev: TelemetryEvent) {
-        self.stats.on_event(&ev);
+        self.metrics.on_event(&ev);
         if let Some(bus) = &self.bus {
             bus.borrow_mut().emit(&ev);
         }
@@ -383,7 +380,7 @@ impl<A: Application> AppServer<A> {
                 extra_leak_rate: 0,
                 persistent_leaks: Vec::new(),
                 last_maintenance: SimTime::ZERO,
-                stats: ServerStats::default(),
+                metrics: MetricsRegistry::new(),
                 bus: None,
             },
             pipeline: RequestPipeline::new(config.cpus, config.threads),
@@ -409,9 +406,14 @@ impl<A: Application> AppServer<A> {
         &mut self.app
     }
 
-    /// Returns lifetime counters.
+    /// Returns lifetime counters (a view over the metrics registry).
     pub fn stats(&self) -> ServerStats {
-        self.inner.stats
+        ServerStats::from_registry(&self.inner.metrics)
+    }
+
+    /// Returns the node-local metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Returns the process availability state.
@@ -886,7 +888,9 @@ impl<A: Application> AppServer<A> {
             return out;
         }
         // TTL purge of stuck requests (Section 2's leased execution time).
-        for v in self.pipeline.take_expired_hung(now, calib::REQUEST_TTL) {
+        let expired = self.pipeline.take_expired_hung(now, calib::REQUEST_TTL);
+        let reaped = expired.len() as u32;
+        for v in expired {
             if let Some(t) = v.txn {
                 let mut db = self.inner.db.borrow_mut();
                 if db.txn_active(t) {
@@ -901,6 +905,17 @@ impl<A: Application> AppServer<A> {
                 node: self.inner.node,
                 req: v.req.id.0,
                 cause: KillCause::Ttl,
+                at: now,
+            });
+        }
+        // The sweep itself is observable whenever it had hung requests to
+        // consider (quiet sweeps over healthy nodes stay off the bus).
+        let pending = self.pipeline.hung_count() as u32;
+        if reaped > 0 || pending > 0 {
+            self.inner.emit(TelemetryEvent::TtlSweep {
+                node: self.inner.node,
+                pending,
+                reaped,
                 at: now,
             });
         }

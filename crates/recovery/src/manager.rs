@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use components::CompName;
 use simcore::telemetry::{DecisionKind, SharedBus, TelemetryEvent, TelemetrySink};
-use simcore::{SimDuration, SimTime};
+use simcore::{MetricsRegistry, SimDuration, SimTime};
 use urb_core::OpCode;
 use workload::detect::{FailureKind, FailureReport};
 
@@ -97,8 +97,10 @@ impl Default for RmConfig {
 
 /// Lifetime counters.
 ///
-/// A pure [`TelemetrySink`]: the manager emits [`TelemetryEvent`]s and
-/// this fold turns them into counters.
+/// A *view* over the manager's [`MetricsRegistry`]: the manager folds
+/// every emitted [`TelemetryEvent`] into the registry and
+/// [`RmStats::from_registry`] materialises the classic counter struct
+/// from registry reads.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RmStats {
     /// Reports received.
@@ -117,19 +119,17 @@ pub struct RmStats {
     pub human_notifications: u64,
 }
 
-impl TelemetrySink for RmStats {
-    fn on_event(&mut self, event: &TelemetryEvent) {
-        match event {
-            TelemetryEvent::DetectorFired { .. } => self.reports += 1,
-            TelemetryEvent::RecoveryDecision { decision, .. } => match decision {
-                DecisionKind::EjbMicroreboot => self.ejb_microreboots += 1,
-                DecisionKind::WarMicroreboot => self.war_microreboots += 1,
-                DecisionKind::AppRestart => self.app_restarts += 1,
-                DecisionKind::ProcessRestart => self.process_restarts += 1,
-                DecisionKind::OsReboot => self.os_reboots += 1,
-                DecisionKind::NotifyHuman => self.human_notifications += 1,
-            },
-            _ => {}
+impl RmStats {
+    /// Reads the classic counter struct out of the manager's registry.
+    pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        RmStats {
+            reports: reg.counter("detector_fires"),
+            ejb_microreboots: reg.counter("decisions_ejb_microreboot"),
+            war_microreboots: reg.counter("decisions_war_microreboot"),
+            app_restarts: reg.counter("decisions_app_restart"),
+            process_restarts: reg.counter("decisions_process_restart"),
+            os_reboots: reg.counter("decisions_os_reboot"),
+            human_notifications: reg.counter("decisions_notify_human"),
         }
     }
 }
@@ -220,7 +220,7 @@ pub struct RecoveryManager {
     /// Name of the web component, scored down (it is on every path).
     web: &'static str,
     nodes: Vec<NodeDiag>,
-    stats: RmStats,
+    metrics: MetricsRegistry,
     bus: Option<SharedBus>,
 }
 
@@ -239,7 +239,7 @@ impl RecoveryManager {
             nodes: (0..nodes)
                 .map(|_| NodeDiag::new(config.start_level))
                 .collect(),
-            stats: RmStats::default(),
+            metrics: MetricsRegistry::new(),
             bus: None,
         }
     }
@@ -250,17 +250,22 @@ impl RecoveryManager {
         self.bus = Some(bus);
     }
 
-    /// Returns lifetime counters.
+    /// Returns lifetime counters (a view over the metrics registry).
     pub fn stats(&self) -> RmStats {
-        self.stats
+        RmStats::from_registry(&self.metrics)
     }
 
-    /// Folds `ev` into the counters and forwards it to the bus.
+    /// Returns the manager's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Folds `ev` into the registry and forwards it to the bus.
     ///
     /// An associated function over the split fields so it composes with a
     /// live `&mut self.nodes[..]` borrow in [`RecoveryManager::decide`].
-    fn emit(stats: &mut RmStats, bus: &Option<SharedBus>, ev: TelemetryEvent) {
-        stats.on_event(&ev);
+    fn emit(metrics: &mut MetricsRegistry, bus: &Option<SharedBus>, ev: TelemetryEvent) {
+        metrics.on_event(&ev);
         if let Some(bus) = bus {
             bus.borrow_mut().emit(&ev);
         }
@@ -274,7 +279,7 @@ impl RecoveryManager {
     /// Ingests one failure report from a monitor.
     pub fn report(&mut self, r: &FailureReport) {
         Self::emit(
-            &mut self.stats,
+            &mut self.metrics,
             &self.bus,
             TelemetryEvent::DetectorFired {
                 node: r.node,
@@ -467,7 +472,7 @@ impl RecoveryManager {
             .retain(|e| now - *e <= config.recurrence_window);
         if diag.episode_ends.len() as u32 >= config.recurrence_limit {
             Self::emit(
-                &mut self.stats,
+                &mut self.metrics,
                 &self.bus,
                 TelemetryEvent::RecoveryDecision {
                     node,
@@ -527,7 +532,7 @@ impl RecoveryManager {
             PolicyLevel::Human => (RecoveryAction::NotifyHuman, DecisionKind::NotifyHuman),
         };
         Self::emit(
-            &mut self.stats,
+            &mut self.metrics,
             &self.bus,
             TelemetryEvent::RecoveryDecision {
                 node,

@@ -11,7 +11,11 @@
 //!   used to regenerate the paper's tables and figures,
 //! * [`telemetry`] — the cross-crate structured-event bus: every layer of
 //!   the stack emits [`TelemetryEvent`]s and counters are
-//!   [`TelemetrySink`] implementations over them.
+//!   [`TelemetrySink`] implementations over them,
+//! * [`metrics`] — a named counter/gauge/histogram registry folding the
+//!   event stream, the backing store for every layer's statistics,
+//! * [`trace`] — recovery-episode assembly and the deterministic JSONL
+//!   trace format the `urb-trace` inspection CLI consumes.
 //!
 //! Everything is single-threaded and fully deterministic: a simulation run is
 //! a pure function of its seed and parameters, which is what lets the
@@ -40,15 +44,19 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod trace;
 
 pub use event::{EventId, EventQueue};
+pub use metrics::MetricsRegistry;
 pub use rng::SimRng;
 pub use telemetry::{
     shared_bus, DecisionKind, Disposition, KillCause, RebootLevel, SharedBus, TelemetryBus,
     TelemetryEvent, TelemetrySink, TraceHashSink,
 };
 pub use time::{SimDuration, SimTime};
+pub use trace::{assemble_episodes, RecoveryEpisode, Trace, TraceRecorder};

@@ -1,0 +1,372 @@
+//! A run-wide metrics registry downstream of the telemetry bus.
+//!
+//! [`MetricsRegistry`] is a [`TelemetrySink`] that folds the structured
+//! event stream into *named* counters, gauges, fixed-bucket histograms
+//! (reusing [`stats::Histogram`]) and per-second series (reusing
+//! [`stats::SecondSeries`]). Every layer of the stack that used to keep
+//! ad-hoc `+= 1` fields — the request pipeline, the reboot lifecycle, the
+//! recovery manager, the conductor, the load balancer and the client
+//! emulator — now reaches its counters through one registry attached to
+//! the shared bus; `ServerStats`, `RmStats` and bench's `TelemetrySummary`
+//! are thin *views* over registry reads rather than independent folds.
+//!
+//! The registry is observation-only: it never emits events and never
+//! feeds back into the simulation, so attaching one cannot perturb a
+//! run's trace digest.
+//!
+//! Counter names are `&'static str` and the canonical event fold uses a
+//! fixed vocabulary (`requests_submitted`, `reboots_begun_component`,
+//! `decisions_ejb_microreboot`, ...); layers may also register their own
+//! names (the DES kernel's `des_events_fired` gauge, queue-depth series)
+//! through the imperative API.
+
+use std::collections::BTreeMap;
+
+use crate::stats::{Histogram, SecondSeries};
+use crate::telemetry::{
+    DecisionKind, Disposition, KillCause, RebootLevel, TelemetryEvent, TelemetrySink,
+};
+use crate::time::{SimDuration, SimTime};
+
+/// Suffix for a [`RebootLevel`]-indexed counter family.
+pub fn level_suffix(level: RebootLevel) -> &'static str {
+    match level {
+        RebootLevel::Component => "component",
+        RebootLevel::Application => "application",
+        RebootLevel::Process => "process",
+        RebootLevel::OperatingSystem => "os",
+    }
+}
+
+/// Canonical counter name for a [`DecisionKind`].
+pub fn decision_counter(decision: DecisionKind) -> &'static str {
+    match decision {
+        DecisionKind::EjbMicroreboot => "decisions_ejb_microreboot",
+        DecisionKind::WarMicroreboot => "decisions_war_microreboot",
+        DecisionKind::AppRestart => "decisions_app_restart",
+        DecisionKind::ProcessRestart => "decisions_process_restart",
+        DecisionKind::OsReboot => "decisions_os_reboot",
+        DecisionKind::NotifyHuman => "decisions_notify_human",
+    }
+}
+
+/// Named counters, gauges, histograms and per-second series over the
+/// telemetry stream.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::metrics::MetricsRegistry;
+/// use simcore::telemetry::{TelemetryEvent, TelemetrySink};
+/// use simcore::SimTime;
+///
+/// let mut reg = MetricsRegistry::new();
+/// reg.on_event(&TelemetryEvent::RequestSubmitted {
+///     node: 0,
+///     req: 1,
+///     at: SimTime::from_secs(1),
+/// });
+/// assert_eq!(reg.counter("requests_submitted"), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, f64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    series: SecondSeries,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry with the canonical histograms installed:
+    /// `client_op_ms` (100 ms buckets to 10 s, paper's 8 s threshold) and
+    /// `reboot_ms` (50 ms buckets to 5 s, 1 s threshold).
+    pub fn new() -> Self {
+        let mut reg = MetricsRegistry::default();
+        reg.register_histogram(
+            "client_op_ms",
+            Histogram::new(
+                SimDuration::from_millis(100),
+                100,
+                SimDuration::from_secs(8),
+            ),
+        );
+        reg.register_histogram(
+            "reboot_ms",
+            Histogram::new(SimDuration::from_millis(50), 100, SimDuration::from_secs(1)),
+        );
+        reg
+    }
+
+    // ---- imperative API (for layers registering their own metrics) ------
+
+    /// Adds `n` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (zero if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&mut self, name: &'static str, value: f64) {
+        self.gauges.insert(name, value);
+    }
+
+    /// Reads gauge `name` (zero if never set).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Installs (or replaces) a histogram under `name`.
+    pub fn register_histogram(&mut self, name: &'static str, hist: Histogram) {
+        self.histograms.insert(name, hist);
+    }
+
+    /// Records a duration sample into histogram `name`, if registered.
+    pub fn observe(&mut self, name: &str, d: SimDuration) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.record(d);
+        }
+    }
+
+    /// Reads histogram `name`.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The per-second series the canonical fold maintains (`ops_ok`,
+    /// `ops_fail`, `killed`, `reboots`), plus anything layers add.
+    pub fn series(&self) -> &SecondSeries {
+        &self.series
+    }
+
+    /// Mutable access to the per-second series (gauge-style layer metrics
+    /// such as queue depth).
+    pub fn series_mut(&mut self) -> &mut SecondSeries {
+        &mut self.series
+    }
+
+    /// Iterates all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterates all gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl TelemetrySink for MetricsRegistry {
+    /// The canonical event → metric fold.
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::RequestSubmitted { .. } => self.inc("requests_submitted"),
+            TelemetryEvent::RequestCompleted {
+                disposition, at, ..
+            } => {
+                self.inc("requests_completed");
+                match disposition {
+                    Disposition::Ok => self.inc("requests_ok"),
+                    Disposition::HttpError => {
+                        self.inc("requests_http_error");
+                        self.series.incr(at, "req_fail");
+                    }
+                    Disposition::NetworkError => {
+                        self.inc("requests_network_error");
+                        self.series.incr(at, "req_fail");
+                    }
+                }
+            }
+            TelemetryEvent::RetrySent { .. } => self.inc("retries_sent"),
+            TelemetryEvent::RequestKilled { cause, at, .. } => {
+                self.inc("requests_killed");
+                self.series.incr(at, "killed");
+                match cause {
+                    KillCause::Microreboot => self.inc("killed_microreboot"),
+                    KillCause::Restart => self.inc("killed_restart"),
+                    KillCause::Ttl => self.inc("killed_ttl"),
+                }
+            }
+            TelemetryEvent::RebootBegun { level, at, .. } => {
+                self.inc("reboots_begun");
+                self.series.incr(at, "reboots");
+                match level {
+                    RebootLevel::Component => self.inc("reboots_begun_component"),
+                    RebootLevel::Application => self.inc("reboots_begun_application"),
+                    RebootLevel::Process => self.inc("reboots_begun_process"),
+                    RebootLevel::OperatingSystem => self.inc("reboots_begun_os"),
+                }
+            }
+            TelemetryEvent::RebootFinished {
+                level, duration, ..
+            } => {
+                self.inc("reboots_finished");
+                self.observe("reboot_ms", duration);
+                match level {
+                    RebootLevel::Component => self.inc("reboots_finished_component"),
+                    RebootLevel::Application => self.inc("reboots_finished_application"),
+                    RebootLevel::Process => self.inc("reboots_finished_process"),
+                    RebootLevel::OperatingSystem => self.inc("reboots_finished_os"),
+                }
+            }
+            TelemetryEvent::DetectorFired { .. } => self.inc("detector_fires"),
+            TelemetryEvent::RecoveryDecision { decision, .. } => {
+                self.inc("recovery_decisions");
+                self.inc(decision_counter(decision));
+            }
+            TelemetryEvent::RejuvenationTick { .. } => self.inc("rejuvenation_ticks"),
+            TelemetryEvent::ClientOp {
+                started_at,
+                finished_at,
+                ok,
+                ..
+            } => {
+                self.inc("client_ops");
+                self.observe("client_op_ms", finished_at - started_at);
+                if ok {
+                    self.inc("client_ops_ok");
+                    self.series.incr(finished_at, "ops_ok");
+                } else {
+                    self.inc("client_ops_failed");
+                    self.series.incr(finished_at, "ops_fail");
+                }
+            }
+            TelemetryEvent::ActionClosed { .. } => self.inc("actions_closed"),
+            TelemetryEvent::RecoveryQueued { .. } => self.inc("recoveries_queued"),
+            TelemetryEvent::RecoveryCoalesced { .. } => self.inc("recoveries_coalesced"),
+            TelemetryEvent::QuarantineOn { .. } => self.inc("quarantine_on"),
+            TelemetryEvent::QuarantineOff { .. } => self.inc("quarantine_off"),
+            TelemetryEvent::LbFailover { .. } => self.inc("lb_failovers"),
+            TelemetryEvent::TtlSweep { reaped, .. } => {
+                self.inc("ttl_sweeps");
+                self.add("ttl_sweep_reaped", u64::from(reaped));
+            }
+        }
+    }
+}
+
+/// Records the DES kernel's end-of-run health into `reg`: events
+/// processed, still-pending queue depth, simulated seconds covered, and —
+/// when wall-clock time is supplied — simulated time advanced per
+/// wall-second (the kernel-throughput gauge ROADMAP's "fast as the
+/// hardware allows" goal is judged by).
+pub fn record_kernel_gauges(
+    reg: &mut MetricsRegistry,
+    events_fired: u64,
+    pending: usize,
+    now: SimTime,
+    wall_seconds: Option<f64>,
+) {
+    reg.set_gauge("des_events_fired", events_fired as f64);
+    reg.set_gauge("des_queue_depth", pending as f64);
+    reg.set_gauge("sim_seconds", now.as_secs_f64());
+    if let Some(wall) = wall_seconds {
+        if wall > 0.0 {
+            reg.set_gauge("sim_seconds_per_wall_second", now.as_secs_f64() / wall);
+            reg.set_gauge("des_events_per_wall_second", events_fired as f64 / wall);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_fold_counts_by_kind() {
+        let mut reg = MetricsRegistry::new();
+        let at = SimTime::from_secs(2);
+        reg.on_event(&TelemetryEvent::RequestSubmitted {
+            node: 0,
+            req: 1,
+            at,
+        });
+        reg.on_event(&TelemetryEvent::RequestCompleted {
+            node: 0,
+            req: 1,
+            disposition: Disposition::HttpError,
+            at,
+        });
+        reg.on_event(&TelemetryEvent::RequestKilled {
+            node: 0,
+            req: 2,
+            cause: KillCause::Ttl,
+            at,
+        });
+        reg.on_event(&TelemetryEvent::RebootBegun {
+            node: 0,
+            level: RebootLevel::Component,
+            members: 1,
+            at,
+        });
+        reg.on_event(&TelemetryEvent::RebootFinished {
+            node: 0,
+            level: RebootLevel::Component,
+            duration: SimDuration::from_millis(120),
+            at,
+        });
+        reg.on_event(&TelemetryEvent::TtlSweep {
+            node: 0,
+            pending: 3,
+            reaped: 2,
+            at,
+        });
+        assert_eq!(reg.counter("requests_submitted"), 1);
+        assert_eq!(reg.counter("requests_http_error"), 1);
+        assert_eq!(reg.counter("killed_ttl"), 1);
+        assert_eq!(reg.counter("reboots_begun_component"), 1);
+        assert_eq!(reg.counter("reboots_finished"), 1);
+        assert_eq!(reg.counter("ttl_sweeps"), 1);
+        assert_eq!(reg.counter("ttl_sweep_reaped"), 2);
+        assert_eq!(reg.histogram("reboot_ms").unwrap().count(), 1);
+        assert_eq!(reg.series().get(2, "killed"), 1.0);
+        assert_eq!(reg.counter("never_written"), 0);
+    }
+
+    #[test]
+    fn client_ops_feed_histogram_and_series() {
+        let mut reg = MetricsRegistry::new();
+        reg.on_event(&TelemetryEvent::ClientOp {
+            action: 1,
+            group: 0,
+            started_at: SimTime::from_secs(1),
+            finished_at: SimTime::from_secs(10),
+            ok: false,
+        });
+        reg.on_event(&TelemetryEvent::ClientOp {
+            action: 1,
+            group: 0,
+            started_at: SimTime::from_secs(1),
+            finished_at: SimTime::from_millis(1200),
+            ok: true,
+        });
+        assert_eq!(reg.counter("client_ops"), 2);
+        assert_eq!(reg.counter("client_ops_ok"), 1);
+        let h = reg.histogram("client_op_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.over_threshold(), 1, "9 s op exceeds the 8 s threshold");
+        assert_eq!(reg.series().get(10, "ops_fail"), 1.0);
+        assert_eq!(reg.series().get(1, "ops_ok"), 1.0);
+    }
+
+    #[test]
+    fn gauges_and_custom_counters() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("my_layer_things");
+        reg.add("my_layer_things", 4);
+        reg.set_gauge("depth", 7.5);
+        assert_eq!(reg.counter("my_layer_things"), 5);
+        assert_eq!(reg.gauge("depth"), 7.5);
+        record_kernel_gauges(&mut reg, 100, 3, SimTime::from_secs(50), Some(2.0));
+        assert_eq!(reg.gauge("des_events_fired"), 100.0);
+        assert_eq!(reg.gauge("sim_seconds_per_wall_second"), 25.0);
+    }
+}

@@ -290,6 +290,34 @@ pub enum TelemetryEvent {
         /// When.
         at: SimTime,
     },
+    /// The load balancer redirected a session-bound request away from its
+    /// home node (Section 5.3 failover) because the home was draining or
+    /// its blast radius covered the request's call path.
+    LbFailover {
+        /// The session's home node the request was steered away from.
+        from: usize,
+        /// The node that received it instead.
+        to: usize,
+        /// The redirected request.
+        req: u64,
+        /// The failed-over session.
+        session: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// The server's request-TTL lease sweep ran over a node that had hung
+    /// requests: `reaped` leases had expired and were purged, `pending`
+    /// hung requests remain scheduled for a later sweep.
+    TtlSweep {
+        /// Swept node.
+        node: usize,
+        /// Hung requests whose lease has not yet expired.
+        pending: u32,
+        /// Hung requests purged by this sweep.
+        reaped: u32,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TelemetryEvent {
@@ -425,6 +453,32 @@ impl TelemetryEvent {
                 put_u64(buf, node as u64);
                 put_time(buf, at);
             }
+            TelemetryEvent::LbFailover {
+                from,
+                to,
+                req,
+                session,
+                at,
+            } => {
+                buf.push(15);
+                put_u64(buf, from as u64);
+                put_u64(buf, to as u64);
+                put_u64(buf, req);
+                put_u64(buf, session);
+                put_time(buf, at);
+            }
+            TelemetryEvent::TtlSweep {
+                node,
+                pending,
+                reaped,
+                at,
+            } => {
+                buf.push(16);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(pending));
+                put_u64(buf, u64::from(reaped));
+                put_time(buf, at);
+            }
         }
     }
 }
@@ -483,10 +537,13 @@ const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 ///
 /// Two runs with the same seed and configuration must produce the same
 /// digest; any behavioural divergence changes it.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct TraceHashSink {
     hash: u64,
     count: u64,
+    /// Reusable encoding scratch, so hashing an event allocates only once
+    /// over the sink's whole lifetime instead of once per event.
+    scratch: Vec<u8>,
 }
 
 impl Default for TraceHashSink {
@@ -501,6 +558,7 @@ impl TraceHashSink {
         TraceHashSink {
             hash: FNV_OFFSET,
             count: 0,
+            scratch: Vec::with_capacity(64),
         }
     }
 
@@ -517,10 +575,10 @@ impl TraceHashSink {
 
 impl TelemetrySink for TraceHashSink {
     fn on_event(&mut self, event: &TelemetryEvent) {
-        let mut buf = Vec::with_capacity(32);
-        event.encode_into(&mut buf);
-        for b in buf {
-            self.hash ^= u64::from(b);
+        self.scratch.clear();
+        event.encode_into(&mut self.scratch);
+        for b in &self.scratch {
+            self.hash ^= u64::from(*b);
             self.hash = self.hash.wrapping_mul(FNV_PRIME);
         }
         self.count += 1;
@@ -574,6 +632,167 @@ mod tests {
         let mut a2 = Vec::new();
         ev(1).encode_into(&mut a2);
         assert_eq!(a, a2);
+    }
+
+    /// Golden encodings: the canonical byte layout of every event kind is
+    /// pinned, because trace digests (and the JSONL `verify` round-trip)
+    /// depend on it never drifting silently.
+    #[test]
+    fn golden_canonical_encodings() {
+        fn le(v: u64) -> Vec<u8> {
+            v.to_le_bytes().to_vec()
+        }
+        fn cat(parts: &[Vec<u8>]) -> Vec<u8> {
+            parts.iter().flatten().copied().collect()
+        }
+        let t = SimTime::from_millis(1500); // 1_500_000 us
+        let cases: Vec<(TelemetryEvent, Vec<u8>)> = vec![
+            (
+                TelemetryEvent::RequestSubmitted {
+                    node: 2,
+                    req: 9,
+                    at: t,
+                },
+                cat(&[vec![0], le(2), le(9), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RequestCompleted {
+                    node: 1,
+                    req: 7,
+                    disposition: Disposition::HttpError,
+                    at: t,
+                },
+                cat(&[vec![1], le(1), le(7), vec![1], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RetrySent {
+                    node: 0,
+                    req: 3,
+                    at: t,
+                },
+                cat(&[vec![2], le(0), le(3), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RequestKilled {
+                    node: 0,
+                    req: 4,
+                    cause: KillCause::Ttl,
+                    at: t,
+                },
+                cat(&[vec![3], le(0), le(4), vec![2], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RebootBegun {
+                    node: 0,
+                    level: RebootLevel::Component,
+                    members: 2,
+                    at: t,
+                },
+                cat(&[vec![4], le(0), vec![0], le(2), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RebootFinished {
+                    node: 0,
+                    level: RebootLevel::Process,
+                    duration: SimDuration::from_millis(5),
+                    at: t,
+                },
+                cat(&[vec![5], le(0), vec![2], le(5_000), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::DetectorFired {
+                    node: 1,
+                    op: 6,
+                    at: t,
+                },
+                cat(&[vec![6], le(1), le(6), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RecoveryDecision {
+                    node: 1,
+                    decision: DecisionKind::AppRestart,
+                    at: t,
+                },
+                cat(&[vec![7], le(1), vec![2], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RejuvenationTick {
+                    node: 0,
+                    free_bytes: 1024,
+                    at: t,
+                },
+                cat(&[vec![8], le(0), le(1024), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::ClientOp {
+                    action: 11,
+                    group: 3,
+                    started_at: SimTime::from_millis(1000),
+                    finished_at: t,
+                    ok: true,
+                },
+                cat(&[
+                    vec![9],
+                    le(11),
+                    vec![3],
+                    le(1_000_000),
+                    le(1_500_000),
+                    vec![1],
+                ]),
+            ),
+            (
+                TelemetryEvent::ActionClosed { action: 11 },
+                cat(&[vec![10], le(11)]),
+            ),
+            (
+                TelemetryEvent::RecoveryQueued {
+                    node: 0,
+                    level: RebootLevel::Application,
+                    at: t,
+                },
+                cat(&[vec![11], le(0), vec![1], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RecoveryCoalesced { node: 0, at: t },
+                cat(&[vec![12], le(0), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::QuarantineOn {
+                    node: 0,
+                    members: 3,
+                    at: t,
+                },
+                cat(&[vec![13], le(0), le(3), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::QuarantineOff { node: 0, at: t },
+                cat(&[vec![14], le(0), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::LbFailover {
+                    from: 1,
+                    to: 2,
+                    req: 8,
+                    session: 40,
+                    at: t,
+                },
+                cat(&[vec![15], le(1), le(2), le(8), le(40), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::TtlSweep {
+                    node: 0,
+                    pending: 2,
+                    reaped: 1,
+                    at: t,
+                },
+                cat(&[vec![16], le(0), le(2), le(1), le(1_500_000)]),
+            ),
+        ];
+        for (ev, want) in cases {
+            let mut got = Vec::new();
+            ev.encode_into(&mut got);
+            assert_eq!(got, want, "canonical encoding drifted for {ev:?}");
+        }
     }
 
     #[test]

@@ -1,0 +1,1263 @@
+//! Episode tracing: from raw telemetry events to causal recovery spans.
+//!
+//! Three pieces live here, all downstream of [`crate::telemetry`] and all
+//! observation-only (attaching them never perturbs a run's behaviour or
+//! its trace digest):
+//!
+//! * [`TraceRecorder`] — a [`TelemetrySink`] that keeps the full ordered
+//!   event log of a run plus its running FNV-1a digest.
+//! * [`Trace`] — a recorded event log with a deterministic JSONL
+//!   serialisation: one `meta` line carrying the digest, one line per
+//!   event, then one derived `episode` line per assembled recovery span.
+//!   Parsing reads the events back bit-exactly (times are stored as
+//!   integer microseconds), so `verify` can recompute the digest.
+//! * [`RecoveryEpisode`] / [`assemble_episodes`] — folds the flat stream
+//!   into causal spans: `DetectorFired*` → `RecoveryDecision` →
+//!   (`RecoveryQueued` | `RecoveryCoalesced`)* → `RebootBegun` →
+//!   `RebootFinished`, with quarantine on/off attribution and per-episode
+//!   lost work (killed / failed / retried requests whose lifetime
+//!   overlaps the destructive window).
+//!
+//! The JSONL format is hand-rolled (the workspace takes no external
+//! dependencies): every line is a flat object of integer, string and
+//! boolean fields, written in a fixed key order and read back with a
+//! key-scanning parser.
+
+use std::collections::VecDeque;
+
+use crate::telemetry::{
+    DecisionKind, Disposition, KillCause, RebootLevel, TelemetryEvent, TelemetrySink, TraceHashSink,
+};
+use crate::time::{SimDuration, SimTime};
+
+/// The JSONL schema version written into the `meta` line.
+pub const TRACE_FORMAT_VERSION: u64 = 1;
+
+/// Records every event of a run, in order, together with its digest.
+#[derive(Clone, Debug, Default)]
+pub struct TraceRecorder {
+    events: Vec<TelemetryEvent>,
+    hash: TraceHashSink,
+}
+
+impl TraceRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// The FNV-1a digest over the events recorded so far.
+    pub fn digest(&self) -> u64 {
+        self.hash.value()
+    }
+
+    /// How many events were recorded.
+    pub fn count(&self) -> u64 {
+        self.hash.count()
+    }
+
+    /// Consumes the recorder into a [`Trace`].
+    pub fn into_trace(self) -> Trace {
+        Trace {
+            digest: self.hash.value(),
+            events: self.events,
+        }
+    }
+}
+
+impl TelemetrySink for TraceRecorder {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        self.hash.on_event(event);
+        self.events.push(*event);
+    }
+}
+
+/// Computes the FNV-1a digest of an event sequence (the same digest a
+/// [`TraceHashSink`] attached to the live run would report).
+pub fn digest_of(events: &[TelemetryEvent]) -> u64 {
+    let mut h = TraceHashSink::new();
+    for ev in events {
+        h.on_event(ev);
+    }
+    h.value()
+}
+
+/// A run's full event log plus the digest its producer declared.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The digest declared in the `meta` line (for a freshly recorded
+    /// trace, the digest actually observed).
+    pub digest: u64,
+    /// Every event, in emission order.
+    pub events: Vec<TelemetryEvent>,
+}
+
+impl Trace {
+    /// Builds a trace from raw events, computing the digest.
+    pub fn from_events(events: Vec<TelemetryEvent>) -> Self {
+        Trace {
+            digest: digest_of(&events),
+            events,
+        }
+    }
+
+    /// Recomputes the digest from the events (vs. the declared `digest`).
+    pub fn recomputed_digest(&self) -> u64 {
+        digest_of(&self.events)
+    }
+
+    /// Serialises the trace to JSONL: meta line, event lines, then one
+    /// derived `episode` line per assembled recovery span.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"t\":\"meta\",\"version\":{},\"events\":{},\"digest\":\"{:016x}\"}}\n",
+            TRACE_FORMAT_VERSION,
+            self.events.len(),
+            self.digest
+        ));
+        for ev in &self.events {
+            out.push_str(&event_to_json(ev));
+            out.push('\n');
+        }
+        for (i, ep) in assemble_episodes(&self.events).iter().enumerate() {
+            out.push_str(&episode_to_json(i, ep));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL serialisation to `path`.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl())
+    }
+
+    /// Parses a JSONL trace. `episode` lines are skipped (episodes are
+    /// derived data — reassemble them from the events); unknown line
+    /// types are an error so schema drift is loud.
+    pub fn parse(text: &str) -> Result<Trace, String> {
+        let mut digest = None;
+        let mut declared_events = None;
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let kind = json_str(line, "t")
+                .ok_or_else(|| format!("line {}: missing \"t\" field", lineno + 1))?;
+            match kind {
+                "meta" => {
+                    let version = json_u64(line, "version")
+                        .ok_or_else(|| format!("line {}: meta without version", lineno + 1))?;
+                    if version != TRACE_FORMAT_VERSION {
+                        return Err(format!(
+                            "unsupported trace format version {version} (expected {TRACE_FORMAT_VERSION})"
+                        ));
+                    }
+                    declared_events = json_u64(line, "events");
+                    let hex = json_str(line, "digest")
+                        .ok_or_else(|| format!("line {}: meta without digest", lineno + 1))?;
+                    digest = Some(
+                        u64::from_str_radix(hex, 16)
+                            .map_err(|e| format!("line {}: bad digest: {e}", lineno + 1))?,
+                    );
+                }
+                "episode" => {}
+                _ => events
+                    .push(event_from_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?),
+            }
+        }
+        let digest = digest.ok_or("trace has no meta line")?;
+        if let Some(n) = declared_events {
+            if n as usize != events.len() {
+                return Err(format!(
+                    "meta declares {n} events but {} were parsed",
+                    events.len()
+                ));
+            }
+        }
+        Ok(Trace { digest, events })
+    }
+
+    /// Reads and parses a JSONL trace from `path`.
+    pub fn read_from(path: &std::path::Path) -> Result<Trace, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Trace::parse(&text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL encoding of events
+// ---------------------------------------------------------------------------
+
+fn level_str(level: RebootLevel) -> &'static str {
+    match level {
+        RebootLevel::Component => "component",
+        RebootLevel::Application => "application",
+        RebootLevel::Process => "process",
+        RebootLevel::OperatingSystem => "os",
+    }
+}
+
+fn level_from_str(s: &str) -> Option<RebootLevel> {
+    match s {
+        "component" => Some(RebootLevel::Component),
+        "application" => Some(RebootLevel::Application),
+        "process" => Some(RebootLevel::Process),
+        "os" => Some(RebootLevel::OperatingSystem),
+        _ => None,
+    }
+}
+
+fn disposition_str(d: Disposition) -> &'static str {
+    match d {
+        Disposition::Ok => "ok",
+        Disposition::HttpError => "http_error",
+        Disposition::NetworkError => "network_error",
+    }
+}
+
+fn disposition_from_str(s: &str) -> Option<Disposition> {
+    match s {
+        "ok" => Some(Disposition::Ok),
+        "http_error" => Some(Disposition::HttpError),
+        "network_error" => Some(Disposition::NetworkError),
+        _ => None,
+    }
+}
+
+fn cause_str(c: KillCause) -> &'static str {
+    match c {
+        KillCause::Microreboot => "microreboot",
+        KillCause::Restart => "restart",
+        KillCause::Ttl => "ttl",
+    }
+}
+
+fn cause_from_str(s: &str) -> Option<KillCause> {
+    match s {
+        "microreboot" => Some(KillCause::Microreboot),
+        "restart" => Some(KillCause::Restart),
+        "ttl" => Some(KillCause::Ttl),
+        _ => None,
+    }
+}
+
+fn decision_str(d: DecisionKind) -> &'static str {
+    match d {
+        DecisionKind::EjbMicroreboot => "ejb_microreboot",
+        DecisionKind::WarMicroreboot => "war_microreboot",
+        DecisionKind::AppRestart => "app_restart",
+        DecisionKind::ProcessRestart => "process_restart",
+        DecisionKind::OsReboot => "os_reboot",
+        DecisionKind::NotifyHuman => "notify_human",
+    }
+}
+
+fn decision_from_str(s: &str) -> Option<DecisionKind> {
+    match s {
+        "ejb_microreboot" => Some(DecisionKind::EjbMicroreboot),
+        "war_microreboot" => Some(DecisionKind::WarMicroreboot),
+        "app_restart" => Some(DecisionKind::AppRestart),
+        "process_restart" => Some(DecisionKind::ProcessRestart),
+        "os_reboot" => Some(DecisionKind::OsReboot),
+        "notify_human" => Some(DecisionKind::NotifyHuman),
+        _ => None,
+    }
+}
+
+/// The snake_case kind name of an event — the JSONL `"t"` value.
+pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { .. } => "request_submitted",
+        TelemetryEvent::RequestCompleted { .. } => "request_completed",
+        TelemetryEvent::RetrySent { .. } => "retry_sent",
+        TelemetryEvent::RequestKilled { .. } => "request_killed",
+        TelemetryEvent::RebootBegun { .. } => "reboot_begun",
+        TelemetryEvent::RebootFinished { .. } => "reboot_finished",
+        TelemetryEvent::DetectorFired { .. } => "detector_fired",
+        TelemetryEvent::RecoveryDecision { .. } => "recovery_decision",
+        TelemetryEvent::RejuvenationTick { .. } => "rejuvenation_tick",
+        TelemetryEvent::ClientOp { .. } => "client_op",
+        TelemetryEvent::ActionClosed { .. } => "action_closed",
+        TelemetryEvent::RecoveryQueued { .. } => "recovery_queued",
+        TelemetryEvent::RecoveryCoalesced { .. } => "recovery_coalesced",
+        TelemetryEvent::QuarantineOn { .. } => "quarantine_on",
+        TelemetryEvent::QuarantineOff { .. } => "quarantine_off",
+        TelemetryEvent::LbFailover { .. } => "lb_failover",
+        TelemetryEvent::TtlSweep { .. } => "ttl_sweep",
+    }
+}
+
+/// Renders one event as a single JSON object line (no trailing newline).
+pub fn event_to_json(ev: &TelemetryEvent) -> String {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { node, req, at } => format!(
+            "{{\"t\":\"request_submitted\",\"node\":{node},\"req\":{req},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::RequestCompleted {
+            node,
+            req,
+            disposition,
+            at,
+        } => format!(
+            "{{\"t\":\"request_completed\",\"node\":{node},\"req\":{req},\"disposition\":\"{}\",\"at_us\":{}}}",
+            disposition_str(disposition),
+            at.as_micros()
+        ),
+        TelemetryEvent::RetrySent { node, req, at } => format!(
+            "{{\"t\":\"retry_sent\",\"node\":{node},\"req\":{req},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::RequestKilled {
+            node,
+            req,
+            cause,
+            at,
+        } => format!(
+            "{{\"t\":\"request_killed\",\"node\":{node},\"req\":{req},\"cause\":\"{}\",\"at_us\":{}}}",
+            cause_str(cause),
+            at.as_micros()
+        ),
+        TelemetryEvent::RebootBegun {
+            node,
+            level,
+            members,
+            at,
+        } => format!(
+            "{{\"t\":\"reboot_begun\",\"node\":{node},\"level\":\"{}\",\"members\":{members},\"at_us\":{}}}",
+            level_str(level),
+            at.as_micros()
+        ),
+        TelemetryEvent::RebootFinished {
+            node,
+            level,
+            duration,
+            at,
+        } => format!(
+            "{{\"t\":\"reboot_finished\",\"node\":{node},\"level\":\"{}\",\"duration_us\":{},\"at_us\":{}}}",
+            level_str(level),
+            duration.as_micros(),
+            at.as_micros()
+        ),
+        TelemetryEvent::DetectorFired { node, op, at } => format!(
+            "{{\"t\":\"detector_fired\",\"node\":{node},\"op\":{op},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::RecoveryDecision { node, decision, at } => format!(
+            "{{\"t\":\"recovery_decision\",\"node\":{node},\"decision\":\"{}\",\"at_us\":{}}}",
+            decision_str(decision),
+            at.as_micros()
+        ),
+        TelemetryEvent::RejuvenationTick {
+            node,
+            free_bytes,
+            at,
+        } => format!(
+            "{{\"t\":\"rejuvenation_tick\",\"node\":{node},\"free_bytes\":{free_bytes},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::ClientOp {
+            action,
+            group,
+            started_at,
+            finished_at,
+            ok,
+        } => format!(
+            "{{\"t\":\"client_op\",\"action\":{action},\"group\":{group},\"started_us\":{},\"finished_us\":{},\"ok\":{ok}}}",
+            started_at.as_micros(),
+            finished_at.as_micros()
+        ),
+        TelemetryEvent::ActionClosed { action } => {
+            format!("{{\"t\":\"action_closed\",\"action\":{action}}}")
+        }
+        TelemetryEvent::RecoveryQueued { node, level, at } => format!(
+            "{{\"t\":\"recovery_queued\",\"node\":{node},\"level\":\"{}\",\"at_us\":{}}}",
+            level_str(level),
+            at.as_micros()
+        ),
+        TelemetryEvent::RecoveryCoalesced { node, at } => format!(
+            "{{\"t\":\"recovery_coalesced\",\"node\":{node},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::QuarantineOn { node, members, at } => format!(
+            "{{\"t\":\"quarantine_on\",\"node\":{node},\"members\":{members},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::QuarantineOff { node, at } => format!(
+            "{{\"t\":\"quarantine_off\",\"node\":{node},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::LbFailover {
+            from,
+            to,
+            req,
+            session,
+            at,
+        } => format!(
+            "{{\"t\":\"lb_failover\",\"from\":{from},\"to\":{to},\"req\":{req},\"session\":{session},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::TtlSweep {
+            node,
+            pending,
+            reaped,
+            at,
+        } => format!(
+            "{{\"t\":\"ttl_sweep\",\"node\":{node},\"pending\":{pending},\"reaped\":{reaped},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+    }
+}
+
+fn episode_to_json(index: usize, ep: &RecoveryEpisode) -> String {
+    format!(
+        "{{\"t\":\"episode\",\"index\":{index},\"node\":{},\"level\":\"{}\",\"trigger\":\"{}\",\
+         \"detector_fires\":{},\"queued\":{},\"coalesced\":{},\"begun_us\":{},\"finished_us\":{},\
+         \"duration_us\":{},\"killed\":{},\"failed\":{},\"retried\":{}}}",
+        ep.node,
+        level_str(ep.level),
+        ep.trigger(),
+        ep.detector_fires,
+        ep.queued,
+        ep.coalesced,
+        ep.begun_at.as_micros(),
+        ep.finished_at.as_micros(),
+        ep.duration.as_micros(),
+        ep.killed,
+        ep.failed,
+        ep.retried
+    )
+}
+
+// ---------------------------------------------------------------------------
+// JSONL decoding (key-scanning parser over flat objects)
+// ---------------------------------------------------------------------------
+
+fn find_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    let idx = line.find(&pat)?;
+    Some(line[idx + pat.len()..].trim_start())
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    let rest = find_key(line, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let rest = find_key(line, key)?.strip_prefix('"')?;
+    rest.find('"').map(|end| &rest[..end])
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    let rest = find_key(line, key)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn need_u64(line: &str, key: &str) -> Result<u64, String> {
+    json_u64(line, key).ok_or_else(|| format!("missing integer field \"{key}\""))
+}
+
+fn need_time(line: &str, key: &str) -> Result<SimTime, String> {
+    need_u64(line, key).map(SimTime::from_micros)
+}
+
+fn need_str<'a>(line: &'a str, key: &str) -> Result<&'a str, String> {
+    json_str(line, key).ok_or_else(|| format!("missing string field \"{key}\""))
+}
+
+/// Parses one event line written by [`event_to_json`].
+pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
+    let kind = need_str(line, "t")?;
+    let ev = match kind {
+        "request_submitted" => TelemetryEvent::RequestSubmitted {
+            node: need_u64(line, "node")? as usize,
+            req: need_u64(line, "req")?,
+            at: need_time(line, "at_us")?,
+        },
+        "request_completed" => TelemetryEvent::RequestCompleted {
+            node: need_u64(line, "node")? as usize,
+            req: need_u64(line, "req")?,
+            disposition: disposition_from_str(need_str(line, "disposition")?)
+                .ok_or("bad disposition")?,
+            at: need_time(line, "at_us")?,
+        },
+        "retry_sent" => TelemetryEvent::RetrySent {
+            node: need_u64(line, "node")? as usize,
+            req: need_u64(line, "req")?,
+            at: need_time(line, "at_us")?,
+        },
+        "request_killed" => TelemetryEvent::RequestKilled {
+            node: need_u64(line, "node")? as usize,
+            req: need_u64(line, "req")?,
+            cause: cause_from_str(need_str(line, "cause")?).ok_or("bad kill cause")?,
+            at: need_time(line, "at_us")?,
+        },
+        "reboot_begun" => TelemetryEvent::RebootBegun {
+            node: need_u64(line, "node")? as usize,
+            level: level_from_str(need_str(line, "level")?).ok_or("bad level")?,
+            members: need_u64(line, "members")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "reboot_finished" => TelemetryEvent::RebootFinished {
+            node: need_u64(line, "node")? as usize,
+            level: level_from_str(need_str(line, "level")?).ok_or("bad level")?,
+            duration: SimDuration::from_micros(need_u64(line, "duration_us")?),
+            at: need_time(line, "at_us")?,
+        },
+        "detector_fired" => TelemetryEvent::DetectorFired {
+            node: need_u64(line, "node")? as usize,
+            op: need_u64(line, "op")? as u16,
+            at: need_time(line, "at_us")?,
+        },
+        "recovery_decision" => TelemetryEvent::RecoveryDecision {
+            node: need_u64(line, "node")? as usize,
+            decision: decision_from_str(need_str(line, "decision")?).ok_or("bad decision")?,
+            at: need_time(line, "at_us")?,
+        },
+        "rejuvenation_tick" => TelemetryEvent::RejuvenationTick {
+            node: need_u64(line, "node")? as usize,
+            free_bytes: need_u64(line, "free_bytes")?,
+            at: need_time(line, "at_us")?,
+        },
+        "client_op" => TelemetryEvent::ClientOp {
+            action: need_u64(line, "action")?,
+            group: need_u64(line, "group")? as u8,
+            started_at: need_time(line, "started_us")?,
+            finished_at: need_time(line, "finished_us")?,
+            ok: json_bool(line, "ok").ok_or("missing bool field \"ok\"")?,
+        },
+        "action_closed" => TelemetryEvent::ActionClosed {
+            action: need_u64(line, "action")?,
+        },
+        "recovery_queued" => TelemetryEvent::RecoveryQueued {
+            node: need_u64(line, "node")? as usize,
+            level: level_from_str(need_str(line, "level")?).ok_or("bad level")?,
+            at: need_time(line, "at_us")?,
+        },
+        "recovery_coalesced" => TelemetryEvent::RecoveryCoalesced {
+            node: need_u64(line, "node")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "quarantine_on" => TelemetryEvent::QuarantineOn {
+            node: need_u64(line, "node")? as usize,
+            members: need_u64(line, "members")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "quarantine_off" => TelemetryEvent::QuarantineOff {
+            node: need_u64(line, "node")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "lb_failover" => TelemetryEvent::LbFailover {
+            from: need_u64(line, "from")? as usize,
+            to: need_u64(line, "to")? as usize,
+            req: need_u64(line, "req")?,
+            session: need_u64(line, "session")?,
+            at: need_time(line, "at_us")?,
+        },
+        "ttl_sweep" => TelemetryEvent::TtlSweep {
+            node: need_u64(line, "node")? as usize,
+            pending: need_u64(line, "pending")? as u32,
+            reaped: need_u64(line, "reaped")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        other => return Err(format!("unknown event type \"{other}\"")),
+    };
+    Ok(ev)
+}
+
+// ---------------------------------------------------------------------------
+// Episode assembly
+// ---------------------------------------------------------------------------
+
+/// The reboot depth a recovery-manager decision, if carried out, runs at.
+pub fn decision_level(decision: DecisionKind) -> Option<RebootLevel> {
+    match decision {
+        DecisionKind::EjbMicroreboot | DecisionKind::WarMicroreboot => Some(RebootLevel::Component),
+        DecisionKind::AppRestart => Some(RebootLevel::Application),
+        DecisionKind::ProcessRestart => Some(RebootLevel::Process),
+        DecisionKind::OsReboot => Some(RebootLevel::OperatingSystem),
+        DecisionKind::NotifyHuman => None,
+    }
+}
+
+/// One causal recovery span: everything between the detector reports that
+/// triggered a recovery and the reboot that resolved it, with the work it
+/// cost. Assembled from a flat event stream by [`assemble_episodes`].
+#[derive(Clone, Debug)]
+pub struct RecoveryEpisode {
+    /// The rebooted node.
+    pub node: usize,
+    /// Detector reports attributed to this episode's decision.
+    pub detector_fires: u32,
+    /// When the first attributed detector fired.
+    pub first_detector_at: Option<SimTime>,
+    /// The recovery manager's chosen rung (None for reboots that bypassed
+    /// the manager, e.g. proactive rejuvenation).
+    pub decision: Option<DecisionKind>,
+    /// When the decision was committed.
+    pub decided_at: Option<SimTime>,
+    /// Whether the conductor deferred this action behind a conflict.
+    pub queued: bool,
+    /// Actions the conductor merged into this one.
+    pub coalesced: u32,
+    /// Reboot depth actually executed.
+    pub level: RebootLevel,
+    /// Component-group size (0 for coarse levels).
+    pub members: u32,
+    /// When the destructive phase began.
+    pub begun_at: SimTime,
+    /// When reinitialisation completed.
+    pub finished_at: SimTime,
+    /// Begin-to-done span as reported by the lifecycle layer.
+    pub duration: SimDuration,
+    /// When quarantine admission engaged for this episode, if it did.
+    pub quarantine_on_at: Option<SimTime>,
+    /// When quarantine admission disengaged again.
+    pub quarantine_off_at: Option<SimTime>,
+    /// Requests killed on this node whose lifetime overlapped the episode.
+    pub killed: u32,
+    /// Requests completing with an error disposition in the window.
+    pub failed: u32,
+    /// `Retry-After` responses served from sentinel bindings in the window.
+    pub retried: u32,
+}
+
+impl RecoveryEpisode {
+    /// Total requests the episode cost (killed + failed + retried).
+    pub fn lost_work(&self) -> u32 {
+        self.killed + self.failed + self.retried
+    }
+
+    /// Detector-to-recovered span (the paper's recovery-time metric),
+    /// when the episode has an attributed detector report.
+    pub fn detection_to_recovery(&self) -> Option<SimDuration> {
+        self.first_detector_at.map(|d| self.finished_at - d)
+    }
+
+    /// A short human-readable trigger label for tables.
+    pub fn trigger(&self) -> String {
+        match self.decision {
+            Some(d) => {
+                if self.detector_fires > 0 {
+                    format!("detector x{} -> {}", self.detector_fires, decision_str(d))
+                } else {
+                    decision_str(d).to_string()
+                }
+            }
+            None => "unattributed".to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RequestRecord {
+    node: usize,
+    submitted_at: SimTime,
+    ended_at: SimTime,
+    killed: bool,
+    errored: bool,
+    retried: bool,
+}
+
+#[derive(Clone, Copy)]
+struct PendingDecision {
+    decision: DecisionKind,
+    decided_at: SimTime,
+    level: RebootLevel,
+    detector_fires: u32,
+    first_detector_at: Option<SimTime>,
+}
+
+#[derive(Clone, Copy, Default)]
+struct NodeState {
+    accrued_fires: u32,
+    first_fire_at: Option<SimTime>,
+    pending_queued: Option<SimTime>,
+    pending_coalesced: u32,
+    pending_quarantine_on: Option<SimTime>,
+    last_closed: Option<usize>,
+}
+
+/// Folds a flat event stream into recovery episodes, in `RebootBegun`
+/// order. Reboots still open when the stream ends are dropped.
+///
+/// Attribution rules:
+/// * `DetectorFired` reports accrue per node until the next
+///   `RecoveryDecision` on that node claims them.
+/// * Decisions wait in per-node FIFO order for the first `RebootBegun`
+///   whose level matches [`decision_level`]; `NotifyHuman` never matches.
+/// * `RecoveryQueued` / `RecoveryCoalesced` / `QuarantineOn` seen before
+///   the begun event attach to the node's next episode; `QuarantineOff`
+///   attaches to the node's open (or most recently closed) episode.
+/// * Lost work counts requests on the episode's node that were killed,
+///   completed with an error, or answered `Retry-After`, and whose
+///   submitted-to-ended lifetime overlaps `[begun_at, finished_at]`.
+pub fn assemble_episodes(events: &[TelemetryEvent]) -> Vec<RecoveryEpisode> {
+    let mut requests: std::collections::BTreeMap<u64, RequestRecord> =
+        std::collections::BTreeMap::new();
+    for ev in events {
+        match *ev {
+            TelemetryEvent::RequestSubmitted { node, req, at } => {
+                requests.entry(req).or_insert(RequestRecord {
+                    node,
+                    submitted_at: at,
+                    ended_at: at,
+                    killed: false,
+                    errored: false,
+                    retried: false,
+                });
+            }
+            TelemetryEvent::RequestCompleted {
+                req,
+                disposition,
+                at,
+                ..
+            } => {
+                if let Some(r) = requests.get_mut(&req) {
+                    r.ended_at = r.ended_at.max(at);
+                    if disposition != Disposition::Ok {
+                        r.errored = true;
+                    }
+                }
+            }
+            TelemetryEvent::RequestKilled { req, at, .. } => {
+                if let Some(r) = requests.get_mut(&req) {
+                    r.ended_at = r.ended_at.max(at);
+                    r.killed = true;
+                }
+            }
+            TelemetryEvent::RetrySent { req, at, .. } => {
+                if let Some(r) = requests.get_mut(&req) {
+                    r.ended_at = r.ended_at.max(at);
+                    r.retried = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut episodes: Vec<RecoveryEpisode> = Vec::new();
+    let mut open: Vec<usize> = Vec::new();
+    let mut nodes: std::collections::BTreeMap<usize, NodeState> = std::collections::BTreeMap::new();
+    let mut decisions: std::collections::BTreeMap<usize, VecDeque<PendingDecision>> =
+        std::collections::BTreeMap::new();
+
+    for ev in events {
+        match *ev {
+            TelemetryEvent::DetectorFired { node, at, .. } => {
+                let st = nodes.entry(node).or_default();
+                st.accrued_fires += 1;
+                st.first_fire_at.get_or_insert(at);
+            }
+            TelemetryEvent::RecoveryDecision { node, decision, at } => {
+                let st = nodes.entry(node).or_default();
+                let fires = st.accrued_fires;
+                let first = st.first_fire_at.take();
+                st.accrued_fires = 0;
+                if let Some(level) = decision_level(decision) {
+                    decisions
+                        .entry(node)
+                        .or_default()
+                        .push_back(PendingDecision {
+                            decision,
+                            decided_at: at,
+                            level,
+                            detector_fires: fires,
+                            first_detector_at: first,
+                        });
+                }
+            }
+            TelemetryEvent::RecoveryQueued { node, at, .. } => {
+                nodes
+                    .entry(node)
+                    .or_default()
+                    .pending_queued
+                    .get_or_insert(at);
+            }
+            TelemetryEvent::RecoveryCoalesced { node, .. } => {
+                if let Some(&idx) = open.iter().find(|&&i| episodes[i].node == node) {
+                    episodes[idx].coalesced += 1;
+                } else {
+                    nodes.entry(node).or_default().pending_coalesced += 1;
+                }
+            }
+            TelemetryEvent::QuarantineOn { node, at, .. } => {
+                if let Some(&idx) = open.iter().find(|&&i| episodes[i].node == node) {
+                    episodes[idx].quarantine_on_at.get_or_insert(at);
+                } else {
+                    nodes
+                        .entry(node)
+                        .or_default()
+                        .pending_quarantine_on
+                        .get_or_insert(at);
+                }
+            }
+            TelemetryEvent::QuarantineOff { node, at } => {
+                if let Some(&idx) = open.iter().find(|&&i| episodes[i].node == node) {
+                    episodes[idx].quarantine_off_at.get_or_insert(at);
+                } else if let Some(idx) = nodes.entry(node).or_default().last_closed {
+                    if episodes[idx].quarantine_on_at.is_some() {
+                        episodes[idx].quarantine_off_at.get_or_insert(at);
+                    }
+                }
+            }
+            TelemetryEvent::RebootBegun {
+                node,
+                level,
+                members,
+                at,
+            } => {
+                let matched = decisions.get_mut(&node).and_then(|q| {
+                    q.iter()
+                        .position(|d| d.level == level)
+                        .and_then(|pos| q.remove(pos))
+                });
+                let st = nodes.entry(node).or_default();
+                let queued_at = st.pending_queued.take();
+                let coalesced = std::mem::take(&mut st.pending_coalesced);
+                let quarantine_on_at = st.pending_quarantine_on.take();
+                episodes.push(RecoveryEpisode {
+                    node,
+                    detector_fires: matched.map_or(0, |d| d.detector_fires),
+                    first_detector_at: matched.and_then(|d| d.first_detector_at),
+                    decision: matched.map(|d| d.decision),
+                    decided_at: matched.map(|d| d.decided_at),
+                    queued: queued_at.is_some(),
+                    coalesced,
+                    level,
+                    members,
+                    begun_at: at,
+                    finished_at: at,
+                    duration: SimDuration::ZERO,
+                    quarantine_on_at,
+                    quarantine_off_at: None,
+                    killed: 0,
+                    failed: 0,
+                    retried: 0,
+                });
+                open.push(episodes.len() - 1);
+            }
+            TelemetryEvent::RebootFinished {
+                node,
+                level,
+                duration,
+                at,
+            } => {
+                if let Some(pos) = open
+                    .iter()
+                    .position(|&i| episodes[i].node == node && episodes[i].level == level)
+                {
+                    let idx = open.remove(pos);
+                    episodes[idx].finished_at = at;
+                    episodes[idx].duration = duration;
+                    nodes.entry(node).or_default().last_closed = Some(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Drop reboots the stream never saw finish, then attribute lost work.
+    let mut complete: Vec<RecoveryEpisode> = episodes
+        .into_iter()
+        .filter(|e| e.finished_at > e.begun_at || !e.duration.is_zero())
+        .collect();
+    for ep in &mut complete {
+        for r in requests.values() {
+            let overlaps =
+                r.node == ep.node && r.submitted_at <= ep.finished_at && r.ended_at >= ep.begun_at;
+            if !overlaps {
+                continue;
+            }
+            if r.killed {
+                ep.killed += 1;
+            } else if r.errored {
+                ep.failed += 1;
+            } else if r.retried {
+                ep.retried += 1;
+            }
+        }
+    }
+    complete
+}
+
+// ---------------------------------------------------------------------------
+// Availability timelines (the paper's Taw-style per-second view)
+// ---------------------------------------------------------------------------
+
+/// One second of client-observed availability.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SecondAvail {
+    /// The second index.
+    pub second: u64,
+    /// Operations that succeeded in this second.
+    pub ok: u64,
+    /// Operations that failed in this second.
+    pub fail: u64,
+}
+
+impl SecondAvail {
+    /// The fraction of operations that succeeded (1.0 when idle).
+    pub fn availability(&self) -> f64 {
+        let total = self.ok + self.fail;
+        if total == 0 {
+            1.0
+        } else {
+            self.ok as f64 / total as f64
+        }
+    }
+}
+
+/// Buckets `ClientOp` events by finishing second into a dense timeline
+/// from second 0 to the last second with traffic.
+pub fn availability_timeline(events: &[TelemetryEvent]) -> Vec<SecondAvail> {
+    let mut cells: std::collections::BTreeMap<u64, (u64, u64)> = std::collections::BTreeMap::new();
+    let mut max_second = 0;
+    for ev in events {
+        if let TelemetryEvent::ClientOp {
+            finished_at, ok, ..
+        } = *ev
+        {
+            let s = finished_at.second_index();
+            max_second = max_second.max(s);
+            let cell = cells.entry(s).or_insert((0, 0));
+            if ok {
+                cell.0 += 1;
+            } else {
+                cell.1 += 1;
+            }
+        }
+    }
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    (0..=max_second)
+        .map(|second| {
+            let (ok, fail) = cells.get(&second).copied().unwrap_or((0, 0));
+            SecondAvail { second, ok, fail }
+        })
+        .collect()
+}
+
+/// The episode's availability dip: the run's mean per-second availability
+/// minus the worst second inside `[begun, finished]` (clamped at 0).
+/// Seconds without traffic are skipped on both sides.
+pub fn taw_dip(timeline: &[SecondAvail], episode: &RecoveryEpisode) -> f64 {
+    let active: Vec<&SecondAvail> = timeline.iter().filter(|s| s.ok + s.fail > 0).collect();
+    if active.is_empty() {
+        return 0.0;
+    }
+    let mean = active.iter().map(|s| s.availability()).sum::<f64>() / active.len() as f64;
+    let lo = episode.begun_at.second_index();
+    let hi = episode.finished_at.second_index();
+    let worst = active
+        .iter()
+        .filter(|s| s.second >= lo && s.second <= hi)
+        .map(|s| s.availability())
+        .fold(f64::INFINITY, f64::min);
+    if worst.is_finite() {
+        (mean - worst).max(0.0)
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        let t = SimTime::from_secs;
+        vec![
+            TelemetryEvent::RequestSubmitted {
+                node: 0,
+                req: 1,
+                at: t(1),
+            },
+            TelemetryEvent::DetectorFired {
+                node: 0,
+                op: 4,
+                at: t(2),
+            },
+            TelemetryEvent::DetectorFired {
+                node: 0,
+                op: 4,
+                at: t(3),
+            },
+            TelemetryEvent::RecoveryDecision {
+                node: 0,
+                decision: DecisionKind::EjbMicroreboot,
+                at: t(3),
+            },
+            TelemetryEvent::QuarantineOn {
+                node: 0,
+                members: 2,
+                at: t(4),
+            },
+            TelemetryEvent::RebootBegun {
+                node: 0,
+                level: RebootLevel::Component,
+                members: 2,
+                at: t(4),
+            },
+            TelemetryEvent::RequestKilled {
+                node: 0,
+                req: 1,
+                cause: KillCause::Microreboot,
+                at: t(4),
+            },
+            TelemetryEvent::RebootFinished {
+                node: 0,
+                level: RebootLevel::Component,
+                duration: SimDuration::from_secs(2),
+                at: t(6),
+            },
+            TelemetryEvent::QuarantineOff { node: 0, at: t(6) },
+            TelemetryEvent::ClientOp {
+                action: 1,
+                group: 2,
+                started_at: t(4),
+                finished_at: t(5),
+                ok: false,
+            },
+            TelemetryEvent::ClientOp {
+                action: 1,
+                group: 2,
+                started_at: t(7),
+                finished_at: t(8),
+                ok: true,
+            },
+            TelemetryEvent::ActionClosed { action: 1 },
+        ]
+    }
+
+    #[test]
+    fn recorder_matches_hash_sink() {
+        let mut rec = TraceRecorder::new();
+        let mut hash = TraceHashSink::new();
+        for ev in sample_events() {
+            rec.on_event(&ev);
+            hash.on_event(&ev);
+        }
+        assert_eq!(rec.digest(), hash.value());
+        assert_eq!(rec.count(), hash.count());
+        assert_eq!(rec.events().len(), sample_events().len());
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_event_kind() {
+        let t = SimTime::from_millis(1500);
+        let all = vec![
+            TelemetryEvent::RequestSubmitted {
+                node: 2,
+                req: 9,
+                at: t,
+            },
+            TelemetryEvent::RequestCompleted {
+                node: 1,
+                req: 7,
+                disposition: Disposition::NetworkError,
+                at: t,
+            },
+            TelemetryEvent::RetrySent {
+                node: 0,
+                req: 3,
+                at: t,
+            },
+            TelemetryEvent::RequestKilled {
+                node: 0,
+                req: 4,
+                cause: KillCause::Ttl,
+                at: t,
+            },
+            TelemetryEvent::RebootBegun {
+                node: 0,
+                level: RebootLevel::Component,
+                members: 2,
+                at: t,
+            },
+            TelemetryEvent::RebootFinished {
+                node: 0,
+                level: RebootLevel::Process,
+                duration: SimDuration::from_millis(5),
+                at: t,
+            },
+            TelemetryEvent::DetectorFired {
+                node: 1,
+                op: 6,
+                at: t,
+            },
+            TelemetryEvent::RecoveryDecision {
+                node: 1,
+                decision: DecisionKind::NotifyHuman,
+                at: t,
+            },
+            TelemetryEvent::RejuvenationTick {
+                node: 0,
+                free_bytes: 1024,
+                at: t,
+            },
+            TelemetryEvent::ClientOp {
+                action: 11,
+                group: 3,
+                started_at: SimTime::from_millis(1000),
+                finished_at: t,
+                ok: true,
+            },
+            TelemetryEvent::ActionClosed { action: 11 },
+            TelemetryEvent::RecoveryQueued {
+                node: 0,
+                level: RebootLevel::Application,
+                at: t,
+            },
+            TelemetryEvent::RecoveryCoalesced { node: 0, at: t },
+            TelemetryEvent::QuarantineOn {
+                node: 0,
+                members: 3,
+                at: t,
+            },
+            TelemetryEvent::QuarantineOff { node: 0, at: t },
+            TelemetryEvent::LbFailover {
+                from: 1,
+                to: 2,
+                req: 8,
+                session: 40,
+                at: t,
+            },
+            TelemetryEvent::TtlSweep {
+                node: 0,
+                pending: 2,
+                reaped: 1,
+                at: t,
+            },
+        ];
+        for ev in &all {
+            let line = event_to_json(ev);
+            let back = event_from_json(&line).expect("parse back");
+            assert_eq!(*ev, back, "round-trip drift on {line}");
+        }
+        let trace = Trace::from_events(all);
+        let parsed = Trace::parse(&trace.to_jsonl()).expect("parse trace");
+        assert_eq!(parsed.events, trace.events);
+        assert_eq!(parsed.digest, trace.digest);
+        assert_eq!(parsed.recomputed_digest(), parsed.digest);
+    }
+
+    #[test]
+    fn parse_rejects_corrupt_traces() {
+        assert!(
+            Trace::parse("{\"t\":\"meta\",\"version\":99,\"events\":0,\"digest\":\"0\"}").is_err()
+        );
+        assert!(
+            Trace::parse("{\"t\":\"request_submitted\",\"node\":0,\"req\":1,\"at_us\":5}").is_err()
+        );
+        assert!(Trace::parse(
+            "{\"t\":\"meta\",\"version\":1,\"events\":2,\"digest\":\"00000000000000aa\"}\n\
+             {\"t\":\"action_closed\",\"action\":1}"
+        )
+        .is_err());
+        assert!(Trace::parse(
+            "{\"t\":\"meta\",\"version\":1,\"events\":1,\"digest\":\"00000000000000aa\"}\n\
+             {\"t\":\"no_such_event\",\"action\":1}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn assembles_one_episode_with_attribution() {
+        let eps = assemble_episodes(&sample_events());
+        assert_eq!(eps.len(), 1);
+        let ep = &eps[0];
+        assert_eq!(ep.node, 0);
+        assert_eq!(ep.level, RebootLevel::Component);
+        assert_eq!(ep.decision, Some(DecisionKind::EjbMicroreboot));
+        assert_eq!(ep.detector_fires, 2);
+        assert_eq!(ep.first_detector_at, Some(SimTime::from_secs(2)));
+        assert_eq!(ep.begun_at, SimTime::from_secs(4));
+        assert_eq!(ep.finished_at, SimTime::from_secs(6));
+        assert_eq!(ep.duration, SimDuration::from_secs(2));
+        assert_eq!(ep.quarantine_on_at, Some(SimTime::from_secs(4)));
+        assert_eq!(ep.quarantine_off_at, Some(SimTime::from_secs(6)));
+        assert_eq!(ep.killed, 1);
+        assert_eq!(ep.failed, 0);
+        assert_eq!(ep.lost_work(), 1);
+        assert_eq!(
+            ep.detection_to_recovery(),
+            Some(SimDuration::from_secs(4)),
+            "t=2 first fire to t=6 recovered"
+        );
+        assert!(ep.trigger().contains("ejb_microreboot"));
+    }
+
+    #[test]
+    fn unfinished_reboots_are_dropped() {
+        let events = vec![TelemetryEvent::RebootBegun {
+            node: 0,
+            level: RebootLevel::Component,
+            members: 1,
+            at: SimTime::from_secs(1),
+        }];
+        assert!(assemble_episodes(&events).is_empty());
+    }
+
+    #[test]
+    fn notify_human_never_matches_a_reboot() {
+        let t = SimTime::from_secs;
+        let events = vec![
+            TelemetryEvent::RecoveryDecision {
+                node: 0,
+                decision: DecisionKind::NotifyHuman,
+                at: t(1),
+            },
+            TelemetryEvent::RebootBegun {
+                node: 0,
+                level: RebootLevel::Component,
+                members: 1,
+                at: t(2),
+            },
+            TelemetryEvent::RebootFinished {
+                node: 0,
+                level: RebootLevel::Component,
+                duration: SimDuration::from_secs(1),
+                at: t(3),
+            },
+        ];
+        let eps = assemble_episodes(&events);
+        assert_eq!(eps.len(), 1);
+        assert_eq!(eps[0].decision, None, "NotifyHuman cannot own a reboot");
+    }
+
+    #[test]
+    fn timeline_and_taw_dip() {
+        let events = sample_events();
+        let timeline = availability_timeline(&events);
+        assert_eq!(timeline.len(), 9, "dense through second 8");
+        assert_eq!(timeline[5].fail, 1);
+        assert_eq!(timeline[8].ok, 1);
+        assert!((timeline[5].availability() - 0.0).abs() < 1e-12);
+        let eps = assemble_episodes(&events);
+        let dip = taw_dip(&timeline, &eps[0]);
+        assert!(
+            dip > 0.4,
+            "mean 0.5 vs worst-in-window 0.0 -> dip 0.5, got {dip}"
+        );
+    }
+}
