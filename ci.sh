@@ -15,10 +15,13 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> urb-trace smoke: record + verify + summary + same-seed diff"
+echo "==> urb-lint --deny-all (determinism + exhaustiveness gate)"
+cargo run --release -q -p urb-lint -- --deny-all
+
+echo "==> urb-trace smoke: record + strict verify + summary + same-seed diff"
 cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_a.jsonl --seed 7
 cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_b.jsonl --seed 7
-cargo run --release -q -p bench --bin urb-trace -- verify target/ci_trace_a.jsonl
+cargo run --release -q -p bench --bin urb-trace -- verify target/ci_trace_a.jsonl --strict
 cargo run --release -q -p bench --bin urb-trace -- summary target/ci_trace_a.jsonl
 cargo run --release -q -p bench --bin urb-trace -- diff target/ci_trace_a.jsonl target/ci_trace_b.jsonl
 

@@ -13,8 +13,10 @@
 //!   style of the paper's Figures 1/2/4/6;
 //! * `urb-trace diff <a.jsonl> <b.jsonl>` — first diverging event plus
 //!   per-kind count deltas (exit 1 when the traces diverge);
-//! * `urb-trace verify <trace.jsonl>` — recompute the FNV digest and
-//!   check it against the `meta` line (exit 1 on mismatch).
+//! * `urb-trace verify <trace.jsonl> [--strict]` — recompute the FNV
+//!   digest and check it against the `meta` line (exit 1 on mismatch);
+//!   with `--strict`, also re-run episode assembly and fail unless every
+//!   event is attributed to an episode or to steady state.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -41,7 +43,7 @@ fn usage() {
          urb-trace summary <trace.jsonl>\n  \
          urb-trace timeline <trace.jsonl>\n  \
          urb-trace diff <a.jsonl> <b.jsonl>\n  \
-         urb-trace verify <trace.jsonl>"
+         urb-trace verify <trace.jsonl> [--strict]"
     );
 }
 
@@ -312,21 +314,55 @@ fn cmd_diff(args: &[String]) -> Result<ExitCode, String> {
 // ---------------------------------------------------------------------------
 
 fn cmd_verify(args: &[String]) -> Result<ExitCode, String> {
-    let path = args.first().ok_or("verify needs a trace path")?;
-    let trace = load(path)?;
+    let mut path = None;
+    let mut strict = false;
+    for arg in args {
+        match arg.as_str() {
+            "--strict" => strict = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => return Err(format!("verify: unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("verify needs a trace path")?;
+    let trace = load(&path)?;
     let recomputed = trace.recomputed_digest();
-    if recomputed == trace.digest {
+    if recomputed != trace.digest {
+        eprintln!(
+            "{path}: DIGEST MISMATCH — meta declares {:016x}, events hash to {recomputed:016x}",
+            trace.digest
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    if strict {
+        let report = simcore::trace::strict_attribution(&trace.events);
+        if !report.is_fully_attributed() {
+            eprintln!(
+                "{path}: STRICT FAILURE — {} event(s) belong to neither an episode nor steady state:",
+                report.unattributed.len()
+            );
+            for (idx, kind) in report.unattributed.iter().take(10) {
+                eprintln!("  event #{idx}: {kind}");
+            }
+            if report.unattributed.len() > 10 {
+                eprintln!("  … and {} more", report.unattributed.len() - 10);
+            }
+            return Ok(ExitCode::FAILURE);
+        }
+        let attributed: u64 = report.per_episode.iter().sum();
+        println!(
+            "{path}: OK — {} events, digest {:016x} matches; strict: {} episode(s), {} episode-attributed, {} steady",
+            trace.events.len(),
+            trace.digest,
+            report.episodes.len(),
+            attributed,
+            report.steady
+        );
+    } else {
         println!(
             "{path}: OK — {} events, digest {:016x} matches",
             trace.events.len(),
             trace.digest
         );
-        Ok(ExitCode::SUCCESS)
-    } else {
-        eprintln!(
-            "{path}: DIGEST MISMATCH — meta declares {:016x}, events hash to {recomputed:016x}",
-            trace.digest
-        );
-        Ok(ExitCode::FAILURE)
     }
+    Ok(ExitCode::SUCCESS)
 }

@@ -13,7 +13,7 @@
 //! call path touches that blast radius avoid the node — everything else
 //! keeps flowing to it.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use components::CompName;
 use simcore::telemetry::{SharedBus, TelemetryEvent};
@@ -24,7 +24,9 @@ use urb_core::{OpCode, Request};
 /// The load balancer.
 pub struct LoadBalancer {
     nodes: usize,
-    affinity: HashMap<SessionId, usize>,
+    /// Session → home node, ordered by session id so that iteration
+    /// (e.g. [`LoadBalancer::sessions_on`]) is deterministic.
+    affinity: BTreeMap<SessionId, usize>,
     redirecting: Vec<bool>,
     /// Per-node quarantine set: components mid-microreboot there.
     quarantine: Vec<Vec<CompName>>,
@@ -47,7 +49,7 @@ impl LoadBalancer {
         assert!(nodes > 0, "need at least one node");
         LoadBalancer {
             nodes,
-            affinity: HashMap::new(),
+            affinity: BTreeMap::new(),
             redirecting: vec![false; nodes],
             quarantine: vec![Vec::new(); nodes],
             path_of: None,

@@ -14,7 +14,7 @@
 //! instance attributes are all container-resident state, which is exactly
 //! *why* a component-level microreboot cures them.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::SimTime;
 use statestore::session::CorruptKind;
@@ -62,7 +62,7 @@ pub enum TxnMapError {
 /// a later abort cannot undo them (the ≈ "manual DB repair" rows).
 #[derive(Clone, Debug, Default)]
 pub struct TxnMethodMap {
-    entries: HashMap<&'static str, Option<TxnAttr>>,
+    entries: BTreeMap<&'static str, Option<TxnAttr>>,
     invalid: bool,
     wrong: bool,
 }

@@ -13,7 +13,7 @@
 //! recovery manager's URL→component diagnosis — but they do not enlarge
 //! recovery groups.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::descriptor::{ComponentDescriptor, ComponentId};
 
@@ -48,7 +48,7 @@ impl std::error::Error for GraphError {}
 #[derive(Clone, Debug)]
 pub struct DependencyGraph {
     names: Vec<&'static str>,
-    by_name: HashMap<&'static str, ComponentId>,
+    by_name: BTreeMap<&'static str, ComponentId>,
     /// Weak references, directed (A uses B).
     jndi_out: Vec<Vec<ComponentId>>,
     /// Hard references, stored undirected.
@@ -61,7 +61,7 @@ pub struct DependencyGraph {
 impl DependencyGraph {
     /// Builds the graph from descriptors, validating all references.
     pub fn build(descriptors: &[ComponentDescriptor]) -> Result<Self, GraphError> {
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let mut names = Vec::with_capacity(descriptors.len());
         for (i, d) in descriptors.iter().enumerate() {
             if by_name.insert(d.name, ComponentId(i)).is_some() {

@@ -15,7 +15,7 @@
 //! already-resolved `CompName`). Symbols are never freed: component sets
 //! are tiny (eBid has 21) and live for the process.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
@@ -25,7 +25,7 @@ pub struct CompName(u32);
 
 struct Interner {
     names: Vec<&'static str>,
-    by_name: HashMap<&'static str, u32>,
+    by_name: BTreeMap<&'static str, u32>,
 }
 
 fn table() -> &'static Mutex<Interner> {
@@ -33,7 +33,7 @@ fn table() -> &'static Mutex<Interner> {
     TABLE.get_or_init(|| {
         Mutex::new(Interner {
             names: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
         })
     })
 }

@@ -12,7 +12,7 @@
 //!   bindings to null, dangling, or wrong-component values, and an EJB-level
 //!   microreboot cures them because redeployment re-binds the name.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::SimDuration;
 
@@ -86,7 +86,7 @@ pub enum Resolved {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct NamingRegistry {
-    bindings: HashMap<CompName, Binding>,
+    bindings: BTreeMap<CompName, Binding>,
     lookups: u64,
 }
 

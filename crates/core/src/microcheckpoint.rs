@@ -16,12 +16,12 @@
 //! restart (or escalation), the checkpoint-era analogue of the recursive
 //! policy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::SimTime;
 
 /// Identifier of a long-running task.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub u64);
 
 /// A stored progress token.
@@ -53,7 +53,7 @@ pub enum ResumeError {
 #[derive(Clone, Debug)]
 pub struct MicrocheckpointStore {
     max_resumes: u32,
-    entries: HashMap<TaskId, (Checkpoint, u32)>,
+    entries: BTreeMap<TaskId, (Checkpoint, u32)>,
     /// Checkpoints written over the store's lifetime.
     writes: u64,
 }
@@ -63,7 +63,7 @@ impl MicrocheckpointStore {
     pub fn new(max_resumes: u32) -> Self {
         MicrocheckpointStore {
             max_resumes,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             writes: 0,
         }
     }

@@ -10,7 +10,7 @@
 //! with the caller, because the pipeline knows nothing about the database
 //! or HTTP statuses.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use components::descriptor::ComponentId;
 use simcore::SimTime;
@@ -48,16 +48,17 @@ pub(crate) struct Victim {
 /// Admission, execution and kill bookkeeping for one server's requests.
 pub struct RequestPipeline {
     workers: WorkerPool,
-    running: HashMap<ReqId, RunningReq>,
-    hung: HashMap<ReqId, HungReq>,
+    /// Ordered by request id, so kill paths visit victims deterministically.
+    running: BTreeMap<ReqId, RunningReq>,
+    hung: BTreeMap<ReqId, HungReq>,
 }
 
 impl RequestPipeline {
     pub(crate) fn new(cpus: usize, threads: usize) -> Self {
         RequestPipeline {
             workers: WorkerPool::new(cpus, threads),
-            running: HashMap::new(),
-            hung: HashMap::new(),
+            running: BTreeMap::new(),
+            hung: BTreeMap::new(),
         }
     }
 
@@ -115,7 +116,7 @@ impl RequestPipeline {
             .filter(|(_, rr)| rr.touched.iter().any(|t| members.contains(t)))
             .map(|(id, _)| *id)
             .collect();
-        for rid in sorted(running_ids) {
+        for rid in running_ids {
             let rr = self.running.remove(&rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
@@ -130,7 +131,7 @@ impl RequestPipeline {
             .filter(|(_, h)| members.contains(&h.component))
             .map(|(id, _)| *id)
             .collect();
-        for rid in sorted(hung_ids) {
+        for rid in hung_ids {
             let h = self.hung.remove(&rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
@@ -156,7 +157,7 @@ impl RequestPipeline {
             .map(|(id, _)| *id)
             .collect();
         let mut victims = Vec::new();
-        for rid in sorted(expired) {
+        for rid in expired {
             let h = self.hung.remove(&rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
@@ -186,13 +187,16 @@ impl RequestPipeline {
             };
             victims.push(Victim { req, txn, hung_in });
         }
-        let leftover: Vec<ReqId> = self
+        // The two key streams are each ordered, but their concatenation is
+        // not: merge-sort them so stragglers still die in request-id order.
+        let mut leftover: Vec<ReqId> = self
             .running
             .keys()
             .chain(self.hung.keys())
             .copied()
             .collect();
-        for rid in sorted(leftover) {
+        leftover.sort_unstable();
+        for rid in leftover {
             let (req, txn, hung_in) = if let Some(rr) = self.running.remove(&rid) {
                 (rr.req, rr.txn, None)
             } else {
@@ -203,9 +207,4 @@ impl RequestPipeline {
         }
         victims
     }
-}
-
-pub(crate) fn sorted(mut v: Vec<ReqId>) -> Vec<ReqId> {
-    v.sort_unstable();
-    v
 }

@@ -8,7 +8,7 @@
 //! measuring how much memory each component's microreboot released and
 //! keeps its candidate list sorted by expected yield.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::SimTime;
 
@@ -67,7 +67,7 @@ pub struct RejuvenationService {
     /// Candidate components, kept sorted descending by last released
     /// bytes; unknown components sort last in deployment order.
     order: Vec<&'static str>,
-    released: HashMap<&'static str, u64>,
+    released: BTreeMap<&'static str, u64>,
     /// Components already rebooted in the current low-memory episode.
     done_this_round: Vec<&'static str>,
     /// Free memory observed just before the in-flight microreboot.
@@ -82,7 +82,7 @@ impl RejuvenationService {
             malarm,
             msufficient,
             order: components,
-            released: HashMap::new(),
+            released: BTreeMap::new(),
             done_this_round: Vec::new(),
             before_urb: None,
             in_episode: false,
@@ -109,7 +109,7 @@ impl RejuvenationService {
     }
 
     /// Returns the learned bytes-released table.
-    pub fn released_table(&self) -> &HashMap<&'static str, u64> {
+    pub fn released_table(&self) -> &BTreeMap<&'static str, u64> {
         &self.released
     }
 

@@ -8,7 +8,7 @@
 //! database (max id + 1) whenever IdentityManager reinitializes, which is
 //! why an EJB-level microreboot cures all three corruption modes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use statestore::session::CorruptKind;
 
@@ -37,7 +37,7 @@ pub enum KeyResult {
 /// The per-table key generator cache.
 #[derive(Clone, Debug, Default)]
 pub struct KeyGen {
-    states: HashMap<&'static str, KeyState>,
+    states: BTreeMap<&'static str, KeyState>,
     corrupt: Option<CorruptKind>,
 }
 

@@ -1,0 +1,1036 @@
+//! `urb-lint`: the workspace's determinism and exhaustiveness contract,
+//! as a machine-checked gate.
+//!
+//! Every claim the reproduction makes — lost-work accounting, Taw dips,
+//! golden-trace digests — rests on the simulation being deterministic.
+//! This crate enforces that contract statically, in two rule families:
+//!
+//! * **Determinism rules (`D001`–`D007`)**, applied to every `src/` file
+//!   of the simulation crates ([`SIM_CRATES`]): unordered containers in
+//!   sim state, iteration over them, wall-clock and ambient
+//!   nondeterminism, and float accumulation over unordered containers.
+//! * **Exhaustiveness rules (`E001`–`E004`)**, applied to the canonical
+//!   telemetry surfaces: every `TelemetryEvent` variant must have an
+//!   `encode_into` arm, trace encode/parse/kind arms, and a
+//!   `MetricsRegistry` fold arm (with no wildcard), and every
+//!   `RebootLevel` must be handled in `lifecycle.rs`.
+//!
+//! The escape hatch is a pragma comment on the offending line or the
+//! line above: `// urb-lint: allow(D001) — <justification>`. A pragma
+//! without a justification is itself a violation (`P001`).
+//!
+//! The analysis is a hand-rolled lexer (comment/string masking, brace
+//! tracking, `#[cfg(test)]` skipping) rather than a `syn` parse: the
+//! workspace takes no external dependencies, and the contracts being
+//! checked are lexically simple. The trade-off is documented in
+//! DESIGN.md §7.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The crates whose `src/` trees are subject to the determinism rules.
+///
+/// `bench` is deliberately absent: CLI binaries may read `std::env::args`
+/// and the filesystem. The lint crate itself is likewise out of scope.
+pub const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "core",
+    "cluster",
+    "workload",
+    "recovery",
+    "statestore",
+    "ebid",
+    "faults",
+    "components",
+];
+
+/// Every rule id the tool can emit, with a one-line description.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D001",
+        "HashMap/HashSet in sim-state: iteration order is randomized per process",
+    ),
+    (
+        "D002",
+        "iteration over a known-unordered container escapes into ordering-sensitive context",
+    ),
+    (
+        "D003",
+        "wall-clock time (Instant/SystemTime) inside the simulation",
+    ),
+    (
+        "D004",
+        "ambient randomness (thread_rng/random/OsRng) inside the simulation",
+    ),
+    (
+        "D005",
+        "environment access (std::env) inside the simulation",
+    ),
+    (
+        "D006",
+        "filesystem iteration (read_dir) has platform-dependent order",
+    ),
+    ("D007", "float accumulation over an unordered container"),
+    ("E001", "TelemetryEvent variant missing an encode_into arm"),
+    (
+        "E002",
+        "TelemetryEvent variant missing a trace encode/parse/kind arm",
+    ),
+    (
+        "E003",
+        "TelemetryEvent variant missing (or wildcarded) in the MetricsRegistry fold",
+    ),
+    ("E004", "RebootLevel variant unhandled in lifecycle.rs"),
+    (
+        "P001",
+        "allow-pragma without a justification (or with an unknown rule id)",
+    ),
+];
+
+/// One violation: file, line, rule id, message and a suggested fix.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path of the offending file (relative to the lint root when
+    /// produced by [`lint_workspace`]).
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Rule id (`D001`…`P001`).
+    pub rule: &'static str,
+    /// What is wrong.
+    pub message: String,
+    /// The suggested fix.
+    pub fix: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: urb-lint[{}] {}; fix: {}",
+            self.file, self.line, self.rule, self.message, self.fix
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexical masking: separate code from comments and string contents
+// ---------------------------------------------------------------------------
+
+/// A source file split into per-line code text (string/char contents and
+/// comments blanked out) and per-line comment text (for pragma parsing).
+pub struct Masked {
+    /// Code with comments and literal contents replaced by spaces.
+    pub code: Vec<String>,
+    /// Comment text per line (line + block comments).
+    pub comments: Vec<String>,
+}
+
+/// Masks comments and string/char-literal contents out of `src`.
+///
+/// Handles line comments, nested block comments, string escapes, raw
+/// strings (`r"…"`, `r#"…"#`), and distinguishes char literals from
+/// lifetimes well enough for this codebase's lexical rules.
+pub fn mask_source(src: &str) -> Masked {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut st = St::Code;
+    let mut code = Vec::new();
+    let mut comments = Vec::new();
+    let mut cline = String::new();
+    let mut mline = String::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            code.push(std::mem::take(&mut cline));
+            comments.push(std::mem::take(&mut mline));
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    st = St::LineComment;
+                    cline.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(1);
+                    cline.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Str;
+                    cline.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b')
+                    && !prev_is_ident(&chars, i)
+                    && raw_str_hashes(&chars, i).is_some()
+                {
+                    let (hashes, skip) = raw_str_hashes(&chars, i).expect("checked above");
+                    st = St::RawStr(hashes);
+                    for _ in 0..skip {
+                        cline.push(' ');
+                    }
+                    cline.push('"');
+                    i += skip + 1;
+                } else if c == '\'' {
+                    // Char literal ('x', '\n') vs lifetime ('a in &'a T).
+                    let is_char = matches!(
+                        (chars.get(i + 1), chars.get(i + 2)),
+                        (Some('\\'), _) | (Some(_), Some('\''))
+                    );
+                    if is_char {
+                        cline.push('\'');
+                        i += 1;
+                        while i < chars.len() && chars[i] != '\'' {
+                            if chars[i] == '\\' {
+                                i += 1;
+                                cline.push(' ');
+                            }
+                            cline.push(' ');
+                            i += 1;
+                        }
+                        if i < chars.len() {
+                            cline.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        cline.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    cline.push(c);
+                    i += 1;
+                }
+            }
+            St::LineComment => {
+                mline.push(c);
+                cline.push(' ');
+                i += 1;
+            }
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    cline.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    cline.push_str("  ");
+                    i += 2;
+                } else {
+                    mline.push(c);
+                    cline.push(' ');
+                    i += 1;
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    cline.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    st = St::Code;
+                    cline.push('"');
+                    i += 1;
+                } else {
+                    cline.push(' ');
+                    i += 1;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    st = St::Code;
+                    cline.push('"');
+                    for _ in 0..hashes {
+                        cline.push(' ');
+                    }
+                    i += hashes + 1;
+                } else {
+                    cline.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    code.push(cline);
+    comments.push(mline);
+    Masked { code, comments }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[i..]` starts a raw string (`r"`, `r#"`, `br"`…), returns
+/// `(hash_count, chars_before_the_quote)`.
+fn raw_str_hashes(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((hashes, j - i))
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+/// An `// urb-lint: allow(<rule>) — <justification>` pragma.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    /// 1-indexed line the pragma comment sits on.
+    pub line: usize,
+    /// The rule it allows.
+    pub rule: String,
+    /// The stated justification (may be empty — then it is a violation).
+    pub justification: String,
+}
+
+/// Extracts every allow-pragma from the per-line comment text.
+pub fn extract_pragmas(masked: &Masked) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (idx, comment) in masked.comments.iter().enumerate() {
+        let Some(pos) = comment.find("urb-lint:") else {
+            continue;
+        };
+        let rest = &comment[pos + "urb-lint:".len()..];
+        let Some(open) = rest.find("allow(") else {
+            continue;
+        };
+        let after = &rest[open + "allow(".len()..];
+        let Some(close) = after.find(')') else {
+            continue;
+        };
+        let rule = after[..close].trim().to_string();
+        let justification = after[close + 1..]
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+            .trim()
+            .to_string();
+        out.push(Pragma {
+            line: idx + 1,
+            rule,
+            justification,
+        });
+    }
+    out
+}
+
+/// The set of `(rule, line)` pairs a pragma list suppresses: a pragma
+/// covers its own line (trailing-comment style) and the line below.
+fn allowed_set(pragmas: &[Pragma]) -> BTreeSet<(String, usize)> {
+    let mut set = BTreeSet::new();
+    for p in pragmas {
+        set.insert((p.rule.clone(), p.line));
+        set.insert((p.rule.clone(), p.line + 1));
+    }
+    set
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)]` skipping
+// ---------------------------------------------------------------------------
+
+/// Marks lines belonging to `#[cfg(test)]` items (attribute line through
+/// the item's closing brace). Test code may use unordered containers and
+/// ambient state freely.
+pub fn test_line_mask(code: &[String]) -> Vec<bool> {
+    let mut skipped = vec![false; code.len()];
+    let mut li = 0;
+    while li < code.len() {
+        if let Some(col) = code[li].find("#[cfg(test)]") {
+            let mut depth = 0usize;
+            let mut seen_open = false;
+            let mut l = li;
+            let mut c = col;
+            'outer: while l < code.len() {
+                skipped[l] = true;
+                let line: Vec<char> = code[l].chars().collect();
+                while c < line.len() {
+                    match line[c] {
+                        '{' => {
+                            depth += 1;
+                            seen_open = true;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            if seen_open && depth == 0 {
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                    c += 1;
+                }
+                l += 1;
+                c = 0;
+            }
+            li = l + 1;
+        } else {
+            li += 1;
+        }
+    }
+    skipped
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+// ---------------------------------------------------------------------------
+
+fn find_word(line: &str, word: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = line[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1] as char;
+            !(b.is_alphanumeric() || b == '_')
+        };
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || {
+            let a = bytes[end] as char;
+            !(a.is_alphanumeric() || a == '_')
+        };
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        start = at + word.len();
+    }
+    out
+}
+
+/// The identifier being bound at a `name: HashMap<…>` / `name = HashMap…`
+/// site, looking left from `idx`.
+fn binding_name(line: &str, idx: usize) -> Option<String> {
+    let before = line[..idx].trim_end();
+    let before = before
+        .strip_suffix(':')
+        .or_else(|| before.strip_suffix('='))?
+        .trim_end();
+    let name: String = before
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    if name.is_empty() || name == "mut" || name.chars().next().is_some_and(|c| c.is_numeric()) {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+const ITER_METHODS: &[&str] = &[".keys()", ".values()", ".iter()", ".into_iter()", ".drain("];
+const FLOAT_SINKS: &[&str] = &[".sum(", ".sum::<", ".fold(", ".product("];
+
+/// Runs the determinism rules (`D001`–`D007`, plus `P001` pragma checks)
+/// over one source file. `label` is used as the diagnostic path.
+pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
+    let masked = mask_source(src);
+    let pragmas = extract_pragmas(&masked);
+    let allowed = allowed_set(&pragmas);
+    let skipped = test_line_mask(&masked.code);
+    let known_rules: BTreeSet<&str> = RULES.iter().map(|(r, _)| *r).collect();
+
+    let mut diags = Vec::new();
+    for p in &pragmas {
+        if !known_rules.contains(p.rule.as_str()) {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: p.line,
+                rule: "P001",
+                message: format!("allow-pragma names unknown rule \"{}\"", p.rule),
+                fix: "use one of the documented rule ids (DESIGN.md §7)".to_string(),
+            });
+        } else if p
+            .justification
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .count()
+            < 3
+        {
+            diags.push(Diagnostic {
+                file: label.to_string(),
+                line: p.line,
+                rule: "P001",
+                message: format!("allow({}) pragma has no justification", p.rule),
+                fix: "append \"— <why this site is safe>\" to the pragma".to_string(),
+            });
+        }
+    }
+
+    // Pass 1: collect names bound to unordered containers (D001 sites).
+    let mut unordered: BTreeSet<String> = BTreeSet::new();
+    for (idx, line) in masked.code.iter().enumerate() {
+        if skipped[idx] || line.trim_start().starts_with("use ") {
+            continue;
+        }
+        for container in ["HashMap", "HashSet"] {
+            for at in find_word(line, container) {
+                if let Some(name) = binding_name(line, at) {
+                    unordered.insert(name);
+                }
+                let lno = idx + 1;
+                if allowed.contains(&("D001".to_string(), lno)) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    file: label.to_string(),
+                    line: lno,
+                    rule: "D001",
+                    message: format!(
+                        "{container} in simulation state: iteration order is randomized per process"
+                    ),
+                    fix: format!(
+                        "use BTree{} (or justify with // urb-lint: allow(D001) — …)",
+                        &container[4..]
+                    ),
+                });
+            }
+        }
+    }
+
+    // Pass 2: per-line rules.
+    for (idx, line) in masked.code.iter().enumerate() {
+        if skipped[idx] {
+            continue;
+        }
+        let lno = idx + 1;
+        let mut push = |rule: &'static str, message: String, fix: &str| {
+            if !allowed.contains(&(rule.to_string(), lno)) {
+                diags.push(Diagnostic {
+                    file: label.to_string(),
+                    line: lno,
+                    rule,
+                    message,
+                    fix: fix.to_string(),
+                });
+            }
+        };
+
+        for name in &unordered {
+            let iterates = find_word(line, name).iter().any(|&at| {
+                let after = &line[at + name.len()..];
+                ITER_METHODS.iter().any(|m| after.starts_with(m))
+            }) || is_for_loop_over(line, name);
+            if iterates {
+                push(
+                    "D002",
+                    format!("iteration over unordered container `{name}` escapes its order"),
+                    "convert the container to a BTree type or sort the collected keys",
+                );
+                if FLOAT_SINKS.iter().any(|s| line.contains(s)) {
+                    push(
+                        "D007",
+                        format!("float accumulation over unordered container `{name}`"),
+                        "accumulate in sorted key order (float addition is not associative)",
+                    );
+                }
+            }
+        }
+        for pat in [
+            "Instant::now",
+            "SystemTime::now",
+            "std::time::Instant",
+            "std::time::SystemTime",
+        ] {
+            if line.contains(pat) {
+                push(
+                    "D003",
+                    format!("wall-clock `{pat}` inside the simulation"),
+                    "use the simulated clock (simcore::SimTime / EventQueue::now)",
+                );
+            }
+        }
+        for pat in [
+            "thread_rng",
+            "rand::random",
+            "from_entropy",
+            "OsRng",
+            "getrandom",
+        ] {
+            if line.contains(pat) {
+                push(
+                    "D004",
+                    format!("ambient randomness `{pat}` inside the simulation"),
+                    "draw from the run's seeded simcore::SimRng",
+                );
+            }
+        }
+        if line.contains("std::env::") || line.contains("env::var(") || line.contains("env::vars(")
+        {
+            push(
+                "D005",
+                "environment access inside the simulation".to_string(),
+                "thread configuration through explicit parameters",
+            );
+        }
+        if line.contains("read_dir") {
+            push(
+                "D006",
+                "filesystem iteration order is platform-dependent".to_string(),
+                "collect and sort directory entries before iterating",
+            );
+        }
+    }
+    diags
+}
+
+fn is_for_loop_over(line: &str, name: &str) -> bool {
+    let trimmed = line.trim_start();
+    if !trimmed.starts_with("for ") {
+        return false;
+    }
+    let Some(pos) = line.find(" in ") else {
+        return false;
+    };
+    let expr = line[pos + 4..]
+        .trim_start()
+        .trim_start_matches('&')
+        .trim_start_matches("mut ")
+        .trim_start_matches("self.");
+    if !expr.starts_with(name) {
+        return false;
+    }
+    match expr[name.len()..].chars().next() {
+        // `map.iter()`-style is already caught by the method patterns.
+        Some('.') => false,
+        Some(c) => !(c.is_alphanumeric() || c == '_'),
+        None => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustiveness rules
+// ---------------------------------------------------------------------------
+
+/// One named source for the exhaustiveness checks.
+pub struct ExhaustInput<'a> {
+    /// Diagnostic path label.
+    pub label: &'a str,
+    /// File contents.
+    pub src: &'a str,
+}
+
+/// An enum variant with the line it is declared on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Variant {
+    /// Variant name.
+    pub name: String,
+    /// 1-indexed declaration line.
+    pub line: usize,
+}
+
+/// Extracts the variants of `enum <name>` from masked source.
+pub fn enum_variants(src: &str, name: &str) -> Vec<Variant> {
+    let masked = mask_source(src);
+    let mut out = Vec::new();
+    let anchor = format!("enum {name}");
+    let Some((start_line, body)) = body_after(&masked.code, &anchor) else {
+        return out;
+    };
+    let mut depth = 0i32;
+    for (off, line) in body.iter().enumerate() {
+        let at_depth_zero = depth == 0;
+        for c in line.chars() {
+            match c {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => depth -= 1,
+                _ => {}
+            }
+        }
+        if !at_depth_zero {
+            continue;
+        }
+        let t = line.trim_start();
+        if t.starts_with('#') || t.is_empty() {
+            continue;
+        }
+        let ident: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if ident.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            out.push(Variant {
+                name: ident,
+                line: start_line + off,
+            });
+        }
+    }
+    out
+}
+
+/// Finds `anchor` in the masked code and returns `(first_body_line_1idx,
+/// body_lines)` for the brace-delimited block that follows it.
+fn body_after(code: &[String], anchor: &str) -> Option<(usize, Vec<String>)> {
+    let (mut li, mut col) = code
+        .iter()
+        .enumerate()
+        .find_map(|(i, l)| l.find(anchor).map(|c| (i, c + anchor.len())))?;
+    // Scan to the opening brace.
+    loop {
+        if let Some(off) = code.get(li)?[col..].find('{') {
+            col += off + 1;
+            break;
+        }
+        li += 1;
+        col = 0;
+    }
+    let mut depth = 1i32;
+    let mut body = Vec::new();
+    let first_line = li + 1;
+    let mut cur = code[li][col..].to_string();
+    loop {
+        let mut cut = None;
+        for (ci, c) in cur.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = Some(ci);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(ci) = cut {
+            body.push(cur[..ci].to_string());
+            return Some((first_line, body));
+        }
+        body.push(cur);
+        li += 1;
+        cur = code.get(li)?.clone();
+    }
+}
+
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn body_text(code: &[String], anchor: &str) -> Option<String> {
+    body_after(code, anchor).map(|(_, lines)| lines.join("\n"))
+}
+
+/// Cross-checks the telemetry surfaces. `telemetry` is required (it
+/// declares the enums); the other three are checked when given, so
+/// fixtures can exercise each rule in isolation.
+pub fn check_exhaustiveness(
+    telemetry: &ExhaustInput,
+    trace: Option<&ExhaustInput>,
+    metrics: Option<&ExhaustInput>,
+    lifecycle: Option<&ExhaustInput>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let variants = enum_variants(telemetry.src, "TelemetryEvent");
+    let levels = enum_variants(telemetry.src, "RebootLevel");
+    let tel_code = mask_source(telemetry.src).code;
+
+    // E001: every variant has an encode_into arm.
+    if let Some(body) = body_text(&tel_code, "fn encode_into") {
+        for v in &variants {
+            if !body.contains(&format!("TelemetryEvent::{}", v.name)) {
+                diags.push(Diagnostic {
+                    file: telemetry.label.to_string(),
+                    line: v.line,
+                    rule: "E001",
+                    message: format!(
+                        "TelemetryEvent::{} has no encode_into arm (digests would miss it)",
+                        v.name
+                    ),
+                    fix: "add a match arm with a fresh tag byte in encode_into".to_string(),
+                });
+            }
+        }
+    }
+
+    // E002: trace kind/encode/parse arms.
+    if let Some(trace) = trace {
+        let code = mask_source(trace.src).code;
+        let surfaces = [
+            ("fn event_kind", "event_kind"),
+            ("fn event_to_json", "event_to_json"),
+        ];
+        for (anchor, what) in surfaces {
+            if let Some(body) = body_text(&code, anchor) {
+                for v in &variants {
+                    if !body.contains(&format!("TelemetryEvent::{}", v.name)) {
+                        diags.push(Diagnostic {
+                            file: trace.label.to_string(),
+                            line: 1,
+                            rule: "E002",
+                            message: format!("TelemetryEvent::{} has no {what} arm", v.name),
+                            fix: format!("add a match arm for the variant in {what}"),
+                        });
+                    }
+                }
+            }
+        }
+        // The parse arms match on string keys, which the masking blanks
+        // out: check the raw lines of the function's span instead.
+        if let Some((first_line, body)) = body_after(&code, "fn event_from_json") {
+            let raw: Vec<&str> = trace.src.lines().collect();
+            let span = raw[first_line - 1..(first_line - 1 + body.len()).min(raw.len())].join("\n");
+            for v in &variants {
+                let key = format!("\"{}\"", camel_to_snake(&v.name));
+                if !span.contains(&key) {
+                    diags.push(Diagnostic {
+                        file: trace.label.to_string(),
+                        line: 1,
+                        rule: "E002",
+                        message: format!(
+                            "TelemetryEvent::{} ({key}) has no event_from_json arm",
+                            v.name
+                        ),
+                        fix: "add a parse arm so round-tripping stays total".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // E003: the MetricsRegistry fold names every variant, no wildcard.
+    if let Some(metrics) = metrics {
+        let code = mask_source(metrics.src).code;
+        if let Some((impl_start, impl_body)) =
+            body_after(&code, "impl TelemetrySink for MetricsRegistry")
+        {
+            if let Some((fn_start, fn_body)) = body_after(&impl_body, "fn on_event") {
+                let body = fn_body.join("\n");
+                for v in &variants {
+                    if !body.contains(&format!("TelemetryEvent::{}", v.name)) {
+                        diags.push(Diagnostic {
+                            file: metrics.label.to_string(),
+                            line: impl_start,
+                            rule: "E003",
+                            message: format!(
+                                "TelemetryEvent::{} is not folded by MetricsRegistry",
+                                v.name
+                            ),
+                            fix: "add an explicit match arm (even if it only counts)".to_string(),
+                        });
+                    }
+                }
+                for (off, wline) in wildcard_arms(&fn_body) {
+                    diags.push(Diagnostic {
+                        file: metrics.label.to_string(),
+                        line: impl_start + fn_start + off - 1,
+                        rule: "E003",
+                        message: format!(
+                            "wildcard arm `{}` defeats the exhaustiveness guarantee",
+                            wline.trim()
+                        ),
+                        fix: "enumerate the remaining variants explicitly".to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    // E004: every RebootLevel is handled in lifecycle.rs.
+    if let Some(lifecycle) = lifecycle {
+        let code = mask_source(lifecycle.src).code.join("\n");
+        for lv in &levels {
+            if !code.contains(&format!("RebootLevel::{}", lv.name)) {
+                diags.push(Diagnostic {
+                    file: lifecycle.label.to_string(),
+                    line: 1,
+                    rule: "E004",
+                    message: format!("RebootLevel::{} is never handled in the lifecycle", lv.name),
+                    fix: "handle the level in the reboot state machine".to_string(),
+                });
+            }
+        }
+    }
+    diags
+}
+
+/// `_ =>` arms at the top level of the first `match` in `fn_body`,
+/// as `(line_offset_within_body, line_text)`.
+fn wildcard_arms(fn_body: &[String]) -> Vec<(usize, String)> {
+    let Some((start, match_body)) = body_after(fn_body, "match ") else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    for (off, line) in match_body.iter().enumerate() {
+        if depth == 0 && line.trim_start().starts_with("_ ") && line.contains("=>") {
+            out.push((start + off, line.clone()));
+        }
+        for c in line.chars() {
+            match c {
+                '{' | '(' => depth += 1,
+                '}' | ')' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Workspace driver
+// ---------------------------------------------------------------------------
+
+fn rs_files_sorted(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    // Directory order is platform-dependent (our own D006): collect and
+    // sort so diagnostics come out in a stable order.
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rs_files_sorted(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_label(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+/// Lints a workspace rooted at `root`: determinism rules over every
+/// `src/` file of the [`SIM_CRATES`], then the exhaustiveness
+/// cross-checks over the canonical telemetry surfaces (when present, so
+/// fixture trees exercising only the determinism rules still work).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    for krate in SIM_CRATES {
+        let src_dir = root.join("crates").join(krate).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rs_files_sorted(&src_dir, &mut files)?;
+        for file in files {
+            let src = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
+            diags.extend(lint_source(&rel_label(root, &file), &src));
+        }
+    }
+
+    let tel_path = root.join("crates/simcore/src/telemetry.rs");
+    if tel_path.is_file() {
+        let tel_src =
+            fs::read_to_string(&tel_path).map_err(|e| format!("{}: {e}", tel_path.display()))?;
+        let read_opt = |rel: &str| -> Option<(String, String)> {
+            let p = root.join(rel);
+            fs::read_to_string(&p).ok().map(|s| (rel.to_string(), s))
+        };
+        let trace = read_opt("crates/simcore/src/trace.rs");
+        let metrics = read_opt("crates/simcore/src/metrics.rs");
+        let lifecycle = read_opt("crates/core/src/lifecycle.rs");
+        fn as_input(t: &Option<(String, String)>) -> Option<ExhaustInput<'_>> {
+            t.as_ref().map(|(l, s)| ExhaustInput { label: l, src: s })
+        }
+        let (trace_i, metrics_i, lifecycle_i) =
+            (as_input(&trace), as_input(&metrics), as_input(&lifecycle));
+        diags.extend(check_exhaustiveness(
+            &ExhaustInput {
+                label: &rel_label(root, &tel_path),
+                src: &tel_src,
+            },
+            trace_i.as_ref(),
+            metrics_i.as_ref(),
+            lifecycle_i.as_ref(),
+        ));
+    }
+
+    diags.sort();
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_and_strings() {
+        let m = mask_source("let x = \"HashMap\"; // HashMap here\nlet y = 1;");
+        assert!(!m.code[0].contains("HashMap"));
+        assert!(m.comments[0].contains("HashMap here"));
+        assert_eq!(m.code[1], "let y = 1;");
+    }
+
+    #[test]
+    fn masking_handles_raw_strings_and_lifetimes() {
+        let m = mask_source("fn f<'a>(s: &'a str) { let r = r#\"HashSet\"#; }");
+        assert!(!m.code[0].contains("HashSet"));
+        assert!(m.code[0].contains("fn f<'a>(s: &'a str)"));
+    }
+
+    #[test]
+    fn camel_to_snake_matches_trace_names() {
+        assert_eq!(camel_to_snake("LbFailover"), "lb_failover");
+        assert_eq!(camel_to_snake("TtlSweep"), "ttl_sweep");
+        assert_eq!(camel_to_snake("RequestSubmitted"), "request_submitted");
+    }
+
+    #[test]
+    fn pragma_requires_justification() {
+        let src = "// urb-lint: allow(D001) — hot path, order never observed\nlet m: HashMap<u8, u8> = HashMap::new();\n// urb-lint: allow(D001)\nlet n: HashMap<u8, u8> = HashMap::new();\n";
+        let diags = lint_source("x.rs", src);
+        let rules: Vec<(&str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+        // Line 2 is pragma'd with a justification; line 3's pragma is bare
+        // (P001) and so line 4 stays suppressed-but-flagged-at-source.
+        assert!(rules.contains(&("P001", 3)), "{rules:?}");
+        assert!(!rules.contains(&("D001", 2)), "{rules:?}");
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n}\n";
+        assert!(lint_source("x.rs", src).is_empty());
+    }
+}

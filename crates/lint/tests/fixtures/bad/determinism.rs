@@ -1,0 +1,40 @@
+//! Known-bad fixture: every determinism rule fires at a known line.
+//! (Never compiled — scanned by the lint self-tests only.)
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct State {
+    counts: HashMap<String, u64>,
+    seen: HashSet<u64>,
+}
+
+impl State {
+    pub fn total(&self) -> f64 {
+        self.counts.values().map(|v| *v as f64).sum()
+    }
+
+    pub fn ids(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        for id in &self.seen {
+            out.push(*id);
+        }
+        out
+    }
+
+    pub fn stamp(&self) -> u64 {
+        let t = Instant::now();
+        t.elapsed().as_nanos() as u64
+    }
+
+    pub fn pick(&self) -> u64 {
+        thread_rng().next_u64()
+    }
+
+    pub fn home(&self) -> String {
+        std::env::var("HOME").unwrap_or_default()
+    }
+
+    pub fn files(&self) -> usize {
+        std::fs::read_dir(".").unwrap().count()
+    }
+}

@@ -1,0 +1,9 @@
+//! Pragma-abuse fixture: a bare pragma and one naming an unknown rule.
+use std::collections::BTreeMap;
+
+pub struct S {
+    // urb-lint: allow(D001)
+    a: std::collections::HashMap<u8, u8>,
+    // urb-lint: allow(D999) — no such rule exists.
+    b: BTreeMap<u8, u8>,
+}

@@ -1,0 +1,7 @@
+//! A miniature sim crate with a determinism violation, used to prove the
+//! binary exits nonzero under `--deny-all`.
+use std::collections::HashMap;
+
+pub struct Tracker {
+    pub counts: HashMap<u64, u64>,
+}

@@ -1,0 +1,8 @@
+//! Lifecycle that only ever handles component-level reboots.
+
+pub fn begin(level: RebootLevel) {
+    match level {
+        RebootLevel::Component => reboot_components(),
+        _ => unimplemented!(),
+    }
+}

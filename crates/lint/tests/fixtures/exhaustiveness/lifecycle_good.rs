@@ -1,0 +1,8 @@
+//! Lifecycle handling every reboot level of the miniature telemetry.
+
+pub fn begin(level: RebootLevel) {
+    match level {
+        RebootLevel::Component => reboot_components(),
+        RebootLevel::Process => restart_process(),
+    }
+}

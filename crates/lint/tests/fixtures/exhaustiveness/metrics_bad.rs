@@ -1,0 +1,10 @@
+//! Metrics fold that hides a variant behind a wildcard arm.
+
+impl TelemetrySink for MetricsRegistry {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::RequestSubmitted { .. } => self.inc("requests_submitted"),
+            _ => {}
+        }
+    }
+}

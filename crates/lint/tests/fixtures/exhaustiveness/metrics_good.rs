@@ -1,0 +1,16 @@
+//! Metrics fold naming every variant explicitly, no wildcard.
+
+impl TelemetrySink for MetricsRegistry {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        match *event {
+            TelemetryEvent::RequestSubmitted { .. } => self.inc("requests_submitted"),
+            TelemetryEvent::RebootBegun { level, .. } => {
+                self.inc("reboots_begun");
+                match level {
+                    RebootLevel::Component => self.inc("reboots_begun_component"),
+                    _ => self.inc("reboots_begun_other"),
+                }
+            }
+        }
+    }
+}

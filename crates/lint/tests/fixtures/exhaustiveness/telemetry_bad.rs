@@ -1,0 +1,37 @@
+//! Negative control: a mutated miniature of `simcore/src/telemetry.rs`.
+//! `DummyEvent` was added to the enum but `encode_into` was not updated
+//! — the exhaustiveness lint must catch exactly that.
+
+/// How deep a reboot reaches.
+pub enum RebootLevel {
+    /// Microreboot of one or more components.
+    Component,
+    /// Restart of the whole process.
+    Process,
+}
+
+/// The event vocabulary.
+pub enum TelemetryEvent {
+    /// A request arrived.
+    RequestSubmitted { node: usize },
+    /// A reboot started.
+    RebootBegun { node: usize, level: RebootLevel },
+    /// A variant someone added without updating the encoders.
+    DummyEvent { node: usize },
+}
+
+impl TelemetryEvent {
+    /// Canonical byte encoding (digest input).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match *self {
+            TelemetryEvent::RequestSubmitted { node } => {
+                buf.push(0);
+                buf.push(node as u8);
+            }
+            TelemetryEvent::RebootBegun { node, .. } => {
+                buf.push(1);
+                buf.push(node as u8);
+            }
+        }
+    }
+}

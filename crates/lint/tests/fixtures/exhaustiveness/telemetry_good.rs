@@ -1,0 +1,33 @@
+//! Positive control: the miniature telemetry with every encode arm.
+
+/// How deep a reboot reaches.
+pub enum RebootLevel {
+    /// Microreboot of one or more components.
+    Component,
+    /// Restart of the whole process.
+    Process,
+}
+
+/// The event vocabulary.
+pub enum TelemetryEvent {
+    /// A request arrived.
+    RequestSubmitted { node: usize },
+    /// A reboot started.
+    RebootBegun { node: usize, level: RebootLevel },
+}
+
+impl TelemetryEvent {
+    /// Canonical byte encoding (digest input).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        match *self {
+            TelemetryEvent::RequestSubmitted { node } => {
+                buf.push(0);
+                buf.push(node as u8);
+            }
+            TelemetryEvent::RebootBegun { node, .. } => {
+                buf.push(1);
+                buf.push(node as u8);
+            }
+        }
+    }
+}

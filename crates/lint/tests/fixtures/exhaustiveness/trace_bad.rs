@@ -1,0 +1,27 @@
+//! Trace surface missing `RebootBegun` in all three places: the kind
+//! table, the JSON encoder, and the parser.
+
+pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { .. } => "request_submitted",
+    }
+}
+
+pub fn event_to_json(ev: &TelemetryEvent) -> String {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { node } => {
+            format!("{{\"t\":\"request_submitted\",\"node\":{node}}}")
+        }
+    }
+}
+
+pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
+    let kind = need_str(line, "t")?;
+    let ev = match kind {
+        "request_submitted" => TelemetryEvent::RequestSubmitted {
+            node: need_u64(line, "node")? as usize,
+        },
+        other => return Err(format!("unknown kind {other}")),
+    };
+    Ok(ev)
+}

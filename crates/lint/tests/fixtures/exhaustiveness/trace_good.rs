@@ -1,0 +1,34 @@
+//! Trace surface covering every variant of the miniature telemetry.
+
+pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { .. } => "request_submitted",
+        TelemetryEvent::RebootBegun { .. } => "reboot_begun",
+    }
+}
+
+pub fn event_to_json(ev: &TelemetryEvent) -> String {
+    match *ev {
+        TelemetryEvent::RequestSubmitted { node } => {
+            format!("{{\"t\":\"request_submitted\",\"node\":{node}}}")
+        }
+        TelemetryEvent::RebootBegun { node, .. } => {
+            format!("{{\"t\":\"reboot_begun\",\"node\":{node}}}")
+        }
+    }
+}
+
+pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
+    let kind = need_str(line, "t")?;
+    let ev = match kind {
+        "request_submitted" => TelemetryEvent::RequestSubmitted {
+            node: need_u64(line, "node")? as usize,
+        },
+        "reboot_begun" => TelemetryEvent::RebootBegun {
+            node: need_u64(line, "node")? as usize,
+            level: RebootLevel::Component,
+        },
+        other => return Err(format!("unknown kind {other}")),
+    };
+    Ok(ev)
+}

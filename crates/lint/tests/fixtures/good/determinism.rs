@@ -1,0 +1,35 @@
+//! Known-good fixture: ordered containers, the sim clock, and a
+//! properly justified allow-pragma. Must produce zero diagnostics.
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+pub struct State {
+    counts: BTreeMap<String, u64>,
+    // urb-lint: allow(D001) — membership-only scratch set; order never observed.
+    scratch: HashSet<u64>,
+}
+
+impl State {
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn remember(&mut self, id: u64) -> bool {
+        self.scratch.insert(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may use unordered containers freely.
+    use std::collections::HashMap;
+
+    #[test]
+    fn scratch() {
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2);
+        for (k, v) in m.iter() {
+            assert!(*k < *v);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Self-tests for `urb-lint`: known-bad fixtures must produce exactly
+//! the expected `(rule, line)` diagnostics, known-good fixtures must be
+//! clean, the real workspace must lint clean, and the binary must exit
+//! nonzero under `--deny-all` when a violation exists.
+
+use std::path::{Path, PathBuf};
+
+use urb_lint::{check_exhaustiveness, lint_source, lint_workspace, ExhaustInput};
+
+fn fixture(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn rules_and_lines(diags: &[urb_lint::Diagnostic]) -> Vec<(&'static str, usize)> {
+    let mut v: Vec<(&'static str, usize)> = diags.iter().map(|d| (d.rule, d.line)).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn bad_determinism_fixture_fires_every_rule_at_known_lines() {
+    let diags = lint_source("bad/determinism.rs", &fixture("bad/determinism.rs"));
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("D001", 7),  // counts: HashMap
+            ("D001", 8),  // seen: HashSet
+            ("D002", 13), // counts.values()
+            ("D002", 18), // for id in &self.seen
+            ("D003", 25), // Instant::now()
+            ("D004", 30), // thread_rng()
+            ("D005", 34), // std::env::var
+            ("D006", 38), // read_dir
+            ("D007", 13), // float sum over counts.values()
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn good_determinism_fixture_is_clean() {
+    let diags = lint_source("good/determinism.rs", &fixture("good/determinism.rs"));
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
+fn bare_and_unknown_pragmas_are_violations() {
+    let diags = lint_source("bad/pragma.rs", &fixture("bad/pragma.rs"));
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![("P001", 5), ("P001", 7)],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn negative_control_missing_encode_arm_is_caught() {
+    let telemetry = fixture("exhaustiveness/telemetry_bad.rs");
+    let diags = check_exhaustiveness(
+        &ExhaustInput {
+            label: "telemetry_bad.rs",
+            src: &telemetry,
+        },
+        None,
+        None,
+        None,
+    );
+    assert_eq!(diags.len(), 1, "diagnostics: {diags:#?}");
+    assert_eq!(diags[0].rule, "E001");
+    assert!(diags[0].message.contains("DummyEvent"), "{}", diags[0]);
+    // Anchored at the variant's declaration line in the fixture.
+    assert_eq!(diags[0].line, 20, "{}", diags[0]);
+}
+
+#[test]
+fn trace_surface_gaps_are_caught_per_function() {
+    let telemetry = fixture("exhaustiveness/telemetry_good.rs");
+    let trace = fixture("exhaustiveness/trace_bad.rs");
+    let diags = check_exhaustiveness(
+        &ExhaustInput {
+            label: "telemetry_good.rs",
+            src: &telemetry,
+        },
+        Some(&ExhaustInput {
+            label: "trace_bad.rs",
+            src: &trace,
+        }),
+        None,
+        None,
+    );
+    let e002: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "E002")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(e002.len(), 3, "kind, encoder and parser: {diags:#?}");
+    assert!(e002.iter().all(|m| m.contains("RebootBegun")), "{e002:#?}");
+}
+
+#[test]
+fn metrics_wildcard_and_missing_variant_are_caught() {
+    let telemetry = fixture("exhaustiveness/telemetry_good.rs");
+    let metrics = fixture("exhaustiveness/metrics_bad.rs");
+    let diags = check_exhaustiveness(
+        &ExhaustInput {
+            label: "telemetry_good.rs",
+            src: &telemetry,
+        },
+        None,
+        Some(&ExhaustInput {
+            label: "metrics_bad.rs",
+            src: &metrics,
+        }),
+        None,
+    );
+    assert_eq!(diags.len(), 2, "missing RebootBegun + wildcard: {diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "E003"));
+    assert!(diags.iter().any(|d| d.message.contains("RebootBegun")));
+    assert!(diags.iter().any(|d| d.message.contains("wildcard")));
+}
+
+#[test]
+fn lifecycle_unhandled_level_is_caught() {
+    let telemetry = fixture("exhaustiveness/telemetry_good.rs");
+    let lifecycle = fixture("exhaustiveness/lifecycle_bad.rs");
+    let diags = check_exhaustiveness(
+        &ExhaustInput {
+            label: "telemetry_good.rs",
+            src: &telemetry,
+        },
+        None,
+        None,
+        Some(&ExhaustInput {
+            label: "lifecycle_bad.rs",
+            src: &lifecycle,
+        }),
+    );
+    assert_eq!(diags.len(), 1, "diagnostics: {diags:#?}");
+    assert_eq!(diags[0].rule, "E004");
+    assert!(diags[0].message.contains("Process"), "{}", diags[0]);
+}
+
+#[test]
+fn good_exhaustiveness_fixtures_are_clean() {
+    let telemetry = fixture("exhaustiveness/telemetry_good.rs");
+    let trace = fixture("exhaustiveness/trace_good.rs");
+    let metrics = fixture("exhaustiveness/metrics_good.rs");
+    let lifecycle = fixture("exhaustiveness/lifecycle_good.rs");
+    let diags = check_exhaustiveness(
+        &ExhaustInput {
+            label: "telemetry_good.rs",
+            src: &telemetry,
+        },
+        Some(&ExhaustInput {
+            label: "trace_good.rs",
+            src: &trace,
+        }),
+        Some(&ExhaustInput {
+            label: "metrics_good.rs",
+            src: &metrics,
+        }),
+        Some(&ExhaustInput {
+            label: "lifecycle_good.rs",
+            src: &lifecycle,
+        }),
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root")
+}
+
+#[test]
+fn the_real_workspace_lints_clean() {
+    let diags = lint_workspace(&workspace_root()).expect("lint run");
+    assert!(
+        diags.is_empty(),
+        "workspace violations:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn binary_denies_bad_workspace_and_passes_real_one() {
+    let bad_root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_workspace");
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_urb-lint"))
+        .args(["--root"])
+        .arg(&bad_root)
+        .arg("--deny-all")
+        .output()
+        .expect("run urb-lint");
+    assert_eq!(
+        status.status.code(),
+        Some(1),
+        "bad workspace must be denied"
+    );
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("D001"), "stdout: {stdout}");
+
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_urb-lint"))
+        .args(["--root"])
+        .arg(workspace_root())
+        .arg("--deny-all")
+        .status()
+        .expect("run urb-lint");
+    assert_eq!(status.code(), Some(0), "real workspace must pass");
+}

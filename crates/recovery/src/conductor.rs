@@ -32,7 +32,7 @@
 //! (itself plus every action coalesced into it), so the manager's in-flight
 //! accounting balances no matter how aggressively tickets merge.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use components::graph::DependencyGraph;
 use components::CompName;
@@ -137,9 +137,9 @@ struct NodeSched {
 pub struct Conductor {
     config: ConductorConfig,
     /// Component → its full recovery group (sorted).
-    group_of: HashMap<CompName, Vec<CompName>>,
+    group_of: BTreeMap<CompName, Vec<CompName>>,
     /// Component → bitmask of the operations whose call path contains it.
-    op_mask: HashMap<CompName, u64>,
+    op_mask: BTreeMap<CompName, u64>,
     sched: Vec<NodeSched>,
     /// Last published quarantine size per node (transition detection).
     q_members: Vec<u32>,
@@ -156,7 +156,7 @@ impl Conductor {
         graph: &DependencyGraph,
         path_of: fn(OpCode) -> &'static [&'static str],
     ) -> Self {
-        let mut group_of = HashMap::new();
+        let mut group_of = BTreeMap::new();
         for group in graph.recovery_groups() {
             let names: Vec<CompName> = group
                 .iter()
@@ -169,7 +169,7 @@ impl Conductor {
         // One bit per operation code; the map is static, so this is the
         // whole conflict-relevant universe (ops ≥ 64 would need a wider
         // mask, far beyond eBid's 25).
-        let mut op_mask: HashMap<CompName, u64> = HashMap::new();
+        let mut op_mask: BTreeMap<CompName, u64> = BTreeMap::new();
         for op in 0u16..64 {
             for comp in (path_of)(OpCode(op)) {
                 *op_mask.entry(CompName::intern(comp)).or_insert(0) |= 1 << op;

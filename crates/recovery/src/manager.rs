@@ -1,6 +1,6 @@
 //! The recovery manager: scoring diagnosis plus the recursive policy.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use components::CompName;
 use simcore::telemetry::{DecisionKind, SharedBus, TelemetryEvent, TelemetrySink};
@@ -346,7 +346,7 @@ impl RecoveryManager {
     ///    rarity-weighted score maximum.
     fn pick_suspect(
         failing_ops: &[OpCode],
-        scores: &HashMap<&'static str, f64>,
+        scores: &BTreeMap<&'static str, f64>,
         path_of: fn(OpCode) -> &'static [&'static str],
         web: &'static str,
     ) -> Option<&'static str> {
@@ -421,7 +421,7 @@ impl RecoveryManager {
         // Score components along the failed URLs' static call paths. The
         // web component is on every path, so hits on it carry little
         // information.
-        let mut scores: HashMap<&'static str, f64> = HashMap::new();
+        let mut scores: BTreeMap<&'static str, f64> = BTreeMap::new();
         let mut failing_ops: Vec<OpCode> = Vec::new();
         let mut network_reports = 0u64;
         let mut other_reports = 0u64;
@@ -494,7 +494,7 @@ impl RecoveryManager {
         // failure streams that path intersection (which sees the union of
         // all failing URLs) cannot. Serial runs never take this shortcut.
         let hinted: Option<&'static str> = if config.max_concurrent > 1 {
-            let mut counts: HashMap<CompName, u64> = HashMap::new();
+            let mut counts: BTreeMap<CompName, u64> = BTreeMap::new();
             for (_, _, hint) in &diag.recent {
                 if let Some(h) = hint {
                     if h.as_str() != web {

@@ -14,6 +14,12 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::collections::HashSet;
 
+// The cancelled-event set below is the one sanctioned unordered container
+// in the simulation crates: it is membership-only (insert/remove/contains
+// on event sequence numbers), its iteration order is never observed, and
+// it sits on the DES hot path where a B-tree probe per popped event would
+// cost real throughput.
+
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable for cancellation.
@@ -71,6 +77,7 @@ impl<W> Ord for Entry<W> {
 /// ```
 pub struct EventQueue<W> {
     heap: BinaryHeap<Entry<W>>,
+    // urb-lint: allow(D001) — membership-only set; order never observed; DES hot path.
     cancelled: HashSet<u64>,
     now: SimTime,
     next_seq: u64,
@@ -88,6 +95,7 @@ impl<W> EventQueue<W> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            // urb-lint: allow(D001) — constructor for the pragma'd field above.
             cancelled: HashSet::new(),
             now: SimTime::ZERO,
             next_seq: 0,

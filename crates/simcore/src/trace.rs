@@ -900,6 +900,131 @@ pub fn assemble_episodes(events: &[TelemetryEvent]) -> Vec<RecoveryEpisode> {
 }
 
 // ---------------------------------------------------------------------------
+// Strict attribution (`urb-trace verify --strict`)
+// ---------------------------------------------------------------------------
+
+/// The result of classifying every event of a trace as belonging to a
+/// recovery episode or to steady-state operation.
+///
+/// Request-plane and client-plane events are always attributable: they
+/// belong to an episode when their timestamp falls inside a reboot
+/// window on their node, and to steady state otherwise. Recovery
+/// *control-plane* events, by contrast, promise an episode: a
+/// `RebootBegun` that never finishes, a committed `RecoveryDecision`
+/// with no subsequent reboot, or a dangling quarantine edge means the
+/// trace is truncated or the episode assembler missed a span — exactly
+/// the silent gaps `--strict` exists to catch.
+#[derive(Clone, Debug)]
+pub struct StrictReport {
+    /// The assembled episodes the classification ran against.
+    pub episodes: Vec<RecoveryEpisode>,
+    /// Events attributed to each episode (parallel to `episodes`).
+    pub per_episode: Vec<u64>,
+    /// Events attributed to steady-state operation.
+    pub steady: u64,
+    /// Events the classification could not place: `(event_index, kind)`.
+    pub unattributed: Vec<(usize, &'static str)>,
+}
+
+impl StrictReport {
+    /// True when every event found a home.
+    pub fn is_fully_attributed(&self) -> bool {
+        self.unattributed.is_empty()
+    }
+}
+
+/// Re-runs episode assembly and classifies every event against it.
+pub fn strict_attribution(events: &[TelemetryEvent]) -> StrictReport {
+    let episodes = assemble_episodes(events);
+    let mut per_episode = vec![0u64; episodes.len()];
+    let mut steady = 0u64;
+    let mut unattributed = Vec::new();
+
+    // First episode on `node` whose window could still absorb a control
+    // event emitted at `at` (control events precede their reboot's end).
+    let upcoming = |node: usize, at: SimTime| {
+        episodes
+            .iter()
+            .position(|e| e.node == node && e.finished_at >= at)
+    };
+    // First episode on `node` beginning at or after `at` (decisions and
+    // queue marks always precede the destructive phase).
+    let next_begun = |node: usize, at: SimTime| {
+        episodes
+            .iter()
+            .position(|e| e.node == node && e.begun_at >= at)
+    };
+    // The episode whose destructive window covers `(node, at)`.
+    let covering = |node: usize, at: SimTime| {
+        episodes
+            .iter()
+            .position(|e| e.node == node && e.begun_at <= at && at <= e.finished_at)
+    };
+
+    for (idx, ev) in events.iter().enumerate() {
+        let kind = event_kind(ev);
+        let slot: Option<Option<usize>> = match *ev {
+            TelemetryEvent::RebootBegun {
+                node, level, at, ..
+            } => Some(
+                episodes
+                    .iter()
+                    .position(|e| e.node == node && e.level == level && e.begun_at == at),
+            ),
+            TelemetryEvent::RebootFinished {
+                node, level, at, ..
+            } => Some(
+                episodes
+                    .iter()
+                    .position(|e| e.node == node && e.level == level && e.finished_at == at),
+            ),
+            TelemetryEvent::DetectorFired { node, at, .. } => {
+                // A fire with no later episode is legitimate steady-state
+                // noise (e.g. it only drew a NotifyHuman decision).
+                upcoming(node, at).map(Some)
+            }
+            TelemetryEvent::RecoveryDecision { node, decision, at } => {
+                if decision_level(decision).is_none() {
+                    None // NotifyHuman: no reboot promised.
+                } else {
+                    Some(next_begun(node, at))
+                }
+            }
+            TelemetryEvent::RecoveryQueued { node, at, .. } => Some(next_begun(node, at)),
+            TelemetryEvent::RecoveryCoalesced { node, at } => Some(upcoming(node, at)),
+            TelemetryEvent::QuarantineOn { node, at, .. } => Some(upcoming(node, at)),
+            TelemetryEvent::QuarantineOff { node, at } => Some(
+                episodes
+                    .iter()
+                    .rposition(|e| e.node == node && e.begun_at <= at),
+            ),
+            TelemetryEvent::RequestSubmitted { node, at, .. }
+            | TelemetryEvent::RequestCompleted { node, at, .. }
+            | TelemetryEvent::RetrySent { node, at, .. }
+            | TelemetryEvent::RequestKilled { node, at, .. }
+            | TelemetryEvent::RejuvenationTick { node, at, .. }
+            | TelemetryEvent::TtlSweep { node, at, .. } => covering(node, at).map(Some),
+            TelemetryEvent::LbFailover { from, at, .. } => covering(from, at).map(Some),
+            // Client-plane events have no node: steady state by definition
+            // (their failures already show up as episode lost work).
+            TelemetryEvent::ClientOp { .. } | TelemetryEvent::ActionClosed { .. } => None,
+        };
+        match slot {
+            Some(Some(i)) => per_episode[i] += 1,
+            Some(None) => unattributed.push((idx, kind)),
+            None => steady += 1,
+        }
+    }
+
+    StrictReport {
+        episodes,
+        per_episode,
+        steady,
+        unattributed,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Availability timelines (the paper's Taw-style per-second view)
 // ---------------------------------------------------------------------------
 
@@ -1243,6 +1368,47 @@ mod tests {
         let eps = assemble_episodes(&events);
         assert_eq!(eps.len(), 1);
         assert_eq!(eps[0].decision, None, "NotifyHuman cannot own a reboot");
+    }
+
+    #[test]
+    fn strict_attribution_places_every_sample_event() {
+        let events = sample_events();
+        let report = strict_attribution(&events);
+        assert!(
+            report.is_fully_attributed(),
+            "unattributed: {:?}",
+            report.unattributed
+        );
+        assert_eq!(report.episodes.len(), 1);
+        // Detector x2, decision, quarantine on/off, begun, finished, and
+        // the killed request belong to the episode; the early submitted
+        // request and the client-plane events are steady state.
+        assert_eq!(report.per_episode, vec![8]);
+        assert_eq!(report.steady, 4);
+        assert_eq!(
+            report.per_episode[0] + report.steady,
+            events.len() as u64,
+            "classification is total"
+        );
+    }
+
+    #[test]
+    fn strict_attribution_flags_truncated_traces() {
+        let events = sample_events();
+        // Cut the trace right after the destructive phase begins: the
+        // reboot never finishes, so the episode is dropped and the whole
+        // control-plane chain dangles.
+        let cut = events
+            .iter()
+            .position(|e| matches!(e, TelemetryEvent::RebootBegun { .. }))
+            .expect("sample has a reboot")
+            + 1;
+        let report = strict_attribution(&events[..cut]);
+        assert!(!report.is_fully_attributed());
+        let kinds: Vec<&str> = report.unattributed.iter().map(|(_, k)| *k).collect();
+        assert!(kinds.contains(&"reboot_begun"), "{kinds:?}");
+        assert!(kinds.contains(&"recovery_decision"), "{kinds:?}");
+        assert!(kinds.contains(&"quarantine_on"), "{kinds:?}");
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! writes apply in place and append compensation records; commit discards
 //! the log, abort replays it backwards.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 use simcore::SimDuration;
@@ -181,10 +181,10 @@ pub struct DbStats {
 /// ```
 pub struct Database {
     tables: Vec<Table>,
-    by_name: HashMap<&'static str, usize>,
-    txns: HashMap<u64, Txn>,
-    conns: HashMap<u64, Vec<u64>>,
-    locks: HashMap<(usize, i64), u64>,
+    by_name: BTreeMap<&'static str, usize>,
+    txns: BTreeMap<u64, Txn>,
+    conns: BTreeMap<u64, Vec<u64>>,
+    locks: BTreeMap<(usize, i64), u64>,
     next_txn: u64,
     next_conn: u64,
     stats: DbStats,
@@ -198,7 +198,7 @@ impl Database {
     /// Panics if two tables share a name or a table has no columns — schema
     /// definition bugs, not runtime conditions.
     pub fn new(schema: Vec<TableDef>) -> Self {
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let mut tables = Vec::new();
         for def in schema {
             assert!(
@@ -217,9 +217,9 @@ impl Database {
         Database {
             tables,
             by_name,
-            txns: HashMap::new(),
-            conns: HashMap::new(),
-            locks: HashMap::new(),
+            txns: BTreeMap::new(),
+            conns: BTreeMap::new(),
+            locks: BTreeMap::new(),
             next_txn: 0,
             next_conn: 0,
             stats: DbStats::default(),

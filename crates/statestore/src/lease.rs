@@ -8,7 +8,7 @@
 //! garbage collection of orphaned session state and the request
 //! time-to-live mechanism are both built on this table.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::{SimDuration, SimTime};
 
@@ -40,7 +40,7 @@ struct Lease<T> {
 #[derive(Clone, Debug)]
 pub struct LeaseTable<T> {
     term: SimDuration,
-    leases: HashMap<u64, Lease<T>>,
+    leases: BTreeMap<u64, Lease<T>>,
     next_id: u64,
 }
 
@@ -49,7 +49,7 @@ impl<T> LeaseTable<T> {
     pub fn new(term: SimDuration) -> Self {
         LeaseTable {
             term,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_id: 0,
         }
     }
@@ -117,10 +117,8 @@ impl<T> LeaseTable<T> {
             .map(|(id, _)| *id)
             .collect();
         let mut out = Vec::with_capacity(expired.len());
-        // Deterministic order for reproducible simulations.
-        let mut ids = expired;
-        ids.sort_unstable();
-        for id in ids {
+        // The map is id-ordered, so the sweep is deterministic by design.
+        for id in expired {
             if let Some(l) = self.leases.remove(&id) {
                 out.push(l.payload);
             }

@@ -12,7 +12,7 @@
 //! [`ClientPool::deliver`] when a response arrives, and schedules whatever
 //! instant the returned [`DeliverOutcome`] names.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use components::CompName;
 use simcore::telemetry::{SharedBus, TelemetryEvent, TelemetrySink};
@@ -97,7 +97,7 @@ struct Client {
 /// Counters of what the pool issued, by Table 1 class.
 #[derive(Clone, Debug, Default)]
 pub struct MixCounts {
-    counts: HashMap<MixClass, u64>,
+    counts: BTreeMap<MixClass, u64>,
     total: u64,
 }
 
@@ -123,7 +123,7 @@ pub struct ClientPool {
     clients: Vec<Client>,
     next_req: u64,
     next_action: u64,
-    req_owner: HashMap<ReqId, usize>,
+    req_owner: BTreeMap<ReqId, usize>,
     taw: TawTracker,
     reports: Vec<FailureReport>,
     mix: MixCounts,
@@ -167,7 +167,7 @@ impl ClientPool {
             clients,
             next_req: 0,
             next_action,
-            req_owner: HashMap::new(),
+            req_owner: BTreeMap::new(),
             taw: TawTracker::new(),
             reports: Vec::new(),
             mix: MixCounts::default(),

@@ -12,7 +12,7 @@
 //! The tracker also records response times (Figure 4, Table 4) and
 //! functional-group availability gaps (Figure 2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use simcore::stats::{SecondSeries, Summary};
 use simcore::telemetry::{TelemetryEvent, TelemetrySink};
@@ -21,7 +21,7 @@ use simcore::{SimDuration, SimTime};
 use crate::catalog::FunctionalGroup;
 
 /// Identifier of one user action.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ActionId(pub u64);
 
 #[derive(Clone, Debug)]
@@ -49,7 +49,9 @@ pub struct TawSummary {
 #[derive(Debug, Default)]
 pub struct TawTracker {
     series: SecondSeries,
-    open: HashMap<ActionId, Vec<OpRecord>>,
+    /// Open actions, ordered by id so that bulk closes attribute in a
+    /// deterministic order.
+    open: BTreeMap<ActionId, Vec<OpRecord>>,
     summary: TawSummary,
     response_ms: Summary,
     /// Per-second response-time sums/counts for Figure 4 timelines.
@@ -121,11 +123,10 @@ impl TawTracker {
         }
     }
 
-    /// Closes every still-open action (end of run).
+    /// Closes every still-open action (end of run), in ascending action-id
+    /// order (the map is ordered, so no post-hoc sort is needed).
     pub fn close_all(&mut self) {
         let ids: Vec<ActionId> = self.open.keys().copied().collect();
-        let mut ids = ids;
-        ids.sort_unstable_by_key(|a| a.0);
         for id in ids {
             self.close_action(id);
         }
@@ -274,6 +275,29 @@ mod tests {
         // Closing again is a no-op.
         taw.close_action(ActionId(1));
         assert_eq!(taw.summary().good_actions, 1);
+    }
+
+    #[test]
+    fn close_all_attributes_in_ascending_action_id_order() {
+        // Insert in a scrambled order; bulk close must attribute the
+        // failing actions' gap spans in ascending id order regardless.
+        let mut taw = TawTracker::new();
+        for id in [7u64, 2, 9, 4] {
+            taw.record_op(
+                ActionId(id),
+                FunctionalGroup::Search,
+                t(id),
+                t(id + 1),
+                false,
+            );
+        }
+        taw.close_all();
+        let gap_starts: Vec<u64> = taw
+            .gaps()
+            .iter()
+            .map(|(_, s, _)| s.second_index())
+            .collect();
+        assert_eq!(gap_starts, vec![2, 4, 7, 9], "deterministic close order");
     }
 
     #[test]
