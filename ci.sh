@@ -3,11 +3,11 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -24,5 +24,8 @@ cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_b.json
 cargo run --release -q -p bench --bin urb-trace -- verify target/ci_trace_a.jsonl --strict
 cargo run --release -q -p bench --bin urb-trace -- summary target/ci_trace_a.jsonl
 cargo run --release -q -p bench --bin urb-trace -- diff target/ci_trace_a.jsonl target/ci_trace_b.jsonl
+
+echo "==> urb-chaos smoke campaign: 64 strict runs at the acceptance seed"
+cargo run --release -q -p bench --bin urb-chaos -- --seed 7 --runs 64 --strict
 
 echo "CI OK"

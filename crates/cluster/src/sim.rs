@@ -708,6 +708,11 @@ impl Sim {
     }
 
     /// Schedules a Table 2 fault injection.
+    ///
+    /// Server-plane faults go through `faults::inject`; client-plane
+    /// faults (spurious detector reports) are fabricated in the client
+    /// pool instead, spread across the busiest read/write ops so the
+    /// diagnosis engine sees a plausible — but entirely false — pattern.
     pub fn schedule_fault(&mut self, at: SimTime, node: usize, fault: Fault) {
         self.queue.schedule_at(at, "inject-fault", move |w, q| {
             let now = q.now();
@@ -716,6 +721,19 @@ impl Sim {
                 node,
                 label: format!("{fault:?}"),
             });
+            if let faults::Injection::ClientReports(reports) = faults::conversion(&fault) {
+                const OPS: [urb_core::OpCode; 4] = [
+                    ebid::ops::codes::VIEW_ITEM,
+                    ebid::ops::codes::BROWSE_CATEGORIES,
+                    ebid::ops::codes::MAKE_BID,
+                    ebid::ops::codes::SEARCH_BY_CATEGORY,
+                ];
+                for i in 0..reports {
+                    w.pool
+                        .inject_spurious_reports(node, OPS[i as usize % OPS.len()], 1, now);
+                }
+                return;
+            }
             let killed = faults::inject(&mut w.nodes[node], &fault, now);
             w.schedule_deliveries(node, killed, q);
         });

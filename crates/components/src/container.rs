@@ -252,6 +252,15 @@ pub struct FaultFlags {
     pub leak_per_call: u64,
     /// The next N calls raise a transient exception.
     pub transient_exceptions: u32,
+    /// Intermittent fault: each call raises an exception with this
+    /// probability in permille (0 = off). Unlike `transient_exceptions`
+    /// it never exhausts on its own — it self-heals at `heals_at` or is
+    /// cured by a microreboot.
+    pub intermittent_permille: u32,
+    /// When the intermittent fault self-heals (microseconds of sim time;
+    /// `u64::MAX` = never). Stored as a scalar so the flags stay `Copy`
+    /// without dragging sim-time types into the components crate.
+    pub intermittent_heals_at_us: u64,
 }
 
 impl FaultFlags {
@@ -261,6 +270,7 @@ impl FaultFlags {
             || self.infinite_loop
             || self.leak_per_call > 0
             || self.transient_exceptions > 0
+            || self.intermittent_permille > 0
     }
 }
 

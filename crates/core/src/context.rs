@@ -189,6 +189,21 @@ impl<'a> CallContext<'a> {
             // this, only the call itself fails).
             return Err(self.exception(Some(name)));
         }
+        // Intermittent faults self-heal on a deadline and fail calls
+        // probabilistically. The chance is drawn before the container
+        // borrow below (the rng lives next to the containers in
+        // `ServerInner`), and only when the fault is armed, so fault-free
+        // runs consume no randomness.
+        let intermittent_fails = {
+            let now_us = self.now.as_micros();
+            let f = &mut self.inner.containers[id.0].faults;
+            if f.intermittent_permille > 0 && now_us >= f.intermittent_heals_at_us {
+                f.intermittent_permille = 0;
+                f.intermittent_heals_at_us = 0;
+            }
+            let permille = f.intermittent_permille;
+            permille > 0 && self.inner.rng.chance(f64::from(permille) / 1000.0)
+        };
         {
             let c = &mut self.inner.containers[id.0];
             if !c.is_active() {
@@ -196,6 +211,9 @@ impl<'a> CallContext<'a> {
             }
             if c.faults.transient_exceptions > 0 {
                 c.faults.transient_exceptions -= 1;
+                return Err(self.exception(Some(name)));
+            }
+            if intermittent_fails {
                 return Err(self.exception(Some(name)));
             }
             if c.faults.deadlocked {

@@ -72,6 +72,11 @@ impl RequestPipeline {
         self.hung.len()
     }
 
+    /// Returns when the longest-hung request got stuck, if any is stuck.
+    pub fn oldest_hung(&self) -> Option<SimTime> {
+        self.hung.values().map(|h| h.since).min()
+    }
+
     /// Admits a request into the worker pool.
     pub(crate) fn admit(&mut self, req: Request) -> Result<(), AdmitError> {
         self.workers.admit(req)

@@ -85,6 +85,18 @@ pub enum ServerFault {
         /// How many invocations fail.
         calls: u32,
     },
+    /// Intermittent fault: each invocation fails with probability
+    /// `permille`/1000 until the fault self-heals `heals_after` later
+    /// (or a microreboot cures it first). The adversarial case for the
+    /// recovery policy — the symptoms come and go.
+    Intermittent {
+        /// Target component.
+        component: &'static str,
+        /// Per-call failure probability, in permille.
+        permille: u32,
+        /// How long until the fault heals itself (`None` = never).
+        heals_after: Option<SimDuration>,
+    },
     /// Corrupt the component's JNDI entry.
     CorruptJndi {
         /// Target component.
@@ -477,6 +489,13 @@ impl<A: Application> AppServer<A> {
     /// Returns the number of hung requests.
     pub fn hung(&self) -> usize {
         self.pipeline.hung_count()
+    }
+
+    /// Returns how long the longest-hung request has been stuck. The TTL
+    /// lease sweep bounds this at `REQUEST_TTL` plus one maintenance
+    /// period on a live node, whatever the recovery policy does.
+    pub fn oldest_hung_age(&self, now: SimTime) -> Option<SimDuration> {
+        self.pipeline.oldest_hung().map(|since| now - since)
     }
 
     /// Enables or disables quarantine admission at runtime (the cluster
@@ -973,6 +992,18 @@ impl<A: Application> AppServer<A> {
             ServerFault::TransientExceptions { component, calls } => {
                 if let Some(i) = comp_mut(&mut self.inner, component) {
                     self.inner.containers[i].faults.transient_exceptions = calls;
+                }
+            }
+            ServerFault::Intermittent {
+                component,
+                permille,
+                heals_after,
+            } => {
+                if let Some(i) = comp_mut(&mut self.inner, component) {
+                    let f = &mut self.inner.containers[i].faults;
+                    f.intermittent_permille = permille.min(1000);
+                    f.intermittent_heals_at_us =
+                        heals_after.map_or(u64::MAX, |d| (now + d).as_micros());
                 }
             }
             ServerFault::CorruptJndi { component, kind } => {

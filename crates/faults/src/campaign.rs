@@ -1,0 +1,286 @@
+//! Deterministic randomized fault-injection campaigns (urb-chaos).
+//!
+//! A campaign is a seeded sweep over the adversarial scenario space:
+//! fault kind × target component × injection time × an optional second
+//! fault landing mid-recovery × a flapping (re-injection) schedule ×
+//! detector kind × recovery-manager concurrency. Every scenario is drawn
+//! from a forked [`SimRng`] stream, so a campaign is a pure function of
+//! `(seed, runs)` — re-running it must reproduce every run bit-for-bit,
+//! which is what lets the harness assert digest equality as an invariant.
+//!
+//! The module only *describes* scenarios; executing them against a
+//! `cluster::Sim` lives in the urb-chaos binary, keeping this crate free
+//! of a dependency cycle with the cluster layer.
+
+use simcore::rng::SimRng;
+use statestore::session::CorruptKind;
+
+use crate::Fault;
+
+/// Components the campaign aims faults at. A mix of read paths, write
+/// paths, and the entity bean shared by both, mirroring the Table 2
+/// targets.
+pub const TARGETS: &[&str] = &[
+    "MakeBid",
+    "SearchItemsByCategory",
+    "ViewItem",
+    "BrowseCategories",
+    "RegisterNewUser",
+    "CommitBid",
+    "Item",
+];
+
+/// A second fault injected while the system is (likely) still recovering
+/// from the first — the overlapping-failure case.
+#[derive(Clone, Copy, Debug)]
+pub struct SecondFault {
+    /// The fault to inject.
+    pub fault: Fault,
+    /// Absolute injection time, seconds into the run. Drawn close behind
+    /// the first fault so it lands inside the recovery episode.
+    pub at_s: u64,
+}
+
+/// A flapping schedule: the primary fault is re-injected after each
+/// recovery, so the same component keeps failing until the policy either
+/// escalates past the microreboot level or damps the reboot storm.
+#[derive(Clone, Copy, Debug)]
+pub struct FlapSchedule {
+    /// How many times the fault recurs after the initial injection.
+    pub recurrences: u32,
+    /// Gap between recurrences, seconds. Longer than a microreboot +
+    /// settle window, so each recurrence lands on a "recovered" system.
+    pub gap_s: u64,
+}
+
+/// One deterministic campaign scenario.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario {
+    /// Run index within the campaign.
+    pub run: u64,
+    /// Seed for the run's `cluster::Sim` (clients, service times, …).
+    pub sim_seed: u64,
+    /// The primary fault.
+    pub fault: Fault,
+    /// When the primary fault is injected, seconds into the run.
+    pub inject_at_s: u64,
+    /// Optional second fault landing mid-recovery.
+    pub second: Option<SecondFault>,
+    /// Optional flapping schedule for the primary fault.
+    pub flap: Option<FlapSchedule>,
+    /// Run with the comparison detector instead of the simple one.
+    pub comparison_detector: bool,
+    /// Run with a concurrency-4 recovery manager behind the conductor
+    /// instead of the serial manager.
+    pub parallel_rm: bool,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CampaignConfig {
+    /// Master seed; the whole campaign is a pure function of it.
+    pub seed: u64,
+    /// Number of scenarios to generate.
+    pub runs: u64,
+}
+
+/// Draws one fault from the catalogue. Every [`Fault`] variant has an arm
+/// here — urb-lint rule E005 enforces that the campaign can reach the
+/// entire fault model.
+pub fn campaign_fault(rng: &mut SimRng) -> Fault {
+    let component = *rng.pick(TARGETS).expect("TARGETS is non-empty");
+    let kind = match rng.uniform_usize(3) {
+        0 => CorruptKind::SetNull,
+        1 => CorruptKind::SetInvalid,
+        _ => CorruptKind::SetWrong,
+    };
+    match rng.uniform_usize(18) {
+        0 => Fault::Deadlock { component },
+        1 => Fault::InfiniteLoop { component },
+        2 => Fault::AppMemoryLeak {
+            component,
+            // Aggressive per-call leak so heap pressure shows up within a
+            // short campaign horizon.
+            bytes_per_call: 4 << 20,
+            persistent: rng.chance(0.25),
+        },
+        3 => Fault::TransientException {
+            component,
+            calls: u32::MAX,
+        },
+        4 => Fault::Intermittent {
+            component,
+            permille: 250 + 250 * rng.uniform_u64(3) as u32,
+            heals_after_s: if rng.chance(0.5) {
+                Some(20 + rng.uniform_u64(40))
+            } else {
+                None
+            },
+        },
+        5 => Fault::SpuriousReports {
+            reports: 8 + rng.uniform_u64(25) as u32,
+        },
+        6 => Fault::CorruptPrimaryKeys { kind },
+        7 => Fault::CorruptJndi { component, kind },
+        8 => Fault::CorruptTxnMap { component, kind },
+        9 => Fault::CorruptBeanAttrs { component, kind },
+        10 => Fault::CorruptFastS { kind },
+        11 => Fault::CorruptSsm,
+        12 => Fault::CorruptDb { kind },
+        13 => Fault::MemLeakIntraJvm {
+            bytes_per_sec: 40 << 20,
+        },
+        14 => Fault::MemLeakExtraJvm {
+            bytes_per_sec: 40 << 20,
+        },
+        15 => Fault::BitFlipMemory,
+        16 => Fault::BitFlipRegisters,
+        _ => Fault::BadSyscalls,
+    }
+}
+
+/// True if the fault lives in a component and a microreboot cures it —
+/// the population that can meaningfully flap (recur after each recovery).
+pub fn flappable(fault: &Fault) -> bool {
+    matches!(
+        fault,
+        Fault::Deadlock { .. }
+            | Fault::InfiniteLoop { .. }
+            | Fault::TransientException { .. }
+            | Fault::Intermittent { .. }
+            | Fault::CorruptJndi { .. }
+            | Fault::CorruptTxnMap { .. }
+            | Fault::CorruptBeanAttrs { .. }
+    )
+}
+
+/// True if the scenario's goodput is expected to return to (near)
+/// steady-state once recovery converges. Faults whose damage can outlive
+/// any reboot — database corruption, the wrong-value divergence rows the
+/// paper marks ≈, bit flips, or a persistent code-bug leak — are excluded
+/// from the availability invariant (but still run under all the
+/// structural ones).
+pub fn goodput_recovers(fault: &Fault) -> bool {
+    !matches!(
+        fault,
+        Fault::CorruptDb { .. }
+            | Fault::CorruptPrimaryKeys {
+                kind: CorruptKind::SetWrong
+            }
+            | Fault::CorruptTxnMap {
+                kind: CorruptKind::SetWrong,
+                ..
+            }
+            | Fault::CorruptBeanAttrs {
+                kind: CorruptKind::SetWrong,
+                ..
+            }
+            | Fault::CorruptFastS {
+                kind: CorruptKind::SetWrong
+            }
+            | Fault::AppMemoryLeak {
+                persistent: true,
+                ..
+            }
+            | Fault::BitFlipMemory
+            | Fault::BitFlipRegisters
+    )
+}
+
+/// Generates the campaign's scenarios: a pure, deterministic function of
+/// the config. Each run gets a forked rng stream, so inserting a new draw
+/// into one scenario never shifts the scenarios after it.
+pub fn scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
+    let mut master = SimRng::seed_from(cfg.seed ^ 0xc4a0_5eed_0000_0000);
+    (0..cfg.runs)
+        .map(|run| {
+            let mut rng = master.fork();
+            let fault = campaign_fault(&mut rng);
+            let inject_at_s = 8 + rng.uniform_u64(8);
+            let second = if rng.chance(0.30) {
+                Some(SecondFault {
+                    fault: campaign_fault(&mut rng),
+                    // Lands 2–10 s behind the first fault: inside the
+                    // detection + reboot window of every recovery level.
+                    at_s: inject_at_s + 2 + rng.uniform_u64(8),
+                })
+            } else {
+                None
+            };
+            let flap = if flappable(&fault) && rng.chance(0.35) {
+                Some(FlapSchedule {
+                    recurrences: 1 + rng.uniform_u64(3) as u32,
+                    gap_s: 35 + rng.uniform_u64(15),
+                })
+            } else {
+                None
+            };
+            Scenario {
+                run,
+                sim_seed: cfg.seed ^ (run + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                fault,
+                inject_at_s,
+                second,
+                flap,
+                comparison_detector: rng.chance(0.5),
+                parallel_rm: rng.chance(0.4),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_deterministic() {
+        let cfg = CampaignConfig { seed: 7, runs: 64 };
+        let a = scenarios(&cfg);
+        let b = scenarios(&cfg);
+        assert_eq!(a.len(), 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn campaign_covers_the_adversarial_kinds() {
+        // 200 runs at the acceptance seed must exercise the paper's
+        // catalogue *and* the adversarial extensions.
+        let cfg = CampaignConfig { seed: 7, runs: 200 };
+        let all = scenarios(&cfg);
+        let has = |pred: &dyn Fn(&Fault) -> bool| {
+            all.iter()
+                .any(|s| pred(&s.fault) || s.second.is_some_and(|sf| pred(&sf.fault)))
+        };
+        assert!(has(&|f| matches!(f, Fault::Intermittent { .. })));
+        assert!(has(&|f| matches!(f, Fault::SpuriousReports { .. })));
+        assert!(has(&|f| matches!(f, Fault::Deadlock { .. })));
+        assert!(has(&|f| matches!(f, Fault::CorruptDb { .. })));
+        assert!(has(&|f| matches!(f, Fault::MemLeakExtraJvm { .. })));
+        assert!(has(&|f| matches!(f, Fault::BitFlipRegisters)));
+        assert!(all.iter().any(|s| s.flap.is_some()), "flapping covered");
+        assert!(
+            all.iter().any(|s| s.second.is_some()),
+            "fault-during-recovery covered"
+        );
+        assert!(
+            all.iter().any(|s| s.comparison_detector) && all.iter().any(|s| !s.comparison_detector)
+        );
+        assert!(all.iter().any(|s| s.parallel_rm) && all.iter().any(|s| !s.parallel_rm));
+    }
+
+    #[test]
+    fn flapping_only_targets_microreboot_curable_faults() {
+        let cfg = CampaignConfig {
+            seed: 11,
+            runs: 300,
+        };
+        for s in scenarios(&cfg) {
+            if s.flap.is_some() {
+                assert!(flappable(&s.fault), "{:?} cannot flap", s.fault);
+            }
+        }
+    }
+}

@@ -13,11 +13,13 @@
 #![forbid(unsafe_code)]
 
 use ebid::EBid;
-use simcore::SimTime;
+use simcore::{SimDuration, SimTime};
 use statestore::session::CorruptKind;
 use statestore::Value;
 use urb_core::server::ServerFault;
 use urb_core::{AppServer, Response};
+
+pub mod campaign;
 
 /// Every fault class Table 2 injects.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -48,6 +50,26 @@ pub enum Fault {
         component: &'static str,
         /// Number of failing calls.
         calls: u32,
+    },
+    /// Intermittent fault: calls fail with probability `permille`/1000
+    /// until the fault self-heals (or a microreboot cures it). The
+    /// adversarial case for a hint-driven recovery policy — the symptoms
+    /// come and go.
+    Intermittent {
+        /// Target component.
+        component: &'static str,
+        /// Per-call failure probability, in permille.
+        permille: u32,
+        /// Self-heal delay in seconds (`None` = never heals on its own).
+        heals_after_s: Option<u64>,
+    },
+    /// Detector false positives: fabricated failure reports against a
+    /// perfectly healthy node (a buggy or adversarial monitor). There is
+    /// no underlying fault to cure — the recovery policy must stay cheap
+    /// and convergent anyway.
+    SpuriousReports {
+        /// How many reports to fabricate.
+        reports: u32,
     },
     /// Corrupt the application's primary-key generation code.
     CorruptPrimaryKeys {
@@ -374,45 +396,98 @@ pub fn table2_catalogue() -> Vec<CatalogueRow> {
     ]
 }
 
-/// Injects `fault` into a running eBid server.
+/// The injection route a [`Fault`] takes into the system under test.
 ///
-/// Returns responses for requests killed as an immediate consequence
-/// (only register bit flips kill anything on the spot).
-pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<Response> {
+/// [`conversion`] is the single source of truth mapping the catalogue onto
+/// these routes; [`inject`] (and the cluster layer, for client-plane
+/// faults) interprets them. New `Fault` variants must add exactly one arm
+/// to `conversion` — urb-lint rule E005 enforces this.
+#[derive(Clone, Copy, Debug)]
+pub enum Injection {
+    /// Delivered through the server's `ServerFault` hooks.
+    Server(ServerFault),
+    /// Corrupt the application's primary-key generation code.
+    KeyGen(CorruptKind),
+    /// Corrupt the most recently created FastS sessions.
+    FastS(CorruptKind),
+    /// Flip bits in a stored SSM object.
+    Ssm,
+    /// Alter database table contents.
+    Db(CorruptKind),
+    /// Fabricate this many failure reports in the client population.
+    /// Nothing touches the server — only the cluster layer (which owns
+    /// the client pool) can deliver these.
+    ClientReports(u32),
+}
+
+/// Maps every catalogue fault to its unique injection route.
+pub fn conversion(fault: &Fault) -> Injection {
     match *fault {
-        Fault::Deadlock { component } => server.inject(ServerFault::Deadlock { component }, now),
+        Fault::Deadlock { component } => Injection::Server(ServerFault::Deadlock { component }),
         Fault::InfiniteLoop { component } => {
-            server.inject(ServerFault::InfiniteLoop { component }, now)
+            Injection::Server(ServerFault::InfiniteLoop { component })
         }
         Fault::AppMemoryLeak {
             component,
             bytes_per_call,
             persistent,
-        } => server.inject(
-            ServerFault::AppLeak {
-                component,
-                bytes_per_call,
-                persistent,
-            },
-            now,
-        ),
+        } => Injection::Server(ServerFault::AppLeak {
+            component,
+            bytes_per_call,
+            persistent,
+        }),
         Fault::TransientException { component, calls } => {
-            server.inject(ServerFault::TransientExceptions { component, calls }, now)
+            Injection::Server(ServerFault::TransientExceptions { component, calls })
         }
-        Fault::CorruptPrimaryKeys { kind } => {
+        Fault::Intermittent {
+            component,
+            permille,
+            heals_after_s,
+        } => Injection::Server(ServerFault::Intermittent {
+            component,
+            permille,
+            heals_after: heals_after_s.map(SimDuration::from_secs),
+        }),
+        Fault::SpuriousReports { reports } => Injection::ClientReports(reports),
+        Fault::CorruptPrimaryKeys { kind } => Injection::KeyGen(kind),
+        Fault::CorruptJndi { component, kind } => {
+            Injection::Server(ServerFault::CorruptJndi { component, kind })
+        }
+        Fault::CorruptTxnMap { component, kind } => {
+            Injection::Server(ServerFault::CorruptTxnMap { component, kind })
+        }
+        Fault::CorruptBeanAttrs { component, kind } => {
+            Injection::Server(ServerFault::CorruptBeanAttrs { component, kind })
+        }
+        Fault::CorruptFastS { kind } => Injection::FastS(kind),
+        Fault::CorruptSsm => Injection::Ssm,
+        Fault::CorruptDb { kind } => Injection::Db(kind),
+        Fault::MemLeakIntraJvm { bytes_per_sec } => {
+            Injection::Server(ServerFault::IntraJvmLeak { bytes_per_sec })
+        }
+        Fault::MemLeakExtraJvm { bytes_per_sec } => {
+            Injection::Server(ServerFault::ExtraJvmLeak { bytes_per_sec })
+        }
+        Fault::BitFlipMemory => Injection::Server(ServerFault::BitFlipMemory),
+        Fault::BitFlipRegisters => Injection::Server(ServerFault::BitFlipRegisters),
+        Fault::BadSyscalls => Injection::Server(ServerFault::BadSyscalls),
+    }
+}
+
+/// Injects `fault` into a running eBid server.
+///
+/// Returns responses for requests killed as an immediate consequence
+/// (only register bit flips kill anything on the spot). Client-plane
+/// faults ([`Injection::ClientReports`]) are a no-op here: they never
+/// touch the server and are delivered by the cluster layer instead.
+pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<Response> {
+    match conversion(fault) {
+        Injection::Server(f) => server.inject(f, now),
+        Injection::KeyGen(kind) => {
             server.app_mut().corrupt_keygen(kind);
             Vec::new()
         }
-        Fault::CorruptJndi { component, kind } => {
-            server.inject(ServerFault::CorruptJndi { component, kind }, now)
-        }
-        Fault::CorruptTxnMap { component, kind } => {
-            server.inject(ServerFault::CorruptTxnMap { component, kind }, now)
-        }
-        Fault::CorruptBeanAttrs { component, kind } => {
-            server.inject(ServerFault::CorruptBeanAttrs { component, kind }, now)
-        }
-        Fault::CorruptFastS { kind } => {
+        Injection::FastS(kind) => {
             // Bit flips hit a swath of stored objects. Target the most
             // recently created sessions: abandoned sessions linger in the
             // store until they time out, and corrupting those would be
@@ -425,13 +500,13 @@ pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<
             }
             Vec::new()
         }
-        Fault::CorruptSsm => {
+        Injection::Ssm => {
             if let Some(ssm) = server.session().ssm_handle() {
                 ssm.borrow_mut().corrupt_any();
             }
             Vec::new()
         }
-        Fault::CorruptDb { kind } => {
+        Injection::Db(kind) => {
             let db = server.db();
             let mut db = db.borrow_mut();
             match kind {
@@ -447,15 +522,7 @@ pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<
             }
             Vec::new()
         }
-        Fault::MemLeakIntraJvm { bytes_per_sec } => {
-            server.inject(ServerFault::IntraJvmLeak { bytes_per_sec }, now)
-        }
-        Fault::MemLeakExtraJvm { bytes_per_sec } => {
-            server.inject(ServerFault::ExtraJvmLeak { bytes_per_sec }, now)
-        }
-        Fault::BitFlipMemory => server.inject(ServerFault::BitFlipMemory, now),
-        Fault::BitFlipRegisters => server.inject(ServerFault::BitFlipRegisters, now),
-        Fault::BadSyscalls => server.inject(ServerFault::BadSyscalls, now),
+        Injection::ClientReports(_) => Vec::new(),
     }
 }
 
@@ -499,6 +566,31 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), rows.len());
+    }
+
+    #[test]
+    fn adversarial_variants_route_as_expected() {
+        let i = conversion(&Fault::Intermittent {
+            component: "MakeBid",
+            permille: 500,
+            heals_after_s: Some(30),
+        });
+        match i {
+            Injection::Server(ServerFault::Intermittent {
+                component,
+                permille,
+                heals_after,
+            }) => {
+                assert_eq!(component, "MakeBid");
+                assert_eq!(permille, 500);
+                assert_eq!(heals_after, Some(SimDuration::from_secs(30)));
+            }
+            other => panic!("unexpected route {other:?}"),
+        }
+        assert!(matches!(
+            conversion(&Fault::SpuriousReports { reports: 9 }),
+            Injection::ClientReports(9)
+        ));
     }
 
     #[test]

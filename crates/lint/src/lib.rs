@@ -9,11 +9,13 @@
 //!   of the simulation crates ([`SIM_CRATES`]): unordered containers in
 //!   sim state, iteration over them, wall-clock and ambient
 //!   nondeterminism, and float accumulation over unordered containers.
-//! * **Exhaustiveness rules (`E001`–`E004`)**, applied to the canonical
-//!   telemetry surfaces: every `TelemetryEvent` variant must have an
-//!   `encode_into` arm, trace encode/parse/kind arms, and a
-//!   `MetricsRegistry` fold arm (with no wildcard), and every
-//!   `RebootLevel` must be handled in `lifecycle.rs`.
+//! * **Exhaustiveness rules (`E001`–`E005`)**, applied to the canonical
+//!   telemetry and fault surfaces: every `TelemetryEvent` variant must
+//!   have an `encode_into` arm, trace encode/parse/kind arms, and a
+//!   `MetricsRegistry` fold arm (with no wildcard), every `RebootLevel`
+//!   must be handled in `lifecycle.rs`, and every `faults::Fault` variant
+//!   must have both an injection-conversion arm and a campaign-generator
+//!   arm (so urb-chaos can reach the whole fault model).
 //!
 //! The escape hatch is a pragma comment on the offending line or the
 //! line above: `// urb-lint: allow(D001) — <justification>`. A pragma
@@ -83,6 +85,10 @@ pub const RULES: &[(&str, &str)] = &[
         "TelemetryEvent variant missing (or wildcarded) in the MetricsRegistry fold",
     ),
     ("E004", "RebootLevel variant unhandled in lifecycle.rs"),
+    (
+        "E005",
+        "Fault variant missing an injection-conversion or campaign-generator arm",
+    ),
     (
         "P001",
         "allow-pragma without a justification (or with an unknown rule id)",
@@ -889,6 +895,56 @@ pub fn check_exhaustiveness(
     diags
 }
 
+/// Cross-checks the fault model (E005): every `Fault` variant declared in
+/// the faults crate must have an arm in `fn conversion` (so it routes to
+/// an injection) and, when the campaign module is given, an arm in
+/// `fn campaign_fault` (so urb-chaos can draw it). A variant missing from
+/// either is a hole in the adversarial coverage the campaign claims.
+pub fn check_fault_exhaustiveness(
+    faults: &ExhaustInput,
+    campaign: Option<&ExhaustInput>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let variants = enum_variants(faults.src, "Fault");
+    let code = mask_source(faults.src).code;
+    if let Some(body) = body_text(&code, "fn conversion") {
+        for v in &variants {
+            if !body.contains(&format!("Fault::{}", v.name)) {
+                diags.push(Diagnostic {
+                    file: faults.label.to_string(),
+                    line: v.line,
+                    rule: "E005",
+                    message: format!(
+                        "Fault::{} has no arm in `conversion` (it cannot be injected)",
+                        v.name
+                    ),
+                    fix: "route the variant to an Injection in fn conversion".to_string(),
+                });
+            }
+        }
+    }
+    if let Some(campaign) = campaign {
+        let code = mask_source(campaign.src).code;
+        if let Some(body) = body_text(&code, "fn campaign_fault") {
+            for v in &variants {
+                if !body.contains(&format!("Fault::{}", v.name)) {
+                    diags.push(Diagnostic {
+                        file: campaign.label.to_string(),
+                        line: 1,
+                        rule: "E005",
+                        message: format!(
+                            "Fault::{} has no campaign_fault arm (urb-chaos can never draw it)",
+                            v.name
+                        ),
+                        fix: "add a generator arm for the variant in fn campaign_fault".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
 /// `_ =>` arms at the top level of the first `match` in `fn_body`,
 /// as `(line_offset_within_body, line_text)`.
 fn wildcard_arms(fn_body: &[String]) -> Vec<(usize, String)> {
@@ -984,6 +1040,25 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             trace_i.as_ref(),
             metrics_i.as_ref(),
             lifecycle_i.as_ref(),
+        ));
+    }
+
+    let faults_path = root.join("crates/faults/src/lib.rs");
+    if faults_path.is_file() {
+        let faults_src = fs::read_to_string(&faults_path)
+            .map_err(|e| format!("{}: {e}", faults_path.display()))?;
+        let campaign_path = root.join("crates/faults/src/campaign.rs");
+        let campaign_src = fs::read_to_string(&campaign_path).ok();
+        let campaign_i = campaign_src.as_ref().map(|s| ExhaustInput {
+            label: "crates/faults/src/campaign.rs",
+            src: s,
+        });
+        diags.extend(check_fault_exhaustiveness(
+            &ExhaustInput {
+                label: &rel_label(root, &faults_path),
+                src: &faults_src,
+            },
+            campaign_i.as_ref(),
         ));
     }
 

@@ -1,0 +1,11 @@
+//! Bad fixture: the campaign generator can draw Deadlock and CorruptDb
+//! but never SpuriousReports — a hole in the claimed coverage.
+
+use crate::Fault;
+
+pub fn campaign_fault(roll: usize) -> Fault {
+    match roll {
+        0 => Fault::Deadlock { component: "Item" },
+        _ => Fault::CorruptDb,
+    }
+}

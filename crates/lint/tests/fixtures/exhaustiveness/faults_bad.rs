@@ -1,0 +1,20 @@
+//! Bad fixture: SpuriousReports is declared but never routed by
+//! `conversion`, so it could never actually be injected.
+
+pub enum Fault {
+    Deadlock { component: &'static str },
+    CorruptDb,
+    SpuriousReports { reports: u32 },
+}
+
+pub enum Injection {
+    Server,
+    Db,
+}
+
+pub fn conversion(fault: &Fault) -> Injection {
+    match fault {
+        Fault::Deadlock { .. } => Injection::Server,
+        _ => Injection::Db,
+    }
+}

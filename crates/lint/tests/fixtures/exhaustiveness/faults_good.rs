@@ -1,0 +1,21 @@
+//! Good fixture: every Fault variant has a conversion arm.
+
+pub enum Fault {
+    Deadlock { component: &'static str },
+    CorruptDb,
+    SpuriousReports { reports: u32 },
+}
+
+pub enum Injection {
+    Server,
+    Db,
+    ClientReports(u32),
+}
+
+pub fn conversion(fault: &Fault) -> Injection {
+    match fault {
+        Fault::Deadlock { .. } => Injection::Server,
+        Fault::CorruptDb => Injection::Db,
+        Fault::SpuriousReports { reports } => Injection::ClientReports(*reports),
+    }
+}

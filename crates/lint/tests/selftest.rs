@@ -5,7 +5,9 @@
 
 use std::path::{Path, PathBuf};
 
-use urb_lint::{check_exhaustiveness, lint_source, lint_workspace, ExhaustInput};
+use urb_lint::{
+    check_exhaustiveness, check_fault_exhaustiveness, lint_source, lint_workspace, ExhaustInput,
+};
 
 fn fixture(rel: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -166,6 +168,56 @@ fn good_exhaustiveness_fixtures_are_clean() {
             label: "lifecycle_good.rs",
             src: &lifecycle,
         }),
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
+fn fault_variant_without_conversion_arm_is_caught() {
+    let faults = fixture("exhaustiveness/faults_bad.rs");
+    let diags = check_fault_exhaustiveness(
+        &ExhaustInput {
+            label: "faults_bad.rs",
+            src: &faults,
+        },
+        None,
+    );
+    // CorruptDb and SpuriousReports both hide behind the wildcard arm.
+    assert_eq!(diags.len(), 2, "diagnostics: {diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "E005"));
+    assert!(diags.iter().any(|d| d.message.contains("SpuriousReports")));
+    assert!(diags.iter().any(|d| d.message.contains("CorruptDb")));
+}
+
+#[test]
+fn fault_variant_without_campaign_arm_is_caught() {
+    let faults = fixture("exhaustiveness/faults_good.rs");
+    let campaign = fixture("exhaustiveness/campaign_bad.rs");
+    let diags = check_fault_exhaustiveness(
+        &ExhaustInput {
+            label: "faults_good.rs",
+            src: &faults,
+        },
+        Some(&ExhaustInput {
+            label: "campaign_bad.rs",
+            src: &campaign,
+        }),
+    );
+    assert_eq!(diags.len(), 1, "diagnostics: {diags:#?}");
+    assert_eq!(diags[0].rule, "E005");
+    assert_eq!(diags[0].file, "campaign_bad.rs");
+    assert!(diags[0].message.contains("SpuriousReports"), "{}", diags[0]);
+}
+
+#[test]
+fn good_fault_fixture_is_clean() {
+    let faults = fixture("exhaustiveness/faults_good.rs");
+    let diags = check_fault_exhaustiveness(
+        &ExhaustInput {
+            label: "faults_good.rs",
+            src: &faults,
+        },
+        None,
     );
     assert!(diags.is_empty(), "unexpected: {diags:#?}");
 }

@@ -77,6 +77,28 @@ pub struct RmConfig {
     /// implicated its suspect, so the next `decide` call in the same poll
     /// can diagnose a different concurrent fault from what remains.
     pub max_concurrent: usize,
+    /// Reboot-storm damper: once a component has been microrebooted this
+    /// many consecutive times (within `flap_window` of each other), an
+    /// exponential backoff defers further microreboots of it. `0`
+    /// disables the damper (the pre-hardening behaviour).
+    pub storm_limit: u32,
+    /// Base backoff of the storm damper; doubles with every strike past
+    /// `storm_limit`.
+    pub storm_backoff: SimDuration,
+    /// Flap-driven escalation: a component microrebooted this many times
+    /// within `flap_window` escalates the ladder instead of being
+    /// microrebooted forever. `0` disables flap escalation.
+    ///
+    /// The window is deliberately longer than `observation`: a slow flap
+    /// (one that recurs after the quiet period resets the ladder) is
+    /// exactly the pattern the plain ladder cannot see.
+    pub flap_limit: u32,
+    /// Window over which same-component microreboots count as a flap.
+    pub flap_window: SimDuration,
+    /// Convergence watchdog: a failure episode older than this bound
+    /// forces an extra escalation on every decision until it converges.
+    /// `None` disables the watchdog.
+    pub watchdog_bound: Option<SimDuration>,
 }
 
 impl Default for RmConfig {
@@ -91,6 +113,11 @@ impl Default for RmConfig {
             recurrence_limit: 8,
             recurrence_window: SimDuration::from_secs(120),
             max_concurrent: 1,
+            storm_limit: 0,
+            storm_backoff: SimDuration::from_secs(5),
+            flap_limit: 0,
+            flap_window: SimDuration::from_secs(300),
+            watchdog_bound: None,
         }
     }
 }
@@ -117,6 +144,15 @@ pub struct RmStats {
     pub os_reboots: u64,
     /// Human notifications raised.
     pub human_notifications: u64,
+    /// Escalations requested while the ladder was already at `Human`
+    /// (automated recovery exhausted; previously silent).
+    pub escalations_saturated: u64,
+    /// Microreboot decisions deferred by the reboot-storm damper.
+    pub storm_damped: u64,
+    /// Escalations forced by flap detection.
+    pub flap_escalations: u64,
+    /// Escalations forced by the convergence watchdog.
+    pub watchdog_escalations: u64,
 }
 
 impl RmStats {
@@ -130,6 +166,10 @@ impl RmStats {
             process_restarts: reg.counter("decisions_process_restart"),
             os_reboots: reg.counter("decisions_os_reboot"),
             human_notifications: reg.counter("decisions_notify_human"),
+            escalations_saturated: reg.counter("escalations_saturated"),
+            storm_damped: reg.counter("storm_damped"),
+            flap_escalations: reg.counter("flap_escalations"),
+            watchdog_escalations: reg.counter("watchdog_escalations"),
         }
     }
 }
@@ -154,6 +194,21 @@ struct NodeDiag {
     exclusive: bool,
     last_recovery_end: Option<SimTime>,
     episode_ends: Vec<SimTime>,
+    /// Per-component microreboot history: when the component was last
+    /// microrebooted and how many consecutive microreboots (each within
+    /// `flap_window` of the previous) it has accumulated. Deliberately
+    /// *not* cleared when the ladder resets after a quiet period — a slow
+    /// flap looks exactly like a sequence of fresh episodes.
+    urb_history: BTreeMap<CompName, (SimTime, u32)>,
+    /// Storm-damper deadlines: no new microreboot of the component before
+    /// its deadline.
+    damped_until: BTreeMap<CompName, SimTime>,
+    /// Watchdog anchor: when the current failure episode began. Survives
+    /// `recovery_finished` (an episode spans repeated recoveries) and
+    /// resets only when a quiet period resets the ladder.
+    episode_anchor: Option<SimTime>,
+    /// When a recurring-failure page last went out (hardened mode only).
+    last_human_page: Option<SimTime>,
 }
 
 impl NodeDiag {
@@ -167,6 +222,10 @@ impl NodeDiag {
             exclusive: false,
             last_recovery_end: None,
             episode_ends: Vec::new(),
+            urb_history: BTreeMap::new(),
+            damped_until: BTreeMap::new(),
+            episode_anchor: None,
+            last_human_page: None,
         }
     }
 
@@ -274,6 +333,31 @@ impl RecoveryManager {
     /// Returns the node's current ladder rung.
     pub fn level_of(&self, node: usize) -> PolicyLevel {
         self.nodes[node].level
+    }
+
+    /// Actions issued on `node` still awaiting `recovery_finished`.
+    pub fn in_flight(&self, node: usize) -> usize {
+        self.nodes.get(node).map_or(0, |d| d.in_flight)
+    }
+
+    /// Climbs one rung, emitting [`TelemetryEvent::EscalationSaturated`]
+    /// when the ladder is already at `Human` and has nowhere left to go
+    /// (previously a silent saturation).
+    fn escalate_level(
+        metrics: &mut MetricsRegistry,
+        bus: &Option<SharedBus>,
+        node: usize,
+        level: PolicyLevel,
+        now: SimTime,
+    ) -> PolicyLevel {
+        if level == PolicyLevel::Human {
+            Self::emit(
+                metrics,
+                bus,
+                TelemetryEvent::EscalationSaturated { node, at: now },
+            );
+        }
+        level.escalate()
     }
 
     /// Ingests one failure report from a monitor.
@@ -390,6 +474,40 @@ impl RecoveryManager {
         best.map(|(c, _)| c)
     }
 
+    /// Maps a ladder rung to the concrete action (and decision kind) the
+    /// current evidence supports.
+    fn action_for(
+        level: PolicyLevel,
+        hinted: Option<&'static str>,
+        failing_ops: &[OpCode],
+        scores: &BTreeMap<&'static str, f64>,
+        path_of: fn(OpCode) -> &'static [&'static str],
+        web: &'static str,
+    ) -> (RecoveryAction, DecisionKind) {
+        match level {
+            PolicyLevel::Ejb => {
+                match hinted.or_else(|| Self::pick_suspect(failing_ops, scores, path_of, web)) {
+                    Some(comp) => (
+                        RecoveryAction::microreboot(&[comp]),
+                        DecisionKind::EjbMicroreboot,
+                    ),
+                    None => (
+                        RecoveryAction::microreboot(&[web]),
+                        DecisionKind::WarMicroreboot,
+                    ),
+                }
+            }
+            PolicyLevel::War => (
+                RecoveryAction::microreboot(&[web]),
+                DecisionKind::WarMicroreboot,
+            ),
+            PolicyLevel::App => (RecoveryAction::RestartApp, DecisionKind::AppRestart),
+            PolicyLevel::Process => (RecoveryAction::RestartProcess, DecisionKind::ProcessRestart),
+            PolicyLevel::Os => (RecoveryAction::RebootOs, DecisionKind::OsReboot),
+            PolicyLevel::Human => (RecoveryAction::NotifyHuman, DecisionKind::NotifyHuman),
+        }
+    }
+
     /// Decides whether (and how) to recover `node` right now.
     ///
     /// Returns `None` while evidence is insufficient, detection is still
@@ -462,31 +580,76 @@ impl RecoveryManager {
         // escalate; failures after a quiet period restart the ladder.
         if let Some(end) = diag.last_recovery_end {
             if first <= end + config.settle + config.observation {
-                diag.level = diag.level.escalate();
+                diag.level =
+                    Self::escalate_level(&mut self.metrics, &self.bus, node, diag.level, now);
             } else {
                 diag.level = config.start_level;
+                diag.episode_anchor = None;
             }
         }
-        // Recurring failure patterns page a human (Section 4).
+        // Convergence watchdog: an episode that has outlived its bound
+        // forces an extra climb on every decision until it converges.
+        let anchor = *diag.episode_anchor.get_or_insert(first);
+        if let Some(bound) = config.watchdog_bound {
+            if now - anchor > bound {
+                diag.level =
+                    Self::escalate_level(&mut self.metrics, &self.bus, node, diag.level, now);
+                Self::emit(
+                    &mut self.metrics,
+                    &self.bus,
+                    TelemetryEvent::WatchdogEscalated {
+                        node,
+                        elapsed: now - anchor,
+                        at: now,
+                    },
+                );
+            }
+        }
+        // Recurring failure patterns page a human (Section 4). Without the
+        // convergence watchdog this branch absorbs the policy outright,
+        // which replicates the paper's serial behaviour — but every
+        // notification acks as a completed episode, so once it trips it
+        // re-trips forever and the ladder below (including the dead-node
+        // Process floor) never runs again. With the watchdog armed the
+        // page goes out once per recurrence window and automated first aid
+        // continues underneath it: paging an operator must not stop the
+        // manager from restarting a process that has since died.
         diag.episode_ends
             .retain(|e| now - *e <= config.recurrence_window);
         if diag.episode_ends.len() as u32 >= config.recurrence_limit {
-            Self::emit(
-                &mut self.metrics,
-                &self.bus,
-                TelemetryEvent::RecoveryDecision {
-                    node,
-                    decision: DecisionKind::NotifyHuman,
-                    at: now,
-                },
-            );
-            diag.in_flight += 1;
-            diag.exclusive = true;
-            return Some(RecoveryAction::NotifyHuman);
+            let page_suppressed = config.watchdog_bound.is_some()
+                && diag
+                    .last_human_page
+                    .is_some_and(|t| now - t <= config.recurrence_window);
+            if !page_suppressed {
+                diag.last_human_page = Some(now);
+                Self::emit(
+                    &mut self.metrics,
+                    &self.bus,
+                    TelemetryEvent::RecoveryDecision {
+                        node,
+                        decision: DecisionKind::NotifyHuman,
+                        at: now,
+                    },
+                );
+                diag.in_flight += 1;
+                diag.exclusive = true;
+                return Some(RecoveryAction::NotifyHuman);
+            }
         }
         // Connection-level failures mean the process (or node) is gone:
         // component recovery is pointless.
         if network_reports > other_reports && diag.level < PolicyLevel::Process {
+            diag.level = PolicyLevel::Process;
+        }
+        // Dead-node floor (hardened mode): at `Human` the ladder's action
+        // is another page, but connection-dominated evidence means the
+        // process is dead and no page revives it. Drop back to `Process`
+        // so the node is restarted while the operator is on the way.
+        if config.watchdog_bound.is_some()
+            && diag.level == PolicyLevel::Human
+            && network_reports > other_reports
+        {
             diag.level = PolicyLevel::Process;
         }
         // Under the conductor, error-page hints name the failing bean
@@ -509,28 +672,71 @@ impl RecoveryManager {
         } else {
             None
         };
-        let (action, decision) = match diag.level {
-            PolicyLevel::Ejb => {
-                match hinted.or_else(|| Self::pick_suspect(&failing_ops, &scores, path_of, web)) {
-                    Some(comp) => (
-                        RecoveryAction::microreboot(&[comp]),
-                        DecisionKind::EjbMicroreboot,
-                    ),
-                    None => (
-                        RecoveryAction::microreboot(&[web]),
-                        DecisionKind::WarMicroreboot,
-                    ),
+        let (mut action, mut decision) =
+            Self::action_for(diag.level, hinted, &failing_ops, &scores, path_of, web);
+        // Flap-driven escalation: a component that keeps coming back
+        // inside the flap window climbs the ladder instead of being
+        // microrebooted forever.
+        if config.flap_limit > 0 {
+            while let RecoveryAction::Microreboot { components } = &action {
+                let flaps = components
+                    .iter()
+                    .filter_map(|c| match diag.urb_history.get(c) {
+                        Some((last, strikes)) if now - *last <= config.flap_window => {
+                            Some(*strikes)
+                        }
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(0);
+                if flaps < config.flap_limit {
+                    break;
+                }
+                Self::emit(
+                    &mut self.metrics,
+                    &self.bus,
+                    TelemetryEvent::FlapEscalated {
+                        node,
+                        flaps,
+                        at: now,
+                    },
+                );
+                diag.level =
+                    Self::escalate_level(&mut self.metrics, &self.bus, node, diag.level, now);
+                (action, decision) =
+                    Self::action_for(diag.level, hinted, &failing_ops, &scores, path_of, web);
+            }
+        }
+        // Reboot-storm damper: a component still in backoff defers the
+        // whole decision; the evidence is retained, so a later poll
+        // retries once the backoff expires.
+        if config.storm_limit > 0 {
+            if let RecoveryAction::Microreboot { components } = &action {
+                diag.damped_until.retain(|_, until| *until > now);
+                if let Some(until) = components
+                    .iter()
+                    .filter_map(|c| diag.damped_until.get(c).copied())
+                    .max()
+                {
+                    let strikes = components
+                        .iter()
+                        .filter_map(|c| diag.urb_history.get(c).map(|(_, s)| *s))
+                        .max()
+                        .unwrap_or(0);
+                    Self::emit(
+                        &mut self.metrics,
+                        &self.bus,
+                        TelemetryEvent::StormDamped {
+                            node,
+                            strikes,
+                            backoff: until - now,
+                            at: now,
+                        },
+                    );
+                    return None;
                 }
             }
-            PolicyLevel::War => (
-                RecoveryAction::microreboot(&[web]),
-                DecisionKind::WarMicroreboot,
-            ),
-            PolicyLevel::App => (RecoveryAction::RestartApp, DecisionKind::AppRestart),
-            PolicyLevel::Process => (RecoveryAction::RestartProcess, DecisionKind::ProcessRestart),
-            PolicyLevel::Os => (RecoveryAction::RebootOs, DecisionKind::OsReboot),
-            PolicyLevel::Human => (RecoveryAction::NotifyHuman, DecisionKind::NotifyHuman),
-        };
+        }
         Self::emit(
             &mut self.metrics,
             &self.bus,
@@ -543,6 +749,20 @@ impl RecoveryManager {
         diag.in_flight += 1;
         match &action {
             RecoveryAction::Microreboot { components } => {
+                if config.storm_limit > 0 || config.flap_limit > 0 {
+                    for c in components {
+                        let strikes = match diag.urb_history.get(c) {
+                            Some((last, s)) if now - *last <= config.flap_window => s + 1,
+                            _ => 1,
+                        };
+                        diag.urb_history.insert(*c, (now, strikes));
+                        if config.storm_limit > 0 && strikes >= config.storm_limit {
+                            let exp = u64::from((strikes - config.storm_limit).min(6));
+                            diag.damped_until
+                                .insert(*c, now + config.storm_backoff * (1u64 << exp));
+                        }
+                    }
+                }
                 if config.max_concurrent > 1 {
                     diag.consume(components, path_of);
                 }
@@ -721,6 +941,73 @@ mod tests {
     }
 
     #[test]
+    fn hardened_recurrence_pages_once_then_keeps_reviving_the_node() {
+        // The un-hardened recurrence branch absorbs the policy: every page
+        // acks as a completed episode, so once it trips it re-trips on
+        // every poll, and a node that dies afterwards is never restarted.
+        // With the watchdog armed the page is one-shot per recurrence
+        // window and the ladder (including the dead-node Process floor)
+        // keeps running underneath it.
+        let mut m = rm(RmConfig {
+            recurrence_limit: 2,
+            recurrence_window: SimDuration::from_secs(1_000),
+            watchdog_bound: Some(SimDuration::from_secs(100_000)),
+            ..RmConfig::default()
+        });
+        let mut t = 1;
+        loop {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            let action = m.decide(0, SimTime::from_secs(t)).expect("enough evidence");
+            m.recovery_finished(0, SimTime::from_secs(t + 1));
+            t += 50;
+            if action == RecoveryAction::NotifyHuman {
+                break;
+            }
+        }
+        // The node dies: every report is now a connection failure. The
+        // already-paged manager must restart the process, not page again.
+        for _ in 0..3 {
+            m.report(&rep(0, 0, t, FailureKind::Network));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(t)),
+            Some(RecoveryAction::RestartProcess)
+        );
+    }
+
+    #[test]
+    fn dead_node_floor_restarts_process_even_at_human() {
+        // Hardened: connection-dominated evidence at the Human rung drops
+        // back to Process — a page cannot revive a dead JVM.
+        let mut m = rm(RmConfig {
+            start_level: PolicyLevel::Human,
+            watchdog_bound: Some(SimDuration::from_secs(100_000)),
+            ..RmConfig::default()
+        });
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Network));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(1)),
+            Some(RecoveryAction::RestartProcess)
+        );
+        // Un-hardened, the same evidence keeps paging (baseline pinned).
+        let mut m = rm(RmConfig {
+            start_level: PolicyLevel::Human,
+            ..RmConfig::default()
+        });
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Network));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(1)),
+            Some(RecoveryAction::NotifyHuman)
+        );
+    }
+
+    #[test]
     fn parallel_mode_diagnoses_concurrent_faults_in_one_poll() {
         let mut m = rm(RmConfig {
             max_concurrent: 4,
@@ -779,6 +1066,107 @@ mod tests {
         // must be reproduced exactly (Bid is on fewer paths than Item).
         let action = m.decide(0, SimTime::from_secs(1)).unwrap();
         assert_eq!(action, RecoveryAction::microreboot(&["Bid"]));
+    }
+
+    #[test]
+    fn storm_damper_defers_repeated_microreboots() {
+        let mut m = rm(RmConfig {
+            storm_limit: 2,
+            storm_backoff: SimDuration::from_secs(100),
+            ..RmConfig::default()
+        });
+        let mut t = 1;
+        let mut issued = 0;
+        for _ in 0..4 {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            if m.decide(0, SimTime::from_secs(t)).is_some() {
+                issued += 1;
+                m.recovery_finished(0, SimTime::from_secs(t + 1));
+            }
+            // Recur outside settle + observation so the undamped ladder
+            // would reset and re-microreboot forever.
+            t += 40;
+        }
+        assert_eq!(issued, 2, "third and fourth attempts sit in backoff");
+        assert!(m.stats().storm_damped >= 2);
+    }
+
+    #[test]
+    fn flap_escalation_climbs_instead_of_re_microrebooting() {
+        let mut m = rm(RmConfig {
+            flap_limit: 2,
+            flap_window: SimDuration::from_secs(600),
+            ..RmConfig::default()
+        });
+        let mut t = 1;
+        let mut actions = Vec::new();
+        for _ in 0..6 {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            if let Some(a) = m.decide(0, SimTime::from_secs(t)) {
+                actions.push(a);
+                m.recovery_finished(0, SimTime::from_secs(t + 1));
+            }
+            t += 40; // slow flap: each burst looks like a fresh episode
+        }
+        assert!(
+            actions.contains(&RecoveryAction::RestartApp),
+            "flap escalation must leave the microreboot rungs: {actions:?}"
+        );
+        let same_comp_urbs = actions
+            .iter()
+            .filter(|a| matches!(a, RecoveryAction::Microreboot { components } if components[0].as_str() == "Item"))
+            .count();
+        assert!(same_comp_urbs <= 2, "flap cap exceeded: {actions:?}");
+        assert!(m.stats().flap_escalations >= 1);
+    }
+
+    #[test]
+    fn watchdog_escalates_overlong_episodes() {
+        let mut m = rm(RmConfig {
+            watchdog_bound: Some(SimDuration::from_secs(10)),
+            ..RmConfig::default()
+        });
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 1, FailureKind::Http));
+        }
+        assert!(m.decide(0, SimTime::from_secs(1)).is_some());
+        m.recovery_finished(0, SimTime::from_secs(2));
+        // Still failing 19 s into the episode: the plain ladder would only
+        // reach War; the watchdog forces one extra rung.
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 20, FailureKind::Http));
+        }
+        assert_eq!(
+            m.decide(0, SimTime::from_secs(20)),
+            Some(RecoveryAction::RestartApp)
+        );
+        assert_eq!(m.stats().watchdog_escalations, 1);
+    }
+
+    #[test]
+    fn saturation_at_human_is_visible() {
+        let mut m = rm(RmConfig {
+            recurrence_limit: 100,
+            ..RmConfig::default()
+        });
+        let mut t = 1;
+        for _ in 0..8 {
+            for _ in 0..3 {
+                m.report(&rep(0, 0, t, FailureKind::Http));
+            }
+            let _ = m.decide(0, SimTime::from_secs(t));
+            m.recovery_finished(0, SimTime::from_secs(t + 1));
+            t += 6;
+        }
+        assert!(
+            m.stats().escalations_saturated >= 1,
+            "escalating past Human must be counted, not silent"
+        );
+        assert!(m.stats().human_notifications >= 2);
     }
 
     #[test]

@@ -249,6 +249,14 @@ impl TelemetrySink for MetricsRegistry {
                 self.inc("ttl_sweeps");
                 self.add("ttl_sweep_reaped", u64::from(reaped));
             }
+            TelemetryEvent::StormDamped { .. } => self.inc("storm_damped"),
+            TelemetryEvent::FlapEscalated { .. } => self.inc("flap_escalations"),
+            TelemetryEvent::WatchdogEscalated { .. } => self.inc("watchdog_escalations"),
+            TelemetryEvent::EscalationSaturated { .. } => self.inc("escalations_saturated"),
+            TelemetryEvent::CampaignRunDone { violations, .. } => {
+                self.inc("campaign_runs_done");
+                self.add("campaign_violations", u64::from(violations));
+            }
         }
     }
 }

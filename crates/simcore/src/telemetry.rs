@@ -318,6 +318,58 @@ pub enum TelemetryEvent {
         /// When.
         at: SimTime,
     },
+    /// The recovery manager's reboot-storm damper suppressed a repeated
+    /// microreboot of the same component, deferring the decision until
+    /// the exponential backoff expires.
+    StormDamped {
+        /// Target node.
+        node: usize,
+        /// Consecutive same-component microreboots observed so far.
+        strikes: u32,
+        /// How long the damper holds the next attempt back.
+        backoff: SimDuration,
+        /// When.
+        at: SimTime,
+    },
+    /// Flap-driven escalation: a component failed again within the flap
+    /// window after recovering, so the manager climbed the ladder instead
+    /// of re-microrebooting forever.
+    FlapEscalated {
+        /// Target node.
+        node: usize,
+        /// Recoveries of the flapping component inside the window.
+        flaps: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// The convergence watchdog escalated an episode that exceeded its
+    /// time bound without the failure reports going quiet.
+    WatchdogEscalated {
+        /// Target node.
+        node: usize,
+        /// How long the episode had been running.
+        elapsed: SimDuration,
+        /// When.
+        at: SimTime,
+    },
+    /// The policy ladder tried to escalate past `Human`: automated
+    /// recovery is exhausted and the decision saturated in place.
+    EscalationSaturated {
+        /// Target node.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A fault-injection campaign run finished (emitted by `urb-chaos`
+    /// onto the campaign's own bus, one per scenario).
+    CampaignRunDone {
+        /// Zero-based run index within the campaign.
+        run: u64,
+        /// Per-run trace digest.
+        digest: u64,
+        /// Invariant violations observed in this run.
+        violations: u32,
+    },
 }
 
 impl TelemetryEvent {
@@ -478,6 +530,45 @@ impl TelemetryEvent {
                 put_u64(buf, u64::from(pending));
                 put_u64(buf, u64::from(reaped));
                 put_time(buf, at);
+            }
+            TelemetryEvent::StormDamped {
+                node,
+                strikes,
+                backoff,
+                at,
+            } => {
+                buf.push(17);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(strikes));
+                put_u64(buf, backoff.as_micros());
+                put_time(buf, at);
+            }
+            TelemetryEvent::FlapEscalated { node, flaps, at } => {
+                buf.push(18);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(flaps));
+                put_time(buf, at);
+            }
+            TelemetryEvent::WatchdogEscalated { node, elapsed, at } => {
+                buf.push(19);
+                put_u64(buf, node as u64);
+                put_u64(buf, elapsed.as_micros());
+                put_time(buf, at);
+            }
+            TelemetryEvent::EscalationSaturated { node, at } => {
+                buf.push(20);
+                put_u64(buf, node as u64);
+                put_time(buf, at);
+            }
+            TelemetryEvent::CampaignRunDone {
+                run,
+                digest,
+                violations,
+            } => {
+                buf.push(21);
+                put_u64(buf, run);
+                put_u64(buf, digest);
+                put_u64(buf, u64::from(violations));
             }
         }
     }
@@ -786,6 +877,43 @@ mod tests {
                     at: t,
                 },
                 cat(&[vec![16], le(0), le(2), le(1), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::StormDamped {
+                    node: 0,
+                    strikes: 3,
+                    backoff: SimDuration::from_millis(400),
+                    at: t,
+                },
+                cat(&[vec![17], le(0), le(3), le(400_000), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::FlapEscalated {
+                    node: 1,
+                    flaps: 2,
+                    at: t,
+                },
+                cat(&[vec![18], le(1), le(2), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::WatchdogEscalated {
+                    node: 0,
+                    elapsed: SimDuration::from_millis(2500),
+                    at: t,
+                },
+                cat(&[vec![19], le(0), le(2_500_000), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::EscalationSaturated { node: 1, at: t },
+                cat(&[vec![20], le(1), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::CampaignRunDone {
+                    run: 5,
+                    digest: 0xdead_beef,
+                    violations: 0,
+                },
+                cat(&[vec![21], le(5), le(0xdead_beef), le(0)]),
             ),
         ];
         for (ev, want) in cases {

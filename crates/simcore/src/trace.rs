@@ -292,6 +292,11 @@ pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
         TelemetryEvent::QuarantineOff { .. } => "quarantine_off",
         TelemetryEvent::LbFailover { .. } => "lb_failover",
         TelemetryEvent::TtlSweep { .. } => "ttl_sweep",
+        TelemetryEvent::StormDamped { .. } => "storm_damped",
+        TelemetryEvent::FlapEscalated { .. } => "flap_escalated",
+        TelemetryEvent::WatchdogEscalated { .. } => "watchdog_escalated",
+        TelemetryEvent::EscalationSaturated { .. } => "escalation_saturated",
+        TelemetryEvent::CampaignRunDone { .. } => "campaign_run_done",
     }
 }
 
@@ -414,6 +419,34 @@ pub fn event_to_json(ev: &TelemetryEvent) -> String {
             "{{\"t\":\"ttl_sweep\",\"node\":{node},\"pending\":{pending},\"reaped\":{reaped},\"at_us\":{}}}",
             at.as_micros()
         ),
+        TelemetryEvent::StormDamped {
+            node,
+            strikes,
+            backoff,
+            at,
+        } => format!(
+            "{{\"t\":\"storm_damped\",\"node\":{node},\"strikes\":{strikes},\"backoff_us\":{},\"at_us\":{}}}",
+            backoff.as_micros(),
+            at.as_micros()
+        ),
+        TelemetryEvent::FlapEscalated { node, flaps, at } => format!(
+            "{{\"t\":\"flap_escalated\",\"node\":{node},\"flaps\":{flaps},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::WatchdogEscalated { node, elapsed, at } => format!(
+            "{{\"t\":\"watchdog_escalated\",\"node\":{node},\"elapsed_us\":{},\"at_us\":{}}}",
+            elapsed.as_micros(),
+            at.as_micros()
+        ),
+        TelemetryEvent::EscalationSaturated { node, at } => format!(
+            "{{\"t\":\"escalation_saturated\",\"node\":{node},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::CampaignRunDone {
+            run,
+            digest,
+            violations,
+        } => format!("{{\"t\":\"campaign_run_done\",\"run\":{run},\"digest\":{digest},\"violations\":{violations}}}"),
     }
 }
 
@@ -577,6 +610,31 @@ pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
             pending: need_u64(line, "pending")? as u32,
             reaped: need_u64(line, "reaped")? as u32,
             at: need_time(line, "at_us")?,
+        },
+        "storm_damped" => TelemetryEvent::StormDamped {
+            node: need_u64(line, "node")? as usize,
+            strikes: need_u64(line, "strikes")? as u32,
+            backoff: SimDuration::from_micros(need_u64(line, "backoff_us")?),
+            at: need_time(line, "at_us")?,
+        },
+        "flap_escalated" => TelemetryEvent::FlapEscalated {
+            node: need_u64(line, "node")? as usize,
+            flaps: need_u64(line, "flaps")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "watchdog_escalated" => TelemetryEvent::WatchdogEscalated {
+            node: need_u64(line, "node")? as usize,
+            elapsed: SimDuration::from_micros(need_u64(line, "elapsed_us")?),
+            at: need_time(line, "at_us")?,
+        },
+        "escalation_saturated" => TelemetryEvent::EscalationSaturated {
+            node: need_u64(line, "node")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "campaign_run_done" => TelemetryEvent::CampaignRunDone {
+            run: need_u64(line, "run")?,
+            digest: need_u64(line, "digest")?,
+            violations: need_u64(line, "violations")? as u32,
         },
         other => return Err(format!("unknown event type \"{other}\"")),
     };
@@ -1005,9 +1063,18 @@ pub fn strict_attribution(events: &[TelemetryEvent]) -> StrictReport {
             | TelemetryEvent::RejuvenationTick { node, at, .. }
             | TelemetryEvent::TtlSweep { node, at, .. } => covering(node, at).map(Some),
             TelemetryEvent::LbFailover { from, at, .. } => covering(from, at).map(Some),
+            // Hardening control events may legitimately have no episode:
+            // a damped decision *prevented* a reboot, a saturated or
+            // watchdog-escalated ladder may never see its action begin.
+            TelemetryEvent::StormDamped { node, at, .. }
+            | TelemetryEvent::FlapEscalated { node, at, .. }
+            | TelemetryEvent::WatchdogEscalated { node, at, .. }
+            | TelemetryEvent::EscalationSaturated { node, at } => upcoming(node, at).map(Some),
             // Client-plane events have no node: steady state by definition
             // (their failures already show up as episode lost work).
             TelemetryEvent::ClientOp { .. } | TelemetryEvent::ActionClosed { .. } => None,
+            // Campaign-plane summary marks sit above any single run.
+            TelemetryEvent::CampaignRunDone { .. } => None,
         };
         match slot {
             Some(Some(i)) => per_episode[i] += 1,
@@ -1272,6 +1339,28 @@ mod tests {
                 pending: 2,
                 reaped: 1,
                 at: t,
+            },
+            TelemetryEvent::StormDamped {
+                node: 0,
+                strikes: 3,
+                backoff: SimDuration::from_millis(400),
+                at: t,
+            },
+            TelemetryEvent::FlapEscalated {
+                node: 1,
+                flaps: 2,
+                at: t,
+            },
+            TelemetryEvent::WatchdogEscalated {
+                node: 0,
+                elapsed: SimDuration::from_millis(2500),
+                at: t,
+            },
+            TelemetryEvent::EscalationSaturated { node: 1, at: t },
+            TelemetryEvent::CampaignRunDone {
+                run: 5,
+                digest: 0xdead_beef,
+                violations: 0,
             },
         ];
         for ev in &all {

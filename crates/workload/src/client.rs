@@ -216,6 +216,24 @@ impl ClientPool {
         std::mem::take(&mut self.reports)
     }
 
+    /// Fabricates `count` detector false positives against `node`:
+    /// failure reports with no underlying request or fault, as produced
+    /// by a buggy or adversarial monitor. They reach the recovery manager
+    /// through the normal [`ClientPool::drain_reports`] path, so a run
+    /// with spurious reports exercises exactly the paper's "act on the
+    /// slightest hint" risk.
+    pub fn inject_spurious_reports(&mut self, node: usize, op: OpCode, count: u32, now: SimTime) {
+        for _ in 0..count {
+            self.reports.push(FailureReport {
+                at: now,
+                op,
+                kind: FailureKind::Http,
+                node,
+                hint: None,
+            });
+        }
+    }
+
     /// Returns the observed request mix (Table 1 verification).
     pub fn mix(&self) -> &MixCounts {
         &self.mix
@@ -642,6 +660,26 @@ mod tests {
         assert_eq!(reports[0].node, 3);
         assert_eq!(reports[0].op, out.req.op);
         assert!(p.drain_reports().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn spurious_reports_reach_the_drain_without_any_request() {
+        let mut p = pool(1);
+        let now = SimTime::from_secs(9);
+        p.inject_spurious_reports(2, OpCode(3), 5, now);
+        let reports = p.drain_reports();
+        assert_eq!(reports.len(), 5);
+        for r in &reports {
+            assert_eq!(r.kind, FailureKind::Http);
+            assert_eq!(r.node, 2);
+            assert_eq!(r.op, OpCode(3));
+            assert_eq!(r.at, now);
+            assert!(r.hint.is_none(), "a false positive names no component");
+        }
+        assert!(p.drain_reports().is_empty(), "drain clears");
+        // The fabricated failures never touch client state: no sessions
+        // were dropped and no action was aborted.
+        assert!(p.wake(0, SimTime::from_secs(10)).is_some());
     }
 
     #[test]

@@ -181,4 +181,153 @@ mod tests {
             None
         );
     }
+
+    /// One row per classification path: every [`FailureKind`] must be
+    /// reachable, under the detector(s) that can see it, and the rows the
+    /// detectors must NOT flag (Ok, RetryAfter backpressure) stay clean
+    /// under both. The final assertion proves the table itself covers the
+    /// whole `FailureKind` enum, so adding a variant without a row here
+    /// fails the test rather than silently shrinking coverage.
+    #[test]
+    fn classification_table_covers_every_failure_kind_under_both_detectors() {
+        struct Case {
+            name: &'static str,
+            build: fn() -> Response,
+            logged_in: bool,
+            simple: Option<FailureKind>,
+            comparison: Option<FailureKind>,
+        }
+        let cases = [
+            Case {
+                name: "connection refused",
+                build: || resp(Status::NetworkError),
+                logged_in: false,
+                simple: Some(FailureKind::Network),
+                comparison: Some(FailureKind::Network),
+            },
+            Case {
+                name: "client-side timeout",
+                build: || resp(Status::TimedOut),
+                logged_in: false,
+                simple: Some(FailureKind::Timeout),
+                comparison: Some(FailureKind::Timeout),
+            },
+            Case {
+                name: "http 4xx",
+                build: || resp(Status::ClientError(404)),
+                logged_in: false,
+                simple: Some(FailureKind::Http),
+                comparison: Some(FailureKind::Http),
+            },
+            Case {
+                name: "http 5xx",
+                build: || resp(Status::ServerError(500)),
+                logged_in: false,
+                simple: Some(FailureKind::Http),
+                comparison: Some(FailureKind::Http),
+            },
+            Case {
+                name: "exception text in body",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    r.markers.exception_text = true;
+                    r
+                },
+                logged_in: false,
+                simple: Some(FailureKind::Keyword),
+                comparison: Some(FailureKind::Keyword),
+            },
+            Case {
+                name: "invalid ids in page",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    r.markers.invalid_data = true;
+                    r
+                },
+                logged_in: false,
+                simple: Some(FailureKind::AppSpecific),
+                comparison: Some(FailureKind::AppSpecific),
+            },
+            Case {
+                name: "login prompt while logged in",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    r.markers.login_prompt = true;
+                    r
+                },
+                logged_in: true,
+                simple: Some(FailureKind::SessionLoss),
+                comparison: Some(FailureKind::SessionLoss),
+            },
+            Case {
+                name: "login prompt while anonymous",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    r.markers.login_prompt = true;
+                    r
+                },
+                logged_in: false,
+                simple: None,
+                comparison: None,
+            },
+            Case {
+                name: "silently wrong output (tainted)",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    r.tainted = true;
+                    r
+                },
+                logged_in: false,
+                simple: None,
+                comparison: Some(FailureKind::Comparison),
+            },
+            Case {
+                name: "retry-after backpressure",
+                build: || resp(Status::RetryAfter(simcore::SimDuration::from_secs(2))),
+                logged_in: true,
+                // RetryAfter is admission control, never a failure.
+                simple: None,
+                comparison: None,
+            },
+            Case {
+                name: "clean ok",
+                build: || resp(Status::Ok),
+                logged_in: true,
+                simple: None,
+                comparison: None,
+            },
+        ];
+        for c in &cases {
+            assert_eq!(
+                classify(DetectorKind::Simple, &(c.build)(), c.logged_in),
+                c.simple,
+                "simple detector on {}",
+                c.name
+            );
+            assert_eq!(
+                classify(DetectorKind::Comparison, &(c.build)(), c.logged_in),
+                c.comparison,
+                "comparison detector on {}",
+                c.name
+            );
+        }
+        // Exhaustiveness: the table reaches every FailureKind.
+        let all = [
+            FailureKind::Network,
+            FailureKind::Timeout,
+            FailureKind::Http,
+            FailureKind::Keyword,
+            FailureKind::SessionLoss,
+            FailureKind::AppSpecific,
+            FailureKind::Comparison,
+        ];
+        for kind in all {
+            assert!(
+                cases
+                    .iter()
+                    .any(|c| c.simple == Some(kind) || c.comparison == Some(kind)),
+                "{kind:?} has no reaching row in the table"
+            );
+        }
+    }
 }
