@@ -28,4 +28,32 @@ cargo run --release -q -p bench --bin urb-trace -- diff target/ci_trace_a.jsonl 
 echo "==> urb-chaos smoke campaign: 64 strict runs at the acceptance seed"
 cargo run --release -q -p bench --bin urb-chaos -- --seed 7 --runs 64 --strict
 
+echo "==> perf trajectory: regenerate repo-root BENCH_*.json"
+cargo run --release -q -p bench --bin exp_parallel_recovery > /dev/null
+cargo run --release -q -p bench --bin urb-bench -- \
+  kernel --events "${KERNEL_BENCH_EVENTS:-1000000}" --json target/BENCH_kernel.json > /dev/null
+for name in BENCH_kernel BENCH_parallel_recovery; do
+  fresh="target/${name}.json"
+  committed="${name}.json"
+  if [ -f "$committed" ]; then
+    # Fail on structural drift (key-set changes) against the committed
+    # baseline; absolute numbers are machine-dependent and only reported.
+    python3 - "$committed" "$fresh" <<'PY'
+import json, sys
+committed_path, fresh_path = sys.argv[1], sys.argv[2]
+committed = json.load(open(committed_path))
+fresh = json.load(open(fresh_path))
+drift = sorted(set(committed) ^ set(fresh))
+if drift:
+    sys.exit(f"structural drift in {fresh_path} vs {committed_path}: {drift}")
+if "events_per_sec" in committed:
+    old, new = committed["events_per_sec"], fresh["events_per_sec"]
+    print(f"    kernel events/sec: committed {old:,.0f} -> fresh {new:,.0f} "
+          f"({(new - old) / old:+.1%}); speedup vs legacy kernel: "
+          f"{fresh['speedup_vs_legacy']:.2f}x")
+PY
+  fi
+  cp "$fresh" "$committed"
+done
+
 echo "CI OK"

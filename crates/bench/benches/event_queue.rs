@@ -1,0 +1,53 @@
+//! Kernel event-queue micro-benchmarks: the slot-arena kernel against the
+//! seed kernel replica, on identical workloads.
+//!
+//! Run with `cargo bench -p bench --bench event_queue`. For the pinned
+//! JSON numbers CI tracks, use `urb-bench kernel` instead — this target
+//! is for interactive comparison while hacking on `simcore::event`.
+
+use bench::harness::Harness;
+use bench::kernel::{self, BenchWorld, ChainEvent, LegacyQueue};
+use simcore::{EventQueue, SimTime};
+
+fn main() {
+    let mut h = Harness::new("event_queue");
+
+    // Schedule+fire one event on a warm arena (slot pool already grown).
+    let mut queue: EventQueue<BenchWorld, ChainEvent> = EventQueue::new();
+    let mut world = BenchWorld::default();
+    kernel::seed_arena(&mut queue);
+    while world.fired < 50_000 {
+        queue.step(&mut world);
+    }
+    h.bench("arena schedule+fire (warm)", || queue.step(&mut world));
+
+    // The same step on the seed kernel replica: boxed closure per event.
+    let mut lqueue: LegacyQueue<BenchWorld> = LegacyQueue::new();
+    let mut lworld = BenchWorld::default();
+    kernel::seed_legacy(&mut lqueue);
+    while lworld.fired < 50_000 {
+        lqueue.step(&mut lworld);
+    }
+    h.bench("legacy schedule+fire (boxed)", || lqueue.step(&mut lworld));
+
+    // Schedule+cancel+drain churn: the full life of a never-fired event.
+    // The trailing step pops the stale heap entry, so the queue stays
+    // empty across iterations instead of accumulating tombstones.
+    let mut cq: EventQueue<BenchWorld, ChainEvent> = EventQueue::new();
+    let mut cw = BenchWorld::default();
+    h.bench("arena schedule+cancel+drain", || {
+        let id = cq.schedule_event_at(SimTime::from_secs(1), "decoy", ChainEvent::Decoy);
+        cq.cancel(id);
+        cq.step(&mut cw)
+    });
+
+    let mut lcq: LegacyQueue<BenchWorld> = LegacyQueue::new();
+    let mut lcw = BenchWorld::default();
+    h.bench("legacy schedule+cancel+drain", || {
+        let id = lcq.schedule_at(SimTime::from_secs(1), "decoy", |_w: &mut BenchWorld, _q| {});
+        lcq.cancel(id);
+        lcq.step(&mut lcw)
+    });
+
+    h.finish();
+}

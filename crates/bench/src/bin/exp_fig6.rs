@@ -84,13 +84,14 @@ fn jvm_rejuvenation() -> (u64, usize, bool) {
     inject_leaks(&mut sim);
     // Whole-JVM rejuvenation: poll free memory, restart when it drops
     // below the alarm.
-    fn poll(w: &mut cluster::World, q: &mut simcore::EventQueue<cluster::World>) {
+    fn poll(w: &mut cluster::World, q: &mut cluster::SimQueue) {
+        use cluster::ScheduleFn;
         let now = q.now();
         if w.nodes[0].is_up() && w.nodes[0].available_memory() < MALARM {
             w.execute_action(0, recovery::RecoveryAction::RestartProcess, q);
         }
         let _ = now;
-        q.schedule_in(SimDuration::from_secs(5), "jvm-rejuv-poll", poll);
+        q.schedule_fn_in(SimDuration::from_secs(5), poll);
     }
     sim.schedule_fn(SimTime::from_secs(5), poll);
     sim.run_until(SimTime::from_mins(RUN));

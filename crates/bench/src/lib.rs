@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod kernel;
 pub mod report;
 
 pub use report::Table;

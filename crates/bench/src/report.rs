@@ -5,8 +5,16 @@
 //! and a [`JsonReport`] writer that emits machine-readable
 //! `BENCH_<exp>.json` files next to the text tables.
 
-use simcore::telemetry::{TelemetryEvent, TelemetrySink};
-use simcore::MetricsRegistry;
+use simcore::telemetry::{RebootLevel, TelemetryEvent, TelemetrySink};
+use simcore::{symbol, MetricsRegistry};
+
+/// Reboot depths in the order the report tables print them.
+const REBOOT_LEVELS: [RebootLevel; 4] = [
+    RebootLevel::Component,
+    RebootLevel::Application,
+    RebootLevel::Process,
+    RebootLevel::OperatingSystem,
+];
 
 /// A simple aligned-column table printer.
 ///
@@ -102,8 +110,6 @@ pub struct TelemetrySummary {
     registry: MetricsRegistry,
 }
 
-const LEVEL_SUFFIXES: [&str; 4] = ["component", "application", "process", "os"];
-
 impl TelemetrySummary {
     /// The backing registry (histograms, gauges and series included).
     pub fn registry(&self) -> &MetricsRegistry {
@@ -112,48 +118,54 @@ impl TelemetrySummary {
 
     /// Requests submitted across all nodes.
     pub fn submitted(&self) -> u64 {
-        self.registry.counter("requests_submitted")
+        self.registry.counter_sym(symbol::REQUESTS_SUBMITTED)
     }
 
     /// Requests completed (any disposition).
     pub fn completed(&self) -> u64 {
-        self.registry.counter("requests_completed")
+        self.registry.counter_sym(symbol::REQUESTS_COMPLETED)
     }
 
     /// Transparent retries sent (Retry-After).
     pub fn retries(&self) -> u64 {
-        self.registry.counter("retries_sent")
+        self.registry.counter_sym(symbol::RETRIES_SENT)
     }
 
     /// Requests killed by any reboot or TTL purge.
     pub fn killed(&self) -> u64 {
-        self.registry.counter("requests_killed")
+        self.registry.counter_sym(symbol::REQUESTS_KILLED)
     }
 
     /// Reboots begun, indexed by [`simcore::telemetry::RebootLevel`] depth
     /// (component, application, process, OS).
     pub fn reboots_begun(&self) -> [u64; 4] {
-        LEVEL_SUFFIXES.map(|s| self.registry.counter(&format!("reboots_begun_{s}")))
+        REBOOT_LEVELS.map(|l| {
+            self.registry
+                .counter_sym(simcore::metrics::reboot_begun_sym(l))
+        })
     }
 
     /// Reboots finished, same indexing.
     pub fn reboots_finished(&self) -> [u64; 4] {
-        LEVEL_SUFFIXES.map(|s| self.registry.counter(&format!("reboots_finished_{s}")))
+        REBOOT_LEVELS.map(|l| {
+            self.registry
+                .counter_sym(simcore::metrics::reboot_finished_sym(l))
+        })
     }
 
     /// End-to-end failure reports that reached the recovery manager.
     pub fn detector_fires(&self) -> u64 {
-        self.registry.counter("detector_fires")
+        self.registry.counter_sym(symbol::DETECTOR_FIRES)
     }
 
     /// Recovery decisions taken by the manager.
     pub fn decisions(&self) -> u64 {
-        self.registry.counter("recovery_decisions")
+        self.registry.counter_sym(symbol::RECOVERY_DECISIONS)
     }
 
     /// Total reboots begun at any level.
     pub fn total_reboots(&self) -> u64 {
-        self.registry.counter("reboots_begun")
+        self.registry.counter_sym(symbol::REBOOTS_BEGUN)
     }
 
     /// Appends the summary's rows to a two-column table.

@@ -1,0 +1,66 @@
+//! Allocation regression gate for the arena kernel.
+//!
+//! The slot-arena refactor's core claim is that steady-state event
+//! traffic is allocation-free: slots are reused through the free list and
+//! hot-slot hint, chain payloads live inline, and the metrics fold writes
+//! dense symbol-indexed storage. This test pins that claim at exactly
+//! zero heap allocations per event once the pool and containers are warm
+//! — any future `Box`, map node, or accidental `Vec` growth on the
+//! per-event path fails it.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bench::kernel::{self, BenchWorld, ChainEvent};
+use simcore::EventQueue;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_arena_kernel_allocates_nothing_per_event() {
+    let mut queue: EventQueue<BenchWorld, ChainEvent> = EventQueue::new();
+    let mut world = BenchWorld::default();
+    kernel::seed_arena(&mut queue);
+    // Warm everything that legitimately grows once: the slot pool, the
+    // heap's backing vec, the in-flight window and the series hot row.
+    while world.fired < 100_000 {
+        queue.step(&mut world);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let fired_before = world.fired;
+    while world.fired < fired_before + 100_000 {
+        queue.step(&mut world);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(
+        allocs,
+        0,
+        "the warm arena kernel must fire events without heap allocation \
+         ({} allocations over {} events)",
+        allocs,
+        world.fired - fired_before
+    );
+}

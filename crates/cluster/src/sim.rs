@@ -8,18 +8,25 @@
 //! node, client-side failure detectors reporting to the recovery manager,
 //! and hooks to inject any Table 2 fault or command any recovery action
 //! at a chosen instant.
+//!
+//! Events are a [`SimEvent`] enum stored inline in the kernel's slot
+//! arena, so the schedule/fire hot path allocates nothing: the closure
+//! per event the simulation used to box is now a tagged payload the
+//! kernel hands back to [`World`] dispatch. The closure escape hatch
+//! ([`Sim::schedule_fn`], [`ScheduleFn`]) survives as the boxed
+//! [`SimEvent::Custom`] variant for experiment one-offs.
 
 use ebid::{catalog, DatasetSpec, EBid};
 use faults::Fault;
 use recovery::conductor::{Conductor, ConductorConfig, StartCmd, Submission, TicketId};
 use recovery::{RecoveryAction, RecoveryManager, RmConfig};
 use simcore::telemetry::{SharedBus, TelemetryEvent};
-use simcore::{EventQueue, SimDuration, SimTime};
+use simcore::{EventPayload, EventQueue, SimDuration, SimTime};
 use statestore::Ssm;
 use urb_core::backend::{share_db, share_ssm, SessionBackend};
 use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
 use urb_core::server::{RebootId, RebootLevel};
-use urb_core::{AppServer, ReqId, Response, ServerConfig, SubmitOutcome};
+use urb_core::{AppServer, OpCode, ReqId, Response, ServerConfig, SubmitOutcome};
 use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind};
 
 use crate::lb::LoadBalancer;
@@ -33,6 +40,10 @@ use crate::lb::LoadBalancer;
 /// server's own 30-second request TTL, whose `TimedOut` response is what
 /// the monitors attribute to the stuck URL.
 pub const CLIENT_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+/// The cluster simulation's event queue: [`SimEvent`] payloads pooled in
+/// the kernel's slot arena.
+pub type SimQueue = EventQueue<World, SimEvent>;
 
 /// Where nodes keep session state.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -134,6 +145,180 @@ pub enum LogEvent {
     },
 }
 
+/// One scheduled occurrence in the cluster simulation.
+///
+/// Every recurring event kind the simulation schedules is a plain enum
+/// variant stored inline in the kernel's slot arena — no per-event heap
+/// allocation. [`Custom`](SimEvent::Custom) boxes a closure for the
+/// experiment escape hatch only.
+pub enum SimEvent {
+    /// A client's think (or retry wait) ends.
+    Wake {
+        /// Which client.
+        client: usize,
+    },
+    /// A request's CPU service completes on a node.
+    Complete {
+        /// The serving node.
+        node: usize,
+        /// The finished request.
+        rid: ReqId,
+    },
+    /// A response reaches its client.
+    Deliver {
+        /// The node that served (or failed) the request.
+        node: usize,
+        /// The response.
+        resp: Response,
+    },
+    /// The browser gives up waiting on a request.
+    ClientTimeout {
+        /// The node the request was routed to.
+        node: usize,
+        /// The request.
+        rid: ReqId,
+        /// Its operation (for the fabricated timeout response).
+        op: OpCode,
+    },
+    /// The per-second server maintenance sweep.
+    Maintenance,
+    /// The recovery manager's decision poll.
+    RmPoll,
+    /// A rejuvenation service's memory check.
+    RejuvPoll {
+        /// The polled node.
+        node: usize,
+        /// The poll period (rescheduling carries it along).
+        period: SimDuration,
+    },
+    /// A recovery's crash phase (after any drain window).
+    RecoveryCrash {
+        /// The recovering node.
+        node: usize,
+        /// The reboot ticket.
+        id: RebootId,
+    },
+    /// A rejuvenation microreboot completes.
+    RejuvDone {
+        /// The recovering node.
+        node: usize,
+        /// The reboot ticket.
+        id: RebootId,
+        /// The service's poll period (the done handler re-arms the poll).
+        period: SimDuration,
+        /// When the microreboot began.
+        started: SimTime,
+    },
+    /// A (non-conducted) recovery action completes.
+    RecoveryDone {
+        /// The recovering node.
+        node: usize,
+        /// The reboot ticket.
+        id: RebootId,
+        /// The recovery depth.
+        level: RebootLevel,
+        /// When it began.
+        started: SimTime,
+    },
+    /// A conducted recovery ticket completes.
+    ConductedDone {
+        /// The recovering node.
+        node: usize,
+        /// The reboot ticket.
+        id: RebootId,
+        /// The conductor ticket to settle.
+        ticket: TicketId,
+        /// The recovery depth.
+        level: RebootLevel,
+        /// When it began.
+        started: SimTime,
+    },
+    /// A Table 2 fault injection.
+    InjectFault {
+        /// The target node.
+        node: usize,
+        /// The fault.
+        fault: Fault,
+    },
+    /// An experiment-commanded recovery action.
+    CommandRecovery {
+        /// The target node.
+        node: usize,
+        /// The action.
+        action: RecoveryAction,
+    },
+    /// The experiment escape hatch: an arbitrary boxed closure.
+    Custom(CustomFn),
+}
+
+/// Boxed handler type for [`SimEvent::Custom`].
+pub type CustomFn = Box<dyn FnOnce(&mut World, &mut SimQueue)>;
+
+impl EventPayload<World> for SimEvent {
+    fn fire(self, w: &mut World, q: &mut SimQueue) {
+        match self {
+            SimEvent::Wake { client } => w.on_wake(client, q),
+            SimEvent::Complete { node, rid } => w.on_complete(node, rid, q),
+            SimEvent::Deliver { node, resp } => w.on_deliver(node, resp, q),
+            SimEvent::ClientTimeout { node, rid, op } => w.on_client_timeout(node, rid, op, q),
+            SimEvent::Maintenance => w.on_maintenance(q),
+            SimEvent::RmPoll => w.on_rm_poll(q),
+            SimEvent::RejuvPoll { node, period } => w.on_rejuv_poll(node, period, q),
+            SimEvent::RecoveryCrash { node, id } => w.on_recovery_crash(node, id, q),
+            SimEvent::RejuvDone {
+                node,
+                id,
+                period,
+                started,
+            } => w.on_rejuv_done(node, id, period, started, q),
+            SimEvent::RecoveryDone {
+                node,
+                id,
+                level,
+                started,
+            } => w.on_recovery_done(node, id, level, started, q),
+            SimEvent::ConductedDone {
+                node,
+                id,
+                ticket,
+                level,
+                started,
+            } => w.on_conducted_done(node, id, ticket, level, started, q),
+            SimEvent::InjectFault { node, fault } => w.on_inject_fault(node, fault, q),
+            SimEvent::CommandRecovery { node, action } => w.execute_action(node, action, q),
+            SimEvent::Custom(f) => f(w, q),
+        }
+    }
+}
+
+/// Closure scheduling on a [`SimQueue`] (experiment escape hatch), for
+/// handlers that re-arm themselves from inside the event loop.
+pub trait ScheduleFn {
+    /// Schedules `f` at absolute time `at`.
+    fn schedule_fn_at(&mut self, at: SimTime, f: impl FnOnce(&mut World, &mut SimQueue) + 'static);
+    /// Schedules `f` after `delay`.
+    fn schedule_fn_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut World, &mut SimQueue) + 'static,
+    );
+}
+
+impl ScheduleFn for SimQueue {
+    fn schedule_fn_at(&mut self, at: SimTime, f: impl FnOnce(&mut World, &mut SimQueue) + 'static) {
+        // urb-lint: allow(D008) — the sanctioned escape hatch: experiment one-offs box a closure; recurring kinds are SimEvent variants.
+        self.schedule_event_at(at, "custom", SimEvent::Custom(Box::new(f)));
+    }
+
+    fn schedule_fn_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut World, &mut SimQueue) + 'static,
+    ) {
+        self.schedule_fn_at(self.now() + delay, f);
+    }
+}
+
 /// The simulation world (servers + LB + clients + RM + bookkeeping).
 pub struct World {
     /// The application-server nodes.
@@ -156,30 +341,29 @@ pub struct World {
 }
 
 impl World {
-    fn pump_node(&mut self, node: usize, q: &mut EventQueue<World>) {
+    fn pump_node(&mut self, node: usize, q: &mut SimQueue) {
         let now = q.now();
         for started in self.nodes[node].pump(now) {
             let rid = started.req;
-            q.schedule_at(started.cpu_done_at, "complete", move |w, q| {
-                w.on_complete(node, rid, q);
-            });
+            q.schedule_event_at(
+                started.cpu_done_at,
+                "complete",
+                SimEvent::Complete { node, rid },
+            );
         }
     }
 
-    fn schedule_deliveries(
-        &mut self,
-        node: usize,
-        responses: Vec<Response>,
-        q: &mut EventQueue<World>,
-    ) {
+    fn schedule_deliveries(&mut self, node: usize, responses: Vec<Response>, q: &mut SimQueue) {
         for resp in responses {
-            q.schedule_at(resp.finished_at, "deliver", move |w, q| {
-                w.on_deliver(node, resp, q);
-            });
+            q.schedule_event_at(
+                resp.finished_at,
+                "deliver",
+                SimEvent::Deliver { node, resp },
+            );
         }
     }
 
-    fn on_wake(&mut self, client: usize, q: &mut EventQueue<World>) {
+    fn on_wake(&mut self, client: usize, q: &mut SimQueue) {
         let now = q.now();
         let Some(out) = self.pool.wake(client, now) else {
             return;
@@ -190,30 +374,36 @@ impl World {
         // thread until its TTL lease expires).
         let rid = out.req.id;
         let op = out.req.op;
-        q.schedule_at(now + CLIENT_TIMEOUT, "client-timeout", move |w, q| {
-            if w.pool.owner_of(rid).is_none() {
-                return; // Answered in time.
-            }
-            let timeout_resp = Response {
-                req: rid,
-                op,
-                status: urb_core::Status::TimedOut,
-                markers: urb_core::BodyMarkers::default(),
-                tainted: false,
-                finished_at: q.now(),
-                failed_component: None,
-                set_cookie: None,
-                clear_cookie: false,
-            };
-            w.on_deliver(node, timeout_resp, q);
-        });
+        q.schedule_event_at(
+            now + CLIENT_TIMEOUT,
+            "client-timeout",
+            SimEvent::ClientTimeout { node, rid, op },
+        );
         match self.nodes[node].submit(out.req, now) {
             SubmitOutcome::Rejected(resp) => self.schedule_deliveries(node, vec![resp], q),
             SubmitOutcome::Admitted => self.pump_node(node, q),
         }
     }
 
-    fn on_complete(&mut self, node: usize, rid: ReqId, q: &mut EventQueue<World>) {
+    fn on_client_timeout(&mut self, node: usize, rid: ReqId, op: OpCode, q: &mut SimQueue) {
+        if self.pool.owner_of(rid).is_none() {
+            return; // Answered in time.
+        }
+        let timeout_resp = Response {
+            req: rid,
+            op,
+            status: urb_core::Status::TimedOut,
+            markers: urb_core::BodyMarkers::default(),
+            tainted: false,
+            finished_at: q.now(),
+            failed_component: None,
+            set_cookie: None,
+            clear_cookie: false,
+        };
+        self.on_deliver(node, timeout_resp, q);
+    }
+
+    fn on_complete(&mut self, node: usize, rid: ReqId, q: &mut SimQueue) {
         let now = q.now();
         if let Some(resp) = self.nodes[node].complete(rid, now) {
             self.schedule_deliveries(node, vec![resp], q);
@@ -221,7 +411,7 @@ impl World {
         self.pump_node(node, q);
     }
 
-    fn on_deliver(&mut self, node: usize, resp: Response, q: &mut EventQueue<World>) {
+    fn on_deliver(&mut self, node: usize, resp: Response, q: &mut SimQueue) {
         let now = q.now();
         if let Some(sid) = resp.set_cookie {
             self.lb.assign(sid, node);
@@ -229,7 +419,7 @@ impl World {
         match self.pool.deliver(&resp, node, now) {
             Some((client, DeliverOutcome::ThinkUntil(t)))
             | Some((client, DeliverOutcome::RetryAt(t))) => {
-                q.schedule_at(t, "wake", move |w, q| w.on_wake(client, q));
+                q.schedule_event_at(t, "wake", SimEvent::Wake { client });
             }
             None => {}
         }
@@ -240,19 +430,21 @@ impl World {
         }
     }
 
-    fn on_maintenance(&mut self, q: &mut EventQueue<World>) {
+    fn on_maintenance(&mut self, q: &mut SimQueue) {
         let now = q.now();
         for node in 0..self.nodes.len() {
             let killed = self.nodes[node].maintenance(now);
             self.schedule_deliveries(node, killed, q);
             self.pump_node(node, q);
         }
-        q.schedule_in(SimDuration::from_secs(1), "maintenance", |w, q| {
-            w.on_maintenance(q);
-        });
+        q.schedule_event_in(
+            SimDuration::from_secs(1),
+            "maintenance",
+            SimEvent::Maintenance,
+        );
     }
 
-    fn on_rejuv_poll(&mut self, node: usize, period: SimDuration, q: &mut EventQueue<World>) {
+    fn on_rejuv_poll(&mut self, node: usize, period: SimDuration, q: &mut SimQueue) {
         let now = q.now();
         if matches!(self.rejuv.get(node), Some(Some(_))) {
             let free = self.nodes[node].available_memory();
@@ -280,27 +472,21 @@ impl World {
                         action: format!("rejuvenation microreboot {component}"),
                     });
                     let id = ticket.id;
-                    q.schedule_at(ticket.crash_at, "rejuv-crash", move |w, q| {
-                        w.on_recovery_crash(node, id, q);
-                    });
-                    q.schedule_at(ticket.done_at, "rejuv-done", move |w, q| {
-                        let t = q.now();
-                        let members = w.nodes[node].recovery_complete(id, t);
-                        let free = w.nodes[node].available_memory();
-                        if let Some(Some(service)) = w.rejuv.get_mut(node) {
-                            service.record_completion(free);
-                        }
-                        w.log.push(LogEvent::RecoveryFinished {
-                            at: t,
+                    q.schedule_event_at(
+                        ticket.crash_at,
+                        "rejuv-crash",
+                        SimEvent::RecoveryCrash { node, id },
+                    );
+                    q.schedule_event_at(
+                        ticket.done_at,
+                        "rejuv-done",
+                        SimEvent::RejuvDone {
                             node,
-                            action: format!("rejuvenation microreboot {members:?}"),
+                            id,
+                            period,
                             started: now,
-                        });
-                        w.pump_node(node, q);
-                        // Re-check immediately: one component may not have
-                        // released enough.
-                        w.on_rejuv_poll(node, period, q);
-                    });
+                        },
+                    );
                     return; // The done handler reschedules the poll.
                 }
                 RejuvenationAction::NeedsProcessRestart => {
@@ -308,12 +494,36 @@ impl World {
                 }
             }
         }
-        q.schedule_in(period, "rejuv-poll", move |w, q| {
-            w.on_rejuv_poll(node, period, q);
-        });
+        q.schedule_event_in(period, "rejuv-poll", SimEvent::RejuvPoll { node, period });
     }
 
-    fn on_rm_poll(&mut self, q: &mut EventQueue<World>) {
+    fn on_rejuv_done(
+        &mut self,
+        node: usize,
+        id: RebootId,
+        period: SimDuration,
+        started: SimTime,
+        q: &mut SimQueue,
+    ) {
+        let t = q.now();
+        let members = self.nodes[node].recovery_complete(id, t);
+        let free = self.nodes[node].available_memory();
+        if let Some(Some(service)) = self.rejuv.get_mut(node) {
+            service.record_completion(free);
+        }
+        self.log.push(LogEvent::RecoveryFinished {
+            at: t,
+            node,
+            action: format!("rejuvenation microreboot {members:?}"),
+            started,
+        });
+        self.pump_node(node, q);
+        // Re-check immediately: one component may not have released
+        // enough.
+        self.on_rejuv_poll(node, period, q);
+    }
+
+    fn on_rm_poll(&mut self, q: &mut SimQueue) {
         let now = q.now();
         if self.rm.is_some() {
             for node in 0..self.nodes.len() {
@@ -332,9 +542,7 @@ impl World {
                 }
             }
         }
-        q.schedule_in(SimDuration::from_millis(300), "rm-poll", |w, q| {
-            w.on_rm_poll(q);
-        });
+        q.schedule_event_in(SimDuration::from_millis(300), "rm-poll", SimEvent::RmPoll);
     }
 
     fn redirect(&mut self, node: usize, on: bool) {
@@ -349,7 +557,7 @@ impl World {
         }
     }
 
-    fn on_recovery_crash(&mut self, node: usize, id: RebootId, q: &mut EventQueue<World>) {
+    fn on_recovery_crash(&mut self, node: usize, id: RebootId, q: &mut SimQueue) {
         let now = q.now();
         let killed = self.nodes[node].recovery_crash(id, now);
         self.schedule_deliveries(node, killed, q);
@@ -362,7 +570,7 @@ impl World {
         id: RebootId,
         level: RebootLevel,
         started: SimTime,
-        q: &mut EventQueue<World>,
+        q: &mut SimQueue,
     ) {
         let now = q.now();
         let members = self.nodes[node].recovery_complete(id, now);
@@ -388,12 +596,7 @@ impl World {
     /// One path for every depth: map the action to its [`RebootLevel`],
     /// begin the recovery through the server's lifecycle API, run (or
     /// schedule) the crash phase, and schedule the completion.
-    pub fn execute_action(
-        &mut self,
-        node: usize,
-        action: RecoveryAction,
-        q: &mut EventQueue<World>,
-    ) {
+    pub fn execute_action(&mut self, node: usize, action: RecoveryAction, q: &mut SimQueue) {
         let now = q.now();
         self.log.push(LogEvent::RecoveryStarted {
             at: now,
@@ -431,21 +634,30 @@ impl World {
         let id = ticket.id;
         if level == RebootLevel::Component {
             // The crash phase waits out the drain window.
-            q.schedule_at(ticket.crash_at, "recovery-crash", move |w, q| {
-                w.on_recovery_crash(node, id, q);
-            });
+            q.schedule_event_at(
+                ticket.crash_at,
+                "recovery-crash",
+                SimEvent::RecoveryCrash { node, id },
+            );
         } else {
             let killed = self.nodes[node].recovery_crash(id, now);
             self.schedule_deliveries(node, killed, q);
         }
-        q.schedule_at(ticket.done_at, "recovery-done", move |w, q| {
-            w.on_recovery_done(node, id, level, now, q);
-        });
+        q.schedule_event_at(
+            ticket.done_at,
+            "recovery-done",
+            SimEvent::RecoveryDone {
+                node,
+                id,
+                level,
+                started: now,
+            },
+        );
     }
 
     /// Routes a manager decision through the conductor: expansion to the
     /// recovery group, coalescing, conflict scheduling and quarantine.
-    fn conduct(&mut self, node: usize, action: RecoveryAction, q: &mut EventQueue<World>) {
+    fn conduct(&mut self, node: usize, action: RecoveryAction, q: &mut SimQueue) {
         // A human page is not a reboot — nothing to schedule around.
         if matches!(action, RecoveryAction::NotifyHuman) {
             self.execute_action(node, action, q);
@@ -466,7 +678,7 @@ impl World {
     }
 
     /// Begins executing a conductor ticket on a node.
-    fn start_conducted(&mut self, node: usize, cmd: StartCmd, q: &mut EventQueue<World>) {
+    fn start_conducted(&mut self, node: usize, cmd: StartCmd, q: &mut SimQueue) {
         let now = q.now();
         self.log.push(LogEvent::RecoveryStarted {
             at: now,
@@ -498,17 +710,27 @@ impl World {
         self.sync_routing(node);
         let id = ticket.id;
         if level == RebootLevel::Component {
-            q.schedule_at(ticket.crash_at, "recovery-crash", move |w, q| {
-                w.on_recovery_crash(node, id, q);
-            });
+            q.schedule_event_at(
+                ticket.crash_at,
+                "recovery-crash",
+                SimEvent::RecoveryCrash { node, id },
+            );
         } else {
             let killed = self.nodes[node].recovery_crash(id, now);
             self.schedule_deliveries(node, killed, q);
         }
         let tid = cmd.ticket;
-        q.schedule_at(ticket.done_at, "recovery-done", move |w, q| {
-            w.on_conducted_done(node, id, tid, level, now, q);
-        });
+        q.schedule_event_at(
+            ticket.done_at,
+            "recovery-done",
+            SimEvent::ConductedDone {
+                node,
+                id,
+                ticket: tid,
+                level,
+                started: now,
+            },
+        );
     }
 
     fn on_conducted_done(
@@ -518,7 +740,7 @@ impl World {
         ticket: TicketId,
         level: RebootLevel,
         started: SimTime,
-        q: &mut EventQueue<World>,
+        q: &mut SimQueue,
     ) {
         let now = q.now();
         let members = self.nodes[node].recovery_complete(id, now);
@@ -541,7 +763,7 @@ impl World {
     /// Settles a finished (or unexecutable) ticket: acknowledges every
     /// decision it carried to the manager, refreshes routing, and starts
     /// whatever the conductor promoted from the queue.
-    fn finish_conducted(&mut self, node: usize, ticket: TicketId, q: &mut EventQueue<World>) {
+    fn finish_conducted(&mut self, node: usize, ticket: TicketId, q: &mut SimQueue) {
         let now = q.now();
         let fin = self
             .conductor
@@ -555,6 +777,30 @@ impl World {
         for cmd in fin.start {
             self.start_conducted(node, cmd, q);
         }
+    }
+
+    fn on_inject_fault(&mut self, node: usize, fault: Fault, q: &mut SimQueue) {
+        let now = q.now();
+        self.log.push(LogEvent::FaultInjected {
+            at: now,
+            node,
+            label: format!("{fault:?}"),
+        });
+        if let faults::Injection::ClientReports(reports) = faults::conversion(&fault) {
+            const OPS: [urb_core::OpCode; 4] = [
+                ebid::ops::codes::VIEW_ITEM,
+                ebid::ops::codes::BROWSE_CATEGORIES,
+                ebid::ops::codes::MAKE_BID,
+                ebid::ops::codes::SEARCH_BY_CATEGORY,
+            ];
+            for i in 0..reports {
+                self.pool
+                    .inject_spurious_reports(node, OPS[i as usize % OPS.len()], 1, now);
+            }
+            return;
+        }
+        let killed = faults::inject(&mut self.nodes[node], &fault, now);
+        self.schedule_deliveries(node, killed, q);
     }
 
     /// Reconciles LB routing with the conductor's view of the node: coarse
@@ -578,7 +824,7 @@ impl World {
 /// One experiment run.
 pub struct Sim {
     world: World,
-    queue: EventQueue<World>,
+    queue: SimQueue,
 }
 
 impl Sim {
@@ -641,16 +887,12 @@ impl Sim {
             drain: config.drain,
             bus: None,
         };
-        let mut queue = EventQueue::new();
+        let mut queue = SimQueue::new();
         for (client, at) in world.pool.initial_wakes(SimTime::ZERO) {
-            queue.schedule_at(at, "wake", move |w: &mut World, q| w.on_wake(client, q));
+            queue.schedule_event_at(at, "wake", SimEvent::Wake { client });
         }
-        queue.schedule_at(SimTime::from_secs(1), "maintenance", |w: &mut World, q| {
-            w.on_maintenance(q);
-        });
-        queue.schedule_at(SimTime::from_millis(300), "rm-poll", |w: &mut World, q| {
-            w.on_rm_poll(q)
-        });
+        queue.schedule_event_at(SimTime::from_secs(1), "maintenance", SimEvent::Maintenance);
+        queue.schedule_event_at(SimTime::from_millis(300), "rm-poll", SimEvent::RmPoll);
         Sim { world, queue }
     }
 
@@ -714,37 +956,18 @@ impl Sim {
     /// pool instead, spread across the busiest read/write ops so the
     /// diagnosis engine sees a plausible — but entirely false — pattern.
     pub fn schedule_fault(&mut self, at: SimTime, node: usize, fault: Fault) {
-        self.queue.schedule_at(at, "inject-fault", move |w, q| {
-            let now = q.now();
-            w.log.push(LogEvent::FaultInjected {
-                at: now,
-                node,
-                label: format!("{fault:?}"),
-            });
-            if let faults::Injection::ClientReports(reports) = faults::conversion(&fault) {
-                const OPS: [urb_core::OpCode; 4] = [
-                    ebid::ops::codes::VIEW_ITEM,
-                    ebid::ops::codes::BROWSE_CATEGORIES,
-                    ebid::ops::codes::MAKE_BID,
-                    ebid::ops::codes::SEARCH_BY_CATEGORY,
-                ];
-                for i in 0..reports {
-                    w.pool
-                        .inject_spurious_reports(node, OPS[i as usize % OPS.len()], 1, now);
-                }
-                return;
-            }
-            let killed = faults::inject(&mut w.nodes[node], &fault, now);
-            w.schedule_deliveries(node, killed, q);
-        });
+        self.queue
+            .schedule_event_at(at, "inject-fault", SimEvent::InjectFault { node, fault });
     }
 
     /// Schedules a recovery action (for runs without an RM, and for the
     /// false-positive experiments that command "useless" recoveries).
     pub fn schedule_recovery(&mut self, at: SimTime, node: usize, action: RecoveryAction) {
-        self.queue.schedule_at(at, "command-recovery", move |w, q| {
-            w.execute_action(node, action, q);
-        });
+        self.queue.schedule_event_at(
+            at,
+            "command-recovery",
+            SimEvent::CommandRecovery { node, action },
+        );
     }
 
     /// Enables the Section 6.4 rejuvenation service on a node, checking
@@ -763,18 +986,16 @@ impl Sim {
             .collect();
         self.world.rejuv[node] = Some(RejuvenationService::new(components, malarm, msufficient));
         self.queue
-            .schedule_in(period, "rejuv-poll", move |w: &mut World, q| {
-                w.on_rejuv_poll(node, period, q);
-            });
+            .schedule_event_in(period, "rejuv-poll", SimEvent::RejuvPoll { node, period });
     }
 
     /// Schedules an arbitrary closure (experiment escape hatch).
     pub fn schedule_fn(
         &mut self,
         at: SimTime,
-        f: impl FnOnce(&mut World, &mut EventQueue<World>) + 'static,
+        f: impl FnOnce(&mut World, &mut SimQueue) + 'static,
     ) {
-        self.queue.schedule_at(at, "custom", f);
+        self.queue.schedule_fn_at(at, f);
     }
 
     /// Runs the simulation up to (and including) `deadline`.

@@ -12,8 +12,6 @@
 //!   bindings to null, dangling, or wrong-component values, and an EJB-level
 //!   microreboot cures them because redeployment re-binds the name.
 
-use std::collections::BTreeMap;
-
 use simcore::SimDuration;
 
 use crate::descriptor::ComponentId;
@@ -86,7 +84,11 @@ pub enum Resolved {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct NamingRegistry {
-    bindings: BTreeMap<CompName, Binding>,
+    /// Bindings sorted by component name. The set is tiny (one entry per
+    /// deployed component) and changes only at deploy/undeploy time, so
+    /// the hot [`NamingRegistry::resolve`] path is a binary search over a
+    /// dense vec — no interner mutex, no tree-node pointer chases.
+    slots: Vec<(&'static str, Binding)>,
     lookups: u64,
 }
 
@@ -96,19 +98,31 @@ impl NamingRegistry {
         NamingRegistry::default()
     }
 
+    fn slot_of(&self, name: &str) -> Option<usize> {
+        self.slots.binary_search_by(|&(n, _)| n.cmp(name)).ok()
+    }
+
     /// Binds (or rebinds) `name`, interning it.
     pub fn bind(&mut self, name: &'static str, binding: Binding) {
-        self.bindings.insert(CompName::intern(name), binding);
+        // Interning is a side effect other layers rely on (quarantine
+        // matching resolves names through the interner); binding itself
+        // keys on the string.
+        CompName::intern(name);
+        match self.slots.binary_search_by(|&(n, _)| n.cmp(name)) {
+            Ok(i) => self.slots[i].1 = binding,
+            Err(i) => self.slots.insert(i, (name, binding)),
+        }
     }
 
     /// Removes the binding for `name`, returning it.
     pub fn unbind(&mut self, name: &str) -> Option<Binding> {
-        self.bindings.remove(&CompName::lookup(name)?)
+        let i = self.slot_of(name)?;
+        Some(self.slots.remove(i).1)
     }
 
     /// Returns the raw binding without resolving it.
     pub fn get(&self, name: &str) -> Option<Binding> {
-        self.bindings.get(&CompName::lookup(name)?).copied()
+        self.slot_of(name).map(|i| self.slots[i].1)
     }
 
     /// Resolves `name` to a callable target.
@@ -119,23 +133,20 @@ impl NamingRegistry {
     /// invocation reaches a foreign interface and fails.
     pub fn resolve(&mut self, name: &str) -> Result<Resolved, RegistryError> {
         self.lookups += 1;
-        // A name that was never interned was never deployed: NotBound.
-        match CompName::lookup(name).and_then(|n| self.bindings.get(&n)) {
+        // A name that was never bound was never deployed: NotBound.
+        match self.slot_of(name).map(|i| self.slots[i].1) {
             None | Some(Binding::Null) => Err(RegistryError::NotBound),
             Some(Binding::Dangling) => Err(RegistryError::Dangling),
-            Some(Binding::Active(id)) => Ok(Resolved::Component(*id)),
-            Some(Binding::Wrong(id)) => Ok(Resolved::Component(*id)),
-            Some(Binding::Sentinel { retry_after }) => Ok(Resolved::RetryAfter(*retry_after)),
+            Some(Binding::Active(id)) => Ok(Resolved::Component(id)),
+            Some(Binding::Wrong(id)) => Ok(Resolved::Component(id)),
+            Some(Binding::Sentinel { retry_after }) => Ok(Resolved::RetryAfter(retry_after)),
         }
     }
 
     /// Returns true if `name` currently resolves to the wrong component —
     /// the comparison detector's oracle for JNDI corruption.
     pub fn is_wrong(&self, name: &str) -> bool {
-        matches!(
-            CompName::lookup(name).and_then(|n| self.bindings.get(&n)),
-            Some(Binding::Wrong(_))
-        )
+        matches!(self.get(name), Some(Binding::Wrong(_)))
     }
 
     /// Returns the number of lookups served.
@@ -145,21 +156,21 @@ impl NamingRegistry {
 
     /// Returns the number of bound names (of any binding kind).
     pub fn len(&self) -> usize {
-        self.bindings.len()
+        self.slots.len()
     }
 
     /// Returns true if nothing is bound.
     pub fn is_empty(&self) -> bool {
-        self.bindings.is_empty()
+        self.slots.is_empty()
     }
 
     /// Corrupts the entry for `name` to `binding` (fault-injection surface).
     ///
     /// Returns false if the name was never bound (nothing to corrupt).
     pub fn corrupt(&mut self, name: &str, binding: Binding) -> bool {
-        match CompName::lookup(name).and_then(|n| self.bindings.get_mut(&n)) {
-            Some(slot) => {
-                *slot = binding;
+        match self.slot_of(name) {
+            Some(i) => {
+                self.slots[i].1 = binding;
                 true
             }
             None => false,

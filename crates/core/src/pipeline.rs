@@ -10,8 +10,6 @@
 //! with the caller, because the pipeline knows nothing about the database
 //! or HTTP statuses.
 
-use std::collections::BTreeMap;
-
 use components::descriptor::ComponentId;
 use simcore::SimTime;
 use statestore::TxnId;
@@ -49,16 +47,38 @@ pub(crate) struct Victim {
 pub struct RequestPipeline {
     workers: WorkerPool,
     /// Ordered by request id, so kill paths visit victims deterministically.
-    running: BTreeMap<ReqId, RunningReq>,
-    hung: BTreeMap<ReqId, HungReq>,
+    /// Request ids are issued monotonically, so registration is almost
+    /// always a pure append onto the dense vec; completion binary-searches
+    /// instead of walking tree nodes on every finished request.
+    running: Vec<(ReqId, RunningReq)>,
+    hung: Vec<(ReqId, HungReq)>,
+}
+
+/// Inserts into a request-id-sorted vec; appends on the (overwhelmingly
+/// common) monotone fast path.
+fn insert_sorted<T>(v: &mut Vec<(ReqId, T)>, id: ReqId, val: T) {
+    match v.last() {
+        Some(&(last, _)) if last < id => v.push((id, val)),
+        None => v.push((id, val)),
+        _ => match v.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(i) => v[i] = (id, val),
+            Err(i) => v.insert(i, (id, val)),
+        },
+    }
+}
+
+/// Removes from a request-id-sorted vec.
+fn remove_sorted<T>(v: &mut Vec<(ReqId, T)>, id: ReqId) -> Option<T> {
+    let i = v.binary_search_by_key(&id, |&(i, _)| i).ok()?;
+    Some(v.remove(i).1)
 }
 
 impl RequestPipeline {
     pub(crate) fn new(cpus: usize, threads: usize) -> Self {
         RequestPipeline {
             workers: WorkerPool::new(cpus, threads),
-            running: BTreeMap::new(),
-            hung: BTreeMap::new(),
+            running: Vec::new(),
+            hung: Vec::new(),
         }
     }
 
@@ -74,7 +94,7 @@ impl RequestPipeline {
 
     /// Returns when the longest-hung request got stuck, if any is stuck.
     pub fn oldest_hung(&self) -> Option<SimTime> {
-        self.hung.values().map(|h| h.since).min()
+        self.hung.iter().map(|(_, h)| h.since).min()
     }
 
     /// Admits a request into the worker pool.
@@ -89,7 +109,7 @@ impl RequestPipeline {
 
     /// Registers an executed request whose completion is scheduled.
     pub(crate) fn record_running(&mut self, id: ReqId, rr: RunningReq) {
-        self.running.insert(id, rr);
+        insert_sorted(&mut self.running, id, rr);
     }
 
     /// Registers a hung request, parking or hogging its worker.
@@ -98,13 +118,13 @@ impl RequestPipeline {
             HangKind::Park => self.workers.park(id),
             HangKind::Hog => self.workers.hog(id),
         }
-        self.hung.insert(id, h);
+        insert_sorted(&mut self.hung, id, h);
     }
 
     /// Completes a running request, releasing its worker. Returns `None`
     /// if it was killed in the meantime.
     pub(crate) fn finish(&mut self, id: ReqId) -> Option<RunningReq> {
-        let rr = self.running.remove(&id)?;
+        let rr = remove_sorted(&mut self.running, id)?;
         self.workers.complete(id);
         Some(rr)
     }
@@ -119,10 +139,10 @@ impl RequestPipeline {
             .running
             .iter()
             .filter(|(_, rr)| rr.touched.iter().any(|t| members.contains(t)))
-            .map(|(id, _)| *id)
+            .map(|&(id, _)| id)
             .collect();
         for rid in running_ids {
-            let rr = self.running.remove(&rid).expect("victim exists");
+            let rr = remove_sorted(&mut self.running, rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
                 req: rr.req,
@@ -134,10 +154,10 @@ impl RequestPipeline {
             .hung
             .iter()
             .filter(|(_, h)| members.contains(&h.component))
-            .map(|(id, _)| *id)
+            .map(|&(id, _)| id)
             .collect();
         for rid in hung_ids {
-            let h = self.hung.remove(&rid).expect("victim exists");
+            let h = remove_sorted(&mut self.hung, rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
                 req: h.req,
@@ -159,11 +179,11 @@ impl RequestPipeline {
             .hung
             .iter()
             .filter(|(_, h)| now - h.since >= ttl)
-            .map(|(id, _)| *id)
+            .map(|&(id, _)| id)
             .collect();
         let mut victims = Vec::new();
         for rid in expired {
-            let h = self.hung.remove(&rid).expect("victim exists");
+            let h = remove_sorted(&mut self.hung, rid).expect("victim exists");
             self.workers.kill(rid);
             victims.push(Victim {
                 req: h.req,
@@ -181,9 +201,9 @@ impl RequestPipeline {
     pub(crate) fn take_all(&mut self) -> Vec<Victim> {
         let mut victims = Vec::new();
         for rid in self.workers.kill_all() {
-            let (req, txn, hung_in) = if let Some(rr) = self.running.remove(&rid) {
+            let (req, txn, hung_in) = if let Some(rr) = remove_sorted(&mut self.running, rid) {
                 (rr.req, rr.txn, None)
-            } else if let Some(h) = self.hung.remove(&rid) {
+            } else if let Some(h) = remove_sorted(&mut self.hung, rid) {
                 (h.req, h.txn, Some(h.component))
             } else {
                 // Queued, never started: the kill_all drained its queue
@@ -196,16 +216,16 @@ impl RequestPipeline {
         // not: merge-sort them so stragglers still die in request-id order.
         let mut leftover: Vec<ReqId> = self
             .running
-            .keys()
-            .chain(self.hung.keys())
-            .copied()
+            .iter()
+            .map(|&(id, _)| id)
+            .chain(self.hung.iter().map(|&(id, _)| id))
             .collect();
         leftover.sort_unstable();
         for rid in leftover {
-            let (req, txn, hung_in) = if let Some(rr) = self.running.remove(&rid) {
+            let (req, txn, hung_in) = if let Some(rr) = remove_sorted(&mut self.running, rid) {
                 (rr.req, rr.txn, None)
             } else {
-                let h = self.hung.remove(&rid).expect("key came from hung");
+                let h = remove_sorted(&mut self.hung, rid).expect("key came from hung");
                 (h.req, h.txn, Some(h.component))
             };
             victims.push(Victim { req, txn, hung_in });

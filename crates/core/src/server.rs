@@ -197,19 +197,20 @@ pub struct ServerStats {
 impl ServerStats {
     /// Reads the classic counter struct out of a node's metrics registry.
     pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        use simcore::symbol;
         ServerStats {
-            submitted: reg.counter("requests_submitted"),
-            ok: reg.counter("requests_ok"),
-            http_errors: reg.counter("requests_http_error"),
-            network_errors: reg.counter("requests_network_error"),
-            retries_sent: reg.counter("retries_sent"),
-            killed_by_microreboot: reg.counter("killed_microreboot"),
-            killed_by_restart: reg.counter("killed_restart"),
-            ttl_kills: reg.counter("killed_ttl"),
-            microreboots: reg.counter("reboots_begun_component"),
-            app_restarts: reg.counter("reboots_begun_application"),
-            process_restarts: reg.counter("reboots_begun_process"),
-            os_reboots: reg.counter("reboots_begun_os"),
+            submitted: reg.counter_sym(symbol::REQUESTS_SUBMITTED),
+            ok: reg.counter_sym(symbol::REQUESTS_OK),
+            http_errors: reg.counter_sym(symbol::REQUESTS_HTTP_ERROR),
+            network_errors: reg.counter_sym(symbol::REQUESTS_NETWORK_ERROR),
+            retries_sent: reg.counter_sym(symbol::RETRIES_SENT),
+            killed_by_microreboot: reg.counter_sym(symbol::KILLED_MICROREBOOT),
+            killed_by_restart: reg.counter_sym(symbol::KILLED_RESTART),
+            ttl_kills: reg.counter_sym(symbol::KILLED_TTL),
+            microreboots: reg.counter_sym(symbol::REBOOTS_BEGUN_COMPONENT),
+            app_restarts: reg.counter_sym(symbol::REBOOTS_BEGUN_APPLICATION),
+            process_restarts: reg.counter_sym(symbol::REBOOTS_BEGUN_PROCESS),
+            os_reboots: reg.counter_sym(symbol::REBOOTS_BEGUN_OS),
         }
     }
 }

@@ -5,10 +5,14 @@
 //! golden-trace digests — rests on the simulation being deterministic.
 //! This crate enforces that contract statically, in two rule families:
 //!
-//! * **Determinism rules (`D001`–`D007`)**, applied to every `src/` file
+//! * **Determinism rules (`D001`–`D008`)**, applied to every `src/` file
 //!   of the simulation crates ([`SIM_CRATES`]): unordered containers in
 //!   sim state, iteration over them, wall-clock and ambient
-//!   nondeterminism, and float accumulation over unordered containers.
+//!   nondeterminism, float accumulation over unordered containers, and
+//!   (`D008`) kernel hot-path regressions — heap-boxed event closures on
+//!   schedule paths and string-keyed metric bumps built with `format!` —
+//!   outside the sanctioned closure-compat module
+//!   (`simcore/src/event.rs`).
 //! * **Exhaustiveness rules (`E001`–`E005`)**, applied to the canonical
 //!   telemetry and fault surfaces: every `TelemetryEvent` variant must
 //!   have an `encode_into` arm, trace encode/parse/kind arms, and a
@@ -75,6 +79,10 @@ pub const RULES: &[(&str, &str)] = &[
         "filesystem iteration (read_dir) has platform-dependent order",
     ),
     ("D007", "float accumulation over an unordered container"),
+    (
+        "D008",
+        "heap-boxed event closure or string-keyed metric bump on the kernel hot path",
+    ),
     ("E001", "TelemetryEvent variant missing an encode_into arm"),
     (
         "E002",
@@ -609,6 +617,35 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
                 "filesystem iteration order is platform-dependent".to_string(),
                 "collect and sort directory entries before iterating",
             );
+        }
+        // D008: kernel hot-path regressions. The slot-arena kernel stores
+        // event payloads inline; a `Box::new` closure on a schedule path
+        // reintroduces the per-event allocation the arena removed, and a
+        // `format!`-built metric key reintroduces per-bump heap traffic the
+        // symbol table removed. `simcore/src/event.rs` is sanctioned: it
+        // *implements* the boxed-closure compatibility API.
+        if !label.ends_with("simcore/src/event.rs") {
+            let boxed_closure = line.contains("Box::new(|") || line.contains("Box::new(move");
+            let boxed_on_schedule = line.contains("Box::new(") && line.contains("schedule");
+            if boxed_closure || boxed_on_schedule {
+                push(
+                    "D008",
+                    "heap-boxed event closure on the kernel hot path".to_string(),
+                    "use an inline event-payload enum variant (or justify with // urb-lint: allow(D008) — …)",
+                );
+            }
+            for pat in [".counter(&format!", ".inc(&format!", ".add(&format!"] {
+                if line.contains(pat) {
+                    push(
+                        "D008",
+                        format!(
+                            "string-keyed metric bump `{}` allocates per call",
+                            &pat[1..]
+                        ),
+                        "use an interned simcore::symbol and the *_sym registry API",
+                    );
+                }
+            }
         }
     }
     diags

@@ -1,0 +1,4 @@
+//! Bad-workspace member: a boxed closure on a schedule path (D008).
+pub fn arm(q: &mut Queue) {
+    q.schedule_at(at, "poll", Box::new(move |w, q| w.poll(q)));
+}

@@ -49,6 +49,31 @@ fn good_determinism_fixture_is_clean() {
 }
 
 #[test]
+fn hotpath_fixture_fires_d008_at_known_lines() {
+    let diags = lint_source("bad/hotpath.rs", &fixture("bad/hotpath.rs"));
+    assert_eq!(
+        rules_and_lines(&diags),
+        vec![
+            ("D008", 4), // Box::new(move |..|) on a schedule line
+            ("D008", 6), // Box::new(f) on a schedule line
+            ("D008", 7), // inc(&format!(..))
+            ("D008", 8), // counter(&format!(..))
+                         // line 10 is pragma'd; line 11 boxes a sink, not an event
+        ],
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn the_sanctioned_kernel_module_may_box_closures() {
+    let src = "pub fn schedule_at(&mut self) { self.schedule_event_at(at, label, BoxedFn(Box::new(f))) }\n";
+    let diags = lint_source("crates/simcore/src/event.rs", src);
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+    let diags = lint_source("crates/cluster/src/other.rs", src);
+    assert_eq!(rules_and_lines(&diags), vec![("D008", 1)]);
+}
+
+#[test]
 fn bare_and_unknown_pragmas_are_violations() {
     let diags = lint_source("bad/pragma.rs", &fixture("bad/pragma.rs"));
     assert_eq!(
@@ -259,6 +284,7 @@ fn binary_denies_bad_workspace_and_passes_real_one() {
     );
     let stdout = String::from_utf8_lossy(&status.stdout);
     assert!(stdout.contains("D001"), "stdout: {stdout}");
+    assert!(stdout.contains("D008"), "stdout: {stdout}");
 
     let status = std::process::Command::new(env!("CARGO_BIN_EXE_urb-lint"))
         .args(["--root"])

@@ -158,18 +158,19 @@ pub struct RmStats {
 impl RmStats {
     /// Reads the classic counter struct out of the manager's registry.
     pub fn from_registry(reg: &MetricsRegistry) -> Self {
+        use simcore::symbol;
         RmStats {
-            reports: reg.counter("detector_fires"),
-            ejb_microreboots: reg.counter("decisions_ejb_microreboot"),
-            war_microreboots: reg.counter("decisions_war_microreboot"),
-            app_restarts: reg.counter("decisions_app_restart"),
-            process_restarts: reg.counter("decisions_process_restart"),
-            os_reboots: reg.counter("decisions_os_reboot"),
-            human_notifications: reg.counter("decisions_notify_human"),
-            escalations_saturated: reg.counter("escalations_saturated"),
-            storm_damped: reg.counter("storm_damped"),
-            flap_escalations: reg.counter("flap_escalations"),
-            watchdog_escalations: reg.counter("watchdog_escalations"),
+            reports: reg.counter_sym(symbol::DETECTOR_FIRES),
+            ejb_microreboots: reg.counter_sym(symbol::DECISIONS_EJB_MICROREBOOT),
+            war_microreboots: reg.counter_sym(symbol::DECISIONS_WAR_MICROREBOOT),
+            app_restarts: reg.counter_sym(symbol::DECISIONS_APP_RESTART),
+            process_restarts: reg.counter_sym(symbol::DECISIONS_PROCESS_RESTART),
+            os_reboots: reg.counter_sym(symbol::DECISIONS_OS_REBOOT),
+            human_notifications: reg.counter_sym(symbol::DECISIONS_NOTIFY_HUMAN),
+            escalations_saturated: reg.counter_sym(symbol::ESCALATIONS_SATURATED),
+            storm_damped: reg.counter_sym(symbol::STORM_DAMPED),
+            flap_escalations: reg.counter_sym(symbol::FLAP_ESCALATIONS),
+            watchdog_escalations: reg.counter_sym(symbol::WATCHDOG_ESCALATIONS),
         }
     }
 }

@@ -1,10 +1,22 @@
 //! The future-event list.
 //!
 //! An [`EventQueue`] owns a priority queue of `(time, sequence)`-ordered
-//! events, each carrying a boxed closure over a caller-supplied world type
-//! `W`. The run loop pops the earliest event, advances the clock, and invokes
-//! the closure with mutable access to both the world and the queue so that
-//! handlers can schedule follow-on events.
+//! events. The run loop pops the earliest event, advances the clock, and
+//! invokes the event's payload with mutable access to both the world and the
+//! queue so that handlers can schedule follow-on events.
+//!
+//! Payloads are pluggable via [`EventPayload`]: a simulation that knows its
+//! own event shapes (the cluster simulation's `SimEvent` enum) stores them
+//! inline in a slab of pooled slots, so the schedule/fire path performs no
+//! heap allocation once the slab has grown to the run's high-water mark. The
+//! default payload, [`BoxedFn`], keeps the original closure-based API
+//! (`schedule_at`/`schedule_in`) working unchanged for tests and small
+//! drivers that prefer ergonomics over allocation counts.
+//!
+//! Cancellation is sound across slot reuse: an [`EventId`] carries the
+//! slot's generation, bumped every time the slot is vacated (fired or
+//! cancelled), so a stale handle can never cancel a later occupant.
+//! Cancelled heap entries are discarded lazily when popped.
 //!
 //! Ties in time are broken by insertion order, which — together with the
 //! seeded [`SimRng`](crate::SimRng) — makes entire simulation runs
@@ -12,48 +24,75 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
-
-// The cancelled-event set below is the one sanctioned unordered container
-// in the simulation crates: it is membership-only (insert/remove/contains
-// on event sequence numbers), its iteration order is never observed, and
-// it sits on the DES hot path where a B-tree probe per popped event would
-// cost real throughput.
+use std::marker::PhantomData;
 
 use crate::time::{SimDuration, SimTime};
 
 /// Identifier of a scheduled event, usable for cancellation.
+///
+/// Generation-tagged: the id names one *occupancy* of an arena slot, so it
+/// stays valid (as "already gone") after the event fires and the slot is
+/// reused by a later event.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
 /// Handler invoked when an event fires.
 pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut EventQueue<W>)>;
 
-struct Entry<W> {
-    at: SimTime,
-    seq: u64,
-    label: &'static str,
-    f: EventFn<W>,
+/// What an event does when it fires.
+///
+/// Implementations consume themselves; the queue has already freed the
+/// event's slot when `fire` runs, so handlers can schedule follow-ups
+/// (including into the slot just vacated) without growing the arena.
+pub trait EventPayload<W>: Sized {
+    /// Fires the event against the world.
+    fn fire(self, world: &mut W, queue: &mut EventQueue<W, Self>);
 }
 
-impl<W> PartialEq for Entry<W> {
+/// The default payload: a boxed closure, preserving the original
+/// allocation-per-event API for callers that do not define their own event
+/// enum.
+pub struct BoxedFn<W>(EventFn<W>);
+
+impl<W> EventPayload<W> for BoxedFn<W> {
+    fn fire(self, world: &mut W, queue: &mut EventQueue<W, Self>) {
+        (self.0)(world, queue)
+    }
+}
+
+/// A heap entry is four words and `Copy`: ordering data plus the arena
+/// coordinates of the payload.
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: SimTime,
+    seq: u64,
+    slot: u32,
+    gen: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
 
-impl<W> Eq for Entry<W> {}
+impl Eq for HeapEntry {}
 
-impl<W> PartialOrd for Entry<W> {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<W> Ord for Entry<W> {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
+        // first. Which event pops next is fully determined by this total
+        // order — sequence numbers are unique — so the heap's internal
+        // layout is invisible to simulation traces and digests.
         other
             .at
             .cmp(&self.at)
@@ -61,7 +100,18 @@ impl<W> Ord for Entry<W> {
     }
 }
 
+/// One pooled event slot. `gen` counts occupancies; a heap entry or
+/// [`EventId`] whose generation disagrees is stale.
+struct Slot<E> {
+    gen: u32,
+    label: &'static str,
+    payload: Option<E>,
+}
+
 /// A deterministic future-event list over a world type `W`.
+///
+/// The second type parameter is the event payload; it defaults to
+/// [`BoxedFn`] so `EventQueue<W>` keeps the closure-based API.
 ///
 /// # Examples
 ///
@@ -75,31 +125,52 @@ impl<W> Ord for Entry<W> {
 /// assert_eq!(world, 1);
 /// assert_eq!(q.now(), SimTime::from_secs(5));
 /// ```
-pub struct EventQueue<W> {
-    heap: BinaryHeap<Entry<W>>,
-    // urb-lint: allow(D001) — membership-only set; order never observed; DES hot path.
-    cancelled: HashSet<u64>,
+pub struct EventQueue<W, E = BoxedFn<W>> {
+    heap: BinaryHeap<HeapEntry>,
+    slots: Vec<Slot<E>>,
+    /// Freed slot indices, reused LIFO (the exact reuse policy does not
+    /// affect determinism — firing order is fixed by `(at, seq)` — but LIFO
+    /// keeps the hot slots cache-resident).
+    free: Vec<u32>,
+    /// The most recently freed slot, kept out of `free` as a fast-path
+    /// hint: fire-then-reschedule (the dominant DES pattern) reuses the
+    /// slot it just vacated without touching the free list at all.
+    hot: Option<u32>,
+    /// The most recent schedule's heap entry, staged before entering the
+    /// heap. A cancel that arrives while its entry is still staged simply
+    /// discards it, so schedule-then-cancel guards cost no heap traffic
+    /// and leave no tombstone. The stage is flushed before any pop or
+    /// peek, so firing order is still the global `(at, seq)` minimum and
+    /// traces/digests cannot observe the buffering.
+    staged: Option<HeapEntry>,
+    /// Live (scheduled, not-yet-fired, not-cancelled) events.
+    live: usize,
     now: SimTime,
     next_seq: u64,
     fired: u64,
+    _world: PhantomData<fn(&mut W)>,
 }
 
-impl<W> Default for EventQueue<W> {
+impl<W, E: EventPayload<W>> Default for EventQueue<W, E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<W> EventQueue<W> {
+impl<W, E: EventPayload<W>> EventQueue<W, E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            // urb-lint: allow(D001) — constructor for the pragma'd field above.
-            cancelled: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            hot: None,
+            staged: None,
+            live: 0,
             now: SimTime::ZERO,
             next_seq: 0,
             fired: 0,
+            _world: PhantomData,
         }
     }
 
@@ -113,54 +184,91 @@ impl<W> EventQueue<W> {
         self.fired
     }
 
-    /// Returns the number of events currently pending (including any that
-    /// were cancelled but not yet popped).
+    /// Returns the number of live pending events (cancelled events are
+    /// excluded, even if their heap entries have not been popped yet).
     pub fn pending(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
-    /// Schedules `f` to run at absolute time `at`.
+    /// Returns the arena's high-water mark: the largest number of events
+    /// that were ever pending at once (slots are pooled, never shrunk).
+    pub fn arena_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Schedules `payload` to fire at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to "now": the event fires at the
     /// current time, after any already-queued events for this instant.
-    pub fn schedule_at(
-        &mut self,
-        at: SimTime,
-        label: &'static str,
-        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
-    ) -> EventId {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena exceeds `u32::MAX` concurrent events.
+    pub fn schedule_event_at(&mut self, at: SimTime, label: &'static str, payload: E) -> EventId {
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry {
-            at,
-            seq,
-            label,
-            f: Box::new(f),
-        });
-        EventId(seq)
+        let (slot, gen) = match self.hot.take().or_else(|| self.free.pop()) {
+            Some(i) => {
+                let s = &mut self.slots[i as usize];
+                s.label = label;
+                s.payload = Some(payload);
+                (i, s.gen)
+            }
+            None => {
+                let i = u32::try_from(self.slots.len()).expect("event arena overflow");
+                self.slots.push(Slot {
+                    gen: 0,
+                    label,
+                    payload: Some(payload),
+                });
+                (i, 0)
+            }
+        };
+        if let Some(prev) = self.staged.replace(HeapEntry { at, seq, slot, gen }) {
+            self.heap.push(prev);
+        }
+        self.live += 1;
+        EventId { slot, gen }
     }
 
-    /// Schedules `f` to run `delay` after the current time.
-    pub fn schedule_in(
+    /// Schedules `payload` to fire `delay` after the current time.
+    pub fn schedule_event_in(
         &mut self,
         delay: SimDuration,
         label: &'static str,
-        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+        payload: E,
     ) -> EventId {
-        self.schedule_at(self.now + delay, label, f)
+        self.schedule_event_at(self.now + delay, label, payload)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns true if the event had not yet fired (or been cancelled).
-    /// Cancellation is lazy: the entry stays in the heap and is discarded
-    /// when popped.
+    /// Cancellation drops the payload and frees the slot immediately; the
+    /// heap entry stays behind and is discarded when popped (its generation
+    /// no longer matches).
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
+        let Some(slot) = self.slots.get_mut(id.slot as usize) else {
+            return false;
+        };
+        if slot.gen != id.gen || slot.payload.is_none() {
             return false;
         }
-        self.cancelled.insert(id.0)
+        slot.payload = None;
+        slot.gen = slot.gen.wrapping_add(1);
+        if self
+            .staged
+            .is_some_and(|e| e.slot == id.slot && e.gen == id.gen)
+        {
+            // Still staged: drop the entry outright, no tombstone.
+            self.staged = None;
+        }
+        if let Some(prev) = self.hot.replace(id.slot) {
+            self.free.push(prev);
+        }
+        self.live -= 1;
+        true
     }
 
     /// Fires the single earliest pending event, if any.
@@ -168,15 +276,28 @@ impl<W> EventQueue<W> {
     /// Returns the label of the fired event, or `None` if the queue was
     /// empty or contained only cancelled events.
     pub fn step(&mut self, world: &mut W) -> Option<&'static str> {
+        if let Some(e) = self.staged.take() {
+            self.heap.push(e);
+        }
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let slot = &mut self.slots[entry.slot as usize];
+            if slot.gen != entry.gen {
+                // Cancelled: the slot moved on.
                 continue;
             }
             debug_assert!(entry.at >= self.now, "time must be monotone");
             self.now = entry.at;
             self.fired += 1;
-            let label = entry.label;
-            (entry.f)(world, self);
+            self.live -= 1;
+            let label = slot.label;
+            let payload = slot.payload.take().expect("live slot has a payload");
+            // Free the slot before firing so handlers scheduling follow-ups
+            // reuse it instead of growing the arena.
+            slot.gen = slot.gen.wrapping_add(1);
+            if let Some(prev) = self.hot.replace(entry.slot) {
+                self.free.push(prev);
+            }
+            payload.fire(world, self);
             return Some(label);
         }
         None
@@ -193,11 +314,13 @@ impl<W> EventQueue<W> {
     /// Events scheduled after `deadline` remain pending.
     pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
         loop {
+            if let Some(e) = self.staged.take() {
+                self.heap.push(e);
+            }
             let next_at = loop {
                 match self.heap.peek() {
-                    Some(e) if self.cancelled.contains(&e.seq) => {
-                        let e = self.heap.pop().expect("peeked entry exists");
-                        self.cancelled.remove(&e.seq);
+                    Some(e) if self.slots[e.slot as usize].gen != e.gen => {
+                        self.heap.pop();
                     }
                     Some(e) => break Some(e.at),
                     None => break None,
@@ -211,6 +334,31 @@ impl<W> EventQueue<W> {
             }
         }
         self.now = self.now.max(deadline);
+    }
+}
+
+impl<W> EventQueue<W> {
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to "now": the event fires at the
+    /// current time, after any already-queued events for this instant.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        label: &'static str,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        self.schedule_event_at(at, label, BoxedFn(Box::new(f)))
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        label: &'static str,
+        f: impl FnOnce(&mut W, &mut EventQueue<W>) + 'static,
+    ) -> EventId {
+        self.schedule_at(self.now + delay, label, f)
     }
 }
 
@@ -310,5 +458,94 @@ mod tests {
         q.run_until(&mut w, SimTime::from_secs(2));
         assert_eq!(w, 0);
         assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_a_reused_slot() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut w = 0u32;
+        let old = q.schedule_at(SimTime::from_secs(1), "a", |w, _| *w += 1);
+        q.run_to_completion(&mut w);
+        assert_eq!(w, 1);
+        // The fired event's slot is reused by the next schedule; its old id
+        // must be inert.
+        let fresh = q.schedule_at(SimTime::from_secs(2), "b", |w, _| *w += 10);
+        assert!(!q.cancel(old), "stale id reports false");
+        q.run_to_completion(&mut w);
+        assert_eq!(w, 11, "the reused slot's event still fired");
+        assert!(!q.cancel(fresh), "fired event reports false");
+    }
+
+    #[test]
+    fn slots_are_pooled_at_steady_state() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let mut w = 0u32;
+        // A self-rescheduling chain with one live event only ever needs one
+        // slot, no matter how many events fire.
+        fn tick(w: &mut u32, q: &mut EventQueue<u32>) {
+            *w += 1;
+            if *w < 100 {
+                q.schedule_in(SimDuration::from_secs(1), "tick", tick);
+            }
+        }
+        q.schedule_in(SimDuration::from_secs(1), "tick", tick);
+        q.run_to_completion(&mut w);
+        assert_eq!(w, 100);
+        assert_eq!(q.arena_capacity(), 1, "one live event needs one slot");
+    }
+
+    #[test]
+    fn scrambled_schedules_fire_in_total_key_order() {
+        // Scramble insertion order with a deterministic LCG walk, including
+        // time ties (broken by insertion sequence), and check events fire
+        // in the exact (at, seq) total order.
+        let mut q: EventQueue<Vec<(SimTime, u64)>> = EventQueue::new();
+        let mut keys = Vec::new();
+        let mut x = 12345u64;
+        for seq in 0..1000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = SimTime::from_micros(x % 97);
+            keys.push((at, seq));
+            q.schedule_at(at, "k", move |w: &mut Vec<(SimTime, u64)>, q| {
+                w.push((q.now(), seq));
+            });
+        }
+        keys.sort_unstable();
+        let mut fired = Vec::new();
+        q.run_to_completion(&mut fired);
+        assert_eq!(fired, keys);
+    }
+
+    #[test]
+    fn enum_payloads_fire_without_boxing() {
+        enum Ev {
+            Add(u32),
+            Stop,
+        }
+        impl EventPayload<Vec<u32>> for Ev {
+            fn fire(self, world: &mut Vec<u32>, queue: &mut EventQueue<Vec<u32>, Ev>) {
+                match self {
+                    Ev::Add(n) => {
+                        world.push(n);
+                        if n < 3 {
+                            queue.schedule_event_in(
+                                SimDuration::from_secs(1),
+                                "add",
+                                Ev::Add(n + 1),
+                            );
+                        }
+                    }
+                    Ev::Stop => world.push(99),
+                }
+            }
+        }
+        let mut q: EventQueue<Vec<u32>, Ev> = EventQueue::new();
+        let mut w = Vec::new();
+        q.schedule_event_at(SimTime::from_secs(1), "add", Ev::Add(1));
+        q.schedule_event_at(SimTime::from_secs(10), "stop", Ev::Stop);
+        q.run_to_completion(&mut w);
+        assert_eq!(w, vec![1, 2, 3, 99]);
     }
 }

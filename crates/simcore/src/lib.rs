@@ -47,13 +47,15 @@ pub mod event;
 pub mod metrics;
 pub mod rng;
 pub mod stats;
+pub mod symbol;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
 
-pub use event::{EventId, EventQueue};
+pub use event::{EventId, EventPayload, EventQueue};
 pub use metrics::MetricsRegistry;
 pub use rng::SimRng;
+pub use symbol::Sym;
 pub use telemetry::{
     shared_bus, DecisionKind, Disposition, KillCause, RebootLevel, SharedBus, TelemetryBus,
     TelemetryEvent, TelemetrySink, TraceHashSink,

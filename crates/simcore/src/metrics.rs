@@ -14,15 +14,20 @@
 //! feeds back into the simulation, so attaching one cannot perturb a
 //! run's trace digest.
 //!
-//! Counter names are `&'static str` and the canonical event fold uses a
-//! fixed vocabulary (`requests_submitted`, `reboots_begun_component`,
-//! `decisions_ejb_microreboot`, ...); layers may also register their own
-//! names (the DES kernel's `des_events_fired` gauge, queue-depth series)
-//! through the imperative API.
+//! Canonical counters — the fixed vocabulary the event fold writes
+//! (`requests_submitted`, `reboots_begun_component`,
+//! `decisions_ejb_microreboot`, ...) — are interned [`Sym`]bols
+//! ([`crate::symbol`]) stored in a dense `Vec<u64>`, so the per-event fold
+//! performs array indexing instead of ordered-map probes. Layers may also
+//! register their own names (the DES kernel's `des_events_fired` gauge,
+//! queue-depth series) through the imperative string API; non-canonical
+//! names land in an ordered side map, and report-time iteration merges
+//! both in name order.
 
 use std::collections::BTreeMap;
 
 use crate::stats::{Histogram, SecondSeries};
+use crate::symbol::{self, Sym};
 use crate::telemetry::{
     DecisionKind, Disposition, KillCause, RebootLevel, TelemetryEvent, TelemetrySink,
 };
@@ -40,13 +45,47 @@ pub fn level_suffix(level: RebootLevel) -> &'static str {
 
 /// Canonical counter name for a [`DecisionKind`].
 pub fn decision_counter(decision: DecisionKind) -> &'static str {
+    decision_sym(decision).name()
+}
+
+/// Canonical counter symbol for a [`DecisionKind`].
+pub fn decision_sym(decision: DecisionKind) -> Sym {
     match decision {
-        DecisionKind::EjbMicroreboot => "decisions_ejb_microreboot",
-        DecisionKind::WarMicroreboot => "decisions_war_microreboot",
-        DecisionKind::AppRestart => "decisions_app_restart",
-        DecisionKind::ProcessRestart => "decisions_process_restart",
-        DecisionKind::OsReboot => "decisions_os_reboot",
-        DecisionKind::NotifyHuman => "decisions_notify_human",
+        DecisionKind::EjbMicroreboot => symbol::DECISIONS_EJB_MICROREBOOT,
+        DecisionKind::WarMicroreboot => symbol::DECISIONS_WAR_MICROREBOOT,
+        DecisionKind::AppRestart => symbol::DECISIONS_APP_RESTART,
+        DecisionKind::ProcessRestart => symbol::DECISIONS_PROCESS_RESTART,
+        DecisionKind::OsReboot => symbol::DECISIONS_OS_REBOOT,
+        DecisionKind::NotifyHuman => symbol::DECISIONS_NOTIFY_HUMAN,
+    }
+}
+
+/// Canonical `reboots_begun_<level>` symbol.
+pub fn reboot_begun_sym(level: RebootLevel) -> Sym {
+    match level {
+        RebootLevel::Component => symbol::REBOOTS_BEGUN_COMPONENT,
+        RebootLevel::Application => symbol::REBOOTS_BEGUN_APPLICATION,
+        RebootLevel::Process => symbol::REBOOTS_BEGUN_PROCESS,
+        RebootLevel::OperatingSystem => symbol::REBOOTS_BEGUN_OS,
+    }
+}
+
+/// Canonical `reboots_finished_<level>` symbol.
+pub fn reboot_finished_sym(level: RebootLevel) -> Sym {
+    match level {
+        RebootLevel::Component => symbol::REBOOTS_FINISHED_COMPONENT,
+        RebootLevel::Application => symbol::REBOOTS_FINISHED_APPLICATION,
+        RebootLevel::Process => symbol::REBOOTS_FINISHED_PROCESS,
+        RebootLevel::OperatingSystem => symbol::REBOOTS_FINISHED_OS,
+    }
+}
+
+/// Canonical `killed_<cause>` symbol.
+pub fn kill_sym(cause: KillCause) -> Sym {
+    match cause {
+        KillCause::Microreboot => symbol::KILLED_MICROREBOOT,
+        KillCause::Restart => symbol::KILLED_RESTART,
+        KillCause::Ttl => symbol::KILLED_TTL,
     }
 }
 
@@ -68,12 +107,37 @@ pub fn decision_counter(decision: DecisionKind) -> &'static str {
 /// });
 /// assert_eq!(reg.counter("requests_submitted"), 1);
 /// ```
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<&'static str, u64>,
+    /// Dense canonical counters, indexed by [`Sym`].
+    symbols: Vec<u64>,
+    /// Which canonical counters were ever written (so report-time
+    /// iteration only surfaces counters that exist, exactly as the old
+    /// map-backed registry did).
+    written: Vec<bool>,
+    /// Non-canonical counters registered by layers at run time.
+    extras: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
+    /// Histograms under canonical ([`Sym`]-interned) names, dense by
+    /// symbol index; unregistered slots are `None`.
+    sym_histograms: Vec<Option<Histogram>>,
+    /// Histograms registered under non-canonical names.
     histograms: BTreeMap<&'static str, Histogram>,
     series: SecondSeries,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            symbols: vec![0; symbol::COUNT],
+            written: vec![false; symbol::COUNT],
+            extras: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            sym_histograms: Vec::new(),
+            histograms: BTreeMap::new(),
+            series: SecondSeries::default(),
+        }
+    }
 }
 
 impl MetricsRegistry {
@@ -97,11 +161,32 @@ impl MetricsRegistry {
         reg
     }
 
+    // ---- symbol API (the hot path) ---------------------------------------
+
+    /// Adds `n` to the canonical counter `sym`.
+    pub fn add_sym(&mut self, sym: Sym, n: u64) {
+        self.symbols[sym.index()] += n;
+        self.written[sym.index()] = true;
+    }
+
+    /// Increments the canonical counter `sym` by one.
+    pub fn inc_sym(&mut self, sym: Sym) {
+        self.add_sym(sym, 1);
+    }
+
+    /// Reads the canonical counter `sym`.
+    pub fn counter_sym(&self, sym: Sym) -> u64 {
+        self.symbols[sym.index()]
+    }
+
     // ---- imperative API (for layers registering their own metrics) ------
 
     /// Adds `n` to counter `name`, creating it at zero if absent.
     pub fn add(&mut self, name: &'static str, n: u64) {
-        *self.counters.entry(name).or_insert(0) += n;
+        match symbol::lookup(name) {
+            Some(sym) => self.add_sym(sym, n),
+            None => *self.extras.entry(name).or_insert(0) += n,
+        }
     }
 
     /// Increments counter `name` by one.
@@ -111,7 +196,10 @@ impl MetricsRegistry {
 
     /// Reads counter `name` (zero if never written).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        match symbol::lookup(name) {
+            Some(sym) => self.counter_sym(sym),
+            None => self.extras.get(name).copied().unwrap_or(0),
+        }
     }
 
     /// Sets gauge `name` to `value`.
@@ -126,19 +214,45 @@ impl MetricsRegistry {
 
     /// Installs (or replaces) a histogram under `name`.
     pub fn register_histogram(&mut self, name: &'static str, hist: Histogram) {
-        self.histograms.insert(name, hist);
+        match symbol::lookup(name) {
+            Some(sym) => {
+                if self.sym_histograms.is_empty() {
+                    self.sym_histograms = vec![None; symbol::COUNT];
+                }
+                self.sym_histograms[sym.index()] = Some(hist);
+            }
+            None => {
+                self.histograms.insert(name, hist);
+            }
+        }
     }
 
     /// Records a duration sample into histogram `name`, if registered.
     pub fn observe(&mut self, name: &str, d: SimDuration) {
-        if let Some(h) = self.histograms.get_mut(name) {
+        match symbol::lookup(name) {
+            Some(sym) => self.observe_sym(sym, d),
+            None => {
+                if let Some(h) = self.histograms.get_mut(name) {
+                    h.record(d);
+                }
+            }
+        }
+    }
+
+    /// Records a duration sample into the canonical histogram `sym`, if
+    /// registered: a dense array index, no map probe.
+    pub fn observe_sym(&mut self, sym: Sym, d: SimDuration) {
+        if let Some(Some(h)) = self.sym_histograms.get_mut(sym.index()) {
             h.record(d);
         }
     }
 
     /// Reads histogram `name`.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        match symbol::lookup(name) {
+            Some(sym) => self.sym_histograms.get(sym.index())?.as_ref(),
+            None => self.histograms.get(name),
+        }
     }
 
     /// The per-second series the canonical fold maintains (`ops_ok`,
@@ -153,9 +267,19 @@ impl MetricsRegistry {
         &mut self.series
     }
 
-    /// Iterates all counters in name order.
+    /// Iterates all counters in name order: written canonical symbols
+    /// merged with the layer-registered extras.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        let mut all: Vec<(&'static str, u64)> = self
+            .written
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w)
+            .map(|(i, _)| (symbol::NAMES[i], self.symbols[i]))
+            .chain(self.extras.iter().map(|(k, v)| (*k, *v)))
+            .collect();
+        all.sort_unstable_by_key(|(name, _)| *name);
+        all.into_iter()
     }
 
     /// Iterates all gauges in name order.
@@ -168,94 +292,82 @@ impl TelemetrySink for MetricsRegistry {
     /// The canonical event → metric fold.
     fn on_event(&mut self, event: &TelemetryEvent) {
         match *event {
-            TelemetryEvent::RequestSubmitted { .. } => self.inc("requests_submitted"),
+            TelemetryEvent::RequestSubmitted { .. } => self.inc_sym(symbol::REQUESTS_SUBMITTED),
             TelemetryEvent::RequestCompleted {
                 disposition, at, ..
             } => {
-                self.inc("requests_completed");
+                self.inc_sym(symbol::REQUESTS_COMPLETED);
                 match disposition {
-                    Disposition::Ok => self.inc("requests_ok"),
+                    Disposition::Ok => self.inc_sym(symbol::REQUESTS_OK),
                     Disposition::HttpError => {
-                        self.inc("requests_http_error");
-                        self.series.incr(at, "req_fail");
+                        self.inc_sym(symbol::REQUESTS_HTTP_ERROR);
+                        self.series.incr_sym(at, symbol::REQ_FAIL);
                     }
                     Disposition::NetworkError => {
-                        self.inc("requests_network_error");
-                        self.series.incr(at, "req_fail");
+                        self.inc_sym(symbol::REQUESTS_NETWORK_ERROR);
+                        self.series.incr_sym(at, symbol::REQ_FAIL);
                     }
                 }
             }
-            TelemetryEvent::RetrySent { .. } => self.inc("retries_sent"),
+            TelemetryEvent::RetrySent { .. } => self.inc_sym(symbol::RETRIES_SENT),
             TelemetryEvent::RequestKilled { cause, at, .. } => {
-                self.inc("requests_killed");
-                self.series.incr(at, "killed");
-                match cause {
-                    KillCause::Microreboot => self.inc("killed_microreboot"),
-                    KillCause::Restart => self.inc("killed_restart"),
-                    KillCause::Ttl => self.inc("killed_ttl"),
-                }
+                self.inc_sym(symbol::REQUESTS_KILLED);
+                self.series.incr_sym(at, symbol::KILLED);
+                self.inc_sym(kill_sym(cause));
             }
             TelemetryEvent::RebootBegun { level, at, .. } => {
-                self.inc("reboots_begun");
-                self.series.incr(at, "reboots");
-                match level {
-                    RebootLevel::Component => self.inc("reboots_begun_component"),
-                    RebootLevel::Application => self.inc("reboots_begun_application"),
-                    RebootLevel::Process => self.inc("reboots_begun_process"),
-                    RebootLevel::OperatingSystem => self.inc("reboots_begun_os"),
-                }
+                self.inc_sym(symbol::REBOOTS_BEGUN);
+                self.series.incr_sym(at, symbol::REBOOTS);
+                self.inc_sym(reboot_begun_sym(level));
             }
             TelemetryEvent::RebootFinished {
                 level, duration, ..
             } => {
-                self.inc("reboots_finished");
-                self.observe("reboot_ms", duration);
-                match level {
-                    RebootLevel::Component => self.inc("reboots_finished_component"),
-                    RebootLevel::Application => self.inc("reboots_finished_application"),
-                    RebootLevel::Process => self.inc("reboots_finished_process"),
-                    RebootLevel::OperatingSystem => self.inc("reboots_finished_os"),
-                }
+                self.inc_sym(symbol::REBOOTS_FINISHED);
+                self.observe_sym(symbol::REBOOT_MS, duration);
+                self.inc_sym(reboot_finished_sym(level));
             }
-            TelemetryEvent::DetectorFired { .. } => self.inc("detector_fires"),
+            TelemetryEvent::DetectorFired { .. } => self.inc_sym(symbol::DETECTOR_FIRES),
             TelemetryEvent::RecoveryDecision { decision, .. } => {
-                self.inc("recovery_decisions");
-                self.inc(decision_counter(decision));
+                self.inc_sym(symbol::RECOVERY_DECISIONS);
+                self.inc_sym(decision_sym(decision));
             }
-            TelemetryEvent::RejuvenationTick { .. } => self.inc("rejuvenation_ticks"),
+            TelemetryEvent::RejuvenationTick { .. } => self.inc_sym(symbol::REJUVENATION_TICKS),
             TelemetryEvent::ClientOp {
                 started_at,
                 finished_at,
                 ok,
                 ..
             } => {
-                self.inc("client_ops");
-                self.observe("client_op_ms", finished_at - started_at);
+                self.inc_sym(symbol::CLIENT_OPS);
+                self.observe_sym(symbol::CLIENT_OP_MS, finished_at - started_at);
                 if ok {
-                    self.inc("client_ops_ok");
-                    self.series.incr(finished_at, "ops_ok");
+                    self.inc_sym(symbol::CLIENT_OPS_OK);
+                    self.series.incr_sym(finished_at, symbol::OPS_OK);
                 } else {
-                    self.inc("client_ops_failed");
-                    self.series.incr(finished_at, "ops_fail");
+                    self.inc_sym(symbol::CLIENT_OPS_FAILED);
+                    self.series.incr_sym(finished_at, symbol::OPS_FAIL);
                 }
             }
-            TelemetryEvent::ActionClosed { .. } => self.inc("actions_closed"),
-            TelemetryEvent::RecoveryQueued { .. } => self.inc("recoveries_queued"),
-            TelemetryEvent::RecoveryCoalesced { .. } => self.inc("recoveries_coalesced"),
-            TelemetryEvent::QuarantineOn { .. } => self.inc("quarantine_on"),
-            TelemetryEvent::QuarantineOff { .. } => self.inc("quarantine_off"),
-            TelemetryEvent::LbFailover { .. } => self.inc("lb_failovers"),
+            TelemetryEvent::ActionClosed { .. } => self.inc_sym(symbol::ACTIONS_CLOSED),
+            TelemetryEvent::RecoveryQueued { .. } => self.inc_sym(symbol::RECOVERIES_QUEUED),
+            TelemetryEvent::RecoveryCoalesced { .. } => self.inc_sym(symbol::RECOVERIES_COALESCED),
+            TelemetryEvent::QuarantineOn { .. } => self.inc_sym(symbol::QUARANTINE_ON),
+            TelemetryEvent::QuarantineOff { .. } => self.inc_sym(symbol::QUARANTINE_OFF),
+            TelemetryEvent::LbFailover { .. } => self.inc_sym(symbol::LB_FAILOVERS),
             TelemetryEvent::TtlSweep { reaped, .. } => {
-                self.inc("ttl_sweeps");
-                self.add("ttl_sweep_reaped", u64::from(reaped));
+                self.inc_sym(symbol::TTL_SWEEPS);
+                self.add_sym(symbol::TTL_SWEEP_REAPED, u64::from(reaped));
             }
-            TelemetryEvent::StormDamped { .. } => self.inc("storm_damped"),
-            TelemetryEvent::FlapEscalated { .. } => self.inc("flap_escalations"),
-            TelemetryEvent::WatchdogEscalated { .. } => self.inc("watchdog_escalations"),
-            TelemetryEvent::EscalationSaturated { .. } => self.inc("escalations_saturated"),
+            TelemetryEvent::StormDamped { .. } => self.inc_sym(symbol::STORM_DAMPED),
+            TelemetryEvent::FlapEscalated { .. } => self.inc_sym(symbol::FLAP_ESCALATIONS),
+            TelemetryEvent::WatchdogEscalated { .. } => self.inc_sym(symbol::WATCHDOG_ESCALATIONS),
+            TelemetryEvent::EscalationSaturated { .. } => {
+                self.inc_sym(symbol::ESCALATIONS_SATURATED)
+            }
             TelemetryEvent::CampaignRunDone { violations, .. } => {
-                self.inc("campaign_runs_done");
-                self.add("campaign_violations", u64::from(violations));
+                self.inc_sym(symbol::CAMPAIGN_RUNS_DONE);
+                self.add_sym(symbol::CAMPAIGN_VIOLATIONS, u64::from(violations));
             }
         }
     }
@@ -287,6 +399,7 @@ pub fn record_kernel_gauges(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::symbol;
 
     #[test]
     fn canonical_fold_counts_by_kind() {
@@ -376,5 +489,27 @@ mod tests {
         record_kernel_gauges(&mut reg, 100, 3, SimTime::from_secs(50), Some(2.0));
         assert_eq!(reg.gauge("des_events_fired"), 100.0);
         assert_eq!(reg.gauge("sim_seconds_per_wall_second"), 25.0);
+    }
+
+    #[test]
+    fn string_and_symbol_apis_read_the_same_cell() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("requests_submitted");
+        reg.inc_sym(symbol::REQUESTS_SUBMITTED);
+        assert_eq!(reg.counter("requests_submitted"), 2);
+        assert_eq!(reg.counter_sym(symbol::REQUESTS_SUBMITTED), 2);
+    }
+
+    #[test]
+    fn counters_merge_symbols_and_extras_in_name_order() {
+        let mut reg = MetricsRegistry::new();
+        reg.inc("zz_custom");
+        reg.inc("requests_submitted");
+        reg.inc("aa_custom");
+        let names: Vec<&str> = reg.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aa_custom", "requests_submitted", "zz_custom"]);
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "iteration is name-ordered");
     }
 }

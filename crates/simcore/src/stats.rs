@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::symbol::{self, Sym};
 use crate::time::{SimDuration, SimTime};
 
 /// Streaming summary statistics over `f64` samples.
@@ -201,6 +202,15 @@ impl Histogram {
 pub struct SecondSeries {
     cells: BTreeMap<(u64, &'static str), f64>,
     max_second: u64,
+    /// The second the dense row below covers.
+    hot_second: u64,
+    /// Dense accumulators for canonical ([`Sym`]-interned) keys in the
+    /// current second. The event fold bumps the same handful of keys many
+    /// times within one second; accumulating those in a flat row and
+    /// folding the row into `cells` only when the second rolls over keeps
+    /// the per-event cost to an array index. Empty until the first
+    /// symbol-keyed write.
+    hot: Vec<f64>,
 }
 
 /// One dense row of a [`SecondSeries`].
@@ -218,11 +228,29 @@ impl SecondSeries {
         SecondSeries::default()
     }
 
+    /// Folds the dense hot row into the ordered cell map.
+    fn flush_hot(&mut self) {
+        for i in 0..self.hot.len() {
+            if self.hot[i] != 0.0 {
+                *self
+                    .cells
+                    .entry((self.hot_second, symbol::NAMES[i]))
+                    .or_insert(0.0) += self.hot[i];
+                self.hot[i] = 0.0;
+            }
+        }
+    }
+
     /// Adds `amount` to metric `key` in the second containing `at`.
     pub fn add(&mut self, at: SimTime, key: &'static str, amount: f64) {
-        let s = at.second_index();
-        self.max_second = self.max_second.max(s);
-        *self.cells.entry((s, key)).or_insert(0.0) += amount;
+        match symbol::lookup(key) {
+            Some(sym) => self.add_sym(at, sym, amount),
+            None => {
+                let s = at.second_index();
+                self.max_second = self.max_second.max(s);
+                *self.cells.entry((s, key)).or_insert(0.0) += amount;
+            }
+        }
     }
 
     /// Increments metric `key` by one in the second containing `at`.
@@ -230,9 +258,41 @@ impl SecondSeries {
         self.add(at, key, 1.0);
     }
 
+    /// Adds `amount` to canonical metric `sym` in the second containing
+    /// `at`: a dense-row bump while `at` stays in the current second.
+    pub fn add_sym(&mut self, at: SimTime, sym: Sym, amount: f64) {
+        let s = at.second_index();
+        if s != self.hot_second || self.hot.is_empty() {
+            if s < self.hot_second {
+                // Out-of-order write behind the hot second: rare enough to
+                // go straight to the cell map.
+                self.max_second = self.max_second.max(s);
+                *self.cells.entry((s, sym.name())).or_insert(0.0) += amount;
+                return;
+            }
+            if self.hot.is_empty() {
+                self.hot = vec![0.0; symbol::COUNT];
+            } else {
+                self.flush_hot();
+            }
+            self.hot_second = s;
+            self.max_second = self.max_second.max(s);
+        }
+        self.hot[sym.index()] += amount;
+    }
+
+    /// Increments canonical metric `sym` by one in the second containing
+    /// `at`.
+    pub fn incr_sym(&mut self, at: SimTime, sym: Sym) {
+        self.add_sym(at, sym, 1.0);
+    }
+
     /// Sets metric `key` to `value` in the second containing `at`,
     /// overwriting any previous value (gauge semantics).
     pub fn set(&mut self, at: SimTime, key: &'static str, value: f64) {
+        // Fold any pending hot-row contribution first so it cannot be
+        // added on top of the gauge value at a later flush.
+        self.flush_hot();
         let s = at.second_index();
         self.max_second = self.max_second.max(s);
         self.cells.insert((s, key), value);
@@ -240,7 +300,13 @@ impl SecondSeries {
 
     /// Returns the value of `key` in second `second`, or 0.0.
     pub fn get(&self, second: u64, key: &'static str) -> f64 {
-        self.cells.get(&(second, key)).copied().unwrap_or(0.0)
+        let mut v = self.cells.get(&(second, key)).copied().unwrap_or(0.0);
+        if second == self.hot_second && !self.hot.is_empty() {
+            if let Some(sym) = symbol::lookup(key) {
+                v += self.hot[sym.index()];
+            }
+        }
+        v
     }
 
     /// Sums metric `key` over the closed range `[from, to]` of seconds.
@@ -250,11 +316,18 @@ impl SecondSeries {
 
     /// Sums metric `key` over the whole series.
     pub fn total(&self, key: &'static str) -> f64 {
-        self.cells
+        let mut sum: f64 = self
+            .cells
             .iter()
             .filter(|((_, k), _)| *k == key)
             .map(|(_, v)| *v)
-            .sum()
+            .sum();
+        if !self.hot.is_empty() {
+            if let Some(sym) = symbol::lookup(key) {
+                sum += self.hot[sym.index()];
+            }
+        }
+        sum
     }
 
     /// Returns the last second index that received data.

@@ -1,0 +1,146 @@
+//! Compile-time interned counter symbols.
+//!
+//! The canonical metric fold ([`crate::metrics::MetricsRegistry`]) runs on
+//! every telemetry event, once per node registry plus once for the run-wide
+//! summary — it is squarely on the DES hot path. Probing a
+//! `BTreeMap<&'static str, u64>` per counter bump costs a pointer chase and
+//! a string compare per tree level; this module replaces the probe with a
+//! compile-time symbol table: every canonical counter name is a [`Sym`] —
+//! a dense `u16` index into one fixed, alphabetically sorted `NAMES` table
+//! — and the registry stores canonical counters in a plain `Vec<u64>`
+//! indexed by symbol.
+//!
+//! The table is *closed*: layers inventing their own counter names at run
+//! time fall back to the registry's ordered-map side table (a cold path),
+//! and report-time iteration merges both in name order, so the refactor is
+//! invisible to every consumer that reads counters by name.
+//!
+//! Keep the macro invocation sorted by counter name — `lookup` binary
+//! searches `NAMES`, and the `table_is_sorted` test pins the invariant.
+
+/// A canonical counter symbol: an index into [`NAMES`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Sym(u16);
+
+impl Sym {
+    /// The symbol's dense index.
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+
+    /// The symbol's canonical counter name.
+    pub fn name(self) -> &'static str {
+        NAMES[self.index()]
+    }
+}
+
+/// Resolves a counter name to its symbol, if canonical.
+pub fn lookup(name: &str) -> Option<Sym> {
+    NAMES.binary_search(&name).ok().map(|i| Sym(i as u16))
+}
+
+/// Number of canonical counter symbols.
+pub const COUNT: usize = NAMES.len();
+
+macro_rules! symbols {
+    ($($konst:ident => $name:literal),+ $(,)?) => {
+        /// Every canonical counter name, in symbol (= alphabetical) order.
+        pub const NAMES: &[&str] = &[$($name),+];
+        symbols!(@consts 0u16; $($konst => $name),+);
+    };
+    (@consts $idx:expr; $konst:ident => $name:literal) => {
+        #[doc = concat!("`", $name, "`")]
+        pub const $konst: Sym = Sym($idx);
+    };
+    (@consts $idx:expr; $konst:ident => $name:literal, $($rest:ident => $rname:literal),+) => {
+        #[doc = concat!("`", $name, "`")]
+        pub const $konst: Sym = Sym($idx);
+        symbols!(@consts $idx + 1; $($rest => $rname),+);
+    };
+}
+
+symbols! {
+    ACTIONS_CLOSED => "actions_closed",
+    CAMPAIGN_RUNS_DONE => "campaign_runs_done",
+    CAMPAIGN_VIOLATIONS => "campaign_violations",
+    CLIENT_OP_MS => "client_op_ms",
+    CLIENT_OPS => "client_ops",
+    CLIENT_OPS_FAILED => "client_ops_failed",
+    CLIENT_OPS_OK => "client_ops_ok",
+    DECISIONS_APP_RESTART => "decisions_app_restart",
+    DECISIONS_EJB_MICROREBOOT => "decisions_ejb_microreboot",
+    DECISIONS_NOTIFY_HUMAN => "decisions_notify_human",
+    DECISIONS_OS_REBOOT => "decisions_os_reboot",
+    DECISIONS_PROCESS_RESTART => "decisions_process_restart",
+    DECISIONS_WAR_MICROREBOOT => "decisions_war_microreboot",
+    DETECTOR_FIRES => "detector_fires",
+    ESCALATIONS_SATURATED => "escalations_saturated",
+    FLAP_ESCALATIONS => "flap_escalations",
+    KILLED => "killed",
+    KILLED_MICROREBOOT => "killed_microreboot",
+    KILLED_RESTART => "killed_restart",
+    KILLED_TTL => "killed_ttl",
+    LB_FAILOVERS => "lb_failovers",
+    OPS_FAIL => "ops_fail",
+    OPS_OK => "ops_ok",
+    QUARANTINE_OFF => "quarantine_off",
+    QUARANTINE_ON => "quarantine_on",
+    REBOOT_MS => "reboot_ms",
+    REBOOTS => "reboots",
+    REBOOTS_BEGUN => "reboots_begun",
+    REBOOTS_BEGUN_APPLICATION => "reboots_begun_application",
+    REBOOTS_BEGUN_COMPONENT => "reboots_begun_component",
+    REBOOTS_BEGUN_OS => "reboots_begun_os",
+    REBOOTS_BEGUN_PROCESS => "reboots_begun_process",
+    REBOOTS_FINISHED => "reboots_finished",
+    REBOOTS_FINISHED_APPLICATION => "reboots_finished_application",
+    REBOOTS_FINISHED_COMPONENT => "reboots_finished_component",
+    REBOOTS_FINISHED_OS => "reboots_finished_os",
+    REBOOTS_FINISHED_PROCESS => "reboots_finished_process",
+    RECOVERIES_COALESCED => "recoveries_coalesced",
+    RECOVERIES_QUEUED => "recoveries_queued",
+    RECOVERY_DECISIONS => "recovery_decisions",
+    REJUVENATION_TICKS => "rejuvenation_ticks",
+    REQ_FAIL => "req_fail",
+    REQUESTS_COMPLETED => "requests_completed",
+    REQUESTS_HTTP_ERROR => "requests_http_error",
+    REQUESTS_KILLED => "requests_killed",
+    REQUESTS_NETWORK_ERROR => "requests_network_error",
+    REQUESTS_OK => "requests_ok",
+    REQUESTS_SUBMITTED => "requests_submitted",
+    RETRIES_SENT => "retries_sent",
+    STORM_DAMPED => "storm_damped",
+    TTL_SWEEP_REAPED => "ttl_sweep_reaped",
+    TTL_SWEEPS => "ttl_sweeps",
+    WATCHDOG_ESCALATIONS => "watchdog_escalations",
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_sorted_and_distinct() {
+        for w in NAMES.windows(2) {
+            assert!(w[0] < w[1], "NAMES must stay sorted: {} >= {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lookup_roundtrips_every_name() {
+        for (i, name) in NAMES.iter().enumerate() {
+            let sym = lookup(name).expect("canonical name resolves");
+            assert_eq!(sym.index(), i);
+            assert_eq!(sym.name(), *name);
+        }
+        assert_eq!(lookup("not_a_canonical_counter"), None);
+    }
+
+    #[test]
+    fn consts_name_their_counters() {
+        assert_eq!(REQUESTS_SUBMITTED.name(), "requests_submitted");
+        assert_eq!(ACTIONS_CLOSED.name(), "actions_closed");
+        assert_eq!(WATCHDOG_ESCALATIONS.name(), "watchdog_escalations");
+        assert_eq!(COUNT, NAMES.len());
+    }
+}

@@ -578,6 +578,22 @@ impl TelemetryEvent {
 pub trait TelemetrySink {
     /// Handles one event. Sinks ignore event kinds they do not care about.
     fn on_event(&mut self, event: &TelemetryEvent);
+
+    /// True if this sink consumes the event's canonical byte encoding
+    /// (digesting and recording sinks). The bus encodes an event only when
+    /// at least one attached sink says so, so runs without a digest or
+    /// recorder skip [`TelemetryEvent::encode_into`] entirely.
+    fn wants_encoded(&self) -> bool {
+        false
+    }
+
+    /// Handles one event together with its canonical encoding, already
+    /// produced once by the bus. Called instead of
+    /// [`TelemetrySink::on_event`] for sinks whose
+    /// [`TelemetrySink::wants_encoded`] is true.
+    fn on_encoded(&mut self, event: &TelemetryEvent, _bytes: &[u8]) {
+        self.on_event(event);
+    }
 }
 
 /// A shared handle to a sink is itself a sink, so a clone can sit in the
@@ -586,12 +602,25 @@ impl<S: TelemetrySink> TelemetrySink for Rc<RefCell<S>> {
     fn on_event(&mut self, event: &TelemetryEvent) {
         self.borrow_mut().on_event(event);
     }
+
+    fn wants_encoded(&self) -> bool {
+        self.borrow().wants_encoded()
+    }
+
+    fn on_encoded(&mut self, event: &TelemetryEvent, bytes: &[u8]) {
+        self.borrow_mut().on_encoded(event, bytes);
+    }
 }
 
 /// Fans events out to any number of sinks.
 #[derive(Default)]
 pub struct TelemetryBus {
     sinks: Vec<Box<dyn TelemetrySink>>,
+    /// How many attached sinks want the canonical encoding; when zero, the
+    /// emit path never encodes.
+    encoders: usize,
+    /// One reusable encoding buffer shared by all encoding sinks.
+    scratch: Vec<u8>,
 }
 
 impl TelemetryBus {
@@ -602,13 +631,31 @@ impl TelemetryBus {
 
     /// Adds a sink; it receives every subsequent event.
     pub fn add_sink(&mut self, sink: Box<dyn TelemetrySink>) {
+        if sink.wants_encoded() {
+            self.encoders += 1;
+        }
         self.sinks.push(sink);
     }
 
     /// Delivers one event to every sink, in registration order.
+    ///
+    /// The canonical encoding is produced at most once per event — into the
+    /// bus's scratch buffer — and only when some sink wants it.
     pub fn emit(&mut self, event: &TelemetryEvent) {
+        if self.encoders == 0 {
+            for sink in &mut self.sinks {
+                sink.on_event(event);
+            }
+            return;
+        }
+        self.scratch.clear();
+        event.encode_into(&mut self.scratch);
         for sink in &mut self.sinks {
-            sink.on_event(event);
+            if sink.wants_encoded() {
+                sink.on_encoded(event, &self.scratch);
+            } else {
+                sink.on_event(event);
+            }
         }
     }
 }
@@ -662,17 +709,32 @@ impl TraceHashSink {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    fn fold(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.hash ^= u64::from(*b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.count += 1;
+    }
 }
 
 impl TelemetrySink for TraceHashSink {
     fn on_event(&mut self, event: &TelemetryEvent) {
         self.scratch.clear();
         event.encode_into(&mut self.scratch);
-        for b in &self.scratch {
-            self.hash ^= u64::from(*b);
-            self.hash = self.hash.wrapping_mul(FNV_PRIME);
-        }
-        self.count += 1;
+        // Split borrow: move the scratch out so `fold` can take `&mut self`.
+        let scratch = std::mem::take(&mut self.scratch);
+        self.fold(&scratch);
+        self.scratch = scratch;
+    }
+
+    fn wants_encoded(&self) -> bool {
+        true
+    }
+
+    fn on_encoded(&mut self, _event: &TelemetryEvent, bytes: &[u8]) {
+        self.fold(bytes);
     }
 }
 

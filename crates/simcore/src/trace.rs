@@ -75,6 +75,15 @@ impl TelemetrySink for TraceRecorder {
         self.hash.on_event(event);
         self.events.push(*event);
     }
+
+    fn wants_encoded(&self) -> bool {
+        true
+    }
+
+    fn on_encoded(&mut self, event: &TelemetryEvent, bytes: &[u8]) {
+        self.hash.on_encoded(event, bytes);
+        self.events.push(*event);
+    }
 }
 
 /// Computes the FNV-1a digest of an event sequence (the same digest a

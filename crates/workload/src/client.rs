@@ -123,7 +123,11 @@ pub struct ClientPool {
     clients: Vec<Client>,
     next_req: u64,
     next_action: u64,
-    req_owner: BTreeMap<ReqId, usize>,
+    /// In-flight request → owner client, sorted by request id. Ids are
+    /// issued monotonically so registration is a pure append; lookups and
+    /// removals binary-search the dense vec instead of chasing tree nodes
+    /// on every deliver.
+    req_owner: Vec<(ReqId, usize)>,
     taw: TawTracker,
     reports: Vec<FailureReport>,
     mix: MixCounts,
@@ -167,7 +171,7 @@ impl ClientPool {
             clients,
             next_req: 0,
             next_action,
-            req_owner: BTreeMap::new(),
+            req_owner: Vec::new(),
             taw: TawTracker::new(),
             reports: Vec::new(),
             mix: MixCounts::default(),
@@ -246,7 +250,10 @@ impl ClientPool {
 
     /// Returns the owner client of a request id.
     pub fn owner_of(&self, req: ReqId) -> Option<usize> {
-        self.req_owner.get(&req).copied()
+        self.req_owner
+            .binary_search_by_key(&req, |&(id, _)| id)
+            .ok()
+            .map(|i| self.req_owner[i].1)
     }
 
     /// Staggered initial wake times, de-synchronizing the population.
@@ -360,7 +367,8 @@ impl ClientPool {
             attempts,
             was_logged_in: c.logged_in,
         });
-        self.req_owner.insert(id, client);
+        debug_assert!(self.req_owner.last().is_none_or(|&(last, _)| last < id));
+        self.req_owner.push((id, client));
         Some(OutgoingRequest {
             client,
             req: Request {
@@ -386,7 +394,11 @@ impl ClientPool {
         node: usize,
         now: SimTime,
     ) -> Option<(usize, DeliverOutcome)> {
-        let client = self.req_owner.remove(&response.req)?;
+        let slot = self
+            .req_owner
+            .binary_search_by_key(&response.req, |&(id, _)| id)
+            .ok()?;
+        let client = self.req_owner.remove(slot).1;
         let pending = self.clients[client]
             .pending
             .take()
