@@ -1,10 +1,12 @@
-//! `urb-chaos` — deterministic fault-injection campaigns.
+//! `urb-chaos` — deterministic fault-injection campaigns and policy
+//! tournaments.
 //!
-//! Sweeps a seeded scenario space (fault kind × target × injection time ×
-//! optional second fault mid-recovery × flapping schedule × detector kind
-//! × recovery-manager concurrency), runs each scenario through the
-//! cluster simulation with the hardened recovery policy, and asserts the
-//! recovery-convergence invariants on every run:
+//! **Campaign mode** (the default) sweeps a seeded scenario space (fault
+//! kind × target × injection time × optional second fault mid-recovery ×
+//! flapping schedule × detector kind × recovery-manager concurrency),
+//! runs each scenario through the cluster simulation with the hardened
+//! recovery policy, and asserts the recovery-convergence invariants on
+//! every run:
 //!
 //! * the failure episode terminates — no recovery left in flight, no
 //!   conductor ticket active or queued, the node back up, no hung
@@ -20,50 +22,43 @@
 //! Each run folds into a `CampaignRunDone` telemetry event; the campaign
 //! digest is the FNV fold of those events, so the whole campaign is
 //! reproducible from `(seed, runs)` alone.
+//!
+//! **Tournament mode** (`urb-chaos tournament`) runs the full fault
+//! matrix under every registered recovery policy on a two-node failover
+//! cluster, scores each policy on downtime / failed requests / reboot
+//! cost / pages, marks the Pareto frontier, and writes
+//! `target/BENCH_policy_tournament.json`.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
-use std::rc::Rc;
 
+use bench::chaos::{self, describe, fault_kind, run_scenario, RunOptions, TournamentOptions};
+use bench::report::JsonReport;
 use bench::Table;
-use cluster::{LogEvent, Sim, SimConfig, StoreChoice};
-use faults::campaign::{self, CampaignConfig, Scenario};
-use faults::Fault;
-use recovery::conductor::ConductorConfig;
-use recovery::RmConfig;
-use simcore::telemetry::{shared_bus, TelemetrySink, TraceHashSink};
-use simcore::{MetricsRegistry, SimDuration, SimTime, TelemetryEvent};
-use workload::DetectorKind;
-
-/// Emulated clients per node. Smaller than the paper's 500 so a
-/// multi-hundred-run campaign stays fast; plenty for the detectors.
-const CLIENTS: usize = 60;
-/// Quiet tail after the last scheduled injection before invariants are
-/// checked. Sized for the slowest legitimate convergence: a low-level
-/// fault that burns up the whole ladder (several useless microreboots
-/// and process restarts, each followed by a fresh OOM) before the 109 s
-/// OS reboot finally cures it, plus the 30 s request TTL.
-const TAIL_S: u64 = 300;
-/// Extra grace, stepped through in 5 s slices, for runs still converging
-/// at the horizon. Exhausting it is an invariant violation.
-const GRACE_S: u64 = 600;
-/// Consecutive 5 s samples that must all report quiescence before the
-/// run is declared converged — a node mid leak-OOM-restart cycle looks
-/// healthy in any single sample.
-const STABLE_SAMPLES: u32 = 6;
+use faults::campaign::{self, CampaignConfig};
+use recovery::PolicyChoice;
+use simcore::telemetry::{TelemetrySink, TraceHashSink};
+use simcore::{MetricsRegistry, TelemetryEvent};
 
 fn usage() {
     eprintln!("usage: urb-chaos [--seed N] [--runs M] [--strict] [--verbose] [--only RUN]");
+    eprintln!("       urb-chaos tournament [--seed N] [--runs M] [--policies a,b,..] [--strict] [--verbose] [--json]");
 }
 
 fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("tournament") {
+        return tournament_main(&args[1..]);
+    }
+    campaign_main(&args)
+}
+
+fn campaign_main(args: &[String]) -> ExitCode {
     let mut seed = 7u64;
     let mut runs = 64u64;
     let mut only: Option<u64> = None;
     let mut strict = false;
     let mut verbose = false;
-    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let parsed = match a.as_str() {
@@ -99,10 +94,13 @@ fn main() -> ExitCode {
     let mut failures: Vec<(u64, String, Vec<String>)> = Vec::new();
 
     for s in &scenarios {
-        let debug = only.is_some() && verbose;
-        let mut out = run_scenario(s, debug);
+        let opts = RunOptions {
+            debug: only.is_some() && verbose,
+            ..RunOptions::default()
+        };
+        let mut out = run_scenario(s, &opts);
         if strict {
-            let again = run_scenario(s, false);
+            let again = run_scenario(s, &RunOptions::default());
             if again.digest != out.digest {
                 out.violations.push(format!(
                     "nondeterministic: digest {:016x} vs {:016x} on re-run",
@@ -175,238 +173,130 @@ fn main() -> ExitCode {
     }
 }
 
-/// Short scenario description for reports.
-fn describe(s: &Scenario) -> String {
-    format!(
-        "{}{}{} [{}{}]",
-        fault_kind(&s.fault),
-        s.second
-            .map(|sf| format!("+2nd({})", fault_kind(&sf.fault)))
-            .unwrap_or_default(),
-        if s.flap.is_some() { "+flap" } else { "" },
-        if s.comparison_detector {
-            "cmp"
-        } else {
-            "simple"
-        },
-        if s.parallel_rm { ",par" } else { "" },
-    )
-}
-
-/// Stable label for coverage accounting.
-fn fault_kind(f: &Fault) -> &'static str {
-    match f {
-        Fault::Deadlock { .. } => "deadlock",
-        Fault::InfiniteLoop { .. } => "infinite-loop",
-        Fault::AppMemoryLeak { .. } => "app-memory-leak",
-        Fault::TransientException { .. } => "transient-exception",
-        Fault::Intermittent { .. } => "intermittent",
-        Fault::SpuriousReports { .. } => "spurious-reports",
-        Fault::CorruptPrimaryKeys { .. } => "corrupt-primary-keys",
-        Fault::CorruptJndi { .. } => "corrupt-jndi",
-        Fault::CorruptTxnMap { .. } => "corrupt-txn-map",
-        Fault::CorruptBeanAttrs { .. } => "corrupt-bean-attrs",
-        Fault::CorruptFastS { .. } => "corrupt-fasts",
-        Fault::CorruptSsm => "corrupt-ssm",
-        Fault::CorruptDb { .. } => "corrupt-db",
-        Fault::MemLeakIntraJvm { .. } => "memleak-intra-jvm",
-        Fault::MemLeakExtraJvm { .. } => "memleak-extra-jvm",
-        Fault::BitFlipMemory => "bitflip-memory",
-        Fault::BitFlipRegisters => "bitflip-registers",
-        Fault::BadSyscalls => "bad-syscalls",
-    }
-}
-
-/// The hardened recovery-manager configuration every campaign run uses:
-/// storm damper, flap escalation and convergence watchdog all armed.
-fn hardened_rm(parallel: bool) -> RmConfig {
-    RmConfig {
-        max_concurrent: if parallel { 4 } else { 1 },
-        // A fault on a rarely-exercised op produces evidence at well under
-        // one report per default window; a wider window lets sparse
-        // evidence aggregate. Safe against self-flapping: scores are
-        // cleared when an episode closes, and aftershocks are
-        // settle-suppressed on ingest.
-        score_window: SimDuration::from_secs(90),
-        storm_limit: 3,
-        storm_backoff: SimDuration::from_secs(10),
-        flap_limit: 3,
-        flap_window: SimDuration::from_secs(300),
-        watchdog_bound: Some(SimDuration::from_secs(180)),
-        ..RmConfig::default()
-    }
-}
-
-struct RunOutcome {
-    digest: u64,
-    violations: Vec<String>,
-}
-
-/// How long a request may stay hung before it counts as stuck: the
-/// server's TTL lease plus a couple of maintenance sweeps of slack. A
-/// fault on a rarely-exercised component can legitimately outlive the
-/// campaign horizon undetected (too few failures to cross the score
-/// threshold — the Figure 5 sensitivity tradeoff); the system guarantee
-/// is that the lease sweep still reaps every stuck thread on time.
-fn hung_bound() -> SimDuration {
-    urb_core::calib::REQUEST_TTL + SimDuration::from_secs(5)
-}
-
-/// True while recovery machinery is still busy on node 0.
-fn quiesced(sim: &Sim) -> bool {
-    let w = sim.world();
-    w.rm.as_ref().is_none_or(|rm| rm.in_flight(0) == 0)
-        && w.conductor
-            .as_ref()
-            .is_none_or(|c| c.active_count(0) == 0 && c.queued_count(0) == 0)
-        && w.nodes[0].is_up()
-        && w.nodes[0]
-            .oldest_hung_age(sim.now())
-            .is_none_or(|age| age <= hung_bound())
-}
-
-fn run_scenario(s: &Scenario, debug: bool) -> RunOutcome {
-    // SSM corruption needs the SSM backend to exist; everything else runs
-    // on the default node-private FastS store.
-    let wants_ssm = matches!(s.fault, Fault::CorruptSsm)
-        || s.second
-            .is_some_and(|sf| matches!(sf.fault, Fault::CorruptSsm));
-    let mut sim = Sim::new(SimConfig {
-        nodes: 1,
-        clients_per_node: CLIENTS,
-        store: if wants_ssm {
-            StoreChoice::Ssm
-        } else {
-            StoreChoice::FastS
-        },
-        detector: if s.comparison_detector {
-            DetectorKind::Comparison
-        } else {
-            DetectorKind::Simple
-        },
-        rm: Some(hardened_rm(s.parallel_rm)),
-        conductor: s.parallel_rm.then(ConductorConfig::default),
-        seed: s.sim_seed,
-        ..SimConfig::default()
-    });
-    let bus = shared_bus();
-    let hash = Rc::new(RefCell::new(TraceHashSink::new()));
-    let metrics = Rc::new(RefCell::new(MetricsRegistry::new()));
-    bus.borrow_mut().add_sink(Box::new(hash.clone()));
-    bus.borrow_mut().add_sink(Box::new(metrics.clone()));
-    sim.attach_telemetry(bus);
-
-    sim.schedule_fault(SimTime::from_secs(s.inject_at_s), 0, s.fault);
-    let mut last_injection_s = s.inject_at_s;
-    if let Some(second) = s.second {
-        sim.schedule_fault(SimTime::from_secs(second.at_s), 0, second.fault);
-        last_injection_s = last_injection_s.max(second.at_s);
-    }
-    if let Some(flap) = s.flap {
-        let fault = s.fault;
-        for k in 1..=u64::from(flap.recurrences) {
-            let at_s = s.inject_at_s + k * flap.gap_s;
-            last_injection_s = last_injection_s.max(at_s);
-            // Re-arm through the escape hatch: a flapping fault recurs
-            // only on a live server (re-injecting into a mid-reboot node
-            // would be cured by the reboot's own state teardown anyway).
-            sim.schedule_fn(SimTime::from_secs(at_s), move |w, q| {
-                if !w.nodes[0].is_up() {
-                    return;
+fn tournament_main(args: &[String]) -> ExitCode {
+    let mut opts = TournamentOptions {
+        seed: 7,
+        runs: 18,
+        policies: PolicyChoice::ALL.to_vec(),
+        strict: false,
+        verbose: false,
+    };
+    let mut write_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--seed" => it.next().map(|v| v.parse().map(|n| opts.seed = n)),
+            "--runs" => it.next().map(|v| v.parse().map(|n| opts.runs = n)),
+            "--policies" => match it.next() {
+                Some(list) => {
+                    let mut chosen = Vec::new();
+                    for label in list.split(',') {
+                        match PolicyChoice::from_label(label) {
+                            Some(p) => chosen.push(p),
+                            None => {
+                                eprintln!("unknown policy {label:?}; known: {}", known_labels());
+                                return ExitCode::from(2);
+                            }
+                        }
+                    }
+                    opts.policies = chosen;
+                    Some(Ok(()))
                 }
-                let now = q.now();
-                w.log.push(LogEvent::FaultInjected {
-                    at: now,
-                    node: 0,
-                    label: format!("flap re-arm {fault:?}"),
-                });
-                let killed = faults::inject(&mut w.nodes[0], &fault, now);
-                debug_assert!(
-                    killed.is_empty(),
-                    "flappable faults kill nothing on injection"
-                );
-            });
-        }
-    }
-
-    let horizon_s = last_injection_s + TAIL_S;
-    sim.run_until(SimTime::from_secs(horizon_s));
-    let mut end_s = horizon_s;
-    let mut stable = if quiesced(&sim) { 1 } else { 0 };
-    while stable < STABLE_SAMPLES && end_s < horizon_s + GRACE_S {
-        end_s += 5;
-        sim.run_until(SimTime::from_secs(end_s));
-        stable = if quiesced(&sim) { stable + 1 } else { 0 };
-    }
-
-    let mut violations = Vec::new();
-    {
-        let w = sim.world();
-        if let Some(rm) = &w.rm {
-            let in_flight = rm.in_flight(0);
-            if in_flight != 0 {
-                violations.push(format!(
-                    "{in_flight} recovery decision(s) never acknowledged"
-                ));
+                None => None,
+            },
+            "--strict" => {
+                opts.strict = true;
+                continue;
             }
-        }
-        if let Some(c) = &w.conductor {
-            let (active, queued) = (c.active_count(0), c.queued_count(0));
-            if active + queued != 0 {
-                violations.push(format!(
-                    "conductor not idle: {active} active, {queued} queued ticket(s)"
-                ));
+            "--verbose" => {
+                opts.verbose = true;
+                continue;
             }
-            let quarantined = c.quarantined(0);
-            if !quarantined.is_empty() {
-                violations.push(format!("quarantine never lifted: {quarantined:?}"));
+            "--json" => {
+                write_json = true;
+                continue;
             }
-        }
-        if !w.nodes[0].is_up() {
-            violations.push(format!("node down at end: {:?}", w.nodes[0].state()));
-        }
-        if let Some(age) = w.nodes[0].oldest_hung_age(sim.now()) {
-            if age > hung_bound() {
-                violations.push(format!(
-                    "request stuck in pipeline for {:.1}s, past the TTL sweep bound",
-                    age.as_secs_f64()
-                ));
+            _ => None,
+        };
+        match parsed {
+            Some(Ok(())) => {}
+            _ => {
+                usage();
+                return ExitCode::from(2);
             }
         }
     }
-    let m = metrics.borrow();
-    let (begun, finished) = (m.counter("reboots_begun"), m.counter("reboots_finished"));
-    if begun != finished {
-        violations.push(format!("{begun} reboot(s) begun but {finished} finished"));
-    }
 
-    let world = sim.finish();
-    if debug {
-        for ev in &world.log {
-            println!("  {ev:?}");
+    println!(
+        "urb-chaos tournament: seed {}, {} run(s) x {} policies{}",
+        opts.seed,
+        opts.runs,
+        opts.policies.len(),
+        if opts.strict { ", strict" } else { "" }
+    );
+    let scores = chaos::tournament(&opts);
+
+    let mut t = Table::new(&[
+        "policy",
+        "downtime (s)",
+        "failed reqs",
+        "reboot cost (s)",
+        "pages",
+        "violations",
+        "digest",
+        "pareto",
+    ]);
+    for s in &scores {
+        t.row_owned(vec![
+            s.policy.label().to_string(),
+            format!("{:.1}", s.downtime_ms as f64 / 1000.0),
+            s.failed_requests.to_string(),
+            format!("{:.1}", s.reboot_cost_s),
+            s.pages.to_string(),
+            s.violations.to_string(),
+            format!("{:016x}", s.digest),
+            if s.pareto { "*" } else { "" }.to_string(),
+        ]);
+    }
+    t.print();
+    let frontier: Vec<&str> = scores
+        .iter()
+        .filter(|s| s.pareto)
+        .map(|s| s.policy.label())
+        .collect();
+    println!("\nPareto frontier: {}", frontier.join(", "));
+
+    if write_json {
+        let mut r = JsonReport::new("policy_tournament");
+        r.metric("seed", opts.seed);
+        r.metric("runs_per_policy", opts.runs);
+        r.metric("policies", opts.policies.len() as u64);
+        for s in &scores {
+            let l = s.policy.label();
+            r.metric(&format!("{l}.downtime_ms"), s.downtime_ms);
+            r.metric(&format!("{l}.failed_requests"), s.failed_requests);
+            r.metric_f64(&format!("{l}.reboot_cost_s"), s.reboot_cost_s);
+            r.metric(&format!("{l}.pages"), s.pages);
+            r.metric(&format!("{l}.violations"), s.violations);
+            r.text(&format!("{l}.digest"), &format!("{:016x}", s.digest));
+            r.metric(&format!("{l}.pareto"), u64::from(s.pareto));
+        }
+        r.text("pareto_frontier", &frontier.join(","));
+        match r.write() {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write report: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     }
-    if expect_goodput_recovery(s) && s.inject_at_s > 4 && violations.is_empty() {
-        let taw = world.pool.taw_ref();
-        let pre_window = s.inject_at_s - 3;
-        let pre_rate = taw.good_in(3, s.inject_at_s) / pre_window as f64;
-        let post_rate = taw.good_in(end_s - 30, end_s) / 30.0;
-        if pre_rate > 0.0 && post_rate < 0.5 * pre_rate {
-            violations.push(format!(
-                "goodput never recovered: {post_rate:.1} op/s at end vs {pre_rate:.1} op/s pre-fault"
-            ));
-        }
-    }
-
-    let digest = hash.borrow().value();
-    RunOutcome { digest, violations }
+    ExitCode::SUCCESS
 }
 
-/// Whether the availability invariant applies: reboot-curable damage
-/// only. Structural invariants (termination, ack conservation, lifted
-/// quarantine) apply to every run regardless.
-fn expect_goodput_recovery(s: &Scenario) -> bool {
-    campaign::goodput_recovers(&s.fault)
-        && s.second
-            .is_none_or(|sf| campaign::goodput_recovers(&sf.fault))
+fn known_labels() -> String {
+    PolicyChoice::ALL
+        .iter()
+        .map(|p| p.label())
+        .collect::<Vec<_>>()
+        .join(", ")
 }

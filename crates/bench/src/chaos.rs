@@ -1,0 +1,511 @@
+//! The chaos-campaign runner: executes one [`Scenario`] against the
+//! cluster simulation and checks the recovery-convergence invariants.
+//!
+//! Extracted from the `urb-chaos` binary so the policy tournament and the
+//! conformance tests can drive the same runner. The default
+//! [`RunOptions`] reproduce the classic campaign bit-for-bit (one node,
+//! the paper's recursive ladder, no failover); the tournament sweeps the
+//! same scenarios across every [`PolicyChoice`] in the registry on a
+//! two-node failover cluster and scores each policy on a
+//! downtime / failed-requests / reboot-cost / pages frontier.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cluster::{LogEvent, Sim, SimConfig, StoreChoice};
+use faults::campaign::{self, Scenario};
+use faults::Fault;
+use recovery::conductor::ConductorConfig;
+use recovery::{PolicyChoice, RmConfig};
+use simcore::telemetry::{shared_bus, TelemetrySink, TraceHashSink};
+use simcore::{MetricsRegistry, SimDuration, SimTime, TelemetryEvent};
+use workload::DetectorKind;
+
+/// Emulated clients per node. Smaller than the paper's 500 so a
+/// multi-hundred-run campaign stays fast; plenty for the detectors.
+pub const CLIENTS: usize = 60;
+/// Quiet tail after the last scheduled injection before invariants are
+/// checked. Sized for the slowest legitimate convergence: a low-level
+/// fault that burns up the whole ladder (several useless microreboots
+/// and process restarts, each followed by a fresh OOM) before the 109 s
+/// OS reboot finally cures it, plus the 30 s request TTL.
+pub const TAIL_S: u64 = 300;
+/// Extra grace, stepped through in 5 s slices, for runs still converging
+/// at the horizon. Exhausting it is an invariant violation.
+pub const GRACE_S: u64 = 600;
+/// Consecutive 5 s samples that must all report quiescence before the
+/// run is declared converged — a node mid leak-OOM-restart cycle looks
+/// healthy in any single sample.
+pub const STABLE_SAMPLES: u32 = 6;
+
+/// How a scenario is executed: cluster shape and recovery policy. The
+/// default is the classic campaign configuration, pinned by the strict
+/// campaign digests — changing it moves them.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Cluster size (faults always land on node 0).
+    pub nodes: usize,
+    /// The recovery policy under test.
+    pub policy: PolicyChoice,
+    /// Whether the LB fails traffic over during recovery.
+    pub failover: bool,
+    /// Emulated clients per node.
+    pub clients: usize,
+    /// Dump the run's log to stdout.
+    pub debug: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            nodes: 1,
+            policy: PolicyChoice::Ladder,
+            failover: false,
+            clients: CLIENTS,
+            debug: false,
+        }
+    }
+}
+
+/// What one scenario run produced.
+pub struct RunOutcome {
+    /// FNV trace digest over every telemetry event of the run.
+    pub digest: u64,
+    /// Invariant violations (empty on a clean run).
+    pub violations: Vec<String>,
+    /// Degraded-goodput wall time after injection, in milliseconds: Σ
+    /// over one-second windows in which goodput fell below half the
+    /// pre-fault rate (below 1 op when there was no pre-fault traffic).
+    pub downtime_ms: u64,
+    /// Client operations that failed outright.
+    pub failed_requests: u64,
+    /// Total seconds of reboot activity (histogram mean × count).
+    pub reboot_cost_s: f64,
+    /// Humans paged.
+    pub pages: u64,
+}
+
+/// Short scenario description for reports.
+pub fn describe(s: &Scenario) -> String {
+    format!(
+        "{}{}{}{} [{}{}]",
+        fault_kind(&s.fault),
+        s.second
+            .map(|sf| format!("+2nd({})", fault_kind(&sf.fault)))
+            .unwrap_or_default(),
+        if s.flap.is_some() { "+flap" } else { "" },
+        if s.rm_crash.is_some() { "+rmcrash" } else { "" },
+        if s.comparison_detector {
+            "cmp"
+        } else {
+            "simple"
+        },
+        if s.parallel_rm { ",par" } else { "" },
+    )
+}
+
+/// Stable label for coverage accounting.
+pub fn fault_kind(f: &Fault) -> &'static str {
+    match f {
+        Fault::Deadlock { .. } => "deadlock",
+        Fault::InfiniteLoop { .. } => "infinite-loop",
+        Fault::AppMemoryLeak { .. } => "app-memory-leak",
+        Fault::TransientException { .. } => "transient-exception",
+        Fault::Intermittent { .. } => "intermittent",
+        Fault::SpuriousReports { .. } => "spurious-reports",
+        Fault::CorruptPrimaryKeys { .. } => "corrupt-primary-keys",
+        Fault::CorruptJndi { .. } => "corrupt-jndi",
+        Fault::CorruptTxnMap { .. } => "corrupt-txn-map",
+        Fault::CorruptBeanAttrs { .. } => "corrupt-bean-attrs",
+        Fault::CorruptFastS { .. } => "corrupt-fasts",
+        Fault::CorruptSsm => "corrupt-ssm",
+        Fault::CorruptDb { .. } => "corrupt-db",
+        Fault::MemLeakIntraJvm { .. } => "memleak-intra-jvm",
+        Fault::MemLeakExtraJvm { .. } => "memleak-extra-jvm",
+        Fault::BitFlipMemory => "bitflip-memory",
+        Fault::BitFlipRegisters => "bitflip-registers",
+        Fault::BadSyscalls => "bad-syscalls",
+    }
+}
+
+/// The hardened recovery-manager configuration every campaign run uses:
+/// storm damper, flap escalation and convergence watchdog all armed.
+pub fn hardened_rm(parallel: bool) -> RmConfig {
+    RmConfig {
+        max_concurrent: if parallel { 4 } else { 1 },
+        // A fault on a rarely-exercised op produces evidence at well under
+        // one report per default window; a wider window lets sparse
+        // evidence aggregate. Safe against self-flapping: scores are
+        // cleared when an episode closes, and aftershocks are
+        // settle-suppressed on ingest.
+        score_window: SimDuration::from_secs(90),
+        storm_limit: 3,
+        storm_backoff: SimDuration::from_secs(10),
+        flap_limit: 3,
+        flap_window: SimDuration::from_secs(300),
+        watchdog_bound: Some(SimDuration::from_secs(180)),
+        ..RmConfig::default()
+    }
+}
+
+/// How long a request may stay hung before it counts as stuck: the
+/// server's TTL lease plus a couple of maintenance sweeps of slack. A
+/// fault on a rarely-exercised component can legitimately outlive the
+/// campaign horizon undetected (too few failures to cross the score
+/// threshold — the Figure 5 sensitivity tradeoff); the system guarantee
+/// is that the lease sweep still reaps every stuck thread on time.
+fn hung_bound() -> SimDuration {
+    urb_core::calib::REQUEST_TTL + SimDuration::from_secs(5)
+}
+
+/// True while recovery machinery is still busy on any node.
+fn quiesced(sim: &Sim) -> bool {
+    let w = sim.world();
+    (0..w.nodes.len()).all(|n| {
+        w.rm.as_ref().is_none_or(|rm| rm.in_flight(n) == 0)
+            && w.conductor
+                .as_ref()
+                .is_none_or(|c| c.active_count(n) == 0 && c.queued_count(n) == 0)
+            && w.nodes[n].is_up()
+            && w.nodes[n]
+                .oldest_hung_age(sim.now())
+                .is_none_or(|age| age <= hung_bound())
+    })
+}
+
+/// Executes one scenario under `opts` and checks every invariant.
+pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
+    // SSM corruption needs the SSM backend to exist; everything else runs
+    // on the default node-private FastS store.
+    let wants_ssm = matches!(s.fault, Fault::CorruptSsm)
+        || s.second
+            .is_some_and(|sf| matches!(sf.fault, Fault::CorruptSsm));
+    let mut sim = Sim::new(SimConfig {
+        nodes: opts.nodes,
+        clients_per_node: opts.clients,
+        store: if wants_ssm {
+            StoreChoice::Ssm
+        } else {
+            StoreChoice::FastS
+        },
+        detector: if s.comparison_detector {
+            DetectorKind::Comparison
+        } else {
+            DetectorKind::Simple
+        },
+        rm: Some(hardened_rm(s.parallel_rm)),
+        conductor: s.parallel_rm.then(ConductorConfig::default),
+        policy: opts.policy,
+        failover: opts.failover,
+        seed: s.sim_seed,
+        ..SimConfig::default()
+    });
+    let bus = shared_bus();
+    let hash = Rc::new(RefCell::new(TraceHashSink::new()));
+    let metrics = Rc::new(RefCell::new(MetricsRegistry::new()));
+    bus.borrow_mut().add_sink(Box::new(hash.clone()));
+    bus.borrow_mut().add_sink(Box::new(metrics.clone()));
+    sim.attach_telemetry(bus);
+
+    sim.schedule_fault(SimTime::from_secs(s.inject_at_s), 0, s.fault);
+    let mut last_injection_s = s.inject_at_s;
+    if let Some(second) = s.second {
+        sim.schedule_fault(SimTime::from_secs(second.at_s), 0, second.fault);
+        last_injection_s = last_injection_s.max(second.at_s);
+    }
+    if let Some(crash) = s.rm_crash {
+        sim.schedule_rm_crash(
+            SimTime::from_secs(crash.at_s),
+            SimDuration::from_secs(crash.outage_s),
+        );
+        last_injection_s = last_injection_s.max(crash.at_s + crash.outage_s);
+    }
+    if let Some(flap) = s.flap {
+        let fault = s.fault;
+        for k in 1..=u64::from(flap.recurrences) {
+            let at_s = s.inject_at_s + k * flap.gap_s;
+            last_injection_s = last_injection_s.max(at_s);
+            // Re-arm through the escape hatch: a flapping fault recurs
+            // only on a live server (re-injecting into a mid-reboot node
+            // would be cured by the reboot's own state teardown anyway).
+            sim.schedule_fn(SimTime::from_secs(at_s), move |w, q| {
+                if !w.nodes[0].is_up() {
+                    return;
+                }
+                let now = q.now();
+                w.log.push(LogEvent::FaultInjected {
+                    at: now,
+                    node: 0,
+                    label: format!("flap re-arm {fault:?}"),
+                });
+                let killed = faults::inject(&mut w.nodes[0], &fault, now);
+                debug_assert!(
+                    killed.is_empty(),
+                    "flappable faults kill nothing on injection"
+                );
+            });
+        }
+    }
+
+    let horizon_s = last_injection_s + TAIL_S;
+    sim.run_until(SimTime::from_secs(horizon_s));
+    let mut end_s = horizon_s;
+    let mut stable = if quiesced(&sim) { 1 } else { 0 };
+    while stable < STABLE_SAMPLES && end_s < horizon_s + GRACE_S {
+        end_s += 5;
+        sim.run_until(SimTime::from_secs(end_s));
+        stable = if quiesced(&sim) { stable + 1 } else { 0 };
+    }
+
+    let mut violations = Vec::new();
+    {
+        let w = sim.world();
+        for n in 0..w.nodes.len() {
+            if let Some(rm) = &w.rm {
+                let in_flight = rm.in_flight(n);
+                if in_flight != 0 {
+                    violations.push(format!(
+                        "node {n}: {in_flight} recovery decision(s) never acknowledged"
+                    ));
+                }
+            }
+            if let Some(c) = &w.conductor {
+                let (active, queued) = (c.active_count(n), c.queued_count(n));
+                if active + queued != 0 {
+                    violations.push(format!(
+                        "node {n}: conductor not idle: {active} active, {queued} queued ticket(s)"
+                    ));
+                }
+                let quarantined = c.quarantined(n);
+                if !quarantined.is_empty() {
+                    violations.push(format!(
+                        "node {n}: quarantine never lifted: {quarantined:?}"
+                    ));
+                }
+            }
+            let lb_quarantined = w.lb.quarantined(n);
+            if !lb_quarantined.is_empty() {
+                violations.push(format!(
+                    "node {n}: LB quarantine never lifted: {lb_quarantined:?}"
+                ));
+            }
+            if w.lb.is_redirecting(n) {
+                violations.push(format!("node {n}: failover redirect never lifted"));
+            }
+            if !w.nodes[n].is_up() {
+                violations.push(format!("node {n} down at end: {:?}", w.nodes[n].state()));
+            }
+            if let Some(age) = w.nodes[n].oldest_hung_age(sim.now()) {
+                if age > hung_bound() {
+                    violations.push(format!(
+                        "node {n}: request stuck in pipeline for {:.1}s, past the TTL sweep bound",
+                        age.as_secs_f64()
+                    ));
+                }
+            }
+        }
+    }
+    let (failed_requests, reboot_cost_s, pages) = {
+        let m = metrics.borrow();
+        let (begun, finished) = (m.counter("reboots_begun"), m.counter("reboots_finished"));
+        if begun != finished {
+            violations.push(format!("{begun} reboot(s) begun but {finished} finished"));
+        }
+        let reboot_cost_s = m
+            .histogram("reboot_ms")
+            .map_or(0.0, |h| h.mean().as_secs_f64() * h.count() as f64);
+        (
+            m.counter("client_ops_failed"),
+            reboot_cost_s,
+            m.counter("decisions_notify_human"),
+        )
+    };
+
+    let world = sim.finish();
+    if opts.debug {
+        for ev in &world.log {
+            println!("  {ev:?}");
+        }
+    }
+    let taw = world.pool.taw_ref();
+    let pre_rate = if s.inject_at_s > 3 {
+        taw.good_in(3, s.inject_at_s) / (s.inject_at_s - 3) as f64
+    } else {
+        0.0
+    };
+    let degraded_below = (0.5 * pre_rate).max(1.0);
+    let mut downtime_ms = 0u64;
+    for t in s.inject_at_s..end_s {
+        if taw.good_in(t, t + 1) < degraded_below {
+            downtime_ms += 1000;
+        }
+    }
+    if expect_goodput_recovery(s) && s.inject_at_s > 4 && violations.is_empty() {
+        let pre_window = s.inject_at_s - 3;
+        let pre_rate = taw.good_in(3, s.inject_at_s) / pre_window as f64;
+        let post_rate = taw.good_in(end_s - 30, end_s) / 30.0;
+        if pre_rate > 0.0 && post_rate < 0.5 * pre_rate {
+            violations.push(format!(
+                "goodput never recovered: {post_rate:.1} op/s at end vs {pre_rate:.1} op/s pre-fault"
+            ));
+        }
+    }
+
+    let digest = hash.borrow().value();
+    RunOutcome {
+        digest,
+        violations,
+        downtime_ms,
+        failed_requests,
+        reboot_cost_s,
+        pages,
+    }
+}
+
+/// Whether the availability invariant applies: reboot-curable damage
+/// only. Structural invariants (termination, ack conservation, lifted
+/// quarantine) apply to every run regardless.
+pub fn expect_goodput_recovery(s: &Scenario) -> bool {
+    campaign::goodput_recovers(&s.fault)
+        && s.second
+            .is_none_or(|sf| campaign::goodput_recovers(&sf.fault))
+}
+
+// ---- policy tournament ---------------------------------------------------
+
+/// Tournament parameters.
+#[derive(Clone, Debug)]
+pub struct TournamentOptions {
+    /// Master seed for [`campaign::tournament_scenarios`].
+    pub seed: u64,
+    /// Scenarios per policy (18 covers every fault kind once).
+    pub runs: u64,
+    /// The competing policies.
+    pub policies: Vec<PolicyChoice>,
+    /// Re-run every scenario and require digest equality.
+    pub strict: bool,
+    /// Print per-run lines.
+    pub verbose: bool,
+}
+
+/// One policy's aggregate score over the full scenario matrix. All four
+/// frontier metrics are minimized.
+#[derive(Clone, Debug)]
+pub struct PolicyScore {
+    /// The policy.
+    pub policy: PolicyChoice,
+    /// Scenarios executed.
+    pub runs: u64,
+    /// Total invariant violations across the matrix.
+    pub violations: u64,
+    /// Frontier metric: Σ zero-goodput milliseconds post-injection.
+    pub downtime_ms: u64,
+    /// Frontier metric: Σ failed client operations.
+    pub failed_requests: u64,
+    /// Frontier metric: Σ seconds of reboot activity.
+    pub reboot_cost_s: f64,
+    /// Frontier metric: Σ humans paged.
+    pub pages: u64,
+    /// FNV fold of every run's `CampaignRunDone` event.
+    pub digest: u64,
+    /// On the Pareto frontier (not dominated on all four metrics).
+    pub pareto: bool,
+}
+
+/// Runs the full scenario matrix under every policy and scores the
+/// Pareto frontier over (downtime, failed requests, reboot cost, pages).
+pub fn tournament(opts: &TournamentOptions) -> Vec<PolicyScore> {
+    let scenarios = campaign::tournament_scenarios(&campaign::CampaignConfig {
+        seed: opts.seed,
+        runs: opts.runs,
+    });
+    let mut scores: Vec<PolicyScore> = opts
+        .policies
+        .iter()
+        .map(|&policy| {
+            let run_opts = RunOptions {
+                nodes: 2,
+                policy,
+                failover: true,
+                clients: CLIENTS,
+                debug: false,
+            };
+            let mut hash = TraceHashSink::new();
+            let mut score = PolicyScore {
+                policy,
+                runs: scenarios.len() as u64,
+                violations: 0,
+                downtime_ms: 0,
+                failed_requests: 0,
+                reboot_cost_s: 0.0,
+                pages: 0,
+                digest: 0,
+                pareto: false,
+            };
+            for s in &scenarios {
+                let mut out = run_scenario(s, &run_opts);
+                if opts.strict {
+                    let again = run_scenario(s, &run_opts);
+                    if again.digest != out.digest {
+                        out.violations.push(format!(
+                            "nondeterministic: digest {:016x} vs {:016x} on re-run",
+                            out.digest, again.digest
+                        ));
+                    }
+                }
+                hash.on_event(&TelemetryEvent::CampaignRunDone {
+                    run: s.run,
+                    digest: out.digest,
+                    violations: out.violations.len() as u32,
+                });
+                if opts.verbose {
+                    println!(
+                        "  {:<16} run {:>3}  {:<48} downtime {:>7} ms  {}",
+                        policy.label(),
+                        s.run,
+                        describe(s),
+                        out.downtime_ms,
+                        if out.violations.is_empty() {
+                            "ok".into()
+                        } else {
+                            format!("VIOLATIONS: {}", out.violations.join("; "))
+                        }
+                    );
+                }
+                score.violations += out.violations.len() as u64;
+                score.downtime_ms += out.downtime_ms;
+                score.failed_requests += out.failed_requests;
+                score.reboot_cost_s += out.reboot_cost_s;
+                score.pages += out.pages;
+            }
+            score.digest = hash.value();
+            score
+        })
+        .collect();
+    mark_pareto(&mut scores);
+    scores
+}
+
+/// Marks each score's `pareto` flag: a policy is on the frontier iff no
+/// other policy is at-least-as-good on all four metrics and strictly
+/// better on one.
+pub fn mark_pareto(scores: &mut [PolicyScore]) {
+    let dominated = |a: &PolicyScore, b: &PolicyScore| {
+        // b dominates a?
+        let le = b.downtime_ms <= a.downtime_ms
+            && b.failed_requests <= a.failed_requests
+            && b.reboot_cost_s <= a.reboot_cost_s + f64::EPSILON
+            && b.pages <= a.pages;
+        let lt = b.downtime_ms < a.downtime_ms
+            || b.failed_requests < a.failed_requests
+            || b.reboot_cost_s + f64::EPSILON < a.reboot_cost_s
+            || b.pages < a.pages;
+        le && lt
+    };
+    let snapshot: Vec<PolicyScore> = scores.to_vec();
+    for s in scores.iter_mut() {
+        s.pareto = !snapshot
+            .iter()
+            .any(|other| other.policy != s.policy && dominated(s, other));
+    }
+}

@@ -11,6 +11,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod harness;
 pub mod kernel;
 pub mod report;

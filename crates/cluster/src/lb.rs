@@ -171,6 +171,11 @@ impl LoadBalancer {
         }
     }
 
+    /// The components currently quarantined on `node` (empty when none).
+    pub fn quarantined(&self, node: usize) -> &[CompName] {
+        self.quarantine.get(node).map_or(&[], Vec::as_slice)
+    }
+
     /// Number of sessions currently homed on `node`.
     pub fn sessions_on(&self, node: usize) -> usize {
         self.affinity.values().filter(|n| **n == node).count()

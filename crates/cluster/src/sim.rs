@@ -19,7 +19,7 @@
 use ebid::{catalog, DatasetSpec, EBid};
 use faults::Fault;
 use recovery::conductor::{Conductor, ConductorConfig, StartCmd, Submission, TicketId};
-use recovery::{RecoveryAction, RecoveryManager, RmConfig};
+use recovery::{PolicyChoice, RecoveryAction, RecoveryManager, RmConfig};
 use simcore::telemetry::{SharedBus, TelemetryEvent};
 use simcore::{EventPayload, EventQueue, SimDuration, SimTime};
 use statestore::Ssm;
@@ -40,6 +40,11 @@ use crate::lb::LoadBalancer;
 /// server's own 30-second request TTL, whose `TimedOut` response is what
 /// the monitors attribute to the stuck URL.
 pub const CLIENT_TIMEOUT: SimDuration = SimDuration::from_secs(60);
+
+/// How long a policy-plane hold (bulkhead isolation or failover-first
+/// redirection) lasts before the executor lifts it and acknowledges the
+/// action back to the recovery manager.
+pub const POLICY_HOLD: SimDuration = SimDuration::from_secs(10);
 
 /// The cluster simulation's event queue: [`SimEvent`] payloads pooled in
 /// the kernel's slot arena.
@@ -72,6 +77,10 @@ pub struct SimConfig {
     /// Recovery-manager configuration; `None` disables automatic recovery
     /// (experiments then command recovery directly).
     pub rm: Option<RmConfig>,
+    /// Which recovery policy the manager hosts. `Ladder` (the default)
+    /// reproduces the paper's recursive policy bit-for-bit; the other
+    /// registry entries compete in the chaos policy tournament.
+    pub policy: PolicyChoice,
     /// Recovery-conductor configuration; `None` keeps the baseline serial
     /// execution of manager decisions. With a conductor, decisions are
     /// expanded to recovery groups, coalesced, scheduled concurrently when
@@ -96,6 +105,7 @@ impl Default for SimConfig {
             drain: None,
             detector: DetectorKind::Comparison,
             rm: None,
+            policy: PolicyChoice::Ladder,
             conductor: None,
             failover: false,
             dataset: DatasetSpec::default(),
@@ -247,6 +257,20 @@ pub enum SimEvent {
         /// The action.
         action: RecoveryAction,
     },
+    /// A policy-plane hold (bulkhead isolation or failover-first
+    /// redirection) expires on a node.
+    PolicyHoldDone {
+        /// The held node.
+        node: usize,
+        /// Whether the hold was a failover redirection (else isolation).
+        failover: bool,
+        /// When the hold began.
+        started: SimTime,
+    },
+    /// The recovery manager's own process crashes (the ReHype scenario).
+    RmCrash,
+    /// The recovery manager finishes rebooting and resumes polling.
+    RmReboot,
     /// The experiment escape hatch: an arbitrary boxed closure.
     Custom(CustomFn),
 }
@@ -286,6 +310,13 @@ impl EventPayload<World> for SimEvent {
             } => w.on_conducted_done(node, id, ticket, level, started, q),
             SimEvent::InjectFault { node, fault } => w.on_inject_fault(node, fault, q),
             SimEvent::CommandRecovery { node, action } => w.execute_action(node, action, q),
+            SimEvent::PolicyHoldDone {
+                node,
+                failover,
+                started,
+            } => w.on_policy_hold_done(node, failover, started, q),
+            SimEvent::RmCrash => w.on_rm_crash(q),
+            SimEvent::RmReboot => w.on_rm_reboot(q),
             SimEvent::Custom(f) => f(w, q),
         }
     }
@@ -337,6 +368,9 @@ pub struct World {
     pub rejuv: Vec<Option<RejuvenationService>>,
     failover: bool,
     drain: Option<SimDuration>,
+    /// The RM's own process is down (ReHype): reports are lost, polls
+    /// skip, acknowledgements are dropped until the reboot completes.
+    rm_down: bool,
     bus: Option<SharedBus>,
 }
 
@@ -424,8 +458,12 @@ impl World {
             None => {}
         }
         if let Some(rm) = &mut self.rm {
+            // Reports arriving while the RM itself is down (ReHype) are
+            // lost with it — drained and dropped, never replayed.
             for r in self.pool.drain_reports() {
-                rm.report(&r);
+                if !self.rm_down {
+                    rm.report(&r);
+                }
             }
         }
     }
@@ -525,7 +563,7 @@ impl World {
 
     fn on_rm_poll(&mut self, q: &mut SimQueue) {
         let now = q.now();
-        if self.rm.is_some() {
+        if self.rm.is_some() && !self.rm_down {
             for node in 0..self.nodes.len() {
                 // With a conductor the manager may issue several decisions
                 // per poll (up to its concurrency budget); the baseline
@@ -552,6 +590,12 @@ impl World {
     }
 
     fn recovery_finished(&mut self, node: usize, now: SimTime) {
+        // Acknowledgements raised while the RM is down are lost (ReHype);
+        // post-reboot the policy's saturating bookkeeping absorbs any
+        // stragglers for actions it no longer remembers.
+        if self.rm_down {
+            return;
+        }
         if let Some(rm) = &mut self.rm {
             rm.recovery_finished(node, now);
         }
@@ -608,6 +652,50 @@ impl World {
             RecoveryAction::RestartApp => (RebootLevel::Application, Vec::new()),
             RecoveryAction::RestartProcess => (RebootLevel::Process, Vec::new()),
             RecoveryAction::RebootOs => (RebootLevel::OperatingSystem, Vec::new()),
+            RecoveryAction::Isolate { components } => {
+                // Bulkhead: admission-control the blast radius instead of
+                // rebooting — the LB sheds the components' traffic for a
+                // hold period, then the hold-done handler lifts it and
+                // acknowledges the action.
+                let members = components.len() as u32;
+                self.lb.set_quarantine(node, components);
+                if let Some(bus) = &self.bus {
+                    bus.borrow_mut().emit(&TelemetryEvent::QuarantineOn {
+                        node,
+                        members,
+                        at: now,
+                    });
+                }
+                q.schedule_event_in(
+                    POLICY_HOLD,
+                    "policy-hold",
+                    SimEvent::PolicyHoldDone {
+                        node,
+                        failover: false,
+                        started: now,
+                    },
+                );
+                return;
+            }
+            RecoveryAction::Failover => {
+                // Failover-first: steer the node's traffic to its peers
+                // for a hold period without touching the node itself.
+                if let Some(bus) = &self.bus {
+                    bus.borrow_mut()
+                        .emit(&TelemetryEvent::FailoverEngaged { node, at: now });
+                }
+                self.redirect(node, true);
+                q.schedule_event_in(
+                    POLICY_HOLD,
+                    "policy-hold",
+                    SimEvent::PolicyHoldDone {
+                        node,
+                        failover: true,
+                        started: now,
+                    },
+                );
+                return;
+            }
             RecoveryAction::NotifyHuman => {
                 self.log.push(LogEvent::HumanNotified { at: now, node });
                 self.recovery_finished(node, now);
@@ -655,11 +743,66 @@ impl World {
         );
     }
 
+    /// Lifts an expired policy-plane hold and acknowledges the action.
+    fn on_policy_hold_done(
+        &mut self,
+        node: usize,
+        failover: bool,
+        started: SimTime,
+        q: &mut SimQueue,
+    ) {
+        let now = q.now();
+        if failover {
+            self.redirect(node, false);
+        } else {
+            self.lb.set_quarantine(node, Vec::new());
+            if let Some(bus) = &self.bus {
+                bus.borrow_mut()
+                    .emit(&TelemetryEvent::QuarantineOff { node, at: now });
+            }
+        }
+        self.log.push(LogEvent::RecoveryFinished {
+            at: now,
+            node,
+            action: if failover {
+                "failover hold".into()
+            } else {
+                "isolation hold".into()
+            },
+            started,
+        });
+        self.recovery_finished(node, now);
+        self.pump_node(node, q);
+    }
+
+    /// The RM's own process crashes (ReHype): volatile diagnosis state is
+    /// wiped; reports, polls and acknowledgements are lost until reboot.
+    fn on_rm_crash(&mut self, q: &mut SimQueue) {
+        let now = q.now();
+        if let Some(rm) = &mut self.rm {
+            rm.crash(now);
+            self.rm_down = true;
+        }
+    }
+
+    /// The RM finishes rebooting and resumes from a blank slate.
+    fn on_rm_reboot(&mut self, q: &mut SimQueue) {
+        let now = q.now();
+        if let Some(rm) = &mut self.rm {
+            rm.rebooted(now);
+            self.rm_down = false;
+        }
+    }
+
     /// Routes a manager decision through the conductor: expansion to the
     /// recovery group, coalescing, conflict scheduling and quarantine.
     fn conduct(&mut self, node: usize, action: RecoveryAction, q: &mut SimQueue) {
-        // A human page is not a reboot — nothing to schedule around.
-        if matches!(action, RecoveryAction::NotifyHuman) {
+        // Human pages and policy-plane holds are not reboots — nothing to
+        // schedule around; the executor handles them directly.
+        if matches!(
+            action,
+            RecoveryAction::NotifyHuman | RecoveryAction::Isolate { .. } | RecoveryAction::Failover
+        ) {
             self.execute_action(node, action, q);
             return;
         }
@@ -690,7 +833,11 @@ impl World {
             RecoveryAction::RestartApp => (RebootLevel::Application, Vec::new()),
             RecoveryAction::RestartProcess => (RebootLevel::Process, Vec::new()),
             RecoveryAction::RebootOs => (RebootLevel::OperatingSystem, Vec::new()),
-            RecoveryAction::NotifyHuman => unreachable!("NotifyHuman bypasses the conductor"),
+            RecoveryAction::NotifyHuman
+            | RecoveryAction::Isolate { .. }
+            | RecoveryAction::Failover => {
+                unreachable!("policy-plane actions bypass the conductor")
+            }
         };
         let drain = match level {
             RebootLevel::Component => self.drain,
@@ -865,13 +1012,22 @@ impl Sim {
             },
         );
         let rm = config.rm.map(|rm_config| {
-            RecoveryManager::new(config.nodes, rm_config, ebid::ops::call_path, "WAR")
+            RecoveryManager::with_policy(
+                config.policy,
+                config.nodes,
+                rm_config,
+                ebid::ops::call_path,
+                "WAR",
+                config.seed,
+            )
         });
         let conductor = config
             .conductor
             .map(|cc| Conductor::new(config.nodes, cc, nodes[0].graph(), ebid::ops::call_path));
         let mut lb = LoadBalancer::new(config.nodes);
-        if config.conductor.is_some_and(|c| c.quarantine) {
+        // The bulkhead policy sheds via LB quarantine even without a
+        // conductor, so any non-paper policy needs the path map armed.
+        if config.conductor.is_some_and(|c| c.quarantine) || config.policy != PolicyChoice::Ladder {
             lb.set_path_map(ebid::ops::call_path);
         }
         let rejuv = (0..config.nodes).map(|_| None).collect();
@@ -885,6 +1041,7 @@ impl Sim {
             rejuv,
             failover: config.failover,
             drain: config.drain,
+            rm_down: false,
             bus: None,
         };
         let mut queue = SimQueue::new();
@@ -958,6 +1115,17 @@ impl Sim {
     pub fn schedule_fault(&mut self, at: SimTime, node: usize, fault: Fault) {
         self.queue
             .schedule_event_at(at, "inject-fault", SimEvent::InjectFault { node, fault });
+    }
+
+    /// Schedules a crash of the recovery manager itself at `at`, with the
+    /// RM's host rebooting `outage` later (ReHype-style). While down the
+    /// RM loses volatile diagnosis state and drops reports, polls and
+    /// recovery acknowledgements on the floor.
+    pub fn schedule_rm_crash(&mut self, at: SimTime, outage: SimDuration) {
+        self.queue
+            .schedule_event_at(at, "rm-crash", SimEvent::RmCrash);
+        self.queue
+            .schedule_event_at(at + outage, "rm-reboot", SimEvent::RmReboot);
     }
 
     /// Schedules a recovery action (for runs without an RM, and for the

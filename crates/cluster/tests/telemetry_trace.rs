@@ -8,7 +8,7 @@ use std::rc::Rc;
 
 use cluster::{Sim, SimConfig};
 use faults::Fault;
-use recovery::RmConfig;
+use recovery::{PolicyChoice, RmConfig};
 use simcore::telemetry::{shared_bus, TraceHashSink};
 use simcore::SimTime;
 
@@ -54,6 +54,49 @@ fn refactored_kernel_reproduces_the_pinned_trace_digests() {
         trace_hash(11),
         (0xb6641c8980978708, 28_515),
         "seed-11 trace digest drifted from the pre-refactor pin"
+    );
+}
+
+/// The recovery-policy extraction (the recursive ladder moved behind the
+/// [`recovery::RecoveryPolicy`] trait, selected via [`PolicyChoice`]) must
+/// also be behaviour-invisible: explicitly asking for the paper ladder has
+/// to reproduce the same pinned digests as the default config, proving the
+/// trait indirection, the policy registry, and the `PolicyArmed` plumbing
+/// leave the paper configuration bit-for-bit untouched.
+#[test]
+fn ladder_behind_policy_trait_reproduces_the_pinned_trace_digests() {
+    let ladder_hash = |seed: u64| -> (u64, u64) {
+        let mut sim = Sim::new(SimConfig {
+            seed,
+            rm: Some(RmConfig::default()),
+            policy: PolicyChoice::Ladder,
+            ..SimConfig::default()
+        });
+        let bus = shared_bus();
+        let sink = Rc::new(RefCell::new(TraceHashSink::new()));
+        bus.borrow_mut().add_sink(Box::new(sink.clone()));
+        sim.attach_telemetry(bus);
+        sim.schedule_fault(
+            SimTime::from_mins(1),
+            0,
+            Fault::TransientException {
+                component: "BrowseCategories",
+                calls: 30,
+            },
+        );
+        sim.run_until(SimTime::from_mins(2));
+        let digest = (sink.borrow().value(), sink.borrow().count());
+        digest
+    };
+    assert_eq!(
+        ladder_hash(7),
+        (0xe68ddcae494f97d4, 28_335),
+        "seed-7 digest drifted once the ladder moved behind the policy trait"
+    );
+    assert_eq!(
+        ladder_hash(11),
+        (0xb6641c8980978708, 28_515),
+        "seed-11 digest drifted once the ladder moved behind the policy trait"
     );
 }
 

@@ -53,6 +53,17 @@ pub struct FlapSchedule {
     pub gap_s: u64,
 }
 
+/// A crash of the recovery manager's own host mid-run (ReHype-style):
+/// the RM loses its volatile diagnosis state and drops reports and
+/// acknowledgements until it reboots `outage_s` later.
+#[derive(Clone, Copy, Debug)]
+pub struct RmCrashSchedule {
+    /// Absolute crash time, seconds into the run.
+    pub at_s: u64,
+    /// How long the RM stays down, seconds.
+    pub outage_s: u64,
+}
+
 /// One deterministic campaign scenario.
 #[derive(Clone, Copy, Debug)]
 pub struct Scenario {
@@ -73,6 +84,10 @@ pub struct Scenario {
     /// Run with a concurrency-4 recovery manager behind the conductor
     /// instead of the serial manager.
     pub parallel_rm: bool,
+    /// Optional mid-run crash of the RM itself. `None` in the classic
+    /// campaign (so its pinned digests never move); the policy tournament
+    /// schedules it on a fraction of runs.
+    pub rm_crash: Option<RmCrashSchedule>,
 }
 
 /// Campaign parameters.
@@ -224,9 +239,96 @@ pub fn scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
                 flap,
                 comparison_detector: rng.chance(0.5),
                 parallel_rm: rng.chance(0.4),
+                rm_crash: None,
             }
         })
         .collect()
+}
+
+/// Generates the policy-tournament scenarios: like [`scenarios`], but the
+/// fault kind is forced round-robin over the full 18-kind catalogue so a
+/// small per-policy matrix still covers every kind, the RM is always
+/// serial (policies own their escalation, the conductor stays out of the
+/// comparison), and a quarter of the runs crash the RM itself mid-run.
+/// Equally deterministic: a pure function of the config.
+pub fn tournament_scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
+    let mut master = SimRng::seed_from(cfg.seed ^ 0x70ac_4a3e_0000_0000);
+    (0..cfg.runs)
+        .map(|run| {
+            let mut rng = master.fork();
+            // Rejection-sample until the drawn fault matches this run's
+            // assigned kind — deterministic, and keeps every draw flowing
+            // through the same campaign_fault distribution.
+            let want = (run % 18) as usize;
+            let fault = loop {
+                let f = campaign_fault(&mut rng);
+                if fault_kind_index(&f) == want {
+                    break f;
+                }
+            };
+            let inject_at_s = 8 + rng.uniform_u64(8);
+            let second = if rng.chance(0.25) {
+                Some(SecondFault {
+                    fault: campaign_fault(&mut rng),
+                    at_s: inject_at_s + 2 + rng.uniform_u64(8),
+                })
+            } else {
+                None
+            };
+            let flap = if flappable(&fault) && rng.chance(0.5) {
+                Some(FlapSchedule {
+                    recurrences: 1 + rng.uniform_u64(3) as u32,
+                    gap_s: 35 + rng.uniform_u64(15),
+                })
+            } else {
+                None
+            };
+            let rm_crash = if rng.chance(0.25) {
+                Some(RmCrashSchedule {
+                    at_s: inject_at_s + 1 + rng.uniform_u64(20),
+                    outage_s: 10 + rng.uniform_u64(30),
+                })
+            } else {
+                None
+            };
+            Scenario {
+                run,
+                sim_seed: cfg.seed ^ (run + 1).wrapping_mul(0x517c_c1b7_2722_0a95),
+                fault,
+                inject_at_s,
+                second,
+                flap,
+                comparison_detector: rng.chance(0.5),
+                parallel_rm: false,
+                rm_crash,
+            }
+        })
+        .collect()
+}
+
+/// Maps a fault to its `campaign_fault` catalogue index (the arm that
+/// produced it), used by the tournament's round-robin kind assignment.
+fn fault_kind_index(fault: &Fault) -> usize {
+    match fault {
+        Fault::Deadlock { .. } => 0,
+        Fault::InfiniteLoop { .. } => 1,
+        Fault::AppMemoryLeak { .. } => 2,
+        Fault::TransientException { .. } => 3,
+        Fault::Intermittent { .. } => 4,
+        Fault::SpuriousReports { .. } => 5,
+        Fault::CorruptPrimaryKeys { .. } => 6,
+        Fault::CorruptJndi { .. } => 7,
+        Fault::CorruptTxnMap { .. } => 8,
+        Fault::CorruptBeanAttrs { .. } => 9,
+        Fault::CorruptFastS { .. } => 10,
+        Fault::CorruptSsm => 11,
+        Fault::CorruptDb { .. } => 12,
+        Fault::MemLeakIntraJvm { .. } => 13,
+        Fault::MemLeakExtraJvm { .. } => 14,
+        Fault::BitFlipMemory => 15,
+        Fault::BitFlipRegisters => 16,
+        Fault::BadSyscalls => 17,
+    }
 }
 
 #[cfg(test)]
@@ -269,6 +371,38 @@ mod tests {
             all.iter().any(|s| s.comparison_detector) && all.iter().any(|s| !s.comparison_detector)
         );
         assert!(all.iter().any(|s| s.parallel_rm) && all.iter().any(|s| !s.parallel_rm));
+    }
+
+    #[test]
+    fn tournament_round_robin_covers_every_fault_kind() {
+        let cfg = CampaignConfig { seed: 7, runs: 18 };
+        let all = tournament_scenarios(&cfg);
+        let mut kinds: Vec<usize> = all.iter().map(|s| fault_kind_index(&s.fault)).collect();
+        kinds.sort_unstable();
+        assert_eq!(kinds, (0..18).collect::<Vec<_>>());
+        assert!(
+            all.iter().all(|s| !s.parallel_rm),
+            "tournament RM is serial"
+        );
+        // Determinism: same config, same scenarios.
+        let again = tournament_scenarios(&cfg);
+        for (x, y) in all.iter().zip(&again) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn tournament_schedules_rm_crashes_on_a_fraction_of_runs() {
+        let cfg = CampaignConfig { seed: 7, runs: 100 };
+        let all = tournament_scenarios(&cfg);
+        let crashes = all.iter().filter(|s| s.rm_crash.is_some()).count();
+        assert!(crashes > 5 && crashes < 50, "got {crashes} rm crashes");
+        for s in &all {
+            if let Some(c) = s.rm_crash {
+                assert!(c.outage_s >= 10);
+                assert!(c.at_s > s.inject_at_s);
+            }
+        }
     }
 
     #[test]

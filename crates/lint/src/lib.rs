@@ -13,13 +13,16 @@
 //!   schedule paths and string-keyed metric bumps built with `format!` —
 //!   outside the sanctioned closure-compat module
 //!   (`simcore/src/event.rs`).
-//! * **Exhaustiveness rules (`E001`–`E005`)**, applied to the canonical
+//! * **Exhaustiveness rules (`E001`–`E006`)**, applied to the canonical
 //!   telemetry and fault surfaces: every `TelemetryEvent` variant must
 //!   have an `encode_into` arm, trace encode/parse/kind arms, and a
 //!   `MetricsRegistry` fold arm (with no wildcard), every `RebootLevel`
-//!   must be handled in `lifecycle.rs`, and every `faults::Fault` variant
+//!   must be handled in `lifecycle.rs`, every `faults::Fault` variant
 //!   must have both an injection-conversion arm and a campaign-generator
-//!   arm (so urb-chaos can reach the whole fault model).
+//!   arm (so urb-chaos can reach the whole fault model), and (`E006`)
+//!   every `RecoveryPolicy` implementation must be registered in the
+//!   `PolicyChoice` tournament registry with every variant constructible,
+//!   labelled, coded and rostered in `ALL`.
 //!
 //! The escape hatch is a pragma comment on the offending line or the
 //! line above: `// urb-lint: allow(D001) — <justification>`. A pragma
@@ -96,6 +99,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "E005",
         "Fault variant missing an injection-conversion or campaign-generator arm",
+    ),
+    (
+        "E006",
+        "RecoveryPolicy impl or PolicyChoice variant missing from the tournament registry",
     ),
     (
         "P001",
@@ -982,6 +989,98 @@ pub fn check_fault_exhaustiveness(
     diags
 }
 
+/// Cross-checks the recovery-policy registry (E006). Every
+/// `impl RecoveryPolicy for <Type>` across the recovery crate's sources
+/// must be constructed in `PolicyChoice::build` — otherwise the policy
+/// can never enter a tournament — and every `PolicyChoice` variant must
+/// appear in the `ALL` roster and the `build`/`label`/`code` match
+/// bodies, otherwise it is unrosterable, unconstructible, unlabelled or
+/// has no `PolicyArmed` wire code.
+pub fn check_policy_exhaustiveness(
+    policy: &ExhaustInput,
+    impls: &[ExhaustInput],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let code = mask_source(policy.src).code;
+    let variants = enum_variants(policy.src, "PolicyChoice");
+    // The registry surfaces all live in the inherent `impl PolicyChoice`
+    // block (the file also has other `fn label`s, e.g. PolicyLevel's).
+    let Some((_, impl_body)) = body_after(&code, "impl PolicyChoice") else {
+        return diags;
+    };
+    for (anchor, what) in [
+        ("fn build", "build (unconstructible)"),
+        ("fn label", "label (no registry label)"),
+        ("fn code", "code (no PolicyArmed wire code)"),
+    ] {
+        if let Some(body) = body_text(&impl_body, anchor) {
+            for v in &variants {
+                if !body.contains(&format!("PolicyChoice::{}", v.name)) {
+                    diags.push(Diagnostic {
+                        file: policy.label.to_string(),
+                        line: v.line,
+                        rule: "E006",
+                        message: format!("PolicyChoice::{} has no arm in fn {what}", v.name),
+                        fix: "add a match arm for the variant in the registry".to_string(),
+                    });
+                }
+            }
+        }
+    }
+    if let Some(start) = impl_body.iter().position(|l| l.contains("const ALL")) {
+        let mut roster = String::new();
+        for line in &impl_body[start..] {
+            roster.push_str(line);
+            roster.push('\n');
+            if line.contains("];") {
+                break;
+            }
+        }
+        for v in &variants {
+            if !roster.contains(&format!("PolicyChoice::{}", v.name)) {
+                diags.push(Diagnostic {
+                    file: policy.label.to_string(),
+                    line: v.line,
+                    rule: "E006",
+                    message: format!(
+                        "PolicyChoice::{} is missing from the ALL roster (tournaments skip it)",
+                        v.name
+                    ),
+                    fix: "add the variant to PolicyChoice::ALL".to_string(),
+                });
+            }
+        }
+    }
+    if let Some(build) = body_text(&impl_body, "fn build") {
+        for input in impls {
+            let masked = mask_source(input.src).code;
+            for (idx, line) in masked.iter().enumerate() {
+                let Some(pos) = line.find("impl RecoveryPolicy for ") else {
+                    continue;
+                };
+                let rest = &line[pos + "impl RecoveryPolicy for ".len()..];
+                let ty: String = rest
+                    .chars()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect();
+                if !ty.is_empty() && !build.contains(&ty) {
+                    diags.push(Diagnostic {
+                        file: input.label.to_string(),
+                        line: idx + 1,
+                        rule: "E006",
+                        message: format!(
+                            "{ty} implements RecoveryPolicy but is never built by PolicyChoice::build"
+                        ),
+                        fix: "register the policy under a PolicyChoice variant in fn build"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+    }
+    diags
+}
+
 /// `_ =>` arms at the top level of the first `match` in `fn_body`,
 /// as `(line_offset_within_body, line_text)`.
 fn wildcard_arms(fn_body: &[String]) -> Vec<(usize, String)> {
@@ -1096,6 +1195,34 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
                 src: &faults_src,
             },
             campaign_i.as_ref(),
+        ));
+    }
+
+    let policy_path = root.join("crates/recovery/src/policy.rs");
+    if policy_path.is_file() {
+        let policy_src = fs::read_to_string(&policy_path)
+            .map_err(|e| format!("{}: {e}", policy_path.display()))?;
+        let rec_dir = root.join("crates/recovery/src");
+        let mut files = Vec::new();
+        rs_files_sorted(&rec_dir, &mut files)?;
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|f| {
+                fs::read_to_string(f)
+                    .map(|s| (rel_label(root, f), s))
+                    .map_err(|e| format!("{}: {e}", f.display()))
+            })
+            .collect::<Result<_, _>>()?;
+        let impls: Vec<ExhaustInput> = sources
+            .iter()
+            .map(|(l, s)| ExhaustInput { label: l, src: s })
+            .collect();
+        diags.extend(check_policy_exhaustiveness(
+            &ExhaustInput {
+                label: &rel_label(root, &policy_path),
+                src: &policy_src,
+            },
+            &impls,
         ));
     }
 

@@ -1,0 +1,40 @@
+//! Bad fixture for E006: `Hedge` is declared but missing from the ALL
+//! roster, the label match and the build match (three diagnostics), and
+//! `OrphanPolicy` implements RecoveryPolicy without being registered in
+//! fn build (a fourth).
+
+pub enum PolicyChoice {
+    Ladder,
+    Hedge,
+}
+
+impl PolicyChoice {
+    pub const ALL: &'static [PolicyChoice] = &[PolicyChoice::Ladder];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::Ladder => "paper-ladder",
+            _ => "unknown",
+        }
+    }
+
+    pub fn code(self) -> u8 {
+        match self {
+            PolicyChoice::Ladder => 0,
+            PolicyChoice::Hedge => 1,
+        }
+    }
+
+    pub fn build(self) -> Box<dyn RecoveryPolicy> {
+        match self {
+            PolicyChoice::Ladder => Box::new(LadderPolicy::new()),
+            _ => Box::new(LadderPolicy::new()),
+        }
+    }
+}
+
+pub struct LadderPolicy;
+pub struct OrphanPolicy;
+
+impl RecoveryPolicy for LadderPolicy {}
+impl RecoveryPolicy for OrphanPolicy {}

@@ -1,0 +1,39 @@
+//! Good fixture for E006: every PolicyChoice variant is rostered,
+//! labelled, coded and constructible, and every RecoveryPolicy impl is
+//! registered in fn build.
+
+pub enum PolicyChoice {
+    Ladder,
+    Bulkhead,
+}
+
+impl PolicyChoice {
+    pub const ALL: &'static [PolicyChoice] = &[PolicyChoice::Ladder, PolicyChoice::Bulkhead];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyChoice::Ladder => "paper-ladder",
+            PolicyChoice::Bulkhead => "bulkhead",
+        }
+    }
+
+    pub fn code(self) -> u8 {
+        match self {
+            PolicyChoice::Ladder => 0,
+            PolicyChoice::Bulkhead => 1,
+        }
+    }
+
+    pub fn build(self) -> Box<dyn RecoveryPolicy> {
+        match self {
+            PolicyChoice::Ladder => Box::new(LadderPolicy::new()),
+            PolicyChoice::Bulkhead => Box::new(BulkheadPolicy::new()),
+        }
+    }
+}
+
+pub struct LadderPolicy;
+pub struct BulkheadPolicy;
+
+impl RecoveryPolicy for LadderPolicy {}
+impl RecoveryPolicy for BulkheadPolicy {}

@@ -6,7 +6,8 @@
 use std::path::{Path, PathBuf};
 
 use urb_lint::{
-    check_exhaustiveness, check_fault_exhaustiveness, lint_source, lint_workspace, ExhaustInput,
+    check_exhaustiveness, check_fault_exhaustiveness, check_policy_exhaustiveness, lint_source,
+    lint_workspace, ExhaustInput,
 };
 
 fn fixture(rel: &str) -> String {
@@ -244,6 +245,45 @@ fn good_fault_fixture_is_clean() {
         },
         None,
     );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
+fn unregistered_policy_and_missing_variant_surfaces_are_caught() {
+    let policy = fixture("exhaustiveness/policy_bad.rs");
+    let input = ExhaustInput {
+        label: "policy_bad.rs",
+        src: &policy,
+    };
+    let diags = check_policy_exhaustiveness(&input, std::slice::from_ref(&input));
+    assert_eq!(diags.len(), 4, "diagnostics: {diags:#?}");
+    assert!(diags.iter().all(|d| d.rule == "E006"));
+    // Hedge: missing from fn build, fn label and the ALL roster.
+    assert_eq!(
+        diags
+            .iter()
+            .filter(|d| d.message.contains("PolicyChoice::Hedge"))
+            .count(),
+        3,
+        "diagnostics: {diags:#?}"
+    );
+    // OrphanPolicy implements the trait but is never built.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("OrphanPolicy") && d.message.contains("never built")),
+        "diagnostics: {diags:#?}"
+    );
+}
+
+#[test]
+fn good_policy_fixture_is_clean() {
+    let policy = fixture("exhaustiveness/policy_good.rs");
+    let input = ExhaustInput {
+        label: "policy_good.rs",
+        src: &policy,
+    };
+    let diags = check_policy_exhaustiveness(&input, std::slice::from_ref(&input));
     assert!(diags.is_empty(), "unexpected: {diags:#?}");
 }
 

@@ -212,10 +212,13 @@ impl Conductor {
             RecoveryAction::Microreboot { .. } => RebootLevel::Component,
             RecoveryAction::RestartApp => RebootLevel::Application,
             RecoveryAction::RestartProcess => RebootLevel::Process,
-            // NotifyHuman normally bypasses the conductor (nothing to
-            // schedule); if submitted anyway it is treated as maximally
-            // exclusive.
-            RecoveryAction::RebootOs | RecoveryAction::NotifyHuman => RebootLevel::OperatingSystem,
+            // NotifyHuman, Isolate and Failover normally bypass the
+            // conductor (the executor handles them directly); if submitted
+            // anyway they are treated as maximally exclusive.
+            RecoveryAction::RebootOs
+            | RecoveryAction::NotifyHuman
+            | RecoveryAction::Isolate { .. }
+            | RecoveryAction::Failover => RebootLevel::OperatingSystem,
         }
     }
 

@@ -22,10 +22,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod breaker;
+pub mod bulkhead;
 pub mod conductor;
+pub mod failover;
+pub mod hedge;
+pub mod ladder;
 pub mod manager;
 pub mod policy;
 
 pub use conductor::{Conductor, ConductorConfig, Finished, StartCmd, Submission, TicketId};
 pub use manager::{RecoveryAction, RecoveryManager, RmConfig, RmStats};
-pub use policy::PolicyLevel;
+pub use policy::{PolicyChoice, PolicyCtx, PolicyLevel, RecoveryPolicy};

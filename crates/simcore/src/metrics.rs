@@ -57,6 +57,8 @@ pub fn decision_sym(decision: DecisionKind) -> Sym {
         DecisionKind::ProcessRestart => symbol::DECISIONS_PROCESS_RESTART,
         DecisionKind::OsReboot => symbol::DECISIONS_OS_REBOOT,
         DecisionKind::NotifyHuman => symbol::DECISIONS_NOTIFY_HUMAN,
+        DecisionKind::Isolate => symbol::DECISIONS_ISOLATE,
+        DecisionKind::Failover => symbol::DECISIONS_FAILOVER,
     }
 }
 
@@ -369,6 +371,12 @@ impl TelemetrySink for MetricsRegistry {
                 self.inc_sym(symbol::CAMPAIGN_RUNS_DONE);
                 self.add_sym(symbol::CAMPAIGN_VIOLATIONS, u64::from(violations));
             }
+            TelemetryEvent::PolicyArmed { .. } => self.inc_sym(symbol::POLICIES_ARMED),
+            TelemetryEvent::BreakerTransition { .. } => self.inc_sym(symbol::BREAKER_TRANSITIONS),
+            TelemetryEvent::HedgeDeferred { .. } => self.inc_sym(symbol::HEDGE_DEFERRALS),
+            TelemetryEvent::RmCrashed { .. } => self.inc_sym(symbol::RM_CRASHES),
+            TelemetryEvent::RmRebooted { .. } => self.inc_sym(symbol::RM_REBOOTS),
+            TelemetryEvent::FailoverEngaged { .. } => self.inc_sym(symbol::FAILOVERS_ENGAGED),
         }
     }
 }

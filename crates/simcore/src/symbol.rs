@@ -61,6 +61,7 @@ macro_rules! symbols {
 
 symbols! {
     ACTIONS_CLOSED => "actions_closed",
+    BREAKER_TRANSITIONS => "breaker_transitions",
     CAMPAIGN_RUNS_DONE => "campaign_runs_done",
     CAMPAIGN_VIOLATIONS => "campaign_violations",
     CLIENT_OP_MS => "client_op_ms",
@@ -69,13 +70,17 @@ symbols! {
     CLIENT_OPS_OK => "client_ops_ok",
     DECISIONS_APP_RESTART => "decisions_app_restart",
     DECISIONS_EJB_MICROREBOOT => "decisions_ejb_microreboot",
+    DECISIONS_FAILOVER => "decisions_failover",
+    DECISIONS_ISOLATE => "decisions_isolate",
     DECISIONS_NOTIFY_HUMAN => "decisions_notify_human",
     DECISIONS_OS_REBOOT => "decisions_os_reboot",
     DECISIONS_PROCESS_RESTART => "decisions_process_restart",
     DECISIONS_WAR_MICROREBOOT => "decisions_war_microreboot",
     DETECTOR_FIRES => "detector_fires",
     ESCALATIONS_SATURATED => "escalations_saturated",
+    FAILOVERS_ENGAGED => "failovers_engaged",
     FLAP_ESCALATIONS => "flap_escalations",
+    HEDGE_DEFERRALS => "hedge_deferrals",
     KILLED => "killed",
     KILLED_MICROREBOOT => "killed_microreboot",
     KILLED_RESTART => "killed_restart",
@@ -83,6 +88,7 @@ symbols! {
     LB_FAILOVERS => "lb_failovers",
     OPS_FAIL => "ops_fail",
     OPS_OK => "ops_ok",
+    POLICIES_ARMED => "policies_armed",
     QUARANTINE_OFF => "quarantine_off",
     QUARANTINE_ON => "quarantine_on",
     REBOOT_MS => "reboot_ms",
@@ -109,6 +115,8 @@ symbols! {
     REQUESTS_OK => "requests_ok",
     REQUESTS_SUBMITTED => "requests_submitted",
     RETRIES_SENT => "retries_sent",
+    RM_CRASHES => "rm_crashes",
+    RM_REBOOTS => "rm_reboots",
     STORM_DAMPED => "storm_damped",
     TTL_SWEEP_REAPED => "ttl_sweep_reaped",
     TTL_SWEEPS => "ttl_sweeps",

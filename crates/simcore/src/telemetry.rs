@@ -129,6 +129,10 @@ pub enum DecisionKind {
     OsReboot,
     /// Automated recovery exhausted; page a human.
     NotifyHuman,
+    /// Bulkhead admission isolation of a blast radius (no reboot yet).
+    Isolate,
+    /// Traffic failover away from the node before any reboot.
+    Failover,
 }
 
 impl DecisionKind {
@@ -140,6 +144,8 @@ impl DecisionKind {
             DecisionKind::ProcessRestart => 3,
             DecisionKind::OsReboot => 4,
             DecisionKind::NotifyHuman => 5,
+            DecisionKind::Isolate => 6,
+            DecisionKind::Failover => 7,
         }
     }
 }
@@ -370,6 +376,55 @@ pub enum TelemetryEvent {
         /// Invariant violations observed in this run.
         violations: u32,
     },
+    /// A non-default recovery policy was armed on the recovery manager
+    /// (emitted once, when telemetry attaches; the paper's ladder stays
+    /// silent so default-config traces are unchanged).
+    PolicyArmed {
+        /// The policy's registry code (`PolicyChoice::code`).
+        policy: u8,
+        /// When.
+        at: SimTime,
+    },
+    /// A circuit-breaker policy changed state on a node
+    /// (0 = closed, 1 = open/tripped, 2 = half-open probe).
+    BreakerTransition {
+        /// Target node.
+        node: usize,
+        /// New breaker state code.
+        state: u8,
+        /// When.
+        at: SimTime,
+    },
+    /// A retry-budget policy deferred a recovery decision, betting the
+    /// failure is transient and client retries will ride it out.
+    HedgeDeferred {
+        /// Target node.
+        node: usize,
+        /// Deferrals left in the node's budget.
+        budget_left: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// The recovery manager itself crashed mid-episode (ReHype-style):
+    /// all volatile diagnosis state is lost.
+    RmCrashed {
+        /// When.
+        at: SimTime,
+    },
+    /// The recovery manager finished rebooting and resumed polling with a
+    /// blank diagnosis slate.
+    RmRebooted {
+        /// When.
+        at: SimTime,
+    },
+    /// A failover-first policy engaged: traffic is redirected away from
+    /// the node before (instead of) rebooting anything on it.
+    FailoverEngaged {
+        /// Node traffic is steered away from.
+        node: usize,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TelemetryEvent {
@@ -569,6 +624,40 @@ impl TelemetryEvent {
                 put_u64(buf, run);
                 put_u64(buf, digest);
                 put_u64(buf, u64::from(violations));
+            }
+            TelemetryEvent::PolicyArmed { policy, at } => {
+                buf.push(22);
+                buf.push(policy);
+                put_time(buf, at);
+            }
+            TelemetryEvent::BreakerTransition { node, state, at } => {
+                buf.push(23);
+                put_u64(buf, node as u64);
+                buf.push(state);
+                put_time(buf, at);
+            }
+            TelemetryEvent::HedgeDeferred {
+                node,
+                budget_left,
+                at,
+            } => {
+                buf.push(24);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(budget_left));
+                put_time(buf, at);
+            }
+            TelemetryEvent::RmCrashed { at } => {
+                buf.push(25);
+                put_time(buf, at);
+            }
+            TelemetryEvent::RmRebooted { at } => {
+                buf.push(26);
+                put_time(buf, at);
+            }
+            TelemetryEvent::FailoverEngaged { node, at } => {
+                buf.push(27);
+                put_u64(buf, node as u64);
+                put_time(buf, at);
             }
         }
     }
@@ -976,6 +1065,38 @@ mod tests {
                     violations: 0,
                 },
                 cat(&[vec![21], le(5), le(0xdead_beef), le(0)]),
+            ),
+            (
+                TelemetryEvent::PolicyArmed { policy: 3, at: t },
+                cat(&[vec![22], vec![3], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::BreakerTransition {
+                    node: 1,
+                    state: 2,
+                    at: t,
+                },
+                cat(&[vec![23], le(1), vec![2], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::HedgeDeferred {
+                    node: 0,
+                    budget_left: 4,
+                    at: t,
+                },
+                cat(&[vec![24], le(0), le(4), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RmCrashed { at: t },
+                cat(&[vec![25], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::RmRebooted { at: t },
+                cat(&[vec![26], le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::FailoverEngaged { node: 1, at: t },
+                cat(&[vec![27], le(1), le(1_500_000)]),
             ),
         ];
         for (ev, want) in cases {

@@ -266,6 +266,8 @@ fn decision_str(d: DecisionKind) -> &'static str {
         DecisionKind::ProcessRestart => "process_restart",
         DecisionKind::OsReboot => "os_reboot",
         DecisionKind::NotifyHuman => "notify_human",
+        DecisionKind::Isolate => "isolate",
+        DecisionKind::Failover => "failover",
     }
 }
 
@@ -277,6 +279,8 @@ fn decision_from_str(s: &str) -> Option<DecisionKind> {
         "process_restart" => Some(DecisionKind::ProcessRestart),
         "os_reboot" => Some(DecisionKind::OsReboot),
         "notify_human" => Some(DecisionKind::NotifyHuman),
+        "isolate" => Some(DecisionKind::Isolate),
+        "failover" => Some(DecisionKind::Failover),
         _ => None,
     }
 }
@@ -306,6 +310,12 @@ pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
         TelemetryEvent::WatchdogEscalated { .. } => "watchdog_escalated",
         TelemetryEvent::EscalationSaturated { .. } => "escalation_saturated",
         TelemetryEvent::CampaignRunDone { .. } => "campaign_run_done",
+        TelemetryEvent::PolicyArmed { .. } => "policy_armed",
+        TelemetryEvent::BreakerTransition { .. } => "breaker_transition",
+        TelemetryEvent::HedgeDeferred { .. } => "hedge_deferred",
+        TelemetryEvent::RmCrashed { .. } => "rm_crashed",
+        TelemetryEvent::RmRebooted { .. } => "rm_rebooted",
+        TelemetryEvent::FailoverEngaged { .. } => "failover_engaged",
     }
 }
 
@@ -456,6 +466,32 @@ pub fn event_to_json(ev: &TelemetryEvent) -> String {
             digest,
             violations,
         } => format!("{{\"t\":\"campaign_run_done\",\"run\":{run},\"digest\":{digest},\"violations\":{violations}}}"),
+        TelemetryEvent::PolicyArmed { policy, at } => format!(
+            "{{\"t\":\"policy_armed\",\"policy\":{policy},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::BreakerTransition { node, state, at } => format!(
+            "{{\"t\":\"breaker_transition\",\"node\":{node},\"state\":{state},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::HedgeDeferred {
+            node,
+            budget_left,
+            at,
+        } => format!(
+            "{{\"t\":\"hedge_deferred\",\"node\":{node},\"budget_left\":{budget_left},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::RmCrashed { at } => {
+            format!("{{\"t\":\"rm_crashed\",\"at_us\":{}}}", at.as_micros())
+        }
+        TelemetryEvent::RmRebooted { at } => {
+            format!("{{\"t\":\"rm_rebooted\",\"at_us\":{}}}", at.as_micros())
+        }
+        TelemetryEvent::FailoverEngaged { node, at } => format!(
+            "{{\"t\":\"failover_engaged\",\"node\":{node},\"at_us\":{}}}",
+            at.as_micros()
+        ),
     }
 }
 
@@ -645,6 +681,30 @@ pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
             digest: need_u64(line, "digest")?,
             violations: need_u64(line, "violations")? as u32,
         },
+        "policy_armed" => TelemetryEvent::PolicyArmed {
+            policy: need_u64(line, "policy")? as u8,
+            at: need_time(line, "at_us")?,
+        },
+        "breaker_transition" => TelemetryEvent::BreakerTransition {
+            node: need_u64(line, "node")? as usize,
+            state: need_u64(line, "state")? as u8,
+            at: need_time(line, "at_us")?,
+        },
+        "hedge_deferred" => TelemetryEvent::HedgeDeferred {
+            node: need_u64(line, "node")? as usize,
+            budget_left: need_u64(line, "budget_left")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "rm_crashed" => TelemetryEvent::RmCrashed {
+            at: need_time(line, "at_us")?,
+        },
+        "rm_rebooted" => TelemetryEvent::RmRebooted {
+            at: need_time(line, "at_us")?,
+        },
+        "failover_engaged" => TelemetryEvent::FailoverEngaged {
+            node: need_u64(line, "node")? as usize,
+            at: need_time(line, "at_us")?,
+        },
         other => return Err(format!("unknown event type \"{other}\"")),
     };
     Ok(ev)
@@ -662,6 +722,10 @@ pub fn decision_level(decision: DecisionKind) -> Option<RebootLevel> {
         DecisionKind::ProcessRestart => Some(RebootLevel::Process),
         DecisionKind::OsReboot => Some(RebootLevel::OperatingSystem),
         DecisionKind::NotifyHuman => None,
+        // Isolation and failover redirect traffic instead of rebooting
+        // anything, so no reboot depth is attributable to them.
+        DecisionKind::Isolate => None,
+        DecisionKind::Failover => None,
     }
 }
 
@@ -1084,6 +1148,15 @@ pub fn strict_attribution(events: &[TelemetryEvent]) -> StrictReport {
             TelemetryEvent::ClientOp { .. } | TelemetryEvent::ActionClosed { .. } => None,
             // Campaign-plane summary marks sit above any single run.
             TelemetryEvent::CampaignRunDone { .. } => None,
+            // Policy-plane events promise a *decision*, not a reboot: a
+            // breaker trip may be answered by isolation, a hedge deferral
+            // by nothing at all, and the RM's own crash/reboot is global.
+            TelemetryEvent::PolicyArmed { .. }
+            | TelemetryEvent::BreakerTransition { .. }
+            | TelemetryEvent::HedgeDeferred { .. }
+            | TelemetryEvent::RmCrashed { .. }
+            | TelemetryEvent::RmRebooted { .. }
+            | TelemetryEvent::FailoverEngaged { .. } => None,
         };
         match slot {
             Some(Some(i)) => per_episode[i] += 1,
@@ -1371,6 +1444,20 @@ mod tests {
                 digest: 0xdead_beef,
                 violations: 0,
             },
+            TelemetryEvent::PolicyArmed { policy: 2, at: t },
+            TelemetryEvent::BreakerTransition {
+                node: 1,
+                state: 1,
+                at: t,
+            },
+            TelemetryEvent::HedgeDeferred {
+                node: 0,
+                budget_left: 3,
+                at: t,
+            },
+            TelemetryEvent::RmCrashed { at: t },
+            TelemetryEvent::RmRebooted { at: t },
+            TelemetryEvent::FailoverEngaged { node: 1, at: t },
         ];
         for ev in &all {
             let line = event_to_json(ev);
