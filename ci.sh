@@ -32,11 +32,15 @@ echo "==> urb-chaos policy tournament: full fault matrix x every policy, strict"
 cargo run --release -q -p bench --bin urb-chaos -- tournament \
   --seed 7 --runs "${TOURNAMENT_RUNS:-18}" --strict --json
 
+echo "==> urb-chaos degraded campaign: fail-slow matrix, performance-parity strict"
+cargo run --release -q -p bench --bin urb-chaos -- degraded \
+  --seed 7 --runs "${DEGRADED_RUNS:-12}" --strict --json
+
 echo "==> perf trajectory: regenerate repo-root BENCH_*.json"
 cargo run --release -q -p bench --bin exp_parallel_recovery > /dev/null
 cargo run --release -q -p bench --bin urb-bench -- \
   kernel --events "${KERNEL_BENCH_EVENTS:-1000000}" --json target/BENCH_kernel.json > /dev/null
-for name in BENCH_kernel BENCH_parallel_recovery BENCH_policy_tournament; do
+for name in BENCH_kernel BENCH_parallel_recovery BENCH_policy_tournament BENCH_degraded_parity; do
   fresh="target/${name}.json"
   committed="${name}.json"
   if [ -f "$committed" ]; then

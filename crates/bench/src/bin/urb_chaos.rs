@@ -32,7 +32,9 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-use bench::chaos::{self, describe, fault_kind, run_scenario, RunOptions, TournamentOptions};
+use bench::chaos::{
+    self, depth_label, describe, fault_kind, run_scenario, RunOptions, TournamentOptions,
+};
 use bench::report::JsonReport;
 use bench::Table;
 use faults::campaign::{self, CampaignConfig};
@@ -43,14 +45,201 @@ use simcore::{MetricsRegistry, TelemetryEvent};
 fn usage() {
     eprintln!("usage: urb-chaos [--seed N] [--runs M] [--strict] [--verbose] [--only RUN]");
     eprintln!("       urb-chaos tournament [--seed N] [--runs M] [--policies a,b,..] [--strict] [--verbose] [--json]");
+    eprintln!("       urb-chaos degraded [--seed N] [--runs M] [--strict] [--verbose] [--json] [--only RUN]");
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("tournament") {
-        return tournament_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("tournament") => tournament_main(&args[1..]),
+        Some("degraded") => degraded_main(&args[1..]),
+        _ => campaign_main(&args),
     }
-    campaign_main(&args)
+}
+
+/// The degraded (fail-slow) campaign: every run injects `Fault::Degraded`
+/// with the performance plane armed, and convergence additionally
+/// requires the performance-parity invariants — baseline frozen before
+/// injection, the anomaly detected, the ladder escalating past warm
+/// restarts, and post-recovery latency/throughput back within tolerance
+/// of the frozen baseline.
+fn degraded_main(args: &[String]) -> ExitCode {
+    let mut seed = 7u64;
+    let mut runs = 12u64;
+    let mut only: Option<u64> = None;
+    let mut strict = false;
+    let mut verbose = false;
+    let mut write_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--seed" => it.next().map(|v| v.parse().map(|n| seed = n)),
+            "--runs" => it.next().map(|v| v.parse().map(|n| runs = n)),
+            "--only" => it.next().map(|v| v.parse().map(|n| only = Some(n))),
+            "--strict" => {
+                strict = true;
+                continue;
+            }
+            "--verbose" => {
+                verbose = true;
+                continue;
+            }
+            "--json" => {
+                write_json = true;
+                continue;
+            }
+            _ => None,
+        };
+        match parsed {
+            Some(Ok(())) => {}
+            _ => {
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut scenarios = campaign::degraded_scenarios(&CampaignConfig { seed, runs });
+    if let Some(run) = only {
+        scenarios.retain(|s| s.run == run);
+    }
+    let opts = RunOptions {
+        perf: Some(workload::PerfConfig::default()),
+        // Three times the classic client load: fail-slow detection is
+        // statistical, and the degraded targets' ops need enough traffic
+        // per judgement window (>= min_window_ops) to earn verdicts. The
+        // classic campaigns keep the lighter load their digests pin.
+        clients: 180,
+        debug: only.is_some() && verbose,
+        ..RunOptions::default()
+    };
+    let mut campaign_hash = TraceHashSink::new();
+    let mut campaign_metrics = MetricsRegistry::new();
+    let mut failures: Vec<(u64, String, Vec<String>)> = Vec::new();
+    let mut depth_counts = [0u64; 5];
+    let mut detection_ms: Vec<u64> = Vec::new();
+    let mut parity_ms: Vec<u64> = Vec::new();
+    let mut anomaly_windows = 0u64;
+
+    for s in &scenarios {
+        let mut out = run_scenario(s, &opts);
+        if strict {
+            let again = run_scenario(s, &opts);
+            if again.digest != out.digest {
+                out.violations.push(format!(
+                    "nondeterministic: digest {:016x} vs {:016x} on re-run",
+                    out.digest, again.digest
+                ));
+            }
+        }
+        let perf = out.perf.unwrap_or_default();
+        depth_counts[usize::from(perf.escalation_depth.min(4))] += 1;
+        detection_ms.extend(perf.detection_latency_ms);
+        parity_ms.extend(perf.parity_after_ms);
+        anomaly_windows += perf.anomalies;
+        let done = TelemetryEvent::CampaignRunDone {
+            run: s.run,
+            digest: out.digest,
+            violations: out.violations.len() as u32,
+        };
+        campaign_hash.on_event(&done);
+        campaign_metrics.on_event(&done);
+        if verbose {
+            println!(
+                "run {:>3}  {:<36} detect {:>6} ms  parity {:>7} ms  depth {:<15} digest {:016x}  {}",
+                s.run,
+                describe(s),
+                perf.detection_latency_ms
+                    .map_or("-".into(), |v| v.to_string()),
+                perf.parity_after_ms.map_or("-".into(), |v| v.to_string()),
+                depth_label(perf.escalation_depth),
+                out.digest,
+                if out.violations.is_empty() {
+                    "ok".into()
+                } else {
+                    format!("VIOLATIONS: {}", out.violations.join("; "))
+                }
+            );
+        }
+        if !out.violations.is_empty() {
+            failures.push((s.run, describe(s), out.violations));
+        }
+    }
+
+    let mean = |v: &[u64]| {
+        if v.is_empty() {
+            0
+        } else {
+            v.iter().sum::<u64>() / v.len() as u64
+        }
+    };
+    let max = |v: &[u64]| v.iter().copied().max().unwrap_or(0);
+    println!(
+        "urb-chaos degraded: seed {seed}, {runs} run(s){}",
+        if strict { ", strict" } else { "" }
+    );
+    let mut t = Table::new(&["metric", "value"]);
+    t.row_owned(vec![
+        "detection latency (ms, mean/max)".into(),
+        format!("{} / {}", mean(&detection_ms), max(&detection_ms)),
+    ]);
+    t.row_owned(vec![
+        "parity restoration (ms, mean/max)".into(),
+        format!("{} / {}", mean(&parity_ms), max(&parity_ms)),
+    ]);
+    t.row_owned(vec!["anomaly windows".into(), anomaly_windows.to_string()]);
+    for (i, count) in depth_counts.iter().enumerate() {
+        t.row_owned(vec![
+            format!("escalation depth: {}", depth_label(i as u8)),
+            count.to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "degraded campaign digest {:016x} over {} run(s), {} violation(s)",
+        campaign_hash.value(),
+        campaign_metrics.counter("campaign_runs_done"),
+        campaign_metrics.counter("campaign_violations"),
+    );
+
+    if write_json {
+        let mut r = JsonReport::new("degraded_parity");
+        r.metric("seed", seed);
+        r.metric("runs", runs);
+        r.metric(
+            "violations",
+            campaign_metrics.counter("campaign_violations"),
+        );
+        r.metric("anomaly_windows", anomaly_windows);
+        r.metric("detection_latency_ms_mean", mean(&detection_ms));
+        r.metric("detection_latency_ms_max", max(&detection_ms));
+        r.metric("parity_restore_ms_mean", mean(&parity_ms));
+        r.metric("parity_restore_ms_max", max(&parity_ms));
+        for (i, count) in depth_counts.iter().enumerate() {
+            r.metric(&format!("escalation.{}", depth_label(i as u8)), *count);
+        }
+        r.digest(campaign_hash.value());
+        match r.write() {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("all parity invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for (run, desc, violations) in &failures {
+            eprintln!("run {run} ({desc}):");
+            for v in violations {
+                eprintln!("  - {v}");
+            }
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn campaign_main(args: &[String]) -> ExitCode {

@@ -7,6 +7,9 @@
 //!   fault scenario (two simulated minutes, a transient exception in
 //!   `BrowseCategories` at t=60 s, automatic recovery) and write its
 //!   full trace, so CI and the other subcommands have a cheap input;
+//!   `--degraded` records the fail-slow scenario instead (performance
+//!   plane armed, a 4x slowdown injected at t=40 s) so the summary and
+//!   timeline views have anomaly and parity marks to show;
 //! * `urb-trace summary <trace.jsonl>` — one row per recovery episode:
 //!   trigger, rung, duration, lost work, paper-style Taw dip;
 //! * `urb-trace timeline <trace.jsonl>` — per-second availability in the
@@ -31,15 +34,16 @@ use recovery::RmConfig;
 use simcore::metrics::level_suffix;
 use simcore::telemetry::shared_bus;
 use simcore::trace::{
-    assemble_episodes, availability_timeline, event_kind, event_to_json, taw_dip, Trace,
-    TraceRecorder,
+    assemble_episodes, availability_timeline, event_kind, event_to_json, taw_dip, KernelGauges,
+    Trace, TraceRecorder,
 };
-use simcore::SimTime;
+use simcore::{MetricsRegistry, QuantileSketch, SimTime, TelemetryEvent};
+use workload::FunctionalGroup;
 
 fn usage() {
     eprintln!(
         "usage:\n  \
-         urb-trace record <out.jsonl> [--seed N]\n  \
+         urb-trace record <out.jsonl> [--seed N] [--degraded]\n  \
          urb-trace summary <trace.jsonl>\n  \
          urb-trace timeline <trace.jsonl>\n  \
          urb-trace diff <a.jsonl> <b.jsonl>\n  \
@@ -84,6 +88,7 @@ fn load(path: &str) -> Result<Trace, String> {
 fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
     let out = args.first().ok_or("record needs an output path")?;
     let mut seed = 7;
+    let mut degraded = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -94,31 +99,68 @@ fn cmd_record(args: &[String]) -> Result<ExitCode, String> {
                     .parse()
                     .map_err(|e| format!("bad seed: {e}"))?;
             }
+            "--degraded" => degraded = true,
             other => return Err(format!("unknown record flag {other}")),
         }
     }
 
-    let mut sim = Sim::new(SimConfig {
-        seed,
-        rm: Some(RmConfig::default()),
-        ..SimConfig::default()
-    });
+    let mut sim = if degraded {
+        // The fail-slow scenario (mirrors the `degraded_episode` golden
+        // test): triple client load for window density, the performance
+        // plane armed, a 4x slowdown on the hot search path at t=40 s.
+        Sim::new(SimConfig {
+            seed,
+            clients_per_node: 180,
+            detector: workload::DetectorKind::LatencyAnomaly,
+            perf: Some(workload::PerfConfig::default()),
+            rm: Some(RmConfig::default()),
+            ..SimConfig::default()
+        })
+    } else {
+        Sim::new(SimConfig {
+            seed,
+            rm: Some(RmConfig::default()),
+            ..SimConfig::default()
+        })
+    };
     let bus = shared_bus();
     let recorder = Rc::new(RefCell::new(TraceRecorder::new()));
     bus.borrow_mut().add_sink(Box::new(recorder.clone()));
     sim.attach_telemetry(bus);
-    sim.schedule_fault(
-        SimTime::from_mins(1),
-        0,
-        Fault::TransientException {
-            component: "BrowseCategories",
-            calls: 30,
-        },
-    );
-    sim.run_until(SimTime::from_mins(2));
-    sim.finish();
+    if degraded {
+        sim.schedule_fault(
+            SimTime::from_secs(40),
+            0,
+            Fault::Degraded {
+                component: "SearchItemsByCategory",
+                factor_permille: 4000,
+            },
+        );
+        sim.run_until(SimTime::from_secs(420));
+    } else {
+        sim.schedule_fault(
+            SimTime::from_mins(1),
+            0,
+            Fault::TransientException {
+                component: "BrowseCategories",
+                calls: 30,
+            },
+        );
+        sim.run_until(SimTime::from_mins(2));
+    }
 
-    let trace = Trace::from_events(recorder.borrow().events().to_vec());
+    // Stamp the kernel's end-of-run health onto the meta line so
+    // `summary` can surface it offline. Only the deterministic gauges go
+    // in; wall-clock throughput stays a live-run concern.
+    let mut reg = MetricsRegistry::new();
+    sim.record_kernel_gauges(&mut reg, None);
+    sim.finish();
+    let mut trace = Trace::from_events(recorder.borrow().events().to_vec());
+    trace.kernel = Some(KernelGauges {
+        events_fired: reg.gauge("des_events_fired") as u64,
+        queue_depth: reg.gauge("des_queue_depth") as u64,
+        sim_micros: (reg.gauge("sim_seconds") * 1e6).round() as u64,
+    });
     trace
         .write_to(Path::new(out))
         .map_err(|e| format!("{out}: {e}"))?;
@@ -147,6 +189,21 @@ fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
         trace.digest,
         episodes.len()
     );
+    if let Some(k) = trace.kernel {
+        let sim_s = k.sim_micros as f64 / 1e6;
+        let rate = if sim_s > 0.0 {
+            k.events_fired as f64 / sim_s
+        } else {
+            0.0
+        };
+        println!(
+            "DES kernel: {} events fired, {} pending at exit, {sim_s:.1} sim-seconds \
+             ({rate:.0} events/sim-second)\n",
+            k.events_fired, k.queue_depth
+        );
+    }
+    print_latency_table(&trace.events);
+    print_perf_marks(&trace.events);
     if episodes.is_empty() {
         return Ok(ExitCode::SUCCESS);
     }
@@ -187,6 +244,107 @@ fn cmd_summary(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Client-observed latency quantiles per functional group, replayed from
+/// the trace's `ClientOp` events through the same streaming sketch the
+/// live performance plane uses.
+fn print_latency_table(events: &[simcore::TelemetryEvent]) {
+    let mut sketches: BTreeMap<u8, QuantileSketch> = BTreeMap::new();
+    for ev in events {
+        if let TelemetryEvent::ClientOp {
+            group,
+            started_at,
+            finished_at,
+            ok: true,
+            ..
+        } = *ev
+        {
+            sketches
+                .entry(group)
+                .or_default()
+                .observe((finished_at - started_at).as_micros());
+        }
+    }
+    if sketches.is_empty() {
+        return;
+    }
+    println!("client-observed latency by functional group (successful ops):\n");
+    let mut t = Table::new(&["group", "ops", "p50 (ms)", "p95 (ms)", "p99 (ms)"]);
+    for (code, sketch) in &sketches {
+        let label = FunctionalGroup::from_code(*code)
+            .map(|g| g.label().to_string())
+            .unwrap_or_else(|| format!("group {code}"));
+        t.row_owned(vec![
+            label,
+            sketch.count().to_string(),
+            format!("{:.1}", sketch.quantile(0.50) as f64 / 1000.0),
+            format!("{:.1}", sketch.quantile(0.95) as f64 / 1000.0),
+            format!("{:.1}", sketch.quantile(0.99) as f64 / 1000.0),
+        ]);
+    }
+    t.print();
+    println!();
+}
+
+/// The performance plane's marks, when the trace contains any: baseline
+/// freezes, degraded injections, confirmed anomalies and parity
+/// restorations — when performance, not just liveness, recovered.
+fn print_perf_marks(events: &[simcore::TelemetryEvent]) {
+    let mut lines = Vec::new();
+    let mut anomalies = 0u64;
+    let mut first_anomaly: Option<(SimTime, usize, u32)> = None;
+    for ev in events {
+        match *ev {
+            TelemetryEvent::PerfBaselineFrozen {
+                node,
+                components,
+                at,
+            } => lines.push(format!(
+                "baseline frozen at {:.3} s (node {node}, {components} ops)",
+                at.as_secs_f64()
+            )),
+            TelemetryEvent::DegradedInjected {
+                node,
+                factor_permille,
+                at,
+            } => lines.push(format!(
+                "degraded injected at {:.3} s (node {node}, {:.1}x service time)",
+                at.as_secs_f64(),
+                f64::from(factor_permille) / 1000.0
+            )),
+            TelemetryEvent::LatencyAnomaly {
+                node,
+                op,
+                ratio_permille,
+                at,
+            } => {
+                anomalies += 1;
+                if first_anomaly.is_none() {
+                    first_anomaly = Some((at, node, ratio_permille));
+                    lines.push(format!(
+                        "first latency anomaly at {:.3} s (node {node}, op {op}, {:.1}x baseline)",
+                        at.as_secs_f64(),
+                        f64::from(ratio_permille) / 1000.0
+                    ));
+                }
+            }
+            TelemetryEvent::ParityRestored { node, after, at } => lines.push(format!(
+                "parity restored at {:.3} s (node {node}, {:.1} s after first anomaly)",
+                at.as_secs_f64(),
+                after.as_secs_f64()
+            )),
+            _ => {}
+        }
+    }
+    if lines.is_empty() {
+        return;
+    }
+    println!("performance plane ({anomalies} anomaly window(s)):");
+    for line in &lines {
+        println!("  {line}");
+    }
+    println!();
+}
+
 // ---------------------------------------------------------------------------
 // timeline
 // ---------------------------------------------------------------------------
@@ -199,15 +357,30 @@ fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
         println!("{path}: no client operations in trace");
         return Ok(ExitCode::SUCCESS);
     }
-    let reboots: Vec<(u64, u64)> = trace
-        .events
-        .iter()
-        .filter_map(|ev| match *ev {
-            simcore::TelemetryEvent::RebootBegun { at, .. } => Some((at.second_index(), 0)),
-            simcore::TelemetryEvent::RebootFinished { at, .. } => Some((at.second_index(), 1)),
+    // One annotation set per second: reboot boundaries (liveness
+    // recovery) plus the performance plane's marks (fail-slow injection,
+    // anomaly confirmation, parity restoration). A `BTreeSet` dedups the
+    // several per-op anomaly events a single window close can emit.
+    let mut marks_by_second: BTreeMap<u64, std::collections::BTreeSet<&'static str>> =
+        BTreeMap::new();
+    for ev in &trace.events {
+        let mark = match *ev {
+            simcore::TelemetryEvent::RebootBegun { at, .. } => Some((at, "<reboot begun")),
+            simcore::TelemetryEvent::RebootFinished { at, .. } => Some((at, "<reboot done")),
+            simcore::TelemetryEvent::DegradedInjected { at, .. } => {
+                Some((at, "<degraded injected"))
+            }
+            simcore::TelemetryEvent::LatencyAnomaly { at, .. } => Some((at, "<latency anomaly")),
+            simcore::TelemetryEvent::ParityRestored { at, .. } => Some((at, "<parity restored")),
             _ => None,
-        })
-        .collect();
+        };
+        if let Some((at, label)) = mark {
+            marks_by_second
+                .entry(at.second_index())
+                .or_default()
+                .insert(label);
+        }
+    }
     println!("{path}: per-second client-observed availability (idle seconds omitted)\n");
     println!(
         "{:>5}  {:>5}  {:>5}  {:>6}  {:<40}",
@@ -216,17 +389,14 @@ fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
     for cell in timeline.iter().filter(|c| c.ok + c.fail > 0) {
         let avail = cell.availability();
         let bar = "#".repeat((avail * 40.0).round() as usize);
-        let marks: String = reboots
-            .iter()
-            .filter(|(s, _)| *s == cell.second)
-            .map(|(_, kind)| {
-                if *kind == 0 {
-                    " <reboot begun"
-                } else {
-                    " <reboot done"
-                }
+        let marks: String = marks_by_second
+            .get(&cell.second)
+            .map(|set| {
+                set.iter()
+                    .map(|label| format!(" {label}"))
+                    .collect::<String>()
             })
-            .collect();
+            .unwrap_or_default();
         println!(
             "{:>5}  {:>5}  {:>5}  {:>5.1}%  {bar}{marks}",
             cell.second,

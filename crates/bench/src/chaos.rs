@@ -51,6 +51,11 @@ pub struct RunOptions {
     pub failover: bool,
     /// Emulated clients per node.
     pub clients: usize,
+    /// Performance-observability plane (degraded campaigns); `None`
+    /// keeps the classic configuration the pinned digests expect. When
+    /// set, the monitors run [`DetectorKind::LatencyAnomaly`] and the run
+    /// additionally checks the performance-parity invariants.
+    pub perf: Option<workload::PerfConfig>,
     /// Dump the run's log to stdout.
     pub debug: bool,
 }
@@ -62,6 +67,7 @@ impl Default for RunOptions {
             policy: PolicyChoice::Ladder,
             failover: false,
             clients: CLIENTS,
+            perf: None,
             debug: false,
         }
     }
@@ -83,6 +89,81 @@ pub struct RunOutcome {
     pub reboot_cost_s: f64,
     /// Humans paged.
     pub pages: u64,
+    /// Performance-parity measurements; `Some` only when the run had the
+    /// performance plane armed ([`RunOptions::perf`]).
+    pub perf: Option<PerfOutcome>,
+}
+
+/// What the performance plane observed over one degraded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PerfOutcome {
+    /// `(node, op)` baselines frozen before injection.
+    pub baselines_frozen: u64,
+    /// Latency-anomaly windows raised.
+    pub anomalies: u64,
+    /// Injection → first anomaly, in milliseconds (detection latency).
+    pub detection_latency_ms: Option<u64>,
+    /// Longest out-of-parity stretch a `ParityRestored` closed, in
+    /// milliseconds.
+    pub parity_after_ms: Option<u64>,
+    /// Deepest reboot level the ladder reached (0 none, 1 component,
+    /// 2 application, 3 process, 4 OS).
+    pub escalation_depth: u8,
+}
+
+/// Label for a [`PerfOutcome::escalation_depth`] value.
+pub fn depth_label(depth: u8) -> &'static str {
+    match depth {
+        0 => "none",
+        1 => "microreboot",
+        2 => "app-restart",
+        3 => "process-restart",
+        _ => "os-reboot",
+    }
+}
+
+/// Telemetry sink recording the performance plane's marks: when the
+/// baseline froze, when the first anomaly fired, and every parity
+/// restoration.
+#[derive(Default)]
+struct PerfMarks {
+    baselines_frozen: u64,
+    anomalies: u64,
+    first_anomaly_at_us: Option<u64>,
+    parity_restorations: u64,
+    parity_after_us_max: Option<u64>,
+    debug: bool,
+}
+
+impl TelemetrySink for PerfMarks {
+    fn on_event(&mut self, event: &TelemetryEvent) {
+        if self.debug
+            && matches!(
+                event,
+                TelemetryEvent::PerfBaselineFrozen { .. }
+                    | TelemetryEvent::LatencyAnomaly { .. }
+                    | TelemetryEvent::ParityRestored { .. }
+                    | TelemetryEvent::DegradedInjected { .. }
+            )
+        {
+            eprintln!("    [perf] {event:?}");
+        }
+        match event {
+            TelemetryEvent::PerfBaselineFrozen { components, .. } => {
+                self.baselines_frozen += u64::from(*components);
+            }
+            TelemetryEvent::LatencyAnomaly { at, .. } => {
+                self.anomalies += 1;
+                self.first_anomaly_at_us.get_or_insert(at.as_micros());
+            }
+            TelemetryEvent::ParityRestored { after, .. } => {
+                self.parity_restorations += 1;
+                let us = after.as_micros();
+                self.parity_after_us_max = Some(self.parity_after_us_max.map_or(us, |m| m.max(us)));
+            }
+            _ => {}
+        }
+    }
 }
 
 /// Short scenario description for reports.
@@ -125,6 +206,7 @@ pub fn fault_kind(f: &Fault) -> &'static str {
         Fault::BitFlipMemory => "bitflip-memory",
         Fault::BitFlipRegisters => "bitflip-registers",
         Fault::BadSyscalls => "bad-syscalls",
+        Fault::Degraded { .. } => "degraded",
     }
 }
 
@@ -158,19 +240,22 @@ fn hung_bound() -> SimDuration {
     urb_core::calib::REQUEST_TTL + SimDuration::from_secs(5)
 }
 
-/// True while recovery machinery is still busy on any node.
+/// True while recovery machinery is still busy on any node. With the
+/// performance plane armed, a node out of latency parity counts as busy:
+/// convergence means performance recovered, not merely liveness.
 fn quiesced(sim: &Sim) -> bool {
     let w = sim.world();
-    (0..w.nodes.len()).all(|n| {
-        w.rm.as_ref().is_none_or(|rm| rm.in_flight(n) == 0)
-            && w.conductor
-                .as_ref()
-                .is_none_or(|c| c.active_count(n) == 0 && c.queued_count(n) == 0)
-            && w.nodes[n].is_up()
-            && w.nodes[n]
-                .oldest_hung_age(sim.now())
-                .is_none_or(|age| age <= hung_bound())
-    })
+    w.pool.perf().is_none_or(|p| p.anomalous_nodes().is_empty())
+        && (0..w.nodes.len()).all(|n| {
+            w.rm.as_ref().is_none_or(|rm| rm.in_flight(n) == 0)
+                && w.conductor
+                    .as_ref()
+                    .is_none_or(|c| c.active_count(n) == 0 && c.queued_count(n) == 0)
+                && w.nodes[n].is_up()
+                && w.nodes[n]
+                    .oldest_hung_age(sim.now())
+                    .is_none_or(|age| age <= hung_bound())
+        })
 }
 
 /// Executes one scenario under `opts` and checks every invariant.
@@ -188,11 +273,14 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
         } else {
             StoreChoice::FastS
         },
-        detector: if s.comparison_detector {
+        detector: if opts.perf.is_some() {
+            DetectorKind::LatencyAnomaly
+        } else if s.comparison_detector {
             DetectorKind::Comparison
         } else {
             DetectorKind::Simple
         },
+        perf: opts.perf,
         rm: Some(hardened_rm(s.parallel_rm)),
         conductor: s.parallel_rm.then(ConductorConfig::default),
         policy: opts.policy,
@@ -203,8 +291,15 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
     let bus = shared_bus();
     let hash = Rc::new(RefCell::new(TraceHashSink::new()));
     let metrics = Rc::new(RefCell::new(MetricsRegistry::new()));
+    let marks = Rc::new(RefCell::new(PerfMarks {
+        debug: opts.debug,
+        ..PerfMarks::default()
+    }));
     bus.borrow_mut().add_sink(Box::new(hash.clone()));
     bus.borrow_mut().add_sink(Box::new(metrics.clone()));
+    if opts.perf.is_some() {
+        bus.borrow_mut().add_sink(Box::new(marks.clone()));
+    }
     sim.attach_telemetry(bus);
 
     sim.schedule_fault(SimTime::from_secs(s.inject_at_s), 0, s.fault);
@@ -351,6 +446,63 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
         }
     }
 
+    // Performance-parity invariants (degraded campaigns): the fail-slow
+    // fault must be *detected* (baseline frozen pre-injection, at least
+    // one anomaly raised) and *cured* (parity restored, no node still
+    // out of parity at quiescence) — the ladder has to climb out of slow
+    // states, not just dead ones.
+    let perf = opts.perf.map(|_| {
+        let m = marks.borrow();
+        let reg = metrics.borrow();
+        if m.baselines_frozen == 0 {
+            violations.push("perf baseline never froze before injection".into());
+        }
+        if m.anomalies == 0 {
+            violations.push("fail-slow fault never raised a latency anomaly".into());
+        }
+        // A detector that fires before any fault exists is crying wolf;
+        // the statistical guards (absolute-delta floor, confirmation
+        // debounce) exist precisely so this cannot happen.
+        if let Some(first) = m.first_anomaly_at_us {
+            if first < s.inject_at_s * 1_000_000 {
+                violations.push(format!(
+                    "latency anomaly at {first} us predates the fault (false positive)"
+                ));
+            }
+        }
+        if m.parity_restorations == 0 {
+            violations.push("performance parity never restored".into());
+        }
+        if let Some(p) = world.pool.perf() {
+            let still = p.anomalous_nodes();
+            if !still.is_empty() {
+                violations.push(format!("node(s) {still:?} still out of parity at end"));
+            }
+        }
+        let depth_counters = [
+            "reboots_begun_component",
+            "reboots_begun_application",
+            "reboots_begun_process",
+            "reboots_begun_os",
+        ];
+        let escalation_depth = depth_counters
+            .iter()
+            .enumerate()
+            .filter(|(_, name)| reg.counter(name) > 0)
+            .map(|(i, _)| i as u8 + 1)
+            .max()
+            .unwrap_or(0);
+        PerfOutcome {
+            baselines_frozen: m.baselines_frozen,
+            anomalies: m.anomalies,
+            detection_latency_ms: m
+                .first_anomaly_at_us
+                .map(|us| us.saturating_sub(s.inject_at_s * 1_000_000) / 1000),
+            parity_after_ms: m.parity_after_us_max.map(|us| us / 1000),
+            escalation_depth,
+        }
+    });
+
     let digest = hash.borrow().value();
     RunOutcome {
         digest,
@@ -359,6 +511,7 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
         failed_requests,
         reboot_cost_s,
         pages,
+        perf,
     }
 }
 
@@ -428,6 +581,7 @@ pub fn tournament(opts: &TournamentOptions) -> Vec<PolicyScore> {
                 policy,
                 failover: true,
                 clients: CLIENTS,
+                perf: None,
                 debug: false,
             };
             let mut hash = TraceHashSink::new();

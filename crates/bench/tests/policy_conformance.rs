@@ -90,6 +90,7 @@ fn check(policy: PolicyChoice, s: &Scenario) {
         policy,
         failover: true,
         clients: 30,
+        perf: None,
         debug: false,
     };
     let out = run_scenario(s, &opts);

@@ -12,7 +12,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use bench::kernel::{self, BenchWorld, ChainEvent};
-use simcore::EventQueue;
+use simcore::{EventQueue, QuantileSketch};
 
 struct CountingAlloc;
 
@@ -62,5 +62,32 @@ fn warm_arena_kernel_allocates_nothing_per_event() {
          ({} allocations over {} events)",
         allocs,
         world.fired - fired_before
+    );
+}
+
+/// The performance plane's streaming sketch makes the same promise: its
+/// bucket array is fixed at construction, so a warm `observe` — the call
+/// the per-request hot path makes — never touches the heap.
+#[test]
+fn warm_sketch_observe_allocates_nothing() {
+    let mut sketch = QuantileSketch::new();
+    // Warm: construction allocates the fixed bucket array, and the first
+    // observations touch every code path once.
+    for v in 0..1_000u64 {
+        sketch.observe(v * 37 + 1);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for v in 0..100_000u64 {
+        // Spread over several decades so every bucket stratum is hit.
+        sketch.observe((v * 101) % 10_000_000 + v % 97 + 1);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - before;
+    let observed = sketch.quantile(0.95);
+
+    assert_eq!(
+        allocs, 0,
+        "a warm sketch must absorb observations without heap allocation \
+         ({allocs} allocations over 100000 observes, p95 {observed})"
     );
 }

@@ -27,7 +27,7 @@ use urb_core::backend::{share_db, share_ssm, SessionBackend};
 use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
 use urb_core::server::{RebootId, RebootLevel};
 use urb_core::{AppServer, OpCode, ReqId, Response, ServerConfig, SubmitOutcome};
-use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind};
+use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind, PerfConfig};
 
 use crate::lb::LoadBalancer;
 
@@ -74,6 +74,12 @@ pub struct SimConfig {
     pub drain: Option<SimDuration>,
     /// Which detector the monitors run.
     pub detector: DetectorKind,
+    /// Performance-observability plane (latency sketches, fail-slow
+    /// anomaly detection, parity gating); `None` keeps it off. Enabling
+    /// it adds telemetry events and failure reports but schedules no
+    /// events and draws no randomness of its own — it piggybacks on the
+    /// per-second maintenance sweep.
+    pub perf: Option<PerfConfig>,
     /// Recovery-manager configuration; `None` disables automatic recovery
     /// (experiments then command recovery directly).
     pub rm: Option<RmConfig>,
@@ -104,6 +110,7 @@ impl Default for SimConfig {
             retry_enabled: false,
             drain: None,
             detector: DetectorKind::Comparison,
+            perf: None,
             rm: None,
             policy: PolicyChoice::Ladder,
             conductor: None,
@@ -475,6 +482,22 @@ impl World {
             self.schedule_deliveries(node, killed, q);
             self.pump_node(node, q);
         }
+        // The performance plane piggybacks on the sweep: anomaly reports
+        // it raises reach the manager on the same cadence as client ones
+        // (and are lost with it while the RM is down, like all reports).
+        // With the plane disarmed the sweep must not touch the report
+        // queue at all — classic reports drain on delivery, and their
+        // timing is part of the pinned-digest contract.
+        self.pool.perf_tick(now);
+        if self.pool.perf().is_some() && self.rm.is_some() {
+            for r in self.pool.drain_reports() {
+                if !self.rm_down {
+                    if let Some(rm) = &mut self.rm {
+                        rm.report(&r);
+                    }
+                }
+            }
+        }
         q.schedule_event_in(
             SimDuration::from_secs(1),
             "maintenance",
@@ -509,6 +532,7 @@ impl World {
                         node,
                         action: format!("rejuvenation microreboot {component}"),
                     });
+                    self.pool.perf_mask(ticket.done_at);
                     let id = ticket.id;
                     q.schedule_event_at(
                         ticket.crash_at,
@@ -666,6 +690,7 @@ impl World {
                         at: now,
                     });
                 }
+                self.pool.perf_mask(now + POLICY_HOLD);
                 q.schedule_event_in(
                     POLICY_HOLD,
                     "policy-hold",
@@ -685,6 +710,7 @@ impl World {
                         .emit(&TelemetryEvent::FailoverEngaged { node, at: now });
                 }
                 self.redirect(node, true);
+                self.pool.perf_mask(now + POLICY_HOLD);
                 q.schedule_event_in(
                     POLICY_HOLD,
                     "policy-hold",
@@ -719,6 +745,7 @@ impl World {
             }
         };
         self.redirect(node, true);
+        self.pool.perf_mask(ticket.done_at);
         let id = ticket.id;
         if level == RebootLevel::Component {
             // The crash phase waits out the drain window.
@@ -855,6 +882,7 @@ impl World {
             }
         };
         self.sync_routing(node);
+        self.pool.perf_mask(ticket.done_at);
         let id = ticket.id;
         if level == RebootLevel::Component {
             q.schedule_event_at(
@@ -1002,7 +1030,7 @@ impl Sim {
             );
             nodes.push(server);
         }
-        let pool = ClientPool::new(
+        let mut pool = ClientPool::new(
             catalog(&config.dataset),
             ClientPoolConfig {
                 clients: config.nodes * config.clients_per_node,
@@ -1011,6 +1039,9 @@ impl Sim {
                 ..ClientPoolConfig::default()
             },
         );
+        if let Some(perf) = config.perf {
+            pool.enable_perf(perf);
+        }
         let rm = config.rm.map(|rm_config| {
             RecoveryManager::with_policy(
                 config.policy,

@@ -228,18 +228,23 @@ impl<A: Application> AppServer<A> {
             RebootLevel::Application => {
                 let killed = self.kill_everything(now, false);
                 self.teardown_containers();
+                // Redeployment rebuilds the degraded pools; a component
+                // microreboot's warm restart (above) leaves them slow.
+                self.inner.degraded.clear();
                 killed
             }
             RebootLevel::Process => {
                 let killed = self.kill_everything(now, true);
                 self.teardown_containers();
                 self.process_teardown();
+                self.inner.degraded.clear();
                 killed
             }
             RebootLevel::OperatingSystem => {
                 let killed = self.kill_everything(now, true);
                 self.teardown_containers();
                 self.process_teardown();
+                self.inner.degraded.clear();
                 // Only an OS reboot reclaims native/kernel leaks.
                 self.inner.heap.on_os_reboot();
                 self.inner.extra_leak_rate = 0;

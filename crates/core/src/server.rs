@@ -128,6 +128,18 @@ pub enum ServerFault {
         /// Bytes leaked per second.
         bytes_per_sec: u64,
     },
+    /// Fail-slow degradation: the component keeps answering correctly but
+    /// every call through it burns `factor_permille`/1000 times the CPU
+    /// (shrunken pools, contended locks). Nothing fails and nothing
+    /// throws, so only a latency-anomaly detector can see it. A
+    /// microreboot's warm restart reuses the degraded pools and leaves
+    /// the slowdown behind; only a coarser reboot rebuilds them.
+    Degraded {
+        /// Target component.
+        component: &'static str,
+        /// Service-time multiplier, in permille (2000 = 2x slower).
+        factor_permille: u32,
+    },
     /// Flip bits in process memory.
     BitFlipMemory,
     /// Flip bits in process registers (crashes the JVM immediately).
@@ -291,6 +303,10 @@ pub struct ServerInner {
     /// but the fresh instances leak again (the premise of Section 6.4's
     /// rejuvenation experiments).
     pub(crate) persistent_leaks: Vec<(&'static str, u64)>,
+    /// Fail-slow degradation factors (permille) per component. Survives
+    /// microreboots — a warm restart reuses the degraded pools — and is
+    /// cleared only by the coarse recovery levels.
+    pub(crate) degraded: Vec<(&'static str, u32)>,
     last_maintenance: SimTime,
     metrics: MetricsRegistry,
     bus: Option<SharedBus>,
@@ -392,6 +408,7 @@ impl<A: Application> AppServer<A> {
                 intra_leak_rate: 0,
                 extra_leak_rate: 0,
                 persistent_leaks: Vec::new(),
+                degraded: Vec::new(),
                 last_maintenance: SimTime::ZERO,
                 metrics: MetricsRegistry::new(),
                 bus: None,
@@ -412,6 +429,14 @@ impl<A: Application> AppServer<A> {
     /// Returns the hosted application.
     pub fn app(&self) -> &A {
         &self.app
+    }
+
+    /// Fail-slow degradation factors currently in effect, as
+    /// `(component, permille)` pairs. Microreboots leave these behind
+    /// (warm restarts reuse the degraded pools); coarse recovery levels
+    /// clear them.
+    pub fn degraded_components(&self) -> &[(&'static str, u32)] {
+        &self.inner.degraded
     }
 
     /// Returns the hosted application mutably (fault-injection hooks).
@@ -808,7 +833,24 @@ impl<A: Application> AppServer<A> {
                     }
                     None
                 };
-                let cpu = SimDuration::from_secs_f64(cpu.as_secs_f64() * congestion);
+                // Fail-slow degradation: any request that touched a
+                // degraded component burns inflated CPU (the answer stays
+                // correct — only the latency moves).
+                let slow = if self.inner.degraded.is_empty() {
+                    1.0
+                } else {
+                    let mut permille = 1000u32;
+                    for m in &touched {
+                        let name = self.inner.graph.name_of(*m);
+                        for (comp, f) in &self.inner.degraded {
+                            if *comp == name {
+                                permille = permille.max(*f);
+                            }
+                        }
+                    }
+                    f64::from(permille) / 1000.0
+                };
+                let cpu = SimDuration::from_secs_f64(cpu.as_secs_f64() * congestion * slow);
                 let cpu_done_at = now + cpu.max(SimDuration::from_micros(500));
                 let response = Response {
                     req: req.id,
@@ -1040,6 +1082,20 @@ impl<A: Application> AppServer<A> {
             }
             ServerFault::ExtraJvmLeak { bytes_per_sec } => {
                 self.inner.extra_leak_rate = bytes_per_sec;
+            }
+            ServerFault::Degraded {
+                component,
+                factor_permille,
+            } => {
+                if comp_mut(&mut self.inner, component).is_some() {
+                    self.inner.degraded.retain(|(n, _)| *n != component);
+                    self.inner.degraded.push((component, factor_permille));
+                    self.inner.emit(TelemetryEvent::DegradedInjected {
+                        node: self.inner.node,
+                        factor_permille,
+                        at: now,
+                    });
+                }
             }
             ServerFault::BitFlipMemory => {
                 self.inner.lowlevel = Some(LowLevelFault::BitFlipMemory);

@@ -119,6 +119,19 @@ pub enum Fault {
         /// Bytes per second.
         bytes_per_sec: u64,
     },
+    /// Fail-slow degradation: the component keeps answering correctly but
+    /// its service times inflate by `factor_permille`/1000. The paper's
+    /// detectors punt on exactly this class — nothing fails, nothing
+    /// throws, goodput stays up — so only the latency-anomaly detector
+    /// can see it. Microreboots leave a residual fraction of the slowdown
+    /// behind (a warm restart reuses the degraded pools); only a coarser
+    /// reboot clears it fully.
+    Degraded {
+        /// Target component.
+        component: &'static str,
+        /// Service-time multiplier, in permille (2000 = 2x slower).
+        factor_permille: u32,
+    },
     /// Bit flips in process memory.
     BitFlipMemory,
     /// Bit flips in process registers.
@@ -468,6 +481,13 @@ pub fn conversion(fault: &Fault) -> Injection {
         Fault::MemLeakExtraJvm { bytes_per_sec } => {
             Injection::Server(ServerFault::ExtraJvmLeak { bytes_per_sec })
         }
+        Fault::Degraded {
+            component,
+            factor_permille,
+        } => Injection::Server(ServerFault::Degraded {
+            component,
+            factor_permille,
+        }),
         Fault::BitFlipMemory => Injection::Server(ServerFault::BitFlipMemory),
         Fault::BitFlipRegisters => Injection::Server(ServerFault::BitFlipRegisters),
         Fault::BadSyscalls => Injection::Server(ServerFault::BadSyscalls),

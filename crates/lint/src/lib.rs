@@ -969,18 +969,33 @@ pub fn check_fault_exhaustiveness(
     }
     if let Some(campaign) = campaign {
         let code = mask_source(campaign.src).code;
-        if let Some(body) = body_text(&code, "fn campaign_fault") {
+        // The campaign module may split generation across several draw
+        // functions (the classic 18-way `campaign_fault` plus the
+        // fail-slow `degraded_fault`); a variant reachable from any of
+        // them is covered.
+        let mut covered = String::new();
+        let mut any_generator = false;
+        for f in ["fn campaign_fault", "fn degraded_fault"] {
+            if let Some(body) = body_text(&code, f) {
+                any_generator = true;
+                covered.push_str(&body);
+            }
+        }
+        if any_generator {
             for v in &variants {
-                if !body.contains(&format!("Fault::{}", v.name)) {
+                if !covered.contains(&format!("Fault::{}", v.name)) {
                     diags.push(Diagnostic {
                         file: campaign.label.to_string(),
                         line: 1,
                         rule: "E005",
                         message: format!(
-                            "Fault::{} has no campaign_fault arm (urb-chaos can never draw it)",
+                            "Fault::{} has no campaign generator arm (neither campaign_fault \
+                             nor degraded_fault draws it, so urb-chaos can never reach it)",
                             v.name
                         ),
-                        fix: "add a generator arm for the variant in fn campaign_fault".to_string(),
+                        fix: "add a generator arm for the variant in fn campaign_fault or \
+                              fn degraded_fault"
+                            .to_string(),
                     });
                 }
             }

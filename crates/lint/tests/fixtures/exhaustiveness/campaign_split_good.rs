@@ -1,0 +1,17 @@
+//! Good fixture: generation is split across two draw functions —
+//! `campaign_fault` covers the classic variants and `degraded_fault`
+//! covers the fail-slow one.  The union is exhaustive, so E005 must
+//! stay silent.
+
+use crate::Fault;
+
+pub fn campaign_fault(roll: usize) -> Fault {
+    match roll {
+        0 => Fault::Deadlock { component: "Item" },
+        _ => Fault::CorruptDb,
+    }
+}
+
+pub fn degraded_fault(reports: u32) -> Fault {
+    Fault::SpuriousReports { reports }
+}

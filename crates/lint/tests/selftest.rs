@@ -236,6 +236,23 @@ fn fault_variant_without_campaign_arm_is_caught() {
 }
 
 #[test]
+fn split_generator_coverage_counts_as_covered() {
+    let faults = fixture("exhaustiveness/faults_good.rs");
+    let campaign = fixture("exhaustiveness/campaign_split_good.rs");
+    let diags = check_fault_exhaustiveness(
+        &ExhaustInput {
+            label: "faults_good.rs",
+            src: &faults,
+        },
+        Some(&ExhaustInput {
+            label: "campaign_split_good.rs",
+            src: &campaign,
+        }),
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
 fn good_fault_fixture_is_clean() {
     let faults = fixture("exhaustiveness/faults_good.rs");
     let diags = check_fault_exhaustiveness(

@@ -19,11 +19,26 @@ use workload::detect::{FailureKind, FailureReport};
 use crate::manager::{RecoveryAction, RmConfig};
 use crate::policy::{PathOf, PolicyCtx, PolicyLevel, RecoveryPolicy};
 
+/// Evidence weight of one latency-anomaly report in the diagnosis score.
+///
+/// An anomaly report is emitted once per judgement window and stands for
+/// every slow request in it, whereas an error report stands for a single
+/// failed request — without the heavier weight, a fail-slow fault feeding
+/// one report per window would take most of a score-window to cross the
+/// decision threshold, and re-offending after a microreboot would never
+/// accumulate enough evidence to climb the ladder. Classic (error-driven)
+/// runs never emit these reports, so their decisions are unchanged.
+const ANOMALY_REPORT_WEIGHT: f64 = 3.0;
+
 #[derive(Debug)]
 struct NodeDiag {
     /// Recent reports: (time, op for path scoring — `None` for network
-    /// failures — and the error page's component hint, if any).
-    recent: Vec<(SimTime, Option<OpCode>, Option<CompName>)>,
+    /// failures — the error page's component hint, if any, and the
+    /// report's evidence weight). Ordinary failure reports weigh 1.0;
+    /// a latency-anomaly report weighs [`ANOMALY_REPORT_WEIGHT`], since
+    /// it summarizes a whole judgement window of slow requests rather
+    /// than one failed request.
+    recent: Vec<(SimTime, Option<OpCode>, Option<CompName>, f64)>,
     first_report_at: Option<SimTime>,
     /// When the current failure *episode* started: like `first_report_at`
     /// but not advanced when issued actions consume their evidence, so
@@ -81,7 +96,7 @@ impl NodeDiag {
     }
 
     fn prune(&mut self, now: SimTime, window: SimDuration) {
-        self.recent.retain(|(t, _, _)| now - *t <= window);
+        self.recent.retain(|(t, _, _, _)| now - *t <= window);
         if self.recent.is_empty() {
             self.first_report_at = None;
             self.episode_first = None;
@@ -96,7 +111,7 @@ impl NodeDiag {
     /// so the remaining evidence can implicate a *different* concurrent
     /// fault instead of re-diagnosing the one already being cured.
     fn consume(&mut self, components: &[CompName], path_of: PathOf) {
-        self.recent.retain(|(_, op, hint)| {
+        self.recent.retain(|(_, op, hint, _)| {
             if hint.is_some_and(|h| components.contains(&h)) {
                 return false;
             }
@@ -107,7 +122,7 @@ impl NodeDiag {
                     .any(|c| CompName::lookup(c).is_some_and(|c| components.contains(&c))),
             }
         });
-        self.first_report_at = self.recent.first().map(|(t, _, _)| *t);
+        self.first_report_at = self.recent.first().map(|(t, _, _, _)| *t);
     }
 }
 
@@ -270,9 +285,14 @@ impl RecoveryPolicy for LadderPolicy {
         }
         diag.first_report_at.get_or_insert(r.at);
         diag.episode_first.get_or_insert(r.at);
+        let weight = if r.kind == FailureKind::LatencyAnomaly {
+            ANOMALY_REPORT_WEIGHT
+        } else {
+            1.0
+        };
         match r.kind {
-            FailureKind::Network => diag.recent.push((r.at, None, None)),
-            _ => diag.recent.push((r.at, Some(r.op), r.hint)),
+            FailureKind::Network => diag.recent.push((r.at, None, None, weight)),
+            _ => diag.recent.push((r.at, Some(r.op), r.hint, weight)),
         }
     }
 
@@ -316,7 +336,7 @@ impl RecoveryPolicy for LadderPolicy {
         let mut failing_ops: Vec<OpCode> = Vec::new();
         let mut network_reports = 0u64;
         let mut other_reports = 0u64;
-        for (_, op, hint) in &diag.recent {
+        for (_, op, hint, rw) in &diag.recent {
             match op {
                 None => network_reports += 1,
                 Some(op) => {
@@ -326,7 +346,7 @@ impl RecoveryPolicy for LadderPolicy {
                     }
                     for comp in (path_of)(*op) {
                         let w = if *comp == web { 0.2 } else { 1.0 };
-                        *scores.entry(comp).or_insert(0.0) += w;
+                        *scores.entry(comp).or_insert(0.0) += w * rw;
                     }
                     // An error page naming the failing bean is far stronger
                     // evidence than path membership. Only weighed in when
@@ -421,7 +441,7 @@ impl RecoveryPolicy for LadderPolicy {
         // all failing URLs) cannot. Serial runs never take this shortcut.
         let hinted: Option<&'static str> = if config.max_concurrent > 1 {
             let mut counts: BTreeMap<CompName, u64> = BTreeMap::new();
-            for (_, _, hint) in &diag.recent {
+            for (_, _, hint, _) in &diag.recent {
                 if let Some(h) = hint {
                     if h.as_str() != web {
                         *counts.entry(*h).or_insert(0) += 1;

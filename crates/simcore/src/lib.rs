@@ -14,6 +14,9 @@
 //!   [`TelemetrySink`] implementations over them,
 //! * [`metrics`] — a named counter/gauge/histogram registry folding the
 //!   event stream, the backing store for every layer's statistics,
+//! * [`sketch`] — deterministic mergeable streaming quantile sketches
+//!   (log-linear HDR-style), the latency substrate of the
+//!   performance-observability plane,
 //! * [`trace`] — recovery-episode assembly and the deterministic JSONL
 //!   trace format the `urb-trace` inspection CLI consumes.
 //!
@@ -46,6 +49,7 @@
 pub mod event;
 pub mod metrics;
 pub mod rng;
+pub mod sketch;
 pub mod stats;
 pub mod symbol;
 pub mod telemetry;
@@ -55,6 +59,7 @@ pub mod trace;
 pub use event::{EventId, EventPayload, EventQueue};
 pub use metrics::MetricsRegistry;
 pub use rng::SimRng;
+pub use sketch::QuantileSketch;
 pub use symbol::Sym;
 pub use telemetry::{
     shared_bus, DecisionKind, Disposition, KillCause, RebootLevel, SharedBus, TelemetryBus,

@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::sketch::QuantileSketch;
 use crate::stats::{Histogram, SecondSeries};
 use crate::symbol::{self, Sym};
 use crate::telemetry::{
@@ -125,6 +126,12 @@ pub struct MetricsRegistry {
     sym_histograms: Vec<Option<Histogram>>,
     /// Histograms registered under non-canonical names.
     histograms: BTreeMap<&'static str, Histogram>,
+    /// Quantile sketches under canonical ([`Sym`]-interned) names, dense
+    /// by symbol index; unregistered slots are `None`.
+    sym_sketches: Vec<Option<QuantileSketch>>,
+    /// Quantile sketches registered under non-canonical names (the
+    /// performance plane's per-component latency sketches).
+    sketches: BTreeMap<&'static str, QuantileSketch>,
     series: SecondSeries,
 }
 
@@ -137,6 +144,8 @@ impl Default for MetricsRegistry {
             gauges: BTreeMap::new(),
             sym_histograms: Vec::new(),
             histograms: BTreeMap::new(),
+            sym_sketches: Vec::new(),
+            sketches: BTreeMap::new(),
             series: SecondSeries::default(),
         }
     }
@@ -160,6 +169,7 @@ impl MetricsRegistry {
             "reboot_ms",
             Histogram::new(SimDuration::from_millis(50), 100, SimDuration::from_secs(1)),
         );
+        reg.register_sketch("client_op_us", QuantileSketch::new());
         reg
     }
 
@@ -257,6 +267,64 @@ impl MetricsRegistry {
         }
     }
 
+    /// Installs (or replaces) a quantile sketch under `name`.
+    pub fn register_sketch(&mut self, name: &'static str, sketch: QuantileSketch) {
+        match symbol::lookup(name) {
+            Some(sym) => {
+                if self.sym_sketches.is_empty() {
+                    self.sym_sketches = vec![None; symbol::COUNT];
+                }
+                self.sym_sketches[sym.index()] = Some(sketch);
+            }
+            None => {
+                self.sketches.insert(name, sketch);
+            }
+        }
+    }
+
+    /// Records one value into sketch `name`, if registered.
+    pub fn observe_sketch(&mut self, name: &str, v: u64) {
+        match symbol::lookup(name) {
+            Some(sym) => self.observe_sketch_sym(sym, v),
+            None => {
+                if let Some(sk) = self.sketches.get_mut(name) {
+                    sk.observe(v);
+                }
+            }
+        }
+    }
+
+    /// Records one value into the canonical sketch `sym`, if registered:
+    /// a dense array index, no map probe — allocation-free on the warm
+    /// path (the sketch's bucket array is preallocated at registration).
+    pub fn observe_sketch_sym(&mut self, sym: Sym, v: u64) {
+        if let Some(Some(sk)) = self.sym_sketches.get_mut(sym.index()) {
+            sk.observe(v);
+        }
+    }
+
+    /// Reads sketch `name`.
+    pub fn sketch(&self, name: &str) -> Option<&QuantileSketch> {
+        match symbol::lookup(name) {
+            Some(sym) => self.sym_sketches.get(sym.index())?.as_ref(),
+            None => self.sketches.get(name),
+        }
+    }
+
+    /// Iterates all registered sketches in name order: canonical symbols
+    /// merged with the layer-registered names.
+    pub fn sketches(&self) -> impl Iterator<Item = (&'static str, &QuantileSketch)> + '_ {
+        let mut all: Vec<(&'static str, &QuantileSketch)> = self
+            .sym_sketches
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|sk| (symbol::NAMES[i], sk)))
+            .chain(self.sketches.iter().map(|(k, v)| (*k, v)))
+            .collect();
+        all.sort_unstable_by_key(|(name, _)| *name);
+        all.into_iter()
+    }
+
     /// The per-second series the canonical fold maintains (`ops_ok`,
     /// `ops_fail`, `killed`, `reboots`), plus anything layers add.
     pub fn series(&self) -> &SecondSeries {
@@ -343,6 +411,10 @@ impl TelemetrySink for MetricsRegistry {
             } => {
                 self.inc_sym(symbol::CLIENT_OPS);
                 self.observe_sym(symbol::CLIENT_OP_MS, finished_at - started_at);
+                self.observe_sketch_sym(
+                    symbol::CLIENT_OP_US,
+                    (finished_at - started_at).as_micros(),
+                );
                 if ok {
                     self.inc_sym(symbol::CLIENT_OPS_OK);
                     self.series.incr_sym(finished_at, symbol::OPS_OK);
@@ -377,6 +449,12 @@ impl TelemetrySink for MetricsRegistry {
             TelemetryEvent::RmCrashed { .. } => self.inc_sym(symbol::RM_CRASHES),
             TelemetryEvent::RmRebooted { .. } => self.inc_sym(symbol::RM_REBOOTS),
             TelemetryEvent::FailoverEngaged { .. } => self.inc_sym(symbol::FAILOVERS_ENGAGED),
+            TelemetryEvent::PerfBaselineFrozen { .. } => {
+                self.inc_sym(symbol::PERF_BASELINES_FROZEN)
+            }
+            TelemetryEvent::LatencyAnomaly { .. } => self.inc_sym(symbol::LATENCY_ANOMALIES),
+            TelemetryEvent::ParityRestored { .. } => self.inc_sym(symbol::PARITY_RESTORED),
+            TelemetryEvent::DegradedInjected { .. } => self.inc_sym(symbol::DEGRADED_INJECTED),
         }
     }
 }

@@ -65,6 +65,7 @@ symbols! {
     CAMPAIGN_RUNS_DONE => "campaign_runs_done",
     CAMPAIGN_VIOLATIONS => "campaign_violations",
     CLIENT_OP_MS => "client_op_ms",
+    CLIENT_OP_US => "client_op_us",
     CLIENT_OPS => "client_ops",
     CLIENT_OPS_FAILED => "client_ops_failed",
     CLIENT_OPS_OK => "client_ops_ok",
@@ -76,6 +77,7 @@ symbols! {
     DECISIONS_OS_REBOOT => "decisions_os_reboot",
     DECISIONS_PROCESS_RESTART => "decisions_process_restart",
     DECISIONS_WAR_MICROREBOOT => "decisions_war_microreboot",
+    DEGRADED_INJECTED => "degraded_injected",
     DETECTOR_FIRES => "detector_fires",
     ESCALATIONS_SATURATED => "escalations_saturated",
     FAILOVERS_ENGAGED => "failovers_engaged",
@@ -85,9 +87,12 @@ symbols! {
     KILLED_MICROREBOOT => "killed_microreboot",
     KILLED_RESTART => "killed_restart",
     KILLED_TTL => "killed_ttl",
+    LATENCY_ANOMALIES => "latency_anomalies",
     LB_FAILOVERS => "lb_failovers",
     OPS_FAIL => "ops_fail",
     OPS_OK => "ops_ok",
+    PARITY_RESTORED => "parity_restored",
+    PERF_BASELINES_FROZEN => "perf_baselines_frozen",
     POLICIES_ARMED => "policies_armed",
     QUARANTINE_OFF => "quarantine_off",
     QUARANTINE_ON => "quarantine_on",

@@ -425,6 +425,49 @@ pub enum TelemetryEvent {
         /// When.
         at: SimTime,
     },
+    /// The performance-observability plane froze its pre-fault baseline:
+    /// per-component latency quantiles and throughput are snapshotted and
+    /// every later window is judged against them.
+    PerfBaselineFrozen {
+        /// Monitored node.
+        node: usize,
+        /// How many components had enough samples to baseline.
+        components: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// The latency-anomaly (fail-slow) detector fired: a component's live
+    /// sketch drifted beyond the configured multipliers of its baseline.
+    LatencyAnomaly {
+        /// Implicated node.
+        node: usize,
+        /// Operation code whose latency drifted.
+        op: u16,
+        /// Observed p95 over baseline p95, in permille (2500 = 2.5x).
+        ratio_permille: u32,
+        /// When.
+        at: SimTime,
+    },
+    /// Post-recovery performance parity: the live quantiles and throughput
+    /// returned within tolerance of the frozen baseline and stayed there.
+    ParityRestored {
+        /// Recovered node.
+        node: usize,
+        /// How long parity took from the first anomaly.
+        after: SimDuration,
+        /// When.
+        at: SimTime,
+    },
+    /// A degraded-mode (fail-slow) fault was injected: the component keeps
+    /// answering, just slowly.
+    DegradedInjected {
+        /// Target node.
+        node: usize,
+        /// Service-time inflation, in permille (4000 = 4x).
+        factor_permille: u32,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TelemetryEvent {
@@ -657,6 +700,44 @@ impl TelemetryEvent {
             TelemetryEvent::FailoverEngaged { node, at } => {
                 buf.push(27);
                 put_u64(buf, node as u64);
+                put_time(buf, at);
+            }
+            TelemetryEvent::PerfBaselineFrozen {
+                node,
+                components,
+                at,
+            } => {
+                buf.push(28);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(components));
+                put_time(buf, at);
+            }
+            TelemetryEvent::LatencyAnomaly {
+                node,
+                op,
+                ratio_permille,
+                at,
+            } => {
+                buf.push(29);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(op));
+                put_u64(buf, u64::from(ratio_permille));
+                put_time(buf, at);
+            }
+            TelemetryEvent::ParityRestored { node, after, at } => {
+                buf.push(30);
+                put_u64(buf, node as u64);
+                put_u64(buf, after.as_micros());
+                put_time(buf, at);
+            }
+            TelemetryEvent::DegradedInjected {
+                node,
+                factor_permille,
+                at,
+            } => {
+                buf.push(31);
+                put_u64(buf, node as u64);
+                put_u64(buf, u64::from(factor_permille));
                 put_time(buf, at);
             }
         }
@@ -1097,6 +1178,39 @@ mod tests {
             (
                 TelemetryEvent::FailoverEngaged { node: 1, at: t },
                 cat(&[vec![27], le(1), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::PerfBaselineFrozen {
+                    node: 0,
+                    components: 6,
+                    at: t,
+                },
+                cat(&[vec![28], le(0), le(6), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::LatencyAnomaly {
+                    node: 0,
+                    op: 12,
+                    ratio_permille: 2500,
+                    at: t,
+                },
+                cat(&[vec![29], le(0), le(12), le(2500), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::ParityRestored {
+                    node: 0,
+                    after: SimDuration::from_millis(2500),
+                    at: t,
+                },
+                cat(&[vec![30], le(0), le(2_500_000), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::DegradedInjected {
+                    node: 1,
+                    factor_permille: 4000,
+                    at: t,
+                },
+                cat(&[vec![31], le(1), le(4000), le(1_500_000)]),
             ),
         ];
         for (ev, want) in cases {

@@ -66,6 +66,7 @@ impl TraceRecorder {
         Trace {
             digest: self.hash.value(),
             events: self.events,
+            kernel: None,
         }
     }
 }
@@ -96,6 +97,21 @@ pub fn digest_of(events: &[TelemetryEvent]) -> u64 {
     h.value()
 }
 
+/// End-of-run DES kernel health, carried on the trace's `meta` line so
+/// `urb-trace summary` can show it offline. Only the deterministic
+/// gauges from [`crate::metrics::record_kernel_gauges`] are stored —
+/// wall-clock throughput would make recorded traces differ between
+/// machines and break byte-for-byte trace comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelGauges {
+    /// Kernel events fired over the run (`des_events_fired`).
+    pub events_fired: u64,
+    /// Events still pending when the run stopped (`des_queue_depth`).
+    pub queue_depth: u64,
+    /// Simulated time covered, in microseconds (`sim_seconds`).
+    pub sim_micros: u64,
+}
+
 /// A run's full event log plus the digest its producer declared.
 #[derive(Clone, Debug)]
 pub struct Trace {
@@ -104,6 +120,10 @@ pub struct Trace {
     pub digest: u64,
     /// Every event, in emission order.
     pub events: Vec<TelemetryEvent>,
+    /// DES kernel health at end of run, when the producer recorded it
+    /// (absent in traces from older recorders — the field is optional
+    /// on the meta line).
+    pub kernel: Option<KernelGauges>,
 }
 
 impl Trace {
@@ -112,6 +132,7 @@ impl Trace {
         Trace {
             digest: digest_of(&events),
             events,
+            kernel: None,
         }
     }
 
@@ -124,8 +145,14 @@ impl Trace {
     /// derived `episode` line per assembled recovery span.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        let kernel = self.kernel.map_or(String::new(), |k| {
+            format!(
+                ",\"des_events_fired\":{},\"des_queue_depth\":{},\"sim_micros\":{}",
+                k.events_fired, k.queue_depth, k.sim_micros
+            )
+        });
         out.push_str(&format!(
-            "{{\"t\":\"meta\",\"version\":{},\"events\":{},\"digest\":\"{:016x}\"}}\n",
+            "{{\"t\":\"meta\",\"version\":{},\"events\":{},\"digest\":\"{:016x}\"{kernel}}}\n",
             TRACE_FORMAT_VERSION,
             self.events.len(),
             self.digest
@@ -152,6 +179,7 @@ impl Trace {
     pub fn parse(text: &str) -> Result<Trace, String> {
         let mut digest = None;
         let mut declared_events = None;
+        let mut kernel = None;
         let mut events = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -176,6 +204,17 @@ impl Trace {
                         u64::from_str_radix(hex, 16)
                             .map_err(|e| format!("line {}: bad digest: {e}", lineno + 1))?,
                     );
+                    if let (Some(events_fired), Some(queue_depth), Some(sim_micros)) = (
+                        json_u64(line, "des_events_fired"),
+                        json_u64(line, "des_queue_depth"),
+                        json_u64(line, "sim_micros"),
+                    ) {
+                        kernel = Some(KernelGauges {
+                            events_fired,
+                            queue_depth,
+                            sim_micros,
+                        });
+                    }
                 }
                 "episode" => {}
                 _ => events
@@ -191,7 +230,11 @@ impl Trace {
                 ));
             }
         }
-        Ok(Trace { digest, events })
+        Ok(Trace {
+            digest,
+            events,
+            kernel,
+        })
     }
 
     /// Reads and parses a JSONL trace from `path`.
@@ -316,6 +359,10 @@ pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
         TelemetryEvent::RmCrashed { .. } => "rm_crashed",
         TelemetryEvent::RmRebooted { .. } => "rm_rebooted",
         TelemetryEvent::FailoverEngaged { .. } => "failover_engaged",
+        TelemetryEvent::PerfBaselineFrozen { .. } => "perf_baseline_frozen",
+        TelemetryEvent::LatencyAnomaly { .. } => "latency_anomaly",
+        TelemetryEvent::ParityRestored { .. } => "parity_restored",
+        TelemetryEvent::DegradedInjected { .. } => "degraded_injected",
     }
 }
 
@@ -490,6 +537,36 @@ pub fn event_to_json(ev: &TelemetryEvent) -> String {
         }
         TelemetryEvent::FailoverEngaged { node, at } => format!(
             "{{\"t\":\"failover_engaged\",\"node\":{node},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::PerfBaselineFrozen {
+            node,
+            components,
+            at,
+        } => format!(
+            "{{\"t\":\"perf_baseline_frozen\",\"node\":{node},\"components\":{components},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::LatencyAnomaly {
+            node,
+            op,
+            ratio_permille,
+            at,
+        } => format!(
+            "{{\"t\":\"latency_anomaly\",\"node\":{node},\"op\":{op},\"ratio_permille\":{ratio_permille},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::ParityRestored { node, after, at } => format!(
+            "{{\"t\":\"parity_restored\",\"node\":{node},\"after_us\":{},\"at_us\":{}}}",
+            after.as_micros(),
+            at.as_micros()
+        ),
+        TelemetryEvent::DegradedInjected {
+            node,
+            factor_permille,
+            at,
+        } => format!(
+            "{{\"t\":\"degraded_injected\",\"node\":{node},\"factor_permille\":{factor_permille},\"at_us\":{}}}",
             at.as_micros()
         ),
     }
@@ -703,6 +780,27 @@ pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
         },
         "failover_engaged" => TelemetryEvent::FailoverEngaged {
             node: need_u64(line, "node")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "perf_baseline_frozen" => TelemetryEvent::PerfBaselineFrozen {
+            node: need_u64(line, "node")? as usize,
+            components: need_u64(line, "components")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "latency_anomaly" => TelemetryEvent::LatencyAnomaly {
+            node: need_u64(line, "node")? as usize,
+            op: need_u64(line, "op")? as u16,
+            ratio_permille: need_u64(line, "ratio_permille")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "parity_restored" => TelemetryEvent::ParityRestored {
+            node: need_u64(line, "node")? as usize,
+            after: SimDuration::from_micros(need_u64(line, "after_us")?),
+            at: need_time(line, "at_us")?,
+        },
+        "degraded_injected" => TelemetryEvent::DegradedInjected {
+            node: need_u64(line, "node")? as usize,
+            factor_permille: need_u64(line, "factor_permille")? as u32,
             at: need_time(line, "at_us")?,
         },
         other => return Err(format!("unknown event type \"{other}\"")),
@@ -1157,6 +1255,14 @@ pub fn strict_attribution(events: &[TelemetryEvent]) -> StrictReport {
             | TelemetryEvent::RmCrashed { .. }
             | TelemetryEvent::RmRebooted { .. }
             | TelemetryEvent::FailoverEngaged { .. } => None,
+            // Performance-plane marks narrate the baseline/anomaly/parity
+            // arc around episodes without promising any reboot themselves:
+            // an anomaly may be answered by an already-running recovery,
+            // and parity restoration lands after the episode closed.
+            TelemetryEvent::PerfBaselineFrozen { .. }
+            | TelemetryEvent::LatencyAnomaly { .. }
+            | TelemetryEvent::ParityRestored { .. }
+            | TelemetryEvent::DegradedInjected { .. } => None,
         };
         match slot {
             Some(Some(i)) => per_episode[i] += 1,
@@ -1458,17 +1564,49 @@ mod tests {
             TelemetryEvent::RmCrashed { at: t },
             TelemetryEvent::RmRebooted { at: t },
             TelemetryEvent::FailoverEngaged { node: 1, at: t },
+            TelemetryEvent::PerfBaselineFrozen {
+                node: 0,
+                components: 6,
+                at: t,
+            },
+            TelemetryEvent::LatencyAnomaly {
+                node: 0,
+                op: 12,
+                ratio_permille: 2500,
+                at: t,
+            },
+            TelemetryEvent::ParityRestored {
+                node: 0,
+                after: SimDuration::from_millis(2500),
+                at: t,
+            },
+            TelemetryEvent::DegradedInjected {
+                node: 1,
+                factor_permille: 4000,
+                at: t,
+            },
         ];
         for ev in &all {
             let line = event_to_json(ev);
             let back = event_from_json(&line).expect("parse back");
             assert_eq!(*ev, back, "round-trip drift on {line}");
         }
-        let trace = Trace::from_events(all);
+        let mut trace = Trace::from_events(all);
         let parsed = Trace::parse(&trace.to_jsonl()).expect("parse trace");
         assert_eq!(parsed.events, trace.events);
         assert_eq!(parsed.digest, trace.digest);
         assert_eq!(parsed.recomputed_digest(), parsed.digest);
+        // Without producer-recorded gauges the meta line omits them.
+        assert_eq!(parsed.kernel, None);
+        // With them, they round-trip through the meta line.
+        trace.kernel = Some(KernelGauges {
+            events_fired: 123_456,
+            queue_depth: 7,
+            sim_micros: 120_000_000,
+        });
+        let parsed = Trace::parse(&trace.to_jsonl()).expect("parse trace");
+        assert_eq!(parsed.kernel, trace.kernel);
+        assert_eq!(parsed.events, trace.events);
     }
 
     #[test]

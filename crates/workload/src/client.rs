@@ -22,6 +22,7 @@ use urb_core::{OpCode, ReqId, Request, Response};
 
 use crate::catalog::{ArgKind, Catalog, MixClass};
 use crate::detect::{classify, DetectorKind, FailureKind, FailureReport};
+use crate::perf::{PerfConfig, PerfEvent, PerfTracker};
 use crate::taw::{ActionId, TawTracker};
 
 /// Pool configuration.
@@ -133,6 +134,7 @@ pub struct ClientPool {
     mix: MixCounts,
     login_state: usize,
     bus: Option<SharedBus>,
+    perf: Option<PerfTracker>,
 }
 
 impl ClientPool {
@@ -177,6 +179,78 @@ impl ClientPool {
             mix: MixCounts::default(),
             login_state,
             bus: None,
+            perf: None,
+        }
+    }
+
+    /// Arms the performance-observability plane: successful-op latencies
+    /// feed the tracker's sketches, and [`ClientPool::perf_tick`] turns
+    /// its verdicts into telemetry events and failure reports.
+    pub fn enable_perf(&mut self, config: PerfConfig) {
+        self.perf = Some(PerfTracker::new(config));
+    }
+
+    /// Read access to the performance tracker, when armed.
+    pub fn perf(&self) -> Option<&PerfTracker> {
+        self.perf.as_ref()
+    }
+
+    /// Advances the performance tracker to `now` (call once per
+    /// maintenance sweep). Baseline freezes, latency anomalies and parity
+    /// restorations become telemetry events; each anomaly additionally
+    /// becomes a [`FailureKind::LatencyAnomaly`] report for the recovery
+    /// manager — hint-less, since the client cannot see which component
+    /// inside the server is slow.
+    /// Masks perf judgement over a recovery in flight until `until` (its
+    /// scheduled completion): outage windows are recovery cost, not
+    /// performance drift. No-op when the perf plane is disabled.
+    pub fn perf_mask(&mut self, until: SimTime) {
+        if let Some(perf) = &mut self.perf {
+            perf.mask_recovery(until);
+        }
+    }
+
+    pub fn perf_tick(&mut self, now: SimTime) {
+        let Some(perf) = &mut self.perf else {
+            return;
+        };
+        let events = perf.tick(now);
+        for ev in events {
+            match ev {
+                PerfEvent::BaselineFrozen { node, ops } => {
+                    self.emit(TelemetryEvent::PerfBaselineFrozen {
+                        node,
+                        components: ops,
+                        at: now,
+                    });
+                }
+                PerfEvent::Anomaly {
+                    node,
+                    op,
+                    ratio_permille,
+                } => {
+                    self.emit(TelemetryEvent::LatencyAnomaly {
+                        node,
+                        op: op.0,
+                        ratio_permille,
+                        at: now,
+                    });
+                    self.reports.push(FailureReport {
+                        at: now,
+                        op,
+                        kind: FailureKind::LatencyAnomaly,
+                        node,
+                        hint: None,
+                    });
+                }
+                PerfEvent::ParityRestored { node, after } => {
+                    self.emit(TelemetryEvent::ParityRestored {
+                        node,
+                        after,
+                        at: now,
+                    });
+                }
+            }
         }
     }
 
@@ -440,6 +514,18 @@ impl ClientPool {
             finished_at: response.finished_at.max(now),
             ok: failure.is_none(),
         });
+
+        // Successful-op latency feeds the performance plane's sketches
+        // (failures are the error detectors' evidence, not fail-slow's).
+        if failure.is_none() {
+            if let Some(perf) = &mut self.perf {
+                perf.record(
+                    node,
+                    response.op,
+                    response.finished_at.max(now) - pending.first_sent_at,
+                );
+            }
+        }
 
         if let Some(kind) = failure {
             // Error pages name the failing bean (JBoss prints the class in

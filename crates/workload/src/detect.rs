@@ -28,6 +28,12 @@ pub enum DetectorKind {
     Simple,
     /// Simple checks plus the known-good comparison.
     Comparison,
+    /// Simple checks plus the windowed latency-anomaly tracker
+    /// ([`crate::perf`]). Per-response classification is identical to
+    /// [`DetectorKind::Simple`]: fail-slow evidence comes from comparing
+    /// live latency sketches against a frozen baseline, never from any
+    /// single response.
+    LatencyAnomaly,
 }
 
 /// What kind of failure a detector observed.
@@ -48,6 +54,11 @@ pub enum FailureKind {
     AppSpecific,
     /// Output differed from the known-good instance.
     Comparison,
+    /// A component's live latency quantiles drifted beyond the configured
+    /// multiplier of its frozen pre-fault baseline. Produced only by the
+    /// perf tracker's windowed check ([`crate::perf`]) — every response
+    /// in the window may be individually healthy.
+    LatencyAnomaly,
 }
 
 /// A failure report sent to the recovery manager (the UDP datagram of
@@ -311,7 +322,10 @@ mod tests {
                 c.name
             );
         }
-        // Exhaustiveness: the table reaches every FailureKind.
+        // Exhaustiveness: the table reaches every FailureKind that
+        // per-response classification can produce. The match is the
+        // guard — adding a FailureKind without deciding its row here
+        // fails to compile.
         let all = [
             FailureKind::Network,
             FailureKind::Timeout,
@@ -320,13 +334,49 @@ mod tests {
             FailureKind::SessionLoss,
             FailureKind::AppSpecific,
             FailureKind::Comparison,
+            FailureKind::LatencyAnomaly,
         ];
         for kind in all {
-            assert!(
-                cases
-                    .iter()
-                    .any(|c| c.simple == Some(kind) || c.comparison == Some(kind)),
-                "{kind:?} has no reaching row in the table"
+            let classify_reachable = match kind {
+                FailureKind::Network
+                | FailureKind::Timeout
+                | FailureKind::Http
+                | FailureKind::Keyword
+                | FailureKind::SessionLoss
+                | FailureKind::AppSpecific
+                | FailureKind::Comparison => true,
+                // Produced by the perf tracker's windowed baseline
+                // check, never by classify().
+                FailureKind::LatencyAnomaly => false,
+            };
+            if classify_reachable {
+                assert!(
+                    cases
+                        .iter()
+                        .any(|c| c.simple == Some(kind) || c.comparison == Some(kind)),
+                    "{kind:?} has no reaching row in the table"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn latency_anomaly_detector_classifies_like_simple() {
+        // Per-response classification is byte-identical to Simple: the
+        // fail-slow evidence never comes from a single response.
+        let mut tainted = resp(Status::Ok);
+        tainted.tainted = true;
+        let mut keyword = resp(Status::Ok);
+        keyword.markers.exception_text = true;
+        for (r, logged_in) in [
+            (resp(Status::NetworkError), false),
+            (resp(Status::Ok), true),
+            (tainted, false),
+            (keyword, false),
+        ] {
+            assert_eq!(
+                classify(DetectorKind::LatencyAnomaly, &r, logged_in),
+                classify(DetectorKind::Simple, &r, logged_in),
             );
         }
     }

@@ -18,16 +18,21 @@
 //!   times, functional-group availability gaps,
 //! * [`detect`] — the two failure detectors of Section 4 (simple
 //!   end-to-end and comparison-based) producing failure reports for the
-//!   recovery manager.
+//!   recovery manager,
+//! * [`perf`] — the performance-observability plane's windowed baseline
+//!   tracker: freezes pre-fault latency/throughput baselines, raises
+//!   fail-slow anomalies, and gates recovery on performance parity.
 
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod client;
 pub mod detect;
+pub mod perf;
 pub mod taw;
 
 pub use catalog::{ArgKind, Catalog, FunctionalGroup, MixClass, OpSpec};
 pub use client::{ClientPool, ClientPoolConfig, DeliverOutcome, OutgoingRequest};
 pub use detect::{DetectorKind, FailureKind, FailureReport};
+pub use perf::{PerfConfig, PerfEvent, PerfTracker};
 pub use taw::{TawSummary, TawTracker};
