@@ -15,8 +15,18 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> urb-lint --deny-all (determinism + exhaustiveness gate)"
+echo "==> urb-lint --deny-all (determinism + exhaustiveness + state-safety gate, timed)"
+# The item-model layer must not regress CI latency: the whole-workspace
+# lint (including the cargo-run dispatch overhead; the binary is already
+# built by the build step above) has a wall-clock budget.
+lint_start_ms=$(date +%s%3N)
 cargo run --release -q -p urb-lint -- --deny-all
+lint_ms=$(( $(date +%s%3N) - lint_start_ms ))
+echo "    lint wall time: ${lint_ms}ms (budget ${LINT_BUDGET_MS:-5000}ms)"
+if [ "$lint_ms" -gt "${LINT_BUDGET_MS:-5000}" ]; then
+  echo "urb-lint exceeded its latency budget: ${lint_ms}ms > ${LINT_BUDGET_MS:-5000}ms" >&2
+  exit 1
+fi
 
 echo "==> urb-trace smoke: record + strict verify + summary + same-seed diff"
 cargo run --release -q -p bench --bin urb-trace -- record target/ci_trace_a.jsonl --seed 7

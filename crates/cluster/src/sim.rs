@@ -420,6 +420,7 @@ impl World {
             "client-timeout",
             SimEvent::ClientTimeout { node, rid, op },
         );
+        // urb-lint: allow(S004) — the LB's routing decision is the cluster's one sanctioned cross-node entry; under the sharded kernel (ROADMAP item 1) this submit becomes a shard-targeted event send.
         match self.nodes[node].submit(out.req, now) {
             SubmitOutcome::Rejected(resp) => self.schedule_deliveries(node, vec![resp], q),
             SubmitOutcome::Admitted => self.pump_node(node, q),
@@ -478,6 +479,7 @@ impl World {
     fn on_maintenance(&mut self, q: &mut SimQueue) {
         let now = q.now();
         for node in 0..self.nodes.len() {
+            // urb-lint: allow(S004) — the maintenance sweep visits every node in index order; under the sharded kernel it becomes per-shard epoch-barrier events.
             let killed = self.nodes[node].maintenance(now);
             self.schedule_deliveries(node, killed, q);
             self.pump_node(node, q);

@@ -275,9 +275,11 @@ impl FaultFlags {
 }
 
 /// The managed container for one deployed component.
+// urb-lint: volatile-state(crash, full_stop, complete_start)
 #[derive(Clone, Debug)]
 pub struct Container {
     /// The component's descriptor (immutable deployment information).
+    // urb-lint: allow(S001) — immutable deployment metadata; survives every reboot level by design (Section 3.2).
     pub descriptor: ComponentDescriptor,
     state: ContainerState,
     /// Generation of the component's classloader. Preserved across

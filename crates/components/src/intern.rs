@@ -20,8 +20,29 @@ use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
 /// An interned component name.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Ordering compares the *names*, not the symbol ids: ids are assigned
+/// in global interning order — a process-wide accident of thread
+/// interleaving and deployment order that must never leak into sorted
+/// containers or sorted iteration. Equality and hashing stay id-based;
+/// the interner is bijective, so they agree with name equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CompName(u32);
+
+impl Ord for CompName {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for CompName {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 struct Interner {
     names: Vec<&'static str>,
@@ -29,6 +50,7 @@ struct Interner {
 }
 
 fn table() -> &'static Mutex<Interner> {
+    // urb-lint: allow(S002) — the interner is append-only symbol identity, not sim state: a reboot must NOT forget names, and digests never observe ids (Ord/Debug go through as_str).
     static TABLE: OnceLock<Mutex<Interner>> = OnceLock::new();
     TABLE.get_or_init(|| {
         Mutex::new(Interner {
@@ -106,6 +128,18 @@ mod tests {
     #[test]
     fn lookup_of_unknown_name_fails() {
         assert_eq!(CompName::lookup("InternTestNeverInterned"), None);
+    }
+
+    #[test]
+    fn ordering_follows_names_not_interning_order() {
+        // Interned in reverse alphabetical order, so id order and name
+        // order disagree — the whole point of the manual Ord.
+        let z = CompName::intern("InternTestOrderZeta");
+        let a = CompName::intern("InternTestOrderAlpha");
+        assert!(a < z, "name order must win over interning order");
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
     }
 
     #[test]

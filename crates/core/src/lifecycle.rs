@@ -89,9 +89,11 @@ struct ActiveRecovery {
 
 /// The recovery state machine: process availability plus every in-flight
 /// recovery, keyed by [`RebootLevel`].
+// urb-lint: volatile-state(recovery_crash, recovery_complete, force_state)
 pub struct RecoveryLifecycle {
     state: ProcState,
     active: Vec<ActiveRecovery>,
+    // urb-lint: allow(S001) — monotonic RebootId allocator: surviving reboots is what keeps ids unique across them.
     next_id: u64,
 }
 

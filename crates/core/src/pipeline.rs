@@ -44,6 +44,7 @@ pub(crate) struct Victim {
 }
 
 /// Admission, execution and kill bookkeeping for one server's requests.
+// urb-lint: volatile-state(take_all)
 pub struct RequestPipeline {
     workers: WorkerPool,
     /// Ordered by request id, so kill paths visit victims deterministically.

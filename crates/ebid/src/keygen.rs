@@ -35,6 +35,7 @@ pub enum KeyResult {
 }
 
 /// The per-table key generator cache.
+// urb-lint: volatile-state(reset)
 #[derive(Clone, Debug, Default)]
 pub struct KeyGen {
     states: BTreeMap<&'static str, KeyState>,

@@ -39,6 +39,8 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod model;
+
 /// The crates whose `src/` trees are subject to the determinism rules.
 ///
 /// `bench` is deliberately absent: CLI binaries may read `std::env::args`
@@ -105,8 +107,28 @@ pub const RULES: &[(&str, &str)] = &[
         "RecoveryPolicy impl or PolicyChoice variant missing from the tournament registry",
     ),
     (
+        "S001",
+        "volatile-state struct field not wiped by any reset-family method",
+    ),
+    (
+        "S002",
+        "mutable global state in a sim crate lives outside every reboot boundary",
+    ),
+    (
+        "S003",
+        "interior mutability inside a volatile-state struct hides state from the reboot wipe",
+    ),
+    (
+        "S004",
+        "cross-node state access outside kernel event dispatch (sharding hazard)",
+    ),
+    (
         "P001",
         "allow-pragma without a justification (or with an unknown rule id)",
+    ),
+    (
+        "P002",
+        "allow-pragma is stale: its rule no longer fires on the guarded line",
     ),
 ];
 
@@ -427,7 +449,7 @@ pub fn test_line_mask(code: &[String]) -> Vec<bool> {
 // Determinism rules
 // ---------------------------------------------------------------------------
 
-fn find_word(line: &str, word: &str) -> Vec<usize> {
+pub(crate) fn find_word(line: &str, word: &str) -> Vec<usize> {
     let bytes = line.as_bytes();
     let mut out = Vec::new();
     let mut start = 0;
@@ -476,9 +498,27 @@ fn binding_name(line: &str, idx: usize) -> Option<String> {
 const ITER_METHODS: &[&str] = &[".keys()", ".values()", ".iter()", ".into_iter()", ".drain("];
 const FLOAT_SINKS: &[&str] = &[".sum(", ".sum::<", ".fold(", ".product("];
 
+/// One file's lint output plus the bookkeeping the workspace pass needs
+/// for stale-pragma (`P002`) evaluation: every rule hit recorded *before*
+/// pragma suppression, and the file's pragmas themselves.
+pub struct FileLint {
+    /// Post-suppression diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Every `(rule, line)` that fired before pragma suppression.
+    pub raw_hits: Vec<(&'static str, usize)>,
+    /// The file's allow-pragmas.
+    pub pragmas: Vec<Pragma>,
+}
+
 /// Runs the determinism rules (`D001`–`D007`, plus `P001` pragma checks)
 /// over one source file. `label` is used as the diagnostic path.
 pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source_with_hits(label, src).diags
+}
+
+/// [`lint_source`], keeping the pre-suppression hits and pragmas that
+/// workspace-level stale-pragma detection needs.
+pub fn lint_source_with_hits(label: &str, src: &str) -> FileLint {
     let masked = mask_source(src);
     let pragmas = extract_pragmas(&masked);
     let allowed = allowed_set(&pragmas);
@@ -486,6 +526,7 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
     let known_rules: BTreeSet<&str> = RULES.iter().map(|(r, _)| *r).collect();
 
     let mut diags = Vec::new();
+    let mut raw_hits: Vec<(&'static str, usize)> = Vec::new();
     for p in &pragmas {
         if !known_rules.contains(p.rule.as_str()) {
             diags.push(Diagnostic {
@@ -524,6 +565,7 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
                     unordered.insert(name);
                 }
                 let lno = idx + 1;
+                raw_hits.push(("D001", lno));
                 if allowed.contains(&("D001".to_string(), lno)) {
                     continue;
                 }
@@ -550,6 +592,7 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
         }
         let lno = idx + 1;
         let mut push = |rule: &'static str, message: String, fix: &str| {
+            raw_hits.push((rule, lno));
             if !allowed.contains(&(rule.to_string(), lno)) {
                 diags.push(Diagnostic {
                     file: label.to_string(),
@@ -655,7 +698,11 @@ pub fn lint_source(label: &str, src: &str) -> Vec<Diagnostic> {
             }
         }
     }
-    diags
+    FileLint {
+        diags,
+        raw_hits,
+        pragmas,
+    }
 }
 
 fn is_for_loop_over(line: &str, name: &str) -> bool {
@@ -680,6 +727,330 @@ fn is_for_loop_over(line: &str, name: &str) -> bool {
         Some(c) => !(c.is_alphanumeric() || c == '_'),
         None => true,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Crash-only state-safety rules (S001–S004)
+// ---------------------------------------------------------------------------
+
+/// Interior-mutability / global-cell types whose presence marks state the
+/// reboot wipe cannot see (S002 when global, S003 when inside a
+/// volatile-state struct). `Atomic*` is matched by prefix separately.
+const CELL_TYPES: &[&str] = &[
+    "RefCell", "Cell", "OnceCell", "OnceLock", "Lazy", "Mutex", "RwLock",
+];
+
+/// Output of [`check_state_safety`] over one crate.
+pub struct CrateLint {
+    /// Post-suppression diagnostics.
+    pub diags: Vec<Diagnostic>,
+    /// Every `(label, rule, line)` that fired before pragma suppression.
+    pub raw_hits: Vec<(String, &'static str, usize)>,
+}
+
+/// Runs the crash-only state-safety rules over one crate's sources
+/// (`(label, src)` pairs — the rules are cross-file within a crate):
+///
+/// * **S001** every struct carrying a `// urb-lint: volatile-state`
+///   marker must have a reset-family method whose bodies collectively
+///   mention every field, so a newly added field nobody wipes fails CI.
+///   A marker may name its methods — `volatile-state(crash, reset_all)`
+///   — and then those may live on an enclosing type (the lifecycle wipes
+///   run on `AppServer`, not on `RecoveryLifecycle` itself); a bare
+///   marker uses [`model::DEFAULT_RESET_METHODS`] plus any `reset*`
+///   method owned by the struct.
+/// * **S002** mutable global state (`static mut`, `thread_local!`, a
+///   `static` holding a cell/lock type) — state outside any reboot
+///   boundary.
+/// * **S003** interior mutability inside a volatile-state struct —
+///   state a field-wipe audit cannot see through.
+/// * **S004** (crates `cluster`/`core` only) indexing a `nodes` array
+///   with anything but a parameter of the enclosing function: kernel
+///   event dispatch hands handlers their target node index as a
+///   parameter, so a literal, a local, or a loop variable is a
+///   cross-node touch the future sharded kernel cannot order.
+///   Constructors (`new`, `with_*`) are exempt — wiring the world
+///   before the clock starts is not dispatch.
+pub fn check_state_safety(crate_name: &str, files: &[(&str, &str)]) -> CrateLint {
+    let model = model::CrateModel::parse(files);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut raw_hits: Vec<(String, &'static str, usize)> = Vec::new();
+
+    for (fidx, (label, src)) in files.iter().enumerate() {
+        let masked = mask_source(src);
+        let allowed = allowed_set(&extract_pragmas(&masked));
+        let skipped = test_line_mask(&masked.code);
+        let fm = &model.files[fidx];
+        let mut push = |rule: &'static str, line: usize, message: String, fix: String| {
+            raw_hits.push((label.to_string(), rule, line));
+            if !allowed.contains(&(rule.to_string(), line)) {
+                diags.push(Diagnostic {
+                    file: label.to_string(),
+                    line,
+                    rule,
+                    message,
+                    fix,
+                });
+            }
+        };
+
+        // S002: mutable globals, per line.
+        for (idx, line) in masked.code.iter().enumerate() {
+            if skipped[idx] {
+                continue;
+            }
+            let lno = idx + 1;
+            if line.contains("thread_local!") {
+                push(
+                    "S002",
+                    lno,
+                    "thread-local state lives outside every reboot boundary".to_string(),
+                    "move the state into a struct wiped by a crash()/reset path".to_string(),
+                );
+                continue;
+            }
+            for at in find_word(line, "static") {
+                // `'static` is a lifetime, not a declaration.
+                if at > 0 && line.as_bytes()[at - 1] == b'\'' {
+                    continue;
+                }
+                let after = line[at + "static".len()..].trim_start();
+                let holds_cell = CELL_TYPES.iter().any(|t| !find_word(line, t).is_empty())
+                    || has_atomic_type(line);
+                if after.starts_with("mut ") || holds_cell {
+                    push(
+                        "S002",
+                        lno,
+                        "mutable global state lives outside every reboot boundary".to_string(),
+                        "move the state into a struct wiped by a crash()/reset path \
+                         (or justify with // urb-lint: allow(S002) — …)"
+                            .to_string(),
+                    );
+                }
+                break;
+            }
+        }
+
+        // S001 + S003: volatile-state structs.
+        for st in &fm.structs {
+            let Some(marker) = &st.marker else {
+                continue;
+            };
+            let explicit = !marker.methods.is_empty();
+            let method_names: Vec<String> = if explicit {
+                marker.methods.clone()
+            } else {
+                let mut names: Vec<String> = model::DEFAULT_RESET_METHODS
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect();
+                for f in model.files.iter().flat_map(|f| f.fns.iter()) {
+                    if f.owner.as_deref() == Some(st.name.as_str())
+                        && f.name.starts_with("reset")
+                        && !names.contains(&f.name)
+                    {
+                        names.push(f.name.clone());
+                    }
+                }
+                names
+            };
+            let mut bodies = String::new();
+            for m in &method_names {
+                let fns = model.fns_named(m, &st.name);
+                // A bare marker only trusts the struct's own methods; an
+                // explicit list may resolve to an enclosing type's wipes.
+                let fns: Vec<_> = if explicit {
+                    fns
+                } else {
+                    fns.into_iter()
+                        .filter(|f| f.owner.as_deref() == Some(st.name.as_str()))
+                        .collect()
+                };
+                if fns.is_empty() && explicit {
+                    push(
+                        "S001",
+                        marker.line,
+                        format!(
+                            "volatile-state marker on `{}` names reset method `{m}` \
+                             but no such method exists",
+                            st.name
+                        ),
+                        "fix the marker's method list (or implement the method)".to_string(),
+                    );
+                }
+                for f in fns {
+                    bodies.push_str(&f.body);
+                    bodies.push('\n');
+                }
+            }
+            if bodies.is_empty() {
+                push(
+                    "S001",
+                    st.line,
+                    format!(
+                        "volatile-state struct `{}` has no reset-family method ({})",
+                        st.name,
+                        method_names.join(", ")
+                    ),
+                    "implement a crash()/reset method that wipes every field".to_string(),
+                );
+                continue;
+            }
+            for field in &st.fields {
+                if find_word(&bodies, &field.name).is_empty() {
+                    push(
+                        "S001",
+                        field.line,
+                        format!(
+                            "field `{}` of volatile-state struct `{}` is not wiped by any \
+                             reset method ({}); a microreboot would leave residual state",
+                            field.name,
+                            st.name,
+                            method_names.join("/")
+                        ),
+                        format!(
+                            "wipe the field in {}() (or justify with \
+                             // urb-lint: allow(S001) — …)",
+                            method_names.first().map(String::as_str).unwrap_or("crash")
+                        ),
+                    );
+                }
+                if CELL_TYPES
+                    .iter()
+                    .any(|t| !find_word(&field.ty, t).is_empty())
+                    || has_atomic_type(&field.ty)
+                {
+                    push(
+                        "S003",
+                        field.line,
+                        format!(
+                            "interior mutability `{}` inside volatile-state struct `{}` \
+                             hides state from the reboot wipe",
+                            field.ty, st.name
+                        ),
+                        "store the value directly so the reset method can see it \
+                         (or justify with // urb-lint: allow(S003) — …)"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        // S004: cross-node indexing outside dispatch, cluster/core only.
+        if crate_name == "cluster" || crate_name == "core" {
+            for f in &fm.fns {
+                if f.name == "new" || f.name.starts_with("with_") {
+                    continue;
+                }
+                let mut flagged_lines: BTreeSet<usize> = BTreeSet::new();
+                for li in (f.line - 1)..f.end_line.min(masked.code.len()) {
+                    let line = &masked.code[li];
+                    for at in find_word(line, "nodes") {
+                        let rest = &line[at + "nodes".len()..];
+                        if !rest.starts_with('[') {
+                            continue;
+                        }
+                        let Some(close) = rest.find(']') else {
+                            continue;
+                        };
+                        let idx_expr = rest[1..close].trim();
+                        let plain_ident = !idx_expr.is_empty()
+                            && idx_expr.chars().all(|c| c.is_alphanumeric() || c == '_')
+                            && !idx_expr.chars().next().is_some_and(|c| c.is_numeric());
+                        if plain_ident && f.params.iter().any(|p| p == idx_expr) {
+                            continue;
+                        }
+                        if flagged_lines.insert(li + 1) {
+                            push(
+                                "S004",
+                                li + 1,
+                                format!(
+                                    "cross-node access `nodes[{idx_expr}]` outside kernel \
+                                     event dispatch in fn {}",
+                                    f.name
+                                ),
+                                "route the mutation through a scheduled event targeted at \
+                                 the node (or justify with // urb-lint: allow(S004) — …)"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    diags.sort();
+    diags.dedup();
+    CrateLint { diags, raw_hits }
+}
+
+/// `Atomic` followed by an identifier (AtomicU64, AtomicBool, …) with a
+/// word boundary before it.
+fn has_atomic_type(text: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = text[start..].find("Atomic") {
+        let at = start + pos;
+        let before_ok = at == 0 || {
+            let b = bytes[at - 1] as char;
+            !(b.is_alphanumeric() || b == '_')
+        };
+        if before_ok {
+            return true;
+        }
+        start = at + "Atomic".len();
+    }
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Stale-pragma detection (P002)
+// ---------------------------------------------------------------------------
+
+/// Flags pragmas whose rule did not fire (pre-suppression) on the line
+/// they guard. Only pragmas that pass `P001` — known rule, real
+/// justification — are evaluated: a bare or unknown-rule pragma is
+/// already a diagnostic and double-reporting it would be noise.
+///
+/// `pragmas_by_file` pairs each file label with its pragmas; `raw_hits`
+/// is the union of every rule hit recorded before suppression, across
+/// the per-file passes and the crate-level S-rule pass.
+pub fn stale_pragma_diags(
+    pragmas_by_file: &[(String, Vec<Pragma>)],
+    raw_hits: &BTreeSet<(String, String, usize)>,
+) -> Vec<Diagnostic> {
+    let known_rules: BTreeSet<&str> = RULES.iter().map(|(r, _)| *r).collect();
+    let mut diags = Vec::new();
+    for (label, pragmas) in pragmas_by_file {
+        for p in pragmas {
+            let passes_p001 = known_rules.contains(p.rule.as_str())
+                && p.justification
+                    .chars()
+                    .filter(|c| c.is_alphanumeric())
+                    .count()
+                    >= 3;
+            if !passes_p001 {
+                continue;
+            }
+            let live = [p.line, p.line + 1]
+                .iter()
+                .any(|&l| raw_hits.contains(&(label.clone(), p.rule.clone(), l)));
+            if !live {
+                diags.push(Diagnostic {
+                    file: label.clone(),
+                    line: p.line,
+                    rule: "P002",
+                    message: format!(
+                        "allow({}) pragma is stale: {} no longer fires on the guarded line",
+                        p.rule, p.rule
+                    ),
+                    fix: "delete the pragma (it suppresses nothing)".to_string(),
+                });
+            }
+        }
+    }
+    diags
 }
 
 // ---------------------------------------------------------------------------
@@ -1148,12 +1519,16 @@ fn rel_label(root: &Path, path: &Path) -> String {
         .to_string()
 }
 
-/// Lints a workspace rooted at `root`: determinism rules over every
-/// `src/` file of the [`SIM_CRATES`], then the exhaustiveness
-/// cross-checks over the canonical telemetry surfaces (when present, so
-/// fixture trees exercising only the determinism rules still work).
+/// Lints a workspace rooted at `root`: determinism and state-safety
+/// rules over every `src/` file of the [`SIM_CRATES`], then the
+/// exhaustiveness cross-checks over the canonical telemetry surfaces
+/// (when present, so fixture trees exercising only the determinism rules
+/// still work), and finally stale-pragma detection over the union of
+/// pre-suppression hits.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
+    let mut raw_hits: BTreeSet<(String, String, usize)> = BTreeSet::new();
+    let mut pragmas_by_file: Vec<(String, Vec<Pragma>)> = Vec::new();
     for krate in SIM_CRATES {
         let src_dir = root.join("crates").join(krate).join("src");
         if !src_dir.is_dir() {
@@ -1161,9 +1536,30 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
         }
         let mut files = Vec::new();
         rs_files_sorted(&src_dir, &mut files)?;
-        for file in files {
-            let src = fs::read_to_string(&file).map_err(|e| format!("{}: {e}", file.display()))?;
-            diags.extend(lint_source(&rel_label(root, &file), &src));
+        let sources: Vec<(String, String)> = files
+            .iter()
+            .map(|file| {
+                fs::read_to_string(file)
+                    .map(|s| (rel_label(root, file), s))
+                    .map_err(|e| format!("{}: {e}", file.display()))
+            })
+            .collect::<Result<_, _>>()?;
+        for (label, src) in &sources {
+            let file_lint = lint_source_with_hits(label, src);
+            diags.extend(file_lint.diags);
+            for (rule, line) in file_lint.raw_hits {
+                raw_hits.insert((label.clone(), rule.to_string(), line));
+            }
+            pragmas_by_file.push((label.clone(), file_lint.pragmas));
+        }
+        let refs: Vec<(&str, &str)> = sources
+            .iter()
+            .map(|(l, s)| (l.as_str(), s.as_str()))
+            .collect();
+        let crate_lint = check_state_safety(krate, &refs);
+        diags.extend(crate_lint.diags);
+        for (label, rule, line) in crate_lint.raw_hits {
+            raw_hits.insert((label, rule.to_string(), line));
         }
     }
 
@@ -1240,6 +1636,14 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             &impls,
         ));
     }
+
+    // E-rule hits land at their diagnostic sites (they have no separate
+    // suppression pass), so an allow(E…) pragma is live only where its
+    // rule actually fires.
+    for d in &diags {
+        raw_hits.insert((d.file.clone(), d.rule.to_string(), d.line));
+    }
+    diags.extend(stale_pragma_diags(&pragmas_by_file, &raw_hits));
 
     diags.sort();
     Ok(diags)

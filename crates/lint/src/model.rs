@@ -1,0 +1,757 @@
+//! A lightweight item model over the lexer: structs with field lists and
+//! impl blocks with method bodies, cross-file within a crate.
+//!
+//! The determinism rules (D001–D008) are line-local, but the crash-only
+//! state-safety rules (S001–S004) need *items*: S001 must relate a
+//! struct's field list to the body of its `crash()`/reset methods, S003
+//! must look at field types, and S004 must know which function a
+//! cross-node access sits in (and what that function's parameters are).
+//! This module grows that model on top of [`crate::mask_source`] — still
+//! a hand-rolled scan, no `syn` — with the same trade-off as the lexer:
+//! it understands the subset of Rust this workspace writes (see the
+//! round-trip selftest, which pins that the whole workspace parses).
+//!
+//! Designation of reboot-volatile state is by marker comment on (or in
+//! the doc/attribute block above) the struct declaration:
+//!
+//! ```text
+//! // urb-lint: volatile-state(crash, full_stop, complete_start)
+//! pub struct Container { … }
+//! ```
+//!
+//! The parenthesised list names the struct's reset-family methods; bare
+//! `// urb-lint: volatile-state` uses the default family
+//! ([`DEFAULT_RESET_METHODS`] plus any `reset*`-prefixed name).
+
+use crate::{mask_source, test_line_mask, Masked};
+
+/// Reset-method names assumed when a `volatile-state` marker does not
+/// name its own list.
+pub const DEFAULT_RESET_METHODS: &[&str] = &["crash", "full_stop", "wipe", "clear"];
+
+/// One named struct field.
+#[derive(Clone, Debug)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// The declared type, as written on the declaration line.
+    pub ty: String,
+    /// 1-indexed declaration line.
+    pub line: usize,
+}
+
+/// A `volatile-state` designation marker.
+#[derive(Clone, Debug)]
+pub struct VolatileMarker {
+    /// 1-indexed line the marker comment sits on.
+    pub line: usize,
+    /// Explicit reset-method names; empty means the default family.
+    pub methods: Vec<String>,
+}
+
+/// A struct declaration with its named fields.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// 1-indexed declaration line.
+    pub line: usize,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<FieldDef>,
+    /// The `volatile-state` marker, when designated.
+    pub marker: Option<VolatileMarker>,
+}
+
+/// A function or method with its body text and span.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// The `impl` target type, for methods (`None` for free functions).
+    pub owner: Option<String>,
+    /// Parameter names (patterns reduced to their binding identifier).
+    pub params: Vec<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// 1-indexed last line of the body.
+    pub end_line: usize,
+    /// The body text (masked code, newline-joined).
+    pub body: String,
+}
+
+/// Everything the item model extracted from one source file.
+pub struct FileModel {
+    /// Diagnostic path label.
+    pub label: String,
+    /// Struct declarations.
+    pub structs: Vec<StructDef>,
+    /// Functions and methods (impl methods carry `owner`).
+    pub fns: Vec<FnDef>,
+}
+
+/// Parses `src` into the item model. Never panics: constructs the model
+/// from whatever the scan recognises and skips what it does not.
+pub fn parse_file(label: &str, src: &str) -> FileModel {
+    let masked = mask_source(src);
+    let skipped = test_line_mask(&masked.code);
+    let mut model = FileModel {
+        label: label.to_string(),
+        structs: Vec::new(),
+        fns: Vec::new(),
+    };
+    parse_structs(&masked, &skipped, &mut model);
+    parse_fns(&masked, &skipped, &mut model);
+    model
+}
+
+/// Crate-wide model: the union of per-file models.
+pub struct CrateModel {
+    /// Per-file models.
+    pub files: Vec<FileModel>,
+}
+
+impl CrateModel {
+    /// Builds the model from `(label, src)` pairs.
+    pub fn parse(files: &[(&str, &str)]) -> CrateModel {
+        CrateModel {
+            files: files
+                .iter()
+                .map(|(label, src)| parse_file(label, src))
+                .collect(),
+        }
+    }
+
+    /// All functions named `name` across the crate. When any of them is a
+    /// method of `prefer_owner`, only those are returned (so another
+    /// type's unrelated `reset` does not count as wiping this struct).
+    pub fn fns_named(&self, name: &str, prefer_owner: &str) -> Vec<&FnDef> {
+        let all: Vec<&FnDef> = self
+            .files
+            .iter()
+            .flat_map(|f| f.fns.iter())
+            .filter(|f| f.name == name)
+            .collect();
+        let owned: Vec<&FnDef> = all
+            .iter()
+            .copied()
+            .filter(|f| f.owner.as_deref() == Some(prefer_owner))
+            .collect();
+        if owned.is_empty() {
+            all
+        } else {
+            owned
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Struct parsing
+// ---------------------------------------------------------------------------
+
+fn parse_structs(masked: &Masked, skipped: &[bool], model: &mut FileModel) {
+    let code = &masked.code;
+    for idx in 0..code.len() {
+        if skipped[idx] {
+            continue;
+        }
+        let Some(name) = struct_decl_name(&code[idx]) else {
+            continue;
+        };
+        // Distinguish `struct X { … }` from tuple/unit structs: the first
+        // of `{`, `(`, `;` after the name decides.
+        let Some(open) = find_struct_body_open(code, idx) else {
+            model.structs.push(StructDef {
+                name,
+                line: idx + 1,
+                fields: Vec::new(),
+                marker: find_marker(masked, idx),
+            });
+            continue;
+        };
+        let fields = parse_fields(code, open);
+        model.structs.push(StructDef {
+            name,
+            line: idx + 1,
+            fields,
+            marker: find_marker(masked, idx),
+        });
+    }
+}
+
+/// `pub struct Name` / `struct Name` on this line → `Name`.
+fn struct_decl_name(line: &str) -> Option<String> {
+    for at in crate::find_word(line, "struct") {
+        // Reject `struct` inside a type position (e.g. none in this
+        // codebase) by requiring the declaration shape: only whitespace,
+        // `pub`, `pub(...)` before it.
+        let before = line[..at].trim();
+        let decl_ok = before.is_empty()
+            || before == "pub"
+            || (before.starts_with("pub") && before.ends_with(')'));
+        if !decl_ok {
+            continue;
+        }
+        let rest = line[at + "struct".len()..].trim_start();
+        let name: String = rest
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Position `(line_idx, col_after_brace)` of the `{` opening the struct's
+/// field body, or `None` for tuple/unit structs.
+fn find_struct_body_open(code: &[String], start: usize) -> Option<(usize, usize)> {
+    let mut angle = 0i32;
+    for (li, line) in code.iter().enumerate().skip(start) {
+        let from = if li == start {
+            line.find("struct").unwrap_or(0)
+        } else {
+            0
+        };
+        for (ci, c) in line[from..].char_indices() {
+            match c {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                '{' if angle <= 0 => return Some((li, from + ci + 1)),
+                '(' | ';' if angle <= 0 => return None,
+                _ => {}
+            }
+        }
+        if li > start + 8 {
+            // Declarations do not span more than a few lines here; give
+            // up rather than scanning the rest of the file.
+            return None;
+        }
+    }
+    None
+}
+
+/// Parses `name: Type,` fields from the body opened at `open`.
+fn parse_fields(code: &[String], open: (usize, usize)) -> Vec<FieldDef> {
+    let (mut li, mut col) = open;
+    let mut depth = 1i32;
+    let mut fields = Vec::new();
+    while li < code.len() && depth > 0 {
+        let line = &code[li][col.min(code[li].len())..];
+        let entering_depth = depth;
+        let mut closed_at: Option<usize> = None;
+        for (ci, c) in line.char_indices() {
+            match c {
+                '{' | '(' | '[' => depth += 1,
+                '}' | ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        closed_at = Some(ci);
+                    }
+                }
+                _ => {}
+            }
+            if depth == 0 {
+                break;
+            }
+        }
+        // A field declaration sits at body depth 1, at line start.
+        if entering_depth == 1 {
+            let upto = closed_at.unwrap_or(line.len());
+            if let Some(field) = field_on_line(&line[..upto], li + 1) {
+                fields.push(field);
+            }
+        }
+        li += 1;
+        col = 0;
+    }
+    fields
+}
+
+fn field_on_line(line: &str, lno: usize) -> Option<FieldDef> {
+    let t = line.trim();
+    if t.is_empty() || t.starts_with('#') {
+        return None;
+    }
+    let t = t
+        .strip_prefix("pub(crate)")
+        .or_else(|| t.strip_prefix("pub(super)"))
+        .or_else(|| t.strip_prefix("pub"))
+        .unwrap_or(t)
+        .trim_start();
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || !t[name.len()..].trim_start().starts_with(':') {
+        return None;
+    }
+    if name.chars().next().is_some_and(|c| c.is_numeric()) {
+        return None;
+    }
+    let ty = t[name.len()..]
+        .trim_start()
+        .trim_start_matches(':')
+        .trim()
+        .trim_end_matches(',')
+        .to_string();
+    Some(FieldDef {
+        name,
+        ty,
+        line: lno,
+    })
+}
+
+/// Scans upward from the struct declaration through its doc/attribute
+/// block for a `volatile-state` marker comment.
+fn find_marker(masked: &Masked, struct_idx: usize) -> Option<VolatileMarker> {
+    // The marker may also sit on the declaration line itself.
+    let mut idx = struct_idx;
+    loop {
+        if let Some(m) = marker_in_comment(&masked.comments[idx], idx + 1) {
+            return Some(m);
+        }
+        if idx == 0 {
+            return None;
+        }
+        let above = idx - 1;
+        let code = masked.code[above].trim();
+        let is_comment_only = code.is_empty() && !masked.comments[above].is_empty();
+        let is_attr = code.starts_with("#[");
+        // Any other line — blank or code — ends the doc/attribute block.
+        if is_comment_only || is_attr {
+            idx = above;
+        } else {
+            return None;
+        }
+    }
+}
+
+fn marker_in_comment(comment: &str, lno: usize) -> Option<VolatileMarker> {
+    let pos = comment.find("urb-lint:")?;
+    let rest = comment[pos + "urb-lint:".len()..].trim_start();
+    let rest = rest.strip_prefix("volatile-state")?;
+    let methods = if let Some(list) = rest.trim_start().strip_prefix('(') {
+        let close = list.find(')')?;
+        list[..close]
+            .split(',')
+            .map(|m| m.trim().to_string())
+            .filter(|m| !m.is_empty())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    Some(VolatileMarker { line: lno, methods })
+}
+
+// ---------------------------------------------------------------------------
+// Function/impl parsing
+// ---------------------------------------------------------------------------
+
+fn parse_fns(masked: &Masked, skipped: &[bool], model: &mut FileModel) {
+    let code = &masked.code;
+    // First map every line to the impl target type covering it (if any).
+    let owners = impl_owner_per_line(code);
+    let mut idx = 0;
+    while idx < code.len() {
+        if skipped[idx] {
+            idx += 1;
+            continue;
+        }
+        let line = &code[idx];
+        let Some(fn_at) = find_fn_keyword(line) else {
+            idx += 1;
+            continue;
+        };
+        let after = &line[fn_at + 2..];
+        let name: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if name.is_empty() {
+            idx += 1;
+            continue;
+        }
+        let Some((params, body, end_line)) = parse_fn_rest(code, idx, fn_at) else {
+            idx += 1;
+            continue;
+        };
+        model.fns.push(FnDef {
+            name,
+            owner: owners[idx].clone(),
+            params,
+            line: idx + 1,
+            end_line,
+            body,
+        });
+        idx += 1;
+    }
+}
+
+fn find_fn_keyword(line: &str) -> Option<usize> {
+    crate::find_word(line, "fn").into_iter().find(|&at| {
+        // Reject `fn` in type position (`fn(OpCode) -> …`): a declaration
+        // has whitespace-or-nothing-or-visibility before it, and a name
+        // (not `(`) after it.
+        let before = line[..at].trim();
+        let decl_ok = before.is_empty()
+            || before.ends_with("pub")
+            || before.ends_with(')')
+            || before.ends_with("const")
+            || before.ends_with("unsafe")
+            || before.ends_with("async");
+        let named = line[at + 2..]
+            .trim_start()
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        decl_ok && named && !before.ends_with(':') && !before.ends_with('&')
+    })
+}
+
+/// From a `fn` keyword, captures `(params, body_text, body_end_line)`.
+/// Returns `None` for bodyless declarations (trait method signatures).
+fn parse_fn_rest(
+    code: &[String],
+    start: usize,
+    col: usize,
+) -> Option<(Vec<String>, String, usize)> {
+    // Capture the parameter list: text between the first `(` and its
+    // matching `)`.
+    let mut li = start;
+    let mut ci = col;
+    let mut params_text = String::new();
+    let mut depth = 0i32;
+    let mut in_params = false;
+    'params: while li < code.len() {
+        let line: Vec<char> = code[li].chars().collect();
+        while ci < line.len() {
+            let c = line[ci];
+            match c {
+                '(' => {
+                    depth += 1;
+                    if depth == 1 {
+                        in_params = true;
+                        ci += 1;
+                        continue;
+                    }
+                }
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        ci += 1;
+                        break 'params;
+                    }
+                }
+                _ => {}
+            }
+            if in_params {
+                params_text.push(c);
+            }
+            ci += 1;
+        }
+        params_text.push(' ');
+        li += 1;
+        ci = 0;
+        if li > start + 16 {
+            return None;
+        }
+    }
+    // From after the params, find the body `{` — or a `;` first means a
+    // bodyless trait signature.
+    let mut depth = 0i32;
+    loop {
+        if li >= code.len() {
+            return None;
+        }
+        let line: Vec<char> = code[li].chars().collect();
+        while ci < line.len() {
+            match line[ci] {
+                '<' => depth += 1,
+                '>' if depth > 0 => depth -= 1,
+                ';' if depth == 0 => return None,
+                '{' if depth == 0 => {
+                    let (body, end_line) = capture_body(code, li, ci + 1);
+                    return Some((split_params(&params_text), body, end_line));
+                }
+                _ => {}
+            }
+            ci += 1;
+        }
+        li += 1;
+        ci = 0;
+        if li > start + 24 {
+            return None;
+        }
+    }
+}
+
+fn capture_body(code: &[String], mut li: usize, mut col: usize) -> (String, usize) {
+    let mut depth = 1i32;
+    let mut body = String::new();
+    while li < code.len() {
+        let line = &code[li];
+        let chars: Vec<char> = line.chars().collect();
+        let mut ci = col;
+        while ci < chars.len() {
+            match chars[ci] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (body, li + 1);
+                    }
+                }
+                c => body.push(c),
+            }
+            if matches!(chars[ci], '{' | '}') {
+                body.push(chars[ci]);
+            }
+            ci += 1;
+        }
+        body.push('\n');
+        li += 1;
+        col = 0;
+    }
+    (body, code.len())
+}
+
+fn split_params(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in text.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth <= 0 => {
+                if let Some(name) = param_name(&cur) {
+                    out.push(name);
+                }
+                cur.clear();
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if let Some(name) = param_name(&cur) {
+        out.push(name);
+    }
+    out
+}
+
+fn param_name(param: &str) -> Option<String> {
+    let p = param.trim();
+    if p.is_empty() {
+        return None;
+    }
+    if p.ends_with("self") {
+        return Some("self".to_string());
+    }
+    let p = p.strip_prefix("mut ").unwrap_or(p);
+    let name: String = p
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() || !p[name.len()..].trim_start().starts_with(':') {
+        return None;
+    }
+    Some(name)
+}
+
+/// For each line, the `impl` target type whose block covers it.
+fn impl_owner_per_line(code: &[String]) -> Vec<Option<String>> {
+    let mut owners: Vec<Option<String>> = vec![None; code.len()];
+    for idx in 0..code.len() {
+        let Some(ty) = impl_decl_type(&code[idx]) else {
+            continue;
+        };
+        // Find the block's opening brace and mark its span.
+        let Some((mut li, mut ci)) = find_open_brace(code, idx) else {
+            continue;
+        };
+        let mut depth = 1i32;
+        while li < code.len() {
+            owners[li] = Some(ty.clone());
+            let chars: Vec<char> = code[li].chars().collect();
+            while ci < chars.len() {
+                match chars[ci] {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return_span_done(&mut owners, idx, li, &ty);
+                            li = code.len();
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                ci += 1;
+            }
+            li += 1;
+            ci = 0;
+        }
+    }
+    owners
+}
+
+fn return_span_done(owners: &mut [Option<String>], start: usize, end: usize, ty: &str) {
+    for owner in owners.iter_mut().take(end + 1).skip(start) {
+        *owner = Some(ty.to_string());
+    }
+}
+
+/// `impl<…> Type`, `impl Trait for Type` on this line → `Type`.
+fn impl_decl_type(line: &str) -> Option<String> {
+    let at = crate::find_word(line, "impl").into_iter().next()?;
+    if !line[..at].trim().is_empty() {
+        return None;
+    }
+    let mut rest = &line[at + "impl".len()..];
+    // Skip the generic parameter list.
+    if rest.trim_start().starts_with('<') {
+        let mut depth = 0i32;
+        let trimmed = rest.trim_start();
+        let mut cut = trimmed.len();
+        for (ci, c) in trimmed.char_indices() {
+            match c {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        cut = ci + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        rest = &trimmed[cut..];
+    }
+    // `Trait for Type` → take the part after ` for `; else the whole.
+    let target = match rest.find(" for ") {
+        Some(pos) => &rest[pos + 5..],
+        None => rest,
+    };
+    // Last path segment's identifier, generics stripped.
+    let target = target.trim_start();
+    let seg = target.split("::").last().unwrap_or(target).trim_start();
+    let name: String = seg
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+fn find_open_brace(code: &[String], start: usize) -> Option<(usize, usize)> {
+    let mut li = start;
+    let mut ci = 0;
+    while li < code.len() {
+        let chars: Vec<char> = code[li].chars().collect();
+        while ci < chars.len() {
+            if chars[ci] == '{' {
+                return Some((li, ci + 1));
+            }
+            if chars[ci] == ';' {
+                return None;
+            }
+            ci += 1;
+        }
+        li += 1;
+        ci = 0;
+        if li > start + 8 {
+            return None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+/// A container.
+// urb-lint: volatile-state(crash, complete_start)
+#[derive(Debug)]
+pub struct Container {
+    /// Doc.
+    pub state: u32,
+    leaked_bytes: u64,
+    map: BTreeMap<(usize, u16), Sketch>,
+}
+
+pub struct Unit;
+pub struct Tuple(u32, u64);
+
+impl Container {
+    pub fn crash(&mut self, now: SimTime) -> u64 {
+        self.state = 0;
+        self.leaked_bytes = 0;
+        0
+    }
+    fn helper(x: usize, mut y: u64) {
+        let _ = (x, y);
+    }
+}
+
+impl Display for Container {
+    fn fmt(&self, f: &mut Formatter<'_>) -> Result {
+        write!(f, "c")
+    }
+}
+
+fn free_standing(node: usize) -> usize {
+    node + 1
+}
+"#;
+
+    #[test]
+    fn structs_fields_and_marker_parse() {
+        let m = parse_file("x.rs", SRC);
+        assert_eq!(m.structs.len(), 3);
+        let c = &m.structs[0];
+        assert_eq!(c.name, "Container");
+        let names: Vec<&str> = c.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["state", "leaked_bytes", "map"]);
+        assert_eq!(c.fields[2].ty, "BTreeMap<(usize, u16), Sketch>");
+        let marker = c.marker.as_ref().expect("marker found through attrs");
+        assert_eq!(marker.methods, ["crash", "complete_start"]);
+        assert!(m.structs[1].fields.is_empty());
+        assert!(m.structs[2].fields.is_empty());
+    }
+
+    #[test]
+    fn fns_carry_owner_params_and_body() {
+        let m = parse_file("x.rs", SRC);
+        let crash = m.fns.iter().find(|f| f.name == "crash").unwrap();
+        assert_eq!(crash.owner.as_deref(), Some("Container"));
+        assert_eq!(crash.params, ["self", "now"]);
+        assert!(crash.body.contains("leaked_bytes"));
+        let helper = m.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.params, ["x", "y"]);
+        let fmt = m.fns.iter().find(|f| f.name == "fmt").unwrap();
+        assert_eq!(fmt.owner.as_deref(), Some("Container"));
+        let free = m.fns.iter().find(|f| f.name == "free_standing").unwrap();
+        assert_eq!(free.owner, None);
+        assert_eq!(free.params, ["node"]);
+    }
+
+    #[test]
+    fn fns_named_prefers_the_owning_type() {
+        let other = "impl Other { pub fn crash(&mut self) { self.x = 0; } }\n";
+        let model = CrateModel::parse(&[("a.rs", SRC), ("b.rs", other)]);
+        let fns = model.fns_named("crash", "Container");
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].owner.as_deref(), Some("Container"));
+        let fns = model.fns_named("crash", "Unrelated");
+        assert_eq!(fns.len(), 2, "no owner match falls back to all");
+    }
+}

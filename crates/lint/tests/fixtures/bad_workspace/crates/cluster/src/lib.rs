@@ -2,3 +2,10 @@
 pub fn arm(q: &mut Queue) {
     q.schedule_at(at, "poll", Box::new(move |w, q| w.poll(q)));
 }
+
+/// A sweep that touches every node outside dispatch (S004).
+pub fn sweep(world: &mut World) {
+    for i in 0..world.nodes.len() {
+        world.nodes[i].poke();
+    }
+}

@@ -5,3 +5,22 @@ use std::collections::HashMap;
 pub struct Tracker {
     pub counts: HashMap<u64, u64>,
 }
+
+static mut TOTALS: u64 = 0;
+
+// urb-lint: allow(D003) — wall-clock call below was removed long ago.
+pub fn now_ms() -> u64 {
+    0
+}
+
+// urb-lint: volatile-state(crash)
+pub struct Session {
+    inflight: u32,
+    leaked: u64,
+}
+
+impl Session {
+    pub fn crash(&mut self) {
+        self.inflight = 0;
+    }
+}

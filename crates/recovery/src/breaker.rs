@@ -74,9 +74,13 @@ fn rung_action(
 }
 
 /// Circuit-breaker policy (see module docs).
+// urb-lint: volatile-state(crash)
 pub struct CircuitBreakerPolicy {
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     config: RmConfig,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     path_of: PathOf,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     web: &'static str,
     nodes: Vec<Node>,
 }

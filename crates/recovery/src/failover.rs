@@ -29,9 +29,13 @@ struct Node {
 }
 
 /// Failover-first policy (see module docs).
+// urb-lint: volatile-state(crash)
 pub struct FailoverFirstPolicy {
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     config: RmConfig,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     path_of: PathOf,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     web: &'static str,
     nodes: Vec<Node>,
 }

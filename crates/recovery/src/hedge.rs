@@ -42,13 +42,18 @@ impl Default for Node {
 }
 
 /// Retry-budget-with-hedging policy (see module docs).
+// urb-lint: volatile-state(crash)
 pub struct RetryHedgePolicy {
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     config: RmConfig,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     path_of: PathOf,
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     web: &'static str,
     nodes: Vec<Node>,
     /// Seeded hedging coin — the only randomness any shipped policy
     /// draws, reproduced bit-for-bit from the build seed.
+    // urb-lint: allow(S001) — deliberately survives crash(): the RNG models the policy's code, not its volatile state.
     rng: SimRng,
 }
 

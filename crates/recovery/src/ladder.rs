@@ -218,11 +218,14 @@ pub(crate) fn action_for(
 }
 
 /// The paper's recursive ladder (see module docs).
+// urb-lint: volatile-state(crash)
 pub struct LadderPolicy {
     config: RmConfig,
     /// URL-prefix → component-path mapping (from static analysis).
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     path_of: PathOf,
     /// Name of the web component, scored down (it is on every path).
+    // urb-lint: allow(S001) — immutable policy configuration; a ReHype reboot reloads it from the build.
     web: &'static str,
     nodes: Vec<NodeDiag>,
 }

@@ -207,7 +207,9 @@ impl RmStats {
 /// [`RecoveryManager::report`], polls [`RecoveryManager::decide`], and
 /// acknowledges completed actions via
 /// [`RecoveryManager::recovery_finished`].
+// urb-lint: volatile-state(crash)
 pub struct RecoveryManager {
+    // urb-lint: allow(S001) — registry identity, not diagnosis state: a ReHype reboot restarts the same policy.
     choice: PolicyChoice,
     policy: Box<dyn RecoveryPolicy>,
     metrics: MetricsRegistry,
