@@ -46,11 +46,15 @@ echo "==> urb-chaos degraded campaign: fail-slow matrix, performance-parity stri
 cargo run --release -q -p bench --bin urb-chaos -- degraded \
   --seed 7 --runs "${DEGRADED_RUNS:-12}" --strict --json
 
+echo "==> urb-chaos netstate campaign: state-plane & network faults, session-integrity strict"
+cargo run --release -q -p bench --bin urb-chaos -- netstate \
+  --seed 7 --runs "${NETSTATE_RUNS:-100}" --strict --json
+
 echo "==> perf trajectory: regenerate repo-root BENCH_*.json"
 cargo run --release -q -p bench --bin exp_parallel_recovery > /dev/null
 cargo run --release -q -p bench --bin urb-bench -- \
   kernel --events "${KERNEL_BENCH_EVENTS:-1000000}" --json target/BENCH_kernel.json > /dev/null
-for name in BENCH_kernel BENCH_parallel_recovery BENCH_policy_tournament BENCH_degraded_parity; do
+for name in BENCH_kernel BENCH_parallel_recovery BENCH_policy_tournament BENCH_degraded_parity BENCH_netstate_integrity; do
   fresh="target/${name}.json"
   committed="${name}.json"
   if [ -f "$committed" ]; then

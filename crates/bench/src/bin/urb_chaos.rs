@@ -35,6 +35,7 @@ use std::process::ExitCode;
 use bench::chaos::{
     self, depth_label, describe, fault_kind, run_scenario, RunOptions, TournamentOptions,
 };
+use bench::netstate::run_netstate_scenario;
 use bench::report::JsonReport;
 use bench::Table;
 use faults::campaign::{self, CampaignConfig};
@@ -46,6 +47,7 @@ fn usage() {
     eprintln!("usage: urb-chaos [--seed N] [--runs M] [--strict] [--verbose] [--only RUN]");
     eprintln!("       urb-chaos tournament [--seed N] [--runs M] [--policies a,b,..] [--strict] [--verbose] [--json]");
     eprintln!("       urb-chaos degraded [--seed N] [--runs M] [--strict] [--verbose] [--json] [--only RUN]");
+    eprintln!("       urb-chaos netstate [--seed N] [--runs M] [--strict] [--verbose] [--json] [--only RUN]");
 }
 
 fn main() -> ExitCode {
@@ -53,7 +55,173 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("tournament") => tournament_main(&args[1..]),
         Some("degraded") => degraded_main(&args[1..]),
+        Some("netstate") => netstate_main(&args[1..]),
         _ => campaign_main(&args),
+    }
+}
+
+/// The netstate (state-plane & network fault) campaign: every run
+/// injects one store-tier or link-tier fault against a two-node
+/// failover cluster on the SSM backend with the session-integrity
+/// ledger armed, and convergence additionally requires the end-to-end
+/// integrity invariants — no committed write lost, no write applied
+/// twice, no stale lease served, no reboot drawn onto a healthy
+/// component by store-tier evidence, goodput recovered.
+fn netstate_main(args: &[String]) -> ExitCode {
+    let mut seed = 7u64;
+    let mut runs = 100u64;
+    let mut only: Option<u64> = None;
+    let mut strict = false;
+    let mut verbose = false;
+    let mut write_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let parsed = match a.as_str() {
+            "--seed" => it.next().map(|v| v.parse().map(|n| seed = n)),
+            "--runs" => it.next().map(|v| v.parse().map(|n| runs = n)),
+            "--only" => it.next().map(|v| v.parse().map(|n| only = Some(n))),
+            "--strict" => {
+                strict = true;
+                continue;
+            }
+            "--verbose" => {
+                verbose = true;
+                continue;
+            }
+            "--json" => {
+                write_json = true;
+                continue;
+            }
+            _ => None,
+        };
+        match parsed {
+            Some(Ok(())) => {}
+            _ => {
+                usage();
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut scenarios = campaign::netstate_scenarios(&CampaignConfig { seed, runs });
+    if let Some(run) = only {
+        scenarios.retain(|s| s.run == run);
+    }
+    let mut campaign_hash = TraceHashSink::new();
+    let mut campaign_metrics = MetricsRegistry::new();
+    let mut coverage: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut failures: Vec<(u64, String, Vec<String>)> = Vec::new();
+    let mut commit_intents = 0u64;
+    let mut dupes_discarded = 0u64;
+    let mut store_evidence = 0u64;
+    let mut retries_issued = 0u64;
+    let mut downtime_ms = 0u64;
+    let mut retry_runs = 0u64;
+
+    for s in &scenarios {
+        let mut out = run_netstate_scenario(s);
+        if strict {
+            let again = run_netstate_scenario(s);
+            if again.digest != out.digest {
+                out.violations.push(format!(
+                    "nondeterministic: digest {:016x} vs {:016x} on re-run",
+                    out.digest, again.digest
+                ));
+            }
+        }
+        *coverage.entry(fault_kind(&s.fault)).or_insert(0) += 1;
+        commit_intents += out.commit_intents;
+        dupes_discarded += out.dupes_discarded;
+        store_evidence += out.store_evidence;
+        retries_issued += out.retries_issued;
+        downtime_ms += out.downtime_ms;
+        retry_runs += u64::from(s.budgeted_retry);
+        let done = TelemetryEvent::CampaignRunDone {
+            run: s.run,
+            digest: out.digest,
+            violations: out.violations.len() as u32,
+        };
+        campaign_hash.on_event(&done);
+        campaign_metrics.on_event(&done);
+        if verbose {
+            println!(
+                "run {:>3}  {:<38} intents {:>5}  dupes {:>4}  evidence {:>3}  retries {:>4}  digest {:016x}  {}",
+                s.run,
+                describe(s),
+                out.commit_intents,
+                out.dupes_discarded,
+                out.store_evidence,
+                out.retries_issued,
+                out.digest,
+                if out.violations.is_empty() {
+                    "ok".into()
+                } else {
+                    format!("VIOLATIONS: {}", out.violations.join("; "))
+                }
+            );
+        }
+        if !out.violations.is_empty() {
+            failures.push((s.run, describe(s), out.violations));
+        }
+    }
+
+    println!(
+        "urb-chaos netstate: seed {seed}, {runs} run(s){}",
+        if strict { ", strict" } else { "" }
+    );
+    let mut t = Table::new(&["fault kind", "runs"]);
+    for (kind, n) in &coverage {
+        t.row_owned(vec![(*kind).to_string(), n.to_string()]);
+    }
+    t.print();
+    println!(
+        "\ncommit intents: {commit_intents}; dupes discarded: {dupes_discarded}; \
+         store evidence withheld: {store_evidence}; client retries: {retries_issued} \
+         ({retry_runs} budgeted run(s)); degraded time: {downtime_ms} ms"
+    );
+    println!(
+        "netstate campaign digest {:016x} over {} run(s), {} violation(s)",
+        campaign_hash.value(),
+        campaign_metrics.counter("campaign_runs_done"),
+        campaign_metrics.counter("campaign_violations"),
+    );
+
+    if write_json {
+        let mut r = JsonReport::new("netstate_integrity");
+        r.metric("seed", seed);
+        r.metric("runs", runs);
+        r.metric(
+            "violations",
+            campaign_metrics.counter("campaign_violations"),
+        );
+        r.metric("commit_intents", commit_intents);
+        r.metric("dupes_discarded", dupes_discarded);
+        r.metric("store_evidence_withheld", store_evidence);
+        r.metric("retries_issued", retries_issued);
+        r.metric("budgeted_retry_runs", retry_runs);
+        r.metric("downtime_ms", downtime_ms);
+        r.metric("fault_kinds_covered", coverage.len() as u64);
+        r.digest(campaign_hash.value());
+        match r.write() {
+            Ok(path) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("failed to write report: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("all session-integrity invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for (run, desc, violations) in &failures {
+            eprintln!("run {run} ({desc}):");
+            for v in violations {
+                eprintln!("  - {v}");
+            }
+        }
+        ExitCode::FAILURE
     }
 }
 

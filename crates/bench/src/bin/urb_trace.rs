@@ -372,6 +372,15 @@ fn cmd_timeline(args: &[String]) -> Result<ExitCode, String> {
             }
             simcore::TelemetryEvent::LatencyAnomaly { at, .. } => Some((at, "<latency anomaly")),
             simcore::TelemetryEvent::ParityRestored { at, .. } => Some((at, "<parity restored")),
+            // The netstate plane's marks: store bricks dying and coming
+            // back, leases expiring en masse, link faults arming/healing.
+            simcore::TelemetryEvent::BrickFailed { at, .. } => Some((at, "<brick failed")),
+            simcore::TelemetryEvent::BrickRestored { at, .. } => Some((at, "<brick restored")),
+            simcore::TelemetryEvent::LeaseExpired { at, .. } => Some((at, "<lease expired")),
+            simcore::TelemetryEvent::NetFaultInjected { at, .. } => {
+                Some((at, "<net fault injected"))
+            }
+            simcore::TelemetryEvent::NetFaultHealed { at, .. } => Some((at, "<net fault healed")),
             _ => None,
         };
         if let Some((at, label)) = mark {

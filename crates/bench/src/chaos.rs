@@ -207,6 +207,14 @@ pub fn fault_kind(f: &Fault) -> &'static str {
         Fault::BitFlipRegisters => "bitflip-registers",
         Fault::BadSyscalls => "bad-syscalls",
         Fault::Degraded { .. } => "degraded",
+        Fault::BrickCrash { .. } => "brick-crash",
+        Fault::BrickCorrupt { .. } => "brick-corrupt",
+        Fault::LeaseStorm => "lease-storm",
+        Fault::StoreSlow { .. } => "store-slow",
+        Fault::LinkPartition { .. } => "link-partition",
+        Fault::LinkLossy { .. } => "link-lossy",
+        Fault::LinkDelay { .. } => "link-delay",
+        Fault::LinkDupe { .. } => "link-dupe",
     }
 }
 
@@ -236,14 +244,14 @@ pub fn hardened_rm(parallel: bool) -> RmConfig {
 /// campaign horizon undetected (too few failures to cross the score
 /// threshold — the Figure 5 sensitivity tradeoff); the system guarantee
 /// is that the lease sweep still reaps every stuck thread on time.
-fn hung_bound() -> SimDuration {
+pub(crate) fn hung_bound() -> SimDuration {
     urb_core::calib::REQUEST_TTL + SimDuration::from_secs(5)
 }
 
 /// True while recovery machinery is still busy on any node. With the
 /// performance plane armed, a node out of latency parity counts as busy:
 /// convergence means performance recovered, not merely liveness.
-fn quiesced(sim: &Sim) -> bool {
+pub(crate) fn quiesced(sim: &Sim) -> bool {
     let w = sim.world();
     w.pool.perf().is_none_or(|p| p.anomalous_nodes().is_empty())
         && (0..w.nodes.len()).all(|n| {
@@ -256,6 +264,60 @@ fn quiesced(sim: &Sim) -> bool {
                     .oldest_hung_age(sim.now())
                     .is_none_or(|age| age <= hung_bound())
         })
+}
+
+/// Structural convergence invariants shared by every campaign flavor:
+/// the episode terminated (no decision in flight, no conductor ticket
+/// active or queued), quarantine and failover redirects lifted, every
+/// node back up, and no request stuck past the TTL sweep bound.
+pub(crate) fn structural_violations(sim: &Sim) -> Vec<String> {
+    let mut violations = Vec::new();
+    let w = sim.world();
+    for n in 0..w.nodes.len() {
+        if let Some(rm) = &w.rm {
+            let in_flight = rm.in_flight(n);
+            if in_flight != 0 {
+                violations.push(format!(
+                    "node {n}: {in_flight} recovery decision(s) never acknowledged"
+                ));
+            }
+        }
+        if let Some(c) = &w.conductor {
+            let (active, queued) = (c.active_count(n), c.queued_count(n));
+            if active + queued != 0 {
+                violations.push(format!(
+                    "node {n}: conductor not idle: {active} active, {queued} queued ticket(s)"
+                ));
+            }
+            let quarantined = c.quarantined(n);
+            if !quarantined.is_empty() {
+                violations.push(format!(
+                    "node {n}: quarantine never lifted: {quarantined:?}"
+                ));
+            }
+        }
+        let lb_quarantined = w.lb.quarantined(n);
+        if !lb_quarantined.is_empty() {
+            violations.push(format!(
+                "node {n}: LB quarantine never lifted: {lb_quarantined:?}"
+            ));
+        }
+        if w.lb.is_redirecting(n) {
+            violations.push(format!("node {n}: failover redirect never lifted"));
+        }
+        if !w.nodes[n].is_up() {
+            violations.push(format!("node {n} down at end: {:?}", w.nodes[n].state()));
+        }
+        if let Some(age) = w.nodes[n].oldest_hung_age(sim.now()) {
+            if age > hung_bound() {
+                violations.push(format!(
+                    "node {n}: request stuck in pipeline for {:.1}s, past the TTL sweep bound",
+                    age.as_secs_f64()
+                ));
+            }
+        }
+    }
+    violations
 }
 
 /// Executes one scenario under `opts` and checks every invariant.
@@ -352,54 +414,7 @@ pub fn run_scenario(s: &Scenario, opts: &RunOptions) -> RunOutcome {
         stable = if quiesced(&sim) { stable + 1 } else { 0 };
     }
 
-    let mut violations = Vec::new();
-    {
-        let w = sim.world();
-        for n in 0..w.nodes.len() {
-            if let Some(rm) = &w.rm {
-                let in_flight = rm.in_flight(n);
-                if in_flight != 0 {
-                    violations.push(format!(
-                        "node {n}: {in_flight} recovery decision(s) never acknowledged"
-                    ));
-                }
-            }
-            if let Some(c) = &w.conductor {
-                let (active, queued) = (c.active_count(n), c.queued_count(n));
-                if active + queued != 0 {
-                    violations.push(format!(
-                        "node {n}: conductor not idle: {active} active, {queued} queued ticket(s)"
-                    ));
-                }
-                let quarantined = c.quarantined(n);
-                if !quarantined.is_empty() {
-                    violations.push(format!(
-                        "node {n}: quarantine never lifted: {quarantined:?}"
-                    ));
-                }
-            }
-            let lb_quarantined = w.lb.quarantined(n);
-            if !lb_quarantined.is_empty() {
-                violations.push(format!(
-                    "node {n}: LB quarantine never lifted: {lb_quarantined:?}"
-                ));
-            }
-            if w.lb.is_redirecting(n) {
-                violations.push(format!("node {n}: failover redirect never lifted"));
-            }
-            if !w.nodes[n].is_up() {
-                violations.push(format!("node {n} down at end: {:?}", w.nodes[n].state()));
-            }
-            if let Some(age) = w.nodes[n].oldest_hung_age(sim.now()) {
-                if age > hung_bound() {
-                    violations.push(format!(
-                        "node {n}: request stuck in pipeline for {:.1}s, past the TTL sweep bound",
-                        age.as_secs_f64()
-                    ));
-                }
-            }
-        }
-    }
+    let mut violations = structural_violations(&sim);
     let (failed_requests, reboot_cost_s, pages) = {
         let m = metrics.borrow();
         let (begun, finished) = (m.counter("reboots_begun"), m.counter("reboots_finished"));

@@ -14,6 +14,7 @@
 pub mod chaos;
 pub mod harness;
 pub mod kernel;
+pub mod netstate;
 pub mod report;
 
 pub use report::Table;

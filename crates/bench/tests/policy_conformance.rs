@@ -38,6 +38,7 @@ fn flap_scenario(seed: u64) -> Scenario {
         }),
         comparison_detector: true,
         parallel_rm: false,
+        budgeted_retry: false,
         rm_crash: None,
     }
 }
@@ -57,6 +58,7 @@ fn rm_crash_scenario(seed: u64) -> Scenario {
         flap: None,
         comparison_detector: false,
         parallel_rm: false,
+        budgeted_retry: false,
         rm_crash: Some(RmCrashSchedule {
             at_s: 14,
             outage_s: 20,
@@ -80,6 +82,7 @@ fn intermittent_scenario(seed: u64) -> Scenario {
         flap: None,
         comparison_detector: true,
         parallel_rm: false,
+        budgeted_retry: false,
         rm_crash: None,
     }
 }

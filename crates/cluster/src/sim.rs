@@ -17,17 +17,19 @@
 //! [`SimEvent::Custom`] variant for experiment one-offs.
 
 use ebid::{catalog, DatasetSpec, EBid};
-use faults::Fault;
+use faults::{Fault, LinkFault, NetEdge, StoreFault};
 use recovery::conductor::{Conductor, ConductorConfig, StartCmd, Submission, TicketId};
 use recovery::{PolicyChoice, RecoveryAction, RecoveryManager, RmConfig};
 use simcore::telemetry::{SharedBus, TelemetryEvent};
 use simcore::{EventPayload, EventQueue, SimDuration, SimTime};
 use statestore::Ssm;
-use urb_core::backend::{share_db, share_ssm, SessionBackend};
+use urb_core::backend::{share_db, share_ssm, SessionBackend, SharedSsm};
 use urb_core::rejuvenation::{RejuvenationAction, RejuvenationService};
 use urb_core::server::{RebootId, RebootLevel};
-use urb_core::{AppServer, OpCode, ReqId, Response, ServerConfig, SubmitOutcome};
-use workload::{ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind, PerfConfig};
+use urb_core::{AppServer, OpCode, ReqId, Request, Response, ServerConfig, SubmitOutcome};
+use workload::{
+    ClientPool, ClientPoolConfig, DeliverOutcome, DetectorKind, PerfConfig, RetryPolicy,
+};
 
 use crate::lb::LoadBalancer;
 
@@ -95,6 +97,10 @@ pub struct SimConfig {
     /// Whether the LB fails traffic over during recovery (Section 5.3) —
     /// meaningless in a 1-node cluster.
     pub failover: bool,
+    /// Client-side retry policy for failed operations. The default
+    /// ([`RetryPolicy::None`]) reproduces the historical behavior; the
+    /// netstate campaign arms the naive or budgeted populations.
+    pub retry_policy: RetryPolicy,
     /// Dataset shape.
     pub dataset: DatasetSpec,
     /// Master seed.
@@ -115,10 +121,76 @@ impl Default for SimConfig {
             policy: PolicyChoice::Ladder,
             conductor: None,
             failover: false,
+            retry_policy: RetryPolicy::None,
             dataset: DatasetSpec::default(),
             seed: 0xeb1d,
         }
     }
+}
+
+/// Deterministic fault shim on the LB↔node wire.
+///
+/// Requests pass through it on submit and responses on delivery; an
+/// armed [`LinkFault`] black-holes, thins, delays or duplicates them.
+/// Thinning is counter-based (no RNG), so same-seed runs reproduce
+/// bit-identically, and with no fault armed every hook is a no-op — the
+/// shim cannot perturb pinned traces. A duplication fault doubles
+/// deliveries on the response half only: the client pool's request-owner
+/// table discards the echo, which is exactly the at-least-once case the
+/// end-to-end integrity plane must absorb.
+#[derive(Default)]
+pub struct NetShim {
+    fault: Option<LinkFault>,
+    counter: u64,
+}
+
+impl NetShim {
+    fn arm(&mut self, fault: LinkFault) {
+        self.fault = Some(fault);
+        self.counter = 0;
+    }
+
+    fn heal(&mut self) {
+        self.fault = None;
+    }
+
+    /// True if the wire swallows this message.
+    fn drops(&mut self) -> bool {
+        match self.fault {
+            Some(LinkFault::Partition) => true,
+            Some(LinkFault::Lossy { permille }) => thin(&mut self.counter, permille),
+            _ => false,
+        }
+    }
+
+    /// Extra one-way latency, when a delay fault is armed.
+    fn delay(&self) -> Option<SimDuration> {
+        match self.fault {
+            Some(LinkFault::Delay { extra }) => Some(extra),
+            _ => None,
+        }
+    }
+
+    /// True if the wire delivers this message twice.
+    fn dupes(&mut self) -> bool {
+        match self.fault {
+            Some(LinkFault::Dupe { permille }) => thin(&mut self.counter, permille),
+            _ => false,
+        }
+    }
+}
+
+/// Deterministic thinning: fires on the messages where the running
+/// `permille` quota crosses an integer boundary (mirrors the SSM's
+/// node↔store shim).
+fn thin(counter: &mut u64, permille: u32) -> bool {
+    if permille == 0 {
+        return false;
+    }
+    let before = *counter * u64::from(permille) / 1000;
+    *counter += 1;
+    let after = *counter * u64::from(permille) / 1000;
+    after > before
 }
 
 /// A notable event, for experiment reports.
@@ -278,6 +350,23 @@ pub enum SimEvent {
     RmCrash,
     /// The recovery manager finishes rebooting and resumes polling.
     RmReboot,
+    /// A request held back by a LB↔node delay fault reaches its node.
+    SubmitDelayed {
+        /// The routed node.
+        node: usize,
+        /// The delayed request.
+        req: Request,
+    },
+    /// An armed network fault on an edge heals.
+    EdgeHeal {
+        /// The healing edge.
+        edge: NetEdge,
+    },
+    /// A crashed SSM brick finishes restarting.
+    BrickRestore {
+        /// The restarting brick.
+        brick: usize,
+    },
     /// The experiment escape hatch: an arbitrary boxed closure.
     Custom(CustomFn),
 }
@@ -324,6 +413,9 @@ impl EventPayload<World> for SimEvent {
             } => w.on_policy_hold_done(node, failover, started, q),
             SimEvent::RmCrash => w.on_rm_crash(q),
             SimEvent::RmReboot => w.on_rm_reboot(q),
+            SimEvent::SubmitDelayed { node, req } => w.on_submit_delayed(node, req, q),
+            SimEvent::EdgeHeal { edge } => w.on_edge_heal(edge, q),
+            SimEvent::BrickRestore { brick } => w.on_brick_restore(brick, q),
             SimEvent::Custom(f) => f(w, q),
         }
     }
@@ -373,6 +465,11 @@ pub struct World {
     pub log: Vec<LogEvent>,
     /// Per-node rejuvenation services (Section 6.4), when enabled.
     pub rejuv: Vec<Option<RejuvenationService>>,
+    /// The shared SSM, when the cluster runs on the external store
+    /// (state-plane faults and the integrity ledger attach through it).
+    pub ssm: Option<SharedSsm>,
+    /// The LB↔node wire shim.
+    net: NetShim,
     failover: bool,
     drain: Option<SimDuration>,
     /// The RM's own process is down (ReHype): reports are lost, polls
@@ -396,11 +493,27 @@ impl World {
 
     fn schedule_deliveries(&mut self, node: usize, responses: Vec<Response>, q: &mut SimQueue) {
         for resp in responses {
-            q.schedule_event_at(
-                resp.finished_at,
-                "deliver",
-                SimEvent::Deliver { node, resp },
-            );
+            // The response half of the LB↔node wire shim: an armed fault
+            // may lose the response (the client times out), delay it, or
+            // deliver it twice (the pool's owner table eats the echo).
+            if self.net.drops() {
+                continue;
+            }
+            let at = match self.net.delay() {
+                Some(extra) => resp.finished_at + extra,
+                None => resp.finished_at,
+            };
+            if self.net.dupes() {
+                q.schedule_event_at(
+                    at,
+                    "deliver",
+                    SimEvent::Deliver {
+                        node,
+                        resp: resp.clone(),
+                    },
+                );
+            }
+            q.schedule_event_at(at, "deliver", SimEvent::Deliver { node, resp });
         }
     }
 
@@ -420,8 +533,32 @@ impl World {
             "client-timeout",
             SimEvent::ClientTimeout { node, rid, op },
         );
+        // The request half of the LB↔node wire shim: an armed partition
+        // or loss fault swallows the request (the timeout above is what
+        // the client eventually observes); a delay fault holds the submit
+        // back by the extra latency.
+        if self.net.drops() {
+            return;
+        }
+        if let Some(extra) = self.net.delay() {
+            q.schedule_event_at(
+                now + extra,
+                "submit-delayed",
+                SimEvent::SubmitDelayed { node, req: out.req },
+            );
+            return;
+        }
         // urb-lint: allow(S004) — the LB's routing decision is the cluster's one sanctioned cross-node entry; under the sharded kernel (ROADMAP item 1) this submit becomes a shard-targeted event send.
         match self.nodes[node].submit(out.req, now) {
+            SubmitOutcome::Rejected(resp) => self.schedule_deliveries(node, vec![resp], q),
+            SubmitOutcome::Admitted => self.pump_node(node, q),
+        }
+    }
+
+    /// Delivers a request the wire's delay fault held back.
+    fn on_submit_delayed(&mut self, node: usize, req: Request, q: &mut SimQueue) {
+        let now = q.now();
+        match self.nodes[node].submit(req, now) {
             SubmitOutcome::Rejected(resp) => self.schedule_deliveries(node, vec![resp], q),
             SubmitOutcome::Admitted => self.pump_node(node, q),
         }
@@ -500,11 +637,37 @@ impl World {
                 }
             }
         }
+        // Forward state-store telemetry (brick failures/restores, lease
+        // expiries) accumulated since the last sweep. Empty in healthy
+        // runs: the store only queues events on its fault surface.
+        self.drain_store_events();
         q.schedule_event_in(
             SimDuration::from_secs(1),
             "maintenance",
             SimEvent::Maintenance,
         );
+    }
+
+    /// Forwards the SSM's queued telemetry events to the bus (and drops
+    /// them when no bus is attached, so the queue cannot grow unbounded).
+    fn drain_store_events(&mut self) {
+        let Some(ssm) = &self.ssm else {
+            return;
+        };
+        let events = ssm.borrow_mut().take_events();
+        if let Some(bus) = &self.bus {
+            let mut bus = bus.borrow_mut();
+            for ev in &events {
+                bus.emit(ev);
+            }
+        }
+    }
+
+    /// Emits a net-fault telemetry mark, when a bus is attached.
+    fn emit_net(&mut self, ev: TelemetryEvent) {
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut().emit(&ev);
+        }
     }
 
     fn on_rejuv_poll(&mut self, node: usize, period: SimDuration, q: &mut SimQueue) {
@@ -963,21 +1126,156 @@ impl World {
             node,
             label: format!("{fault:?}"),
         });
-        if let faults::Injection::ClientReports(reports) = faults::conversion(&fault) {
-            const OPS: [urb_core::OpCode; 4] = [
-                ebid::ops::codes::VIEW_ITEM,
-                ebid::ops::codes::BROWSE_CATEGORIES,
-                ebid::ops::codes::MAKE_BID,
-                ebid::ops::codes::SEARCH_BY_CATEGORY,
-            ];
-            for i in 0..reports {
-                self.pool
-                    .inject_spurious_reports(node, OPS[i as usize % OPS.len()], 1, now);
+        match faults::conversion(&fault) {
+            faults::Injection::ClientReports(reports) => {
+                const OPS: [urb_core::OpCode; 4] = [
+                    ebid::ops::codes::VIEW_ITEM,
+                    ebid::ops::codes::BROWSE_CATEGORIES,
+                    ebid::ops::codes::MAKE_BID,
+                    ebid::ops::codes::SEARCH_BY_CATEGORY,
+                ];
+                for i in 0..reports {
+                    self.pool
+                        .inject_spurious_reports(node, OPS[i as usize % OPS.len()], 1, now);
+                }
             }
-            return;
+            faults::Injection::StorePlane(store_fault) => {
+                self.inject_store_fault(store_fault, q);
+            }
+            faults::Injection::NetPlane {
+                edge,
+                fault: link_fault,
+                heals_after,
+            } => {
+                self.inject_net_fault(edge, link_fault, heals_after, q);
+            }
+            _ => {
+                let killed = faults::inject(&mut self.nodes[node], &fault, now);
+                self.schedule_deliveries(node, killed, q);
+            }
         }
-        let killed = faults::inject(&mut self.nodes[node], &fault, now);
-        self.schedule_deliveries(node, killed, q);
+    }
+
+    /// Delivers a state-plane fault into the shared SSM. A no-op on
+    /// FastS-only clusters (there is no external store to break).
+    fn inject_store_fault(&mut self, fault: StoreFault, q: &mut SimQueue) {
+        let now = q.now();
+        let Some(ssm) = self.ssm.clone() else {
+            return;
+        };
+        ssm.borrow_mut().advance_to(now);
+        match fault {
+            StoreFault::BrickCrash { brick, heals_after } => {
+                ssm.borrow_mut().fail_brick(brick);
+                q.schedule_event_at(
+                    now + heals_after,
+                    "brick-restore",
+                    SimEvent::BrickRestore { brick },
+                );
+            }
+            StoreFault::BrickCorrupt { brick } => {
+                ssm.borrow_mut().corrupt_brick(brick);
+                self.emit_net(TelemetryEvent::NetFaultInjected {
+                    edge: NetEdge::NodeStore.code(),
+                    kind: 5,
+                    at: now,
+                });
+            }
+            StoreFault::LeaseStorm => {
+                ssm.borrow_mut().storm_leases();
+            }
+            StoreFault::Slow {
+                factor_permille,
+                heals_after,
+            } => {
+                // The SSM's base access RTT is 6.2 ms; the fault inflates
+                // it by factor_permille/1000.
+                let extra = SimDuration::from_micros(6_200 * u64::from(factor_permille) / 1000);
+                ssm.borrow_mut().set_extra_latency(extra);
+                self.emit_net(TelemetryEvent::NetFaultInjected {
+                    edge: NetEdge::NodeStore.code(),
+                    kind: 4,
+                    at: now,
+                });
+                q.schedule_event_at(
+                    now + heals_after,
+                    "edge-heal",
+                    SimEvent::EdgeHeal {
+                        edge: NetEdge::NodeStore,
+                    },
+                );
+            }
+        }
+        self.drain_store_events();
+    }
+
+    /// Arms a network fault on an edge and schedules its heal. LB↔node
+    /// faults live in the wire shim; node↔store faults arm the SSM's own
+    /// deterministic shim (a no-op on FastS-only clusters).
+    fn inject_net_fault(
+        &mut self,
+        edge: NetEdge,
+        fault: LinkFault,
+        heals_after: SimDuration,
+        q: &mut SimQueue,
+    ) {
+        let now = q.now();
+        match edge {
+            NetEdge::LbNode => self.net.arm(fault),
+            NetEdge::NodeStore => {
+                let Some(ssm) = &self.ssm else {
+                    return;
+                };
+                let mut s = ssm.borrow_mut();
+                s.advance_to(now);
+                match fault {
+                    LinkFault::Partition => s.set_partitioned(true),
+                    LinkFault::Lossy { permille } => s.set_lossy(permille),
+                    LinkFault::Delay { extra } => s.set_extra_latency(extra),
+                    LinkFault::Dupe { permille } => s.set_dupe(permille),
+                }
+            }
+        }
+        let kind = match fault {
+            LinkFault::Partition => 0,
+            LinkFault::Lossy { .. } => 1,
+            LinkFault::Delay { .. } => 2,
+            LinkFault::Dupe { .. } => 3,
+        };
+        self.emit_net(TelemetryEvent::NetFaultInjected {
+            edge: edge.code(),
+            kind,
+            at: now,
+        });
+        q.schedule_event_at(now + heals_after, "edge-heal", SimEvent::EdgeHeal { edge });
+    }
+
+    /// Heals every armed fault on an edge.
+    fn on_edge_heal(&mut self, edge: NetEdge, q: &mut SimQueue) {
+        let now = q.now();
+        match edge {
+            NetEdge::LbNode => self.net.heal(),
+            NetEdge::NodeStore => {
+                if let Some(ssm) = &self.ssm {
+                    ssm.borrow_mut().clear_net_faults();
+                }
+            }
+        }
+        self.emit_net(TelemetryEvent::NetFaultHealed {
+            edge: edge.code(),
+            at: now,
+        });
+    }
+
+    /// A crashed SSM brick restarts (empty; it repopulates on writes).
+    fn on_brick_restore(&mut self, brick: usize, q: &mut SimQueue) {
+        let now = q.now();
+        if let Some(ssm) = &self.ssm {
+            let mut s = ssm.borrow_mut();
+            s.advance_to(now);
+            s.restore_brick(brick);
+        }
+        self.drain_store_events();
     }
 
     /// Reconciles LB routing with the conductor's view of the node: coarse
@@ -1037,6 +1335,7 @@ impl Sim {
             ClientPoolConfig {
                 clients: config.nodes * config.clients_per_node,
                 detector: config.detector,
+                retry_policy: config.retry_policy,
                 seed: config.seed ^ 0x00c1_1e17,
                 ..ClientPoolConfig::default()
             },
@@ -1072,6 +1371,8 @@ impl Sim {
             conductor,
             log: Vec::new(),
             rejuv,
+            ssm: shared_ssm,
+            net: NetShim::default(),
             failover: config.failover,
             drain: config.drain,
             rm_down: false,

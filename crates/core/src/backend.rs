@@ -87,11 +87,15 @@ impl SessionBackend {
     }
 
     /// Wire latency of one store access (time on the network, no CPU
-    /// held). Zero for the in-process store.
+    /// held). Zero for the in-process store. The SSM adds whatever extra
+    /// RTT an armed store-slow or link-delay fault currently imposes
+    /// (zero when healthy, so pinned traces are unaffected).
     pub fn access_latency(&self) -> SimDuration {
         match self {
             SessionBackend::FastS(_) => SimDuration::ZERO,
-            SessionBackend::Ssm(_) => SimDuration::from_micros(6_200),
+            SessionBackend::Ssm(s) => {
+                SimDuration::from_micros(6_200) + s.borrow().extra_access_latency()
+            }
         }
     }
 

@@ -534,7 +534,10 @@ impl<'a> CallContext<'a> {
                 self.session_cache = Some(None);
                 Ok(None)
             }
-            Err(StoreError::Unavailable) => Err(self.exception(None)),
+            Err(StoreError::Unavailable) => {
+                self.markers.store_error = true;
+                Err(self.exception(None))
+            }
         }
     }
 
@@ -551,7 +554,10 @@ impl<'a> CallContext<'a> {
         self.session_cache = Some(Some(obj.clone()));
         match self.inner.session.write(sid, obj) {
             Ok(()) => Ok(()),
-            Err(_) => Err(self.exception(None)),
+            Err(_) => {
+                self.markers.store_error = true;
+                Err(self.exception(None))
+            }
         }
     }
 

@@ -81,6 +81,10 @@ pub struct BodyMarkers {
     pub login_prompt: bool,
     /// Application-visible nonsense such as a negative item id.
     pub invalid_data: bool,
+    /// The error page names the session store as the culprit (the SSM was
+    /// unreachable). Always accompanies `exception_text`; lets detectors
+    /// attribute the failure to the state plane instead of a component.
+    pub store_error: bool,
 }
 
 impl BodyMarkers {

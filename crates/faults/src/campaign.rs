@@ -15,7 +15,7 @@
 use simcore::rng::SimRng;
 use statestore::session::CorruptKind;
 
-use crate::Fault;
+use crate::{Fault, NetEdge};
 
 /// Components the campaign aims faults at. A mix of read paths, write
 /// paths, and the entity bean shared by both, mirroring the Table 2
@@ -103,6 +103,11 @@ pub struct Scenario {
     /// campaign (so its pinned digests never move); the policy tournament
     /// schedules it on a fraction of runs.
     pub rm_crash: Option<RmCrashSchedule>,
+    /// Arm the budgeted client-side retry policy (exponential backoff
+    /// with jitter) instead of no client retries. Only the netstate
+    /// campaign sets this; the classic generators leave it off so their
+    /// pinned digests never move.
+    pub budgeted_retry: bool,
 }
 
 /// Campaign parameters.
@@ -255,6 +260,7 @@ pub fn scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
                 comparison_detector: rng.chance(0.5),
                 parallel_rm: rng.chance(0.4),
                 rm_crash: None,
+                budgeted_retry: false,
             }
         })
         .collect()
@@ -316,6 +322,7 @@ pub fn tournament_scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
                 comparison_detector: rng.chance(0.5),
                 parallel_rm: false,
                 rm_crash,
+                budgeted_retry: false,
             }
         })
         .collect()
@@ -347,6 +354,16 @@ fn fault_kind_index(fault: &Fault) -> usize {
         // generates it, so the tournament round-robin (mod 18) and the
         // classic campaign digests never see this index.
         Fault::Degraded { .. } => 18,
+        // 19–26: the state-plane and network tier, likewise outside the
+        // classic draw — only `netstate_fault` generates them.
+        Fault::BrickCrash { .. } => 19,
+        Fault::BrickCorrupt { .. } => 20,
+        Fault::LeaseStorm => 21,
+        Fault::StoreSlow { .. } => 22,
+        Fault::LinkPartition { .. } => 23,
+        Fault::LinkLossy { .. } => 24,
+        Fault::LinkDelay { .. } => 25,
+        Fault::LinkDupe { .. } => 26,
     }
 }
 
@@ -403,6 +420,96 @@ pub fn degraded_scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
                 comparison_detector: false,
                 parallel_rm: false,
                 rm_crash: None,
+                budgeted_retry: false,
+            }
+        })
+        .collect()
+}
+
+/// Draws one state-plane or network fault for the netstate campaign.
+/// Lives beside [`campaign_fault`] instead of inside its 18-way draw so
+/// the classic campaign's pinned digests never move; urb-lint rule E005
+/// accepts `Fault` variants handled by any of the generators.
+pub fn netstate_fault(rng: &mut SimRng) -> Fault {
+    // The SSM replicates across 3 bricks; a single-brick fault must be
+    // masked by the surviving replicas.
+    let brick = rng.uniform_usize(3);
+    let edge = if rng.chance(0.5) {
+        NetEdge::LbNode
+    } else {
+        NetEdge::NodeStore
+    };
+    // Long enough for detectors and clients to feel it, short enough
+    // that goodput can recover well inside the post-heal tail.
+    let heals_after_s = 15 + rng.uniform_u64(20);
+    match rng.uniform_usize(8) {
+        0 => Fault::BrickCrash {
+            brick,
+            heals_after_s,
+        },
+        1 => Fault::BrickCorrupt { brick },
+        2 => Fault::LeaseStorm,
+        3 => Fault::StoreSlow {
+            // 2x–5x access-time inflation.
+            factor_permille: 2000 + 1000 * rng.uniform_u64(4) as u32,
+            heals_after_s,
+        },
+        4 => Fault::LinkPartition {
+            edge,
+            heals_after_s,
+        },
+        5 => Fault::LinkLossy {
+            edge,
+            // 10%–40% loss.
+            permille: 100 + 100 * rng.uniform_u64(4) as u32,
+            heals_after_s,
+        },
+        6 => Fault::LinkDelay {
+            edge,
+            // 20–100 ms of added one-way latency.
+            extra_ms: 20 + 20 * rng.uniform_u64(5),
+            heals_after_s,
+        },
+        _ => Fault::LinkDupe {
+            edge,
+            // 5%–20% duplication.
+            permille: 50 + 50 * rng.uniform_u64(4) as u32,
+            heals_after_s,
+        },
+    }
+}
+
+/// Generates the netstate campaign matrix: every run injects one
+/// state-plane or network fault, round-robin over the 8 kinds so even a
+/// small matrix covers the whole tier, with half the runs arming the
+/// budgeted client retry policy. A pure function of the config, with
+/// forked per-run streams like [`scenarios`].
+pub fn netstate_scenarios(cfg: &CampaignConfig) -> Vec<Scenario> {
+    let mut master = SimRng::seed_from(cfg.seed ^ 0x4e75_7a7e_0000_0000);
+    (0..cfg.runs)
+        .map(|run| {
+            let mut rng = master.fork();
+            // Rejection-sample until the drawn fault matches this run's
+            // assigned kind, like the tournament's round-robin.
+            let want = 19 + (run % 8) as usize;
+            let fault = loop {
+                let f = netstate_fault(&mut rng);
+                if fault_kind_index(&f) == want {
+                    break f;
+                }
+            };
+            let inject_at_s = 8 + rng.uniform_u64(8);
+            Scenario {
+                run,
+                sim_seed: cfg.seed ^ (run + 1).wrapping_mul(0x2545_f491_4f6c_dd1d),
+                fault,
+                inject_at_s,
+                second: None,
+                flap: None,
+                comparison_detector: rng.chance(0.5),
+                parallel_rm: false,
+                rm_crash: None,
+                budgeted_retry: rng.chance(0.5),
             }
         })
         .collect()
@@ -526,6 +633,49 @@ mod tests {
             hit.iter().all(|c| DEGRADED_TARGETS.contains(c)),
             "only hot-path targets drawn: {hit:?}"
         );
+    }
+
+    #[test]
+    fn netstate_round_robin_covers_the_whole_tier() {
+        let cfg = CampaignConfig { seed: 7, runs: 32 };
+        let all = netstate_scenarios(&cfg);
+        let mut kinds: Vec<usize> = all.iter().map(|s| fault_kind_index(&s.fault)).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds, (19..27).collect::<Vec<_>>());
+        // Both client populations are represented.
+        assert!(all.iter().any(|s| s.budgeted_retry) && all.iter().any(|s| !s.budgeted_retry));
+        // Both faultable edges are represented.
+        let edges: Vec<NetEdge> = all
+            .iter()
+            .filter_map(|s| match s.fault {
+                Fault::LinkPartition { edge, .. }
+                | Fault::LinkLossy { edge, .. }
+                | Fault::LinkDelay { edge, .. }
+                | Fault::LinkDupe { edge, .. } => Some(edge),
+                _ => None,
+            })
+            .collect();
+        assert!(edges.contains(&NetEdge::LbNode) && edges.contains(&NetEdge::NodeStore));
+        // Structural knobs the netstate campaign never uses stay off.
+        for s in &all {
+            assert!(s.second.is_none() && s.flap.is_none() && s.rm_crash.is_none());
+            assert!(!s.parallel_rm);
+            assert!((8..16).contains(&s.inject_at_s));
+        }
+        // Determinism: same config, same scenarios.
+        let again = netstate_scenarios(&cfg);
+        for (x, y) in all.iter().zip(&again) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+    }
+
+    #[test]
+    fn classic_generators_never_arm_client_retries() {
+        let cfg = CampaignConfig { seed: 7, runs: 50 };
+        assert!(scenarios(&cfg).iter().all(|s| !s.budgeted_retry));
+        assert!(tournament_scenarios(&cfg).iter().all(|s| !s.budgeted_retry));
+        assert!(degraded_scenarios(&cfg).iter().all(|s| !s.budgeted_retry));
     }
 
     #[test]

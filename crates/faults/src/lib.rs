@@ -138,6 +138,135 @@ pub enum Fault {
     BitFlipRegisters,
     /// Bad system-call return values.
     BadSyscalls,
+    /// An SSM brick process crashes, taking its replica offline until the
+    /// operator (or supervisor) restarts it.
+    BrickCrash {
+        /// Which brick (index into the SSM's replica set).
+        brick: usize,
+        /// Restart delay in seconds.
+        heals_after_s: u64,
+    },
+    /// Bit flips across every object held by one SSM brick; surviving
+    /// replicas mask the damage (checksum discard on read).
+    BrickCorrupt {
+        /// Which brick (index into the SSM's replica set).
+        brick: usize,
+    },
+    /// Every live lease in the SSM expires at once — the pathological
+    /// burst the lease protocol must absorb without losing accounting.
+    LeaseStorm,
+    /// The state store answers correctly but slowly: every access gains
+    /// `factor_permille`/1000 of its base latency.
+    StoreSlow {
+        /// Extra latency, in permille of the base SSM access time.
+        factor_permille: u32,
+        /// Self-heal delay in seconds.
+        heals_after_s: u64,
+    },
+    /// A network edge black-holes all traffic until it heals.
+    LinkPartition {
+        /// Which edge.
+        edge: NetEdge,
+        /// Heal delay in seconds.
+        heals_after_s: u64,
+    },
+    /// A network edge drops `permille`/1000 of its messages.
+    LinkLossy {
+        /// Which edge.
+        edge: NetEdge,
+        /// Drop rate, in permille.
+        permille: u32,
+        /// Heal delay in seconds.
+        heals_after_s: u64,
+    },
+    /// A network edge delays every message by a fixed extra latency.
+    LinkDelay {
+        /// Which edge.
+        edge: NetEdge,
+        /// Added one-way latency in milliseconds.
+        extra_ms: u64,
+        /// Heal delay in seconds.
+        heals_after_s: u64,
+    },
+    /// A network edge duplicates `permille`/1000 of its messages — the
+    /// at-least-once delivery case the store's applied-id check must
+    /// absorb without applying a write twice.
+    LinkDupe {
+        /// Which edge.
+        edge: NetEdge,
+        /// Duplication rate, in permille.
+        permille: u32,
+        /// Heal delay in seconds.
+        heals_after_s: u64,
+    },
+}
+
+/// A faultable network edge in the three-tier topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetEdge {
+    /// Load balancer ↔ application node.
+    LbNode,
+    /// Application node ↔ state store.
+    NodeStore,
+}
+
+impl NetEdge {
+    /// Stable wire code for telemetry (0 = LB↔node, 1 = node↔store).
+    pub fn code(self) -> u8 {
+        match self {
+            NetEdge::LbNode => 0,
+            NetEdge::NodeStore => 1,
+        }
+    }
+}
+
+/// State-store-plane fault payload carried by [`Injection::StorePlane`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreFault {
+    /// Crash a brick; it restarts after the delay.
+    BrickCrash {
+        /// Which brick.
+        brick: usize,
+        /// Restart delay.
+        heals_after: SimDuration,
+    },
+    /// Flip bits across one brick's objects.
+    BrickCorrupt {
+        /// Which brick.
+        brick: usize,
+    },
+    /// Expire every live lease at once.
+    LeaseStorm,
+    /// Inflate every store access by `factor_permille`/1000 of its base
+    /// latency until the heal.
+    Slow {
+        /// Extra latency, in permille of the base access time.
+        factor_permille: u32,
+        /// Self-heal delay.
+        heals_after: SimDuration,
+    },
+}
+
+/// Network-link fault payload carried by [`Injection::NetPlane`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Black-hole everything.
+    Partition,
+    /// Drop this fraction of messages, in permille.
+    Lossy {
+        /// Drop rate, in permille.
+        permille: u32,
+    },
+    /// Delay every message by this much extra.
+    Delay {
+        /// Added one-way latency.
+        extra: SimDuration,
+    },
+    /// Duplicate this fraction of messages, in permille.
+    Dupe {
+        /// Duplication rate, in permille.
+        permille: u32,
+    },
 }
 
 /// The recovery level Table 2 reports as sufficient (worst case).
@@ -431,6 +560,20 @@ pub enum Injection {
     /// Nothing touches the server — only the cluster layer (which owns
     /// the client pool) can deliver these.
     ClientReports(u32),
+    /// A state-store-plane fault. Nothing touches the server process —
+    /// only the cluster layer (which owns the shared SSM) can deliver
+    /// these.
+    StorePlane(StoreFault),
+    /// A network-link fault on one edge. Delivered by the cluster layer,
+    /// which owns the simulated wire.
+    NetPlane {
+        /// Which edge the fault sits on.
+        edge: NetEdge,
+        /// What the edge does to traffic.
+        fault: LinkFault,
+        /// When the edge heals.
+        heals_after: SimDuration,
+    },
 }
 
 /// Maps every catalogue fault to its unique injection route.
@@ -491,6 +634,59 @@ pub fn conversion(fault: &Fault) -> Injection {
         Fault::BitFlipMemory => Injection::Server(ServerFault::BitFlipMemory),
         Fault::BitFlipRegisters => Injection::Server(ServerFault::BitFlipRegisters),
         Fault::BadSyscalls => Injection::Server(ServerFault::BadSyscalls),
+        Fault::BrickCrash {
+            brick,
+            heals_after_s,
+        } => Injection::StorePlane(StoreFault::BrickCrash {
+            brick,
+            heals_after: SimDuration::from_secs(heals_after_s),
+        }),
+        Fault::BrickCorrupt { brick } => Injection::StorePlane(StoreFault::BrickCorrupt { brick }),
+        Fault::LeaseStorm => Injection::StorePlane(StoreFault::LeaseStorm),
+        Fault::StoreSlow {
+            factor_permille,
+            heals_after_s,
+        } => Injection::StorePlane(StoreFault::Slow {
+            factor_permille,
+            heals_after: SimDuration::from_secs(heals_after_s),
+        }),
+        Fault::LinkPartition {
+            edge,
+            heals_after_s,
+        } => Injection::NetPlane {
+            edge,
+            fault: LinkFault::Partition,
+            heals_after: SimDuration::from_secs(heals_after_s),
+        },
+        Fault::LinkLossy {
+            edge,
+            permille,
+            heals_after_s,
+        } => Injection::NetPlane {
+            edge,
+            fault: LinkFault::Lossy { permille },
+            heals_after: SimDuration::from_secs(heals_after_s),
+        },
+        Fault::LinkDelay {
+            edge,
+            extra_ms,
+            heals_after_s,
+        } => Injection::NetPlane {
+            edge,
+            fault: LinkFault::Delay {
+                extra: SimDuration::from_millis(extra_ms),
+            },
+            heals_after: SimDuration::from_secs(heals_after_s),
+        },
+        Fault::LinkDupe {
+            edge,
+            permille,
+            heals_after_s,
+        } => Injection::NetPlane {
+            edge,
+            fault: LinkFault::Dupe { permille },
+            heals_after: SimDuration::from_secs(heals_after_s),
+        },
     }
 }
 
@@ -543,6 +739,10 @@ pub fn inject(server: &mut AppServer<EBid>, fault: &Fault, now: SimTime) -> Vec<
             Vec::new()
         }
         Injection::ClientReports(_) => Vec::new(),
+        // Store-plane and net-plane faults hit infrastructure the server
+        // process cannot see; the cluster layer (owner of the shared SSM
+        // and the simulated wire) delivers them, like ClientReports.
+        Injection::StorePlane(_) | Injection::NetPlane { .. } => Vec::new(),
     }
 }
 
@@ -611,6 +811,96 @@ mod tests {
             conversion(&Fault::SpuriousReports { reports: 9 }),
             Injection::ClientReports(9)
         ));
+    }
+
+    #[test]
+    fn state_plane_faults_route_to_the_store() {
+        assert!(matches!(
+            conversion(&Fault::BrickCrash {
+                brick: 1,
+                heals_after_s: 20
+            }),
+            Injection::StorePlane(StoreFault::BrickCrash {
+                brick: 1,
+                heals_after
+            }) if heals_after == SimDuration::from_secs(20)
+        ));
+        assert!(matches!(
+            conversion(&Fault::BrickCorrupt { brick: 2 }),
+            Injection::StorePlane(StoreFault::BrickCorrupt { brick: 2 })
+        ));
+        assert!(matches!(
+            conversion(&Fault::LeaseStorm),
+            Injection::StorePlane(StoreFault::LeaseStorm)
+        ));
+        assert!(matches!(
+            conversion(&Fault::StoreSlow {
+                factor_permille: 3000,
+                heals_after_s: 15
+            }),
+            Injection::StorePlane(StoreFault::Slow {
+                factor_permille: 3000,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn net_plane_faults_route_to_their_edge() {
+        for (fault, want_edge, want_kind) in [
+            (
+                Fault::LinkPartition {
+                    edge: NetEdge::LbNode,
+                    heals_after_s: 10,
+                },
+                NetEdge::LbNode,
+                LinkFault::Partition,
+            ),
+            (
+                Fault::LinkLossy {
+                    edge: NetEdge::NodeStore,
+                    permille: 250,
+                    heals_after_s: 10,
+                },
+                NetEdge::NodeStore,
+                LinkFault::Lossy { permille: 250 },
+            ),
+            (
+                Fault::LinkDelay {
+                    edge: NetEdge::LbNode,
+                    extra_ms: 40,
+                    heals_after_s: 10,
+                },
+                NetEdge::LbNode,
+                LinkFault::Delay {
+                    extra: SimDuration::from_millis(40),
+                },
+            ),
+            (
+                Fault::LinkDupe {
+                    edge: NetEdge::NodeStore,
+                    permille: 100,
+                    heals_after_s: 10,
+                },
+                NetEdge::NodeStore,
+                LinkFault::Dupe { permille: 100 },
+            ),
+        ] {
+            match conversion(&fault) {
+                Injection::NetPlane {
+                    edge,
+                    fault: kind,
+                    heals_after,
+                } => {
+                    assert_eq!(edge, want_edge);
+                    assert_eq!(kind, want_kind);
+                    assert_eq!(heals_after, SimDuration::from_secs(10));
+                }
+                other => panic!("unexpected route {other:?}"),
+            }
+        }
+        assert_eq!(NetEdge::LbNode.code(), 0);
+        assert_eq!(NetEdge::NodeStore.code(), 1);
     }
 
     #[test]

@@ -1341,12 +1341,16 @@ pub fn check_fault_exhaustiveness(
     if let Some(campaign) = campaign {
         let code = mask_source(campaign.src).code;
         // The campaign module may split generation across several draw
-        // functions (the classic 18-way `campaign_fault` plus the
-        // fail-slow `degraded_fault`); a variant reachable from any of
-        // them is covered.
+        // functions (the classic 18-way `campaign_fault`, the fail-slow
+        // `degraded_fault`, the state-plane/network `netstate_fault`); a
+        // variant reachable from any of them is covered.
         let mut covered = String::new();
         let mut any_generator = false;
-        for f in ["fn campaign_fault", "fn degraded_fault"] {
+        for f in [
+            "fn campaign_fault",
+            "fn degraded_fault",
+            "fn netstate_fault",
+        ] {
             if let Some(body) = body_text(&code, f) {
                 any_generator = true;
                 covered.push_str(&body);
@@ -1360,12 +1364,13 @@ pub fn check_fault_exhaustiveness(
                         line: 1,
                         rule: "E005",
                         message: format!(
-                            "Fault::{} has no campaign generator arm (neither campaign_fault \
-                             nor degraded_fault draws it, so urb-chaos can never reach it)",
+                            "Fault::{} has no campaign generator arm (none of campaign_fault, \
+                             degraded_fault or netstate_fault draws it, so urb-chaos can never \
+                             reach it)",
                             v.name
                         ),
-                        fix: "add a generator arm for the variant in fn campaign_fault or \
-                              fn degraded_fault"
+                        fix: "add a generator arm for the variant in fn campaign_fault, \
+                              fn degraded_fault or fn netstate_fault"
                             .to_string(),
                     });
                 }

@@ -1,0 +1,20 @@
+//! Good fixture: generation is split across three draw functions —
+//! `campaign_fault` covers the classic variants, `degraded_fault` the
+//! fail-slow one, and `netstate_fault` the state-plane/network tier.
+//! The three-way union is exhaustive, so E005 must stay silent.
+
+use crate::Fault;
+
+pub fn campaign_fault(roll: usize) -> Fault {
+    let _ = roll;
+    Fault::Deadlock { component: "Item" }
+}
+
+pub fn degraded_fault(reports: u32) -> Fault {
+    Fault::SpuriousReports { reports }
+}
+
+pub fn netstate_fault(roll: usize) -> Fault {
+    let _ = roll;
+    Fault::CorruptDb
+}

@@ -253,6 +253,23 @@ fn split_generator_coverage_counts_as_covered() {
 }
 
 #[test]
+fn three_way_generator_split_counts_as_covered() {
+    let faults = fixture("exhaustiveness/faults_good.rs");
+    let campaign = fixture("exhaustiveness/campaign_netstate_good.rs");
+    let diags = check_fault_exhaustiveness(
+        &ExhaustInput {
+            label: "faults_good.rs",
+            src: &faults,
+        },
+        Some(&ExhaustInput {
+            label: "campaign_netstate_good.rs",
+            src: &campaign,
+        }),
+    );
+    assert!(diags.is_empty(), "unexpected: {diags:#?}");
+}
+
+#[test]
 fn good_fault_fixture_is_clean() {
     let faults = fixture("exhaustiveness/faults_good.rs");
     let diags = check_fault_exhaustiveness(

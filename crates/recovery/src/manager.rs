@@ -11,7 +11,7 @@
 use simcore::telemetry::{SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{MetricsRegistry, SimDuration, SimTime};
 use urb_core::OpCode;
-use workload::detect::FailureReport;
+use workload::detect::{FailureKind, FailureReport};
 
 use components::CompName;
 
@@ -214,6 +214,8 @@ pub struct RecoveryManager {
     policy: Box<dyn RecoveryPolicy>,
     metrics: MetricsRegistry,
     bus: Option<SharedBus>,
+    // urb-lint: allow(S001) — an evidence tally for the run report, not diagnosis state a reboot must clear.
+    store_evidence: u64,
 }
 
 impl RecoveryManager {
@@ -242,6 +244,7 @@ impl RecoveryManager {
             policy: choice.build(nodes, config, path_of, web, seed),
             metrics: MetricsRegistry::new(),
             bus: None,
+            store_evidence: 0,
         }
     }
 
@@ -301,7 +304,22 @@ impl RecoveryManager {
             op: r.op.0,
             at: r.at,
         });
+        // Store-attributed failures are evidence against the state store,
+        // not the component that happened to touch it: feeding them to the
+        // policy would microreboot a healthy EJB every time the SSM brick
+        // or the node↔store link is the culprit (the paper's "recover the
+        // faulty part, not the innocent bystander"). Tally and stop.
+        if r.kind == FailureKind::StateStore {
+            self.store_evidence += 1;
+            return;
+        }
         self.policy.observe(r, &mut ctx);
+    }
+
+    /// Reports attributed to the state store rather than any component
+    /// (withheld from the hosted policy).
+    pub fn store_evidence(&self) -> u64 {
+        self.store_evidence
     }
 
     /// Decides whether (and how) to recover `node` right now.
@@ -398,6 +416,25 @@ mod tests {
         let action = m.decide(0, SimTime::from_secs(2)).unwrap();
         assert_eq!(action, RecoveryAction::microreboot(&["Item"]));
         assert_eq!(m.stats().ejb_microreboots, 1);
+    }
+
+    #[test]
+    fn store_evidence_is_withheld_from_the_policy() {
+        let mut m = rm(RmConfig::default());
+        // A flood of store-attributed reports must not push any component
+        // over the threshold: the store is the culprit, not the beans.
+        for t in 0..10 {
+            m.report(&rep(0, 0, t, FailureKind::StateStore));
+        }
+        assert_eq!(m.decide(0, SimTime::from_secs(10)), None);
+        assert_eq!(m.store_evidence(), 10);
+        // Reports still count as detector fires for the run record.
+        assert_eq!(m.stats().reports, 10);
+        // Component-attributed evidence still escalates as before.
+        for _ in 0..3 {
+            m.report(&rep(0, 0, 11, FailureKind::Http));
+        }
+        assert!(m.decide(0, SimTime::from_secs(11)).is_some());
     }
 
     #[test]

@@ -455,6 +455,11 @@ impl TelemetrySink for MetricsRegistry {
             TelemetryEvent::LatencyAnomaly { .. } => self.inc_sym(symbol::LATENCY_ANOMALIES),
             TelemetryEvent::ParityRestored { .. } => self.inc_sym(symbol::PARITY_RESTORED),
             TelemetryEvent::DegradedInjected { .. } => self.inc_sym(symbol::DEGRADED_INJECTED),
+            TelemetryEvent::BrickFailed { .. } => self.inc_sym(symbol::BRICKS_FAILED),
+            TelemetryEvent::BrickRestored { .. } => self.inc_sym(symbol::BRICKS_RESTORED),
+            TelemetryEvent::LeaseExpired { .. } => self.inc_sym(symbol::LEASES_EXPIRED),
+            TelemetryEvent::NetFaultInjected { .. } => self.inc_sym(symbol::NET_FAULTS_INJECTED),
+            TelemetryEvent::NetFaultHealed { .. } => self.inc_sym(symbol::NET_FAULTS_HEALED),
         }
     }
 }

@@ -62,6 +62,8 @@ macro_rules! symbols {
 symbols! {
     ACTIONS_CLOSED => "actions_closed",
     BREAKER_TRANSITIONS => "breaker_transitions",
+    BRICKS_FAILED => "bricks_failed",
+    BRICKS_RESTORED => "bricks_restored",
     CAMPAIGN_RUNS_DONE => "campaign_runs_done",
     CAMPAIGN_VIOLATIONS => "campaign_violations",
     CLIENT_OP_MS => "client_op_ms",
@@ -89,6 +91,9 @@ symbols! {
     KILLED_TTL => "killed_ttl",
     LATENCY_ANOMALIES => "latency_anomalies",
     LB_FAILOVERS => "lb_failovers",
+    LEASES_EXPIRED => "leases_expired",
+    NET_FAULTS_HEALED => "net_faults_healed",
+    NET_FAULTS_INJECTED => "net_faults_injected",
     OPS_FAIL => "ops_fail",
     OPS_OK => "ops_ok",
     PARITY_RESTORED => "parity_restored",

@@ -468,6 +468,49 @@ pub enum TelemetryEvent {
         /// When.
         at: SimTime,
     },
+    /// A replica brick of the external session store went down (crash or
+    /// induced failure). Its stored objects are gone; surviving replicas
+    /// keep serving.
+    BrickFailed {
+        /// Brick index within the store.
+        brick: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A failed brick rejoined the store. It comes back empty and
+    /// repopulates lazily as sessions are written.
+    BrickRestored {
+        /// Brick index within the store.
+        brick: usize,
+        /// When.
+        at: SimTime,
+    },
+    /// A session's lease lapsed (naturally or via a lease storm) and the
+    /// store dropped its state.
+    LeaseExpired {
+        /// The expired session id.
+        session: u64,
+        /// When.
+        at: SimTime,
+    },
+    /// A network fault was armed on a cluster edge (LB↔node or
+    /// node↔store).
+    NetFaultInjected {
+        /// Edge code (0 = LB↔node, 1 = node↔store).
+        edge: u8,
+        /// Fault kind code (0 partition, 1 lossy, 2 delay, 3 dupe,
+        /// 4 store-slow, 5 brick-corrupt).
+        kind: u8,
+        /// When.
+        at: SimTime,
+    },
+    /// All network faults on a cluster edge healed.
+    NetFaultHealed {
+        /// Edge code (0 = LB↔node, 1 = node↔store).
+        edge: u8,
+        /// When.
+        at: SimTime,
+    },
 }
 
 impl TelemetryEvent {
@@ -738,6 +781,32 @@ impl TelemetryEvent {
                 buf.push(31);
                 put_u64(buf, node as u64);
                 put_u64(buf, u64::from(factor_permille));
+                put_time(buf, at);
+            }
+            TelemetryEvent::BrickFailed { brick, at } => {
+                buf.push(32);
+                put_u64(buf, brick as u64);
+                put_time(buf, at);
+            }
+            TelemetryEvent::BrickRestored { brick, at } => {
+                buf.push(33);
+                put_u64(buf, brick as u64);
+                put_time(buf, at);
+            }
+            TelemetryEvent::LeaseExpired { session, at } => {
+                buf.push(34);
+                put_u64(buf, session);
+                put_time(buf, at);
+            }
+            TelemetryEvent::NetFaultInjected { edge, kind, at } => {
+                buf.push(35);
+                put_u64(buf, u64::from(edge));
+                put_u64(buf, u64::from(kind));
+                put_time(buf, at);
+            }
+            TelemetryEvent::NetFaultHealed { edge, at } => {
+                buf.push(36);
+                put_u64(buf, u64::from(edge));
                 put_time(buf, at);
             }
         }
@@ -1211,6 +1280,30 @@ mod tests {
                     at: t,
                 },
                 cat(&[vec![31], le(1), le(4000), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::BrickFailed { brick: 2, at: t },
+                cat(&[vec![32], le(2), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::BrickRestored { brick: 2, at: t },
+                cat(&[vec![33], le(2), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::LeaseExpired { session: 99, at: t },
+                cat(&[vec![34], le(99), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::NetFaultInjected {
+                    edge: 1,
+                    kind: 3,
+                    at: t,
+                },
+                cat(&[vec![35], le(1), le(3), le(1_500_000)]),
+            ),
+            (
+                TelemetryEvent::NetFaultHealed { edge: 0, at: t },
+                cat(&[vec![36], le(0), le(1_500_000)]),
             ),
         ];
         for (ev, want) in cases {

@@ -363,6 +363,11 @@ pub fn event_kind(ev: &TelemetryEvent) -> &'static str {
         TelemetryEvent::LatencyAnomaly { .. } => "latency_anomaly",
         TelemetryEvent::ParityRestored { .. } => "parity_restored",
         TelemetryEvent::DegradedInjected { .. } => "degraded_injected",
+        TelemetryEvent::BrickFailed { .. } => "brick_failed",
+        TelemetryEvent::BrickRestored { .. } => "brick_restored",
+        TelemetryEvent::LeaseExpired { .. } => "lease_expired",
+        TelemetryEvent::NetFaultInjected { .. } => "net_fault_injected",
+        TelemetryEvent::NetFaultHealed { .. } => "net_fault_healed",
     }
 }
 
@@ -567,6 +572,26 @@ pub fn event_to_json(ev: &TelemetryEvent) -> String {
             at,
         } => format!(
             "{{\"t\":\"degraded_injected\",\"node\":{node},\"factor_permille\":{factor_permille},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::BrickFailed { brick, at } => format!(
+            "{{\"t\":\"brick_failed\",\"brick\":{brick},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::BrickRestored { brick, at } => format!(
+            "{{\"t\":\"brick_restored\",\"brick\":{brick},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::LeaseExpired { session, at } => format!(
+            "{{\"t\":\"lease_expired\",\"session\":{session},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::NetFaultInjected { edge, kind, at } => format!(
+            "{{\"t\":\"net_fault_injected\",\"edge\":{edge},\"kind\":{kind},\"at_us\":{}}}",
+            at.as_micros()
+        ),
+        TelemetryEvent::NetFaultHealed { edge, at } => format!(
+            "{{\"t\":\"net_fault_healed\",\"edge\":{edge},\"at_us\":{}}}",
             at.as_micros()
         ),
     }
@@ -801,6 +826,27 @@ pub fn event_from_json(line: &str) -> Result<TelemetryEvent, String> {
         "degraded_injected" => TelemetryEvent::DegradedInjected {
             node: need_u64(line, "node")? as usize,
             factor_permille: need_u64(line, "factor_permille")? as u32,
+            at: need_time(line, "at_us")?,
+        },
+        "brick_failed" => TelemetryEvent::BrickFailed {
+            brick: need_u64(line, "brick")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "brick_restored" => TelemetryEvent::BrickRestored {
+            brick: need_u64(line, "brick")? as usize,
+            at: need_time(line, "at_us")?,
+        },
+        "lease_expired" => TelemetryEvent::LeaseExpired {
+            session: need_u64(line, "session")?,
+            at: need_time(line, "at_us")?,
+        },
+        "net_fault_injected" => TelemetryEvent::NetFaultInjected {
+            edge: need_u64(line, "edge")? as u8,
+            kind: need_u64(line, "kind")? as u8,
+            at: need_time(line, "at_us")?,
+        },
+        "net_fault_healed" => TelemetryEvent::NetFaultHealed {
+            edge: need_u64(line, "edge")? as u8,
             at: need_time(line, "at_us")?,
         },
         other => return Err(format!("unknown event type \"{other}\"")),
@@ -1263,6 +1309,13 @@ pub fn strict_attribution(events: &[TelemetryEvent]) -> StrictReport {
             | TelemetryEvent::LatencyAnomaly { .. }
             | TelemetryEvent::ParityRestored { .. }
             | TelemetryEvent::DegradedInjected { .. } => None,
+            // State-plane and network-fault marks describe the store and
+            // the wire, not any node's recovery episode.
+            TelemetryEvent::BrickFailed { .. }
+            | TelemetryEvent::BrickRestored { .. }
+            | TelemetryEvent::LeaseExpired { .. }
+            | TelemetryEvent::NetFaultInjected { .. }
+            | TelemetryEvent::NetFaultHealed { .. } => None,
         };
         match slot {
             Some(Some(i)) => per_episode[i] += 1,
@@ -1585,6 +1638,15 @@ mod tests {
                 factor_permille: 4000,
                 at: t,
             },
+            TelemetryEvent::BrickFailed { brick: 2, at: t },
+            TelemetryEvent::BrickRestored { brick: 2, at: t },
+            TelemetryEvent::LeaseExpired { session: 41, at: t },
+            TelemetryEvent::NetFaultInjected {
+                edge: 1,
+                kind: 3,
+                at: t,
+            },
+            TelemetryEvent::NetFaultHealed { edge: 0, at: t },
         ];
         for ev in &all {
             let line = event_to_json(ev);

@@ -197,4 +197,40 @@ mod tests {
         let expired = t.sweep(SimTime::from_secs(20));
         assert_eq!(expired, (0..100).collect::<Vec<_>>());
     }
+
+    #[test]
+    fn same_tick_expiry_with_renew_race_is_deterministic() {
+        // Leases that expire at the exact sweep tick, with renewals racing
+        // the sweep on the same tick, must resolve identically on every
+        // run: the renewal happens-before the sweep iff it was applied
+        // first, and the sweep order is id order regardless.
+        let run = || {
+            let mut t = table();
+            let ids: Vec<LeaseId> = (0..20u32).map(|i| t.grant(SimTime::ZERO, i)).collect();
+            // Renew every third lease at the expiry tick itself.
+            for id in ids.iter().step_by(3) {
+                assert!(t.renew(SimTime::from_secs(10), *id));
+            }
+            t.sweep(SimTime::from_secs(10))
+        };
+        let first = run();
+        let second = run();
+        assert_eq!(first, second, "same-tick race resolves identically");
+        // Exactly the non-renewed leases expired, in id order.
+        let expected: Vec<u32> = (0..20).filter(|i| i % 3 != 0).collect();
+        assert_eq!(first, expected);
+    }
+
+    #[test]
+    fn grant_at_sweep_tick_survives_the_sweep() {
+        // A lease granted on the same tick an expiry sweep runs must not
+        // be reaped by it: expiry is exclusive, so term > 0 keeps it live.
+        let mut t = table();
+        let old = t.grant(SimTime::ZERO, 1);
+        let fresh = t.grant(SimTime::from_secs(10), 2);
+        let expired = t.sweep(SimTime::from_secs(10));
+        assert_eq!(expired, vec![1]);
+        assert!(!t.is_live(SimTime::from_secs(10), old));
+        assert!(t.is_live(SimTime::from_secs(10), fresh));
+    }
 }

@@ -29,6 +29,7 @@
 pub mod db;
 pub mod fasts;
 pub mod lease;
+pub mod ledger;
 pub mod session;
 pub mod ssm;
 pub mod value;
@@ -36,6 +37,7 @@ pub mod value;
 pub use db::{Database, DbError, TxnId};
 pub use fasts::FastS;
 pub use lease::{LeaseId, LeaseTable};
+pub use ledger::{shared_ledger, IntegrityLedger, SharedLedger};
 pub use session::{SessionId, SessionObject, SessionStore, StoreError};
 pub use ssm::Ssm;
 pub use value::Value;

@@ -12,8 +12,9 @@
 
 use std::collections::BTreeMap;
 
-use simcore::{SimDuration, SimTime};
+use simcore::{SimDuration, SimTime, TelemetryEvent};
 
+use crate::ledger::SharedLedger;
 use crate::session::{SessionId, SessionObject, SessionStore, StoreError};
 
 /// Number of replica bricks a default SSM deployment writes to.
@@ -49,6 +50,11 @@ pub struct SsmStats {
     pub checksum_discards: u64,
     /// Objects expired by lease garbage collection.
     pub lease_expirations: u64,
+    /// Accesses rejected by an armed network fault (partition or lossy
+    /// link on the node↔store edge).
+    pub net_unavailable: u64,
+    /// Duplicate wire deliveries discarded by the applied-id check.
+    pub dupes_discarded: u64,
 }
 
 /// FNV-1a over the marshalled object; any single-byte corruption flips it.
@@ -84,6 +90,34 @@ pub struct Ssm {
     /// simulation so leases can expire.
     now: SimTime,
     stats: SsmStats,
+    /// Per-session applied-id authority: bumped on every accepted write.
+    /// Store-level (survives brick failures) — this is the "store-side
+    /// applied id" half of the integrity ledger.
+    versions: BTreeMap<SessionId, u64>,
+    /// Highest wire-delivery sequence applied per session; a redelivered
+    /// (duplicated) write carries an already-applied sequence and is
+    /// discarded instead of mutating state twice.
+    applied_seq: BTreeMap<SessionId, u64>,
+    /// Wire-delivery sequence counter.
+    write_seq: u64,
+    /// node↔store edge fault surface: true black-holes every access.
+    partitioned: bool,
+    /// node↔store lossy link: permille of accesses dropped (0 = off),
+    /// thinned deterministically by `lossy_counter`.
+    lossy_permille: u32,
+    lossy_counter: u64,
+    /// node↔store duplicating link: permille of writes delivered twice.
+    dupe_permille: u32,
+    dupe_counter: u64,
+    /// Extra per-access RTT an armed store-slow / link-delay fault
+    /// imposes. Zero when healthy.
+    extra_latency: SimDuration,
+    /// Telemetry drain queue: the hosting simulation pulls these with
+    /// [`Ssm::take_events`] and forwards them to its bus at deterministic
+    /// points. (The store cannot hold a bus itself and stay `Clone`.)
+    events: Vec<TelemetryEvent>,
+    /// Integrity-ledger hook (pure observation; `None` in normal runs).
+    ledger: Option<SharedLedger>,
 }
 
 impl Ssm {
@@ -114,7 +148,154 @@ impl Ssm {
             lease,
             now: SimTime::ZERO,
             stats: SsmStats::default(),
+            versions: BTreeMap::new(),
+            applied_seq: BTreeMap::new(),
+            write_seq: 0,
+            partitioned: false,
+            lossy_permille: 0,
+            lossy_counter: 0,
+            dupe_permille: 0,
+            dupe_counter: 0,
+            extra_latency: SimDuration::ZERO,
+            events: Vec::new(),
+            ledger: None,
         }
+    }
+
+    /// Attaches the integrity ledger; the store reports applied ids,
+    /// expiries, removals and duplicate discards to it from then on.
+    pub fn attach_ledger(&mut self, ledger: SharedLedger) {
+        self.ledger = Some(ledger);
+    }
+
+    /// Drains queued telemetry events (brick failures/restores, lease
+    /// expiries) for the hosting simulation to forward to its bus.
+    pub fn take_events(&mut self) -> Vec<TelemetryEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Returns true if any up brick still holds an object for `id`
+    /// (regardless of lease state — an uncollected object is not lost).
+    pub fn probe(&self, id: SessionId) -> bool {
+        self.bricks
+            .iter()
+            .filter(|b| b.up)
+            .any(|b| b.objects.contains_key(&id))
+    }
+
+    // ---- node↔store network fault surface -----------------------------
+    //
+    // The cluster's NetShim delivers node↔store edge faults by arming
+    // these flags; every store access then passes through the shim
+    // deterministically (counter-thinned, no RNG), so same-seed runs
+    // reproduce bit-identically.
+
+    /// Black-holes every store access (link partition) while set.
+    pub fn set_partitioned(&mut self, on: bool) {
+        self.partitioned = on;
+    }
+
+    /// Drops `permille`/1000 of store accesses (lossy link); 0 disarms.
+    pub fn set_lossy(&mut self, permille: u32) {
+        self.lossy_permille = permille.min(1000);
+    }
+
+    /// Delivers `permille`/1000 of writes twice (duplicating link);
+    /// 0 disarms.
+    pub fn set_dupe(&mut self, permille: u32) {
+        self.dupe_permille = permille.min(1000);
+    }
+
+    /// Adds `extra` RTT to every store access (store-slow / link-delay).
+    pub fn set_extra_latency(&mut self, extra: SimDuration) {
+        self.extra_latency = extra;
+    }
+
+    /// Heals every armed node↔store fault.
+    pub fn clear_net_faults(&mut self) {
+        self.partitioned = false;
+        self.lossy_permille = 0;
+        self.dupe_permille = 0;
+        self.extra_latency = SimDuration::ZERO;
+    }
+
+    /// The extra per-access RTT currently imposed (zero when healthy).
+    pub fn extra_access_latency(&self) -> SimDuration {
+        self.extra_latency
+    }
+
+    /// Deterministic thinning: fires on the accesses where the running
+    /// `permille` quota crosses an integer boundary.
+    fn thin(counter: &mut u64, permille: u32) -> bool {
+        if permille == 0 {
+            return false;
+        }
+        let before = *counter * u64::from(permille) / 1000;
+        *counter += 1;
+        let after = *counter * u64::from(permille) / 1000;
+        after > before
+    }
+
+    /// Returns true if an armed network fault swallows this access.
+    fn net_drops_access(&mut self) -> bool {
+        if self.partitioned {
+            self.stats.net_unavailable += 1;
+            return true;
+        }
+        if Self::thin(&mut self.lossy_counter, self.lossy_permille) {
+            self.stats.net_unavailable += 1;
+            return true;
+        }
+        false
+    }
+
+    fn note_expired(&mut self, id: SessionId) {
+        self.stats.lease_expirations += 1;
+        self.events.push(TelemetryEvent::LeaseExpired {
+            session: id.0,
+            at: self.now,
+        });
+        if let Some(l) = &self.ledger {
+            l.borrow_mut().on_expired(id.0);
+        }
+    }
+
+    /// Applies one wire delivery of a write. The applied-id check makes
+    /// writes idempotent per delivery sequence: a duplicated delivery is
+    /// discarded instead of bumping the session's applied id twice.
+    fn apply_write(
+        &mut self,
+        id: SessionId,
+        obj: SessionObject,
+        seq: u64,
+    ) -> Result<(), StoreError> {
+        if self.applied_seq.get(&id).is_some_and(|&s| s >= seq) {
+            self.stats.dupes_discarded += 1;
+            if let Some(l) = &self.ledger {
+                l.borrow_mut().on_dupe_discarded(id.0);
+            }
+            return Ok(());
+        }
+        let bytes = obj.encode();
+        let sum = checksum(&bytes);
+        let stored = StoredObject {
+            bytes,
+            checksum: sum,
+            object: obj,
+            expires: self.now + self.lease,
+        };
+        for brick in self.bricks.iter_mut().filter(|b| b.up) {
+            brick.objects.insert(id, stored.clone());
+        }
+        self.applied_seq.insert(id, seq);
+        let version = self.versions.entry(id).or_insert(0);
+        *version += 1;
+        let version = *version;
+        if let Some(l) = &self.ledger {
+            l.borrow_mut().on_applied(id.0, version);
+        }
+        self.stats.writes += 1;
+        Ok(())
     }
 
     /// Advances the store's clock (the hosting simulation calls this).
@@ -131,10 +312,15 @@ impl Ssm {
     ///
     /// Returns false if the index is out of range.
     pub fn fail_brick(&mut self, idx: usize) -> bool {
+        let at = self.now;
         match self.bricks.get_mut(idx) {
             Some(b) => {
-                b.up = false;
-                b.objects.clear();
+                if b.up {
+                    b.up = false;
+                    b.objects.clear();
+                    self.events
+                        .push(TelemetryEvent::BrickFailed { brick: idx, at });
+                }
                 true
             }
             None => false,
@@ -143,9 +329,14 @@ impl Ssm {
 
     /// Brings a failed brick back (empty; it repopulates on writes).
     pub fn restore_brick(&mut self, idx: usize) -> bool {
+        let at = self.now;
         match self.bricks.get_mut(idx) {
             Some(b) => {
-                b.up = true;
+                if !b.up {
+                    b.up = true;
+                    self.events
+                        .push(TelemetryEvent::BrickRestored { brick: idx, at });
+                }
                 true
             }
             None => false,
@@ -208,8 +399,53 @@ impl Ssm {
                 seen.insert(id);
             }
         }
-        self.stats.lease_expirations += seen.len() as u64;
+        for id in &seen {
+            self.note_expired(*id);
+        }
         seen.len()
+    }
+
+    /// Prematurely expires every live session (the `LeaseStorm` fault):
+    /// objects are removed and accounted exactly as a natural lease lapse
+    /// would be, in deterministic (id) order. Returns how many expired.
+    pub fn storm_leases(&mut self) -> usize {
+        let ids: std::collections::BTreeSet<SessionId> = self
+            .bricks
+            .iter()
+            .filter(|b| b.up)
+            .flat_map(|b| b.objects.keys())
+            .copied()
+            .collect();
+        for id in &ids {
+            for brick in &mut self.bricks {
+                brick.objects.remove(id);
+            }
+            self.note_expired(*id);
+        }
+        ids.len()
+    }
+
+    /// Makes one brick return checksum-failing garbage: flips a byte of
+    /// every object it stores (the `BrickCorrupt` fault). Reads detect
+    /// the damage via the per-object checksum, discard the bad copy, and
+    /// serve a surviving replica. Returns how many objects were mangled.
+    pub fn corrupt_brick(&mut self, idx: usize) -> usize {
+        let Some(brick) = self.bricks.get_mut(idx) else {
+            return 0;
+        };
+        if !brick.up {
+            return 0;
+        }
+        let mut mangled = 0;
+        for stored in brick.objects.values_mut() {
+            if let Some(byte) = stored.bytes.first_mut() {
+                *byte ^= 0xff;
+            } else {
+                stored.checksum ^= 0xdead_beef;
+            }
+            mangled += 1;
+        }
+        mangled
     }
 
     /// Returns the number of injection-tainted sessions still stored on
@@ -244,31 +480,36 @@ impl SessionStore for Ssm {
     }
 
     fn write(&mut self, id: SessionId, obj: SessionObject) -> Result<(), StoreError> {
+        if self.net_drops_access() {
+            return Err(StoreError::Unavailable);
+        }
         if self.bricks_up() == 0 {
             return Err(StoreError::Unavailable);
         }
-        let bytes = obj.encode();
-        let sum = checksum(&bytes);
-        let stored = StoredObject {
-            bytes,
-            checksum: sum,
-            object: obj,
-            expires: self.now + self.lease,
-        };
-        for brick in self.bricks.iter_mut().filter(|b| b.up) {
-            brick.objects.insert(id, stored.clone());
+        self.write_seq += 1;
+        let seq = self.write_seq;
+        if Self::thin(&mut self.dupe_counter, self.dupe_permille) {
+            // The duplicating link delivers this write twice: the replay
+            // carries the same wire sequence and must be discarded by the
+            // applied-id check, not applied again.
+            self.apply_write(id, obj.clone(), seq)?;
+            self.apply_write(id, obj, seq)
+        } else {
+            self.apply_write(id, obj, seq)
         }
-        self.stats.writes += 1;
-        Ok(())
     }
 
     fn read(&mut self, id: SessionId) -> Result<Option<SessionObject>, StoreError> {
+        if self.net_drops_access() {
+            return Err(StoreError::Unavailable);
+        }
         if self.bricks_up() == 0 {
             return Err(StoreError::Unavailable);
         }
         let now = self.now;
         let mut found_any = false;
         let mut discarded_any = false;
+        let mut expired_any = false;
         let mut result: Option<(SessionObject, SimTime)> = None;
         for brick in self.bricks.iter_mut().filter(|b| b.up) {
             let Some(stored) = brick.objects.get(&id) else {
@@ -276,6 +517,7 @@ impl SessionStore for Ssm {
             };
             if stored.expires <= now {
                 brick.objects.remove(&id);
+                expired_any = true;
                 continue;
             }
             found_any = true;
@@ -292,7 +534,15 @@ impl SessionStore for Ssm {
             }
         }
         match result {
-            Some((obj, _)) => {
+            Some((obj, expires)) => {
+                if expires <= now {
+                    // Defensive ledger check: serving past expiry would be
+                    // a stale-lease violation. The filter above makes this
+                    // unreachable; the ledger proves it stays that way.
+                    if let Some(l) = &self.ledger {
+                        l.borrow_mut().on_stale_serve(id.0);
+                    }
+                }
                 // Lease renewal on access.
                 let expires = now + self.lease;
                 for brick in self.bricks.iter_mut().filter(|b| b.up) {
@@ -304,13 +554,26 @@ impl SessionStore for Ssm {
                 Ok(Some(obj))
             }
             None if found_any && discarded_any => Err(StoreError::CorruptDiscarded(id)),
-            None => Ok(None),
+            None => {
+                if expired_any {
+                    // The lease lapsed and the read reaped the object:
+                    // account the disappearance.
+                    self.note_expired(id);
+                }
+                Ok(None)
+            }
         }
     }
 
     fn remove(&mut self, id: SessionId) -> Result<(), StoreError> {
+        if self.net_drops_access() {
+            return Err(StoreError::Unavailable);
+        }
         for brick in self.bricks.iter_mut().filter(|b| b.up) {
             brick.objects.remove(&id);
+        }
+        if let Some(l) = &self.ledger {
+            l.borrow_mut().on_removed(id.0);
         }
         Ok(())
     }
@@ -470,5 +733,172 @@ mod tests {
         ssm.write(SessionId(5), obj(1)).unwrap();
         assert_eq!(ssm.corrupt_any(), Some(SessionId(5)));
         assert!(ssm.is_tainted(SessionId(5)));
+    }
+
+    #[test]
+    fn brick_lifecycle_emits_telemetry_events() {
+        let mut ssm = Ssm::new(3);
+        ssm.advance_to(SimTime::from_secs(5));
+        ssm.fail_brick(1);
+        ssm.fail_brick(1); // already down: no duplicate event
+        ssm.restore_brick(1);
+        let events = ssm.take_events();
+        assert_eq!(
+            events,
+            vec![
+                TelemetryEvent::BrickFailed {
+                    brick: 1,
+                    at: SimTime::from_secs(5)
+                },
+                TelemetryEvent::BrickRestored {
+                    brick: 1,
+                    at: SimTime::from_secs(5)
+                },
+            ]
+        );
+        assert!(ssm.take_events().is_empty(), "drain empties the queue");
+    }
+
+    #[test]
+    fn lease_storm_expires_everything_and_accounts_it() {
+        let ledger = crate::ledger::shared_ledger();
+        let mut ssm = Ssm::new(3);
+        ssm.attach_ledger(ledger.clone());
+        ssm.advance_to(SimTime::from_secs(1));
+        ssm.write(SessionId(1), obj(1)).unwrap();
+        ssm.write(SessionId(2), obj(2)).unwrap();
+        assert_eq!(ssm.storm_leases(), 2);
+        assert_eq!(ssm.live_sessions(), 0);
+        assert_eq!(ssm.stats().lease_expirations, 2);
+        assert!(ledger.borrow().accounted_gone(1));
+        assert!(ledger.borrow().accounted_gone(2));
+        // Expiry events queue in deterministic id order.
+        let sessions: Vec<u64> = ssm
+            .take_events()
+            .into_iter()
+            .map(|e| match e {
+                TelemetryEvent::LeaseExpired { session, .. } => session,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect();
+        assert_eq!(sessions, vec![1, 2]);
+    }
+
+    #[test]
+    fn corrupt_brick_is_masked_by_surviving_replicas() {
+        let mut ssm = Ssm::new(3);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        assert_eq!(ssm.corrupt_brick(0), 1);
+        // The bad copy is discarded, a healthy replica serves the read.
+        let got = ssm.read(SessionId(1)).unwrap().unwrap();
+        assert_eq!(got.get("user_id").unwrap().as_int(), Some(7));
+        assert_eq!(ssm.stats().checksum_discards, 1);
+    }
+
+    #[test]
+    fn partition_black_holes_accesses_until_healed() {
+        let mut ssm = Ssm::new(2);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.set_partitioned(true);
+        assert_eq!(ssm.read(SessionId(1)).unwrap_err(), StoreError::Unavailable);
+        assert_eq!(
+            ssm.write(SessionId(2), obj(8)).unwrap_err(),
+            StoreError::Unavailable
+        );
+        assert_eq!(ssm.stats().net_unavailable, 2);
+        ssm.clear_net_faults();
+        assert!(ssm.read(SessionId(1)).unwrap().is_some());
+        assert!(!ssm.probe(SessionId(2)), "partitioned write never landed");
+    }
+
+    #[test]
+    fn lossy_link_drops_a_deterministic_fraction() {
+        let mut ssm = Ssm::new(2);
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.set_lossy(500);
+        let failures = (0..100).filter(|_| ssm.read(SessionId(1)).is_err()).count();
+        assert_eq!(failures, 50, "500 permille thins exactly half");
+        // Same-seed determinism: an identical store replays identically.
+        let mut again = Ssm::new(2);
+        again.write(SessionId(1), obj(7)).unwrap();
+        again.set_lossy(500);
+        let pattern: Vec<bool> = (0..100).map(|_| again.read(SessionId(1)).is_ok()).collect();
+        let mut third = Ssm::new(2);
+        third.write(SessionId(1), obj(7)).unwrap();
+        third.set_lossy(500);
+        let pattern2: Vec<bool> = (0..100).map(|_| third.read(SessionId(1)).is_ok()).collect();
+        assert_eq!(pattern, pattern2);
+    }
+
+    #[test]
+    fn duplicated_writes_are_discarded_not_reapplied() {
+        let ledger = crate::ledger::shared_ledger();
+        let mut ssm = Ssm::new(2);
+        ssm.attach_ledger(ledger.clone());
+        ssm.set_dupe(1000); // every write delivered twice
+        ssm.write(SessionId(1), obj(7)).unwrap();
+        ssm.write(SessionId(1), obj(8)).unwrap();
+        assert_eq!(ssm.stats().dupes_discarded, 2);
+        assert_eq!(ssm.stats().writes, 2, "each intent applied exactly once");
+        assert_eq!(ledger.borrow().double_applied(), 0);
+        assert_eq!(ledger.borrow().dupes_discarded(), 2);
+        let got = ssm.read(SessionId(1)).unwrap().unwrap();
+        assert_eq!(got.get("user_id").unwrap().as_int(), Some(8));
+    }
+
+    #[test]
+    fn extra_latency_is_armed_and_healed() {
+        let mut ssm = Ssm::new(2);
+        assert_eq!(ssm.extra_access_latency(), SimDuration::ZERO);
+        ssm.set_extra_latency(SimDuration::from_millis(40));
+        assert_eq!(ssm.extra_access_latency(), SimDuration::from_millis(40));
+        ssm.clear_net_faults();
+        assert_eq!(ssm.extra_access_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn same_tick_expiry_and_write_race_is_deterministic() {
+        // A write landing on the exact tick its session's lease expires
+        // must resolve identically on every run: expiry is exclusive, the
+        // write grants a fresh lease, and expiry accounting happens in
+        // BTreeMap (id) order.
+        let run = || {
+            let mut ssm = Ssm::with_lease(3, SimDuration::from_secs(10));
+            ssm.write(SessionId(1), obj(1)).unwrap();
+            ssm.write(SessionId(2), obj(2)).unwrap();
+            ssm.advance_to(SimTime::from_secs(10));
+            // Session 2 is re-written at the expiry tick; session 1 is
+            // reaped lazily by its read on the same tick.
+            ssm.write(SessionId(2), obj(22)).unwrap();
+            let one = ssm.read(SessionId(1)).unwrap().is_some();
+            let two = ssm.read(SessionId(2)).unwrap().is_some();
+            (one, two, ssm.stats(), ssm.take_events())
+        };
+        let first = run();
+        assert!(!first.0, "session 1 expired at its lease tick");
+        assert!(first.1, "same-tick write re-leased session 2");
+        assert_eq!(first, run(), "race resolves bit-identically");
+    }
+
+    #[test]
+    fn ledger_sees_applied_ids_expiries_and_removals() {
+        let ledger = crate::ledger::shared_ledger();
+        let mut ssm = Ssm::with_lease(2, SimDuration::from_secs(10));
+        ssm.attach_ledger(ledger.clone());
+        ssm.write(SessionId(1), obj(1)).unwrap();
+        ssm.write(SessionId(1), obj(2)).unwrap();
+        ledger.borrow_mut().on_commit(1);
+        assert_eq!(ledger.borrow().total_intents(), 1);
+        assert!(ssm.probe(SessionId(1)));
+        // Natural expiry via a lazy read is accounted.
+        ssm.advance_to(SimTime::from_secs(11));
+        assert_eq!(ssm.read(SessionId(1)).unwrap(), None);
+        assert!(ledger.borrow().accounted_gone(1));
+        // Explicit removal is accounted too.
+        ssm.write(SessionId(2), obj(3)).unwrap();
+        ssm.remove(SessionId(2)).unwrap();
+        assert!(ledger.borrow().accounted_gone(2));
+        assert_eq!(ledger.borrow().stale_serves(), 0);
+        assert_eq!(ledger.borrow().double_applied(), 0);
     }
 }

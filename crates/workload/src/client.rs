@@ -17,13 +17,45 @@ use std::collections::BTreeMap;
 use components::CompName;
 use simcore::telemetry::{SharedBus, TelemetryEvent, TelemetrySink};
 use simcore::{SimDuration, SimRng, SimTime};
-use statestore::SessionId;
+use statestore::{SessionId, SharedLedger};
 use urb_core::{OpCode, ReqId, Request, Response};
 
 use crate::catalog::{ArgKind, Catalog, MixClass};
 use crate::detect::{classify, DetectorKind, FailureKind, FailureReport};
 use crate::perf::{PerfConfig, PerfEvent, PerfTracker};
 use crate::taw::{ActionId, TawTracker};
+
+/// Client-side retry policy for failed operations — distinct from the
+/// server-driven `Retry-After` handling, which is always on.
+///
+/// [`RetryPolicy::None`] reproduces the historical behavior — a failed
+/// operation fails its action and the client moves on — and is the
+/// default, so pinned traces are unaffected. The other arms model the
+/// two client populations of the netstate campaign: a naive one that
+/// hammers the site on every connection error (the retry-storm
+/// anti-pattern), and a budgeted one whose seeded exponential backoff
+/// with jitter keeps attempt amplification bounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// No client-side retries (pinned behavior).
+    None,
+    /// Re-issue almost immediately (1 ms later) up to `retries` extra
+    /// times per operation.
+    NaiveImmediate {
+        /// Additional attempts after the first.
+        retries: u32,
+    },
+    /// Exponential backoff: the n-th retry waits `base * 2^n` capped at
+    /// `cap`, jittered ±25% from the client's own seeded RNG.
+    Budgeted {
+        /// Additional attempts after the first.
+        budget: u32,
+        /// First-retry delay; doubles every attempt.
+        base: SimDuration,
+        /// Upper bound on the backoff delay.
+        cap: SimDuration,
+    },
+}
 
 /// Pool configuration.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +70,8 @@ pub struct ClientPoolConfig {
     pub detector: DetectorKind,
     /// How many `Retry-After` rounds a client honours before giving up.
     pub max_retries: u32,
+    /// Client-side retry policy for failed operations.
+    pub retry_policy: RetryPolicy,
     /// RNG seed.
     pub seed: u64,
 }
@@ -50,6 +84,7 @@ impl Default for ClientPoolConfig {
             think_cap: SimDuration::from_secs(70),
             detector: DetectorKind::Simple,
             max_retries: 3,
+            retry_policy: RetryPolicy::None,
             seed: 0xc11e,
         }
     }
@@ -135,6 +170,8 @@ pub struct ClientPool {
     login_state: usize,
     bus: Option<SharedBus>,
     perf: Option<PerfTracker>,
+    retries_issued: u64,
+    ledger: Option<SharedLedger>,
 }
 
 impl ClientPool {
@@ -180,7 +217,23 @@ impl ClientPool {
             login_state,
             bus: None,
             perf: None,
+            retries_issued: 0,
+            ledger: None,
         }
+    }
+
+    /// Attaches a session-integrity ledger: every successful commit-point
+    /// response a cookie-holding client sees is recorded as a commit
+    /// intent, to be reconciled against the store's applied ids at the
+    /// end of the run.
+    pub fn attach_ledger(&mut self, ledger: SharedLedger) {
+        self.ledger = Some(ledger);
+    }
+
+    /// Client-side retries issued under the configured [`RetryPolicy`]
+    /// (excludes server-driven `Retry-After` rounds).
+    pub fn retries_issued(&self) -> u64 {
+        self.retries_issued
     }
 
     /// Arms the performance-observability plane: successful-op latencies
@@ -341,6 +394,25 @@ impl ClientPool {
                 (i, now + jitter)
             })
             .collect()
+    }
+
+    /// How long `client` waits before its next retry, or `None` when the
+    /// policy (or its budget) says to give up and fail the action.
+    fn retry_delay(&mut self, client: usize, attempts: u32) -> Option<SimDuration> {
+        match self.config.retry_policy {
+            RetryPolicy::None => None,
+            RetryPolicy::NaiveImmediate { retries } => {
+                (attempts < retries).then(|| SimDuration::from_millis(1))
+            }
+            RetryPolicy::Budgeted { budget, base, cap } => {
+                if attempts >= budget {
+                    return None;
+                }
+                let backoff = (base * (1u64 << attempts.min(16))).min(cap);
+                let spread = SimDuration::from_micros(backoff.as_micros() / 4);
+                Some(self.clients[client].rng.jittered(backoff, spread))
+            }
+        }
     }
 
     fn think(&mut self, client: usize, now: SimTime) -> SimTime {
@@ -505,6 +577,27 @@ impl ClientPool {
             classify(self.config.detector, response, pending.was_logged_in)
         };
 
+        // Client-side retry policy: connection-level and server-error
+        // failures may be transparently re-issued before the action is
+        // declared failed. Off by default ([`RetryPolicy::None`]), so
+        // pinned traces never take this branch. Exhausted `Retry-After`
+        // rounds are final — the server already asked us to slow down.
+        if let Some(kind) = failure {
+            let retry_worthy = matches!(
+                kind,
+                FailureKind::Network | FailureKind::Timeout | FailureKind::Http
+            );
+            if !gave_up_retry && retry_worthy {
+                if let Some(delay) = self.retry_delay(client, pending.attempts) {
+                    self.retries_issued += 1;
+                    let c = &mut self.clients[client];
+                    c.retry_pending = true;
+                    c.pending = Some(pending);
+                    return Some((client, DeliverOutcome::RetryAt(now + delay)));
+                }
+            }
+        }
+
         // Taw accounting (via the telemetry event path).
         let action = self.clients[client].action;
         self.emit(TelemetryEvent::ClientOp {
@@ -546,6 +639,14 @@ impl ClientPool {
             self.emit(TelemetryEvent::ActionClosed { action: action.0 });
             self.new_action(client);
         } else if commit_point || is_logout {
+            // A committed operation under a held cookie is the client-side
+            // half of the integrity invariant: the store must now retain
+            // (or account for) this session's state.
+            if commit_point {
+                if let (Some(ledger), Some(sid)) = (&self.ledger, self.clients[client].session) {
+                    ledger.borrow_mut().on_commit(sid.0);
+                }
+            }
             self.emit(TelemetryEvent::ActionClosed { action: action.0 });
             self.new_action(client);
         }
@@ -805,6 +906,131 @@ mod tests {
         // The next wake re-issues login.
         let out = p.wake(0, now).unwrap();
         assert_eq!(out.req.op, OpCode(1), "forced re-login");
+    }
+
+    fn pool_with_policy(policy: RetryPolicy) -> ClientPool {
+        ClientPool::new(
+            catalog(),
+            ClientPoolConfig {
+                clients: 1,
+                seed: 7,
+                retry_policy: policy,
+                ..ClientPoolConfig::default()
+            },
+        )
+    }
+
+    /// Drives one client through `rounds` network-failed deliveries and
+    /// returns (retry delays observed, total failure reports).
+    fn drive_failures(p: &mut ClientPool, rounds: usize) -> (Vec<SimDuration>, usize) {
+        let mut now = SimTime::from_secs(1);
+        let mut delays = Vec::new();
+        let mut out = p.wake(0, now).unwrap();
+        for _ in 0..rounds {
+            let mut resp = ok_response(&out.req, now);
+            resp.status = Status::NetworkError;
+            match p.deliver(&resp, 0, now) {
+                Some((0, DeliverOutcome::RetryAt(at))) => {
+                    delays.push(at - now);
+                    now = at;
+                    out = p.wake(0, now).unwrap();
+                }
+                Some((0, DeliverOutcome::ThinkUntil(_))) => break,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        (delays, p.drain_reports().len())
+    }
+
+    #[test]
+    fn retry_policy_none_fails_immediately() {
+        let mut p = pool_with_policy(RetryPolicy::None);
+        let (delays, reports) = drive_failures(&mut p, 10);
+        assert!(delays.is_empty(), "no client-side retries by default");
+        assert_eq!(reports, 1);
+        assert_eq!(p.retries_issued(), 0);
+    }
+
+    #[test]
+    fn naive_policy_storms_with_fixed_tiny_delays() {
+        let mut p = pool_with_policy(RetryPolicy::NaiveImmediate { retries: 6 });
+        let (delays, reports) = drive_failures(&mut p, 10);
+        assert_eq!(delays.len(), 6, "retries until the budget, then fails");
+        assert!(delays.iter().all(|d| *d == SimDuration::from_millis(1)));
+        assert_eq!(reports, 1, "one report for the final failure");
+        assert_eq!(p.retries_issued(), 6);
+    }
+
+    #[test]
+    fn budgeted_policy_backs_off_exponentially_and_caps() {
+        let mut p = pool_with_policy(RetryPolicy::Budgeted {
+            budget: 5,
+            base: SimDuration::from_millis(100),
+            cap: SimDuration::from_secs(1),
+        });
+        let (delays, reports) = drive_failures(&mut p, 10);
+        assert_eq!(delays.len(), 5);
+        assert_eq!(reports, 1);
+        // Backoff grows: each nominal delay is base * 2^n capped at 1 s,
+        // jittered ±25%. Check the envelope rather than exact values.
+        for (n, d) in delays.iter().enumerate() {
+            let nominal =
+                (SimDuration::from_millis(100) * (1u64 << n)).min(SimDuration::from_secs(1));
+            let lo = nominal.as_micros() * 3 / 4;
+            let hi = nominal.as_micros() * 5 / 4;
+            let got = d.as_micros();
+            assert!(
+                got >= lo && got <= hi,
+                "retry {n}: {got}µs outside [{lo}, {hi}]"
+            );
+        }
+        // The last delays hit the cap's envelope, not unbounded growth.
+        assert!(delays[4] <= SimDuration::from_micros(1_250_000));
+    }
+
+    #[test]
+    fn budgeted_retries_are_deterministic_per_seed() {
+        let run = || {
+            let mut p = pool_with_policy(RetryPolicy::Budgeted {
+                budget: 5,
+                base: SimDuration::from_millis(100),
+                cap: SimDuration::from_secs(1),
+            });
+            drive_failures(&mut p, 10).0
+        };
+        assert_eq!(run(), run(), "same seed, same jittered backoff");
+    }
+
+    #[test]
+    fn commit_points_under_a_cookie_record_ledger_intents() {
+        let mut p = pool(1);
+        let ledger = statestore::shared_ledger();
+        p.attach_ledger(ledger.clone());
+        let now = SimTime::from_secs(1);
+        // Log the client in and hand it a cookie.
+        let mut out = p.wake(0, now).unwrap();
+        while out.req.op != OpCode(1) {
+            p.deliver(&ok_response(&out.req, now), 0, now);
+            out = p.wake(0, now).unwrap();
+        }
+        let mut resp = ok_response(&out.req, now);
+        resp.set_cookie = Some(SessionId(42));
+        p.deliver(&resp, 0, now);
+        // The store applies a write for the session, then the client
+        // commits operations until one lands on a commit point.
+        ledger.borrow_mut().on_applied(42, 1);
+        for _ in 0..50 {
+            let out = p.wake(0, now).unwrap();
+            p.deliver(&ok_response(&out.req, now), 0, now);
+        }
+        assert!(
+            ledger.borrow().total_intents() > 0,
+            "commit points under a cookie become ledger intents"
+        );
+        assert_eq!(
+            ledger.borrow().committed_sessions().collect::<Vec<_>>(),
+            vec![42]
+        );
     }
 
     #[test]

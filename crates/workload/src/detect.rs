@@ -52,6 +52,10 @@ pub enum FailureKind {
     SessionLoss,
     /// Application-specific anomaly (invalid ids in the page, ...).
     AppSpecific,
+    /// The error page named the session store: the state plane, not the
+    /// serving component, is the culprit. Recovery must not microreboot a
+    /// healthy component over this evidence.
+    StateStore,
     /// Output differed from the known-good instance.
     Comparison,
     /// A component's live latency quantiles drifted beyond the configured
@@ -94,8 +98,24 @@ pub fn classify(
     match response.status {
         Status::NetworkError => return Some(FailureKind::Network),
         Status::TimedOut => return Some(FailureKind::Timeout),
-        Status::ClientError(_) | Status::ServerError(_) => return Some(FailureKind::Http),
+        Status::ClientError(_) | Status::ServerError(_) => {
+            // A store outage surfaces as a 500 like any other server
+            // exception; the error page's store marker is what separates
+            // "the store is sick" from "this component is sick", so it
+            // must win over the generic HTTP class.
+            return Some(if response.markers.store_error {
+                FailureKind::StateStore
+            } else {
+                FailureKind::Http
+            });
+        }
         Status::Ok | Status::RetryAfter(_) => {}
+    }
+    // Store attribution wins over the generic keyword check: the same
+    // error page carries both markers, and the specific evidence keeps
+    // the ladder off healthy components.
+    if response.markers.store_error {
+        return Some(FailureKind::StateStore);
     }
     if response.markers.exception_text {
         return Some(FailureKind::Keyword);
@@ -249,6 +269,31 @@ mod tests {
                 comparison: Some(FailureKind::Keyword),
             },
             Case {
+                name: "state store unreachable",
+                build: || {
+                    let mut r = resp(Status::Ok);
+                    // The store-error page also carries exception text;
+                    // store attribution wins.
+                    r.markers.exception_text = true;
+                    r.markers.store_error = true;
+                    r
+                },
+                logged_in: true,
+                simple: Some(FailureKind::StateStore),
+                comparison: Some(FailureKind::StateStore),
+            },
+            Case {
+                name: "state store unreachable behind a 500",
+                build: || {
+                    let mut r = resp(Status::ServerError(500));
+                    r.markers.store_error = true;
+                    r
+                },
+                logged_in: true,
+                simple: Some(FailureKind::StateStore),
+                comparison: Some(FailureKind::StateStore),
+            },
+            Case {
                 name: "invalid ids in page",
                 build: || {
                     let mut r = resp(Status::Ok);
@@ -333,6 +378,7 @@ mod tests {
             FailureKind::Keyword,
             FailureKind::SessionLoss,
             FailureKind::AppSpecific,
+            FailureKind::StateStore,
             FailureKind::Comparison,
             FailureKind::LatencyAnomaly,
         ];
@@ -344,6 +390,7 @@ mod tests {
                 | FailureKind::Keyword
                 | FailureKind::SessionLoss
                 | FailureKind::AppSpecific
+                | FailureKind::StateStore
                 | FailureKind::Comparison => true,
                 // Produced by the perf tracker's windowed baseline
                 // check, never by classify().
